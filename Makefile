@@ -1,0 +1,30 @@
+# Convenience targets for the Knock-and-Talk reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick report validate examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:            ## full-scale: regenerates every paper table and figure
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:      ## 1%-filler variant for fast iteration
+	REPRO_BENCH_SCALE=0.01 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report -o report.txt
+
+validate:
+	$(PYTHON) -m repro.cli validate
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done
+
+clean:
+	rm -rf benchmarks/output .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,63 @@
+"""Benchmark fixtures: full-scale campaigns, run once per session.
+
+The three crawl campaigns (top-100K 2020 on three OSes, top-100K 2021 on
+two, ~146K malicious on three) are executed at **full scale** exactly once
+and shared by every bench.  Each bench then measures its analysis/render
+step and writes the regenerated table/figure to ``benchmarks/output/``.
+
+``REPRO_BENCH_SCALE`` (default 1.0) can shrink the populations for quick
+iterations; paper-exact assertions are only enforced at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.crawler.campaign import run_campaign
+from repro.web.population import (
+    build_malicious_population,
+    build_top_population,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+FULL_SCALE = SCALE >= 0.999
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a regenerated table/figure next to the bench results."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def top2020():
+    population = build_top_population(2020, scale=SCALE)
+    result = run_campaign(population)
+    return population, result
+
+
+@pytest.fixture(scope="session")
+def top2021(top2020):
+    population_2020, _ = top2020
+    population = build_top_population(
+        2021, scale=SCALE, base_list=population_2020.top_list
+    )
+    result = run_campaign(population)
+    return population, result
+
+
+@pytest.fixture(scope="session")
+def malicious():
+    population = build_malicious_population(scale=SCALE)
+    result = run_campaign(population)
+    return population, result
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL_SCALE

@@ -1,0 +1,72 @@
+"""Ablation bench: landing pages vs internal pages (§3.3 / future work).
+
+The paper's count of local-traffic sites is "a lower bound" because only
+landing pages were crawled; a blog investigation it cites found
+ThreatMetrix on *login pages* of further sites.  This bench crawls the
+2020 population both ways: the landing-only crawl reproduces the paper's
+107 localhost sites; enabling internal-page crawling surfaces the five
+seeded login-page scanners on top — demonstrating the lower-bound claim
+quantitatively.
+
+Also audits the attack class: across every finding of both crawls, the
+number of sites classified INTERNAL_ATTACK is zero, matching the paper's
+central negative result.
+"""
+
+from repro.core.signatures import BehaviorClass
+from repro.crawler.campaign import Campaign
+from repro.web.internal import LOGIN_PAGE_SCANNERS
+from repro.web.population import build_top_population
+
+from .conftest import write_artifact
+
+ABLATION_SCALE = 0.01
+
+
+def test_internal_pages_ablation(benchmark):
+    population = build_top_population(2020, scale=ABLATION_SCALE)
+
+    def run_both():
+        shallow = Campaign().run(population)
+        deep = Campaign(include_internal=True).run(population)
+        return shallow, deep
+
+    shallow, deep = benchmark(run_both)
+
+    shallow_sites = {
+        f.domain for f in shallow.findings if f.has_localhost_activity
+    }
+    deep_sites = {f.domain for f in deep.findings if f.has_localhost_activity}
+    surfaced = sorted(deep_sites - shallow_sites)
+
+    lines = [
+        "Internal-page crawl ablation (2020 population)",
+        f"  landing pages only : {len(shallow_sites)} localhost sites "
+        "(the paper's crawl)",
+        f"  + internal pages   : {len(deep_sites)} localhost sites",
+        "  surfaced by the deeper crawl:",
+    ]
+    for domain in surfaced:
+        finding = deep.finding(domain)
+        assert finding is not None
+        lines.append(f"    {domain:<20} {finding.behavior.value}")
+    text = "\n".join(lines)
+    write_artifact("ablation_internal_pages.txt", text)
+    print("\n" + text)
+
+    assert len(shallow_sites) == 107  # the paper's number is a lower bound
+    assert set(surfaced) == {s.domain for s in LOGIN_PAGE_SCANNERS}
+    for domain in surfaced:
+        finding = deep.finding(domain)
+        assert finding is not None
+        assert finding.behavior is BehaviorClass.FRAUD_DETECTION
+
+    # The paper's negative result holds in both crawl depths: zero sites
+    # exhibit internal-network attack behaviour.
+    for result in (shallow, deep):
+        attacks = [
+            f
+            for f in result.findings
+            if f.behavior is BehaviorClass.INTERNAL_ATTACK
+        ]
+        assert attacks == []

@@ -1,0 +1,59 @@
+"""Ablation bench: the 20-second monitoring-window choice (section 3.1).
+
+The paper sampled 100 sites, found >98% of requests complete within 15 s
+(most within 5 s), and picked a 20 s window.  This bench sweeps the
+window over the seeded population and regenerates that justification: a
+5-second window misses the late-firing anti-abuse scanners; 15–20 s
+captures (nearly) all local activity; beyond 20 s nothing is gained.
+"""
+
+import pytest
+
+from repro.crawler.campaign import Campaign
+from repro.web.population import build_top_population
+
+from .conftest import write_artifact
+
+#: The threshold sweep runs the full multi-OS campaign once per window,
+#: so it uses a reduced population (every seeded site, 1% filler).
+ABLATION_SCALE = 0.01
+
+WINDOWS_MS = (2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 30_000.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    population = build_top_population(2020, scale=ABLATION_SCALE)
+    results = {}
+    for window_ms in WINDOWS_MS:
+        campaign = Campaign(monitor_window_ms=window_ms)
+        result = campaign.run(population)
+        results[window_ms] = sum(
+            1 for f in result.findings if f.has_localhost_activity
+        )
+    return population, results
+
+
+def test_threshold_ablation(benchmark, sweep):
+    population, results = sweep
+
+    def render():
+        lines = ["Monitoring-window ablation (localhost-active sites found)"]
+        best = max(results.values())
+        for window_ms, count in sorted(results.items()):
+            lines.append(
+                f"  {window_ms / 1000:>5.1f} s  {count:>4} sites"
+                f"  ({count / best:>5.0%})"
+            )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    write_artifact("ablation_threshold.txt", text)
+    print("\n" + text)
+
+    # A 5 s window misses the late scanners; 20 s captures everything a
+    # 30 s window would (the paper's justification for stopping at 20 s).
+    assert results[5_000.0] < results[20_000.0]
+    assert results[20_000.0] == results[30_000.0] == 107
+    # The 15 s mark already captures the vast majority (>85%).
+    assert results[15_000.0] / results[20_000.0] > 0.85

@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 2 — OS overlap (Venn) of localhost sites.
+
+Paper targets (2a, 2020 top-100K): Windows 92 / Linux 54 / Mac 54,
+Windows-exclusive 48, Linux-exclusive 2, Mac-exclusive 5, all-three 41.
+(2b, malicious): per-OS totals implied by Table 2 (W 97 / L 124 / M 84).
+"""
+
+from repro.analysis import figures
+
+from .conftest import write_artifact
+
+
+def test_figure2a_regeneration(benchmark, top2020):
+    _, result = top2020
+    fig = benchmark(figures.figure_2, result.findings)
+    write_artifact("figure2a.txt", fig.text)
+    print("\n" + fig.text)
+
+    assert fig.data["total"] == 107
+    assert fig.data["per_os"] == {"windows": 92, "linux": 54, "mac": 54}
+    regions = fig.data["regions"]
+    assert regions["windows"] == 48
+    assert regions["linux"] == 2
+    assert regions["mac"] == 5
+    assert regions["linux+windows"] == 3
+    assert regions["linux+mac"] == 8
+    assert regions["linux+mac+windows"] == 41
+    assert "mac+windows" not in regions
+
+
+def test_figure2b_regeneration(benchmark, malicious):
+    _, result = malicious
+    fig = benchmark(figures.figure_2, result.findings, name="Figure 2b")
+    write_artifact("figure2b.txt", fig.text)
+    print("\n" + fig.text)
+
+    assert fig.data["total"] == 148
+    assert fig.data["per_os"] == {"windows": 97, "linux": 124, "mac": 84}

@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 3 — rank CDFs of localhost sites (2020).
+
+Paper targets: fairly linear CDFs (activity spread evenly across the top
+100K) with series sizes Windows 92 / Linux 54 / Mac 54, and highly-ranked
+sites present (19 within the top 10K).
+"""
+
+from repro.analysis import figures
+from repro.analysis.stats import fraction_below
+
+from .conftest import write_artifact
+
+
+def test_figure3_regeneration(benchmark, top2020, full_scale):
+    population, result = top2020
+    fig = benchmark(figures.figure_3, result.findings)
+    write_artifact("figure3.txt", fig.text)
+    print("\n" + fig.text)
+
+    ranks = fig.data["ranks"]
+    assert len(ranks["windows"]) == 92
+    assert len(ranks["linux"]) == 54
+    assert len(ranks["mac"]) == 54
+
+    list_size = len(population)
+    for series in ranks.values():
+        # Roughly linear: each third of the list holds a nontrivial share.
+        low = fraction_below([float(r) for r in series], list_size / 3)
+        mid = fraction_below([float(r) for r in series], 2 * list_size / 3)
+        assert 0.15 <= low <= 0.65
+        assert 0.45 <= mid <= 0.9
+
+    if full_scale:
+        within_10k = sum(1 for r in set().union(*map(set, ranks.values()))
+                         if r <= 10_000)
+        assert within_10k >= 19  # "19 sites ranked within the top 10K"

@@ -1,0 +1,55 @@
+"""Bench: regenerate Figure 4 — localhost protocols/ports per OS.
+
+Paper targets (4a, 2020): Windows dominated by WSS (490 of ~664 requests,
+~60-74%), Linux and Mac dominated by HTTP(S) (~86%); (4b, malicious):
+Windows WSS 252 (the 18 ThreatMetrix clones), Linux/Mac almost entirely
+HTTP.
+"""
+
+from repro.analysis import figures, rq2
+from repro.core.addresses import Locality
+
+from .conftest import write_artifact
+
+
+def test_figure4a_regeneration(benchmark, top2020):
+    _, result = top2020
+    fig = benchmark(figures.figure_ports, result.findings, name="Figure 4a")
+    write_artifact("figure4a.txt", fig.text)
+    print("\n" + fig.text)
+
+    windows = fig.data["windows"]
+    # 490 ThreatMetrix probes (35 sites x 14 ports; the paper's wss ring
+    # totals 490) plus the two samsungcard sites' AnySign probes (2 x 3).
+    wss_requests = sum(windows["wss"].values())
+    assert wss_requests == 496
+
+    breakdowns = rq2.protocol_port_breakdowns(
+        result.findings, Locality.LOCALHOST
+    )
+    assert breakdowns["windows"].dominant_scheme() == "wss"
+    for os_name in ("linux", "mac"):
+        totals = breakdowns[os_name].scheme_totals()
+        http_like = totals.get("http", 0) + totals.get("https", 0)
+        assert http_like / breakdowns[os_name].total_requests >= 0.7
+
+    # The 14 ThreatMetrix ports all appear in the Windows WSS ring.
+    from repro.core.ports import THREATMETRIX_PORTS
+
+    assert set(THREATMETRIX_PORTS) <= set(windows["wss"])
+
+
+def test_figure4b_regeneration(benchmark, malicious):
+    _, result = malicious
+    fig = benchmark(figures.figure_ports, result.findings, name="Figure 4b")
+    write_artifact("figure4b.txt", fig.text)
+    print("\n" + fig.text)
+
+    windows = fig.data["windows"]
+    assert sum(windows["wss"].values()) == 252  # 18 clones x 14 ports
+    linux = fig.data["linux"]
+    assert "wss" not in linux or sum(linux["wss"].values()) == 0
+    http_like = sum(linux.get("http", {}).values()) + sum(
+        linux.get("https", {}).values()
+    )
+    assert http_like == sum(sum(p.values()) for p in linux.values())

@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 5 — time-to-first-local-request CDFs (2020).
+
+Paper targets: (a) localhost — Linux/Mac median ≤5 s, Windows median
+≈10 s, maxima 14 s (Mac) and 17 s (Windows/Linux); (b) LAN — all medians
+≤5 s, maxima 5 s (Windows), 15 s (Mac), 16 s (Linux).
+"""
+
+from repro.analysis import figures
+from repro.analysis.stats import median
+
+from .conftest import write_artifact
+
+
+def test_figure5_regeneration(benchmark, top2020):
+    _, result = top2020
+    fig = benchmark(figures.figure_5, result.findings)
+    write_artifact("figure5.txt", fig.text)
+    print("\n" + fig.text)
+
+    localhost = fig.data["localhost"]
+    assert 8.0 <= median(localhost["windows"]) <= 12.0
+    assert median(localhost["linux"]) <= 5.5
+    assert median(localhost["mac"]) <= 5.5
+    assert max(localhost["windows"]) <= 17.5
+    assert max(localhost["linux"]) <= 17.5
+    assert max(localhost["mac"]) <= 14.5
+    # Everything inside the 20-second monitoring window.
+    assert all(max(v) < 20.0 for v in localhost.values())
+
+    lan = fig.data["lan"]
+    for os_name in ("windows", "linux", "mac"):
+        assert median(lan[os_name]) <= 5.5
+    assert max(lan["windows"]) <= 5.5
+    assert 14.0 <= max(lan["mac"]) <= 16.0
+    assert 15.0 <= max(lan["linux"]) <= 17.0

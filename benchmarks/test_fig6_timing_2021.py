@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 6 — timing CDFs for the 2021 crawl (W+L).
+
+Paper targets: delay distributions "roughly consistent" with 2020 —
+Windows skews late (the fraud scanners), Linux early (dev errors and
+native apps); no Mac series (the 2021 crawl had none).
+"""
+
+from repro.analysis import figures
+from repro.analysis.stats import median
+
+from .conftest import write_artifact
+
+
+def test_figure6_regeneration(benchmark, top2021):
+    _, result = top2021
+    fig = benchmark(figures.figure_6, result.findings)
+    write_artifact("figure6.txt", fig.text)
+    print("\n" + fig.text)
+
+    localhost = fig.data["localhost"]
+    assert set(localhost) == {"windows", "linux"}
+    assert len(localhost["windows"]) == 82
+    assert len(localhost["linux"]) == 48
+    assert median(localhost["windows"]) > median(localhost["linux"])
+    assert all(max(v) < 20.0 for v in localhost.values())
+
+    lan = fig.data["lan"]
+    assert set(lan) <= {"windows", "linux"}
+    for values in lan.values():
+        assert median(values) <= 5.5

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 7 — timing CDFs for malicious webpages.
+
+Paper targets: consistent with the top-list crawls — most malicious
+local traffic is developer-error resource fetches that fire early; the
+Windows series carries a late tail from the ThreatMetrix clones.
+"""
+
+from repro.analysis import figures
+from repro.analysis.stats import median
+
+from .conftest import write_artifact
+
+
+def test_figure7_regeneration(benchmark, malicious):
+    _, result = malicious
+    fig = benchmark(figures.figure_7, result.findings)
+    write_artifact("figure7.txt", fig.text)
+    print("\n" + fig.text)
+
+    localhost = fig.data["localhost"]
+    assert set(localhost) == {"windows", "linux", "mac"}
+    assert len(localhost["windows"]) == 97
+    assert len(localhost["linux"]) == 124
+    assert len(localhost["mac"]) == 84
+    # Dev-error dominated series fire early...
+    assert median(localhost["linux"]) <= 5.5
+    assert median(localhost["mac"]) <= 5.5
+    # ...while the clone scans give Windows a late tail.
+    assert max(localhost["windows"]) > 10.0
+    assert all(max(v) < 20.0 for v in localhost.values())
+
+    lan = fig.data["lan"]
+    for values in lan.values():
+        assert median(values) <= 5.5

@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 8 — protocols/ports for the 2021 crawl.
+
+Paper targets: a subset of 2020's ports/protocols — Windows still
+WSS-dominated (the fraud scanners, now 30 deployers), Linux still
+HTTP-dominated; the BIG-IP ASM ports (4444, 4653, ...) are gone.
+"""
+
+from repro.analysis import figures
+from repro.core.ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
+
+from .conftest import write_artifact
+
+
+def test_figure8_regeneration(benchmark, top2021):
+    _, result = top2021
+    fig = benchmark(figures.figure_8, result.findings)
+    write_artifact("figure8.txt", fig.text)
+    print("\n" + fig.text)
+
+    windows = fig.data["windows"]
+    wss = windows["wss"]
+    # 30 ThreatMetrix deployers x 14 ports, plus AnySign (2 sites x 3
+    # ports) and E-IMZO (2 sites x 1 port).
+    assert sum(wss.values()) == 30 * 14 + 6 + 2
+    assert set(THREATMETRIX_PORTS) <= set(wss)
+
+    # The bot-detection *scan* disappeared in 2021 (section 4.3.2).  Its
+    # malware/automation ports are gone; 5555 alone still shows up, via
+    # madmimi.com's unrelated dev-error fetch (also present in the
+    # paper's Figure 8 port ring).
+    all_windows_ports = {
+        port for ports in windows.values() for port in ports
+    }
+    assert {4444, 4653, 9515, 17556}.isdisjoint(all_windows_ports)
+    assert len(set(BIGIP_ASM_PORTS) & all_windows_ports) <= 1
+
+    linux = fig.data["linux"]
+    http_like = sum(linux.get("http", {}).values()) + sum(
+        linux.get("https", {}).values()
+    )
+    total_linux = sum(sum(ports.values()) for ports in linux.values())
+    assert http_like / total_linux >= 0.7

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 9 — rank CDFs of localhost sites (2021).
+
+Paper targets: Windows n=82, Linux n=48, spread fairly uniformly across
+the top 100K (similar to Figure 3).
+"""
+
+from repro.analysis import figures
+from repro.analysis.stats import fraction_below
+
+from .conftest import write_artifact
+
+
+def test_figure9_regeneration(benchmark, top2021):
+    population, result = top2021
+    fig = benchmark(figures.figure_9, result.findings)
+    write_artifact("figure9.txt", fig.text)
+    print("\n" + fig.text)
+
+    ranks = fig.data["ranks"]
+    assert len(ranks["windows"]) == 82
+    assert len(ranks["linux"]) == 48
+    assert "mac" not in ranks
+
+    list_size = len(population)
+    for series in ranks.values():
+        mid = fraction_below([float(r) for r in series], list_size / 2)
+        assert 0.3 <= mid <= 0.8  # roughly uniform spread

@@ -1,0 +1,50 @@
+"""Throughput benches for the measurement pipeline itself.
+
+Not a paper table — these quantify the cost of the harness: pages crawled
+per second (browser + NetLog + detection), NetLog parse throughput, and
+detection throughput over a scanner-heavy event stream.
+"""
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.useragent import identity_for
+from repro.core.detector import LocalTrafficDetector
+from repro.crawler.campaign import run_campaign
+from repro.netlog import dumps, loads
+from repro.web.population import build_top_population
+
+CRAWL_SCALE = 0.002  # 200 sites incl. all seeded ones
+
+
+def test_crawl_throughput(benchmark):
+    population = build_top_population(2020, scale=CRAWL_SCALE)
+
+    def crawl():
+        result = run_campaign(population)
+        return len(result.findings)
+
+    findings = benchmark(crawl)
+    assert findings == 116  # 107 localhost + 9 LAN
+
+
+def test_netlog_roundtrip_throughput(benchmark):
+    chrome = SimulatedChrome(identity_for("windows"))
+    population = build_top_population(2020, scale=CRAWL_SCALE)
+    site = population.website("ebay.com")
+    text = dumps(chrome.visit(site.page()).events)
+
+    def roundtrip():
+        return len(loads(text))
+
+    assert benchmark(roundtrip) > 0
+
+
+def test_detection_throughput(benchmark):
+    chrome = SimulatedChrome(identity_for("windows"))
+    population = build_top_population(2020, scale=CRAWL_SCALE)
+    events = chrome.visit(population.website("ebay.com").page()).events
+    detector = LocalTrafficDetector()
+
+    def detect():
+        return len(detector.detect(events).requests)
+
+    assert benchmark(detect) == 14

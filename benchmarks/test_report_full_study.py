@@ -1,0 +1,41 @@
+"""Bench: generate the complete study report from all three campaigns.
+
+Exercises the whole analysis stack at once — every table, figure, the
+WHOIS attribution rollup, and the phishing-clone analysis — and persists
+the single-document artefact (`benchmarks/output/report.txt`) plus the
+machine-readable export bundle (CSV/JSON series for re-plotting).
+"""
+
+from repro.analysis.export import export_campaign
+from repro.analysis.report_doc import StudyResults, render_report
+
+from .conftest import OUTPUT_DIR, write_artifact
+
+
+def test_full_study_report(benchmark, top2020, top2021, malicious):
+    _, result_2020 = top2020
+    _, result_2021 = top2021
+    _, result_malicious = malicious
+
+    def generate():
+        return render_report(
+            StudyResults(
+                top2020=result_2020,
+                top2021=result_2021,
+                malicious=result_malicious,
+            )
+        )
+
+    report = benchmark(generate)
+    write_artifact("report.txt", report)
+
+    assert "107 localhost-active sites" in report
+    assert "ThreatMetrix Inc." in report
+    assert "Phishing clones inheriting anti-fraud scans: 18" in report
+    assert "Table 1" in report
+
+    # Machine-readable export bundle alongside the report.
+    written = export_campaign(
+        result_2020.findings, OUTPUT_DIR / "export", prefix="top2020"
+    )
+    assert all(path.exists() for path in written.values())

@@ -1,0 +1,38 @@
+"""Bench: regenerate Table 10 — 2021 LAN requesters.
+
+Paper targets: 8 sites; unib.ac.id is the only site making LAN requests
+in both 2020 and 2021; highest-ranked at 4847 (blogsky.com, another
+censorship-blackhole case); ports include 5000, 8450 and 1117 beside
+80/443.
+"""
+
+from repro.analysis import tables
+from repro.core.addresses import Locality
+
+from .conftest import write_artifact
+
+
+def test_table10_regeneration(benchmark, top2021, top2020, full_scale):
+    _, result_2021 = top2021
+    _, result_2020 = top2020
+    rendered = benchmark(tables.table_10, result_2021.findings)
+    write_artifact("table10.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    assert len(rendered.rows) == 8
+    domains_2021 = {row["domain"] for row in rendered.rows}
+    domains_2020 = {
+        f.domain for f in result_2020.findings if f.has_lan_activity
+    }
+    assert domains_2021 & domains_2020 == {"unib.ac.id"}
+
+    all_ports = {p for row in rendered.rows for p in row["ports"]}
+    assert {5000, 8450, 1117} <= all_ports
+
+    if full_scale:
+        assert rendered.rows[0]["domain"] == "blogsky.com"
+        assert rendered.rows[0]["rank"] == 4847
+
+    # 2021 crawled Windows+Linux only.
+    for finding in result_2021.findings:
+        assert "mac" not in finding.oses_with_activity(Locality.LAN)

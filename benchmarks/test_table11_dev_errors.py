@@ -1,0 +1,44 @@
+"""Bench: regenerate Table 11 — developer-error localhost sites (2020).
+
+Paper targets: 45 table rows across six sub-kinds — 25 local-file-server
+sites, 1 pen-test artefact (rkn.gov.ru's xook.js), 5 LiveReload.js, 2
+bare redirects to 127.0.0.1, 5 SockJS-node sites (Mac-only), 7 leftover
+local services.
+"""
+
+from repro.analysis import rq3, tables
+from repro.core.addresses import Locality
+from repro.core.signatures import DeveloperErrorKind
+
+from .conftest import write_artifact
+
+
+def test_table11_regeneration(benchmark, top2020):
+    _, result = top2020
+    rendered = benchmark(tables.table_11, result.findings)
+    write_artifact("table11.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    assert len(rendered.rows) == 45
+    breakdown = rq3.dev_error_breakdown(result.findings, Locality.LOCALHOST)
+    assert breakdown == {
+        DeveloperErrorKind.LOCAL_FILE_SERVER: 25,
+        DeveloperErrorKind.PEN_TEST: 1,
+        DeveloperErrorKind.LIVERELOAD: 5,
+        DeveloperErrorKind.REDIRECT: 2,
+        DeveloperErrorKind.SOCKJS_NODE: 5,
+        DeveloperErrorKind.OTHER_LOCAL_SERVICE: 7,
+    }
+
+    sockjs = [
+        row for row in rendered.rows
+        if row["dev_kind"] is DeveloperErrorKind.SOCKJS_NODE
+    ]
+    assert all(row["oses"] == ("mac",) for row in sockjs)
+
+    pen_test = [
+        row for row in rendered.rows
+        if row["dev_kind"] is DeveloperErrorKind.PEN_TEST
+    ]
+    assert pen_test[0]["domain"] == "rkn.gov.ru"
+    assert pen_test[0]["paths"] == ["/xook.js"]

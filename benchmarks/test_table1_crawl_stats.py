@@ -1,0 +1,51 @@
+"""Bench: regenerate Table 1 — crawl statistics for all eight crawls.
+
+Paper targets (Table 1): per-(crawl, OS) success/failure counts and the
+failure-type breakdown.  At full scale the top-100K rows must match the
+paper **exactly**; the malicious rows match the per-OS totals exactly and
+the per-type counts to within rounding of the per-category allocation.
+"""
+
+from repro.analysis import tables
+from repro.web import seeds as S
+
+from .conftest import write_artifact
+
+
+def _all_stats(top2020, top2021, malicious):
+    _, result_2020 = top2020
+    _, result_2021 = top2021
+    _, result_malicious = malicious
+    return (
+        list(result_2020.stats.values())
+        + list(result_2021.stats.values())
+        + list(result_malicious.stats.values())
+    )
+
+
+def test_table1_regeneration(benchmark, top2020, top2021, malicious, full_scale):
+    stats = _all_stats(top2020, top2021, malicious)
+    rendered = benchmark(tables.table_1, stats)
+    write_artifact("table1.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    if not full_scale:
+        return
+    for stat in stats:
+        key = (stat.crawl, stat.os_name)
+        successes, error_counts = S.TABLE1_TARGETS[key]
+        assert stat.total in (S.TOP_LIST_SIZE, S.MALICIOUS_TOTAL)
+        if stat.crawl.startswith("top"):
+            assert stat.successes == successes, key
+            assert stat.errors == error_counts, key
+        else:
+            # Malicious: per-OS totals exact; per-type within the rounding
+            # slack of the per-category proportional allocation.
+            assert stat.successes == successes, key
+            assert stat.failures == sum(error_counts.values()), key
+            for bucket, expected in error_counts.items():
+                measured = (stat.errors or {}).get(bucket, 0)
+                assert abs(measured - expected) <= max(10, expected * 0.02), (
+                    key,
+                    bucket,
+                )

@@ -1,0 +1,51 @@
+"""Bench: regenerate Table 2 — malicious crawl summary.
+
+Paper targets: localhost activity malware W72/L83/M75, phishing
+W25/L41/M9, abuse 0; LAN activity malware 8/7/7, abuse 1/1/1.
+"""
+
+from repro.analysis import tables
+from repro.web import seeds as S
+
+from .conftest import write_artifact
+
+CATEGORY_SIZES = {
+    "malware": S.MALWARE_COUNT,
+    "abuse": S.ABUSE_COUNT,
+    "phishing": S.PHISHING_COUNT,
+}
+
+
+def test_table2_regeneration(benchmark, malicious, full_scale):
+    _, result = malicious
+    rendered = benchmark(
+        tables.table_2,
+        result.findings,
+        result.stats,
+        CATEGORY_SIZES,
+        S.MALICIOUS_CATEGORY_SUCCESSES,
+    )
+    write_artifact("table2.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    by_category = {row["category"]: row for row in rendered.rows}
+    assert by_category["malware"]["localhost"] == {
+        "windows": 72, "linux": 83, "mac": 75,
+    }
+    assert by_category["phishing"]["localhost"] == {
+        "windows": 25, "linux": 41, "mac": 9,
+    }
+    assert by_category["abuse"]["localhost"] == {
+        "windows": 0, "linux": 0, "mac": 0,
+    }
+    assert by_category["malware"]["lan"] == {
+        "windows": 8, "linux": 7, "mac": 7,
+    }
+    assert by_category["abuse"]["lan"] == {"windows": 1, "linux": 1, "mac": 1}
+
+    if full_scale:
+        # Success rates per category (Table 2: 61%/95%/73% on Windows...).
+        rates = by_category["malware"]["success_rates"]
+        assert abs(rates["windows"] - 0.61) < 0.02
+        assert abs(rates["linux"] - 0.65) < 0.02
+        assert abs(rates["mac"] - 0.65) < 0.02

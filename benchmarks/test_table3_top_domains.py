@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 3 — top-10 ranked localhost requesters (2020).
+
+Paper targets: Windows column led by ebay.com (rank 104) with eBay
+properties and financial sites; Linux/Mac column led by hola.org (243),
+then faceit.com, zakupki.gov.ru, rkn.gov.ru, ...
+"""
+
+from repro.analysis import tables
+
+from .conftest import write_artifact
+
+
+def test_table3_regeneration(benchmark, top2020, full_scale):
+    _, result = top2020
+    rendered = benchmark(tables.table_3, result.findings)
+    write_artifact("table3.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    (data,) = rendered.rows
+    windows_domains = [domain for _, domain in data["windows"]]
+    linux_domains = [domain for _, domain in data["linux"]]
+    assert windows_domains[0] == "ebay.com"
+    assert linux_domains[0] == "hola.org"
+    assert "fidelity.com" in windows_domains
+    assert "faceit.com" in linux_domains
+    if full_scale:
+        ranks = dict(data["windows"])
+        by_domain = {domain: rank for rank, domain in data["windows"]}
+        assert by_domain["ebay.com"] == 104
+        assert by_domain["fidelity.com"] == 1250
+        linux_by_domain = {domain: rank for rank, domain in data["linux"]}
+        assert linux_by_domain["hola.org"] == 243
+        del ranks

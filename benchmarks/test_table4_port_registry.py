@@ -1,0 +1,44 @@
+"""Bench: regenerate Table 4 — the scanned-port knowledge base.
+
+Paper targets: 21 port rows covering the 14 ThreatMetrix fraud-detection
+ports (remote desktop software) and the 7 BIG-IP ASM bot-detection ports
+(malware + automation), with 4 malware-associated ports.
+"""
+
+from repro.analysis import tables
+from repro.core.ports import DEFAULT_REGISTRY, ScanPurpose
+
+from .conftest import write_artifact
+
+
+def test_table4_regeneration(benchmark):
+    rendered = benchmark(tables.table_4, DEFAULT_REGISTRY)
+    write_artifact("table4.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    assert len(rendered.rows) == 21
+    fraud_ports = {
+        r.port for r in rendered.rows
+        if r.purpose is ScanPurpose.FRAUD_DETECTION
+    }
+    bot_ports = {
+        r.port for r in rendered.rows if r.purpose is ScanPurpose.BOT_DETECTION
+    }
+    assert len(fraud_ports) == 14
+    assert len(bot_ports) == 7
+    assert {3389, 5939, 7070} <= fraud_ports
+    assert {4444, 17556} <= bot_ports
+    assert sum(1 for r in rendered.rows if r.is_malware) == 4
+
+
+def test_port_lookup_throughput(benchmark):
+    """Lookup speed over the registry (sanity: classification-time cost)."""
+
+    def lookups():
+        total = 0
+        for port in range(1, 65536, 97):
+            if DEFAULT_REGISTRY.lookup(port) is not None:
+                total += 1
+        return total
+
+    assert benchmark(lookups) >= 0

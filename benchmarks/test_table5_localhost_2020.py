@@ -1,0 +1,51 @@
+"""Bench: regenerate Table 5 — 2020 localhost requesters by reason.
+
+Paper targets: 107 sites total — 35 fraud detection (WSS, 14 ports,
+Windows-only), 10 bot detection (HTTP, 7 ports, Windows-only), 12 native
+application, 45 developer error (Table 11), 5 unknown.
+"""
+
+from collections import Counter
+
+from repro.analysis import tables
+from repro.core.signatures import BehaviorClass
+
+from .conftest import write_artifact
+
+
+def test_table5_regeneration(benchmark, top2020):
+    _, result = top2020
+    rendered = benchmark(tables.table_5, result.findings)
+    write_artifact("table5.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    assert len(rendered.rows) == 107
+    counts = Counter(row["behavior"] for row in rendered.rows)
+    assert counts[BehaviorClass.FRAUD_DETECTION] == 35
+    assert counts[BehaviorClass.BOT_DETECTION] == 10
+    assert counts[BehaviorClass.NATIVE_APPLICATION] == 12
+    assert counts[BehaviorClass.DEVELOPER_ERROR] == 45
+    assert counts[BehaviorClass.UNKNOWN] == 5
+
+    fraud_rows = [
+        r for r in rendered.rows if r["behavior"] is BehaviorClass.FRAUD_DETECTION
+    ]
+    for row in fraud_rows:
+        assert row["schemes"] == ["wss"]
+        assert len(row["ports"]) == 14
+        assert row["oses"] == ("windows",)
+
+    bot_rows = [
+        r for r in rendered.rows if r["behavior"] is BehaviorClass.BOT_DETECTION
+    ]
+    for row in bot_rows:
+        assert row["schemes"] == ["http"]
+        assert len(row["ports"]) == 7
+        assert row["oses"] == ("windows",)
+
+    domains = {row["domain"] for row in rendered.rows}
+    for expected in (
+        "ebay.com", "fidelity.com", "betfair.com", "sbi.co.in",
+        "faceit.com", "samsungcard.com", "hola.org", "rkn.gov.ru",
+    ):
+        assert expected in domains

@@ -1,0 +1,39 @@
+"""Bench: regenerate Table 6 — 2020 LAN requesters.
+
+Paper targets: 9 sites, all HTTP(S) on ports 80/443; three of them
+(farsroid, tra…xyz, 1-movies) fetching the Iranian censorship blackhole
+10.10.34.35; highest-ranked at 4381 (gsis.gr).
+"""
+
+from repro.analysis import tables
+from repro.core.signatures import BehaviorClass
+
+from .conftest import write_artifact
+
+
+def test_table6_regeneration(benchmark, top2020, full_scale):
+    _, result = top2020
+    rendered = benchmark(tables.table_6, result.findings)
+    write_artifact("table6.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    assert len(rendered.rows) == 9
+    for row in rendered.rows:
+        assert set(row["ports"]) <= {80, 443}
+        assert set(row["schemes"]) <= {"http", "https"}
+
+    blackhole_rows = [
+        r for r in rendered.rows if "10.10.34.35" in r["addresses"]
+    ]
+    assert len(blackhole_rows) == 3
+    assert all(r["behavior"] is BehaviorClass.UNKNOWN for r in blackhole_rows)
+
+    dev_rows = [
+        r for r in rendered.rows
+        if r["behavior"] is BehaviorClass.DEVELOPER_ERROR
+    ]
+    assert len(dev_rows) == 6  # section 4.3: 6 of 9 are developer errors
+
+    if full_scale:
+        assert rendered.rows[0]["domain"] == "gsis.gr"
+        assert rendered.rows[0]["rank"] == 4381

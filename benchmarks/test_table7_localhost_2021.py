@@ -1,0 +1,53 @@
+"""Bench: regenerate Table 7 — localhost requesters new in the 2021 crawl.
+
+Paper targets: 82 localhost sites total in 2021 (Windows 82 / Linux 48),
+of which ~40 are newly observed: 5-6 new ThreatMetrix deployers (cibc,
+highlow.com, moneybookers, ebay.com.hk, marks.com), 14 native-application
+sites (the iQIYI family, E-IMZO, Thunder, GNWay), and ~20 developer
+errors.  No bot-detection sites remain.
+"""
+
+from collections import Counter
+
+from repro.analysis import tables
+from repro.core.addresses import Locality
+from repro.core.signatures import BehaviorClass
+
+from .conftest import write_artifact
+
+
+def test_table7_regeneration(benchmark, top2021, top2020):
+    _, result_2021 = top2021
+    _, result_2020 = top2020
+    rendered = benchmark(
+        tables.table_7, result_2021.findings, result_2020.findings
+    )
+    write_artifact("table7.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    total_2021 = sum(
+        1 for f in result_2021.findings if f.has_localhost_activity
+    )
+    assert total_2021 == 82
+
+    assert len(rendered.rows) == 39
+    counts = Counter(row["behavior"] for row in rendered.rows)
+    assert counts[BehaviorClass.FRAUD_DETECTION] == 5
+    assert counts[BehaviorClass.NATIVE_APPLICATION] == 14
+    assert counts[BehaviorClass.DEVELOPER_ERROR] == 20
+    assert counts.get(BehaviorClass.BOT_DETECTION, 0) == 0
+
+    domains = {row["domain"] for row in rendered.rows}
+    for expected in (
+        "cibc.com", "ebay.com.hk", "iqiyi.com", "soliqservis.uz",
+        "gnway.com", "phonearena.com", "wealthcareportal.com",
+    ):
+        assert expected in domains
+
+    # Per-OS totals (Figure 9): all 82 on Windows, 48 on Linux.
+    per_os = Counter()
+    for finding in result_2021.findings:
+        for os_name in finding.oses_with_activity(Locality.LOCALHOST):
+            per_os[os_name] += 1
+    assert per_os["windows"] == 82
+    assert per_os["linux"] == 48

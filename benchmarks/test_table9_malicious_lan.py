@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 9 — malicious LAN requesters.
+
+Paper targets: 9 LAN-requesting sites (8 malware incl. the www./apex
+crasar.org pair, 1 abuse), with per-OS malware counts 8/7/7 and one site
+using the non-standard port 1080.
+"""
+
+from repro.analysis import tables
+from repro.core.addresses import Locality
+
+from .conftest import write_artifact
+
+
+def test_table9_regeneration(benchmark, malicious):
+    _, result = malicious
+    rendered = benchmark(tables.table_9, result.findings)
+    write_artifact("table9.txt", rendered.text)
+    print("\n" + rendered.text)
+
+    assert len(rendered.rows) == 9
+    by_category = {}
+    for row in rendered.rows:
+        by_category.setdefault(row["category"], []).append(row)
+    assert len(by_category["malware"]) == 8
+    assert len(by_category["abuse"]) == 1
+
+    # One site (wangzonghang.cn) requested HTTP on port 1080.
+    nonstandard = [
+        row for row in rendered.rows if set(row["ports"]) - {80, 443}
+    ]
+    assert len(nonstandard) == 1
+    assert nonstandard[0]["ports"] == [1080]
+
+    per_os = {"windows": 0, "linux": 0, "mac": 0}
+    for finding in result.findings:
+        if finding.category != "malware":
+            continue
+        for os_name in finding.oses_with_activity(Locality.LAN):
+            per_os[os_name] += 1
+    assert per_os == {"windows": 8, "linux": 7, "mac": 7}

@@ -1,0 +1,104 @@
+"""Analyse a NetLog JSON dump for local network activity.
+
+The deployment scenario the core library targets: you captured telemetry
+with ``chrome --log-net-log=netlog.json`` (or any producer of the NetLog
+format) and want to know whether the page talked to your localhost or
+LAN, and why.
+
+Usage:
+    python examples/analyze_netlog.py [netlog.json]
+
+Without an argument the example first *creates* a demo capture (a
+simulated visit to a page with a Discord probe and a stale WordPress dev
+fetch), writes it to ``/tmp/demo-netlog.json``, then analyses that file —
+so it is runnable out of the box.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.browser import Page, SimulatedChrome, identity_for
+from repro.core import (
+    BehaviorClassifier,
+    Locality,
+    LocalTrafficDetector,
+)
+from repro.netlog import dump, load
+from repro.web.behaviors import NativeAppProbe, ResourceFetchBehavior
+
+DEMO_PATH = Path("/tmp/demo-netlog.json")
+
+
+def make_demo_capture(path: Path) -> None:
+    """Write a demo NetLog: one page with two local behaviours."""
+    page = Page(
+        url="https://community.example/",
+        scripts=[
+            NativeAppProbe(
+                name="discord-invite-widget",
+                scheme="ws",
+                ports=tuple(range(6463, 6473)),
+                path="/?v=1",
+                active_oses=frozenset({"windows", "linux", "mac"}),
+                host="localhost",
+                delay_ms=1_500.0,
+            ),
+            ResourceFetchBehavior(
+                name="stale-banner",
+                urls=("http://127.0.0.1:8888/wp-content/uploads/banner.jpg",),
+                active_oses=frozenset({"windows", "linux", "mac"}),
+                delay_ms=600.0,
+            ),
+        ],
+        resources=["https://cdn.example/site.css"],
+    )
+    visit = SimulatedChrome(identity_for("linux")).visit(page)
+    with path.open("w") as fp:
+        dump(visit.events, fp)
+    print(f"wrote demo capture to {path} ({len(visit.events)} events)")
+
+
+def analyze(path: Path) -> None:
+    with path.open() as fp:
+        events = load(fp, strict=False)
+    print(f"parsed {len(events)} events from {path}")
+
+    detection = LocalTrafficDetector().detect(events)
+    if not detection.has_local_activity:
+        print("no localhost or LAN traffic found.")
+        return
+
+    print(f"\nfound {len(detection.requests)} locally-bound requests:")
+    for request in detection.requests:
+        redirect_note = " (via redirect)" if request.via_redirect else ""
+        initiator = f" initiator={request.initiator}" if request.initiator else ""
+        print(
+            f"  [{request.locality.value:<9}] "
+            f"{request.scheme}://{request.host}:{request.port}{request.path}"
+            f"{redirect_note}{initiator}"
+        )
+
+    for locality in (Locality.LOCALHOST, Locality.LAN):
+        delay = detection.first_local_request_delay_ms(locality)
+        if delay is not None:
+            print(f"first {locality.value} request: "
+                  f"{delay / 1000:.1f}s after page load")
+
+    verdict = BehaviorClassifier().classify(detection.requests)
+    print(f"\nclassification: {verdict.behavior.value}")
+    if verdict.match:
+        print(f"  signature:  {verdict.signature_name}")
+        print(f"  detail:     {verdict.match.detail}")
+        print(f"  confidence: {verdict.match.confidence:.0%}")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        analyze(Path(sys.argv[1]))
+    else:
+        make_demo_capture(DEMO_PATH)
+        analyze(DEMO_PATH)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""How much can a local scan identify *you*? (paper §5.2)
+
+The paper warns that the host profiling it observed — done today for
+fraud and bot detection — "can naturally be extended for user
+fingerprinting and tracking", because which services listen on your
+localhost is a high-entropy, fairly stable feature.  This example
+measures that claim over a synthetic population of 10,000 users whose
+machines run realistic mixes of the applications the paper encountered
+(Discord, TeamViewer, game clients, dev servers, ...).
+
+Run:  python examples/fingerprint_tracking.py
+"""
+
+from repro.core.fingerprint import (
+    DEFAULT_SERVICE_POOL,
+    run_study,
+    synthetic_host_population,
+)
+from repro.core.ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
+
+POPULATION = 10_000
+
+
+def main() -> None:
+    pool = [port for port, _ in DEFAULT_SERVICE_POOL]
+    rates = [rate for _, rate in DEFAULT_SERVICE_POOL]
+    print(f"simulating {POPULATION} user machines; service adoption:")
+    for port, rate in DEFAULT_SERVICE_POOL:
+        print(f"  port {port:>6}: {rate:>5.0%} of users")
+
+    profiles = synthetic_host_population(
+        POPULATION, service_pool=pool, adoption=rates
+    )
+
+    print(f"\n{'scan scope':<42}{'entropy':>9}{'unique':>9}{'median set':>12}")
+    for label, ports in (
+        ("BIG-IP ASM profile (7 ports)", BIGIP_ASM_PORTS),
+        ("ThreatMetrix profile (14 ports)", THREATMETRIX_PORTS),
+        ("a greedy tracker (all 15 services)", pool),
+    ):
+        study = run_study(profiles, ports)
+        print(
+            f"{label:<42}{study.entropy_bits():>7.2f} b"
+            f"{study.unique_fraction():>9.1%}"
+            f"{study.median_anonymity_set():>12.0f}"
+        )
+
+    greedy = run_study(profiles, pool)
+    print(
+        f"\nA tracker scanning all pooled services extracts "
+        f"{greedy.entropy_bits():.1f} bits — shrinking the median user's "
+        f"anonymity set from {POPULATION} to "
+        f"{greedy.median_anonymity_set():.0f}. Combined with classic "
+        "browser fingerprinting surfaces, that is substantial identifying "
+        "signal, which is the paper's §5.2 warning in numbers."
+    )
+
+
+if __name__ == "__main__":
+    main()

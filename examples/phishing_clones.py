@@ -1,0 +1,65 @@
+"""Investigate phishing pages that inherit local scans (section 4.3.1).
+
+The paper's most curious malicious-crawl finding: phishing sites showed
+the *exact* ThreatMetrix localhost scan of the brands they impersonate —
+because the attackers cloned the target's web interface, JavaScript
+included.  This example runs the malicious crawl (reduced filler), flags
+the fraud-detection-classified phishing pages, and lines each clone up
+with the legitimate deployer whose traffic it inherited.
+
+Run:  python examples/phishing_clones.py
+"""
+
+from repro.analysis import rq3
+from repro.core.addresses import Locality
+from repro.core.signatures import BehaviorClass
+from repro.crawler.campaign import run_campaign
+from repro.web.population import (
+    build_malicious_population,
+    build_top_population,
+)
+
+
+def main() -> None:
+    print("crawling malicious population (0.5% filler scale) ...")
+    malicious = run_campaign(build_malicious_population(scale=0.005))
+    print("crawling top-100K population for the legitimate deployers ...")
+    top = run_campaign(build_top_population(2020, scale=0.005))
+
+    legitimate_deployers = {
+        f.domain
+        for f in top.findings
+        if f.behavior is BehaviorClass.FRAUD_DETECTION
+    }
+    print(f"\nlegitimate ThreatMetrix deployers (top-100K): "
+          f"{len(legitimate_deployers)}")
+
+    clones = rq3.detect_phishing_clones(malicious.findings)
+    print(f"phishing pages with inherited scans: {clones.count}\n")
+
+    for domain in clones.clone_domains:
+        finding = malicious.finding(domain)
+        assert finding is not None
+        ports = sorted(finding.ports(Locality.LOCALHOST))
+        impersonated = clones.impersonated_hint.get(domain, "(brand unclear)")
+        marker = (
+            "→ same scan as " + impersonated
+            if impersonated in legitimate_deployers
+            or impersonated.replace(".com", "") in str(legitimate_deployers)
+            else "→ impersonates " + impersonated
+        )
+        print(f"  {domain:<46} {len(ports)} wss ports  {marker}")
+
+    # The inherited scans are byte-identical to the legitimate ones.
+    clone = malicious.finding("customer-ebay.com")
+    original = top.finding("ebay.com")
+    assert clone is not None and original is not None
+    same = clone.ports(Locality.LOCALHOST) == original.ports(Locality.LOCALHOST)
+    print(f"\ncustomer-ebay.com scan ports identical to ebay.com: {same}")
+    print("\nAs in the paper: the phishing pages did not attack the local")
+    print("network — they blindly copied a defensive script while cloning")
+    print("their target's interface.")
+
+
+if __name__ == "__main__":
+    main()

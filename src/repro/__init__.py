@@ -1,0 +1,22 @@
+"""repro — reproduction of "Knock and Talk: Investigating Local Network
+Communications on Websites" (Kuchhal & Li, ACM IMC 2021).
+
+The package splits into:
+
+* :mod:`repro.core` — the reusable contribution: local-traffic detection
+  and behaviour classification over Chrome NetLog telemetry;
+* :mod:`repro.netlog` — the NetLog event model, writer, and parser;
+* :mod:`repro.browser` — a simulated Chrome (network stack, DNS, SOP);
+* :mod:`repro.web` — simulated websites, seeded from the paper's tables;
+* :mod:`repro.toplists` — Tranco-style lists and blocklists;
+* :mod:`repro.crawler` — the measurement harness (per-OS crawls, campaigns);
+* :mod:`repro.storage` — SQLite telemetry store;
+* :mod:`repro.analysis` — RQ1/RQ2/RQ3 analyses, table and figure renderers;
+* :mod:`repro.defense` — Private Network Access policy evaluation (§5.3).
+"""
+
+__version__ = "1.0.0"
+
+from . import core, netlog
+
+__all__ = ["core", "netlog", "__version__"]

@@ -1,0 +1,33 @@
+"""Analysis layer: RQ1/RQ2/RQ3 plus table and figure renderers."""
+
+from . import (
+    attribution,
+    export,
+    figures,
+    longitudinal,
+    report_doc,
+    rq1,
+    rq2,
+    rq3,
+    stats,
+    tables,
+    validate,
+)
+from .figures import RenderedFigure
+from .tables import RenderedTable
+
+__all__ = [
+    "attribution",
+    "export",
+    "longitudinal",
+    "report_doc",
+    "validate",
+    "figures",
+    "rq1",
+    "rq2",
+    "rq3",
+    "stats",
+    "tables",
+    "RenderedFigure",
+    "RenderedTable",
+]

@@ -1,0 +1,135 @@
+"""Machine-readable exports of tables and figures (CSV / JSON).
+
+The text renderers in :mod:`repro.analysis.tables` and
+:mod:`~repro.analysis.figures` target terminals; downstream users who
+want to re-plot the paper's figures need the underlying series.  These
+helpers write them as CSV (one file per series family) and JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import IO, Sequence
+
+from ..core.addresses import Locality
+from ..core.report import SiteFinding
+from . import rq1, rq2
+
+
+def write_rank_cdf_csv(
+    findings: Sequence[SiteFinding], fp: IO[str]
+) -> int:
+    """Figure 3/9 series: one row per (os, rank, cumulative fraction)."""
+    writer = csv.writer(fp)
+    writer.writerow(["os", "rank", "cdf"])
+    rows = 0
+    for os_name, ranks in sorted(
+        rq1.ranks_by_os(findings, Locality.LOCALHOST).items()
+    ):
+        n = len(ranks)
+        for index, rank in enumerate(ranks):
+            writer.writerow([os_name, rank, (index + 1) / n])
+            rows += 1
+    return rows
+
+
+def write_timing_cdf_csv(
+    findings: Sequence[SiteFinding],
+    fp: IO[str],
+    *,
+    locality: Locality = Locality.LOCALHOST,
+) -> int:
+    """Figure 5/6/7 series: one row per (os, delay_s, cumulative fraction)."""
+    writer = csv.writer(fp)
+    writer.writerow(["os", "delay_s", "cdf"])
+    rows = 0
+    for os_name, delays in sorted(
+        rq2.first_request_delays_s(findings, locality).items()
+    ):
+        n = len(delays)
+        for index, delay in enumerate(delays):
+            writer.writerow([os_name, f"{delay:.3f}", (index + 1) / n])
+            rows += 1
+    return rows
+
+
+def write_ports_csv(findings: Sequence[SiteFinding], fp: IO[str]) -> int:
+    """Figure 4/8 data: one row per (os, scheme, port, request count)."""
+    writer = csv.writer(fp)
+    writer.writerow(["os", "scheme", "port", "requests"])
+    rows = 0
+    breakdowns = rq2.protocol_port_breakdowns(findings, Locality.LOCALHOST)
+    for os_name, breakdown in sorted(breakdowns.items()):
+        for scheme, ports in sorted(breakdown.by_scheme.items()):
+            for port, count in sorted(ports.items()):
+                writer.writerow([os_name, scheme, port, count])
+                rows += 1
+    return rows
+
+
+def findings_to_json(findings: Sequence[SiteFinding]) -> list[dict]:
+    """Serialise findings as plain JSON-ready dicts."""
+    out = []
+    for finding in findings:
+        requests = [
+            {
+                "locality": request.locality.value,
+                "scheme": request.scheme,
+                "host": request.host,
+                "port": request.port,
+                "path": request.path,
+                "via_redirect": request.via_redirect,
+                "initiator": request.initiator,
+            }
+            for request in finding.requests()
+        ]
+        out.append(
+            {
+                "domain": finding.domain,
+                "rank": finding.rank,
+                "category": finding.category,
+                "behavior": finding.behavior.value if finding.behavior else None,
+                "dev_error_kind": finding.dev_error_kind.value
+                if finding.dev_error_kind
+                else None,
+                "oses_localhost": list(
+                    finding.oses_with_activity(Locality.LOCALHOST)
+                ),
+                "oses_lan": list(finding.oses_with_activity(Locality.LAN)),
+                "requests": requests,
+            }
+        )
+    return out
+
+
+def export_campaign(
+    findings: Sequence[SiteFinding],
+    directory: str | pathlib.Path,
+    *,
+    prefix: str = "campaign",
+) -> dict[str, pathlib.Path]:
+    """Write the full export bundle for one campaign's findings.
+
+    Returns the written paths, keyed by artefact name.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, pathlib.Path] = {}
+
+    json_path = directory / f"{prefix}_findings.json"
+    with json_path.open("w") as fp:
+        json.dump(findings_to_json(findings), fp, indent=1)
+    written["findings"] = json_path
+
+    for name, writer in (
+        ("rank_cdf", write_rank_cdf_csv),
+        ("timing_cdf", write_timing_cdf_csv),
+        ("ports", write_ports_csv),
+    ):
+        path = directory / f"{prefix}_{name}.csv"
+        with path.open("w", newline="") as fp:
+            writer(findings, fp)
+        written[name] = path
+    return written

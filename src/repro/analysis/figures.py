@@ -1,0 +1,201 @@
+"""Renderers for the paper's Figures 2–9.
+
+Each ``figure_N`` function produces the figure's underlying data series
+(so tests can assert on them) and a text rendering (so benches can print
+the same curves/diagrams the paper plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.addresses import Locality
+from ..core.report import OS_ORDER, SiteFinding
+from . import rq1, rq2
+from .stats import ascii_cdf
+
+_OS_LABEL = {"windows": "Windows", "linux": "Linux", "mac": "Mac"}
+
+
+@dataclass(frozen=True, slots=True)
+class RenderedFigure:
+    """A figure as data plus a printable text block."""
+
+    name: str
+    data: dict
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — OS overlap (Venn) of localhost-active sites
+# ---------------------------------------------------------------------------
+
+def figure_2(
+    findings: Sequence[SiteFinding],
+    *,
+    locality: Locality = Locality.LOCALHOST,
+    name: str = "Figure 2",
+) -> RenderedFigure:
+    """Overlap in per-OS activity across sites (Figure 2a/2b)."""
+    summary = rq1.summarize_activity(findings, locality)
+    regions = {
+        "+".join(sorted(oses)): count for oses, count in summary.overlap.items()
+    }
+    lines = [f"{name}: OS overlap of {locality.value}-active sites"]
+    lines.append(f"  total sites: {summary.total_sites}")
+    for os_name in OS_ORDER:
+        if os_name in summary.per_os:
+            lines.append(
+                f"  {_OS_LABEL[os_name]:<8} total: {summary.per_os[os_name]:>4}   "
+                f"exclusive: {summary.os_exclusive(os_name)}"
+            )
+    lines.append("  regions:")
+    for region, count in sorted(regions.items()):
+        lines.append(f"    {region:<24}{count:>5}")
+    data = {
+        "total": summary.total_sites,
+        "per_os": summary.per_os,
+        "regions": regions,
+    }
+    return RenderedFigure(name, data, "\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 9 — rank CDFs
+# ---------------------------------------------------------------------------
+
+def figure_rank_cdf(
+    findings: Sequence[SiteFinding],
+    *,
+    name: str,
+    list_size: int = 100_000,
+) -> RenderedFigure:
+    """CDFs of domain ranks for localhost-active sites (Figures 3/9)."""
+    series = rq1.ranks_by_os(findings, Locality.LOCALHOST)
+    labelled = {
+        f"{_OS_LABEL[os_name]} (n={len(ranks)})": [float(r) for r in ranks]
+        for os_name, ranks in series.items()
+    }
+    text = ascii_cdf(
+        labelled,
+        max_x=float(list_size),
+        title=f"{name}: rank CDFs of localhost-active domains",
+    )
+    return RenderedFigure(name, {"ranks": series}, text)
+
+
+def figure_3(findings: Sequence[SiteFinding]) -> RenderedFigure:
+    return figure_rank_cdf(findings, name="Figure 3")
+
+
+def figure_9(findings: Sequence[SiteFinding]) -> RenderedFigure:
+    return figure_rank_cdf(findings, name="Figure 9")
+
+
+# ---------------------------------------------------------------------------
+# Figures 4 and 8 — protocol/port sunbursts
+# ---------------------------------------------------------------------------
+
+def figure_ports(
+    findings: Sequence[SiteFinding],
+    *,
+    name: str,
+    oses: tuple[str, ...] = OS_ORDER,
+) -> RenderedFigure:
+    """Protocols and ports of localhost requests per OS (Figures 4/8)."""
+    breakdowns = rq2.protocol_port_breakdowns(
+        findings, Locality.LOCALHOST, oses
+    )
+    lines = [f"{name}: localhost request protocols and ports"]
+    data: dict[str, dict] = {}
+    for os_name in oses:
+        breakdown = breakdowns[os_name]
+        if breakdown.total_requests == 0:
+            continue
+        data[os_name] = {
+            scheme: dict(sorted(ports.items()))
+            for scheme, ports in breakdown.by_scheme.items()
+        }
+        lines.append(
+            f"  {_OS_LABEL[os_name]} ({breakdown.total_requests} requests)"
+        )
+        for scheme, total in breakdown.scheme_totals().items():
+            ports = breakdown.ports_for(scheme)
+            shown = ",".join(str(p) for p in ports[:12])
+            suffix = "…" if len(ports) > 12 else ""
+            lines.append(
+                f"    {scheme:<6}{total:>5} requests on {len(ports):>3} ports: "
+                f"{shown}{suffix}"
+            )
+    return RenderedFigure(name, data, "\n".join(lines))
+
+
+def figure_4(
+    findings_top: Sequence[SiteFinding],
+    findings_malicious: Sequence[SiteFinding] | None = None,
+) -> RenderedFigure:
+    """Figure 4a (2020 top-100K) and optionally 4b (malicious)."""
+    part_a = figure_ports(findings_top, name="Figure 4a")
+    if findings_malicious is None:
+        return part_a
+    part_b = figure_ports(findings_malicious, name="Figure 4b")
+    return RenderedFigure(
+        "Figure 4",
+        {"top": part_a.data, "malicious": part_b.data},
+        part_a.text + "\n" + part_b.text,
+    )
+
+
+def figure_8(findings: Sequence[SiteFinding]) -> RenderedFigure:
+    return figure_ports(
+        findings, name="Figure 8", oses=("windows", "linux")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 5, 6, 7 — time-to-first-local-request CDFs
+# ---------------------------------------------------------------------------
+
+def figure_timing(
+    findings: Sequence[SiteFinding],
+    *,
+    name: str,
+    oses: tuple[str, ...] = OS_ORDER,
+) -> RenderedFigure:
+    """Delay CDFs for localhost (a) and LAN (b) requests."""
+    data: dict[str, dict[str, list[float]]] = {}
+    blocks = []
+    for label, locality in (
+        ("localhost", Locality.LOCALHOST),
+        ("lan", Locality.LAN),
+    ):
+        delays = rq2.first_request_delays_s(findings, locality, oses)
+        data[label] = delays
+        labelled = {
+            f"{_OS_LABEL[os_name]} (n={len(values)})": values
+            for os_name, values in delays.items()
+        }
+        blocks.append(
+            ascii_cdf(
+                labelled,
+                max_x=20.0,
+                title=f"{name} ({label}): seconds to first request",
+            )
+        )
+    return RenderedFigure(name, data, "\n\n".join(blocks))
+
+
+def figure_5(findings: Sequence[SiteFinding]) -> RenderedFigure:
+    return figure_timing(findings, name="Figure 5")
+
+
+def figure_6(findings: Sequence[SiteFinding]) -> RenderedFigure:
+    return figure_timing(findings, name="Figure 6", oses=("windows", "linux"))
+
+
+def figure_7(findings: Sequence[SiteFinding]) -> RenderedFigure:
+    return figure_timing(findings, name="Figure 7")

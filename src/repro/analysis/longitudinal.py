@@ -1,0 +1,141 @@
+"""Longitudinal analysis: behaviour evolution across measurement rounds.
+
+Section 4.1 compares the paper's two crawls (continuing / stopped /
+newly-active sites); this module generalises that into a behaviour
+*transition* view: for every domain crawled in both rounds, which
+behaviour class it moved from and to — capturing the study's dynamics
+(BIG-IP ASM vanishing entirely, ThreatMetrix churn, dev errors getting
+fixed).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.addresses import Locality
+from ..core.report import SiteFinding
+from ..core.signatures import BehaviorClass
+
+#: Pseudo-states for domains without activity in a round.
+INACTIVE = "inactive"
+NOT_CRAWLED = "not crawled"
+
+
+def _state_map(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> dict[str, str]:
+    states: dict[str, str] = {}
+    for finding in findings:
+        if finding.has_activity(locality) and finding.behavior is not None:
+            states[finding.domain] = finding.behavior.value
+    return states
+
+
+@dataclass(slots=True)
+class TransitionMatrix:
+    """Domain behaviour transitions between two rounds."""
+
+    counts: Counter = field(default_factory=Counter)
+    domains: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+
+    def record(self, before: str, after: str, domain: str) -> None:
+        key = (before, after)
+        self.counts[key] += 1
+        self.domains.setdefault(key, []).append(domain)
+
+    def count(self, before: str, after: str) -> int:
+        return self.counts.get((before, after), 0)
+
+    def stopped(self, behavior: BehaviorClass) -> int:
+        """Sites of a class that went inactive (or off-list)."""
+        return self.count(behavior.value, INACTIVE) + self.count(
+            behavior.value, NOT_CRAWLED
+        )
+
+    def render(self) -> str:
+        lines = ["Behaviour transitions (first round -> second round)"]
+        for (before, after), count in sorted(
+            self.counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            sample = ", ".join(sorted(self.domains[(before, after)])[:3])
+            lines.append(f"  {before:<24} -> {after:<24} {count:>4}  ({sample})")
+        return "\n".join(lines)
+
+
+def behavior_transitions(
+    first: Sequence[SiteFinding],
+    second: Sequence[SiteFinding],
+    *,
+    locality: Locality = Locality.LOCALHOST,
+    second_round_crawled: set[str] | None = None,
+) -> TransitionMatrix:
+    """Build the transition matrix between two measurement rounds.
+
+    Only domains active in at least one round appear.  A domain absent
+    from ``second_round_crawled`` (when given) transitions to
+    ``NOT_CRAWLED`` rather than ``INACTIVE`` — the paper's distinction
+    between sites that *stopped* and sites that *fell off the list*.
+    """
+    matrix = TransitionMatrix()
+    before = _state_map(first, locality)
+    after = _state_map(second, locality)
+    for domain, state in before.items():
+        if domain in after:
+            matrix.record(state, after[domain], domain)
+        elif (
+            second_round_crawled is not None
+            and domain not in second_round_crawled
+        ):
+            matrix.record(state, NOT_CRAWLED, domain)
+        else:
+            matrix.record(state, INACTIVE, domain)
+    for domain, state in after.items():
+        if domain not in before:
+            matrix.record(INACTIVE, state, domain)
+    return matrix
+
+
+@dataclass(frozen=True, slots=True)
+class ClassChurn:
+    """Per-class site counts across two rounds."""
+
+    behavior: BehaviorClass
+    first_round: int
+    second_round: int
+    continued: int
+
+    @property
+    def stopped(self) -> int:
+        return self.first_round - self.continued
+
+    @property
+    def started(self) -> int:
+        return self.second_round - self.continued
+
+
+def class_churn(
+    first: Sequence[SiteFinding],
+    second: Sequence[SiteFinding],
+    behavior: BehaviorClass,
+    *,
+    locality: Locality = Locality.LOCALHOST,
+) -> ClassChurn:
+    """Continuation statistics for one behaviour class."""
+    before = {
+        f.domain
+        for f in first
+        if f.behavior is behavior and f.has_activity(locality)
+    }
+    after = {
+        f.domain
+        for f in second
+        if f.behavior is behavior and f.has_activity(locality)
+    }
+    return ClassChurn(
+        behavior=behavior,
+        first_round=len(before),
+        second_round=len(after),
+        continued=len(before & after),
+    )

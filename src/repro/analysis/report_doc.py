@@ -1,0 +1,145 @@
+"""Full study report generation: all findings in one document.
+
+Assembles the complete reproduction — every table, figure, and headline
+number, plus the attribution and clone analyses — into a single plain-text
+report, section-by-section in the paper's order.  Used by the ``repro
+report`` CLI command and by downstream users who want one artefact per
+measurement run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.addresses import Locality
+from ..crawler.campaign import CampaignResult
+from ..web import seeds as S
+from . import attribution, figures, rq1, rq2, rq3, tables
+
+
+@dataclass(frozen=True, slots=True)
+class StudyResults:
+    """The three campaigns a full study comprises."""
+
+    top2020: CampaignResult
+    top2021: CampaignResult | None = None
+    malicious: CampaignResult | None = None
+
+
+def _section(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}\n"
+
+
+def render_report(results: StudyResults) -> str:
+    """Render the full study report."""
+    parts: list[str] = [
+        "Knock and Talk — reproduction report",
+        "Local network communications of websites "
+        "(Kuchhal & Li, IMC 2021)",
+    ]
+
+    # -- crawl statistics -------------------------------------------------
+    parts.append(_section("Crawl statistics (Table 1)"))
+    stats = list(results.top2020.stats.values())
+    if results.top2021:
+        stats += list(results.top2021.stats.values())
+    if results.malicious:
+        stats += list(results.malicious.stats.values())
+    parts.append(tables.table_1(stats).text)
+
+    # -- RQ1 ----------------------------------------------------------------
+    parts.append(_section("RQ1 — which websites generate local traffic"))
+    summary = rq1.summarize_activity(
+        results.top2020.findings, Locality.LOCALHOST
+    )
+    lan = [f for f in results.top2020.findings if f.has_lan_activity]
+    parts.append(
+        f"2020 crawl: {summary.total_sites} localhost-active sites "
+        f"(per OS {summary.per_os}); {len(lan)} LAN-active sites."
+    )
+    parts.append(figures.figure_2(results.top2020.findings).text)
+    parts.append(tables.table_3(results.top2020.findings).text)
+    parts.append(figures.figure_3(results.top2020.findings).text)
+
+    # -- RQ2 ----------------------------------------------------------------
+    parts.append(_section("RQ2 — characteristics of the local traffic"))
+    share = rq2.websocket_share(
+        results.top2020.findings, Locality.LOCALHOST, "windows"
+    )
+    parts.append(
+        f"WebSocket share of Windows localhost requests: {share:.0%} "
+        "(WebSockets are exempt from the Same-Origin Policy)."
+    )
+    parts.append(figures.figure_4(results.top2020.findings).text)
+    parts.append(figures.figure_5(results.top2020.findings).text)
+
+    # -- RQ3 ----------------------------------------------------------------
+    parts.append(_section("RQ3 — why websites make local requests"))
+    counts = rq3.behavior_counts(results.top2020.findings, Locality.LOCALHOST)
+    for behavior, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        parts.append(f"  {behavior.value:<24}{count:>4}")
+    rollup = attribution.vendor_rollup(
+        results.top2020.findings, locality=Locality.LOCALHOST
+    )
+    if rollup.sites_by_org:
+        parts.append("\nThird-party attribution (WHOIS):")
+        for organization, count in rollup.top():
+            domains = ", ".join(
+                sorted(rollup.serving_domains_by_org[organization])[:3]
+            )
+            parts.append(
+                f"  {organization:<22}{count:>4} sites (served via {domains})"
+            )
+    parts.append("")
+    parts.append(tables.table_5(results.top2020.findings).text)
+    parts.append("")
+    parts.append(tables.table_6(results.top2020.findings).text)
+    parts.append("")
+    parts.append(tables.table_11(results.top2020.findings).text)
+
+    # -- 2021 -----------------------------------------------------------------
+    if results.top2021 is not None:
+        parts.append(_section("The 2021 re-measurement"))
+        summary_2021 = rq1.summarize_activity(
+            results.top2021.findings, Locality.LOCALHOST
+        )
+        parts.append(
+            f"{summary_2021.total_sites} localhost-active sites "
+            f"(per OS {summary_2021.per_os})."
+        )
+        parts.append(
+            tables.table_7(
+                results.top2021.findings, results.top2020.findings
+            ).text
+        )
+        parts.append("")
+        parts.append(tables.table_10(results.top2021.findings).text)
+        parts.append(figures.figure_8(results.top2021.findings).text)
+        parts.append(figures.figure_9(results.top2021.findings).text)
+
+    # -- malicious -------------------------------------------------------------
+    if results.malicious is not None:
+        parts.append(_section("Malicious webpages"))
+        sizes = {
+            "malware": S.MALWARE_COUNT,
+            "abuse": S.ABUSE_COUNT,
+            "phishing": S.PHISHING_COUNT,
+        }
+        parts.append(
+            tables.table_2(
+                results.malicious.findings, results.malicious.stats, sizes
+            ).text
+        )
+        clones = rq3.detect_phishing_clones(results.malicious.findings)
+        parts.append(
+            f"\nPhishing clones inheriting anti-fraud scans: {clones.count}"
+        )
+        for domain in clones.clone_domains[:8]:
+            hint = clones.impersonated_hint.get(domain, "?")
+            parts.append(f"  {domain}  (impersonates {hint})")
+        parts.append("")
+        parts.append(tables.table_9(results.malicious.findings).text)
+        parts.append(figures.figure_7(results.malicious.findings).text)
+
+    return "\n".join(parts)

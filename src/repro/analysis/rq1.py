@@ -1,0 +1,157 @@
+"""RQ1 — which websites generate local network traffic (section 4.1).
+
+Answers: how many sites show localhost/LAN activity, on which OSes, how
+the active sites overlap across OSes (Figure 2), how their ranks are
+distributed (Figures 3/9, Table 3), and how two measurement rounds
+compare (continuing / newly-seen / stopped sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.addresses import Locality
+from ..core.report import (
+    OS_ORDER,
+    SiteFinding,
+    findings_with_activity,
+    os_overlap_partition,
+    per_os_totals,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ActivitySummary:
+    """Headline RQ1 numbers for one campaign and locality."""
+
+    locality: Locality
+    total_sites: int
+    per_os: dict[str, int]
+    overlap: dict[frozenset[str], int]
+
+    def os_exclusive(self, os_name: str) -> int:
+        """Sites active exclusively on one OS."""
+        return self.overlap.get(frozenset({os_name}), 0)
+
+    @property
+    def all_os_equivalent(self) -> int:
+        """Sites behaving identically on every crawled OS."""
+        crawled = [os_name for os_name in OS_ORDER if os_name in self.per_os]
+        return self.overlap.get(frozenset(crawled), 0)
+
+
+def summarize_activity(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> ActivitySummary:
+    """Compute the RQ1 summary over a campaign's findings."""
+    found = findings_with_activity(list(findings), locality)
+    totals = {
+        os_name: count
+        for os_name, count in per_os_totals(found, locality).items()
+        if count
+    }
+    return ActivitySummary(
+        locality=locality,
+        total_sites=len(found),
+        per_os=totals,
+        overlap=os_overlap_partition(found, locality),
+    )
+
+
+def ranks_by_os(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> dict[str, list[int]]:
+    """Domain ranks of active sites per OS — the Figure 3/9 series."""
+    series: dict[str, list[int]] = {}
+    for finding in findings:
+        if finding.rank is None:
+            continue
+        for os_name in finding.oses_with_activity(locality):
+            series.setdefault(os_name, []).append(finding.rank)
+    for ranks in series.values():
+        ranks.sort()
+    return series
+
+
+def top_ranked(
+    findings: Iterable[SiteFinding],
+    locality: Locality,
+    os_name: str,
+    *,
+    n: int = 10,
+) -> list[SiteFinding]:
+    """The ``n`` highest-ranked active sites on one OS (Table 3)."""
+    active = [
+        f
+        for f in findings
+        if f.rank is not None and os_name in f.oses_with_activity(locality)
+    ]
+    active.sort(key=lambda f: f.rank)  # type: ignore[arg-type, return-value]
+    return active[:n]
+
+
+def sites_within_rank(
+    findings: Iterable[SiteFinding], locality: Locality, threshold: int
+) -> list[SiteFinding]:
+    """Active sites ranked at or above ``threshold`` (e.g. the top 10K)."""
+    return [
+        f
+        for f in findings_with_activity(list(findings), locality)
+        if f.rank is not None and f.rank <= threshold
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class LongitudinalComparison:
+    """How activity changed between two measurement rounds (section 4.1)."""
+
+    continuing: list[str]
+    stopped: list[str]
+    newly_active_previously_crawled: list[str]
+    newly_active_not_previously_crawled: list[str]
+
+    @property
+    def second_round_total(self) -> int:
+        return (
+            len(self.continuing)
+            + len(self.newly_active_previously_crawled)
+            + len(self.newly_active_not_previously_crawled)
+        )
+
+
+def compare_rounds(
+    first: Sequence[SiteFinding],
+    second: Sequence[SiteFinding],
+    locality: Locality,
+    *,
+    first_round_crawled: set[str] | None = None,
+) -> LongitudinalComparison:
+    """Classify second-round active sites against the first round.
+
+    ``first_round_crawled`` is the full set of domains crawled in round
+    one (not just active ones); when omitted, every second-round domain
+    absent from round-one findings counts as previously crawled.
+    """
+    first_active = {
+        f.domain for f in findings_with_activity(list(first), locality)
+    }
+    second_active = {
+        f.domain for f in findings_with_activity(list(second), locality)
+    }
+    crawled = (
+        first_round_crawled if first_round_crawled is not None else set()
+    )
+    continuing = sorted(first_active & second_active)
+    stopped = sorted(first_active - second_active)
+    new = second_active - first_active
+    previously_crawled = sorted(
+        d for d in new if not crawled or d in crawled
+    )
+    never_crawled = sorted(d for d in new if crawled and d not in crawled)
+    return LongitudinalComparison(
+        continuing=continuing,
+        stopped=stopped,
+        newly_active_previously_crawled=previously_crawled,
+        newly_active_not_previously_crawled=never_crawled,
+    )

@@ -1,0 +1,107 @@
+"""RQ2 — characteristics of the local traffic (section 4.2).
+
+Two families of questions:
+
+* **protocols and ports** — for each OS, how many local requests used each
+  scheme, and which destination ports they hit (the sunburst data of
+  Figures 4 and 8);
+* **timing** — the delay between page fetch and the first local request
+  per site (the CDFs of Figures 5, 6 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.addresses import Locality
+from ..core.report import OS_ORDER, SiteFinding
+
+
+@dataclass(slots=True)
+class ProtocolPortBreakdown:
+    """Requests per (scheme, port) for one OS — one Figure 4 diagram."""
+
+    os_name: str
+    #: scheme -> port -> request count
+    by_scheme: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(
+            count
+            for ports in self.by_scheme.values()
+            for count in ports.values()
+        )
+
+    def scheme_totals(self) -> dict[str, int]:
+        """Requests per scheme, descending — the inner sunburst ring."""
+        totals = {
+            scheme: sum(ports.values())
+            for scheme, ports in self.by_scheme.items()
+        }
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def ports_for(self, scheme: str) -> list[int]:
+        return sorted(self.by_scheme.get(scheme, {}))
+
+    def dominant_scheme(self) -> str | None:
+        totals = self.scheme_totals()
+        return next(iter(totals), None)
+
+    def record(self, scheme: str, port: int) -> None:
+        self.by_scheme.setdefault(scheme, {})
+        self.by_scheme[scheme][port] = self.by_scheme[scheme].get(port, 0) + 1
+
+
+def protocol_port_breakdowns(
+    findings: Iterable[SiteFinding],
+    locality: Locality,
+    oses: tuple[str, ...] = OS_ORDER,
+) -> dict[str, ProtocolPortBreakdown]:
+    """Per-OS scheme/port rollup over all findings (Figures 4/8)."""
+    breakdowns = {os_name: ProtocolPortBreakdown(os_name) for os_name in oses}
+    for finding in findings:
+        for os_name in oses:
+            for request in finding.requests(locality, os_name):
+                breakdowns[os_name].record(request.scheme, request.port)
+    return breakdowns
+
+
+def first_request_delays_s(
+    findings: Iterable[SiteFinding],
+    locality: Locality,
+    oses: tuple[str, ...] = OS_ORDER,
+) -> dict[str, list[float]]:
+    """Per-OS delays (seconds) from page fetch to first local request.
+
+    One sample per (site, OS) with activity — exactly the population of
+    the Figure 5–7 CDFs.
+    """
+    delays: dict[str, list[float]] = {os_name: [] for os_name in oses}
+    for finding in findings:
+        for os_name in oses:
+            delay_ms = finding.first_request_delay_ms(locality, os_name)
+            if delay_ms is not None:
+                delays[os_name].append(delay_ms / 1000.0)
+    for values in delays.values():
+        values.sort()
+    return {os_name: values for os_name, values in delays.items() if values}
+
+
+def websocket_share(
+    findings: Iterable[SiteFinding], locality: Locality, os_name: str
+) -> float:
+    """Fraction of local requests on an OS carried over ws/wss.
+
+    Quantifies the paper's headline observation that WebSockets — exempt
+    from the Same-Origin Policy — dominate Windows localhost traffic.
+    """
+    total = 0
+    websocket = 0
+    for finding in findings:
+        for request in finding.requests(locality, os_name):
+            total += 1
+            if request.scheme in ("ws", "wss"):
+                websocket += 1
+    return websocket / total if total else 0.0

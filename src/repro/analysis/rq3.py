@@ -1,0 +1,137 @@
+"""RQ3 — why websites make local requests (section 4.3).
+
+Rolls the per-site behaviour classifications up into the distributions the
+paper reports: counts per behaviour class, the developer-error sub-kind
+breakdown (Table 11 / Appendix B), per-class OS skew, and the
+phishing-clone analysis (malicious sites inheriting ThreatMetrix traffic
+from cloned legitimate pages).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.addresses import Locality
+from ..core.report import SiteFinding, findings_with_activity
+from ..core.signatures import BehaviorClass, DeveloperErrorKind
+
+
+def behavior_counts(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> dict[BehaviorClass, int]:
+    """Sites per behaviour class, restricted to one locality."""
+    counter: Counter[BehaviorClass] = Counter()
+    for finding in findings_with_activity(list(findings), locality):
+        if finding.behavior is not None:
+            counter[finding.behavior] += 1
+    return dict(counter)
+
+
+def dev_error_breakdown(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> dict[DeveloperErrorKind, int]:
+    """Developer-error sub-kind counts (Table 11's section structure)."""
+    counter: Counter[DeveloperErrorKind] = Counter()
+    for finding in findings_with_activity(list(findings), locality):
+        if finding.behavior is BehaviorClass.DEVELOPER_ERROR:
+            kind = finding.dev_error_kind
+            if kind is not None:
+                counter[kind] += 1
+    return dict(counter)
+
+
+def findings_for_behavior(
+    findings: Iterable[SiteFinding],
+    behavior: BehaviorClass,
+    locality: Locality | None = None,
+) -> list[SiteFinding]:
+    """All findings with the given verdict, optionally locality-filtered."""
+    out = []
+    for finding in findings:
+        if finding.behavior is not behavior:
+            continue
+        if locality is not None and not finding.has_activity(locality):
+            continue
+        out.append(finding)
+    return out
+
+
+def windows_only_fraction(
+    findings: Iterable[SiteFinding],
+    behavior: BehaviorClass,
+    locality: Locality,
+) -> float:
+    """Fraction of a class's sites active exclusively on Windows.
+
+    The fraud/bot scanners are the paper's Windows-targeting evidence:
+    this should be ≈1.0 for them and well below for developer errors.
+    """
+    class_findings = findings_for_behavior(findings, behavior, locality)
+    if not class_findings:
+        return 0.0
+    windows_only = sum(
+        1
+        for finding in class_findings
+        if finding.oses_with_activity(locality) == ("windows",)
+    )
+    return windows_only / len(class_findings)
+
+
+@dataclass(frozen=True, slots=True)
+class CloneAnalysis:
+    """Phishing pages inheriting anti-fraud local traffic (section 4.3.1)."""
+
+    clone_domains: list[str]
+    impersonated_hint: dict[str, str]
+
+    @property
+    def count(self) -> int:
+        return len(self.clone_domains)
+
+
+_IMPERSONATION_MARKERS = ("ebay", "citi", "amazon", "rakuten", "fidelity", "o2")
+
+
+def detect_phishing_clones(
+    findings: Sequence[SiteFinding], locality: Locality = Locality.LOCALHOST
+) -> CloneAnalysis:
+    """Find malicious sites whose local traffic matches an anti-fraud scan.
+
+    A phishing page classified FRAUD_DETECTION did not deploy ThreatMetrix
+    itself — it cloned a protected site's interface, JavaScript included.
+    The impersonation hint is extracted from brand substrings in the
+    domain, mirroring the paper's manual attribution
+    (customer-ebay.com → ebay.com).
+    """
+    clones = []
+    hints: dict[str, str] = {}
+    for finding in findings:
+        if finding.behavior is not BehaviorClass.FRAUD_DETECTION:
+            continue
+        if not finding.has_activity(locality):
+            continue
+        clones.append(finding.domain)
+        lowered = finding.domain.lower()
+        for marker in _IMPERSONATION_MARKERS:
+            if marker in lowered:
+                hints[finding.domain] = f"{marker}.com"
+                break
+    return CloneAnalysis(clone_domains=sorted(clones), impersonated_hint=hints)
+
+
+def attribution_table(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> list[tuple[str, str, str]]:
+    """(domain, behaviour, signature) rows for reporting."""
+    rows = []
+    for finding in findings_with_activity(list(findings), locality):
+        behavior = finding.behavior.value if finding.behavior else "?"
+        signature = (
+            finding.classification.signature_name
+            if finding.classification and finding.classification.signature_name
+            else "-"
+        )
+        rows.append((finding.domain, behavior, signature))
+    return rows

@@ -1,0 +1,120 @@
+"""Small statistics toolkit: empirical CDFs, quantiles, summaries.
+
+Pure Python on purpose — the analysis layer has no third-party
+dependencies, so the library stays installable anywhere the crawler runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def ecdf(values: Iterable[float]) -> tuple[list[float], list[float]]:
+    """Empirical CDF: sorted values and cumulative fractions.
+
+    >>> ecdf([3.0, 1.0, 2.0])
+    ([1.0, 2.0, 3.0], [0.3333333333333333, 0.6666666666666666, 1.0])
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return [], []
+    return ordered, [(index + 1) / n for index in range(n)]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile, 0 <= q <= 1.
+
+    Raises ValueError on an empty sequence — a silent NaN would poison
+    downstream medians.
+    """
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    interpolated = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Interpolation can drift one ulp outside the sample range on denormal
+    # inputs; clamp so callers can rely on min <= q(x) <= max.
+    return min(max(interpolated, ordered[0]), ordered[-1])
+
+
+def median(values: Sequence[float]) -> float:
+    """The 0.5 quantile."""
+    return quantile(values, 0.5)
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("summary of empty sequence")
+        return cls(
+            count=len(values),
+            minimum=min(values),
+            median=median(values),
+            p90=quantile(values, 0.9),
+            maximum=max(values),
+        )
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample at or below ``threshold`` (0 when empty)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value <= threshold) / len(values)
+
+
+def ascii_cdf(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    max_x: float | None = None,
+    title: str = "",
+) -> str:
+    """Render one or more samples as a text CDF table.
+
+    Output is a grid of cumulative fractions at evenly spaced x positions —
+    the data one would feed a plotting library, in a form that survives a
+    terminal.  Used by the figure benches to print the CDF curves of
+    Figures 3, 5–7 and 9.
+    """
+    populated = {name: list(vals) for name, vals in series.items() if vals}
+    if not populated:
+        return f"{title}\n(no data)"
+    upper = max_x if max_x is not None else max(max(v) for v in populated.values())
+    if upper <= 0:
+        upper = 1.0
+    steps = 10
+    lines = []
+    if title:
+        lines.append(title)
+    column = max(14, max(len(name) for name in populated) + 2)
+    header = "x".ljust(10) + "".join(
+        name.rjust(column) for name in populated
+    )
+    lines.append(header)
+    for step in range(steps + 1):
+        x = upper * step / steps
+        row = f"{x:<10.2f}"
+        for values in populated.values():
+            row += f"{fraction_below(values, x):>{column}.3f}"
+        lines.append(row)
+    del width  # reserved for a denser renderer
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Self-validation: score a measurement run against the paper's numbers.
+
+Encodes the paper's reported aggregates as data (`PAPER_TARGETS`) and
+compares a campaign's measured values against them, producing a
+structured scorecard.  This is the reproduction's acceptance test in
+library form — the benches assert the same facts, but the scorecard is
+queryable, printable, and usable by downstream users who modify the
+pipeline and want to know what they broke.
+
+Tolerance semantics per check: ``exact`` (must match), ``atol``/``rtol``
+(absolute/relative windows for the counts the paper itself reports
+inconsistently — see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.addresses import Locality
+from ..core.report import SiteFinding
+from ..core.signatures import BehaviorClass
+from ..crawler.campaign import CampaignResult
+from . import rq1, rq2, rq3
+from .stats import median
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """Outcome of one validated fact."""
+
+    name: str
+    expected: float
+    measured: float
+    passed: bool
+    note: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.name}: expected {self.expected:g}, "
+            f"measured {self.measured:g}"
+            + (f" ({self.note})" if self.note else "")
+        )
+
+
+@dataclass(slots=True)
+class Scorecard:
+    """All checks for one validation run."""
+
+    checks: list[CheckResult] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        expected: float,
+        measured: float,
+        *,
+        atol: float = 0.0,
+        rtol: float = 0.0,
+        note: str = "",
+    ) -> None:
+        window = max(atol, rtol * abs(expected))
+        self.checks.append(
+            CheckResult(
+                name=name,
+                expected=expected,
+                measured=measured,
+                passed=abs(measured - expected) <= window,
+                note=note,
+            )
+        )
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for check in self.checks if check.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.checks) - self.passed
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed == 0
+
+    def failures(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        lines = [check.render() for check in self.checks]
+        lines.append(
+            f"-- {self.passed}/{len(self.checks)} checks passed --"
+        )
+        return "\n".join(lines)
+
+
+def _localhost(findings: Sequence[SiteFinding]) -> list[SiteFinding]:
+    return [f for f in findings if f.has_localhost_activity]
+
+
+def validate_top2020(result: CampaignResult) -> Scorecard:
+    """Check the 2020 top-100K campaign against sections 4.1–4.3."""
+    card = Scorecard()
+    findings = result.findings
+    summary = rq1.summarize_activity(findings, Locality.LOCALHOST)
+
+    card.add("2020 localhost sites", 107, summary.total_sites)
+    card.add("2020 LAN sites", 9,
+             sum(1 for f in findings if f.has_lan_activity))
+    card.add("2020 Windows-active", 92, summary.per_os.get("windows", 0))
+    card.add("2020 Linux-active", 54, summary.per_os.get("linux", 0))
+    card.add("2020 Mac-active", 54, summary.per_os.get("mac", 0))
+    card.add("2020 Windows-exclusive", 48, summary.os_exclusive("windows"))
+    card.add("2020 all-OS-equivalent", 41, summary.all_os_equivalent)
+
+    counts = rq3.behavior_counts(findings, Locality.LOCALHOST)
+    card.add("fraud-detection sites", 35,
+             counts.get(BehaviorClass.FRAUD_DETECTION, 0), atol=1,
+             note="paper narrative says 36; tables enumerate 34")
+    card.add("bot-detection sites", 10,
+             counts.get(BehaviorClass.BOT_DETECTION, 0))
+    card.add("native-app sites", 12,
+             counts.get(BehaviorClass.NATIVE_APPLICATION, 0))
+    card.add("developer-error sites", 45,
+             counts.get(BehaviorClass.DEVELOPER_ERROR, 0), atol=1,
+             note="paper narrative says 44; Table 11 lists 45")
+    card.add("unknown sites", 5, counts.get(BehaviorClass.UNKNOWN, 0))
+    card.add("internal-attack sites", 0,
+             counts.get(BehaviorClass.INTERNAL_ATTACK, 0),
+             note="the paper's central negative result")
+
+    delays = rq2.first_request_delays_s(findings, Locality.LOCALHOST)
+    if delays.get("windows"):
+        card.add("Windows median delay (s)", 10.0,
+                 median(delays["windows"]), atol=2.0)
+    if delays.get("mac"):
+        card.add("Mac max delay (s)", 14.0, max(delays["mac"]), atol=1.0)
+
+    share = rq2.websocket_share(findings, Locality.LOCALHOST, "windows")
+    card.add("Windows WebSocket share", 0.77, share, atol=0.10,
+             note="Figure 4a: (490 wss + 19 ws) / 664")
+    return card
+
+
+def validate_top2021(result: CampaignResult) -> Scorecard:
+    """Check the 2021 campaign against sections 3.2/4.1."""
+    card = Scorecard()
+    summary = rq1.summarize_activity(result.findings, Locality.LOCALHOST)
+    card.add("2021 localhost sites", 82, summary.total_sites)
+    card.add("2021 Windows-active", 82, summary.per_os.get("windows", 0))
+    card.add("2021 Linux-active", 48, summary.per_os.get("linux", 0))
+    card.add("2021 Mac-active", 0, summary.per_os.get("mac", 0),
+             note="no Mac crawl in 2021")
+    card.add("2021 LAN sites", 8,
+             sum(1 for f in result.findings if f.has_lan_activity))
+    counts = rq3.behavior_counts(result.findings, Locality.LOCALHOST)
+    card.add("2021 bot-detection sites", 0,
+             counts.get(BehaviorClass.BOT_DETECTION, 0),
+             note="BIG-IP ASM scripts gone by 2021")
+    return card
+
+
+def validate_malicious(result: CampaignResult) -> Scorecard:
+    """Check the malicious campaign against Table 2 / section 4.3."""
+    card = Scorecard()
+    per_category: dict[str, dict[str, int]] = {}
+    for finding in _localhost(result.findings):
+        category = finding.category or "?"
+        bucket = per_category.setdefault(
+            category, {"windows": 0, "linux": 0, "mac": 0}
+        )
+        for os_name in finding.oses_with_activity(Locality.LOCALHOST):
+            bucket[os_name] += 1
+    targets = {
+        ("malware", "windows"): 72, ("malware", "linux"): 83,
+        ("malware", "mac"): 75, ("phishing", "windows"): 25,
+        ("phishing", "linux"): 41, ("phishing", "mac"): 9,
+    }
+    for (category, os_name), expected in targets.items():
+        card.add(
+            f"malicious {category} localhost on {os_name}",
+            expected,
+            per_category.get(category, {}).get(os_name, 0),
+        )
+    card.add("abuse localhost sites", 0,
+             sum(per_category.get("abuse", {}).values()))
+    card.add("malicious localhost total", 151,
+             len(_localhost(result.findings)), atol=3,
+             note="Table 2 marginals imply 148; narrative says 151")
+    clones = rq3.detect_phishing_clones(result.findings)
+    card.add("ThreatMetrix phishing clones", 18, clones.count,
+             note="Figure 4b: 252 Windows WSS = 18 x 14")
+    counts = rq3.behavior_counts(result.findings, Locality.LOCALHOST)
+    card.add("malicious internal attacks", 0,
+             counts.get(BehaviorClass.INTERNAL_ATTACK, 0))
+    return card
+
+
+#: Validators by campaign name, for generic runners.
+VALIDATORS: dict[str, Callable[[CampaignResult], Scorecard]] = {
+    "top2020": validate_top2020,
+    "top2021": validate_top2021,
+    "malicious": validate_malicious,
+}
+
+
+def validate(result: CampaignResult) -> Scorecard:
+    """Validate a campaign by its population name."""
+    try:
+        validator = VALIDATORS[result.name]
+    except KeyError:
+        raise ValueError(
+            f"no paper targets known for campaign {result.name!r}"
+        ) from None
+    return validator(result)

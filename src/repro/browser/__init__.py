@@ -1,0 +1,57 @@
+"""Simulated Chrome browser substrate.
+
+Provides the measurement environment the paper ran on: Chrome v84 with a
+clean profile on Windows 10 / Ubuntu 20.04 / Mac OS X 10.15.6, a network
+stack with realistic local/LAN/public connect semantics, DNS with failure
+injection, and the Same-Origin Policy (with its WebSocket exemption).
+"""
+
+from .chrome import DEFAULT_MONITOR_WINDOW_MS, SimulatedChrome, VisitResult
+from .dns import ResolutionResult, SimulatedResolver
+from .errors import (
+    OTHER_ERROR_POOL,
+    TABLE1_ERROR_COLUMNS,
+    NetError,
+    table1_bucket,
+)
+from .network import (
+    CONNECT_TIMEOUT_MS,
+    ConnectOutcome,
+    LocalServiceTable,
+    PortState,
+    SimulatedNetwork,
+)
+from .page import Page, PageScript, PlannedRequest, ScriptContext
+from .sop import Origin, ResponseVisibility, SameOriginPolicy
+from .useragent import ALL_OSES, LINUX, MAC, OS_IDENTITIES, WINDOWS, OSIdentity, identity_for
+
+__all__ = [
+    "DEFAULT_MONITOR_WINDOW_MS",
+    "SimulatedChrome",
+    "VisitResult",
+    "ResolutionResult",
+    "SimulatedResolver",
+    "OTHER_ERROR_POOL",
+    "TABLE1_ERROR_COLUMNS",
+    "NetError",
+    "table1_bucket",
+    "CONNECT_TIMEOUT_MS",
+    "ConnectOutcome",
+    "LocalServiceTable",
+    "PortState",
+    "SimulatedNetwork",
+    "Page",
+    "PageScript",
+    "PlannedRequest",
+    "ScriptContext",
+    "Origin",
+    "ResponseVisibility",
+    "SameOriginPolicy",
+    "ALL_OSES",
+    "LINUX",
+    "MAC",
+    "OS_IDENTITIES",
+    "WINDOWS",
+    "OSIdentity",
+    "identity_for",
+]

@@ -1,0 +1,342 @@
+"""The simulated Chrome instance: loads pages and emits NetLog telemetry.
+
+``SimulatedChrome.visit`` reproduces the observable contract of the paper's
+measurement harness (section 3.1): start a clean browser, navigate to the
+target URL, watch the network for a fixed monitoring window (20 s), and
+hand back the NetLog event stream.  Time is virtual — a 20-second window
+costs microseconds — which is what makes 100K-site campaigns tractable.
+
+Event sequences follow Chrome's shape:
+
+* every logical request gets a fresh serial source id;
+* ``REQUEST_ALIVE`` BEGIN/END brackets the flow;
+* ``URL_REQUEST_START_JOB`` (HTTP) or ``WEB_SOCKET_SEND_HANDSHAKE_REQUEST``
+  (WS/WSS) carries the URL;
+* connect/TLS sub-events carry destinations and failures;
+* redirects appear as ``URL_REQUEST_REDIRECTED`` with the new location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.addresses import TargetParseError, parse_target
+from ..netlog.constants import EventPhase, EventType, SourceType
+from ..netlog.events import NetLogEvent, NetLogSource, SourceIdAllocator
+from .dns import SimulatedResolver
+from .errors import NetError
+from .network import SimulatedNetwork
+from .page import Page, PlannedRequest, ScriptContext
+from .sop import Origin, SameOriginPolicy
+from .useragent import OSIdentity
+
+#: Monitoring window the paper settled on after its threshold experiment.
+DEFAULT_MONITOR_WINDOW_MS = 20_000.0
+
+#: Synthetic but stable server think-time for page HTML (milliseconds).
+_SERVER_TTFB_MS = 120.0
+_DNS_LOOKUP_MS = 18.0
+
+
+@dataclass(slots=True)
+class VisitResult:
+    """Outcome of one page visit."""
+
+    url: str
+    os_name: str
+    success: bool
+    error: NetError = NetError.OK
+    events: list[NetLogEvent] = field(default_factory=list)
+    page_load_time_ms: float | None = None
+
+    @property
+    def failed(self) -> bool:
+        return not self.success
+
+
+class SimulatedChrome:
+    """A Chrome v84 stand-in bound to one OS identity.
+
+    Instances are cheap; the crawler creates one per (OS, crawl) and
+    reuses it across sites — source ids keep increasing across visits,
+    like a real long-lived browser process, but each visit's events are
+    returned separately (one NetLog per page, as the paper stored them).
+    """
+
+    def __init__(
+        self,
+        identity: OSIdentity,
+        *,
+        resolver: SimulatedResolver | None = None,
+        network: SimulatedNetwork | None = None,
+        policy: SameOriginPolicy | None = None,
+        monitor_window_ms: float = DEFAULT_MONITOR_WINDOW_MS,
+    ) -> None:
+        if monitor_window_ms <= 0:
+            raise ValueError("monitor window must be positive")
+        self.identity = identity
+        self.resolver = resolver if resolver is not None else SimulatedResolver()
+        self.network = network if network is not None else SimulatedNetwork()
+        self.policy = policy if policy is not None else SameOriginPolicy()
+        self.monitor_window_ms = monitor_window_ms
+        self._sources = SourceIdAllocator()
+        self.pages_visited = 0
+
+    # -- public API -------------------------------------------------------
+
+    def visit(self, page: Page, *, forced_error: NetError | None = None) -> VisitResult:
+        """Load ``page`` and monitor it for the configured window.
+
+        ``forced_error`` injects a main-frame load failure (used by crawl
+        campaigns to reproduce the failure rates of Table 1); DNS failures
+        may alternatively be injected at the resolver.
+        """
+        self.pages_visited += 1
+        events: list[NetLogEvent] = []
+        result = VisitResult(url=page.url, os_name=self.identity.name, success=False)
+
+        try:
+            target = parse_target(page.url)
+        except TargetParseError:
+            result.error = NetError.ERR_NAME_NOT_RESOLVED
+            result.events = events
+            return result
+
+        clock = 0.0
+        main_source = self._sources.allocate(SourceType.URL_REQUEST)
+        events.append(self._event(clock, EventType.REQUEST_ALIVE, main_source, EventPhase.BEGIN))
+        events.append(
+            self._event(
+                clock,
+                EventType.URL_REQUEST_START_JOB,
+                main_source,
+                EventPhase.BEGIN,
+                {"url": page.url, "method": "GET", "user_agent": self.identity.user_agent},
+            )
+        )
+
+        error = forced_error if forced_error is not None else self._resolve_error(target.host)
+        if error is not None and error.failed:
+            self._emit_failure(events, clock, main_source, target.host, error)
+            result.error = error
+            result.events = events
+            return result
+
+        clock += _DNS_LOOKUP_MS
+        connect = self.network.connect(target.host, target.port)
+        events.append(
+            self._event(
+                clock,
+                EventType.TCP_CONNECT,
+                main_source,
+                EventPhase.END,
+                {"address": f"{target.host}:{target.port}"},
+            )
+        )
+        clock += connect.latency_ms
+        if not connect.ok:
+            self._emit_failure(events, clock, main_source, target.host, connect.error)
+            result.error = connect.error
+            result.events = events
+            return result
+
+        clock += _SERVER_TTFB_MS
+        events.append(
+            self._event(
+                clock,
+                EventType.PAGE_LOAD_COMMITTED,
+                main_source,
+                EventPhase.NONE,
+                {"url": page.url},
+            )
+        )
+        events.append(self._event(clock, EventType.REQUEST_ALIVE, main_source, EventPhase.END))
+        page_commit = clock
+        result.page_load_time_ms = page_commit
+
+        context = ScriptContext(
+            os_name=self.identity.name,
+            user_agent=self.identity.user_agent,
+            page_url=page.url,
+        )
+        page_origin = Origin.from_target(target)
+
+        for url in page.resources:
+            self._execute_request(
+                events,
+                page_origin,
+                PlannedRequest(url=url, delay_ms=0.0, initiator="document"),
+                page_commit,
+            )
+        for planned in page.planned_requests(context):
+            self._execute_request(events, page_origin, planned, page_commit)
+
+        events.sort(key=lambda e: (e.time, e.source.id))
+        result.success = True
+        result.events = events
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_error(self, host: str) -> NetError | None:
+        resolution = self.resolver.resolve(host)
+        return None if resolution.ok else resolution.error
+
+    def _emit_failure(
+        self,
+        events: list[NetLogEvent],
+        clock: float,
+        source: NetLogSource,
+        host: str,
+        error: NetError,
+    ) -> None:
+        if error is NetError.ERR_NAME_NOT_RESOLVED:
+            events.append(
+                self._event(
+                    clock,
+                    EventType.HOST_RESOLVER_IMPL_REQUEST,
+                    source,
+                    EventPhase.END,
+                    {"host": host, "net_error": int(error)},
+                )
+            )
+        elif error in (
+            NetError.ERR_CERT_COMMON_NAME_INVALID,
+            NetError.ERR_CERT_DATE_INVALID,
+            NetError.ERR_CERT_AUTHORITY_INVALID,
+            NetError.ERR_SSL_PROTOCOL_ERROR,
+        ):
+            events.append(
+                self._event(
+                    clock,
+                    EventType.SSL_CONNECT,
+                    source,
+                    EventPhase.END,
+                    {"host": host, "net_error": int(error)},
+                )
+            )
+        else:
+            events.append(
+                self._event(
+                    clock,
+                    EventType.SOCKET_ERROR,
+                    source,
+                    EventPhase.NONE,
+                    {"host": host, "net_error": int(error)},
+                )
+            )
+        events.append(
+            self._event(
+                clock,
+                EventType.REQUEST_ALIVE,
+                source,
+                EventPhase.END,
+                {"net_error": int(error)},
+            )
+        )
+
+    def _execute_request(
+        self,
+        events: list[NetLogEvent],
+        page_origin: Origin,
+        planned: PlannedRequest,
+        page_commit: float,
+    ) -> None:
+        start = page_commit + planned.delay_ms
+        if planned.delay_ms >= self.monitor_window_ms:
+            # Fires after the monitoring window closed: invisible to the
+            # crawl, exactly like the paper's 20-second truncation.
+            return
+        try:
+            target = parse_target(planned.url)
+        except TargetParseError:
+            return
+        is_websocket = target.scheme in ("ws", "wss")
+        source = self._sources.allocate(
+            SourceType.WEB_SOCKET if is_websocket else SourceType.URL_REQUEST
+        )
+        params = {"url": planned.url, "method": planned.method}
+        if planned.initiator:
+            params["initiator"] = planned.initiator
+        events.append(self._event(start, EventType.REQUEST_ALIVE, source, EventPhase.BEGIN))
+        events.append(
+            self._event(
+                start,
+                EventType.WEB_SOCKET_SEND_HANDSHAKE_REQUEST
+                if is_websocket
+                else EventType.URL_REQUEST_START_JOB,
+                source,
+                EventPhase.BEGIN,
+                params,
+            )
+        )
+        connect = self.network.connect(target.host, target.port)
+        end = start + connect.latency_ms
+        events.append(
+            self._event(
+                end,
+                EventType.TCP_CONNECT,
+                source,
+                EventPhase.END,
+                {
+                    "address": f"{target.host}:{target.port}",
+                    "net_error": int(connect.error),
+                },
+            )
+        )
+        if connect.ok:
+            for hop in planned.redirect_to:
+                events.append(
+                    self._event(
+                        end,
+                        EventType.URL_REQUEST_REDIRECTED,
+                        source,
+                        EventPhase.NONE,
+                        {"location": hop},
+                    )
+                )
+            if is_websocket:
+                events.append(
+                    self._event(
+                        end,
+                        EventType.WEB_SOCKET_READ_HANDSHAKE_RESPONSE,
+                        source,
+                        EventPhase.NONE,
+                        {"url": planned.url},
+                    )
+                )
+            else:
+                events.append(
+                    self._event(
+                        end,
+                        EventType.HTTP_TRANSACTION_READ_HEADERS,
+                        source,
+                        EventPhase.NONE,
+                        {
+                            "visibility": self.policy.visibility(
+                                page_origin, target
+                            ).value
+                        },
+                    )
+                )
+        events.append(
+            self._event(
+                end,
+                EventType.REQUEST_ALIVE,
+                source,
+                EventPhase.END,
+                {} if connect.ok else {"net_error": int(connect.error)},
+            )
+        )
+
+    @staticmethod
+    def _event(
+        time: float,
+        type: EventType,
+        source: NetLogSource,
+        phase: EventPhase,
+        params: dict | None = None,
+    ) -> NetLogEvent:
+        return NetLogEvent(
+            time=time, type=type, source=source, phase=phase, params=params or {}
+        )

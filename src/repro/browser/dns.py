@@ -1,0 +1,94 @@
+"""Simulated DNS resolution with failure injection.
+
+The paper's dominant crawl-failure mode is DNS (≈90% of failures are
+``NAME_NOT_RESOLVED``; Table 1).  The resolver models:
+
+* loopback names resolved without lookup (as Chrome does for ``localhost``);
+* IP literals passed through;
+* a registry of authoritative records for simulated public sites;
+* per-domain injected failures, used by the population builder to
+  reproduce Table 1's failure counts deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.addresses import parse_ip
+from .errors import NetError
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionResult:
+    """Outcome of one resolution attempt."""
+
+    address: str | None
+    error: NetError = NetError.OK
+
+    @property
+    def ok(self) -> bool:
+        return self.error is NetError.OK and self.address is not None
+
+
+class SimulatedResolver:
+    """A deterministic stub resolver.
+
+    Records are exact-match on the fully-qualified lowercase name.  A
+    domain with neither a record nor an injected failure resolves to a
+    synthetic address derived from the name hash — simulating the common
+    case where any ordinary public domain resolves — unless
+    ``default_resolvable`` is False.
+    """
+
+    def __init__(self, *, default_resolvable: bool = True) -> None:
+        self._records: dict[str, str] = {}
+        self._failures: dict[str, NetError] = {}
+        self._default_resolvable = default_resolvable
+        self.queries = 0
+
+    def add_record(self, name: str, address: str) -> None:
+        """Register an authoritative A record."""
+        self._records[name.lower().rstrip(".")] = address
+
+    def inject_failure(self, name: str, error: NetError) -> None:
+        """Force resolution of ``name`` to fail with ``error``."""
+        if not error.failed:
+            raise ValueError("injected failure must be a failing NetError")
+        self._failures[name.lower().rstrip(".")] = error
+
+    def clear_failure(self, name: str) -> None:
+        self._failures.pop(name.lower().rstrip("."), None)
+
+    def resolve(self, name: str) -> ResolutionResult:
+        """Resolve a hostname (or pass an IP literal through)."""
+        self.queries += 1
+        host = name.lower().rstrip(".")
+        if host == "localhost" or host.endswith(".localhost"):
+            return ResolutionResult(address="127.0.0.1")
+        if parse_ip(host) is not None:
+            return ResolutionResult(address=host)
+        injected = self._failures.get(host)
+        if injected is not None:
+            return ResolutionResult(address=None, error=injected)
+        record = self._records.get(host)
+        if record is not None:
+            return ResolutionResult(address=record)
+        if self._default_resolvable:
+            return ResolutionResult(address=self._synthetic_address(host))
+        return ResolutionResult(address=None, error=NetError.ERR_NAME_NOT_RESOLVED)
+
+    @staticmethod
+    def _synthetic_address(host: str) -> str:
+        """A stable, public-looking IPv4 address derived from the name.
+
+        Addresses land in 203.0.113.0/24 and 198.51.100.0/24 (TEST-NET
+        ranges) extended across several documentation-safe octets, so they
+        never collide with the private ranges the detector looks for.
+        """
+        digest = 0
+        for ch in host:
+            digest = (digest * 131 + ord(ch)) & 0xFFFFFFFF
+        third = digest & 0xFF
+        fourth = (digest >> 8) & 0xFF
+        base = "203.0" if (digest >> 16) & 1 else "198.51"
+        return f"{base}.{third}.{fourth}"

@@ -1,0 +1,70 @@
+"""Chrome ``net::`` error model.
+
+Chrome reports network failures as negative integer codes with symbolic
+names (``net_error_list.h``).  Table 1 of the paper breaks crawl failures
+down by these codes; we reproduce the codes the paper reports plus the
+grab-bag the crawls actually hit, and an ``OTHERS`` bucket for the rest.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NetError(enum.IntEnum):
+    """Chrome net error codes (values follow Chrome's net_error_list.h)."""
+
+    OK = 0
+    ERR_CONNECTION_RESET = -101
+    ERR_CONNECTION_REFUSED = -102
+    ERR_CONNECTION_FAILED = -104
+    ERR_NAME_NOT_RESOLVED = -105
+    ERR_INTERNET_DISCONNECTED = -106
+    ERR_TIMED_OUT = -7
+    ERR_EMPTY_RESPONSE = -324
+    ERR_SSL_PROTOCOL_ERROR = -107
+    ERR_CERT_COMMON_NAME_INVALID = -200
+    ERR_CERT_DATE_INVALID = -201
+    ERR_CERT_AUTHORITY_INVALID = -202
+    ERR_TOO_MANY_REDIRECTS = -310
+    ERR_ABORTED = -3
+
+    @property
+    def failed(self) -> bool:
+        return self is not NetError.OK
+
+
+#: The failure categories Table 1 reports, in the paper's column order.
+TABLE1_ERROR_COLUMNS: tuple[str, ...] = (
+    "NAME_NOT_RESOLVED",
+    "CONN_REFUSED",
+    "CONN_RESET",
+    "CERT_CN_INVALID",
+    "Others",
+)
+
+
+def table1_bucket(error: NetError) -> str:
+    """Map a net error to its Table 1 column."""
+    if error is NetError.ERR_NAME_NOT_RESOLVED:
+        return "NAME_NOT_RESOLVED"
+    if error is NetError.ERR_CONNECTION_REFUSED:
+        return "CONN_REFUSED"
+    if error is NetError.ERR_CONNECTION_RESET:
+        return "CONN_RESET"
+    if error is NetError.ERR_CERT_COMMON_NAME_INVALID:
+        return "CERT_CN_INVALID"
+    return "Others"
+
+
+#: Errors the crawls' "Others" bucket is drawn from when injecting
+#: failures (timeouts, SSL handshake issues, redirect loops, ...).
+OTHER_ERROR_POOL: tuple[NetError, ...] = (
+    NetError.ERR_TIMED_OUT,
+    NetError.ERR_SSL_PROTOCOL_ERROR,
+    NetError.ERR_CERT_DATE_INVALID,
+    NetError.ERR_CERT_AUTHORITY_INVALID,
+    NetError.ERR_EMPTY_RESPONSE,
+    NetError.ERR_TOO_MANY_REDIRECTS,
+    NetError.ERR_CONNECTION_FAILED,
+)

@@ -1,0 +1,166 @@
+"""Simulated network stack: connection semantics and latency.
+
+Models the piece of reality the paper's observations hinge on: what happens
+when a webpage-initiated request hits a localhost port, a LAN address, or a
+public server.
+
+* An **open** local port accepts the TCP connection quickly — even when the
+  Same-Origin Policy later hides the response body, the fast failure is
+  observable (the timing side channel BIG-IP ASM exploits, section 4.3.2).
+* A **closed** local port refuses the connection (fast ``CONN_REFUSED``).
+* A **dropped** (firewalled) destination times out after the connect
+  timeout.
+* Public endpoints connect with realistic WAN latency.
+
+Latencies are deterministic functions of the endpoint so repeated crawls
+measure identical telemetry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.addresses import Locality, classify_host
+from .errors import NetError
+
+
+class PortState(enum.Enum):
+    """Listening state of a (host, port) endpoint."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+    DROPPED = "dropped"  # packets silently discarded; connects time out
+
+
+@dataclass(frozen=True, slots=True)
+class ConnectOutcome:
+    """Result of a simulated TCP connect attempt.
+
+    ``banner`` carries the service greeting when the endpoint is open and
+    has one — readable by the connecting page only when the Same-Origin
+    Policy permits (i.e. over WebSockets, or same-origin/CORS HTTP).
+    """
+
+    error: NetError
+    latency_ms: float
+    banner: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is NetError.OK
+
+
+#: Connect timeout Chrome applies before giving up on an unresponsive
+#: destination (milliseconds).  Real Chrome's TCP connect timeout is
+#: ~2 minutes but local probes observe the OS-level RST/ICMP behaviour far
+#: sooner; the scanners in the paper budget a few seconds per port.
+CONNECT_TIMEOUT_MS = 3000.0
+
+
+def _stable_jitter(key: str, spread_ms: float) -> float:
+    """Deterministic pseudo-jitter in [0, spread_ms) derived from ``key``."""
+    digest = 2166136261
+    for ch in key:
+        digest = ((digest ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return (digest % 10_000) / 10_000.0 * spread_ms
+
+
+@dataclass(slots=True)
+class LocalServiceTable:
+    """Which local ports are listening on the crawl machine / LAN.
+
+    The defaults model a clean crawl VM: nothing listens on localhost, and
+    no LAN devices answer.  Populations install services here to model
+    machines running remote-desktop software, native app clients, etc.
+
+    A service may carry a *banner* — the greeting/handshake bytes a
+    connecting client reads.  Section 4.3.1 notes the WSS-based scanner
+    "may also be gathering more extensive information about the network
+    services active on each port (e.g., server version and
+    configuration)"; the banner is that information.
+    """
+
+    open_ports: dict[tuple[str, int], PortState] = field(default_factory=dict)
+    banners: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    def set_state(self, host: str, port: int, state: PortState) -> None:
+        if not 0 < port <= 65535:
+            raise ValueError(f"invalid port {port}")
+        self.open_ports[(host.lower(), port)] = state
+
+    def open_service(self, host: str, port: int, *, banner: str | None = None) -> None:
+        self.set_state(host, port, PortState.OPEN)
+        if banner is not None:
+            self.banners[(host.lower(), port)] = banner
+
+    def state(self, host: str, port: int) -> PortState:
+        return self.open_ports.get((host.lower(), port), PortState.CLOSED)
+
+    def banner(self, host: str, port: int) -> str | None:
+        """The service's greeting, when it is open and has one."""
+        if self.state(host, port) is not PortState.OPEN:
+            return None
+        return self.banners.get((host.lower(), port))
+
+
+class SimulatedNetwork:
+    """Connect-level behaviour for local and public endpoints."""
+
+    #: Base round-trip latencies per destination class (milliseconds).
+    LOOPBACK_RTT_MS = 0.3
+    LAN_RTT_MS = 2.0
+    WAN_RTT_MS = 35.0
+
+    def __init__(self, services: LocalServiceTable | None = None) -> None:
+        self.services = services if services is not None else LocalServiceTable()
+        self.connect_attempts = 0
+
+    def connect(self, host: str, port: int) -> ConnectOutcome:
+        """Attempt a TCP connection to ``host:port``."""
+        self.connect_attempts += 1
+        locality = classify_host(host)
+        key = f"{host}:{port}"
+        if locality is Locality.PUBLIC:
+            # Public servers in the simulation accept by default; failure
+            # injection for page loads happens at DNS / page level.
+            return ConnectOutcome(
+                error=NetError.OK,
+                latency_ms=self.WAN_RTT_MS + _stable_jitter(key, 30.0),
+            )
+        local_host = self._normalise_local_host(host, locality)
+        state = self.services.state(local_host, port)
+        if state is PortState.OPEN:
+            base = (
+                self.LOOPBACK_RTT_MS
+                if locality is Locality.LOCALHOST
+                else self.LAN_RTT_MS
+            )
+            return ConnectOutcome(
+                error=NetError.OK,
+                latency_ms=base + _stable_jitter(key, 1.0),
+                banner=self.services.banner(local_host, port),
+            )
+        if state is PortState.DROPPED:
+            return ConnectOutcome(
+                error=NetError.ERR_TIMED_OUT, latency_ms=CONNECT_TIMEOUT_MS
+            )
+        # Closed: the OS answers with RST almost immediately.  This speed
+        # difference versus DROPPED is the timing side channel that lets a
+        # SOP-restricted HTTP probe infer port liveness.
+        base = (
+            self.LOOPBACK_RTT_MS
+            if locality is Locality.LOCALHOST
+            else self.LAN_RTT_MS
+        )
+        return ConnectOutcome(
+            error=NetError.ERR_CONNECTION_REFUSED,
+            latency_ms=base + _stable_jitter(key, 1.0),
+        )
+
+    @staticmethod
+    def _normalise_local_host(host: str, locality: Locality) -> str:
+        """Collapse loopback aliases to a single service-table key."""
+        if locality is Locality.LOCALHOST:
+            return "127.0.0.1"
+        return host.lower()

@@ -1,0 +1,99 @@
+"""Page model: what a landing page contains and what its scripts request.
+
+A :class:`Page` is the unit the simulated browser loads — the document at a
+website's landing URL plus the scripts it embeds.  Scripts implement the
+:class:`PageScript` protocol: given a :class:`ScriptContext` (crawl OS,
+user agent, page URL) they *plan* the network requests they would fire and
+when.  The browser then executes the plan against the simulated network,
+producing NetLog telemetry.
+
+Separating planning from execution keeps behaviours pure and testable: a
+behaviour model can be unit-tested by inspecting its plan, without a
+browser or network in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@dataclass(frozen=True, slots=True)
+class ScriptContext:
+    """What a page script can observe about its execution environment."""
+
+    os_name: str
+    user_agent: str
+    page_url: str
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedRequest:
+    """One network request a script intends to make.
+
+    Attributes
+    ----------
+    url:
+        Full request URL (http/https/ws/wss).
+    delay_ms:
+        When the request fires, relative to the page-load commit.
+    method:
+        HTTP method; WebSocket handshakes are always GET.
+    initiator:
+        Identity of the code that fired the request (script name / library
+        URL).  Surfaces in NetLog params, mirroring how the paper traced
+        requests back to the JavaScript blob or library that made them.
+    redirect_to:
+        Optional redirect chain the *server* responds with; used to model
+        pages whose public request 30x-redirects to a local destination.
+    """
+
+    url: str
+    delay_ms: float = 0.0
+    method: str = "GET"
+    initiator: str | None = None
+    redirect_to: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+
+
+@runtime_checkable
+class PageScript(Protocol):
+    """A script embedded on a page."""
+
+    #: Human-readable identity; used as the default request initiator.
+    name: str
+
+    def plan(self, context: ScriptContext) -> Sequence[PlannedRequest]:
+        """The requests this script fires in the given environment."""
+        ...
+
+
+@dataclass(slots=True)
+class Page:
+    """A landing page: its URL, static subresources, and scripts."""
+
+    url: str
+    scripts: list[PageScript] = field(default_factory=list)
+    #: Public subresource URLs the page fetches while loading (images,
+    #: stylesheets, third-party JS).  These keep the telemetry realistic —
+    #: local requests are a needle in a haystack of ordinary traffic.
+    resources: list[str] = field(default_factory=list)
+
+    def planned_requests(self, context: ScriptContext) -> list[PlannedRequest]:
+        """All script-planned requests for this page, in plan order."""
+        planned: list[PlannedRequest] = []
+        for script in self.scripts:
+            for request in script.plan(context):
+                if request.initiator is None:
+                    request = PlannedRequest(
+                        url=request.url,
+                        delay_ms=request.delay_ms,
+                        method=request.method,
+                        initiator=script.name,
+                        redirect_to=request.redirect_to,
+                    )
+                planned.append(request)
+        return planned

@@ -1,0 +1,122 @@
+"""Same-Origin Policy model.
+
+The paper repeatedly leans on one asymmetry: **WebSocket connections are not
+bound by the Same-Origin Policy**, so a page on ``https://example.com`` can
+open ``wss://localhost:5939/`` and *read* the handshake outcome and data,
+while a cross-origin ``fetch``/``XHR`` to ``http://localhost:4444/`` without
+CORS headers lets the page observe only opaque success/failure and timing.
+
+``can_read_response`` answers "can page JavaScript see the response body?";
+``observable_signal`` answers what the page learns regardless.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.addresses import RequestTarget
+
+
+class ResponseVisibility(enum.Enum):
+    """What a page's script can observe about a response."""
+
+    FULL = "full"  # body + headers readable
+    OPAQUE = "opaque"  # only success/failure + timing observable
+    BLOCKED = "blocked"  # request never left the browser
+
+
+@dataclass(frozen=True, slots=True)
+class Origin:
+    """A web origin: (scheme, host, port)."""
+
+    scheme: str
+    host: str
+    port: int
+
+    @classmethod
+    def from_target(cls, target: RequestTarget) -> "Origin":
+        return cls(scheme=target.scheme, host=target.host, port=target.port)
+
+    def same_origin_as(self, other: "Origin") -> bool:
+        return (
+            self.scheme == other.scheme
+            and self.host == other.host
+            and self.port == other.port
+        )
+
+    @property
+    def is_secure(self) -> bool:
+        """True for origins delivered over an authenticated channel."""
+        return self.scheme in ("https", "wss")
+
+
+class SameOriginPolicy:
+    """Chrome 84-era SOP semantics (no Private Network Access yet).
+
+    ``cors_allowed`` models the server opting in via
+    ``Access-Control-Allow-Origin``; local services essentially never send
+    it, which is why the HTTP-based scanners are limited to the timing
+    side channel.
+    """
+
+    def visibility(
+        self,
+        page_origin: Origin,
+        target: RequestTarget,
+        *,
+        cors_allowed: bool = False,
+    ) -> ResponseVisibility:
+        """How much of the response the page can read."""
+        if target.scheme in ("ws", "wss"):
+            # WebSockets perform their own origin-based handshake but the
+            # browser does not gate data on SOP; servers rarely check the
+            # Origin header, so pages get bidirectional access.
+            return ResponseVisibility.FULL
+        target_origin = Origin.from_target(target)
+        if page_origin.same_origin_as(target_origin):
+            return ResponseVisibility.FULL
+        if cors_allowed:
+            return ResponseVisibility.FULL
+        return ResponseVisibility.OPAQUE
+
+    def request_allowed(self, page_origin: Origin, target: RequestTarget) -> bool:
+        """Whether the browser sends the request at all.
+
+        Under classic SOP the answer is always yes — the policy restricts
+        *reading*, not *sending*.  That is precisely the gap the paper's
+        observed scanners exploit and that the Private Network Access
+        proposal (:mod:`repro.defense.pna`) closes.
+        """
+        del page_origin, target
+        return True
+
+    def observable_signal(
+        self,
+        page_origin: Origin,
+        target: RequestTarget,
+        *,
+        connect_ok: bool,
+        latency_ms: float,
+        banner: str | None = None,
+    ) -> dict:
+        """What the initiating script learns from one probe.
+
+        Even an OPAQUE response leaks (success, latency) — sufficient to
+        infer port liveness (section 4.3.2's hypothesised timing channel).
+        Under FULL visibility (WebSockets, same-origin, CORS) the service
+        ``banner`` — version/configuration data — is readable too, which
+        is the extra intelligence section 4.3.1 suspects the WSS scanner
+        collects.
+        """
+        visibility = self.visibility(page_origin, target)
+        signal: dict = {
+            "completed": connect_ok,
+            "latency_ms": latency_ms,
+            "visibility": visibility.value,
+        }
+        if visibility is ResponseVisibility.FULL and connect_ok:
+            signal["readable"] = True
+            if banner is not None:
+                signal["banner"] = banner
+        return signal

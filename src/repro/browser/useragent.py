@@ -1,0 +1,57 @@
+"""Operating-system identities the crawler presents to websites.
+
+The paper crawls with Chrome v84 on Windows 10, Ubuntu 20.04, and
+Mac OS X 10.15.6 (section 3.1).  Websites key OS-specific behaviour off the
+user-agent string (section 5.4 notes dev errors living in "OS-specific
+portions of the website code"), so the simulation carries the real Chrome 84
+UA strings for each platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WINDOWS = "windows"
+LINUX = "linux"
+MAC = "mac"
+
+ALL_OSES: tuple[str, ...] = (WINDOWS, LINUX, MAC)
+
+
+@dataclass(frozen=True, slots=True)
+class OSIdentity:
+    """One crawl platform: name, pretty label, and Chrome 84 user agent."""
+
+    name: str
+    label: str
+    user_agent: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ALL_OSES:
+            raise ValueError(f"unknown OS name {self.name!r}")
+
+
+_CHROME84 = "AppleWebKit/537.36 (KHTML, like Gecko) Chrome/84.0.4147.89 Safari/537.36"
+
+OS_IDENTITIES: dict[str, OSIdentity] = {
+    WINDOWS: OSIdentity(
+        name=WINDOWS,
+        label="Windows 10",
+        user_agent=f"Mozilla/5.0 (Windows NT 10.0; Win64; x64) {_CHROME84}",
+    ),
+    LINUX: OSIdentity(
+        name=LINUX,
+        label="Ubuntu 20.04",
+        user_agent=f"Mozilla/5.0 (X11; Linux x86_64) {_CHROME84}",
+    ),
+    MAC: OSIdentity(
+        name=MAC,
+        label="Mac OS X 10.15.6",
+        user_agent=f"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_6) {_CHROME84}",
+    ),
+}
+
+
+def identity_for(os_name: str) -> OSIdentity:
+    """Look up the identity for an OS name; raises KeyError when unknown."""
+    return OS_IDENTITIES[os_name]

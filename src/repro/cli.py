@@ -1,0 +1,300 @@
+"""Command-line interface for the Knock-and-Talk reproduction.
+
+Four subcommands:
+
+``repro analyze NETLOG.json``
+    Detect and classify local network traffic in a NetLog dump (works on
+    output of ``chrome --log-net-log=...`` for the modelled event types).
+
+``repro study [--scale S] [--population top2020|top2021|malicious]``
+    Run a measurement campaign and print the RQ1/RQ2/RQ3 headline
+    numbers.
+
+``repro table N [--scale S]``
+    Regenerate paper Table N (1–11).
+
+``repro figure N [--scale S]``
+    Regenerate paper Figure N (2–9).
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import figures, rq1, rq3, tables
+from .core.addresses import Locality
+from .core.classifier import BehaviorClassifier
+from .core.detector import LocalTrafficDetector
+from .crawler.campaign import CampaignResult, run_campaign
+from .netlog import NetLogParseError, load
+from .web import seeds as S
+from .web.population import (
+    build_malicious_population,
+    build_top_population,
+)
+
+_DEFAULT_SCALE = 0.02
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Knock and Talk (IMC 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="detect/classify local traffic in a NetLog JSON file"
+    )
+    analyze.add_argument("netlog", help="path to the NetLog JSON file")
+
+    study = sub.add_parser("study", help="run a measurement campaign")
+    study.add_argument(
+        "--population",
+        choices=("top2020", "top2021", "malicious"),
+        default="top2020",
+    )
+    study.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=range(1, 12))
+    table.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=range(2, 10))
+    figure.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+
+    report = sub.add_parser(
+        "report", help="run the full study and emit one report document"
+    )
+    report.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+    report.add_argument(
+        "--output", "-o", default=None, help="write the report to a file"
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the campaigns and score them against the paper's numbers",
+    )
+    validate.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+
+    lint = sub.add_parser(
+        "lint",
+        help="lint a seeded site for local network requests (§5.4)",
+    )
+    lint.add_argument("domain", help="a domain from the seeded populations")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_analyze(path: str) -> int:
+    try:
+        with open(path) as fp:
+            events = load(fp, strict=False)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except NetLogParseError as exc:
+        print(f"error: not a NetLog document: {exc}", file=sys.stderr)
+        return 2
+
+    detection = LocalTrafficDetector().detect(events)
+    print(f"{len(events)} events, {detection.total_flows} request flows")
+    if not detection.has_local_activity:
+        print("no localhost or LAN traffic detected")
+        return 0
+    print(f"{len(detection.requests)} locally-bound requests:")
+    for request in detection.requests:
+        note = " (via redirect)" if request.via_redirect else ""
+        print(
+            f"  [{request.locality.value:<9}] "
+            f"{request.scheme}://{request.host}:{request.port}"
+            f"{request.path}{note}"
+        )
+    verdict = BehaviorClassifier().classify(detection.requests)
+    print(f"classification: {verdict.behavior.value}")
+    if verdict.match:
+        print(f"signature: {verdict.signature_name} "
+              f"({verdict.match.confidence:.0%}) — {verdict.match.detail}")
+    return 0
+
+
+def _campaign(population_name: str, scale: float) -> CampaignResult:
+    if population_name == "malicious":
+        return run_campaign(build_malicious_population(scale=scale))
+    year = 2020 if population_name == "top2020" else 2021
+    return run_campaign(build_top_population(year, scale=scale))
+
+
+def _cmd_study(population_name: str, scale: float) -> int:
+    print(f"crawling {population_name} at scale {scale:.1%} ...")
+    result = _campaign(population_name, scale)
+    summary = rq1.summarize_activity(result.findings, Locality.LOCALHOST)
+    lan = [f for f in result.findings if f.has_lan_activity]
+    print(f"localhost-active sites: {summary.total_sites}")
+    print(f"per OS: {summary.per_os}")
+    print(f"LAN-active sites: {len(lan)}")
+    print("behaviour classes:")
+    for behavior, count in sorted(
+        rq3.behavior_counts(result.findings, Locality.LOCALHOST).items(),
+        key=lambda kv: -kv[1],
+    ):
+        print(f"  {behavior.value:<24}{count:>5}")
+    return 0
+
+
+def _cmd_table(number: int, scale: float) -> int:
+    if number == 4:
+        print(tables.table_4().text)
+        return 0
+    if number in (1,):
+        result_2020 = _campaign("top2020", scale)
+        result_2021 = _campaign("top2021", scale)
+        result_malicious = _campaign("malicious", scale / 2)
+        stats = (
+            list(result_2020.stats.values())
+            + list(result_2021.stats.values())
+            + list(result_malicious.stats.values())
+        )
+        print(tables.table_1(stats).text)
+        return 0
+    if number in (2, 8, 9):
+        result = _campaign("malicious", scale)
+        if number == 2:
+            sizes = {
+                "malware": S.MALWARE_COUNT,
+                "abuse": S.ABUSE_COUNT,
+                "phishing": S.PHISHING_COUNT,
+            }
+            print(tables.table_2(result.findings, result.stats, sizes).text)
+        elif number == 8:
+            print(tables.table_8(result.findings).text)
+        else:
+            print(tables.table_9(result.findings).text)
+        return 0
+    if number in (7, 10):
+        result_2021 = _campaign("top2021", scale)
+        if number == 10:
+            print(tables.table_10(result_2021.findings).text)
+            return 0
+        result_2020 = _campaign("top2020", scale)
+        print(tables.table_7(result_2021.findings, result_2020.findings).text)
+        return 0
+    result = _campaign("top2020", scale)
+    renderer = {
+        3: tables.table_3,
+        5: tables.table_5,
+        6: tables.table_6,
+        11: tables.table_11,
+    }[number]
+    print(renderer(result.findings).text)
+    return 0
+
+
+def _cmd_figure(number: int, scale: float) -> int:
+    if number in (6, 8, 9):
+        result = _campaign("top2021", scale)
+        renderer = {
+            6: figures.figure_6,
+            8: figures.figure_8,
+            9: figures.figure_9,
+        }[number]
+        print(renderer(result.findings).text)
+        return 0
+    if number == 7:
+        result = _campaign("malicious", scale)
+        print(figures.figure_7(result.findings).text)
+        return 0
+    result = _campaign("top2020", scale)
+    if number == 2:
+        print(figures.figure_2(result.findings).text)
+        malicious = _campaign("malicious", scale)
+        print(figures.figure_2(malicious.findings, name="Figure 2b").text)
+    elif number == 3:
+        print(figures.figure_3(result.findings).text)
+    elif number == 4:
+        malicious = _campaign("malicious", scale)
+        print(figures.figure_4(result.findings, malicious.findings).text)
+    elif number == 5:
+        print(figures.figure_5(result.findings).text)
+    return 0
+
+
+def _cmd_report(scale: float, output: str | None) -> int:
+    from .analysis.report_doc import StudyResults, render_report
+
+    results = StudyResults(
+        top2020=_campaign("top2020", scale),
+        top2021=_campaign("top2021", scale),
+        malicious=_campaign("malicious", scale / 2),
+    )
+    text = render_report(results)
+    if output:
+        with open(output, "w") as fp:
+            fp.write(text + "\n")
+        print(f"report written to {output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_validate(scale: float) -> int:
+    from .analysis.validate import validate
+
+    failures = 0
+    for population_name in ("top2020", "top2021", "malicious"):
+        print(f"\n== {population_name} (scale {scale:.1%}) ==")
+        result = _campaign(population_name, scale)
+        card = validate(result)
+        print(card.render())
+        failures += card.failed
+    return 0 if failures == 0 else 1
+
+
+def _cmd_lint(domain: str) -> int:
+    from .defense.devlint import lint_website
+
+    for builder, kwargs in (
+        (build_top_population, {"year": 2020}),
+        (build_top_population, {"year": 2021}),
+        (build_malicious_population, {}),
+    ):
+        population = builder(scale=0.001, **kwargs)  # type: ignore[operator]
+        if domain in population.by_domain:
+            report = lint_website(population.website(domain))
+            print(report.render())
+            return 0
+    print(f"error: {domain} is not in any seeded population", file=sys.stderr)
+    return 2
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args.netlog)
+    if args.command == "study":
+        return _cmd_study(args.population, args.scale)
+    if args.command == "table":
+        return _cmd_table(args.number, args.scale)
+    if args.command == "figure":
+        return _cmd_figure(args.number, args.scale)
+    if args.command == "report":
+        return _cmd_report(args.scale, args.output)
+    if args.command == "validate":
+        return _cmd_validate(args.scale)
+    if args.command == "lint":
+        return _cmd_lint(args.domain)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

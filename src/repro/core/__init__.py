@@ -1,0 +1,107 @@
+"""Core library: local-traffic detection and behaviour classification.
+
+This package is the paper's primary contribution as reusable code.  It is
+independent of the simulation substrate — feed it parsed NetLog events
+(from :mod:`repro.netlog.parser`, including logs captured from real Chrome)
+and it will find locally-bound requests and attribute them to the paper's
+behaviour taxonomy.
+"""
+
+from .addresses import (
+    Locality,
+    RequestTarget,
+    TargetParseError,
+    classify_host,
+    classify_url,
+    parse_target,
+)
+from .classifier import BehaviorClassifier, Classification
+from .detector import DetectionResult, LocalRequest, LocalTrafficDetector
+from .fingerprint import (
+    DEFAULT_SERVICE_POOL,
+    FingerprintStudy,
+    HostProfile,
+    ScanObservation,
+    run_study,
+    scan_host,
+    synthetic_host_population,
+)
+from .flows import RequestFlow, extract_flows, page_load_time
+from .ports import (
+    BIGIP_ASM_PORTS,
+    DEFAULT_REGISTRY,
+    THREATMETRIX_PORTS,
+    PortRegistry,
+    PortService,
+    ScanPurpose,
+)
+from .report import (
+    OS_ORDER,
+    SiteFinding,
+    findings_with_activity,
+    os_overlap_partition,
+    per_os_totals,
+)
+from .signatures import (
+    BIGIP_ASM_SIGNATURE,
+    CENSORSHIP_SIGNATURE,
+    LAN_SWEEP_SIGNATURE,
+    NATIVE_APP_SIGNATURES,
+    THREATMETRIX_SIGNATURE,
+    BehaviorClass,
+    DeveloperErrorKind,
+    DeveloperErrorSignature,
+    EndpointSignature,
+    PortScanSignature,
+    Signature,
+    SignatureMatch,
+    default_signatures,
+)
+
+__all__ = [
+    "DEFAULT_SERVICE_POOL",
+    "FingerprintStudy",
+    "HostProfile",
+    "ScanObservation",
+    "run_study",
+    "scan_host",
+    "synthetic_host_population",
+    "CENSORSHIP_SIGNATURE",
+    "LAN_SWEEP_SIGNATURE",
+    "Locality",
+    "RequestTarget",
+    "TargetParseError",
+    "classify_host",
+    "classify_url",
+    "parse_target",
+    "BehaviorClassifier",
+    "Classification",
+    "DetectionResult",
+    "LocalRequest",
+    "LocalTrafficDetector",
+    "RequestFlow",
+    "extract_flows",
+    "page_load_time",
+    "BIGIP_ASM_PORTS",
+    "DEFAULT_REGISTRY",
+    "THREATMETRIX_PORTS",
+    "PortRegistry",
+    "PortService",
+    "ScanPurpose",
+    "OS_ORDER",
+    "SiteFinding",
+    "findings_with_activity",
+    "os_overlap_partition",
+    "per_os_totals",
+    "BIGIP_ASM_SIGNATURE",
+    "NATIVE_APP_SIGNATURES",
+    "THREATMETRIX_SIGNATURE",
+    "BehaviorClass",
+    "DeveloperErrorKind",
+    "DeveloperErrorSignature",
+    "EndpointSignature",
+    "PortScanSignature",
+    "Signature",
+    "SignatureMatch",
+    "default_signatures",
+]

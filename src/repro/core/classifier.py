@@ -1,0 +1,96 @@
+"""Behaviour classification of a site's local-network activity (RQ3).
+
+The classifier runs the signature chain from
+:mod:`repro.core.signatures` over the local requests observed for a site,
+merging evidence gathered across OSes (the paper classifies the *site*,
+while individual behaviours may only manifest on some OSes — e.g.
+ThreatMetrix only on Windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .detector import LocalRequest
+from .signatures import (
+    BehaviorClass,
+    DeveloperErrorKind,
+    Signature,
+    SignatureMatch,
+    default_signatures,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Classification:
+    """The verdict for one site."""
+
+    behavior: BehaviorClass
+    match: SignatureMatch | None = None
+
+    @property
+    def signature_name(self) -> str | None:
+        return self.match.signature if self.match else None
+
+    @property
+    def dev_error_kind(self) -> DeveloperErrorKind | None:
+        return self.match.dev_error_kind if self.match else None
+
+
+@dataclass(slots=True)
+class ClassifierStats:
+    """Counters over a classification run, for reporting and tests."""
+
+    total: int = 0
+    by_behavior: dict[BehaviorClass, int] = field(default_factory=dict)
+
+    def record(self, verdict: Classification) -> None:
+        self.total += 1
+        self.by_behavior[verdict.behavior] = (
+            self.by_behavior.get(verdict.behavior, 0) + 1
+        )
+
+
+class BehaviorClassifier:
+    """Signature-chain classifier over per-site local requests.
+
+    The chain is evaluated in order and the first match wins; sites whose
+    traffic matches nothing are classified UNKNOWN — exactly the residual
+    category the paper could not explain (Appendix C).
+    """
+
+    def __init__(self, signatures: Sequence[Signature] | None = None) -> None:
+        self._signatures: tuple[Signature, ...] = tuple(
+            signatures if signatures is not None else default_signatures()
+        )
+        self.stats = ClassifierStats()
+
+    @property
+    def signatures(self) -> tuple[Signature, ...]:
+        return self._signatures
+
+    def classify(self, requests: Sequence[LocalRequest]) -> Classification:
+        """Classify the merged local requests of one site."""
+        for signature in self._signatures:
+            match = signature.match(requests)
+            if match is not None:
+                verdict = Classification(behavior=match.behavior, match=match)
+                self.stats.record(verdict)
+                return verdict
+        verdict = Classification(behavior=BehaviorClass.UNKNOWN)
+        self.stats.record(verdict)
+        return verdict
+
+    def classify_per_os(
+        self, per_os_requests: Mapping[str, Sequence[LocalRequest]]
+    ) -> Classification:
+        """Classify a site from evidence split across OSes.
+
+        All requests are pooled: a behaviour that only manifests on one OS
+        (the common case — section 4.1) still determines the site verdict.
+        """
+        merged: list[LocalRequest] = []
+        for requests in per_os_requests.values():
+            merged.extend(requests)
+        return self.classify(merged)

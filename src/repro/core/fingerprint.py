@@ -1,0 +1,209 @@
+"""Host-fingerprinting potential of local network scans (paper §5.2).
+
+The paper's discussion section argues that the host profiling performed
+for fraud/bot detection "can naturally be extended for user
+fingerprinting and tracking": the set of localhost services and LAN
+devices visible to a webpage is a high-entropy, fairly stable feature
+vector.  This module quantifies that claim:
+
+* :class:`HostProfile` — what a scan observes on one machine;
+* :func:`scan_host` — run a scan profile (a port list) against a
+  simulated machine's service table, producing the observable vector;
+* :class:`FingerprintStudy` — given a population of host profiles,
+  compute anonymity-set sizes, uniqueness, and Shannon entropy of the
+  scan observable — the standard fingerprinting metrics (Eckersley-style).
+
+This is reproduction *extension* code: the paper hypothesises the risk,
+we make it measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..browser.network import LocalServiceTable, PortState, SimulatedNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class HostProfile:
+    """One machine's locally visible services."""
+
+    label: str
+    open_ports: frozenset[int]
+    lan_devices: frozenset[str] = frozenset()
+
+    def service_table(self) -> LocalServiceTable:
+        table = LocalServiceTable()
+        for port in self.open_ports:
+            table.open_service("127.0.0.1", port)
+        for device in self.lan_devices:
+            table.open_service(device, 80)
+        return table
+
+
+@dataclass(frozen=True, slots=True)
+class ScanObservation:
+    """What one scan of one host observes — the fingerprint feature."""
+
+    open_ports: tuple[int, ...]
+    reachable_devices: tuple[str, ...] = ()
+
+    def as_key(self) -> tuple:
+        """Hashable feature vector for anonymity-set grouping."""
+        return (self.open_ports, self.reachable_devices)
+
+    @property
+    def bits_observed(self) -> int:
+        """Number of positive signals in the observation."""
+        return len(self.open_ports) + len(self.reachable_devices)
+
+
+def scan_host(
+    profile: HostProfile,
+    ports: Sequence[int],
+    *,
+    devices: Sequence[str] = (),
+) -> ScanObservation:
+    """Run a web-based scan against one host profile.
+
+    Only liveness is recorded — the signal available even to SOP-bound
+    HTTP probes via the timing side channel (section 4.3.2).
+    """
+    network = SimulatedNetwork(services=profile.service_table())
+    open_ports = tuple(
+        port for port in sorted(set(ports))
+        if network.connect("127.0.0.1", port).ok
+    )
+    reachable = tuple(
+        device for device in sorted(set(devices))
+        if network.connect(device, 80).ok
+    )
+    return ScanObservation(open_ports=open_ports, reachable_devices=reachable)
+
+
+@dataclass(slots=True)
+class FingerprintStudy:
+    """Fingerprinting metrics over a population of scan observations."""
+
+    observations: list[ScanObservation] = field(default_factory=list)
+
+    def add(self, observation: ScanObservation) -> None:
+        self.observations.append(observation)
+
+    # -- metrics -----------------------------------------------------------
+
+    def anonymity_sets(self) -> dict[tuple, int]:
+        """Observation vector -> number of hosts sharing it."""
+        return dict(Counter(o.as_key() for o in self.observations))
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the observable over the population.
+
+        The paper's claim is that local scans yield "high entropy
+        features"; this is that number.  0.0 for an empty or uniform
+        population.
+        """
+        n = len(self.observations)
+        if n == 0:
+            return 0.0
+        entropy = 0.0
+        for count in self.anonymity_sets().values():
+            p = count / n
+            entropy -= p * math.log2(p)
+        return entropy
+
+    def max_entropy_bits(self) -> float:
+        """Upper bound: log2 of the population size."""
+        n = len(self.observations)
+        return math.log2(n) if n else 0.0
+
+    def unique_fraction(self) -> float:
+        """Fraction of hosts whose observation is population-unique."""
+        n = len(self.observations)
+        if n == 0:
+            return 0.0
+        unique = sum(
+            count for count in self.anonymity_sets().values() if count == 1
+        )
+        return unique / n
+
+    def median_anonymity_set(self) -> float:
+        """Median size of the anonymity set a host lands in."""
+        n = len(self.observations)
+        if n == 0:
+            return 0.0
+        sets = self.anonymity_sets()
+        sizes = sorted(sets[o.as_key()] for o in self.observations)
+        mid = n // 2
+        if n % 2:
+            return float(sizes[mid])
+        return (sizes[mid - 1] + sizes[mid]) / 2.0
+
+
+def run_study(
+    profiles: Iterable[HostProfile],
+    ports: Sequence[int],
+    *,
+    devices: Sequence[str] = (),
+) -> FingerprintStudy:
+    """Scan every host profile and collect the fingerprint study."""
+    study = FingerprintStudy()
+    for profile in profiles:
+        study.add(scan_host(profile, ports, devices=devices))
+    return study
+
+
+def synthetic_host_population(
+    size: int,
+    *,
+    seed: int = 7,
+    service_pool: Sequence[int] = (),
+    adoption: Sequence[float] = (),
+) -> list[HostProfile]:
+    """Generate a deterministic population of host profiles.
+
+    ``service_pool[i]`` is installed on a host with probability
+    ``adoption[i]`` — modelling e.g. "30% of users run Discord, 5% run
+    TeamViewer".  A seeded PRNG keeps populations reproducible.
+    """
+    import random
+
+    if len(service_pool) != len(adoption):
+        raise ValueError("service_pool and adoption must align")
+    if any(not 0.0 <= p <= 1.0 for p in adoption):
+        raise ValueError("adoption rates must be probabilities")
+    rng = random.Random(seed)
+    profiles = []
+    for index in range(size):
+        open_ports = frozenset(
+            port
+            for port, rate in zip(service_pool, adoption)
+            if rng.random() < rate
+        )
+        profiles.append(HostProfile(label=f"host-{index:05d}", open_ports=open_ports))
+    return profiles
+
+
+#: A realistic localhost service pool with adoption rates, assembled from
+#: the native applications and remote-control software the paper
+#: encountered (Tables 4/5 and Appendix A).
+DEFAULT_SERVICE_POOL: tuple[tuple[int, float], ...] = (
+    (3389, 0.08),   # Windows RDP enabled
+    (5900, 0.04),   # VNC
+    (5939, 0.06),   # TeamViewer
+    (7070, 0.03),   # AnyDesk
+    (6463, 0.30),   # Discord client
+    (28337, 0.05),  # FACEIT anti-cheat
+    (12071, 0.02),  # GameHouse manager
+    (5320, 0.01),   # Screenleap
+    (6878, 0.01),   # Ace Stream
+    (16422, 0.04),  # iQIYI
+    (28317, 0.03),  # Thunder
+    (17556, 0.02),  # Edge WebDriver (developers)
+    (35729, 0.02),  # LiveReload (developers)
+    (8080, 0.07),   # local dev HTTP server
+    (3000, 0.06),   # local dev node server
+)

@@ -1,0 +1,137 @@
+"""Port → service knowledge base (paper Table 4 plus an IANA-style registry).
+
+The paper maps the localhost ports scanned by fraud- and bot-detection
+scripts to the services (or malware) that conventionally listen on them,
+using IANA's Service Name and Transport Protocol Port Number Registry and
+the SANS ISC port database.  This module encodes that mapping, exposes
+lookups, and distinguishes the two scan profiles the paper identified:
+
+* the **ThreatMetrix** (LexisNexis) fraud-detection profile — 14 WSS probes
+  aimed at remote-desktop/remote-control software ports;
+* the **BIG-IP ASM Bot Defense** (F5) profile — 7 HTTP probes aimed at
+  well-known malware and browser-automation ports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScanPurpose(enum.Enum):
+    """Why an anti-abuse script probes a given port (Table 4's last column)."""
+
+    FRAUD_DETECTION = "fraud detection"
+    BOT_DETECTION = "bot detection"
+
+
+@dataclass(frozen=True, slots=True)
+class PortService:
+    """One row of the port knowledge base."""
+
+    port: int
+    service: str
+    purpose: ScanPurpose
+    is_malware: bool = False
+
+    def describe(self) -> str:
+        prefix = "Malware: " if self.is_malware else ""
+        return f"{self.port}: {prefix}{self.service} ({self.purpose.value})"
+
+
+def _rows() -> list[PortService]:
+    fraud = ScanPurpose.FRAUD_DETECTION
+    bot = ScanPurpose.BOT_DETECTION
+    return [
+        PortService(3389, "Windows Remote Desktop", fraud),
+        PortService(4444, "CrackDown, Prosiak, Swift Remote", bot, is_malware=True),
+        PortService(4653, "Cero", bot, is_malware=True),
+        PortService(5555, "ServeMe", bot, is_malware=True),
+        PortService(5279, "Unknown", fraud),
+        PortService(5900, "Remote Framebuffer (e.g., VNC)", fraud),
+        PortService(5901, "Remote Framebuffer (e.g., VNC)", fraud),
+        PortService(5902, "Remote Framebuffer (e.g., VNC)", fraud),
+        PortService(5903, "Remote Framebuffer (e.g., VNC)", fraud),
+        PortService(5931, "AMMYY Remote Control", fraud),
+        PortService(5939, "TeamViewer", fraud),
+        PortService(5944, "Unknown (likely VNC)", fraud),
+        PortService(5950, "Cisco Remote Expert Manager", fraud),
+        PortService(6039, "X Window System", fraud),
+        PortService(6040, "X Window System", fraud),
+        PortService(63333, "Tripp Lite PowerAlert UPS", fraud),
+        PortService(7054, "QuickTime Streaming Server", bot),
+        PortService(7055, "QuickTime Streaming Server", bot),
+        PortService(7070, "AnyDesk Remote Desktop", fraud),
+        PortService(9515, "W32.Loxbot.A", bot, is_malware=True),
+        PortService(17556, "Microsoft Edge WebDriver", bot),
+    ]
+
+
+class PortRegistry:
+    """Queryable registry over the Table 4 knowledge base.
+
+    The registry is intentionally open: callers may :meth:`register`
+    additional mappings (e.g. native-application control ports discovered
+    during analysis) without mutating the canonical table, because each
+    instance owns its rows.
+    """
+
+    def __init__(self, rows: list[PortService] | None = None) -> None:
+        self._by_port: dict[int, PortService] = {}
+        for row in rows if rows is not None else _rows():
+            self.register(row)
+
+    def register(self, row: PortService) -> None:
+        """Add or replace the entry for ``row.port``."""
+        if not 0 < row.port <= 65535:
+            raise ValueError(f"invalid port {row.port}")
+        self._by_port[row.port] = row
+
+    def lookup(self, port: int) -> PortService | None:
+        """The known service on ``port``, or None."""
+        return self._by_port.get(port)
+
+    def service_name(self, port: int) -> str:
+        row = self.lookup(port)
+        return row.service if row else "Unknown"
+
+    def ports_for(self, purpose: ScanPurpose) -> frozenset[int]:
+        """All ports associated with a scan purpose."""
+        return frozenset(
+            port for port, row in self._by_port.items() if row.purpose is purpose
+        )
+
+    def malware_ports(self) -> frozenset[int]:
+        """Ports conventionally used by known malware."""
+        return frozenset(
+            port for port, row in self._by_port.items() if row.is_malware
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_port)
+
+    def rows(self) -> list[PortService]:
+        """All rows, sorted by port (Table 4 order)."""
+        return sorted(self._by_port.values(), key=lambda row: row.port)
+
+
+#: Module-level registry with the canonical Table 4 contents.
+DEFAULT_REGISTRY = PortRegistry()
+
+#: The 14 localhost ports the ThreatMetrix fraud-detection script probes
+#: over WSS on Windows (section 4.3.1).
+THREATMETRIX_PORTS: tuple[int, ...] = (
+    3389, 5279, 5900, 5901, 5902, 5903, 5931, 5939, 5944, 5950, 6039, 6040,
+    63333, 7070,
+)
+
+#: The 7 localhost ports BIG-IP ASM Bot Defense probes over HTTP on
+#: Windows (section 4.3.2).
+BIGIP_ASM_PORTS: tuple[int, ...] = (4444, 4653, 5555, 7054, 7055, 9515, 17556)
+
+assert frozenset(THREATMETRIX_PORTS) == DEFAULT_REGISTRY.ports_for(
+    ScanPurpose.FRAUD_DETECTION
+)
+assert frozenset(BIGIP_ASM_PORTS) == DEFAULT_REGISTRY.ports_for(
+    ScanPurpose.BOT_DETECTION
+)

@@ -1,0 +1,136 @@
+"""Findings records: the per-site artefacts the analysis layer consumes.
+
+A :class:`SiteFinding` aggregates everything measured about one website
+across the OSes it was crawled on — the detected local requests, the
+behaviour classification, and convenience accessors for the groupings the
+paper's tables use (OS flags, protocol/port sets, delay to first local
+request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .addresses import Locality
+from .classifier import Classification
+from .detector import DetectionResult, LocalRequest
+from .signatures import BehaviorClass, DeveloperErrorKind
+
+#: Canonical OS key order used throughout reporting (matches the paper's
+#: column order W / L / M).
+OS_ORDER: tuple[str, ...] = ("windows", "linux", "mac")
+
+
+@dataclass(slots=True)
+class SiteFinding:
+    """Measured local-network behaviour of one website."""
+
+    domain: str
+    rank: int | None = None
+    population: str = ""
+    category: str | None = None
+    per_os: dict[str, DetectionResult] = field(default_factory=dict)
+    classification: Classification | None = None
+
+    # -- basic accessors -------------------------------------------------
+
+    def oses_with_activity(self, locality: Locality) -> tuple[str, ...]:
+        """OSes on which the site generated traffic of the given locality."""
+        return tuple(
+            os_name
+            for os_name in OS_ORDER
+            if os_name in self.per_os
+            and any(r.locality is locality for r in self.per_os[os_name].requests)
+        )
+
+    def has_activity(self, locality: Locality) -> bool:
+        return bool(self.oses_with_activity(locality))
+
+    @property
+    def has_localhost_activity(self) -> bool:
+        return self.has_activity(Locality.LOCALHOST)
+
+    @property
+    def has_lan_activity(self) -> bool:
+        return self.has_activity(Locality.LAN)
+
+    @property
+    def behavior(self) -> BehaviorClass | None:
+        return self.classification.behavior if self.classification else None
+
+    @property
+    def dev_error_kind(self) -> DeveloperErrorKind | None:
+        return self.classification.dev_error_kind if self.classification else None
+
+    # -- request-level views ----------------------------------------------
+
+    def requests(
+        self, locality: Locality | None = None, os_name: str | None = None
+    ) -> list[LocalRequest]:
+        """Flattened local requests, optionally filtered."""
+        out: list[LocalRequest] = []
+        for key in OS_ORDER:
+            if os_name is not None and key != os_name:
+                continue
+            result = self.per_os.get(key)
+            if result is None:
+                continue
+            for request in result.requests:
+                if locality is None or request.locality is locality:
+                    out.append(request)
+        return out
+
+    def ports(self, locality: Locality, os_name: str | None = None) -> set[int]:
+        return {r.port for r in self.requests(locality, os_name)}
+
+    def schemes(self, locality: Locality, os_name: str | None = None) -> set[str]:
+        return {r.scheme for r in self.requests(locality, os_name)}
+
+    def lan_addresses(self) -> set[str]:
+        """Distinct private IPs the site contacted (Tables 6/9/10)."""
+        return {r.host for r in self.requests(Locality.LAN)}
+
+    def first_request_delay_ms(
+        self, locality: Locality, os_name: str
+    ) -> float | None:
+        result = self.per_os.get(os_name)
+        if result is None:
+            return None
+        return result.first_local_request_delay_ms(locality)
+
+
+def findings_with_activity(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> list[SiteFinding]:
+    """Filter findings down to sites with activity of the given locality."""
+    return [f for f in findings if f.has_activity(locality)]
+
+
+def os_overlap_partition(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> dict[frozenset[str], int]:
+    """Partition active sites by the exact OS subset showing activity.
+
+    This is the data behind Figure 2's Venn diagrams: keys are frozensets
+    of OS names, values are site counts.  Sites without activity are not
+    represented.
+    """
+    partition: dict[frozenset[str], int] = {}
+    for finding in findings:
+        oses = frozenset(finding.oses_with_activity(locality))
+        if not oses:
+            continue
+        partition[oses] = partition.get(oses, 0) + 1
+    return partition
+
+
+def per_os_totals(
+    findings: Iterable[SiteFinding], locality: Locality
+) -> dict[str, int]:
+    """Sites-with-activity count per OS (Figure 2 circle sizes)."""
+    totals = {os_name: 0 for os_name in OS_ORDER}
+    for finding in findings:
+        for os_name in finding.oses_with_activity(locality):
+            totals[os_name] += 1
+    return totals

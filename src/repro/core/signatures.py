@@ -1,0 +1,547 @@
+"""Behaviour signatures for classifying website local-network activity.
+
+Section 4.3 of the paper attributes each observed site's local traffic to
+one of four causes — fraud detection, bot detection, native-application
+communication, developer error — or marks it unknown.  The attribution was
+manual in the paper; here we encode the distinguishing characteristics the
+authors describe (port sets, schemes, URL paths, which OSes the behaviour
+appears on) as matchable signatures, so the classification is reproducible
+and applicable to new telemetry.
+
+Signatures match against the set of :class:`~repro.core.detector.LocalRequest`
+records for one (site, OS) page load.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .detector import LocalRequest
+from .ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
+
+
+class BehaviorClass(enum.Enum):
+    """The paper's RQ3 taxonomy of local-traffic causes.
+
+    ``INTERNAL_ATTACK`` extends the taxonomy with the class the paper
+    explicitly searched for and did not find: web-based discovery/attack
+    sweeps of the LAN (section 2.1's threat model).  Keeping it in the
+    classifier means the pipeline *would* flag such behaviour, and the
+    measured count of zero across all crawls is a finding, not a blind
+    spot.
+    """
+
+    INTERNAL_ATTACK = "Internal Network Attack"
+    FRAUD_DETECTION = "Fraud Detection"
+    BOT_DETECTION = "Bot Detection"
+    NATIVE_APPLICATION = "Native Application"
+    DEVELOPER_ERROR = "Developer Errors"
+    UNKNOWN = "Unknown"
+
+
+class DeveloperErrorKind(enum.Enum):
+    """Sub-taxonomy of developer errors (paper Appendix B / Table 11)."""
+
+    LOCAL_FILE_SERVER = "Local file server"
+    PEN_TEST = "Pen test"
+    LIVERELOAD = "LiveReload.js"
+    REDIRECT = "Redirect"
+    SOCKJS_NODE = "SocksJS-Node"
+    OTHER_LOCAL_SERVICE = "Other local services"
+
+
+@dataclass(frozen=True, slots=True)
+class SignatureMatch:
+    """The outcome of matching one signature against a page's requests."""
+
+    behavior: BehaviorClass
+    signature: str
+    confidence: float
+    detail: str = ""
+    dev_error_kind: DeveloperErrorKind | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be within [0, 1]")
+
+
+class Signature:
+    """Base class: a named matcher over a page's local requests.
+
+    Subclasses provide ``name`` and ``behavior`` (as dataclass fields or
+    class attributes) and implement :meth:`match`.
+    """
+
+    name: str
+    behavior: BehaviorClass
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PortScanSignature(Signature):
+    """Matches a port-scan profile: scheme + port set + path pattern.
+
+    ``min_ports`` guards against over-triggering: the anti-abuse scanners
+    probe many ports in one burst, so seeing a single coinciding port (for
+    example a developer-error fetch to port 4444) must not match.
+    """
+
+    name: str
+    behavior: BehaviorClass
+    scheme: str
+    ports: frozenset[int]
+    path_pattern: str = r"^/$"
+    min_ports: int = 4
+    host_must_be_localhost: bool = True
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        pattern = re.compile(self.path_pattern)
+        hit_ports = {
+            r.port
+            for r in requests
+            if r.scheme == self.scheme
+            and r.port in self.ports
+            and pattern.match(r.path)
+        }
+        if len(hit_ports) < self.min_ports:
+            return None
+        coverage = len(hit_ports) / len(self.ports)
+        return SignatureMatch(
+            behavior=self.behavior,
+            signature=self.name,
+            confidence=min(1.0, 0.5 + 0.5 * coverage),
+            detail=f"{len(hit_ports)}/{len(self.ports)} profile ports probed over {self.scheme}",
+        )
+
+
+@dataclass(frozen=True)
+class EndpointSignature(Signature):
+    """Matches a native-application control endpoint.
+
+    Native apps expose fixed local ports and characteristic URL paths
+    (e.g. Discord's ``/?v=1`` on 6463–6472, Thunder's
+    ``/get_thunder_version/``).  One matching request suffices.
+    """
+
+    name: str
+    app: str
+    ports: frozenset[int]
+    path_pattern: str
+    schemes: frozenset[str] = frozenset({"http", "https", "ws", "wss"})
+    behavior: BehaviorClass = BehaviorClass.NATIVE_APPLICATION
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        pattern = re.compile(self.path_pattern)
+        for request in requests:
+            if (
+                request.scheme in self.schemes
+                and request.port in self.ports
+                and pattern.match(request.path)
+            ):
+                return SignatureMatch(
+                    behavior=self.behavior,
+                    signature=self.name,
+                    confidence=0.9,
+                    detail=f"{self.app} endpoint {request.target.url()}",
+                )
+        return None
+
+
+#: The ThreatMetrix (LexisNexis) fraud-detection profile: 14 WSS probes of
+#: remote-desktop ports with path "/", observed only on Windows.
+THREATMETRIX_SIGNATURE = PortScanSignature(
+    name="threatmetrix",
+    behavior=BehaviorClass.FRAUD_DETECTION,
+    scheme="wss",
+    ports=frozenset(THREATMETRIX_PORTS),
+    path_pattern=r"^/$",
+    min_ports=6,
+)
+
+#: The F5 BIG-IP ASM Bot Defense profile: 7 HTTP probes of malware /
+#: automation ports with path "/", observed only on Windows.
+BIGIP_ASM_SIGNATURE = PortScanSignature(
+    name="bigip-asm-bot-defense",
+    behavior=BehaviorClass.BOT_DETECTION,
+    scheme="http",
+    ports=frozenset(BIGIP_ASM_PORTS),
+    path_pattern=r"^/$",
+    min_ports=4,
+)
+
+
+def _native_app_signatures() -> list[EndpointSignature]:
+    """Native-application endpoints catalogued in section 4.3.3/Appendix A
+    and Table 7 (2021 additions)."""
+    return [
+        EndpointSignature(
+            name="discord-client",
+            app="Discord",
+            ports=frozenset(range(6463, 6473)),
+            path_pattern=r"^/\?v=1$",
+            schemes=frozenset({"ws"}),
+        ),
+        EndpointSignature(
+            name="faceit-client",
+            app="FACEIT anti-cheat client",
+            ports=frozenset({28337}),
+            path_pattern=r"^/$",
+            schemes=frozenset({"ws"}),
+        ),
+        EndpointSignature(
+            name="nprotect-online-security",
+            app="INCA nProtect Online Security",
+            ports=frozenset(range(14440, 14450)),
+            path_pattern=r"^/(\?code=.*)?$",
+            schemes=frozenset({"https"}),
+        ),
+        EndpointSignature(
+            name="anysign",
+            app="Hancom AnySign for PC",
+            ports=frozenset({10531, 31027, 31029}),
+            path_pattern=r"^/$",
+            schemes=frozenset({"wss"}),
+        ),
+        EndpointSignature(
+            name="gamehouse-client",
+            app="GameHouse / Zylom game manager",
+            ports=frozenset({12071, 12072, 17021, 27021}),
+            path_pattern=r"^/v1/init\.json",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="iwin-client",
+            app="iWin Games client",
+            ports=frozenset({2080, 2081, 2082}),
+            path_pattern=r"^/version",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="gameslol-client",
+            app="Games.lol client",
+            ports=frozenset({60202}),
+            path_pattern=r"^/check$",
+            schemes=frozenset({"ws"}),
+        ),
+        EndpointSignature(
+            name="screenleap-client",
+            app="Screenleap screen-sharing client",
+            ports=frozenset({5320}),
+            path_pattern=r"^/(status|.+/up)$",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="acestream-client",
+            app="Ace Stream media client",
+            ports=frozenset({6878}),
+            path_pattern=r"^/webui/api/service",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="trustdice-client",
+            app="TrustDice helper",
+            ports=frozenset({50005, 51505, 53005, 54505, 56005}),
+            path_pattern=r"^/(socket\.io.*)?$",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="iqiyi-client",
+            app="iQIYI video client",
+            ports=frozenset({16422, 16423}),
+            path_pattern=r"^/get_client_ver",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="thunder-client",
+            app="Thunder (Xunlei) download manager",
+            ports=frozenset({28317, 36759}),
+            path_pattern=r"^/get_thunder_version",
+            schemes=frozenset({"http"}),
+        ),
+        EndpointSignature(
+            name="eimzo-cryptapi",
+            app="E-IMZO digital signature service",
+            ports=frozenset({64443}),
+            path_pattern=r"^/service/cryptapi",
+            schemes=frozenset({"wss"}),
+        ),
+        EndpointSignature(
+            name="gnway-client",
+            app="GNWay remote access client",
+            ports=frozenset(range(38681, 38688)),
+            path_pattern=r"^/$",
+            schemes=frozenset({"ws"}),
+        ),
+        EndpointSignature(
+            name="mcgeeandco-socketio",
+            app="McGee & Co companion service",
+            ports=frozenset({4000}),
+            path_pattern=r"^/socket\.io/",
+            schemes=frozenset({"https"}),
+        ),
+    ]
+
+
+NATIVE_APP_SIGNATURES: tuple[EndpointSignature, ...] = tuple(_native_app_signatures())
+
+
+#: Paths whose presence identifies a developer-error sub-kind.  Order
+#: matters: the first matching rule wins, and more specific artefacts
+#: (pen-test framework files, livereload, sockjs) precede the generic
+#: static-file heuristic.
+_DEV_ERROR_RULES: tuple[tuple[DeveloperErrorKind, re.Pattern[str]], ...] = (
+    (DeveloperErrorKind.PEN_TEST, re.compile(r"/xook\.js$")),
+    (DeveloperErrorKind.LIVERELOAD, re.compile(r"/livereload\.js(\?.*)?$")),
+    (DeveloperErrorKind.SOCKJS_NODE, re.compile(r"^/sockjs-node/info")),
+    (
+        DeveloperErrorKind.LOCAL_FILE_SERVER,
+        re.compile(
+            r"(/wp-content/|/wp-includes/"
+            r"|\.(?:jpg|jpeg|png|gif|ico|css|js|mp4|ogg|svg|woff2?|html?|txt)(\?.*)?$)",
+            re.IGNORECASE,
+        ),
+    ),
+)
+
+#: Local service paths seen as development remnants ("other local
+#: services"): API-ish endpoints that are neither static files nor known
+#: native apps.
+_OTHER_LOCAL_SERVICE = re.compile(
+    r"^/(record/state|setuid|avisos-portal|getCertificados|graphql|"
+    r"app/getLicenseKey|floor-domains|news-ticker\.json|getversionjpg.*|"
+    r"core/js/api/web-rules|MyPhone/.*|usershare/.*)$"
+)
+
+
+class DeveloperErrorSignature(Signature):
+    """Heuristic matcher for development/testing remnants.
+
+    Matches static-file fetches, tool artefacts (LiveReload, SockJS-node,
+    pen-test frameworks), bare-root redirects to 127.0.0.1, and leftover
+    local service endpoints.  Runs after the specific scanner/native-app
+    signatures so it only sees traffic those did not explain.
+    """
+
+    name = "developer-error"
+    behavior = BehaviorClass.DEVELOPER_ERROR
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        kinds: list[tuple[DeveloperErrorKind, str]] = []
+        for request in requests:
+            kind = self._classify_request(request)
+            if kind is not None:
+                kinds.append((kind, request.path))
+        if not kinds:
+            lone = self._lone_root_service(requests)
+            if lone is not None:
+                return lone
+            return None
+        # Report the most specific kind observed (enum order: pen test and
+        # tool artefacts before the generic file-server bucket).
+        priority = {
+            DeveloperErrorKind.PEN_TEST: 0,
+            DeveloperErrorKind.LIVERELOAD: 1,
+            DeveloperErrorKind.SOCKJS_NODE: 2,
+            DeveloperErrorKind.OTHER_LOCAL_SERVICE: 3,
+            DeveloperErrorKind.LOCAL_FILE_SERVER: 4,
+            DeveloperErrorKind.REDIRECT: 5,
+        }
+        kind, path = min(kinds, key=lambda item: priority[item[0]])
+        return SignatureMatch(
+            behavior=BehaviorClass.DEVELOPER_ERROR,
+            signature=f"dev-error:{kind.name.lower()}",
+            confidence=0.7,
+            detail=f"development remnant request to {path}",
+            dev_error_kind=kind,
+        )
+
+    @staticmethod
+    def _lone_root_service(
+        requests: Sequence[LocalRequest],
+    ) -> SignatureMatch | None:
+        """A single bare-root HTTP(S) fetch of one localhost port.
+
+        Distinguishes a leftover local control service (filemail.com's
+        ``http://localhost:56666/``) from multi-port scans and from the
+        LAN censorship iframes, both of which are excluded here.
+        """
+        from .addresses import Locality
+
+        if not requests or any(
+            r.locality is not Locality.LOCALHOST for r in requests
+        ):
+            return None
+        # Distinct endpoints, not raw request count: the same probe seen
+        # across several OS crawls is still one endpoint.
+        endpoints = {(r.scheme, r.port, r.path) for r in requests}
+        if len(endpoints) != 1:
+            return None
+        request = requests[0]
+        if (
+            request.path == "/"
+            and request.scheme in ("http", "https")
+            and not request.via_redirect
+        ):
+            return SignatureMatch(
+                behavior=BehaviorClass.DEVELOPER_ERROR,
+                signature="dev-error:other_local_service",
+                confidence=0.4,
+                detail=f"lone root fetch of localhost:{request.port}",
+                dev_error_kind=DeveloperErrorKind.OTHER_LOCAL_SERVICE,
+            )
+        return None
+
+    @staticmethod
+    def _classify_request(request: LocalRequest) -> DeveloperErrorKind | None:
+        for kind, pattern in _DEV_ERROR_RULES:
+            if pattern.search(request.path):
+                return kind
+        if _OTHER_LOCAL_SERVICE.match(request.path):
+            return DeveloperErrorKind.OTHER_LOCAL_SERVICE
+        if request.via_redirect and request.path == "/":
+            return DeveloperErrorKind.REDIRECT
+        return None
+
+
+DEVELOPER_ERROR_SIGNATURE = DeveloperErrorSignature()
+
+
+#: The LAN blackhole addresses Raman et al. associate with Iranian
+#: censorship middleboxes (Appendix C: 403 pages embedding an iframe at
+#: http://10.10.34.35:80).
+CENSORSHIP_BLACKHOLES = frozenset({"10.10.34.34", "10.10.34.35"})
+
+
+class CensorshipIframeSignature(Signature):
+    """Detects censorship-injected iframes pointed at LAN blackholes.
+
+    The behaviour class stays UNKNOWN — the paper could not confidently
+    classify these — but the named signature lets analyses separate the
+    suspected-censorship cases from the genuinely unexplained residue.
+    """
+
+    name = "censorship-lan-iframe"
+    behavior = BehaviorClass.UNKNOWN
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        for request in requests:
+            if request.host in CENSORSHIP_BLACKHOLES and request.path == "/":
+                return SignatureMatch(
+                    behavior=BehaviorClass.UNKNOWN,
+                    signature=self.name,
+                    confidence=0.6,
+                    detail=f"iframe sourced at http://{request.host}:{request.port}/",
+                )
+        return None
+
+
+CENSORSHIP_SIGNATURE = CensorshipIframeSignature()
+
+
+@dataclass(frozen=True)
+class LanSweepSignature(Signature):
+    """Detects web-based LAN discovery sweeps (the hypothesised attack).
+
+    The proof-of-concept scanners in the literature (sonar.js, lan-js,
+    the Acar et al. IoT attack) share one unmistakable trait: probes to
+    *many distinct private addresses* in one page load, walking a subnet.
+    Legitimate LAN traffic in the wild (Tables 6/9/10) touches exactly
+    one address; the censorship iframes touch one blackhole.  The
+    distinct-host threshold separates the two cleanly.
+    """
+
+    name: str = "lan-sweep"
+    behavior: BehaviorClass = BehaviorClass.INTERNAL_ATTACK
+    min_hosts: int = 5
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        from .addresses import Locality
+
+        hosts = {
+            r.host for r in requests if r.locality is Locality.LAN
+        }
+        if len(hosts) < self.min_hosts:
+            return None
+        sample = ", ".join(sorted(hosts)[:4])
+        return SignatureMatch(
+            behavior=BehaviorClass.INTERNAL_ATTACK,
+            signature=self.name,
+            confidence=min(1.0, 0.6 + 0.05 * len(hosts)),
+            detail=f"swept {len(hosts)} distinct LAN hosts ({sample}, …)",
+        )
+
+
+LAN_SWEEP_SIGNATURE = LanSweepSignature()
+
+
+@dataclass(frozen=True)
+class GenericPortScanSignature(Signature):
+    """Profile-agnostic localhost port-scan detector (§5.1 hardening).
+
+    The deployed ThreatMetrix/BIG-IP signatures match *fixed* port sets —
+    and the paper predicts vendors (and attackers) will change ports once
+    observed.  This matcher keys on scan *shape* instead: many distinct
+    localhost ports probed with one scheme and one path in a burst.
+
+    Deliberately NOT part of :func:`default_signatures`: the paper's
+    taxonomy keeps shape-only scanners (hola.org, wowreality.info) in the
+    Unknown class, and the reproduction follows the paper.  Users
+    monitoring for *future* scan variants can prepend this to their
+    chain.
+    """
+
+    name: str = "generic-localhost-portscan"
+    behavior: BehaviorClass = BehaviorClass.UNKNOWN
+    min_ports: int = 8
+
+    def match(self, requests: Sequence[LocalRequest]) -> SignatureMatch | None:
+        from .addresses import Locality
+
+        by_profile: dict[tuple[str, str], set[int]] = {}
+        for request in requests:
+            if request.locality is not Locality.LOCALHOST:
+                continue
+            key = (request.scheme, request.path)
+            by_profile.setdefault(key, set()).add(request.port)
+        for (scheme, path), ports in by_profile.items():
+            if len(ports) >= self.min_ports:
+                return SignatureMatch(
+                    behavior=self.behavior,
+                    signature=self.name,
+                    confidence=0.5,
+                    detail=(
+                        f"{len(ports)} distinct localhost ports probed over "
+                        f"{scheme} at {path}"
+                    ),
+                )
+        return None
+
+
+GENERIC_PORTSCAN_SIGNATURE = GenericPortScanSignature()
+
+
+def default_signatures() -> list[Signature]:
+    """The full signature chain in evaluation order.
+
+    Specific, high-confidence signatures run first; the developer-error
+    heuristic runs last as a catch-all before UNKNOWN.
+    """
+    chain: list[Signature] = [
+        LAN_SWEEP_SIGNATURE,
+        THREATMETRIX_SIGNATURE,
+        BIGIP_ASM_SIGNATURE,
+    ]
+    chain.extend(NATIVE_APP_SIGNATURES)
+    chain.append(CENSORSHIP_SIGNATURE)
+    chain.append(DEVELOPER_ERROR_SIGNATURE)
+    return chain
+
+
+def iter_signature_names(signatures: Iterable[Signature]) -> list[str]:
+    """Names of the signatures in a chain (diagnostics/reporting)."""
+    return [s.name for s in signatures]

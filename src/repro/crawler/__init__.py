@@ -1,0 +1,20 @@
+"""Measurement harness: connectivity gate, per-OS crawler, campaigns."""
+
+from .campaign import Campaign, CampaignResult, run_campaign
+from .connectivity import PROBE_HOST, PROBE_PORT, ConnectivityChecker
+from .crawl import Crawler, CrawlRecord, CrawlStats
+from .vm import VANTAGE_BY_OS, OSEnvironment
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "run_campaign",
+    "PROBE_HOST",
+    "PROBE_PORT",
+    "ConnectivityChecker",
+    "Crawler",
+    "CrawlRecord",
+    "CrawlStats",
+    "VANTAGE_BY_OS",
+    "OSEnvironment",
+]

@@ -1,0 +1,40 @@
+"""Pre-visit connectivity checking.
+
+Section 3.1: "before visiting a webpage, we first check for network
+connectivity by pinging Google's DNS server (8.8.8.8)", so that load
+failures can be distinguished from measurement-side outages.  The checker
+models that gate, including injectable outages for testing the crawl
+loop's retry/skip behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..browser.network import SimulatedNetwork
+
+PROBE_HOST = "8.8.8.8"
+PROBE_PORT = 53
+
+
+@dataclass(slots=True)
+class ConnectivityChecker:
+    """Checks upstream connectivity before each page visit."""
+
+    network: SimulatedNetwork
+    #: Injected outage flag; set True to simulate losing the uplink.
+    outage: bool = False
+    checks: int = 0
+    failures: int = 0
+
+    def check(self) -> bool:
+        """True when the measurement host can reach the Internet."""
+        self.checks += 1
+        if self.outage:
+            self.failures += 1
+            return False
+        outcome = self.network.connect(PROBE_HOST, PROBE_PORT)
+        if not outcome.ok:
+            self.failures += 1
+            return False
+        return True

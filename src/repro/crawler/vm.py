@@ -1,0 +1,64 @@
+"""Crawl environments: the three OS vantage points of the measurement.
+
+The paper ran Windows 10 and Ubuntu 20.04 crawls in VMware VMs on Georgia
+Tech's network, and the Mac OS X crawl on a MacBook Air on a residential
+Comcast connection (section 3.1).  An :class:`OSEnvironment` bundles an OS
+identity with its network vantage and builds fresh simulated browsers; the
+vantage label is carried through so analyses can check for vantage-point
+effects (section 3.3 discusses why none were expected or found).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..browser.chrome import DEFAULT_MONITOR_WINDOW_MS, SimulatedChrome
+from ..browser.dns import SimulatedResolver
+from ..browser.network import LocalServiceTable, SimulatedNetwork
+from ..browser.useragent import LINUX, MAC, WINDOWS, OSIdentity, identity_for
+
+#: Network vantage per OS, as in the paper's setup.
+VANTAGE_BY_OS = {
+    WINDOWS: "gatech-isp",
+    LINUX: "gatech-isp",
+    MAC: "comcast-residential",
+}
+
+
+@dataclass(slots=True)
+class OSEnvironment:
+    """One crawl VM (or bare-metal Mac): OS identity + network stack."""
+
+    identity: OSIdentity
+    vantage: str
+    services: LocalServiceTable = field(default_factory=LocalServiceTable)
+    monitor_window_ms: float = DEFAULT_MONITOR_WINDOW_MS
+
+    @classmethod
+    def for_os(
+        cls,
+        os_name: str,
+        *,
+        monitor_window_ms: float = DEFAULT_MONITOR_WINDOW_MS,
+    ) -> "OSEnvironment":
+        return cls(
+            identity=identity_for(os_name),
+            vantage=VANTAGE_BY_OS[os_name],
+            monitor_window_ms=monitor_window_ms,
+        )
+
+    @property
+    def os_name(self) -> str:
+        return self.identity.name
+
+    def network(self) -> SimulatedNetwork:
+        return SimulatedNetwork(services=self.services)
+
+    def browser(self, *, resolver: SimulatedResolver | None = None) -> SimulatedChrome:
+        """A fresh Chrome instance (clean profile) in this environment."""
+        return SimulatedChrome(
+            self.identity,
+            resolver=resolver,
+            network=self.network(),
+            monitor_window_ms=self.monitor_window_ms,
+        )

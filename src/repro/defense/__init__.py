@@ -1,0 +1,48 @@
+"""Defenses against web-based local traffic: Private Network Access (§5.3)."""
+
+from .evaluate import (
+    ClassImpact,
+    PolicyEvaluation,
+    evaluate_policy,
+    native_app_directory,
+)
+from .devlint import LintFinding, LintReport, LintSeverity, lint_website
+from .evasion import (
+    AttackerHost,
+    EvasionSweepPoint,
+    PortStrategy,
+    detection_rate,
+    evasion_sweep,
+    host_is_flagged,
+)
+from .pna import (
+    AddressSpace,
+    Decision,
+    PnaServiceDirectory,
+    PrivateNetworkAccessPolicy,
+    Verdict,
+    is_private_network_request,
+)
+
+__all__ = [
+    "LintFinding",
+    "LintReport",
+    "LintSeverity",
+    "lint_website",
+    "AttackerHost",
+    "EvasionSweepPoint",
+    "PortStrategy",
+    "detection_rate",
+    "evasion_sweep",
+    "host_is_flagged",
+    "ClassImpact",
+    "PolicyEvaluation",
+    "evaluate_policy",
+    "native_app_directory",
+    "AddressSpace",
+    "Decision",
+    "PnaServiceDirectory",
+    "PrivateNetworkAccessPolicy",
+    "Verdict",
+    "is_private_network_request",
+]

@@ -1,0 +1,196 @@
+"""Developer-error linting — the §5.4 recommendation, as a tool.
+
+The paper closes its developer-error analysis with advice: "we recommend
+that web developers check for such local network behavior through either
+analyzing the website code base or examining network traffic generated
+by the website during testing … different user-agents should be
+evaluated, as we observed different behavior across OSes."
+
+This linter does exactly that for a :class:`~repro.web.website.Website`
+(or any set of page scripts): it plans the site's requests under *every*
+OS, flags everything locally bound, classifies each finding, and says
+what to do about it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..browser.page import PageScript, ScriptContext
+from ..browser.useragent import ALL_OSES, identity_for
+from ..core.addresses import Locality, TargetParseError, parse_target
+from ..core.classifier import BehaviorClassifier
+from ..core.detector import LocalRequest
+from ..core.signatures import BehaviorClass
+from ..web.website import Website
+
+
+class LintSeverity(enum.Enum):
+    """How urgently a flagged request needs developer attention."""
+
+    ERROR = "error"  # broken functionality: dev-remnant fetches
+    WARNING = "warning"  # unexplained local traffic
+    INFO = "info"  # intentional (anti-abuse vendor, native app)
+
+
+_ADVICE: dict[BehaviorClass, tuple[LintSeverity, str]] = {
+    BehaviorClass.DEVELOPER_ERROR: (
+        LintSeverity.ERROR,
+        "development remnant: point the URL at the public server or "
+        "remove the fetch",
+    ),
+    BehaviorClass.UNKNOWN: (
+        LintSeverity.WARNING,
+        "unexplained local traffic: identify the responsible script "
+        "before shipping",
+    ),
+    BehaviorClass.INTERNAL_ATTACK: (
+        LintSeverity.WARNING,
+        "LAN sweep detected: this should not ship from a legitimate site",
+    ),
+    BehaviorClass.FRAUD_DETECTION: (
+        LintSeverity.INFO,
+        "third-party anti-fraud scan: intentional, but document the "
+        "vendor and consider Private Network Access readiness",
+    ),
+    BehaviorClass.BOT_DETECTION: (
+        LintSeverity.INFO,
+        "third-party bot-defense scan: intentional, but document the "
+        "vendor and consider Private Network Access readiness",
+    ),
+    BehaviorClass.NATIVE_APPLICATION: (
+        LintSeverity.INFO,
+        "native-application integration: ensure the app acknowledges "
+        "Private Network Access preflights",
+    ),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One flagged local request."""
+
+    url: str
+    locality: Locality
+    oses: tuple[str, ...]
+    page: str
+    initiator: str | None
+    behavior: BehaviorClass
+    severity: LintSeverity
+    advice: str
+
+    def render(self) -> str:
+        oses = ",".join(self.oses)
+        return (
+            f"{self.severity.value.upper():<8} {self.url}  "
+            f"[page {self.page}; OS {oses}; {self.behavior.value}] — "
+            f"{self.advice}"
+        )
+
+
+@dataclass(slots=True)
+class LintReport:
+    """All findings for one site."""
+
+    domain: str
+    findings: list[LintFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def count(self, severity: LintSeverity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    def render(self) -> str:
+        if self.clean:
+            return f"{self.domain}: no local network requests found"
+        lines = [
+            f"{self.domain}: {len(self.findings)} local request(s) — "
+            f"{self.count(LintSeverity.ERROR)} error(s), "
+            f"{self.count(LintSeverity.WARNING)} warning(s), "
+            f"{self.count(LintSeverity.INFO)} informational"
+        ]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _plan_local_urls(
+    scripts: Sequence[PageScript], page_url: str
+) -> dict[str, tuple[set[str], str | None]]:
+    """url -> (OSes that would fire it, initiator), across all OSes.
+
+    The per-OS sweep is the paper's §5.4 point: a lint run under one
+    user-agent misses OS-conditional remnants.
+    """
+    planned: dict[str, tuple[set[str], str | None]] = {}
+    for os_name in ALL_OSES:
+        context = ScriptContext(
+            os_name=os_name,
+            user_agent=identity_for(os_name).user_agent,
+            page_url=page_url,
+        )
+        for script in scripts:
+            for request in script.plan(context):
+                for url in (request.url, *request.redirect_to):
+                    try:
+                        target = parse_target(url)
+                    except TargetParseError:
+                        continue
+                    if not target.is_local:
+                        continue
+                    oses, initiator = planned.setdefault(
+                        url, (set(), request.initiator or script.name)
+                    )
+                    oses.add(os_name)
+    return planned
+
+
+def lint_website(
+    website: Website, *, classifier: BehaviorClassifier | None = None
+) -> LintReport:
+    """Lint a website's landing and internal pages for local requests."""
+    classifier = classifier if classifier is not None else BehaviorClassifier()
+    report = LintReport(domain=website.domain)
+    pages: list[tuple[str, Sequence[PageScript]]] = [
+        ("/", website.behaviors)
+    ]
+    pages.extend(website.internal_pages.items())
+
+    for page_path, scripts in pages:
+        planned = _plan_local_urls(scripts, website.landing_url)
+        if not planned:
+            continue
+        # Classify the page's local traffic as a whole, then attach the
+        # verdict to each URL (classification needs the full context —
+        # one probe of a scan is meaningless alone).
+        requests = [
+            LocalRequest(
+                target=parse_target(url),
+                time=0.0,
+                source_id=index + 1,
+                initiator=initiator,
+            )
+            for index, (url, (_oses, initiator)) in enumerate(planned.items())
+        ]
+        verdict = classifier.classify(requests)
+        severity, advice = _ADVICE[verdict.behavior]
+        for url, (oses, initiator) in sorted(planned.items()):
+            target = parse_target(url)
+            report.findings.append(
+                LintFinding(
+                    url=url,
+                    locality=target.locality,
+                    oses=tuple(
+                        os_name for os_name in ALL_OSES if os_name in oses
+                    ),
+                    page=page_path,
+                    initiator=initiator,
+                    behavior=verdict.behavior,
+                    severity=severity,
+                    advice=advice,
+                )
+            )
+    return report

@@ -1,0 +1,125 @@
+"""Evaluate PNA policies against measured website behaviour (§5.3).
+
+The paper's requirement for any defense: block the unwanted local traffic
+(scans, developer-error leaks) while *preserving the legitimate native-
+application use case*.  This module replays a campaign's findings through
+a :class:`~repro.defense.pna.PrivateNetworkAccessPolicy` and reports, per
+behaviour class, how many sites' local requests survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.addresses import Locality
+from ..core.report import SiteFinding
+from ..core.signatures import BehaviorClass
+from .pna import PnaServiceDirectory, PrivateNetworkAccessPolicy
+
+
+@dataclass(slots=True)
+class ClassImpact:
+    """Policy impact on one behaviour class."""
+
+    behavior: BehaviorClass
+    sites: int = 0
+    sites_fully_blocked: int = 0
+    requests: int = 0
+    requests_blocked: int = 0
+
+    @property
+    def block_rate(self) -> float:
+        return self.requests_blocked / self.requests if self.requests else 0.0
+
+    @property
+    def preserved_sites(self) -> int:
+        return self.sites - self.sites_fully_blocked
+
+
+@dataclass(slots=True)
+class PolicyEvaluation:
+    """Full evaluation result."""
+
+    policy_label: str
+    impacts: dict[BehaviorClass, ClassImpact] = field(default_factory=dict)
+
+    def impact(self, behavior: BehaviorClass) -> ClassImpact:
+        if behavior not in self.impacts:
+            self.impacts[behavior] = ClassImpact(behavior=behavior)
+        return self.impacts[behavior]
+
+    @property
+    def total_requests_blocked(self) -> int:
+        return sum(i.requests_blocked for i in self.impacts.values())
+
+    def render(self) -> str:
+        lines = [
+            f"PNA policy evaluation — {self.policy_label}",
+            f"{'Behaviour':<22}{'sites':>6}{'fully blocked':>15}"
+            f"{'requests':>10}{'blocked':>9}{'rate':>8}",
+        ]
+        for behavior, impact in sorted(
+            self.impacts.items(), key=lambda kv: kv[0].value
+        ):
+            lines.append(
+                f"{behavior.value:<22}{impact.sites:>6}"
+                f"{impact.sites_fully_blocked:>15}{impact.requests:>10}"
+                f"{impact.requests_blocked:>9}{impact.block_rate:>8.1%}"
+            )
+        return "\n".join(lines)
+
+
+def native_app_directory(
+    findings: Iterable[SiteFinding],
+) -> PnaServiceDirectory:
+    """A directory where every *native-application* endpoint opted in.
+
+    Models the adoption scenario the paper calls the promising path:
+    native-app vendors ship the PNA response header; scanners and stale
+    dev endpoints obviously do not.
+    """
+    directory = PnaServiceDirectory()
+    for finding in findings:
+        if finding.behavior is not BehaviorClass.NATIVE_APPLICATION:
+            continue
+        for request in finding.requests():
+            directory.opt_in(request.host, request.port)
+    return directory
+
+
+def evaluate_policy(
+    findings: Sequence[SiteFinding],
+    policy: PrivateNetworkAccessPolicy,
+    *,
+    label: str,
+    locality: Locality | None = None,
+) -> PolicyEvaluation:
+    """Replay all local requests of a campaign through a policy.
+
+    Page security is inferred from the landing scheme the campaign used
+    (top-list sites crawl over https → secure; the malicious population
+    crawls over http → insecure, so under PNA *all* its local traffic
+    dies on rule 1).
+    """
+    evaluation = PolicyEvaluation(policy_label=label)
+    for finding in findings:
+        behavior = finding.behavior or BehaviorClass.UNKNOWN
+        impact = evaluation.impact(behavior)
+        requests = finding.requests(locality)
+        if not requests:
+            continue
+        impact.sites += 1
+        secure = finding.population != "malicious"
+        blocked_here = 0
+        for request in requests:
+            decision = policy.evaluate(
+                request.target, initiator_secure=secure
+            )
+            impact.requests += 1
+            if not decision.allowed:
+                impact.requests_blocked += 1
+                blocked_here += 1
+        if blocked_here == len(requests):
+            impact.sites_fully_blocked += 1
+    return evaluation

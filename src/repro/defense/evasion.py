@@ -1,0 +1,128 @@
+"""The anti-abuse arms race: port-moving evasion (paper §5.1).
+
+The paper hypothesises that "attackers could evade this detection with
+relative ease by modifying the ports they operate on" — e.g. a bot's
+remote-control server on a non-standard port — and that the resulting
+arms race tilts toward attackers because web-based scans are fully
+visible to them.  This module makes the hypothesis measurable:
+
+* :class:`AttackerHost` — a machine running remote-control/malware
+  services, with a configurable port-selection strategy;
+* :func:`detection_rate` — how often a fixed scan profile (the
+  ThreatMetrix / BIG-IP port lists, which any visitor can read out of
+  the page source) still flags such hosts.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..browser.network import LocalServiceTable, SimulatedNetwork
+
+
+class PortStrategy(enum.Enum):
+    """How an attacker-controlled service picks its listening port."""
+
+    STANDARD = "standard"  # default ports — what the scanners expect
+    SHIFTED = "shifted"  # standard + fixed offset (lazy evasion)
+    RANDOMIZED = "randomized"  # uniformly random ephemeral port
+
+
+@dataclass(frozen=True, slots=True)
+class AttackerHost:
+    """A compromised/remote-controlled machine."""
+
+    label: str
+    services: tuple[int, ...]  # the *standard* ports of what it runs
+    strategy: PortStrategy = PortStrategy.STANDARD
+    seed: int = 0
+
+    def listening_ports(self) -> frozenset[int]:
+        """Actual ports after applying the evasion strategy."""
+        if self.strategy is PortStrategy.STANDARD:
+            return frozenset(self.services)
+        if self.strategy is PortStrategy.SHIFTED:
+            return frozenset(
+                port + 10_000 if port + 10_000 <= 65_535 else port - 10_000
+                for port in self.services
+            )
+        rng = random.Random(f"{self.label}:{self.seed}")
+        return frozenset(
+            rng.randrange(49_152, 65_536) for _ in self.services
+        )
+
+    def service_table(self) -> LocalServiceTable:
+        table = LocalServiceTable()
+        for port in self.listening_ports():
+            table.open_service("127.0.0.1", port)
+        return table
+
+
+def host_is_flagged(host: AttackerHost, scan_ports: Sequence[int]) -> bool:
+    """Would a scan of ``scan_ports`` observe any open port on the host?"""
+    network = SimulatedNetwork(services=host.service_table())
+    return any(
+        network.connect("127.0.0.1", port).ok for port in scan_ports
+    )
+
+
+def detection_rate(
+    hosts: Iterable[AttackerHost], scan_ports: Sequence[int]
+) -> float:
+    """Fraction of attacker hosts a fixed scan profile still flags."""
+    hosts = list(hosts)
+    if not hosts:
+        return 0.0
+    flagged = sum(1 for host in hosts if host_is_flagged(host, scan_ports))
+    return flagged / len(hosts)
+
+
+@dataclass(frozen=True, slots=True)
+class EvasionSweepPoint:
+    """One point of the evasion ablation: x% of attackers evade."""
+
+    evading_fraction: float
+    detection_rate: float
+
+
+def evasion_sweep(
+    *,
+    population: int,
+    services: tuple[int, ...],
+    scan_ports: Sequence[int],
+    strategy: PortStrategy = PortStrategy.RANDOMIZED,
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seed: int = 3,
+) -> list[EvasionSweepPoint]:
+    """Sweep the fraction of attackers that adopt an evasion strategy.
+
+    Models the arms race's trajectory: as word spreads that a visible,
+    fixed scan profile exists, attackers move ports and the profile's
+    detection rate collapses toward its false-negative floor.
+    """
+    if population <= 0:
+        raise ValueError("population must be positive")
+    points = []
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fractions must be probabilities")
+        evading = int(round(population * fraction))
+        hosts = [
+            AttackerHost(
+                label=f"bot-{index:04d}",
+                services=services,
+                strategy=strategy if index < evading else PortStrategy.STANDARD,
+                seed=seed,
+            )
+            for index in range(population)
+        ]
+        points.append(
+            EvasionSweepPoint(
+                evading_fraction=fraction,
+                detection_rate=detection_rate(hosts, scan_ports),
+            )
+        )
+    return points

@@ -1,0 +1,133 @@
+"""Private Network Access (PNA) policy model — the §5.3 defense.
+
+Implements the WICG "Private Network Access" proposal the paper discusses
+as the promising mitigation: a document in a *more public* address space
+may fetch from a *more private* one only if
+
+1. the document was delivered over a secure channel (https/wss), and
+2. a CORS preflight to the target succeeds carrying
+   ``Access-Control-Request-Private-Network: true``, with the target
+   responding ``Access-Control-Allow-Private-Network: true``.
+
+The model adds the interim *prompt* mode the paper suggests (ask the user
+before any locally-bound request) so policies can be compared.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.addresses import Locality, RequestTarget
+
+
+class AddressSpace(enum.Enum):
+    """The three IP address spaces of the PNA specification."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"  # RFC1918 / link-local: the LAN
+    LOCAL = "local"  # loopback
+
+    @classmethod
+    def of(cls, locality: Locality) -> "AddressSpace":
+        if locality is Locality.LOCALHOST:
+            return cls.LOCAL
+        if locality is Locality.LAN:
+            return cls.PRIVATE
+        return cls.PUBLIC
+
+
+#: Ordering from most public to most private; a request "descends" when the
+#: target space is strictly more private than the initiator's.
+_PRIVACY_RANK = {
+    AddressSpace.PUBLIC: 0,
+    AddressSpace.PRIVATE: 1,
+    AddressSpace.LOCAL: 2,
+}
+
+
+def is_private_network_request(
+    initiator_space: AddressSpace, target_space: AddressSpace
+) -> bool:
+    """True when the request crosses into a more private address space."""
+    return _PRIVACY_RANK[target_space] > _PRIVACY_RANK[initiator_space]
+
+
+class Verdict(enum.Enum):
+    ALLOWED = "allowed"
+    BLOCKED_INSECURE_CONTEXT = "blocked: initiator not a secure context"
+    BLOCKED_PREFLIGHT_FAILED = "blocked: PNA preflight not acknowledged"
+    BLOCKED_USER_DENIED = "blocked: user denied the prompt"
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """Outcome of evaluating one request under a policy."""
+
+    verdict: Verdict
+    preflight_sent: bool = False
+
+    @property
+    def allowed(self) -> bool:
+        return self.verdict is Verdict.ALLOWED
+
+
+@dataclass(slots=True)
+class PnaServiceDirectory:
+    """Which local services acknowledge PNA preflights.
+
+    Adoption is the crux of the paper's discussion: the policy preserves
+    exactly the local endpoints whose owners ship the response header.
+    Keys are (host, port); ``opt_in(host, port)`` marks a service as
+    PNA-aware.
+    """
+
+    acknowledged: set[tuple[str, int]] = field(default_factory=set)
+
+    def opt_in(self, host: str, port: int) -> None:
+        self.acknowledged.add((host.lower(), port))
+
+    def acknowledges(self, host: str, port: int) -> bool:
+        return (host.lower(), port) in self.acknowledged
+
+
+@dataclass(slots=True)
+class PrivateNetworkAccessPolicy:
+    """The WICG proposal, with a switchable interim prompt mode.
+
+    ``prompt_mode`` replaces the preflight requirement with a user prompt
+    (section 5.3's human-in-the-loop interim); ``prompt_grants`` is the
+    simulated user's answer per target host.
+    """
+
+    directory: PnaServiceDirectory = field(default_factory=PnaServiceDirectory)
+    prompt_mode: bool = False
+    prompt_grants: dict[str, bool] = field(default_factory=dict)
+    decisions: int = 0
+    blocked: int = 0
+
+    def evaluate(
+        self,
+        target: RequestTarget,
+        *,
+        initiator_secure: bool,
+        initiator_space: AddressSpace = AddressSpace.PUBLIC,
+    ) -> Decision:
+        """Decide one request."""
+        self.decisions += 1
+        target_space = AddressSpace.of(target.locality)
+        if not is_private_network_request(initiator_space, target_space):
+            return Decision(Verdict.ALLOWED)
+        if self.prompt_mode:
+            granted = self.prompt_grants.get(target.host, False)
+            if granted:
+                return Decision(Verdict.ALLOWED)
+            self.blocked += 1
+            return Decision(Verdict.BLOCKED_USER_DENIED)
+        if not initiator_secure:
+            self.blocked += 1
+            return Decision(Verdict.BLOCKED_INSECURE_CONTEXT)
+        if self.directory.acknowledges(target.host, target.port):
+            return Decision(Verdict.ALLOWED, preflight_sent=True)
+        self.blocked += 1
+        return Decision(Verdict.BLOCKED_PREFLIGHT_FAILED, preflight_sent=True)

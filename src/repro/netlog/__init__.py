@@ -1,0 +1,39 @@
+"""Chrome NetLog substrate: event model, JSON writer, JSON parser.
+
+This package reproduces the slice of Chrome's network logging system that
+the paper's telemetry pipeline depends on (section 3.1): timestamped events
+with a type, a source (flow) identity, and a BEGIN/END phase, serialised as
+a self-describing JSON document.
+"""
+
+from .constants import (
+    DEFAULT_PORTS,
+    SUPPORTED_SCHEMES,
+    EventPhase,
+    EventType,
+    SourceType,
+)
+from .events import NetLogEvent, NetLogSource, SourceIdAllocator, events_for_source
+from .parser import NetLogParseError, iter_events, load, loads, parse_record
+from .writer import build_constants, dump, dumps, event_to_record
+
+__all__ = [
+    "DEFAULT_PORTS",
+    "SUPPORTED_SCHEMES",
+    "EventPhase",
+    "EventType",
+    "SourceType",
+    "NetLogEvent",
+    "NetLogSource",
+    "SourceIdAllocator",
+    "events_for_source",
+    "NetLogParseError",
+    "iter_events",
+    "load",
+    "loads",
+    "parse_record",
+    "build_constants",
+    "dump",
+    "dumps",
+    "event_to_record",
+]

@@ -1,0 +1,133 @@
+"""NetLog JSON parser.
+
+Parses documents written by :mod:`repro.netlog.writer` — and, for the event
+types we model, documents written by real Chrome — back into
+:class:`~repro.netlog.events.NetLogEvent` streams.  Unknown event or source
+types are preserved numerically when ``strict`` is off, so a log from a
+newer producer degrades gracefully instead of failing to load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator
+
+from .constants import (
+    EventPhase,
+    EventType,
+    SourceType,
+)
+from .events import NetLogEvent, NetLogSource
+
+
+class NetLogParseError(ValueError):
+    """Raised when a document is not a well-formed NetLog."""
+
+
+def _coerce_event_type(value: object, names: dict[str, int]) -> EventType | None:
+    """Resolve an event type given either an int or a name string."""
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        return None
+    if isinstance(value, int):
+        try:
+            return EventType(value)
+        except ValueError:
+            return None
+    if isinstance(value, str):
+        mapped = names.get(value)
+        if mapped is not None:
+            try:
+                return EventType(mapped)
+            except ValueError:
+                return None
+    return None
+
+
+def parse_record(
+    record: dict,
+    *,
+    event_names: dict[str, int] | None = None,
+    strict: bool = True,
+) -> NetLogEvent | None:
+    """Parse a single event record.
+
+    Returns ``None`` for records carrying unknown types when ``strict`` is
+    False; raises :class:`NetLogParseError` otherwise.
+    """
+    if not isinstance(record, dict):
+        raise NetLogParseError(f"event record must be an object, got {type(record).__name__}")
+    try:
+        raw_source = record["source"]
+        time = float(record["time"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise NetLogParseError(f"malformed event record: {record!r}") from exc
+
+    event_type = _coerce_event_type(record.get("type"), event_names or {})
+    if event_type is None:
+        if strict:
+            raise NetLogParseError(f"unknown event type: {record.get('type')!r}")
+        return None
+
+    if not isinstance(raw_source, dict):
+        raise NetLogParseError("event source must be an object")
+    try:
+        source_id = int(raw_source["id"])
+        source_type = SourceType(int(raw_source.get("type", 0)))
+    except (KeyError, TypeError, ValueError) as exc:
+        if strict:
+            raise NetLogParseError(f"malformed source: {raw_source!r}") from exc
+        return None
+
+    try:
+        phase = EventPhase(int(record.get("phase", 0)))
+    except ValueError:
+        phase = EventPhase.NONE
+
+    params = record.get("params") or {}
+    if not isinstance(params, dict):
+        raise NetLogParseError("event params must be an object")
+
+    return NetLogEvent(
+        time=time,
+        type=event_type,
+        source=NetLogSource(id=source_id, type=source_type),
+        phase=phase,
+        params=params,
+    )
+
+
+def load(fp: IO[str], *, strict: bool = True) -> list[NetLogEvent]:
+    """Parse a complete NetLog document from a file object."""
+    try:
+        document = json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise NetLogParseError(f"invalid JSON: {exc}") from exc
+    return _parse_document(document, strict=strict)
+
+
+def loads(text: str, *, strict: bool = True) -> list[NetLogEvent]:
+    """Parse a complete NetLog document from a string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise NetLogParseError(f"invalid JSON: {exc}") from exc
+    return _parse_document(document, strict=strict)
+
+
+def iter_events(document: dict, *, strict: bool = True) -> Iterator[NetLogEvent]:
+    """Yield events from an already-decoded NetLog document."""
+    if not isinstance(document, dict):
+        raise NetLogParseError("NetLog document must be a JSON object")
+    constants = document.get("constants") or {}
+    event_names = constants.get("logEventTypes") or {}
+    raw_events = document.get("events")
+    if not isinstance(raw_events, list):
+        raise NetLogParseError("NetLog document missing 'events' array")
+    for record in raw_events:
+        event = parse_record(record, event_names=event_names, strict=strict)
+        if event is not None:
+            yield event
+
+
+def _parse_document(document: dict, *, strict: bool) -> list[NetLogEvent]:
+    return list(iter_events(document, strict=strict))

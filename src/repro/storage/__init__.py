@@ -1,0 +1,6 @@
+"""Telemetry persistence (SQLite), mirroring the paper's parsed-log DB."""
+
+from .db import TelemetryStore
+from .records import EventRow, LocalRequestRow, VisitRow
+
+__all__ = ["TelemetryStore", "EventRow", "LocalRequestRow", "VisitRow"]

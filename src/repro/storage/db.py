@@ -1,0 +1,222 @@
+"""SQLite-backed telemetry store.
+
+The paper parsed Chrome NetLogs and "stored the network events in a
+database for efficient querying" (section 3.1; 11 TB across the study).
+This store reproduces that logical design at laptop scale:
+
+* ``visits`` — one row per (crawl, domain, OS) page load with its outcome;
+* ``events`` — raw NetLog events (optional: bulky; stored on request);
+* ``local_requests`` — denormalised detected local requests, the table
+  every analysis query actually hits.
+
+Use as a context manager; pass ``":memory:"`` for throwaway stores.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Iterable
+
+from ..core.detector import DetectionResult
+from ..netlog.events import NetLogEvent
+from .records import LocalRequestRow, VisitRow
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS visits (
+    visit_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    crawl TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    os_name TEXT NOT NULL,
+    success INTEGER NOT NULL,
+    error INTEGER NOT NULL DEFAULT 0,
+    rank INTEGER,
+    category TEXT,
+    UNIQUE (crawl, domain, os_name)
+);
+CREATE TABLE IF NOT EXISTS events (
+    visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
+    time REAL NOT NULL,
+    type INTEGER NOT NULL,
+    source_id INTEGER NOT NULL,
+    source_type INTEGER NOT NULL,
+    phase INTEGER NOT NULL,
+    params_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS local_requests (
+    visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
+    locality TEXT NOT NULL,
+    scheme TEXT NOT NULL,
+    host TEXT NOT NULL,
+    port INTEGER NOT NULL,
+    path TEXT NOT NULL,
+    time REAL,
+    via_redirect INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_visits_crawl ON visits(crawl, os_name);
+CREATE INDEX IF NOT EXISTS idx_local_visit ON local_requests(visit_id);
+CREATE INDEX IF NOT EXISTS idx_local_locality ON local_requests(locality);
+"""
+
+
+class TelemetryStore:
+    """SQLite store for crawl telemetry."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA journal_mode=MEMORY")
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "TelemetryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    # -- writes --------------------------------------------------------------
+
+    def record_visit(
+        self,
+        crawl: str,
+        domain: str,
+        os_name: str,
+        *,
+        success: bool,
+        error: int = 0,
+        rank: int | None = None,
+        category: str | None = None,
+        detection: DetectionResult | None = None,
+        events: Iterable[NetLogEvent] | None = None,
+    ) -> int:
+        """Store one visit; returns its visit id."""
+        cursor = self._conn.execute(
+            "INSERT OR REPLACE INTO visits "
+            "(crawl, domain, os_name, success, error, rank, category) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (crawl, domain, os_name, int(success), error, rank, category),
+        )
+        visit_id = int(cursor.lastrowid or 0)
+        if events is not None:
+            self._conn.executemany(
+                "INSERT INTO events VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    (
+                        visit_id,
+                        event.time,
+                        int(event.type),
+                        event.source.id,
+                        int(event.source.type),
+                        int(event.phase),
+                        json.dumps(event.params) if event.params else "{}",
+                    )
+                    for event in events
+                ),
+            )
+        if detection is not None:
+            self._conn.executemany(
+                "INSERT INTO local_requests VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    (
+                        visit_id,
+                        request.locality.value,
+                        request.scheme,
+                        request.host,
+                        request.port,
+                        request.path,
+                        request.time,
+                        int(request.via_redirect),
+                    )
+                    for request in detection.requests
+                ),
+            )
+        return visit_id
+
+    # -- queries ----------------------------------------------------------
+
+    def visit_count(self, crawl: str | None = None) -> int:
+        if crawl is None:
+            row = self._conn.execute("SELECT COUNT(*) FROM visits").fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM visits WHERE crawl = ?", (crawl,)
+            ).fetchone()
+        return int(row[0])
+
+    def success_counts(self, crawl: str) -> dict[str, tuple[int, int]]:
+        """Per-OS (successes, failures) for one crawl."""
+        out: dict[str, tuple[int, int]] = {}
+        for os_name, successes, failures in self._conn.execute(
+            "SELECT os_name, SUM(success), SUM(1 - success) "
+            "FROM visits WHERE crawl = ? GROUP BY os_name",
+            (crawl,),
+        ):
+            out[os_name] = (int(successes or 0), int(failures or 0))
+        return out
+
+    def domains_with_local_activity(
+        self, crawl: str, locality: str, os_name: str | None = None
+    ) -> list[str]:
+        """Distinct domains with stored local requests of a locality."""
+        sql = (
+            "SELECT DISTINCT v.domain FROM visits v "
+            "JOIN local_requests r ON r.visit_id = v.visit_id "
+            "WHERE v.crawl = ? AND r.locality = ?"
+        )
+        args: list[object] = [crawl, locality]
+        if os_name is not None:
+            sql += " AND v.os_name = ?"
+            args.append(os_name)
+        return [row[0] for row in self._conn.execute(sql + " ORDER BY v.domain", args)]
+
+    def local_requests_for(
+        self, crawl: str, domain: str
+    ) -> list[LocalRequestRow]:
+        rows = self._conn.execute(
+            "SELECT r.visit_id, v.crawl, v.domain, v.os_name, r.locality, "
+            "r.scheme, r.host, r.port, r.path, r.time, r.via_redirect "
+            "FROM local_requests r JOIN visits v ON v.visit_id = r.visit_id "
+            "WHERE v.crawl = ? AND v.domain = ? ORDER BY r.time",
+            (crawl, domain),
+        ).fetchall()
+        return [
+            LocalRequestRow(
+                visit_id=row[0], crawl=row[1], domain=row[2], os_name=row[3],
+                locality=row[4], scheme=row[5], host=row[6], port=row[7],
+                path=row[8], time=row[9], via_redirect=bool(row[10]),
+            )
+            for row in rows
+        ]
+
+    def visits(self, crawl: str, *, os_name: str | None = None) -> list[VisitRow]:
+        sql = (
+            "SELECT visit_id, crawl, domain, os_name, success, error, rank, "
+            "category FROM visits WHERE crawl = ?"
+        )
+        args: list[object] = [crawl]
+        if os_name is not None:
+            sql += " AND os_name = ?"
+            args.append(os_name)
+        return [
+            VisitRow(
+                visit_id=row[0], crawl=row[1], domain=row[2], os_name=row[3],
+                success=bool(row[4]), error=row[5], rank=row[6], category=row[7],
+            )
+            for row in self._conn.execute(sql + " ORDER BY visit_id", args)
+        ]
+
+    def event_count(self, visit_id: int | None = None) -> int:
+        if visit_id is None:
+            row = self._conn.execute("SELECT COUNT(*) FROM events").fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM events WHERE visit_id = ?", (visit_id,)
+            ).fetchone()
+        return int(row[0])

@@ -1,0 +1,54 @@
+"""Typed row records for the telemetry store.
+
+These mirror the database schema in :mod:`repro.storage.db`; keeping them
+as plain dataclasses lets analysis code work on query results without
+touching SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class VisitRow:
+    """One page visit (site × OS × crawl)."""
+
+    visit_id: int
+    crawl: str
+    domain: str
+    os_name: str
+    success: bool
+    error: int
+    rank: int | None
+    category: str | None
+
+
+@dataclass(frozen=True, slots=True)
+class EventRow:
+    """One stored NetLog event."""
+
+    visit_id: int
+    time: float
+    type: int
+    source_id: int
+    source_type: int
+    phase: int
+    params_json: str
+
+
+@dataclass(frozen=True, slots=True)
+class LocalRequestRow:
+    """One detected locally-bound request (denormalised for fast queries)."""
+
+    visit_id: int
+    crawl: str
+    domain: str
+    os_name: str
+    locality: str
+    scheme: str
+    host: str
+    port: int
+    path: str
+    time: float | None
+    via_redirect: bool

@@ -1,0 +1,23 @@
+"""Top lists and blocklists: the paper's two measurement populations."""
+
+from .blocklists import (
+    CATEGORIES,
+    SOURCES,
+    Blocklist,
+    BlocklistEntry,
+    dedupe_one_url_per_domain,
+    synthesize_feed,
+)
+from .tranco import TopListEntry, TrancoList, build_top_list
+
+__all__ = [
+    "CATEGORIES",
+    "SOURCES",
+    "Blocklist",
+    "BlocklistEntry",
+    "dedupe_one_url_per_domain",
+    "synthesize_feed",
+    "TopListEntry",
+    "TrancoList",
+    "build_top_list",
+]

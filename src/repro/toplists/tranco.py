@@ -1,0 +1,117 @@
+"""Tranco-like ranked top list generation.
+
+The paper measures the landing pages of the Tranco top 100K (snapshots of
+2020-06-03 and 2021-03-11, with ~75% overlap between the two).  We build
+equivalent ranked lists: the seeded (behaviour-carrying) domains sit at
+their paper-reported ranks, and the remaining slots are filled with
+deterministic synthetic domains.  The 2021 list re-uses ~75% of the 2020
+filler, drops the domains the paper marks as absent from the 2021 snapshot,
+and introduces the 2021 newcomers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TopListEntry:
+    """One (rank, domain) row of a top list."""
+
+    rank: int
+    domain: str
+
+
+class TrancoList:
+    """An immutable ranked domain list with O(1) lookups both ways."""
+
+    def __init__(self, name: str, entries: list[TopListEntry]) -> None:
+        ranks = [e.rank for e in entries]
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("duplicate ranks in top list")
+        domains = [e.domain for e in entries]
+        if len(set(domains)) != len(domains):
+            raise ValueError("duplicate domains in top list")
+        self.name = name
+        self._entries = sorted(entries, key=lambda e: e.rank)
+        self._rank_by_domain = {e.domain: e.rank for e in self._entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._rank_by_domain
+
+    def rank_of(self, domain: str) -> int | None:
+        return self._rank_by_domain.get(domain)
+
+    def domains(self) -> list[str]:
+        return [e.domain for e in self._entries]
+
+    def head(self, n: int) -> list[TopListEntry]:
+        return self._entries[:n]
+
+
+def _filler_domain(rank: int, generation: str) -> str:
+    """Deterministic synthetic domain for an unseeded rank slot."""
+    return f"site-{generation}-{rank:06d}.example"
+
+
+def build_top_list(
+    name: str,
+    size: int,
+    seeded: dict[str, int],
+    *,
+    filler_generation: str = "a",
+    reuse_filler_from: "TrancoList | None" = None,
+    reuse_fraction: float = 0.75,
+) -> TrancoList:
+    """Assemble a ranked list of ``size`` entries.
+
+    ``seeded`` maps domain -> requested rank.  Collisions (two seeds asking
+    for the same rank) shift the later seed down to the next free slot.
+    When ``reuse_filler_from`` is given, filler slots re-use that list's
+    filler domains for the first ``reuse_fraction`` of slots (modelling
+    Tranco's ~75% half-year overlap) and mint fresh names for the rest.
+    """
+    if size <= 0:
+        raise ValueError("top list size must be positive")
+    if any(rank < 1 for rank in seeded.values()):
+        raise ValueError("ranks are 1-based")
+
+    by_rank: dict[int, str] = {}
+    for domain, requested in sorted(seeded.items(), key=lambda kv: (kv[1], kv[0])):
+        rank = requested
+        while rank in by_rank:
+            rank += 1
+        if rank > size:
+            raise ValueError(f"no free slot at or below {size} for {domain}")
+        by_rank[rank] = domain
+
+    previous_filler: list[str] = []
+    if reuse_filler_from is not None:
+        previous_filler = [
+            e.domain
+            for e in reuse_filler_from
+            if e.domain.startswith("site-")
+        ]
+    reuse_count = int(len(previous_filler) * reuse_fraction)
+    reusable = iter(previous_filler[:reuse_count])
+
+    seeded_domains = set(by_rank.values())
+    entries: list[TopListEntry] = []
+    for rank in range(1, size + 1):
+        domain = by_rank.get(rank)
+        if domain is None:
+            domain = next(reusable, None)
+            # A reused filler name may collide with a seed that moved
+            # between snapshots; skip those.
+            while domain is not None and domain in seeded_domains:
+                domain = next(reusable, None)
+            if domain is None:
+                domain = _filler_domain(rank, filler_generation)
+        entries.append(TopListEntry(rank=rank, domain=domain))
+    return TrancoList(name, entries)

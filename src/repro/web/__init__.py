@@ -1,0 +1,40 @@
+"""Simulated web content: behaviours, websites, seeds, populations."""
+
+from .behaviors import (
+    DirectLocalFetch,
+    LanSweepBehavior,
+    NativeAppProbe,
+    PortScanBehavior,
+    PublicResourceBehavior,
+    RedirectToLocalBehavior,
+    ResourceFetchBehavior,
+)
+from .internal import LOGIN_PAGE_SCANNERS, LoginPageScanner, login_scan_behavior
+from .iot import DEVICE_CATALOG, HomeNetwork, IoTDevice, typical_home_network
+from .population import (
+    CrawlPopulation,
+    build_malicious_population,
+    build_top_population,
+)
+from .website import Website
+
+__all__ = [
+    "DirectLocalFetch",
+    "LanSweepBehavior",
+    "NativeAppProbe",
+    "PortScanBehavior",
+    "PublicResourceBehavior",
+    "RedirectToLocalBehavior",
+    "ResourceFetchBehavior",
+    "LOGIN_PAGE_SCANNERS",
+    "LoginPageScanner",
+    "login_scan_behavior",
+    "DEVICE_CATALOG",
+    "HomeNetwork",
+    "IoTDevice",
+    "typical_home_network",
+    "CrawlPopulation",
+    "build_malicious_population",
+    "build_top_population",
+    "Website",
+]

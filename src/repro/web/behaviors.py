@@ -1,0 +1,247 @@
+"""Script behaviour models: what the observed websites actually do.
+
+Each class models one family of local-traffic-generating JavaScript the
+paper identified (section 4.3), as a :class:`~repro.browser.page.PageScript`.
+Behaviours are *OS-conditional* — the defining empirical fact of the paper
+is that, e.g., ThreatMetrix probes localhost only on Windows — and fire at
+a configurable delay after page commit, which is what produces the timing
+CDFs of Figures 5–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..browser.page import PlannedRequest, ScriptContext
+
+#: Gap between consecutive probes inside one scan burst (ms).  The scanners
+#: fire their port probes nearly simultaneously from a loop.
+_PROBE_GAP_MS = 15.0
+
+
+def _oses(value: Sequence[str]) -> frozenset[str]:
+    out = frozenset(value)
+    if not out:
+        raise ValueError("behaviour must be active on at least one OS")
+    return out
+
+
+@dataclass(frozen=True)
+class PortScanBehavior:
+    """An anti-abuse localhost port scan (ThreatMetrix / BIG-IP ASM style).
+
+    Probes every port in ``ports`` with the same scheme and path in one
+    burst, then optionally uploads collected telemetry to the vendor's
+    public endpoint (ThreatMetrix's behaviour: the JS blob posts encrypted
+    results back to the vendor-controlled domain, section 4.3.1).
+    """
+
+    name: str
+    scheme: str
+    ports: tuple[int, ...]
+    active_oses: frozenset[str]
+    path: str = "/"
+    delay_ms: float = 8000.0
+    host: str = "localhost"
+    telemetry_url: str | None = None
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        requests = [
+            PlannedRequest(
+                url=f"{self.scheme}://{self.host}:{port}{self.path}",
+                delay_ms=self.delay_ms + index * _PROBE_GAP_MS,
+                initiator=self.name,
+            )
+            for index, port in enumerate(self.ports)
+        ]
+        if self.telemetry_url:
+            requests.append(
+                PlannedRequest(
+                    url=self.telemetry_url,
+                    delay_ms=self.delay_ms + len(self.ports) * _PROBE_GAP_MS + 200.0,
+                    method="POST",
+                    initiator=self.name,
+                )
+            )
+        return requests
+
+
+@dataclass(frozen=True)
+class NativeAppProbe:
+    """Communication with an affiliated native application (section 4.3.3).
+
+    Probes each candidate control port with the app's characteristic path.
+    Apps often bind one of several fallback ports (Discord walks
+    6463–6472), hence the port list.
+    """
+
+    name: str
+    scheme: str
+    ports: tuple[int, ...]
+    path: str
+    active_oses: frozenset[str]
+    delay_ms: float = 2500.0
+    host: str = "127.0.0.1"
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        return [
+            PlannedRequest(
+                url=f"{self.scheme}://{self.host}:{port}{self.path}",
+                delay_ms=self.delay_ms + index * _PROBE_GAP_MS,
+                initiator=self.name,
+            )
+            for index, port in enumerate(self.ports)
+        ]
+
+
+@dataclass(frozen=True)
+class ResourceFetchBehavior:
+    """Fetches of absolute local URLs left in the page (section 4.3.4).
+
+    Models developer-error remnants (images still pointing at the dev
+    machine's WordPress, livereload.js, sockjs-node probes) and the
+    Unknown-class JSON polls.  ``urls`` are complete URLs including the
+    local host and port.
+    """
+
+    name: str
+    urls: tuple[str, ...]
+    active_oses: frozenset[str]
+    delay_ms: float = 1200.0
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        return [
+            PlannedRequest(
+                url=url,
+                delay_ms=self.delay_ms + index * _PROBE_GAP_MS,
+                initiator=self.name,
+            )
+            for index, url in enumerate(self.urls)
+        ]
+
+
+@dataclass(frozen=True)
+class RedirectToLocalBehavior:
+    """A page request that 30x-redirects to a local destination.
+
+    Covers the ``http://127.0.0.1/`` redirects the paper saw on
+    romadecade.org / fincaraiz.com.co, and the censorship-injected
+    ``http://10.10.34.35:80`` iframes (Appendix C): the visible request
+    goes to a public URL whose response points the browser at the local
+    address.
+    """
+
+    name: str
+    public_url: str
+    local_url: str
+    active_oses: frozenset[str]
+    delay_ms: float = 800.0
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        return [
+            PlannedRequest(
+                url=self.public_url,
+                delay_ms=self.delay_ms,
+                initiator=self.name,
+                redirect_to=(self.local_url,),
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class DirectLocalFetch:
+    """A single direct fetch of one local URL (iframe/img src).
+
+    The censorship case manifests as an iframe sourced directly at a LAN
+    address; unlike :class:`RedirectToLocalBehavior` there is no public
+    hop.
+    """
+
+    name: str
+    local_url: str
+    active_oses: frozenset[str]
+    delay_ms: float = 600.0
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        return [
+            PlannedRequest(
+                url=self.local_url, delay_ms=self.delay_ms, initiator=self.name
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class LanSweepBehavior:
+    """A web-based LAN discovery sweep — the hypothesised attack.
+
+    Models the sonar.js / lan-js / Acar-et-al. scanners from the
+    literature (section 2.1): walk a /24, probing each candidate address
+    on a port, optionally following up with device-characteristic paths.
+    No site in any of the paper's crawls did this; the behaviour exists
+    so the pipeline's ability to catch it is testable, and for the IoT
+    attack-surface study in the examples.
+    """
+
+    name: str
+    subnet: str  # e.g. "192.168.1"
+    active_oses: frozenset[str]
+    host_range: tuple[int, int] = (1, 32)
+    port: int = 80
+    probe_paths: tuple[str, ...] = ("/",)
+    delay_ms: float = 3000.0
+    scheme: str = "http"
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        low, high = self.host_range
+        if not 1 <= low <= high <= 254:
+            raise ValueError("host_range must lie within [1, 254]")
+        requests: list[PlannedRequest] = []
+        index = 0
+        for octet in range(low, high + 1):
+            for path in self.probe_paths:
+                requests.append(
+                    PlannedRequest(
+                        url=f"{self.scheme}://{self.subnet}.{octet}:{self.port}{path}",
+                        delay_ms=self.delay_ms + index * _PROBE_GAP_MS,
+                        initiator=self.name,
+                    )
+                )
+                index += 1
+        return requests
+
+
+@dataclass(frozen=True)
+class PublicResourceBehavior:
+    """Ordinary third-party fetches — the background noise of a page."""
+
+    name: str
+    urls: tuple[str, ...]
+    delay_ms: float = 100.0
+    active_oses: frozenset[str] = field(
+        default_factory=lambda: frozenset({"windows", "linux", "mac"})
+    )
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        if context.os_name not in self.active_oses:
+            return []
+        return [
+            PlannedRequest(
+                url=url,
+                delay_ms=self.delay_ms + index * 30.0,
+                initiator=self.name,
+            )
+            for index, url in enumerate(self.urls)
+        ]

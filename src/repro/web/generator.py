@@ -1,0 +1,187 @@
+"""What-if population generator: non-seeded synthetic webs.
+
+The seeded populations replay the paper's 2020/2021 web.  This generator
+builds *hypothetical* webs with configurable behaviour-class prevalence,
+supporting the §5.1/§5.2 discussion questions the paper raises but
+cannot measure:
+
+* "we may observe an expansion of web-based localhost scanning for
+  anti-abuse on other sites" — scale the fraud/bot adoption rate up and
+  measure the resulting traffic and detection workload;
+* "web trackers may be forced to resort to novel tracking mechanisms" —
+  introduce tracker-style scanning at a chosen rate.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .behaviors import (
+    NativeAppProbe,
+    PortScanBehavior,
+    ResourceFetchBehavior,
+)
+from .population import CrawlPopulation
+from .seeds import ASM_PORTS, TM_PORTS
+from .website import Website
+
+ALL_OSES = ("windows", "linux", "mac")
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioRates:
+    """Per-site probabilities of carrying each behaviour class.
+
+    The paper's measured baseline is tiny (107 of ~90K loaded sites,
+    ≈0.12%); scenarios scale individual classes independently.
+    """
+
+    fraud_detection: float = 0.0004
+    bot_detection: float = 0.0001
+    native_app: float = 0.0001
+    developer_error: float = 0.0005
+    tracker_scan: float = 0.0
+
+    def validate(self) -> None:
+        import dataclasses
+
+        values = dataclasses.asdict(self)
+        for name, value in values.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+        if sum(values.values()) > 1.0:
+            raise ValueError("class rates may not sum above 1")
+
+
+@dataclass(slots=True)
+class ScenarioPopulation:
+    """A generated population plus its ground-truth assignment."""
+
+    population: CrawlPopulation
+    assigned: dict[str, str] = field(default_factory=dict)
+
+    def count(self, behavior: str) -> int:
+        return sum(1 for value in self.assigned.values() if value == behavior)
+
+
+def _fraud(domain: str) -> PortScanBehavior:
+    return PortScanBehavior(
+        name=f"threatmetrix@h.online-metrix.net ({domain})",
+        scheme="wss",
+        ports=TM_PORTS,
+        active_oses=frozenset({"windows"}),
+        delay_ms=9_000.0,
+    )
+
+
+def _bot(domain: str) -> PortScanBehavior:
+    del domain
+    return PortScanBehavior(
+        name="bigip-asm:/TSPD",
+        scheme="http",
+        ports=ASM_PORTS,
+        active_oses=frozenset({"windows"}),
+        delay_ms=8_000.0,
+    )
+
+
+def _native(rng: random.Random) -> NativeAppProbe:
+    port = rng.choice((28337, 6463, 5320, 6878, 16422))
+    path = {
+        28337: "/", 6463: "/?v=1", 5320: "/status",
+        6878: "/webui/api/service", 16422: "/get_client_ver?v=1",
+    }[port]
+    return NativeAppProbe(
+        name="native-app",
+        scheme="ws" if port in (28337, 6463) else "http",
+        ports=(port,),
+        path=path,
+        active_oses=frozenset(ALL_OSES),
+        delay_ms=2_000.0,
+    )
+
+
+def _dev_error(domain: str, rng: random.Random) -> ResourceFetchBehavior:
+    port = rng.choice((80, 8080, 8888, 3000))
+    return ResourceFetchBehavior(
+        name=f"dev-file:{domain}",
+        urls=(f"http://127.0.0.1:{port}/wp-content/uploads/img.jpg",),
+        active_oses=frozenset(ALL_OSES),
+        delay_ms=1_000.0,
+    )
+
+
+def _tracker(domain: str) -> PortScanBehavior:
+    """A hypothetical tracking scan: the TM technique, repurposed.
+
+    Same shape as the fraud scan (which is the paper's point — the
+    technique transfers unchanged), served from a tracker domain.
+    """
+    return PortScanBehavior(
+        name=f"tracker@fingerprint-cdn.example ({domain})",
+        scheme="wss",
+        ports=TM_PORTS,
+        active_oses=frozenset({"windows"}),
+        delay_ms=7_000.0,
+    )
+
+
+def generate_scenario(
+    size: int,
+    rates: ScenarioRates,
+    *,
+    seed: int = 2021,
+    name: str = "scenario",
+) -> ScenarioPopulation:
+    """Generate a synthetic population under the given prevalence rates."""
+    if size <= 0:
+        raise ValueError("population size must be positive")
+    rates.validate()
+    rng = random.Random(seed)
+    websites: list[Website] = []
+    assigned: dict[str, str] = {}
+    active: set[str] = set()
+    choices = (
+        ("fraud", rates.fraud_detection),
+        ("bot", rates.bot_detection),
+        ("native", rates.native_app),
+        ("dev", rates.developer_error),
+        ("tracker", rates.tracker_scan),
+    )
+    for index in range(size):
+        domain = f"site-{name}-{index:06d}.example"
+        roll = rng.random()
+        cumulative = 0.0
+        behavior_kind = None
+        for kind, rate in choices:
+            cumulative += rate
+            if roll < cumulative:
+                behavior_kind = kind
+                break
+        behaviors = []
+        if behavior_kind == "fraud":
+            behaviors = [_fraud(domain)]
+        elif behavior_kind == "bot":
+            behaviors = [_bot(domain)]
+        elif behavior_kind == "native":
+            behaviors = [_native(rng)]
+        elif behavior_kind == "dev":
+            behaviors = [_dev_error(domain, rng)]
+        elif behavior_kind == "tracker":
+            behaviors = [_tracker(domain)]
+        if behavior_kind is not None:
+            assigned[domain] = behavior_kind
+            active.add(domain)
+        websites.append(
+            Website(domain, rank=index + 1, behaviors=behaviors)
+        )
+    population = CrawlPopulation(
+        name=name,
+        websites=websites,
+        oses=ALL_OSES,
+        active_domains=active,
+    )
+    return ScenarioPopulation(population=population, assigned=assigned)

@@ -1,0 +1,56 @@
+"""Login-page-only scanner deployments — the §3.3 lower-bound extension.
+
+The paper notes its landing-page-only crawl yields a *lower bound*: a
+contemporaneous investigation (Abrams, "List of well-known web sites that
+port scan their visitors", reference [5]) found several sites deploying
+ThreatMetrix specifically on **login pages**, invisible to a landing-page
+crawl.  The paper confirms its landing-page set is a superset of that
+post's findings for landing pages and leaves internal pages to future
+work.
+
+This module seeds that future-work scenario: a handful of top-ranked
+sites (drawn from the brands the blog post names; ranks reconstructed,
+so all rows are ``calibrated``) run the full ThreatMetrix scan on their
+``/signin`` page and nothing on their landing page.  A default crawl
+reports 107 localhost sites for 2020; a crawl with
+``include_internal=True`` additionally surfaces these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .behaviors import PortScanBehavior
+from .seeds import TM_PORTS
+
+
+@dataclass(frozen=True, slots=True)
+class LoginPageScanner:
+    """A site whose anti-fraud scan lives on its sign-in page only."""
+
+    domain: str
+    rank: int
+    login_path: str = "/signin"
+
+
+#: Brands the blog post [5] reported as port-scanning on login pages and
+#: that do not already appear in the paper's landing-page tables.
+LOGIN_PAGE_SCANNERS: tuple[LoginPageScanner, ...] = (
+    LoginPageScanner("chase.com", 29),
+    LoginPageScanner("sky.com", 960),
+    LoginPageScanner("tdbank.com", 1890),
+    LoginPageScanner("gumtree.com", 2704),
+    LoginPageScanner("netteller.com", 8120),
+)
+
+
+def login_scan_behavior(scanner: LoginPageScanner) -> PortScanBehavior:
+    """The ThreatMetrix scan as deployed on the sign-in page."""
+    return PortScanBehavior(
+        name=f"threatmetrix@h.online-metrix.net ({scanner.login_path})",
+        scheme="wss",
+        ports=TM_PORTS,
+        active_oses=frozenset({"windows"}),
+        delay_ms=6_000.0,
+        telemetry_url="https://h.online-metrix.net/fp/clear.png",
+    )

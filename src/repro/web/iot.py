@@ -1,0 +1,105 @@
+"""Simulated home networks with IoT devices exposing HTTP interfaces.
+
+Substrate for the attack scenario the paper looked for but did not find
+(section 2.1, Acar et al.): webpages discovering and interacting with
+LAN devices.  A :class:`HomeNetwork` places devices at RFC1918 addresses
+and installs their HTTP interfaces into a browser-visible service table,
+so a (hypothetical) web-based LAN sweep has something real to find — and
+so defense evaluations can measure what such a sweep would learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..browser.network import LocalServiceTable
+
+#: Device catalogue: (kind, default port, characteristic HTTP path).
+DEVICE_CATALOG: dict[str, tuple[int, str]] = {
+    "router": (80, "/cgi-bin/luci"),
+    "camera": (80, "/onvif/device_service"),
+    "printer": (80, "/hp/device/info"),
+    "smart-tv": (8008, "/ssdp/device-desc.xml"),
+    "speaker": (1400, "/xml/device_description.xml"),
+    "nas": (5000, "/webman/index.cgi"),
+    "thermostat": (80, "/sys/info"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class IoTDevice:
+    """One LAN device with an exposed HTTP interface."""
+
+    kind: str
+    address: str
+    port: int
+    probe_path: str
+
+    @classmethod
+    def of_kind(cls, kind: str, address: str) -> "IoTDevice":
+        try:
+            port, path = DEVICE_CATALOG[kind]
+        except KeyError:
+            raise ValueError(f"unknown device kind {kind!r}") from None
+        return cls(kind=kind, address=address, port=port, probe_path=path)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address}:{self.port}{self.probe_path}"
+
+
+@dataclass(slots=True)
+class HomeNetwork:
+    """A user's LAN: a /24 with a router and some devices."""
+
+    subnet: str = "192.168.1"
+    devices: list[IoTDevice] = field(default_factory=list)
+
+    def add_device(self, kind: str, host_octet: int) -> IoTDevice:
+        if not 1 <= host_octet <= 254:
+            raise ValueError("host octet must be in [1, 254]")
+        address = f"{self.subnet}.{host_octet}"
+        if any(d.address == address for d in self.devices):
+            raise ValueError(f"address {address} already occupied")
+        device = IoTDevice.of_kind(kind, address)
+        self.devices.append(device)
+        return device
+
+    def install(self, table: LocalServiceTable) -> None:
+        """Expose every device's interface in a browser service table."""
+        for device in self.devices:
+            table.open_service(device.address, device.port)
+
+    def service_table(self) -> LocalServiceTable:
+        table = LocalServiceTable()
+        self.install(table)
+        return table
+
+    def addresses(self) -> list[str]:
+        return [device.address for device in self.devices]
+
+
+def typical_home_network(*, seed: int = 11, device_count: int = 4) -> HomeNetwork:
+    """A deterministic, plausible home network.
+
+    Always contains a router at .1; the remaining devices are drawn from
+    the catalogue with seeded placement — the growing-IoT-household the
+    paper cites (Kumar et al.) as raising the stakes.
+    """
+    import random
+
+    if device_count < 1:
+        raise ValueError("a home network needs at least the router")
+    rng = random.Random(seed)
+    network = HomeNetwork()
+    network.add_device("router", 1)
+    kinds = [k for k in DEVICE_CATALOG if k != "router"]
+    used = {1}
+    for _ in range(device_count - 1):
+        kind = rng.choice(kinds)
+        octet = rng.randrange(2, 255)
+        while octet in used:
+            octet = rng.randrange(2, 255)
+        used.add(octet)
+        network.add_device(kind, octet)
+    return network

@@ -1,0 +1,579 @@
+"""Population builders: seeds → crawlable website populations.
+
+Turns the ground-truth rows of :mod:`repro.web.seeds` into full measurement
+populations:
+
+* ``top2020`` / ``top2021`` — Tranco-style 100K lists with the seeded
+  behaviour-carrying sites at their paper ranks and inert filler elsewhere;
+* ``malicious`` — the 146K blocklist population across malware / abuse /
+  phishing / uncategorised, with the seeded active sites embedded.
+
+Crawl failures (Table 1) are injected here, deterministically: a seeded
+pseudo-random subset of *filler* domains per (crawl, OS) is assigned the
+exact per-error-type counts the paper reports.  Seeded behaviour-carrying
+sites always load (they were, by construction, observed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..browser.errors import OTHER_ERROR_POOL, NetError
+from ..browser.page import PageScript
+from ..browser.useragent import ALL_OSES, LINUX, WINDOWS
+from ..toplists.tranco import TrancoList, build_top_list
+from . import seeds as S
+from .behaviors import (
+    DirectLocalFetch,
+    NativeAppProbe,
+    PortScanBehavior,
+    PublicResourceBehavior,
+    RedirectToLocalBehavior,
+    ResourceFetchBehavior,
+)
+from .website import Website
+
+#: Delay overrides (seconds) for specific sites, calibrating the tails of
+#: the Figure 5a timing CDFs (Linux max 17 s, Mac max 14 s).
+_DELAY_OVERRIDES_S: dict[str, float] = {
+    "aau.edu.et": 16.5,
+    "xaipe.edu.cn": 13.8,
+}
+
+
+def _stable_hash(text: str) -> int:
+    """FNV-1a over the domain: stable across runs and processes."""
+    digest = 2166136261
+    for ch in text:
+        digest = ((digest ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return digest
+
+
+def _delay_ms(domain: str, reason: str) -> float:
+    """First-local-request delay for a site, by behaviour class.
+
+    The spreads are calibrated to Figures 5–7: the anti-abuse scanners
+    fire late (4–17 s, median ≈10 s — they wait for page quiescence),
+    developer-error fetches fire during load (0.5–5 s), native-app probes
+    and the unknown pollers fall in between.
+    """
+    override = _DELAY_OVERRIDES_S.get(domain)
+    if override is not None:
+        return override * 1000.0
+    h = _stable_hash(domain)
+    if reason in ("fraud", "bot"):
+        return 10_000.0 + h % 7001
+    if reason == "native":
+        return 1000.0 + h % 7001
+    if reason == "dev":
+        return 500.0 + h % 4501
+    return 2000.0 + h % 10001  # unknown
+
+
+def _lan_delay_ms(seed: S.LanSeed) -> float:
+    if seed.delay_s is not None:
+        return seed.delay_s * 1000.0
+    return 1000.0 + _stable_hash(seed.domain) % 4001
+
+
+@dataclass(slots=True)
+class CrawlPopulation:
+    """A complete population for one measurement campaign."""
+
+    name: str
+    websites: list[Website]
+    oses: tuple[str, ...]
+    top_list: TrancoList | None = None
+    by_domain: dict[str, Website] = field(default_factory=dict)
+    #: Domains seeded with local-traffic behaviour (the "interesting" set).
+    active_domains: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.by_domain:
+            self.by_domain = {w.domain: w for w in self.websites}
+
+    def __len__(self) -> int:
+        return len(self.websites)
+
+    def website(self, domain: str) -> Website:
+        return self.by_domain[domain]
+
+
+# ---------------------------------------------------------------------------
+# Behaviour construction
+# ---------------------------------------------------------------------------
+
+def _localhost_behaviors(
+    seed: S.LocalhostSeed, oses: tuple[str, ...]
+) -> list[PageScript]:
+    """Instantiate the behaviours for one localhost seed, active on
+    ``oses`` (which crawl-year OS flags to use is the caller's choice)."""
+    active = frozenset(oses)
+    delay = _delay_ms(seed.domain, seed.reason)
+    scripts: list[PageScript] = []
+    if seed.reason == "fraud":
+        vendor = seed.vendor or "h.online-metrix.net"
+        scripts.append(
+            PortScanBehavior(
+                name=f"threatmetrix@{vendor}",
+                scheme="wss",
+                ports=S.TM_PORTS,
+                active_oses=active,
+                delay_ms=delay,
+                telemetry_url=f"https://{vendor}/fp/clear.png",
+            )
+        )
+    elif seed.reason == "bot":
+        scripts.append(
+            PortScanBehavior(
+                name="bigip-asm:/TSPD",
+                scheme="http",
+                ports=S.ASM_PORTS,
+                active_oses=active,
+                delay_ms=delay,
+            )
+        )
+    elif seed.reason in ("native", "unknown"):
+        for probe in seed.probes:
+            scripts.append(
+                NativeAppProbe(
+                    name=seed.app or f"{seed.reason}:{seed.domain}",
+                    scheme=probe.scheme,
+                    ports=probe.ports,
+                    path=probe.path,
+                    active_oses=active,
+                    delay_ms=delay,
+                    host="localhost"
+                    if probe.scheme in ("ws", "wss")
+                    else "127.0.0.1",
+                )
+            )
+    elif seed.reason == "dev":
+        for probe in seed.probes:
+            if seed.dev_kind == "redirect":
+                scripts.append(
+                    RedirectToLocalBehavior(
+                        name=f"dev-redirect:{seed.domain}",
+                        public_url=f"{probe.scheme}://{seed.domain}/home",
+                        local_url=(
+                            f"{probe.scheme}://127.0.0.1:{probe.ports[0]}"
+                            f"{probe.path}"
+                        ),
+                        active_oses=active,
+                        delay_ms=delay,
+                    )
+                )
+            else:
+                host = "127.0.0.1" if seed.dev_kind == "file" else "localhost"
+                scripts.append(
+                    ResourceFetchBehavior(
+                        name=f"dev-{seed.dev_kind}:{seed.domain}",
+                        urls=tuple(
+                            f"{probe.scheme}://{host}:{port}{probe.path}"
+                            for port in probe.ports
+                        ),
+                        active_oses=active,
+                        delay_ms=delay,
+                    )
+                )
+    else:
+        raise ValueError(f"unknown seed reason {seed.reason!r}")
+    return scripts
+
+
+def _lan_behavior(seed: S.LanSeed) -> PageScript:
+    url = f"{seed.scheme}://{seed.ip}:{seed.port}{seed.path}"
+    if seed.kind == "censorship":
+        # Censorship injection manifests as an iframe sourced directly at
+        # the blackhole LAN address (Appendix C).
+        return DirectLocalFetch(
+            name=f"censorship-iframe:{seed.domain}",
+            local_url=url,
+            active_oses=frozenset(seed.oses),
+            delay_ms=_lan_delay_ms(seed),
+        )
+    return ResourceFetchBehavior(
+        name=f"lan-{seed.kind}:{seed.domain}",
+        urls=(url,),
+        active_oses=frozenset(seed.oses),
+        delay_ms=_lan_delay_ms(seed),
+    )
+
+
+def _malicious_behaviors(seed: S.MaliciousSeed) -> list[PageScript]:
+    active = frozenset(seed.oses)
+    delay = _delay_ms(seed.domain, _malicious_reason(seed.kind))
+    scripts: list[PageScript] = []
+    for probe in seed.probes:
+        if seed.kind == "threatmetrix-clone":
+            scripts.append(
+                PortScanBehavior(
+                    name=f"threatmetrix@{seed.domain} (cloned)",
+                    scheme=probe.scheme,
+                    ports=probe.ports,
+                    active_oses=active,
+                    delay_ms=delay,
+                    telemetry_url="https://h.online-metrix.net/fp/clear.png",
+                )
+            )
+        elif seed.kind == "native":
+            scripts.append(
+                NativeAppProbe(
+                    name=seed.app or seed.domain,
+                    scheme=probe.scheme,
+                    ports=probe.ports,
+                    path=probe.path,
+                    active_oses=active,
+                    delay_ms=delay,
+                )
+            )
+        elif seed.kind == "dev-redirect":
+            scripts.append(
+                RedirectToLocalBehavior(
+                    name=f"dev-redirect:{seed.domain}",
+                    public_url=f"{probe.scheme}://{seed.domain}/home",
+                    local_url=(
+                        f"{probe.scheme}://127.0.0.1:{probe.ports[0]}{probe.path}"
+                    ),
+                    active_oses=active,
+                    delay_ms=delay,
+                )
+            )
+        else:  # dev-file / dev-livereload
+            host = "localhost" if seed.kind == "dev-livereload" else "127.0.0.1"
+            scripts.append(
+                ResourceFetchBehavior(
+                    name=f"{seed.kind}:{seed.domain}",
+                    urls=tuple(
+                        f"{probe.scheme}://{host}:{port}{probe.path}"
+                        for port in probe.ports
+                    ),
+                    active_oses=active,
+                    delay_ms=delay,
+                )
+            )
+    return scripts
+
+
+def _malicious_reason(kind: str) -> str:
+    if kind == "threatmetrix-clone":
+        return "fraud"
+    if kind == "native":
+        return "native"
+    return "dev"
+
+
+def _public_noise(domain: str) -> list[str]:
+    """A couple of ordinary third-party fetches for realism."""
+    return [
+        f"https://cdn.{domain}/static/app.js",
+        "https://fonts.example-cdn.com/roboto.woff2",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Failure injection
+# ---------------------------------------------------------------------------
+
+def _assign_failures(
+    websites: list[Website],
+    eligible: list[Website],
+    os_name: str,
+    error_counts: dict[str, int],
+    seed_key: str,
+) -> None:
+    """Inject per-OS load failures with exact per-type counts.
+
+    ``eligible`` lists the filler sites that may fail; the draw is a
+    seeded sample so re-building the population reproduces the same
+    failing set.
+    """
+    del websites  # failures mutate eligible entries in place
+    total_failures = sum(error_counts.values())
+    if total_failures > len(eligible):
+        raise ValueError(
+            f"{seed_key}: {total_failures} failures requested but only "
+            f"{len(eligible)} eligible sites"
+        )
+    rng = random.Random(seed_key)
+    failing = rng.sample(eligible, total_failures)
+    cursor = 0
+    others_cycle = 0
+    for bucket, count in error_counts.items():
+        for _ in range(count):
+            site = failing[cursor]
+            cursor += 1
+            if bucket == "NAME_NOT_RESOLVED":
+                error = NetError.ERR_NAME_NOT_RESOLVED
+            elif bucket == "CONN_REFUSED":
+                error = NetError.ERR_CONNECTION_REFUSED
+            elif bucket == "CONN_RESET":
+                error = NetError.ERR_CONNECTION_RESET
+            elif bucket == "CERT_CN_INVALID":
+                error = NetError.ERR_CERT_COMMON_NAME_INVALID
+            else:
+                error = OTHER_ERROR_POOL[others_cycle % len(OTHER_ERROR_POOL)]
+                others_cycle += 1
+            site.load_errors[os_name] = error
+
+
+def _scaled_counts(counts: dict[str, int], scale: float) -> dict[str, int]:
+    if scale >= 1.0:
+        return dict(counts)
+    return {bucket: int(count * scale) for bucket, count in counts.items()}
+
+
+# ---------------------------------------------------------------------------
+# Top-100K populations
+# ---------------------------------------------------------------------------
+
+def _top_seed_ranks(year: int) -> dict[str, int]:
+    """domain -> rank for every seed present in the given year's list."""
+    ranks: dict[str, int] = {}
+    for seed in S.LOCALHOST_2020:
+        if year == 2020 and seed.in_2020_list:
+            ranks[seed.domain] = seed.rank
+        elif year == 2021 and seed.in_2021_list:
+            ranks[seed.domain] = seed.rank_2021 or seed.rank
+    for seed in S.NEW_2021:
+        if year == 2020 and seed.in_2020_list:
+            ranks.setdefault(seed.domain, seed.rank)
+        elif year == 2021:
+            ranks.setdefault(seed.domain, seed.rank_2021 or seed.rank)
+    lan_seeds = S.LAN_2020 if year == 2020 else S.LAN_2021
+    for lan in lan_seeds:
+        if lan.rank is not None:
+            ranks.setdefault(lan.domain, lan.rank)
+    return ranks
+
+
+def build_top_population(
+    year: int,
+    *,
+    scale: float = 1.0,
+    with_failures: bool = True,
+    base_list: TrancoList | None = None,
+    login_page_scanners: bool = True,
+) -> CrawlPopulation:
+    """Build the ``top2020`` or ``top2021`` population.
+
+    ``scale`` < 1 shrinks the *filler* while keeping every seeded site —
+    fast enough for unit tests, with failure counts scaled to match.
+    ``base_list`` may pass the 2020 list when building 2021, to model the
+    ~75% snapshot overlap.  ``login_page_scanners`` seeds the §3.3
+    extension sites whose ThreatMetrix scan lives on their /signin page;
+    they are invisible to the default landing-page crawl, so every paper
+    table is unaffected unless ``include_internal`` crawling is enabled.
+    """
+    if year not in (2020, 2021):
+        raise ValueError("year must be 2020 or 2021")
+    crawl = f"top{year}"
+    oses = ALL_OSES if year == 2020 else (WINDOWS, LINUX)
+    size = max(int(S.TOP_LIST_SIZE * scale), 1)
+    seed_ranks = _top_seed_ranks(year)
+    login_by_domain: dict[str, "LoginPageScanner"] = {}
+    if login_page_scanners:
+        from .internal import LOGIN_PAGE_SCANNERS, LoginPageScanner
+
+        for scanner in LOGIN_PAGE_SCANNERS:
+            login_by_domain[scanner.domain] = scanner
+            seed_ranks.setdefault(scanner.domain, scanner.rank)
+    if scale < 1.0:
+        # Compress seed ranks into the shrunken list while preserving order.
+        ordered = sorted(seed_ranks.items(), key=lambda kv: kv[1])
+        seed_ranks = {
+            domain: max(1, int(rank * scale)) for domain, rank in ordered
+        }
+        size = max(size, len(seed_ranks) + 1)
+
+    top_list = build_top_list(
+        crawl,
+        size,
+        seed_ranks,
+        filler_generation="t20" if year == 2020 else "t21",
+        reuse_filler_from=base_list,
+    )
+
+    localhost_by_domain: dict[str, S.LocalhostSeed] = {}
+    for seed in list(S.LOCALHOST_2020) + list(S.NEW_2021):
+        localhost_by_domain.setdefault(seed.domain, seed)
+    lan_by_domain = {
+        lan.domain: lan for lan in (S.LAN_2020 if year == 2020 else S.LAN_2021)
+    }
+
+    websites: list[Website] = []
+    active: set[str] = set()
+    filler: list[Website] = []
+    for entry in top_list:
+        behaviors: list[PageScript] = []
+        seed = localhost_by_domain.get(entry.domain)
+        if seed is not None:
+            seed_oses = seed.oses_2020 if year == 2020 else seed.oses_2021
+            if seed_oses:
+                behaviors.extend(_localhost_behaviors(seed, seed_oses))
+        lan = lan_by_domain.get(entry.domain)
+        if lan is not None:
+            behaviors.append(_lan_behavior(lan))
+        internal_pages: dict[str, list[PageScript]] = {}
+        login = login_by_domain.get(entry.domain)
+        if login is not None:
+            from .internal import login_scan_behavior
+
+            internal_pages[login.login_path] = [login_scan_behavior(login)]
+        site = Website(
+            domain=entry.domain,
+            rank=entry.rank,
+            https=True,
+            behaviors=behaviors,
+            internal_pages=internal_pages,
+            resources=_public_noise(entry.domain)
+            if behaviors or internal_pages
+            else [],
+            calibrated=bool(seed and seed.calibrated)
+            or bool(lan and lan.calibrated)
+            or login is not None,
+        )
+        websites.append(site)
+        if behaviors or internal_pages:
+            active.add(entry.domain)
+        else:
+            filler.append(site)
+
+    if with_failures:
+        for os_name in oses:
+            targets = S.TABLE1_TARGETS.get((crawl, os_name))
+            if targets is None:
+                continue
+            _, error_counts = targets
+            _assign_failures(
+                websites,
+                filler,
+                os_name,
+                _scaled_counts(error_counts, scale),
+                seed_key=f"{crawl}:{os_name}",
+            )
+
+    return CrawlPopulation(
+        name=crawl,
+        websites=websites,
+        oses=oses,
+        top_list=top_list,
+        active_domains=active,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Malicious population
+# ---------------------------------------------------------------------------
+
+_CATEGORY_TOTALS = {
+    "malware": S.MALWARE_COUNT,
+    "abuse": S.ABUSE_COUNT,
+    "phishing": S.PHISHING_COUNT,
+    "uncategorized": S.UNCATEGORIZED_COUNT,
+}
+
+
+def build_malicious_population(
+    *, scale: float = 1.0, with_failures: bool = True
+) -> CrawlPopulation:
+    """Build the blocklist-derived malicious population (all three OSes)."""
+    localhost_by_domain = {m.domain: m for m in S.MALICIOUS_LOCALHOST}
+    lan_by_domain = {lan.domain: lan for lan in S.MALICIOUS_LAN}
+
+    websites: list[Website] = []
+    active: set[str] = set()
+    filler_by_category: dict[str, list[Website]] = {
+        category: [] for category in _CATEGORY_TOTALS
+    }
+
+    seeded_per_category: dict[str, int] = {c: 0 for c in _CATEGORY_TOTALS}
+    for domain in set(localhost_by_domain) | set(lan_by_domain):
+        seed = localhost_by_domain.get(domain)
+        lan = lan_by_domain.get(domain)
+        category = seed.category if seed else lan.category  # type: ignore[union-attr]
+        behaviors: list[PageScript] = []
+        if seed is not None:
+            behaviors.extend(_malicious_behaviors(seed))
+        if lan is not None:
+            behaviors.append(_lan_behavior(lan))
+        websites.append(
+            Website(
+                domain=domain,
+                category=category,
+                https=False,
+                behaviors=behaviors,
+                resources=_public_noise(domain),
+                calibrated=bool(seed and seed.calibrated)
+                or bool(lan and lan.calibrated),
+            )
+        )
+        active.add(domain)
+        seeded_per_category[category] = seeded_per_category.get(category, 0) + 1
+
+    for category, total in _CATEGORY_TOTALS.items():
+        filler_count = max(int(total * scale) - seeded_per_category[category], 0)
+        for index in range(filler_count):
+            site = Website(
+                domain=f"{category[:5]}{index:06d}.blocklisted.example",
+                category=category,
+                https=False,
+            )
+            websites.append(site)
+            filler_by_category[category].append(site)
+
+    if with_failures:
+        for os_name in ALL_OSES:
+            _, error_counts = S.TABLE1_TARGETS[("malicious", os_name)]
+            type_total = sum(error_counts.values())
+            # Per-category failure counts come from Table 2's success
+            # rates; error types are then drawn proportionally from
+            # Table 1's per-type totals within each category.
+            remaining_types = {
+                bucket: int(count * scale) for bucket, count in error_counts.items()
+            }
+            categories = ["malware", "abuse", "phishing", "uncategorized"]
+            for position, category in enumerate(categories):
+                total = _CATEGORY_TOTALS[category]
+                successes = S.MALICIOUS_CATEGORY_SUCCESSES[os_name].get(
+                    category, total
+                )
+                failures = int((total - successes) * scale)
+                failures = min(failures, len(filler_by_category[category]))
+                if failures <= 0:
+                    continue
+                if position == len(categories) - 1:
+                    share = dict(remaining_types)
+                else:
+                    share = {
+                        bucket: min(
+                            int(round(count * failures / max(type_total, 1))),
+                            remaining_types[bucket],
+                        )
+                        for bucket, count in error_counts.items()
+                    }
+                # Keep the per-category total exact by topping up the
+                # dominant DNS bucket.
+                drift = failures - sum(share.values())
+                share["NAME_NOT_RESOLVED"] = max(
+                    share.get("NAME_NOT_RESOLVED", 0) + drift, 0
+                )
+                for bucket, used in share.items():
+                    remaining_types[bucket] = max(
+                        remaining_types.get(bucket, 0) - used, 0
+                    )
+                _assign_failures(
+                    websites,
+                    filler_by_category[category],
+                    os_name,
+                    share,
+                    seed_key=f"malicious:{os_name}:{category}",
+                )
+
+    return CrawlPopulation(
+        name="malicious",
+        websites=websites,
+        oses=ALL_OSES,
+        active_domains=active,
+    )

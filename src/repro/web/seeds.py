@@ -1,0 +1,860 @@
+"""Ground-truth seed data: the paper's measured tables as structured rows.
+
+This module transcribes Tables 3, 5, 6, 7, 8, 9, 10 and 11 of the paper
+(plus the §4.3 narrative) into data the population builder turns into
+behaving websites.  Every domain, port set, protocol, URL path and OS flag
+comes from the paper where the tables state it; rows the paper gives only
+in aggregate ("79 domains omitted for brevity", Figure 2 overlap regions)
+are reconstructed and marked ``calibrated=True``.  DESIGN.md §6 documents
+each calibration decision; EXPERIMENTS.md records the resulting
+paper-vs-measured deltas.
+
+Wildcard path components in the paper's tables (``*.jpg``) are concretised
+to stable example names — the analyses only depend on path *shape*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+W, L, M = "windows", "linux", "mac"
+ALL = (W, L, M)
+WL = (W, L)
+LM = (L, M)
+WM = (W, M)
+
+#: The 14 localhost ports ThreatMetrix probes over WSS (Tables 4/5).
+TM_PORTS: tuple[int, ...] = (
+    3389, 5279, 5900, 5901, 5902, 5903, 5931, 5939, 5944, 5950, 6039, 6040,
+    63333, 7070,
+)
+#: The 7 localhost ports BIG-IP ASM Bot Defense probes over HTTP.
+ASM_PORTS: tuple[int, ...] = (4444, 4653, 5555, 7054, 7055, 9515, 17556)
+
+DISCORD_PORTS = tuple(range(6463, 6473))
+HOLA_PORTS = tuple(range(6880, 6890))
+WOWREALITY_PORTS: tuple[int, ...] = (
+    1080, 1194, 2375, 2376, 3000, 3128, 3306, 3479, 4244, 5037, 5242, 5601,
+    5938, 6379, 8332, 8333, 8530, 9000, 9050, 9150, 9785, 11211, 15672,
+    23399, 27017,
+)
+NPROTECT_PORTS = tuple(range(14440, 14450))
+ANYSIGN_PORTS: tuple[int, ...] = (10531, 31027, 31029)
+TRUSTDICE_PORTS: tuple[int, ...] = (50005, 51505, 53005, 54505, 56005)
+GNWAY_PORTS = tuple(range(38681, 38688))
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    """One (scheme, ports, path) group of localhost requests."""
+
+    scheme: str
+    ports: tuple[int, ...]
+    path: str = "/"
+
+
+@dataclass(frozen=True, slots=True)
+class LocalhostSeed:
+    """A top-100K site observed making localhost requests."""
+
+    domain: str
+    rank: int  # 2020 rank where in the 2020 list, else the 2021 rank
+    reason: str  # fraud | bot | native | dev | unknown
+    probes: tuple[Probe, ...]
+    oses_2020: tuple[str, ...] | None  # None: no 2020 activity / not crawled
+    oses_2021: tuple[str, ...] | None  # None: no 2021 activity / not crawled
+    in_2020_list: bool = True
+    in_2021_list: bool = True
+    rank_2021: int | None = None
+    dev_kind: str | None = None  # file | pentest | livereload | redirect | sockjs | other
+    app: str | None = None
+    vendor: str | None = None
+    calibrated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class LanSeed:
+    """A site observed making LAN (private-address) requests."""
+
+    domain: str
+    rank: int | None
+    scheme: str
+    ip: str
+    port: int
+    path: str
+    oses: tuple[str, ...]
+    crawl: str  # top2020 | top2021 | malicious
+    category: str | None = None  # malware | abuse | phishing (malicious only)
+    kind: str = "dev"  # dev | censorship | other | unknown
+    delay_s: float | None = None
+    calibrated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class MaliciousSeed:
+    """A blocklisted site observed making localhost requests."""
+
+    domain: str
+    category: str  # malware | abuse | phishing
+    probes: tuple[Probe, ...]
+    oses: tuple[str, ...]
+    kind: str  # threatmetrix-clone | native | dev-file | dev-livereload | dev-redirect
+    app: str | None = None
+    calibrated: bool = False
+
+
+def _tm(domain: str, rank: int, *, oses_2021: tuple[str, ...] | None,
+        in_2021: bool = True, rank_2021: int | None = None,
+        vendor: str | None = None, calibrated: bool = False) -> LocalhostSeed:
+    """A 2020 ThreatMetrix fraud-detection deployer (always Windows-only)."""
+    return LocalhostSeed(
+        domain=domain, rank=rank, reason="fraud",
+        probes=(Probe("wss", TM_PORTS, "/"),),
+        oses_2020=(W,), oses_2021=oses_2021,
+        in_2021_list=in_2021, rank_2021=rank_2021,
+        vendor=vendor or "h.online-metrix.net", calibrated=calibrated,
+    )
+
+
+def _asm(domain: str, rank: int) -> LocalhostSeed:
+    """A 2020 BIG-IP ASM Bot Defense deployer (Windows-only; all stopped
+    serving the /TSPD script before the 2021 crawl, section 4.3.2)."""
+    return LocalhostSeed(
+        domain=domain, rank=rank, reason="bot",
+        probes=(Probe("http", ASM_PORTS, "/"),),
+        oses_2020=(W,), oses_2021=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — 2020 top-100K localhost requesters (+ Table 11 dev errors)
+# ---------------------------------------------------------------------------
+
+_EBAY_RANKS = {
+    "ebay.com": 104, "ebay.de": 429, "ebay.co.uk": 536, "ebay.com.au": 932,
+    "ebay.it": 1843, "ebay.fr": 2200, "ebay.ca": 2394, "ebay.at": 3200,
+    "ebay.ch": 4100, "ebay.in": 5120, "ebay.pl": 6200, "ebay.ie": 7300,
+    "ebay.com.sg": 9800, "ebay.com.my": 12050, "ebay.ph": 15400,
+    "ebay.es": 1590, "ebay.nl": 1120, "ebay.us": 45156,
+}
+
+FRAUD_2020: tuple[LocalhostSeed, ...] = tuple(
+    [
+        _tm(domain, rank, oses_2021=(W,), vendor="ebay-us.com")
+        for domain, rank in sorted(_EBAY_RANKS.items(), key=lambda kv: kv[1])
+    ]
+    + [
+        # Added to match the paper's aggregate of 35 fraud sites / 490
+        # Windows WSS requests (DESIGN.md §6).
+        _tm("ebay.be", 30500, oses_2021=(W,), vendor="ebay-us.com",
+            calibrated=True),
+        _tm("fidelity.com", 1250, oses_2021=(W,)),
+        _tm("citi.com", 1288, oses_2021=None),
+        _tm("citibank.com", 5400, oses_2021=None),
+        _tm("citibankonline.com", 7907, oses_2021=None),
+        _tm("marktplaats.nl", 5680, oses_2021=None),
+        _tm("betfair.com", 7441, oses_2021=(W,), rank_2021=8173,
+            vendor="regstat.betfair.com"),
+        _tm("tiaa.org", 13119, oses_2021=None),
+        _tm("tiaa-cref.org", 57251, oses_2021=None),
+        _tm("2dehands.be", 13901, oses_2021=None),
+        _tm("santanderbank.com", 25990, oses_2021=(W,)),
+        _tm("ameriprise.com", 29104, oses_2021=(W,)),
+        _tm("commoncause.org", 34251, oses_2021=None),
+        _tm("ctfs.com", 45228, oses_2021=None),
+        _tm("2ememain.be", 50853, oses_2021=None),
+        _tm("highlow.net", 90641, oses_2021=(W,)),
+        _tm("metagenics.com", 97182, oses_2021=(W,)),
+    ]
+)
+
+BOT_2020: tuple[LocalhostSeed, ...] = (
+    _asm("sbi.co.in", 8608),
+    _asm("cnes.fr", 25881),
+    _asm("din.de", 27491),
+    _asm("csob.cz", 32114),
+    _asm("anaf.ro", 48803),
+    _asm("data.gov.in", 55267),
+    _asm("allegiantair.com", 55852),
+    _asm("tmdn.org", 58948),
+    _asm("beuth.de", 65955),
+    _asm("bank.sbi", 99638),
+)
+
+NATIVE_2020: tuple[LocalhostSeed, ...] = (
+    LocalhostSeed(
+        "faceit.com", 5369, "native", (Probe("ws", (28337,), "/"),),
+        oses_2020=ALL, oses_2021=WL, app="FACEIT client",
+    ),
+    LocalhostSeed(
+        "cponline.pw", 23218, "native",
+        (Probe("ws", DISCORD_PORTS, "/?v=1"),),
+        oses_2020=ALL, oses_2021=None, in_2021_list=False, app="Discord",
+    ),
+    LocalhostSeed(
+        "samsungcard.com", 29301, "native",
+        (
+            Probe("wss", ANYSIGN_PORTS, "/"),
+            Probe("https", NPROTECT_PORTS, "/?code=1&dummy=2"),
+        ),
+        oses_2020=ALL, oses_2021=WL,
+        app="nProtect Online Security + AnySign for PC",
+    ),
+    LocalhostSeed(
+        "samsungcard.co.kr", 77550, "native",
+        (
+            Probe("wss", ANYSIGN_PORTS, "/"),
+            Probe("https", NPROTECT_PORTS, "/?code=1&dummy=2"),
+        ),
+        oses_2020=ALL, oses_2021=WL,
+        app="nProtect Online Security + AnySign for PC",
+    ),
+    LocalhostSeed(
+        "gamehouse.com", 36141, "native",
+        (Probe("http", (12071, 12072, 17021, 27021),
+               "/v1/init.json?api_port=12071&query_id=1"),),
+        oses_2020=ALL, oses_2021=None, app="GameHouse client",
+    ),
+    LocalhostSeed(
+        "games.lol", 47690, "native", (Probe("ws", (60202,), "/check"),),
+        oses_2020=LM, oses_2021=WL, app="Games.lol client", calibrated=True,
+    ),
+    LocalhostSeed(
+        "zylom.com", 57008, "native",
+        (Probe("http", (12071, 17021),
+               "/v1/init.json?api_port=12071&query_id=1"),),
+        oses_2020=ALL, oses_2021=WL, app="Zylom game manager",
+    ),
+    LocalhostSeed(
+        "iwin.com", 74089, "native",
+        (Probe("http", (2080, 2081, 2082), "/version?_=1"),),
+        oses_2020=LM, oses_2021=WL, app="iWin Games client", calibrated=True,
+    ),
+    LocalhostSeed(
+        "screenleap.com", 77134, "native",
+        (Probe("http", (5320,), "/status"),),
+        oses_2020=ALL, oses_2021=None, in_2021_list=False,
+        app="Screenleap client",
+    ),
+    LocalhostSeed(
+        "acestream.me", 88902, "native",
+        (Probe("http", (6878,), "/webui/api/service"),),
+        oses_2020=ALL, oses_2021=None, in_2021_list=False,
+        app="Ace Stream client",
+    ),
+    LocalhostSeed(
+        "trustdice.win", 91904, "native",
+        (Probe("http", TRUSTDICE_PORTS, "/socket.io"),),
+        oses_2020=ALL, oses_2021=WL, app="TrustDice helper",
+    ),
+    LocalhostSeed(
+        "runeline.com", 98789, "native",
+        (Probe("ws", DISCORD_PORTS, "/?v=1"),),
+        oses_2020=ALL, oses_2021=None, in_2021_list=False, app="Discord",
+    ),
+)
+
+UNKNOWN_2020: tuple[LocalhostSeed, ...] = (
+    LocalhostSeed(
+        "hola.org", 243, "unknown", (Probe("http", HOLA_PORTS, "/peers.json"),),
+        oses_2020=ALL, oses_2021=WL,
+    ),
+    LocalhostSeed(
+        "wowreality.info", 21245, "unknown",
+        (Probe("http", WOWREALITY_PORTS, "/"),),
+        oses_2020=ALL, oses_2021=WL,
+    ),
+    LocalhostSeed(
+        "svd-cdn.com", 62048, "unknown",
+        (Probe("http", HOLA_PORTS, "/chunk.json"),),
+        oses_2020=ALL, oses_2021=WL,
+    ),
+    LocalhostSeed(
+        "usaonlineclassifieds.com", 78456, "unknown",
+        (Probe("ws", (2687, 26876), "/"),),
+        oses_2020=(W,), oses_2021=None,
+    ),
+    LocalhostSeed(
+        "usnetads.com", 84569, "unknown",
+        (Probe("ws", (2687, 26876), "/"),),
+        oses_2020=(W,), oses_2021=None,
+    ),
+)
+
+
+def _dev(domain: str, rank: int, scheme: str, port: int, path: str,
+         oses_2020: tuple[str, ...], *, kind: str,
+         oses_2021: tuple[str, ...] | None = None, in_2021: bool = True,
+         calibrated: bool = False) -> LocalhostSeed:
+    return LocalhostSeed(
+        domain=domain, rank=rank, reason="dev",
+        probes=(Probe(scheme, (port,), path),),
+        oses_2020=oses_2020, oses_2021=oses_2021,
+        in_2021_list=in_2021, dev_kind=kind, calibrated=calibrated,
+    )
+
+
+DEV_2020: tuple[LocalhostSeed, ...] = (
+    # -- local file server ------------------------------------------------
+    _dev("smartcatdesign.net", 22729, "http", 8888,
+         "/wp-content/uploads/2018/06/hero.jpg", ALL, kind="file",
+         oses_2021=WL),
+    _dev("uinsby.ac.id", 36786, "http", 80,
+         "/eduma/demo-1/wp-content/uploads/sites/2/2017/11/banner.jpg", ALL,
+         kind="file", oses_2021=WL),
+    _dev("upbasiceduboard.gov.in", 38865, "http", 1987,
+         "/TeacherRecruitment2018/images/notice.jpg", WL, kind="file",
+         in_2021=False),
+    _dev("walisongo.ac.id", 41468, "http", 80,
+         "/wordpress/wp-content/uploads/2015/07/campus.jpg", WL, kind="file",
+         oses_2021=WL),
+    _dev("classera.com", 41596, "http", 8080,
+         "/wp-content/uploads/2020/04/logo.png", WL, kind="file",
+         oses_2021=WL),
+    _dev("weavesilk.com", 45177, "http", 80, "/Silk%20Static/intro.mp4", ALL,
+         kind="file"),
+    _dev("upsen.net", 50390, "http", 80, "/6/10/app.js", ALL, kind="file",
+         in_2021=False),
+    _dev("dsb.cn", 51910, "http", 80, "/cover.jpg", (L,), kind="file"),
+    _dev("sin-tech.cn", 56450, "http", 9999,
+         "/admin/kindeditor/attached/image/20191017/product.jpg", ALL,
+         kind="file", in_2021=False),
+    _dev("nwolb.com", 56730, "https", 36762, "/spinner.gif", ALL, kind="file"),
+    _dev("cryptopia.co.nz", 57467, "http", 49972, "/favicon.ico", ALL,
+         kind="file"),
+    _dev("weijuju.com", 63636, "http", 9092, "/image/page/index/bg.png", ALL,
+         kind="file", in_2021=False),
+    _dev("tdk.gov.tr", 63770, "http", 80,
+         "/magazon/magazon-wp/wp-content/uploads/2013/02/favicon.ico", ALL,
+         kind="file"),
+    _dev("shqilon.com", 65915, "http", 80, "/stop/notice.html", ALL,
+         kind="file", in_2021=False),
+    _dev("aau.edu.et", 66891, "http", 80,
+         "/graduation/wp-content/uploads/2020/06/gown.png", (L,), kind="file"),
+    _dev("sirrus.com.br", 67851, "http", 80,
+         "/sitesirrus/wp-content/uploads/2017/07/logo.png", ALL, kind="file",
+         oses_2021=WL),
+    _dev("unionbankph.com", 69708, "http", 8888, "/socket.io/socket.io.js",
+         ALL, kind="file"),
+    _dev("qubscribe.com", 77636, "https", 443,
+         "/wp-content/uploads/2019/03/header.png", LM, kind="file",
+         in_2021=False),
+    _dev("persian-magento.ir", 77761, "http", 80,
+         "/graffito/images/sampledata/shoe.png", ALL, kind="file",
+         in_2021=False),
+    _dev("serymark.com", 86045, "http", 80,
+         "/sm/wp-content/uploads/2017/06/icon.png", ALL, kind="file",
+         in_2021=False),
+    _dev("ghana.com", 88997, "https", 8080,
+         "/gdc/wp-content/themes/consultix/images/flag.png", ALL, kind="file",
+         in_2021=False),
+    _dev("gomedici.com", 92768, "http", 3000, "/assets/logo.png", LM,
+         kind="file", oses_2021=WL, calibrated=True),
+    _dev("xaipe.edu.cn", 93798, "http", 80, "/news.html", LM, kind="file",
+         in_2021=False),
+    _dev("health.com.kh", 94771, "http", 8899,
+         "/newhealth/wp-content/uploads/2018/01/clinic.png", ALL, kind="file",
+         in_2021=False),
+    _dev("urkund.com", 96981, "http", 4337,
+         "/wp-content/uploads/2019/07/report.png", LM, kind="file",
+         in_2021=False),
+    # -- pen test ----------------------------------------------------------
+    _dev("rkn.gov.ru", 17826, "http", 5005, "/xook.js", ALL, kind="pentest",
+         in_2021=False),
+    # -- LiveReload.js ------------------------------------------------------
+    _dev("cruzeirodosulvirtual.com.br", 19243, "http", 460, "/livereload.js",
+         ALL, kind="livereload"),
+    _dev("melissaanddoug.com", 53124, "https", 35729, "/livereload.js", ALL,
+         kind="livereload"),
+    _dev("airfind.com", 53216, "https", 35729, "/livereload.js", ALL,
+         kind="livereload"),
+    _dev("hollins.edu", 58629, "https", 35729, "/livereload.js", ALL,
+         kind="livereload", calibrated=True),
+    _dev("amitriptylineelavilgha.com", 59978, "http", 35729, "/livereload.js",
+         ALL, kind="livereload", in_2021=False),
+    # -- redirect to 127.0.0.1 ----------------------------------------------
+    _dev("romadecade.org", 51142, "http", 80, "/", ALL, kind="redirect",
+         in_2021=False),
+    _dev("fincaraiz.com.co", 63644, "http", 80, "/", (W,), kind="redirect"),
+    # -- SockJS-node (Mac only, Appendix B) ----------------------------------
+    _dev("lyfdose.com", 49144, "http", 9000, "/sockjs-node/info?t=1", (M,),
+         kind="sockjs"),
+    _dev("klik-mag.com", 49990, "https", 9000, "/sockjs-node/info?t=1", (M,),
+         kind="sockjs"),
+    _dev("acedirectory.org", 51101, "https", 9000, "/sockjs-node/info?t=1",
+         (M,), kind="sockjs"),
+    _dev("veteranstodayarchives.com", 57249, "https", 9000,
+         "/sockjs-node/info?t=1", (M,), kind="sockjs"),
+    _dev("smartsearch.me", 66971, "https", 9000, "/sockjs-node/info?t=1",
+         (M,), kind="sockjs"),
+    # -- other local services -------------------------------------------------
+    _dev("zakupki.gov.ru", 7699, "https", 1931, "/record/state", ALL,
+         kind="other", in_2021=False),
+    _dev("gamezone.com", 24739, "http", 8000, "/setuid", ALL, kind="other",
+         calibrated=True),
+    _dev("filemail.com", 26399, "http", 56666, "/", ALL, kind="other",
+         calibrated=True),
+    _dev("interbank.pe", 31518, "http", 9080, "/avisos-portal", ALL,
+         kind="other", oses_2021=WL, calibrated=True),
+    _dev("fsist.com.br", 58708, "http", 28337, "/getCertificados", ALL,
+         kind="other", in_2021=False),
+    _dev("spaceappschallenge.org", 62852, "http", 8000, "/graphql", LM,
+         kind="other", oses_2021=WL, calibrated=True),
+    _dev("fromhomefitness.com", 90791, "https", 8000, "/app/getLicenseKey",
+         LM, kind="other", in_2021=False),
+)
+
+LOCALHOST_2020: tuple[LocalhostSeed, ...] = (
+    FRAUD_2020 + BOT_2020 + NATIVE_2020 + UNKNOWN_2020 + DEV_2020
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 7 — sites newly observed in the 2021 crawl (Windows + Linux only)
+# ---------------------------------------------------------------------------
+
+def _new2021(domain: str, rank: int, reason: str, probes: tuple[Probe, ...],
+             oses: tuple[str, ...], *, in_2020: bool, dev_kind: str | None = None,
+             app: str | None = None, vendor: str | None = None,
+             calibrated: bool = False) -> LocalhostSeed:
+    return LocalhostSeed(
+        domain=domain, rank=rank, reason=reason, probes=probes,
+        oses_2020=None, oses_2021=oses, in_2020_list=in_2020,
+        rank_2021=rank, dev_kind=dev_kind, app=app, vendor=vendor,
+        calibrated=calibrated,
+    )
+
+
+_IQIYI = (Probe("http", (16422, 16423), "/get_client_ver?v=1"),)
+_THUNDER = (Probe("http", (28317, 36759), "/get_thunder_version/"),)
+_EIMZO = (Probe("wss", (64443,), "/service/cryptapi"),)
+
+NEW_2021: tuple[LocalhostSeed, ...] = (
+    # -- fraud detection (ThreatMetrix), Windows only ------------------------
+    _new2021("cibc.com", 2912, "fraud", (Probe("wss", TM_PORTS, "/"),), (W,),
+             in_2020=True, vendor="h.online-metrix.net"),
+    _new2021("highlow.com", 10679, "fraud", (Probe("wss", TM_PORTS, "/"),),
+             (W,), in_2020=True, vendor="h.online-metrix.net"),
+    _new2021("moneybookers.com", 28370, "fraud", (Probe("wss", TM_PORTS, "/"),),
+             (W,), in_2020=True, vendor="h.online-metrix.net"),
+    _new2021("ebay.com.hk", 31170, "fraud", (Probe("wss", TM_PORTS, "/"),),
+             (W,), in_2020=True, vendor="ebay-us.com"),
+    _new2021("marks.com", 64012, "fraud", (Probe("wss", TM_PORTS, "/"),),
+             (W,), in_2020=True, vendor="h.online-metrix.net"),
+    # -- native applications -------------------------------------------------
+    _new2021("iqiyi.com", 592, "native", _IQIYI, WL, in_2020=True,
+             app="iQIYI client"),
+    _new2021("qy.net", 7664, "native", _IQIYI, WL, in_2020=True,
+             app="iQIYI client"),
+    _new2021("qiyi.com", 10966, "native", _IQIYI, WL, in_2020=True,
+             app="iQIYI client"),
+    _new2021("iqiyipic.com", 12350, "native", _IQIYI, WL, in_2020=True,
+             app="iQIYI client"),
+    _new2021("ppstream.com", 15581, "native", _IQIYI, WL, in_2020=True,
+             app="iQIYI client"),
+    _new2021("ppsimg.com", 34989, "native", _IQIYI, WL, in_2020=False,
+             app="iQIYI client"),
+    _new2021("soliqservis.uz", 44280, "native", _EIMZO, WL, in_2020=False,
+             app="E-IMZO"),
+    _new2021("nfstar.net", 75083, "native", _THUNDER, WL, in_2020=False,
+             app="Thunder"),
+    _new2021("9ekk.com", 80108, "native", _THUNDER, WL, in_2020=False,
+             app="Thunder"),
+    _new2021("somode.com", 87274, "native", _THUNDER, WL, in_2020=False,
+             app="Thunder"),
+    _new2021("mcgeeandco.com", 82814, "native",
+             (Probe("https", (4000,), "/socket.io/?EIO=3"),), WL,
+             in_2020=False, app="companion service"),
+    _new2021("71.am", 86605, "native", _IQIYI, WL, in_2020=False,
+             app="iQIYI client"),
+    _new2021("didox.uz", 94270, "native", _EIMZO, WL, in_2020=False,
+             app="E-IMZO"),
+    _new2021("gnway.com", 96284, "native",
+             (Probe("ws", GNWAY_PORTS, "/"),), (W,), in_2020=False,
+             app="GNWay client"),
+    # -- developer errors -----------------------------------------------------
+    _new2021("phonearena.com", 5154, "dev",
+             (Probe("http", (1500,), "/floor-domains"),), WL, in_2020=True,
+             dev_kind="other"),
+    _new2021("madmimi.com", 5331, "dev",
+             (Probe("http", (5555,), "/2.1.2/sockjs.min.js"),), (W,),
+             in_2020=True, dev_kind="file"),
+    _new2021("nursingworld.org", 14951, "dev",
+             (Probe("http", (80,), "/~4af7b9/globalassets/images/nurse.jpg"),),
+             (W,), in_2020=True, dev_kind="file"),
+    _new2021("ums.ac.id", 21280, "dev",
+             (Probe("http", (80,), "/ums-baru/wp-content/uploads/banner.jpg"),),
+             WL, in_2020=True, dev_kind="file"),
+    _new2021("zee.co.ao", 25940, "dev",
+             (Probe("http", (80,), "/industrialwp/wp-content/uploads/logo.jpg"),),
+             WL, in_2020=False, dev_kind="file"),
+    _new2021("raovatnailsalon.com", 37323, "dev",
+             (Probe("https", (443,), "/raovatnailsalon/wp-content/uploads/ad.jpg"),),
+             WL, in_2020=False, dev_kind="file"),
+    _new2021("panduit.com", 42107, "dev",
+             (Probe("http", (4502,), "/apps/panduit/clientlibs/main.js"),),
+             (W,), in_2020=True, dev_kind="file"),
+    _new2021("internetworld.de", 45497, "dev",
+             (Probe("https", (443,), "/"),), WL, in_2020=True,
+             dev_kind="redirect"),
+    _new2021("mcknights.com", 47861, "dev",
+             (Probe("https", (9988,), "/livereload.js"),), WL, in_2020=True,
+             dev_kind="livereload", calibrated=True),
+    _new2021("san-servis.com", 50650, "dev",
+             (Probe("http", (80,), "/vina/vina_febris/images/header.png"),),
+             WL, in_2020=True, dev_kind="file"),
+    _new2021("postfallsonthego.com", 54756, "dev",
+             (Probe("http", (80,),
+                    "/magazon/magazon-wp/wp-content/uploads/mag.png"),),
+             WL, in_2020=False, dev_kind="file"),
+    _new2021("wealthcareportal.com", 55755, "dev",
+             (Probe("http", (80,), "/NonExistentImage48762.gif"),), WL,
+             in_2020=False, dev_kind="file"),
+    _new2021("lited.com", 55477, "dev",
+             (Probe("http", (11066,), "/getversionjpg?hash=1"),), WL,
+             in_2020=True, dev_kind="other", calibrated=True),
+    _new2021("workpermit.com", 68872, "dev",
+             (Probe("https", (6081,), "/news-ticker.json"),), WL,
+             in_2020=True, dev_kind="other"),
+    _new2021("ethiopianreporterjobs.co", 75989, "dev",
+             (Probe("https", (443,), "/wp-content/uploads/job.png"),), WL,
+             in_2020=False, dev_kind="file"),
+    _new2021("macroaxis.com", 77974, "dev",
+             (Probe("http", (8080,), "/img/icons/search.png"),), WL,
+             in_2020=False, dev_kind="file"),
+    _new2021("adfontesmedia.com", 83256, "dev",
+             (Probe("http", (8888,),
+                    "/adfontesmedia/wp-content/uploads/chart.png"),), WL,
+             in_2020=False, dev_kind="file"),
+    _new2021("charityvillage.com", 84378, "dev",
+             (Probe("http", (8888,), "/core/js/api/web-rules"),), WL,
+             in_2020=False, dev_kind="other"),
+    _new2021("showfx.ro", 90632, "dev",
+             (Probe("https", (443,),
+                    "/wordpress/x-street/wp-content/uploads/fx.png"),), WL,
+             in_2020=False, dev_kind="file"),
+    _new2021("xaydungtrangtrinoithat.com", 98402, "dev",
+             (Probe("https", (443,), "/wp-content/uploads/noithat.jpg"),), WL,
+             in_2020=False, dev_kind="file"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Tables 6 and 10 — LAN requesters in the top-100K crawls
+# ---------------------------------------------------------------------------
+
+LAN_2020: tuple[LanSeed, ...] = (
+    LanSeed("gsis.gr", 4381, "http", "10.193.31.212", 80,
+            "/system/files/2020-06/banner.png", ALL, "top2020"),
+    LanSeed("farsroid.com", 19523, "http", "10.10.34.35", 80, "/", (W,),
+            "top2020", kind="censorship"),
+    LanSeed("saddleback.edu", 35262, "https", "10.156.2.50", 443,
+            "/favicon.ico", (W,), "top2020"),
+    LanSeed("skalvibytte.no", 46972, "http", "10.0.0.200", 80,
+            "/wordpress/wp-content/uploads/2020/04/tour.mp4", ALL, "top2020"),
+    LanSeed("unib.ac.id", 56325, "http", "192.168.64.160", 80,
+            "/wp-content/uploads/2019/10/campus.jpg", ALL, "top2020"),
+    LanSeed("adnsolutions.com", 61554, "http", "10.0.20.16", 80,
+            "/wp-content/uploads/2018/11/team.jpg", (L,), "top2020",
+            delay_s=16.0),
+    LanSeed("tra97fn35n5brvxki5sj8x5x34k2t4d67j883fgt.xyz", 65302, "http",
+            "10.10.34.35", 80, "/", (M,), "top2020", kind="censorship",
+            delay_s=15.0),
+    LanSeed("zoom.lk", 73062, "https", "192.168.0.208", 443,
+            "/wp_011_test_demos/wp-content/uploads/2017/05/photo.jpg", (M,),
+            "top2020"),
+    LanSeed("1-movies.ir", 91632, "http", "10.10.34.35", 80, "/", ALL,
+            "top2020", kind="censorship"),
+)
+
+LAN_2021: tuple[LanSeed, ...] = (
+    LanSeed("blogsky.com", 4847, "http", "10.10.34.34", 80, "/", WL,
+            "top2021", kind="censorship"),
+    LanSeed("jollibeedelivery.qa", 23723, "http", "192.168.8.241", 5000,
+            "/MyPhone/c2cinfo", WL, "top2021", kind="other"),
+    LanSeed("unib.ac.id", 47356, "https", "192.168.64.160", 443,
+            "/wp-content/uploads/2019/10/campus.jpg", (L,), "top2021"),
+    LanSeed("bahrain.bh", 61472, "https", "192.168.110.72", 443,
+            "/matomo/matomo.js", WL, "top2021"),
+    LanSeed("auda.org.au", 69494, "https", "10.50.1.242", 8450,
+            "/libraries/slick/slick/loader.gif", WL, "top2021"),
+    LanSeed("mre.gov.br", 73274, "https", "192.168.33.187", 443,
+            "/modules/mod_acontece/assets/news.css", (L,), "top2021"),
+    LanSeed("haiwaihai.cn", 95595, "http", "172.16.0.4", 1117,
+            "/UpLoadFile/20160801/photo.jpg", WL, "top2021"),
+    LanSeed("techshout.com", 96554, "https", "192.168.0.120", 443,
+            "/wp_011_gadgets/wp-content/uploads/gadget.jpg", WL, "top2021"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Tables 8 and 9 — malicious webpages with local activity
+# ---------------------------------------------------------------------------
+
+_TM_CLONE_DOMAINS: tuple[str, ...] = (
+    "ebaybuy.com.buying-item-guest.com",
+    "100-25-26-254.cprapid.com",
+    "advancedlearningdynamics.com",
+    "smarturl.it",
+    "customer-ebay.com",
+    "citibank.gulajawajahe.my.id",
+    "www.citibank.gulajawajahe.my.id",
+    "o2-billing.org",
+    "samarasecrets.com",
+    "sic-week.000webhostapp.com",
+    "signin01.kauf-eday.de",
+    "hotelmontiazzurri.com",
+    "mahdistock.com",
+    "adesignsovast.com",
+)
+
+#: Four clone domains reconstructed to match Figure 4b's 252 Windows WSS
+#: requests (= 18 clone sites x 14 ports).
+_TM_CLONE_CALIBRATED: tuple[str, ...] = (
+    "secure-ebay-signin.com",
+    "ebay-account-verify.net",
+    "citi-online-secure.com",
+    "fidelity-login-check.com",
+)
+
+
+def _wp_malware_oses(index: int) -> tuple[str, ...]:
+    """OS availability of the i-th compromised-WordPress malware site.
+
+    The paper lists these 79 domains only in aggregate; the per-OS pattern
+    (64 on all three OSes, 1 Windows+Linux, 10 Linux-only, 4 Mac-only) is
+    calibrated so Table 2's malware marginals (W 72 / L 83 / M 75) hold
+    after adding the nine individually named sites.
+    """
+    if index < 64:
+        return ALL
+    if index < 65:
+        return WL
+    if index < 75:
+        return (L,)
+    return (M,)
+
+
+def _wp_malware_sites() -> list[MaliciousSeed]:
+    sites = []
+    for index in range(79):
+        domain = f"blog{index:02d}.compromised-wp.net"
+        sites.append(
+            MaliciousSeed(
+                domain=domain, category="malware",
+                probes=(Probe(
+                    "http", (80,),
+                    f"/blog/wp-content/uploads/2020/05/img{index:02d}.jpg",
+                ),),
+                oses=_wp_malware_oses(index), kind="dev-file",
+                calibrated=True,
+            )
+        )
+    return sites
+
+
+MALICIOUS_LOCALHOST: tuple[MaliciousSeed, ...] = tuple(
+    _wp_malware_sites()
+    + [
+        MaliciousSeed("acffiorentina.ru", "malware",
+                      (Probe("http", (8080,), "/socket.io/socket.io.js"),),
+                      ALL, "dev-file"),
+        MaliciousSeed("elilaifs.cn", "malware", _THUNDER, ALL, "native",
+                      app="Thunder"),
+        MaliciousSeed("boatattorney.com", "malware",
+                      (Probe("https", (35729,), "/livereload.js"),), WL,
+                      "dev-livereload"),
+        MaliciousSeed("jdih.purworejokab.go.id", "malware",
+                      (Probe("http", (80,), "/website-bphn-bk/logo.png"),),
+                      ALL, "dev-file"),
+        MaliciousSeed("metolegal.com", "malware",
+                      (Probe("http", (80,), "/metolegal/wp-includes/js/jquery.js"),),
+                      ALL, "dev-file"),
+        MaliciousSeed("ppdb.smp1sbw.sch.id", "malware",
+                      (Probe("http", (80,), "/ppdbv3/ro-error/err.css"),),
+                      (L,), "dev-file"),
+        MaliciousSeed("scopesports.net", "malware",
+                      (Probe("http", (80,), "/scope/xpertspanel/panel.js"),),
+                      (M,), "dev-file"),
+        MaliciousSeed("tonyhealy.co.za", "malware",
+                      (Probe("http", (80,), "/"),), ALL, "dev-redirect"),
+        MaliciousSeed("oceanos.com.co", "malware",
+                      (Probe("http", (80,), "/wp-oceanos/banner.jpg"),), ALL,
+                      "dev-file"),
+    ]
+    + [
+        MaliciousSeed(domain, "phishing", (Probe("wss", TM_PORTS, "/"),),
+                      (W,), "threatmetrix-clone")
+        for domain in _TM_CLONE_DOMAINS
+    ]
+    + [
+        MaliciousSeed(domain, "phishing", (Probe("wss", TM_PORTS, "/"),),
+                      (W,), "threatmetrix-clone", calibrated=True)
+        for domain in _TM_CLONE_CALIBRATED
+    ]
+    + [
+        MaliciousSeed("ag4.gartenbau-olching.de", "phishing",
+                      (Probe("http", (80,), "/"),), WL, "dev-redirect"),
+        MaliciousSeed("grp02.id.rakutan-co-jpr.buzz", "phishing",
+                      (Probe("http", (80,), "/"),), WL, "dev-redirect"),
+    ]
+    + [
+        MaliciousSeed(f"rakuten.co.jp.id{index}.icu", "phishing",
+                      (Probe("http", (80,), "/"),), (L,), "dev-redirect")
+        for index in range(1, 9)
+    ]
+    + [
+        MaliciousSeed("www.ip.rakuten.1ex.info", "phishing",
+                      (Probe("http", (80,), "/"),), (L,), "dev-redirect"),
+        MaliciousSeed("rakuteni.co.jp.ai12.info", "phishing",
+                      (Probe("http", (80,), "/"),), (L,), "dev-redirect"),
+        MaliciousSeed("www.ip.rakuten.rbimomro.icu", "phishing",
+                      (Probe("http", (80,), "/"),), (L,), "dev-redirect"),
+    ]
+    + [
+        MaliciousSeed(f"amazon.co.jp.sign{index:02d}.xyz", "phishing",
+                      (Probe("http", (80,), "/robots.txt"),), (L,),
+                      "dev-file")
+        for index in range(12)
+    ]
+    + [
+        MaliciousSeed("elmagra.net", "phishing",
+                      (Probe("http", (80,), "/dashboard-v1/app.js"),), WL,
+                      "dev-file"),
+        MaliciousSeed("etoro-invest.org", "phishing",
+                      (Probe("http", (80,), "/StudentForum//index.html"),),
+                      ALL, "dev-file"),
+        MaliciousSeed("survivalhabits.com", "phishing",
+                      (Probe("http", (44056,), "/NonExistentImage33090.gif"),),
+                      LM, "dev-file", calibrated=True),
+        MaliciousSeed("evolution-postepay.com", "phishing",
+                      (Probe("https", (5140,), "/NonExistentImage19258.gif"),),
+                      LM, "dev-file", calibrated=True),
+        MaliciousSeed("postepaynuovo.com", "phishing",
+                      (Probe("https", (62389,), "/NonExistentImage55353.gif"),),
+                      ALL, "dev-file"),
+        MaliciousSeed("sbloccareposte.com", "phishing",
+                      (Probe("http", (44938,), "/NonExistentImage37362.gif"),),
+                      (W,), "dev-file"),
+        MaliciousSeed("verificapostepay.com", "phishing",
+                      (Probe("https", (49622,), "/NonExistentImage20705.gif"),),
+                      LM, "dev-file", calibrated=True),
+        MaliciousSeed("aladdinstar.com", "phishing",
+                      (Probe("https", (8443,), "/images/star.png"),), ALL,
+                      "dev-file"),
+    ]
+    + [
+        # Calibrated filler so the phishing marginals (W 25 / L 41 / M 9,
+        # Table 2) hold: six Linux-only plus three Linux+Mac dev-error
+        # phishing sites.
+        MaliciousSeed(f"phish-shop-{index}.com", "phishing",
+                      (Probe("http", (80,),
+                             f"/shop/wp-content/uploads/item{index}.jpg"),),
+                      (L,) if index < 6 else LM, "dev-file", calibrated=True)
+        for index in range(9)
+    ]
+)
+
+MALICIOUS_LAN: tuple[LanSeed, ...] = (
+    LanSeed("test.laitspa.it", None, "http", "10.2.70.15", 80, "/style.css",
+            ALL, "malicious", category="malware"),
+    LanSeed("wangzonghang.cn", None, "http", "192.168.0.226", 1080,
+            "/wp-content/themes/shop/main.css", WL, "malicious",
+            category="malware"),
+    LanSeed("crasar.org", None, "http", "192.168.1.8", 80,
+            "/crasar/wp-content/themes/news.css", ALL, "malicious",
+            category="malware"),
+    LanSeed("www.crasar.org", None, "http", "192.168.1.8", 80,
+            "/crasar/wp-content/themes/news.css", ALL, "malicious",
+            category="malware"),
+    LanSeed("mihanpajooh.com", None, "http", "10.10.34.35", 80, "/", WM,
+            "malicious", category="malware", kind="censorship",
+            calibrated=True),
+    LanSeed("ahs.si", None, "https", "192.168.33.10", 443,
+            "/wp-content/uploads/2019/12/logo.png", ALL, "malicious",
+            category="malware", calibrated=True),
+    LanSeed("fixusgroup.com", None, "https", "172.26.6.230", 443,
+            "/wp-content/uploads/2020/02/icon.png", ALL, "malicious",
+            category="malware"),
+    LanSeed("zoom.lk", None, "http", "192.168.0.208", 80,
+            "/wp_011_test_demos/wp-content/uploads/2017/05/photo.jpg", ALL,
+            "malicious", category="malware"),
+    LanSeed("001tel.com", None, "https", "172.16.205.110", 443,
+            "/usershare/player.js", ALL, "malicious", category="abuse"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Population size constants (section 3 / Tables 1 and 2)
+# ---------------------------------------------------------------------------
+
+TOP_LIST_SIZE = 100_000
+
+#: Malicious category sizes (Table 2); the remainder up to Table 1's
+#: 146,181 crawled URLs is uncategorised.
+MALWARE_COUNT = 103_541
+ABUSE_COUNT = 24_958
+PHISHING_COUNT = 16_426
+MALICIOUS_TOTAL = 146_181
+UNCATEGORIZED_COUNT = (
+    MALICIOUS_TOTAL - MALWARE_COUNT - ABUSE_COUNT - PHISHING_COUNT
+)
+
+#: Table 1 crawl outcomes: (crawl, os) -> (successes, {error: count}).
+TABLE1_TARGETS: dict[tuple[str, str], tuple[int, dict[str, int]]] = {
+    ("top2020", W): (89_744, {"NAME_NOT_RESOLVED": 9_179, "CONN_REFUSED": 355,
+                              "CONN_RESET": 248, "CERT_CN_INVALID": 236,
+                              "Others": 238}),
+    ("top2020", M): (89_819, {"NAME_NOT_RESOLVED": 9_001, "CONN_REFUSED": 345,
+                              "CONN_RESET": 193, "CERT_CN_INVALID": 226,
+                              "Others": 416}),
+    ("top2020", L): (90_175, {"NAME_NOT_RESOLVED": 8_612, "CONN_REFUSED": 335,
+                              "CONN_RESET": 247, "CERT_CN_INVALID": 235,
+                              "Others": 396}),
+    ("top2021", W): (91_765, {"NAME_NOT_RESOLVED": 7_287, "CONN_REFUSED": 239,
+                              "CONN_RESET": 230, "CERT_CN_INVALID": 251,
+                              "Others": 228}),
+    ("top2021", L): (91_719, {"NAME_NOT_RESOLVED": 7_309, "CONN_REFUSED": 272,
+                              "CONN_RESET": 126, "CERT_CN_INVALID": 248,
+                              "Others": 326}),
+    ("malicious", W): (100_317, {"NAME_NOT_RESOLVED": 40_715,
+                                 "CONN_REFUSED": 1_475, "CONN_RESET": 530,
+                                 "CERT_CN_INVALID": 1_341, "Others": 1_803}),
+    ("malicious", M): (103_154, {"NAME_NOT_RESOLVED": 37_310,
+                                 "CONN_REFUSED": 1_488, "CONN_RESET": 523,
+                                 "CERT_CN_INVALID": 1_314, "Others": 2_392}),
+    ("malicious", L): (106_078, {"NAME_NOT_RESOLVED": 34_723,
+                                 "CONN_REFUSED": 1_346, "CONN_RESET": 521,
+                                 "CERT_CN_INVALID": 1_313, "Others": 2_200}),
+}
+
+#: Per-category successful-load counts for the malicious crawls, derived
+#: from Table 2's success rates with the malware share absorbing rounding
+#: so each crawl's total matches Table 1 exactly (DESIGN.md §6).
+MALICIOUS_CATEGORY_SUCCESSES: dict[str, dict[str, int]] = {
+    W: {"abuse": 23_710, "phishing": 11_991,
+        "uncategorized": UNCATEGORIZED_COUNT,
+        "malware": 100_317 - 23_710 - 11_991 - UNCATEGORIZED_COUNT},
+    M: {"abuse": 23_211, "phishing": 11_334,
+        "uncategorized": UNCATEGORIZED_COUNT,
+        "malware": 103_154 - 23_211 - 11_334 - UNCATEGORIZED_COUNT},
+    L: {"abuse": 24_209, "phishing": 12_484,
+        "uncategorized": UNCATEGORIZED_COUNT,
+        "malware": 106_078 - 24_209 - 12_484 - UNCATEGORIZED_COUNT},
+}
+
+
+def localhost_seeds_2020() -> tuple[LocalhostSeed, ...]:
+    """All 2020 localhost-active seeds (should number 107)."""
+    return LOCALHOST_2020
+
+
+def localhost_seeds_2021() -> list[LocalhostSeed]:
+    """All seeds active in the 2021 crawl (continuing + new; 82 sites)."""
+    continuing = [s for s in LOCALHOST_2020 if s.oses_2021]
+    return continuing + [s for s in NEW_2021 if s.oses_2021]
+
+
+def all_localhost_seeds() -> list[LocalhostSeed]:
+    """Every top-list localhost seed, 2020 and 2021."""
+    return list(LOCALHOST_2020) + list(NEW_2021)

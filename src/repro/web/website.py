@@ -1,0 +1,80 @@
+"""Website model: a domain, its rank/category, and its landing page.
+
+A :class:`Website` owns everything the crawler needs to visit it: the
+landing URL, the behaviours embedded on the page, and per-crawl load
+failures (used to reproduce the paper's crawl success statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..browser.errors import NetError
+from ..browser.page import Page, PageScript
+
+
+@dataclass(slots=True)
+class Website:
+    """One measured website."""
+
+    domain: str
+    rank: int | None = None
+    category: str | None = None  # malware / abuse / phishing / uncategorized
+    https: bool = True
+    behaviors: list[PageScript] = field(default_factory=list)
+    resources: list[str] = field(default_factory=list)
+    #: Internal pages and their scripts (path -> scripts).  The paper only
+    #: crawled landing pages and flags internal pages (login, account
+    #: creation) as future work (section 3.3); the crawler can opt in via
+    #: ``include_internal``.
+    internal_pages: dict[str, list[PageScript]] = field(default_factory=dict)
+    #: Per-OS injected load failure for this crawl (os name -> error).
+    load_errors: dict[str, NetError] = field(default_factory=dict)
+    #: Marks sites whose behaviour/OS flags were reconstructed rather than
+    #: read verbatim from a paper table (see DESIGN.md §6).
+    calibrated: bool = False
+
+    @property
+    def landing_url(self) -> str:
+        scheme = "https" if self.https else "http"
+        return f"{scheme}://{self.domain}/"
+
+    def page(self, path: str = "/") -> Page:
+        """Build the :class:`Page` at ``path`` (default: the landing page)."""
+        if path == "/":
+            return Page(
+                url=self.landing_url,
+                scripts=list(self.behaviors),
+                resources=list(self.resources),
+            )
+        try:
+            scripts = self.internal_pages[path]
+        except KeyError:
+            raise KeyError(
+                f"{self.domain} has no internal page {path!r}"
+            ) from None
+        return Page(
+            url=self.landing_url.rstrip("/") + path,
+            scripts=list(scripts),
+            resources=list(self.resources),
+        )
+
+    def load_error_for(self, os_name: str) -> NetError | None:
+        """The injected failure for a crawl on ``os_name``, if any."""
+        return self.load_errors.get(os_name)
+
+    def has_local_behavior(self) -> bool:
+        """True when any embedded behaviour can generate local traffic.
+
+        Public-noise behaviours do not count; used by populations to keep
+        the seeded/active site inventory queryable.
+        """
+        from .behaviors import PublicResourceBehavior
+
+        scripts = list(self.behaviors)
+        for page_scripts in self.internal_pages.values():
+            scripts.extend(page_scripts)
+        return any(
+            not isinstance(script, PublicResourceBehavior)
+            for script in scripts
+        )

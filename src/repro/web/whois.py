@@ -1,0 +1,78 @@
+"""WHOIS-style ownership substrate.
+
+Section 4.3.1: "Conducting WHOIS lookups on these domains and their IP
+addresses, we find that these domains all belong to the ThreatMetrix Inc.
+organization."  That lookup is how the paper attributed the fraud scans
+to a vendor despite the script loading from per-customer domains
+(ebay-us.com, regstat.betfair.com, …).
+
+This registry models the slice of WHOIS the attribution needs: domain →
+registrant organisation, with suffix matching so ``regstat.betfair.com``
+resolves via ``betfair.com``'s record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WhoisRecord:
+    """Ownership facts for one domain."""
+
+    domain: str
+    organization: str
+    #: Loose categorisation used by the attribution rollups.
+    kind: str = "first-party"  # first-party | anti-abuse-vendor | cdn | other
+
+
+class WhoisRegistry:
+    """Suffix-matching domain → owner lookups."""
+
+    def __init__(self, records: list[WhoisRecord] | None = None) -> None:
+        self._records: dict[str, WhoisRecord] = {}
+        for record in records or []:
+            self.register(record)
+
+    def register(self, record: WhoisRecord) -> None:
+        self._records[record.domain.lower().rstrip(".")] = record
+
+    def lookup(self, domain: str) -> WhoisRecord | None:
+        """Find the record for ``domain`` or its closest registered suffix."""
+        name = domain.lower().rstrip(".")
+        while name:
+            record = self._records.get(name)
+            if record is not None:
+                return record
+            _, _, name = name.partition(".")
+        return None
+
+    def organization(self, domain: str) -> str | None:
+        record = self.lookup(domain)
+        return record.organization if record else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def default_registry() -> WhoisRegistry:
+    """Ownership records for the third-party domains the study met.
+
+    ThreatMetrix fronts its script through customer-branded domains that
+    WHOIS nevertheless ties back to the vendor — the paper's key
+    attribution step.
+    """
+    vendor = "ThreatMetrix Inc."
+    return WhoisRegistry(
+        [
+            WhoisRecord("online-metrix.net", vendor, kind="anti-abuse-vendor"),
+            WhoisRecord("h.online-metrix.net", vendor, kind="anti-abuse-vendor"),
+            WhoisRecord("ebay-us.com", vendor, kind="anti-abuse-vendor"),
+            WhoisRecord("regstat.betfair.com", vendor, kind="anti-abuse-vendor"),
+            WhoisRecord("f5.com", "F5 Inc.", kind="anti-abuse-vendor"),
+            WhoisRecord("ebay.com", "eBay Inc."),
+            WhoisRecord("betfair.com", "Betfair Ltd."),
+            WhoisRecord("fidelity.com", "FMR LLC"),
+            WhoisRecord("example-cdn.com", "Example CDN Co.", kind="cdn"),
+        ]
+    )

@@ -1,0 +1,87 @@
+"""Tests for WHOIS-based initiator/vendor attribution."""
+
+from repro.analysis.attribution import (
+    attribute_site,
+    initiator_domain,
+    third_party_share,
+    vendor_rollup,
+)
+from repro.core.addresses import Locality
+from repro.web.whois import WhoisRecord, WhoisRegistry, default_registry
+
+
+class TestInitiatorDomain:
+    def test_behaviour_style_initiators(self):
+        assert initiator_domain("threatmetrix@ebay-us.com") == "ebay-us.com"
+        assert (
+            initiator_domain("dev-file:smartcatdesign.net")
+            == "smartcatdesign.net"
+        )
+
+    def test_script_url_initiators(self):
+        assert (
+            initiator_domain("https://regstat.betfair.com/tm.js")
+            == "regstat.betfair.com"
+        )
+
+    def test_no_domain(self):
+        assert initiator_domain("FACEIT client") is None
+        assert initiator_domain(None) is None
+        assert initiator_domain("") is None
+
+
+class TestWhoisRegistry:
+    def test_exact_lookup(self):
+        registry = default_registry()
+        assert registry.organization("ebay-us.com") == "ThreatMetrix Inc."
+
+    def test_suffix_lookup(self):
+        registry = default_registry()
+        assert (
+            registry.organization("regstat.betfair.com")
+            == "ThreatMetrix Inc."
+        )
+        # And deeper labels under a registered suffix.
+        assert (
+            registry.organization("a.b.online-metrix.net")
+            == "ThreatMetrix Inc."
+        )
+
+    def test_unknown_domain(self):
+        assert default_registry().organization("nowhere.example") is None
+
+    def test_register(self):
+        registry = WhoisRegistry()
+        registry.register(WhoisRecord("corp.example", "Corp"))
+        assert registry.organization("www.corp.example") == "Corp"
+        assert len(registry) == 1
+
+
+class TestCampaignAttribution:
+    def test_threatmetrix_sites_attributed_to_vendor(self, top2020_result):
+        ebay = top2020_result.finding("ebay.com")
+        attribution = attribute_site(ebay)
+        assert "ebay-us.com" in attribution.third_party_domains
+        assert "ThreatMetrix Inc." in attribution.organizations
+        assert attribution.is_third_party
+
+    def test_dev_error_sites_are_first_party(self, top2020_result):
+        site = top2020_result.finding("smartcatdesign.net")
+        attribution = attribute_site(site)
+        assert not attribution.is_third_party
+
+    def test_vendor_rollup_counts_tm_deployers(self, top2020_result):
+        rollup = vendor_rollup(
+            top2020_result.findings, locality=Locality.LOCALHOST
+        )
+        # All 35 fraud-detection deployers trace to ThreatMetrix Inc.
+        assert rollup.sites_by_org["ThreatMetrix Inc."] == 35
+        serving = rollup.serving_domains_by_org["ThreatMetrix Inc."]
+        assert "ebay-us.com" in serving
+        assert "regstat.betfair.com" in serving
+        assert "h.online-metrix.net" in serving
+
+    def test_third_party_share(self, top2020_result):
+        share = third_party_share(top2020_result.findings)
+        # 35 fraud sites of 107 localhost-active are vendor-driven.
+        assert abs(share - 35 / 107) < 0.01

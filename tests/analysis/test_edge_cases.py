@@ -1,0 +1,86 @@
+"""Edge-case tests: analyses over empty or degenerate inputs."""
+
+from repro.analysis import figures, rq1, rq2, rq3, tables
+from repro.analysis.attribution import third_party_share, vendor_rollup
+from repro.core.addresses import Locality
+from repro.core.report import SiteFinding
+
+
+class TestEmptyFindings:
+    def test_rq1_summary(self):
+        summary = rq1.summarize_activity([], Locality.LOCALHOST)
+        assert summary.total_sites == 0
+        assert summary.per_os == {}
+        assert summary.overlap == {}
+        assert summary.all_os_equivalent == 0
+
+    def test_rq1_ranks_and_top(self):
+        assert rq1.ranks_by_os([], Locality.LOCALHOST) == {}
+        assert rq1.top_ranked([], Locality.LOCALHOST, "windows") == []
+        assert rq1.sites_within_rank([], Locality.LOCALHOST, 10_000) == []
+
+    def test_rq2_breakdowns(self):
+        breakdowns = rq2.protocol_port_breakdowns([], Locality.LOCALHOST)
+        for breakdown in breakdowns.values():
+            assert breakdown.total_requests == 0
+            assert breakdown.dominant_scheme() is None
+        assert rq2.first_request_delays_s([], Locality.LOCALHOST) == {}
+        assert rq2.websocket_share([], Locality.LOCALHOST, "windows") == 0.0
+
+    def test_rq3_rollups(self):
+        assert rq3.behavior_counts([], Locality.LOCALHOST) == {}
+        assert rq3.dev_error_breakdown([], Locality.LOCALHOST) == {}
+        clones = rq3.detect_phishing_clones([])
+        assert clones.count == 0
+
+    def test_attribution(self):
+        assert third_party_share([]) == 0.0
+        assert vendor_rollup([]).sites_by_org == {}
+
+    def test_tables_render_empty(self):
+        assert tables.table_5([]).rows == []
+        assert tables.table_6([]).rows == []
+        assert tables.table_11([]).rows == []
+        assert tables.table_1([]).rows == []
+
+    def test_figures_render_empty(self):
+        fig2 = figures.figure_2([])
+        assert fig2.data["total"] == 0
+        fig3 = figures.figure_3([])
+        assert fig3.data["ranks"] == {}
+        assert "(no data)" in fig3.text
+        fig5 = figures.figure_5([])
+        assert fig5.data == {"localhost": {}, "lan": {}}
+
+
+class TestDegenerateFindings:
+    def test_finding_without_rank_excluded_from_rank_series(self):
+        finding = SiteFinding(domain="norank.example", rank=None)
+        assert rq1.ranks_by_os([finding], Locality.LOCALHOST) == {}
+
+    def test_finding_without_classification(self):
+        finding = SiteFinding(domain="x.example", rank=5)
+        assert finding.behavior is None
+        assert finding.dev_error_kind is None
+        # Rollups skip unclassified findings rather than crash.
+        assert rq3.behavior_counts([finding], Locality.LOCALHOST) == {}
+
+    def test_rank_cdf_with_single_site(self):
+        from repro.core.addresses import parse_target
+        from repro.core.detector import DetectionResult, LocalRequest
+
+        detection = DetectionResult(
+            requests=[
+                LocalRequest(
+                    target=parse_target("http://localhost:1/"),
+                    time=1.0,
+                    source_id=1,
+                )
+            ],
+            page_load_time=0.0,
+        )
+        finding = SiteFinding(
+            domain="solo.example", rank=42, per_os={"windows": detection}
+        )
+        fig = figures.figure_3([finding])
+        assert fig.data["ranks"] == {"windows": [42]}

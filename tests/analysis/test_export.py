@@ -1,0 +1,76 @@
+"""Tests for CSV/JSON exports."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    export_campaign,
+    findings_to_json,
+    write_ports_csv,
+    write_rank_cdf_csv,
+    write_timing_cdf_csv,
+)
+
+
+class TestCsvExports:
+    def test_rank_cdf_rows(self, top2020_result):
+        buffer = io.StringIO()
+        rows = write_rank_cdf_csv(top2020_result.findings, buffer)
+        assert rows == 92 + 54 + 54
+        reader = csv.DictReader(io.StringIO(buffer.getvalue()))
+        parsed = list(reader)
+        assert parsed[0].keys() == {"os", "rank", "cdf"}
+        windows = [r for r in parsed if r["os"] == "windows"]
+        assert float(windows[-1]["cdf"]) == 1.0
+        ranks = [int(r["rank"]) for r in windows]
+        assert ranks == sorted(ranks)
+
+    def test_timing_cdf_rows(self, top2020_result):
+        buffer = io.StringIO()
+        rows = write_timing_cdf_csv(top2020_result.findings, buffer)
+        assert rows == 92 + 54 + 54
+        body = buffer.getvalue()
+        assert body.startswith("os,delay_s,cdf")
+
+    def test_ports_rows_sum_to_request_totals(self, top2020_result):
+        buffer = io.StringIO()
+        write_ports_csv(top2020_result.findings, buffer)
+        reader = csv.DictReader(io.StringIO(buffer.getvalue()))
+        windows_total = sum(
+            int(row["requests"])
+            for row in reader
+            if row["os"] == "windows"
+        )
+        from repro.analysis import rq2
+        from repro.core.addresses import Locality
+
+        breakdowns = rq2.protocol_port_breakdowns(
+            top2020_result.findings, Locality.LOCALHOST
+        )
+        assert windows_total == breakdowns["windows"].total_requests
+
+
+class TestJsonExport:
+    def test_findings_roundtrip_shape(self, top2020_result):
+        data = findings_to_json(top2020_result.findings)
+        assert len(data) == len(top2020_result.findings)
+        text = json.dumps(data)  # must be JSON-serialisable
+        ebay = next(d for d in data if d["domain"] == "ebay.com")
+        assert ebay["behavior"] == "Fraud Detection"
+        assert ebay["oses_localhost"] == ["windows"]
+        assert len(ebay["requests"]) == 14
+        assert "wss" in text
+
+
+class TestExportBundle:
+    def test_writes_all_artifacts(self, top2020_result, tmp_path):
+        written = export_campaign(
+            top2020_result.findings, tmp_path, prefix="top2020"
+        )
+        assert set(written) == {"findings", "rank_cdf", "timing_cdf", "ports"}
+        for path in written.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+        loaded = json.loads(written["findings"].read_text())
+        assert len(loaded) == len(top2020_result.findings)

@@ -1,0 +1,91 @@
+"""Tests for behaviour-transition longitudinal analysis."""
+
+from repro.analysis.longitudinal import (
+    INACTIVE,
+    NOT_CRAWLED,
+    behavior_transitions,
+    class_churn,
+)
+from repro.core.signatures import BehaviorClass
+
+
+class TestTransitions:
+    def test_bot_detection_vanishes_entirely(
+        self, top2020_result, top2021_result, top2021_population
+    ):
+        crawled_2021 = {w.domain for w in top2021_population.websites}
+        matrix = behavior_transitions(
+            top2020_result.findings,
+            top2021_result.findings,
+            second_round_crawled=crawled_2021,
+        )
+        gone = matrix.stopped(BehaviorClass.BOT_DETECTION)
+        assert gone == 10  # every 2020 BIG-IP deployer stopped
+        assert (
+            matrix.count(
+                BehaviorClass.BOT_DETECTION.value,
+                BehaviorClass.BOT_DETECTION.value,
+            )
+            == 0
+        )
+
+    def test_fraud_detection_continues_and_churns(
+        self, top2020_result, top2021_result, top2021_population
+    ):
+        crawled_2021 = {w.domain for w in top2021_population.websites}
+        matrix = behavior_transitions(
+            top2020_result.findings,
+            top2021_result.findings,
+            second_round_crawled=crawled_2021,
+        )
+        fraud = BehaviorClass.FRAUD_DETECTION.value
+        assert matrix.count(fraud, fraud) == 25  # the continuing deployers
+        assert matrix.count(fraud, INACTIVE) == 10  # citi, tiaa, ...
+        assert matrix.count(INACTIVE, fraud) == 5  # cibc.com and friends
+
+    def test_off_list_sites_distinguished_from_stopped(
+        self, top2020_result, top2021_result, top2021_population
+    ):
+        crawled_2021 = {w.domain for w in top2021_population.websites}
+        matrix = behavior_transitions(
+            top2020_result.findings,
+            top2021_result.findings,
+            second_round_crawled=crawled_2021,
+        )
+        native = BehaviorClass.NATIVE_APPLICATION.value
+        # cponline.pw / screenleap / acestream / runeline fell off the
+        # 2021 list; gamehouse stayed listed but stopped.
+        assert matrix.count(native, NOT_CRAWLED) == 4
+        assert matrix.count(native, INACTIVE) == 1
+
+    def test_render(self, top2020_result, top2021_result):
+        matrix = behavior_transitions(
+            top2020_result.findings, top2021_result.findings
+        )
+        text = matrix.render()
+        assert "Fraud Detection" in text
+        assert "->" in text
+
+
+class TestClassChurn:
+    def test_fraud_churn_numbers(self, top2020_result, top2021_result):
+        churn = class_churn(
+            top2020_result.findings,
+            top2021_result.findings,
+            BehaviorClass.FRAUD_DETECTION,
+        )
+        assert churn.first_round == 35
+        assert churn.second_round == 30
+        assert churn.continued == 25
+        assert churn.stopped == 10
+        assert churn.started == 5
+
+    def test_dev_error_churn(self, top2020_result, top2021_result):
+        churn = class_churn(
+            top2020_result.findings,
+            top2021_result.findings,
+            BehaviorClass.DEVELOPER_ERROR,
+        )
+        assert churn.first_round == 45
+        assert churn.second_round == 28  # 8 continuing + 20 new
+        assert churn.continued == 8

@@ -1,0 +1,30 @@
+"""Tests for the full study report generator."""
+
+from repro.analysis.report_doc import StudyResults, render_report
+
+
+class TestRenderReport:
+    def test_full_report(self, top2020_result, top2021_result, malicious_result):
+        report = render_report(
+            StudyResults(
+                top2020=top2020_result,
+                top2021=top2021_result,
+                malicious=malicious_result,
+            )
+        )
+        # One document containing every section.
+        assert "Crawl statistics (Table 1)" in report
+        assert "RQ1" in report and "RQ2" in report and "RQ3" in report
+        assert "107 localhost-active sites" in report
+        assert "ThreatMetrix Inc." in report
+        assert "The 2021 re-measurement" in report
+        assert "Malicious webpages" in report
+        assert "Phishing clones inheriting anti-fraud scans: 18" in report
+        assert "ebay.com" in report
+        assert "rank CDFs" in report
+
+    def test_top2020_only_report(self, top2020_result):
+        report = render_report(StudyResults(top2020=top2020_result))
+        assert "The 2021 re-measurement" not in report
+        assert "Malicious webpages" not in report
+        assert "107 localhost-active sites" in report

@@ -1,0 +1,114 @@
+"""Tests (including property-based) for the statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    Summary,
+    ascii_cdf,
+    ecdf,
+    fraction_below,
+    median,
+    quantile,
+)
+
+_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestEcdf:
+    def test_simple(self):
+        xs, ps = ecdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ps == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        assert ecdf([]) == ([], [])
+
+    @given(_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_and_ends_at_one(self, values):
+        xs, ps = ecdf(values)
+        assert xs == sorted(values)
+        assert all(a <= b for a, b in zip(ps, ps[1:]))
+        assert ps[-1] == pytest.approx(1.0)
+
+
+class TestQuantile:
+    def test_median_of_odd(self):
+        assert median([1.0, 9.0, 5.0]) == 5.0
+
+    def test_median_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_extremes(self):
+        values = [4.0, 1.0, 7.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    @given(_samples, st.floats(min_value=0, max_value=1))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_min_max(self, values, q):
+        result = quantile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_q(self, values):
+        qs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        results = [quantile(values, q) for q in qs]
+        assert all(a <= b for a, b in zip(results, results[1:]))
+
+
+class TestSummary:
+    def test_of(self):
+        summary = Summary.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([1.0, 2.0, 3.0, 4.0], 2.0) == 0.5
+
+    def test_empty(self):
+        assert fraction_below([], 10.0) == 0.0
+
+    @given(_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_at_max_everything_is_below(self, values):
+        assert fraction_below(values, max(values)) == 1.0
+
+
+class TestAsciiCdf:
+    def test_renders_all_series(self):
+        text = ascii_cdf(
+            {"Windows": [1.0, 2.0], "Linux": [0.5]}, title="delays"
+        )
+        assert "delays" in text
+        assert "Windows" in text and "Linux" in text
+
+    def test_empty_series_handled(self):
+        assert "(no data)" in ascii_cdf({"Windows": []})
+
+    def test_final_row_reaches_one(self):
+        text = ascii_cdf({"s": [1.0, 5.0]}, max_x=5.0)
+        assert text.strip().splitlines()[-1].split()[-1] == "1.000"

@@ -1,0 +1,77 @@
+"""Tests for the paper-target scorecard validator."""
+
+import pytest
+
+from repro.analysis.validate import (
+    Scorecard,
+    validate,
+    validate_malicious,
+    validate_top2020,
+    validate_top2021,
+)
+
+
+class TestScorecard:
+    def test_exact_check(self):
+        card = Scorecard()
+        card.add("x", 10, 10)
+        card.add("y", 10, 11)
+        assert card.passed == 1
+        assert card.failed == 1
+        assert not card.all_passed
+        assert [c.name for c in card.failures()] == ["y"]
+
+    def test_tolerances(self):
+        card = Scorecard()
+        card.add("atol", 100, 102, atol=3)
+        card.add("rtol", 100, 104, rtol=0.05)
+        card.add("tight", 100, 104, rtol=0.01)
+        assert [c.passed for c in card.checks] == [True, True, False]
+
+    def test_render(self):
+        card = Scorecard()
+        card.add("thing", 1, 2, note="why")
+        text = card.render()
+        assert "[FAIL] thing" in text
+        assert "why" in text
+        assert "0/1 checks passed" in text
+
+
+class TestCampaignValidation:
+    def test_top2020_all_pass(self, top2020_result):
+        card = validate_top2020(top2020_result)
+        assert card.all_passed, card.render()
+        assert len(card.checks) >= 14
+
+    def test_top2021_all_pass(self, top2021_result):
+        card = validate_top2021(top2021_result)
+        assert card.all_passed, card.render()
+
+    def test_malicious_all_pass(self, malicious_result):
+        card = validate_malicious(malicious_result)
+        assert card.all_passed, card.render()
+
+    def test_dispatch_by_name(self, top2020_result):
+        card = validate(top2020_result)
+        assert card.all_passed
+
+    def test_unknown_campaign_rejected(self, top2020_result):
+        from dataclasses import replace
+
+        broken = replace(top2020_result)  # CampaignResult is not frozen…
+        broken.name = "mystery"
+        with pytest.raises(ValueError):
+            validate(broken)
+
+    def test_detects_regressions(self, top2020_result):
+        """Drop a finding and the scorecard must notice."""
+        from dataclasses import replace
+
+        pruned = replace(top2020_result)
+        pruned.findings = [
+            f for f in top2020_result.findings if f.domain != "ebay.com"
+        ]
+        card = validate_top2020(pruned)
+        assert not card.all_passed
+        names = {c.name for c in card.failures()}
+        assert "2020 localhost sites" in names

@@ -1,0 +1,70 @@
+"""Tests for service banners and what SOP lets a scanner read of them."""
+
+from repro.browser.network import LocalServiceTable, PortState, SimulatedNetwork
+from repro.browser.sop import Origin, SameOriginPolicy
+from repro.core.addresses import parse_target
+
+
+class TestBanners:
+    def test_open_service_with_banner(self):
+        table = LocalServiceTable()
+        table.open_service("127.0.0.1", 5939, banner="TeamViewer 15.8")
+        assert table.banner("127.0.0.1", 5939) == "TeamViewer 15.8"
+
+    def test_open_service_without_banner(self):
+        table = LocalServiceTable()
+        table.open_service("127.0.0.1", 80)
+        assert table.banner("127.0.0.1", 80) is None
+
+    def test_closed_service_yields_no_banner(self):
+        table = LocalServiceTable()
+        table.banners[("127.0.0.1", 22)] = "ghost"
+        assert table.state("127.0.0.1", 22) is PortState.CLOSED
+        assert table.banner("127.0.0.1", 22) is None
+
+    def test_connect_outcome_carries_banner(self):
+        network = SimulatedNetwork()
+        network.services.open_service("127.0.0.1", 5900, banner="RFB 003.008")
+        outcome = network.connect("127.0.0.1", 5900)
+        assert outcome.ok
+        assert outcome.banner == "RFB 003.008"
+
+    def test_public_connects_have_no_banner(self):
+        network = SimulatedNetwork()
+        assert network.connect("example.com", 443).banner is None
+
+
+class TestBannerVisibility:
+    def setup_method(self):
+        self.policy = SameOriginPolicy()
+        self.page = Origin(scheme="https", host="shop.example", port=443)
+        self.network = SimulatedNetwork()
+        self.network.services.open_service(
+            "127.0.0.1", 5939, banner="TeamViewer 15.8"
+        )
+
+    def test_websocket_probe_reads_the_banner(self):
+        target = parse_target("wss://localhost:5939/")
+        outcome = self.network.connect("localhost", 5939)
+        signal = self.policy.observable_signal(
+            self.page,
+            target,
+            connect_ok=outcome.ok,
+            latency_ms=outcome.latency_ms,
+            banner=outcome.banner,
+        )
+        assert signal["banner"] == "TeamViewer 15.8"
+
+    def test_sop_bound_http_probe_cannot_read_it(self):
+        target = parse_target("http://localhost:5939/")
+        outcome = self.network.connect("localhost", 5939)
+        signal = self.policy.observable_signal(
+            self.page,
+            target,
+            connect_ok=outcome.ok,
+            latency_ms=outcome.latency_ms,
+            banner=outcome.banner,
+        )
+        # Liveness still leaks; the banner does not.
+        assert signal["completed"] is True
+        assert "banner" not in signal

@@ -1,0 +1,212 @@
+"""Tests for the simulated Chrome instance."""
+
+import pytest
+
+from repro.browser.chrome import DEFAULT_MONITOR_WINDOW_MS, SimulatedChrome
+from repro.browser.dns import SimulatedResolver
+from repro.browser.errors import NetError
+from repro.browser.page import Page, PlannedRequest
+from repro.browser.useragent import identity_for
+from repro.core.detector import LocalTrafficDetector
+from repro.core.flows import extract_flows, page_load_time
+from repro.netlog.constants import EventType
+
+
+class _StaticScript:
+    """Minimal PageScript emitting a fixed plan."""
+
+    name = "static-script"
+
+    def __init__(self, requests):
+        self._requests = requests
+
+    def plan(self, context):
+        return self._requests
+
+
+def _chrome(os_name="windows", **kwargs) -> SimulatedChrome:
+    return SimulatedChrome(identity_for(os_name), **kwargs)
+
+
+class TestVisitSuccess:
+    def test_successful_visit_commits_page(self):
+        chrome = _chrome()
+        result = chrome.visit(Page(url="https://site.example/"))
+        assert result.success
+        assert result.page_load_time_ms is not None
+        assert page_load_time(result.events) == result.page_load_time_ms
+
+    def test_script_requests_are_logged(self):
+        page = Page(
+            url="https://site.example/",
+            scripts=[
+                _StaticScript(
+                    [PlannedRequest(url="http://localhost:8000/x", delay_ms=50.0)]
+                )
+            ],
+        )
+        result = _chrome().visit(page)
+        detection = LocalTrafficDetector().detect(result.events)
+        assert detection.has_local_activity
+        assert detection.requests[0].port == 8000
+
+    def test_websocket_requests_emit_handshake_events(self):
+        page = Page(
+            url="https://site.example/",
+            scripts=[
+                _StaticScript([PlannedRequest(url="wss://localhost:5939/")])
+            ],
+        )
+        result = _chrome().visit(page)
+        types = {e.type for e in result.events}
+        assert EventType.WEB_SOCKET_SEND_HANDSHAKE_REQUEST in types
+
+    def test_redirect_chain_emitted(self):
+        page = Page(
+            url="https://site.example/",
+            scripts=[
+                _StaticScript(
+                    [
+                        PlannedRequest(
+                            url="http://site.example/home",
+                            redirect_to=("http://127.0.0.1:80/",),
+                        )
+                    ]
+                )
+            ],
+        )
+        result = _chrome().visit(page)
+        detection = LocalTrafficDetector().detect(result.events)
+        assert detection.requests and detection.requests[0].via_redirect
+
+    def test_requests_beyond_window_are_invisible(self):
+        page = Page(
+            url="https://site.example/",
+            scripts=[
+                _StaticScript(
+                    [
+                        PlannedRequest(
+                            url="http://localhost:1/",
+                            delay_ms=DEFAULT_MONITOR_WINDOW_MS + 1,
+                        ),
+                        PlannedRequest(url="http://localhost:2/", delay_ms=10.0),
+                    ]
+                )
+            ],
+        )
+        result = _chrome().visit(page)
+        detection = LocalTrafficDetector().detect(result.events)
+        assert detection.ports() == {2}
+
+    def test_monitor_window_is_configurable(self):
+        chrome = _chrome(monitor_window_ms=1000.0)
+        page = Page(
+            url="https://site.example/",
+            scripts=[
+                _StaticScript(
+                    [PlannedRequest(url="http://localhost:7/", delay_ms=1500.0)]
+                )
+            ],
+        )
+        result = chrome.visit(page)
+        assert not LocalTrafficDetector().detect(result.events).has_local_activity
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            _chrome(monitor_window_ms=0)
+
+    def test_source_ids_increase_across_visits(self):
+        chrome = _chrome()
+        first = chrome.visit(Page(url="https://a.example/"))
+        second = chrome.visit(Page(url="https://b.example/"))
+        assert max(e.source.id for e in first.events) < min(
+            e.source.id for e in second.events
+        )
+        assert chrome.pages_visited == 2
+
+    def test_events_sorted_by_time(self):
+        page = Page(
+            url="https://site.example/",
+            resources=["https://cdn.example/app.js"],
+            scripts=[
+                _StaticScript([PlannedRequest(url="http://localhost:3/", delay_ms=5.0)])
+            ],
+        )
+        result = _chrome().visit(page)
+        times = [e.time for e in result.events]
+        assert times == sorted(times)
+
+
+class TestVisitFailure:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            NetError.ERR_NAME_NOT_RESOLVED,
+            NetError.ERR_CONNECTION_REFUSED,
+            NetError.ERR_CONNECTION_RESET,
+            NetError.ERR_CERT_COMMON_NAME_INVALID,
+            NetError.ERR_TIMED_OUT,
+        ],
+    )
+    def test_forced_error_fails_visit(self, error):
+        result = _chrome().visit(
+            Page(url="https://down.example/"), forced_error=error
+        )
+        assert result.failed
+        assert result.error is error
+        # The flow layer sees the same terminal error.
+        flows = extract_flows(result.events)
+        assert flows and flows[0].net_error == int(error)
+
+    def test_dns_failure_via_resolver(self):
+        resolver = SimulatedResolver()
+        resolver.inject_failure("gone.example", NetError.ERR_NAME_NOT_RESOLVED)
+        chrome = _chrome(resolver=resolver)
+        result = chrome.visit(Page(url="https://gone.example/"))
+        assert result.error is NetError.ERR_NAME_NOT_RESOLVED
+        assert any(
+            e.type is EventType.HOST_RESOLVER_IMPL_REQUEST for e in result.events
+        )
+
+    def test_failed_visit_runs_no_scripts(self):
+        page = Page(
+            url="https://down.example/",
+            scripts=[_StaticScript([PlannedRequest(url="http://localhost:1/")])],
+        )
+        result = _chrome().visit(
+            page, forced_error=NetError.ERR_CONNECTION_REFUSED
+        )
+        assert not LocalTrafficDetector().detect(result.events).has_local_activity
+
+    def test_unparsable_url_fails(self):
+        result = _chrome().visit(Page(url="not-a-url"))
+        assert result.failed
+
+
+class TestOsConditionalScripts:
+    def test_scripts_see_the_os(self):
+        class OsProbe:
+            name = "os-probe"
+
+            def plan(self, context):
+                if context.os_name == "windows":
+                    return [PlannedRequest(url="http://localhost:3389/")]
+                return []
+
+        page = Page(url="https://site.example/", scripts=[OsProbe()])
+        on_windows = _chrome("windows").visit(page)
+        on_linux = _chrome("linux").visit(page)
+        assert LocalTrafficDetector().detect(on_windows.events).has_local_activity
+        assert not LocalTrafficDetector().detect(on_linux.events).has_local_activity
+
+    def test_user_agent_matches_os(self):
+        class UaProbe:
+            name = "ua-probe"
+            seen = None
+
+            def plan(self, context):
+                UaProbe.seen = context.user_agent
+                return []
+
+        _chrome("mac").visit(Page(url="https://site.example/", scripts=[UaProbe()]))
+        assert "Mac OS X" in UaProbe.seen

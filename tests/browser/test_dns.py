@@ -1,0 +1,75 @@
+"""Tests for the simulated resolver."""
+
+import pytest
+
+from repro.browser.dns import SimulatedResolver
+from repro.browser.errors import NetError
+from repro.core.addresses import Locality, classify_host
+
+
+class TestResolution:
+    def test_localhost_resolves_without_records(self):
+        resolver = SimulatedResolver(default_resolvable=False)
+        result = resolver.resolve("localhost")
+        assert result.ok and result.address == "127.0.0.1"
+
+    def test_localhost_subdomain(self):
+        resolver = SimulatedResolver(default_resolvable=False)
+        assert resolver.resolve("app.localhost").address == "127.0.0.1"
+
+    def test_ip_literals_pass_through(self):
+        resolver = SimulatedResolver(default_resolvable=False)
+        assert resolver.resolve("192.168.1.8").address == "192.168.1.8"
+
+    def test_registered_record(self):
+        resolver = SimulatedResolver()
+        resolver.add_record("ebay.com", "203.0.113.7")
+        assert resolver.resolve("ebay.com").address == "203.0.113.7"
+
+    def test_record_matching_is_case_insensitive(self):
+        resolver = SimulatedResolver()
+        resolver.add_record("Example.COM", "203.0.113.9")
+        assert resolver.resolve("example.com.").address == "203.0.113.9"
+
+    def test_default_resolvable_synthesizes_public_address(self):
+        resolver = SimulatedResolver()
+        result = resolver.resolve("random-site.example")
+        assert result.ok
+        assert classify_host(result.address) is Locality.PUBLIC
+
+    def test_synthetic_addresses_are_stable(self):
+        resolver = SimulatedResolver()
+        first = resolver.resolve("stable.example").address
+        second = resolver.resolve("stable.example").address
+        assert first == second
+
+    def test_unresolvable_when_defaults_off(self):
+        resolver = SimulatedResolver(default_resolvable=False)
+        result = resolver.resolve("nosuch.example")
+        assert not result.ok
+        assert result.error is NetError.ERR_NAME_NOT_RESOLVED
+
+    def test_query_counter(self):
+        resolver = SimulatedResolver()
+        resolver.resolve("a.example")
+        resolver.resolve("b.example")
+        assert resolver.queries == 2
+
+
+class TestFailureInjection:
+    def test_injected_failure_wins(self):
+        resolver = SimulatedResolver()
+        resolver.inject_failure("broken.example", NetError.ERR_NAME_NOT_RESOLVED)
+        result = resolver.resolve("broken.example")
+        assert result.error is NetError.ERR_NAME_NOT_RESOLVED
+
+    def test_clear_failure_restores(self):
+        resolver = SimulatedResolver()
+        resolver.inject_failure("flaky.example", NetError.ERR_NAME_NOT_RESOLVED)
+        resolver.clear_failure("flaky.example")
+        assert resolver.resolve("flaky.example").ok
+
+    def test_injecting_ok_rejected(self):
+        resolver = SimulatedResolver()
+        with pytest.raises(ValueError):
+            resolver.inject_failure("x.example", NetError.OK)

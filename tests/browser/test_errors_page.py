@@ -1,0 +1,118 @@
+"""Tests for the net-error model, user agents, and the page/script model."""
+
+import pytest
+
+from repro.browser.errors import (
+    OTHER_ERROR_POOL,
+    TABLE1_ERROR_COLUMNS,
+    NetError,
+    table1_bucket,
+)
+from repro.browser.page import Page, PlannedRequest, ScriptContext
+from repro.browser.useragent import ALL_OSES, OS_IDENTITIES, OSIdentity, identity_for
+
+
+class TestNetError:
+    def test_ok_is_not_failed(self):
+        assert not NetError.OK.failed
+        assert NetError.ERR_NAME_NOT_RESOLVED.failed
+
+    @pytest.mark.parametrize(
+        ("error", "bucket"),
+        [
+            (NetError.ERR_NAME_NOT_RESOLVED, "NAME_NOT_RESOLVED"),
+            (NetError.ERR_CONNECTION_REFUSED, "CONN_REFUSED"),
+            (NetError.ERR_CONNECTION_RESET, "CONN_RESET"),
+            (NetError.ERR_CERT_COMMON_NAME_INVALID, "CERT_CN_INVALID"),
+            (NetError.ERR_TIMED_OUT, "Others"),
+            (NetError.ERR_SSL_PROTOCOL_ERROR, "Others"),
+            (NetError.ERR_ABORTED, "Others"),
+        ],
+    )
+    def test_table1_buckets(self, error, bucket):
+        assert table1_bucket(error) == bucket
+        assert bucket in TABLE1_ERROR_COLUMNS
+
+    def test_other_pool_maps_to_others(self):
+        for error in OTHER_ERROR_POOL:
+            assert table1_bucket(error) == "Others"
+
+    def test_codes_match_chrome_values(self):
+        assert NetError.ERR_NAME_NOT_RESOLVED == -105
+        assert NetError.ERR_CONNECTION_REFUSED == -102
+        assert NetError.ERR_CONNECTION_RESET == -101
+        assert NetError.ERR_CERT_COMMON_NAME_INVALID == -200
+
+
+class TestUserAgents:
+    def test_three_oses(self):
+        assert set(ALL_OSES) == {"windows", "linux", "mac"}
+        assert set(OS_IDENTITIES) == set(ALL_OSES)
+
+    def test_chrome84_everywhere(self):
+        for identity in OS_IDENTITIES.values():
+            assert "Chrome/84" in identity.user_agent
+
+    @pytest.mark.parametrize(
+        ("os_name", "marker"),
+        [("windows", "Windows NT 10.0"), ("linux", "X11; Linux"), ("mac", "Mac OS X")],
+    )
+    def test_platform_markers(self, os_name, marker):
+        assert marker in identity_for(os_name).user_agent
+
+    def test_unknown_os_rejected(self):
+        with pytest.raises(ValueError):
+            OSIdentity(name="beos", label="BeOS", user_agent="x")
+        with pytest.raises(KeyError):
+            identity_for("beos")
+
+
+class TestPageModel:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PlannedRequest(url="http://localhost/", delay_ms=-1.0)
+
+    def test_planned_requests_get_script_name_as_initiator(self):
+        class Script:
+            name = "my-script"
+
+            def plan(self, context):
+                return [PlannedRequest(url="http://localhost:1/")]
+
+        page = Page(url="https://a.example/", scripts=[Script()])
+        context = ScriptContext(
+            os_name="linux", user_agent="UA", page_url=page.url
+        )
+        planned = page.planned_requests(context)
+        assert planned[0].initiator == "my-script"
+
+    def test_explicit_initiator_preserved(self):
+        class Script:
+            name = "outer"
+
+            def plan(self, context):
+                return [
+                    PlannedRequest(url="http://localhost:1/", initiator="blob:x")
+                ]
+
+        page = Page(url="https://a.example/", scripts=[Script()])
+        context = ScriptContext(os_name="mac", user_agent="UA", page_url=page.url)
+        assert page.planned_requests(context)[0].initiator == "blob:x"
+
+    def test_plan_order_is_script_order(self):
+        class One:
+            name = "one"
+
+            def plan(self, context):
+                return [PlannedRequest(url="http://localhost:1/")]
+
+        class Two:
+            name = "two"
+
+            def plan(self, context):
+                return [PlannedRequest(url="http://localhost:2/")]
+
+        page = Page(url="https://a.example/", scripts=[One(), Two()])
+        context = ScriptContext(os_name="mac", user_agent="UA", page_url=page.url)
+        urls = [p.url for p in page.planned_requests(context)]
+        assert urls == ["http://localhost:1/", "http://localhost:2/"]

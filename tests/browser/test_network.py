@@ -1,0 +1,90 @@
+"""Tests for the simulated network stack's connect semantics."""
+
+import pytest
+
+from repro.browser.errors import NetError
+from repro.browser.network import (
+    CONNECT_TIMEOUT_MS,
+    LocalServiceTable,
+    PortState,
+    SimulatedNetwork,
+)
+
+
+class TestLocalServiceTable:
+    def test_default_state_is_closed(self):
+        table = LocalServiceTable()
+        assert table.state("127.0.0.1", 5939) is PortState.CLOSED
+
+    def test_open_service(self):
+        table = LocalServiceTable()
+        table.open_service("127.0.0.1", 5939)
+        assert table.state("127.0.0.1", 5939) is PortState.OPEN
+
+    def test_invalid_port_rejected(self):
+        table = LocalServiceTable()
+        with pytest.raises(ValueError):
+            table.set_state("127.0.0.1", 0, PortState.OPEN)
+
+
+class TestConnectSemantics:
+    def test_public_connects_with_wan_latency(self):
+        network = SimulatedNetwork()
+        outcome = network.connect("example.com", 443)
+        assert outcome.ok
+        assert outcome.latency_ms >= SimulatedNetwork.WAN_RTT_MS
+
+    def test_closed_localhost_port_refuses_fast(self):
+        network = SimulatedNetwork()
+        outcome = network.connect("127.0.0.1", 3389)
+        assert outcome.error is NetError.ERR_CONNECTION_REFUSED
+        assert outcome.latency_ms < 5.0
+
+    def test_open_localhost_port_accepts_fast(self):
+        network = SimulatedNetwork()
+        network.services.open_service("127.0.0.1", 3389)
+        outcome = network.connect("127.0.0.1", 3389)
+        assert outcome.ok
+        assert outcome.latency_ms < 5.0
+
+    def test_localhost_aliases_share_service_table(self):
+        # A service opened on 127.0.0.1 answers for "localhost" too.
+        network = SimulatedNetwork()
+        network.services.open_service("127.0.0.1", 6463)
+        assert network.connect("localhost", 6463).ok
+
+    def test_dropped_port_times_out(self):
+        network = SimulatedNetwork()
+        network.services.set_state("127.0.0.1", 9999, PortState.DROPPED)
+        outcome = network.connect("127.0.0.1", 9999)
+        assert outcome.error is NetError.ERR_TIMED_OUT
+        assert outcome.latency_ms == CONNECT_TIMEOUT_MS
+
+    def test_timing_side_channel_exists(self):
+        """The BIG-IP inference: closed vs dropped are distinguishable by
+        latency even when the response body is unreadable."""
+        network = SimulatedNetwork()
+        network.services.set_state("127.0.0.1", 1111, PortState.DROPPED)
+        closed = network.connect("127.0.0.1", 2222)
+        dropped = network.connect("127.0.0.1", 1111)
+        assert dropped.latency_ms > 100 * closed.latency_ms
+
+    def test_lan_latency_between_loopback_and_wan(self):
+        network = SimulatedNetwork()
+        network.services.open_service("192.168.1.8", 80)
+        lan = network.connect("192.168.1.8", 80)
+        public = network.connect("example.com", 80)
+        assert lan.ok
+        assert lan.latency_ms < public.latency_ms
+
+    def test_latency_is_deterministic(self):
+        network = SimulatedNetwork()
+        first = network.connect("example.com", 443)
+        second = network.connect("example.com", 443)
+        assert first.latency_ms == second.latency_ms
+
+    def test_attempt_counter(self):
+        network = SimulatedNetwork()
+        network.connect("a.example", 80)
+        network.connect("127.0.0.1", 80)
+        assert network.connect_attempts == 2

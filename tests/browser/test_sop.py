@@ -1,0 +1,85 @@
+"""Tests for the Same-Origin Policy model and its WebSocket exemption."""
+
+from repro.browser.sop import Origin, ResponseVisibility, SameOriginPolicy
+from repro.core.addresses import parse_target
+
+
+def _origin(url: str) -> Origin:
+    return Origin.from_target(parse_target(url))
+
+
+class TestOrigin:
+    def test_same_origin_requires_scheme_host_port(self):
+        a = _origin("https://site.example/")
+        assert a.same_origin_as(_origin("https://site.example/page"))
+        assert not a.same_origin_as(_origin("http://site.example/"))
+        assert not a.same_origin_as(_origin("https://site.example:8443/"))
+        assert not a.same_origin_as(_origin("https://other.example/"))
+
+    def test_secure_origins(self):
+        assert _origin("https://a.example/").is_secure
+        assert _origin("wss://a.example/").is_secure
+        assert not _origin("http://a.example/").is_secure
+
+
+class TestVisibility:
+    def setup_method(self):
+        self.policy = SameOriginPolicy()
+        self.page = _origin("https://shop.example/")
+
+    def test_cross_origin_http_is_opaque(self):
+        target = parse_target("http://localhost:4444/")
+        assert (
+            self.policy.visibility(self.page, target)
+            is ResponseVisibility.OPAQUE
+        )
+
+    def test_same_origin_is_full(self):
+        target = parse_target("https://shop.example/api")
+        assert (
+            self.policy.visibility(self.page, target) is ResponseVisibility.FULL
+        )
+
+    def test_websockets_bypass_sop(self):
+        # The paper's central protocol observation.
+        for scheme in ("ws", "wss"):
+            target = parse_target(f"{scheme}://localhost:5939/")
+            assert (
+                self.policy.visibility(self.page, target)
+                is ResponseVisibility.FULL
+            )
+
+    def test_cors_opt_in_grants_full(self):
+        target = parse_target("http://localhost:8000/api")
+        assert (
+            self.policy.visibility(self.page, target, cors_allowed=True)
+            is ResponseVisibility.FULL
+        )
+
+    def test_requests_are_always_sent(self):
+        # Classic SOP restricts reading, not sending — the gap PNA closes.
+        target = parse_target("http://192.168.0.1/admin")
+        assert self.policy.request_allowed(self.page, target)
+
+
+class TestObservableSignal:
+    def test_opaque_probe_still_leaks_timing(self):
+        policy = SameOriginPolicy()
+        page = _origin("https://gov.example/")
+        target = parse_target("http://localhost:17556/")
+        signal = policy.observable_signal(
+            page, target, connect_ok=True, latency_ms=0.4
+        )
+        assert signal["completed"] is True
+        assert signal["latency_ms"] == 0.4
+        assert signal["visibility"] == "opaque"
+        assert "readable" not in signal
+
+    def test_websocket_probe_reads_data(self):
+        policy = SameOriginPolicy()
+        page = _origin("https://shop.example/")
+        target = parse_target("wss://localhost:5900/")
+        signal = policy.observable_signal(
+            page, target, connect_ok=True, latency_ms=0.3
+        )
+        assert signal.get("readable") is True

@@ -1,0 +1,50 @@
+"""Tests for OS environments (crawl vantage points)."""
+
+import pytest
+
+from repro.browser.chrome import DEFAULT_MONITOR_WINDOW_MS
+from repro.browser.network import PortState
+from repro.crawler.vm import VANTAGE_BY_OS, OSEnvironment
+
+
+class TestOSEnvironment:
+    def test_for_os_builds_identity_and_vantage(self):
+        environment = OSEnvironment.for_os("windows")
+        assert environment.os_name == "windows"
+        assert environment.vantage == "gatech-isp"
+        assert environment.monitor_window_ms == DEFAULT_MONITOR_WINDOW_MS
+
+    def test_mac_crawls_from_residential_network(self):
+        # The paper's Mac crawl ran on a Comcast residential connection.
+        assert OSEnvironment.for_os("mac").vantage == "comcast-residential"
+        assert VANTAGE_BY_OS["linux"] == "gatech-isp"
+
+    def test_unknown_os_rejected(self):
+        with pytest.raises(KeyError):
+            OSEnvironment.for_os("templeos")
+
+    def test_custom_monitor_window(self):
+        environment = OSEnvironment.for_os("linux", monitor_window_ms=5_000.0)
+        browser = environment.browser()
+        assert browser.monitor_window_ms == 5_000.0
+
+    def test_browsers_share_the_environment_service_table(self):
+        # Local services installed in the environment must be visible to
+        # every browser instance it spawns (the host machine's state).
+        environment = OSEnvironment.for_os("windows")
+        environment.services.open_service("127.0.0.1", 5939)
+        browser = environment.browser()
+        assert browser.network.connect("127.0.0.1", 5939).ok
+        assert environment.services.state("127.0.0.1", 5939) is PortState.OPEN
+
+    def test_each_browser_gets_its_own_network_counters(self):
+        environment = OSEnvironment.for_os("windows")
+        first = environment.browser()
+        second = environment.browser()
+        first.network.connect("example.com", 443)
+        assert first.network.connect_attempts == 1
+        assert second.network.connect_attempts == 0
+
+    def test_user_agent_propagates_to_browser(self):
+        browser = OSEnvironment.for_os("mac").browser()
+        assert "Mac OS X" in browser.identity.user_agent

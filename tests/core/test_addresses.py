@@ -1,0 +1,175 @@
+"""Tests for destination locality classification and URL target parsing."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addresses import (
+    Locality,
+    TargetParseError,
+    classify_host,
+    classify_url,
+    parse_ip,
+    parse_target,
+)
+
+
+class TestClassifyHost:
+    @pytest.mark.parametrize(
+        "host",
+        [
+            "localhost",
+            "LOCALHOST",
+            "localhost.",
+            "app.localhost",
+            "localhost.localdomain",
+            "127.0.0.1",
+            "127.0.0.2",
+            "127.255.255.254",
+            "::1",
+            "[::1]",
+        ],
+    )
+    def test_localhost_destinations(self, host):
+        assert classify_host(host) is Locality.LOCALHOST
+
+    @pytest.mark.parametrize(
+        "host",
+        [
+            "10.0.0.1",
+            "10.255.255.255",
+            "172.16.0.1",
+            "172.31.255.255",
+            "192.168.0.1",
+            "192.168.255.255",
+            "169.254.1.1",  # IPv4 link-local
+            "fc00::1",  # IPv6 unique local
+            "fdab::17",
+            "fe80::1",  # IPv6 link-local
+        ],
+    )
+    def test_lan_destinations(self, host):
+        assert classify_host(host) is Locality.LAN
+
+    @pytest.mark.parametrize(
+        "host",
+        [
+            "example.com",
+            "www.google.com",
+            "8.8.8.8",
+            "172.15.255.255",  # just below 172.16/12
+            "172.32.0.0",  # just above 172.16/12
+            "192.167.255.255",
+            "192.169.0.0",
+            "11.0.0.0",
+            "9.255.255.255",
+            "2001:db8::1",
+            "",
+            "not an ip at all",
+            "localhost.evil.com",  # localhost as a label, not a suffix
+        ],
+    )
+    def test_public_destinations(self, host):
+        assert classify_host(host) is Locality.PUBLIC
+
+    def test_ipv4_mapped_ipv6_follows_v4_rules(self):
+        assert classify_host("::ffff:192.168.1.5") is Locality.LAN
+        assert classify_host("::ffff:8.8.8.8") is Locality.PUBLIC
+
+    @given(st.ip_addresses(v=4))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_stdlib_semantics_v4(self, ip):
+        """Our classification must agree with the stdlib's RFC1918 view."""
+        verdict = classify_host(str(ip))
+        if ip.is_loopback:
+            assert verdict is Locality.LOCALHOST
+        elif ip.is_private and not ip.is_loopback and (
+            ip in ipaddress.ip_network("10.0.0.0/8")
+            or ip in ipaddress.ip_network("172.16.0.0/12")
+            or ip in ipaddress.ip_network("192.168.0.0/16")
+            or ip in ipaddress.ip_network("169.254.0.0/16")
+        ):
+            assert verdict is Locality.LAN
+        else:
+            assert verdict is Locality.PUBLIC
+
+
+class TestParseIp:
+    def test_bracketed_v6(self):
+        parsed = parse_ip("[fe80::1]")
+        assert parsed is not None and parsed.version == 6
+
+    def test_domain_returns_none(self):
+        assert parse_ip("example.com") is None
+
+
+class TestParseTarget:
+    def test_defaults_ports_per_scheme(self):
+        assert parse_target("http://localhost/").port == 80
+        assert parse_target("https://localhost/").port == 443
+        assert parse_target("ws://localhost/").port == 80
+        assert parse_target("wss://localhost/").port == 443
+
+    def test_explicit_port_and_query(self):
+        target = parse_target("http://127.0.0.1:14440/?code=1&dummy=2")
+        assert target.port == 14440
+        assert target.path == "/?code=1&dummy=2"
+        assert target.locality is Locality.LOCALHOST
+
+    def test_empty_path_becomes_root(self):
+        assert parse_target("wss://localhost:5939").path == "/"
+
+    def test_origin_and_url_roundtrip(self):
+        target = parse_target("wss://localhost:5939/")
+        assert target.origin == "wss://localhost:5939"
+        assert target.url() == "wss://localhost:5939/"
+
+    def test_url_omits_default_port(self):
+        assert parse_target("http://10.0.0.1/a").url() == "http://10.0.0.1/a"
+
+    def test_hostnames_are_lowercased(self):
+        assert parse_target("http://LOCALHOST:80/").host == "localhost"
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "ftp://example.com/",
+            "file:///etc/passwd",
+            "http://",
+            "not a url",
+            "http://example.com:99999/",
+        ],
+    )
+    def test_rejects_unusable_urls(self, url):
+        with pytest.raises(TargetParseError):
+            parse_target(url)
+
+    def test_ipv6_literal_target(self):
+        target = parse_target("http://[::1]:8080/x")
+        assert target.locality is Locality.LOCALHOST
+        assert target.port == 8080
+
+
+class TestClassifyUrl:
+    def test_malformed_urls_are_public(self):
+        assert classify_url("garbage") is Locality.PUBLIC
+        assert classify_url("ftp://localhost/") is Locality.PUBLIC
+
+    def test_local_urls(self):
+        assert classify_url("ws://localhost:2687/") is Locality.LOCALHOST
+        assert classify_url("http://192.168.1.8/a.css") is Locality.LAN
+
+    @given(
+        scheme=st.sampled_from(["http", "https", "ws", "wss"]),
+        port=st.integers(1, 65535),
+        path=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_loopback_always_localhost(self, scheme, port, path):
+        url = f"{scheme}://127.0.0.1:{port}/{path}"
+        assert classify_url(url) is Locality.LOCALHOST

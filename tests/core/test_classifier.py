@@ -1,0 +1,96 @@
+"""Tests for the behaviour classifier."""
+
+from repro.core.addresses import parse_target
+from repro.core.classifier import BehaviorClassifier
+from repro.core.detector import LocalRequest
+from repro.core.ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
+from repro.core.signatures import BehaviorClass, DeveloperErrorKind
+
+
+def _request(url: str, via_redirect: bool = False) -> LocalRequest:
+    return LocalRequest(
+        target=parse_target(url), time=0.0, source_id=1, via_redirect=via_redirect
+    )
+
+
+def _tm_scan():
+    return [_request(f"wss://localhost:{p}/") for p in THREATMETRIX_PORTS]
+
+
+class TestClassify:
+    def test_fraud_detection(self):
+        verdict = BehaviorClassifier().classify(_tm_scan())
+        assert verdict.behavior is BehaviorClass.FRAUD_DETECTION
+        assert verdict.signature_name == "threatmetrix"
+
+    def test_bot_detection(self):
+        requests = [_request(f"http://localhost:{p}/") for p in BIGIP_ASM_PORTS]
+        verdict = BehaviorClassifier().classify(requests)
+        assert verdict.behavior is BehaviorClass.BOT_DETECTION
+
+    def test_native_application(self):
+        verdict = BehaviorClassifier().classify(
+            [_request("ws://localhost:6463/?v=1")]
+        )
+        assert verdict.behavior is BehaviorClass.NATIVE_APPLICATION
+        assert verdict.signature_name == "discord-client"
+
+    def test_developer_error_with_kind(self):
+        verdict = BehaviorClassifier().classify(
+            [_request("http://127.0.0.1/wp-content/uploads/x.png")]
+        )
+        assert verdict.behavior is BehaviorClass.DEVELOPER_ERROR
+        assert verdict.dev_error_kind is DeveloperErrorKind.LOCAL_FILE_SERVER
+
+    def test_unknown_residual(self):
+        requests = [
+            _request(f"http://127.0.0.1:{p}/peers.json") for p in range(6880, 6890)
+        ]
+        verdict = BehaviorClassifier().classify(requests)
+        assert verdict.behavior is BehaviorClass.UNKNOWN
+        assert verdict.signature_name is None
+
+    def test_first_match_wins(self):
+        # A ThreatMetrix scan plus one dev-error fetch classifies as fraud:
+        # specific signatures precede the heuristic catch-all.
+        requests = _tm_scan() + [_request("http://127.0.0.1/wp-content/a.png")]
+        verdict = BehaviorClassifier().classify(requests)
+        assert verdict.behavior is BehaviorClass.FRAUD_DETECTION
+
+    def test_empty_requests_unknown(self):
+        assert (
+            BehaviorClassifier().classify([]).behavior is BehaviorClass.UNKNOWN
+        )
+
+    def test_stats_accumulate(self):
+        classifier = BehaviorClassifier()
+        classifier.classify(_tm_scan())
+        classifier.classify([])
+        assert classifier.stats.total == 2
+        assert classifier.stats.by_behavior[BehaviorClass.FRAUD_DETECTION] == 1
+        assert classifier.stats.by_behavior[BehaviorClass.UNKNOWN] == 1
+
+
+class TestClassifyPerOs:
+    def test_pools_evidence_across_oses(self):
+        # Scan only visible on Windows; Linux/Mac contribute nothing.
+        verdict = BehaviorClassifier().classify_per_os(
+            {"windows": _tm_scan(), "linux": [], "mac": []}
+        )
+        assert verdict.behavior is BehaviorClass.FRAUD_DETECTION
+
+    def test_custom_signature_chain(self):
+        from repro.core.signatures import EndpointSignature
+
+        only = EndpointSignature(
+            name="only",
+            app="App",
+            ports=frozenset({9}),
+            path_pattern=r"^/$",
+        )
+        classifier = BehaviorClassifier([only])
+        assert classifier.classify(
+            [_request("http://localhost:9/")]
+        ).behavior is BehaviorClass.NATIVE_APPLICATION
+        # Everything else (even a real TM scan) is UNKNOWN in this chain.
+        assert classifier.classify(_tm_scan()).behavior is BehaviorClass.UNKNOWN

@@ -1,0 +1,113 @@
+"""Tests for the local-traffic detector."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addresses import Locality
+from repro.core.detector import LocalTrafficDetector
+from repro.netlog.constants import SourceType
+
+
+class TestDetection:
+    def test_detects_localhost_request(self, events):
+        events.page_commit("https://site.example/", time=100.0)
+        events.request("http://localhost:8000/setuid", time=2100.0)
+        result = LocalTrafficDetector().detect(events.events)
+        assert result.has_local_activity
+        (request,) = result.requests
+        assert request.locality is Locality.LOCALHOST
+        assert request.port == 8000
+        assert request.path == "/setuid"
+
+    def test_detects_lan_request(self, events):
+        events.request("http://192.168.64.160/wp-content/uploads/a.jpg")
+        result = LocalTrafficDetector().detect(events.events)
+        assert [r.locality for r in result.requests] == [Locality.LAN]
+        assert result.lan_requests and not result.localhost_requests
+
+    def test_public_traffic_ignored(self, events):
+        events.request("https://cdn.example/app.js")
+        events.request("https://fonts.example/roboto.woff2")
+        result = LocalTrafficDetector().detect(events.events)
+        assert not result.has_local_activity
+        assert result.total_flows == 2
+
+    def test_websocket_localhost(self, events):
+        events.request(
+            "wss://localhost:5939/", source_type=SourceType.WEB_SOCKET
+        )
+        result = LocalTrafficDetector().detect(events.events)
+        assert result.requests[0].scheme == "wss"
+
+    def test_redirect_to_local_counts(self, events):
+        events.request(
+            "http://public.example/home", redirects=("http://127.0.0.1:80/",)
+        )
+        result = LocalTrafficDetector().detect(events.events)
+        (request,) = result.requests
+        assert request.via_redirect
+        assert request.locality is Locality.LOCALHOST
+
+    def test_redirects_can_be_disabled(self, events):
+        events.request(
+            "http://public.example/home", redirects=("http://127.0.0.1:80/",)
+        )
+        detector = LocalTrafficDetector(include_redirects=False)
+        assert not detector.detect(events.events).has_local_activity
+
+    def test_requests_sorted_by_time(self, events):
+        events.request("http://localhost:2/", time=500.0)
+        events.request("http://localhost:1/", time=100.0)
+        result = LocalTrafficDetector().detect(events.events)
+        assert [r.port for r in result.requests] == [1, 2]
+
+    def test_first_delay_uses_page_commit_anchor(self, events):
+        events.page_commit("https://site.example/", time=1000.0)
+        events.request("http://localhost:9000/x.js", time=4000.0)
+        events.request("http://localhost:9001/y.js", time=6000.0)
+        result = LocalTrafficDetector().detect(events.events)
+        assert result.first_local_request_delay_ms(Locality.LOCALHOST) == 3000.0
+        assert result.first_local_request_delay_ms(Locality.LAN) is None
+
+    def test_first_delay_none_without_anchor(self, events):
+        events.request("http://localhost:9000/")
+        result = LocalTrafficDetector().detect(events.events)
+        assert result.first_local_request_delay_ms(Locality.LOCALHOST) is None
+
+    def test_ports_and_schemes_accessors(self, events):
+        events.request("http://localhost:80/a")
+        events.request("wss://localhost:5939/", source_type=SourceType.WEB_SOCKET)
+        events.request("http://10.1.2.3:8080/b")
+        result = LocalTrafficDetector().detect(events.events)
+        assert result.ports(Locality.LOCALHOST) == {80, 5939}
+        assert result.schemes(Locality.LOCALHOST) == {"http", "wss"}
+        assert result.ports(Locality.LAN) == {8080}
+        assert result.ports() == {80, 5939, 8080}
+
+    def test_initiator_propagates(self, events):
+        source = events.source()
+        from repro.netlog.constants import EventPhase, EventType
+
+        events.add(
+            0.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="http://localhost:5005/xook.js",
+            initiator="xenotix",
+        )
+        result = LocalTrafficDetector().detect(events.events)
+        assert result.requests[0].initiator == "xenotix"
+
+    @given(
+        ports=st.lists(st.integers(1, 65535), min_size=1, max_size=20, unique=True)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_localhost_probe_is_found(self, ports):
+        from tests.conftest import EventBuilder
+
+        builder = EventBuilder()
+        for index, port in enumerate(ports):
+            builder.request(f"http://localhost:{port}/", time=float(index))
+        result = LocalTrafficDetector().detect(builder.events)
+        assert result.ports(Locality.LOCALHOST) == set(ports)

@@ -1,0 +1,151 @@
+"""Tests for flow extraction from NetLog event streams."""
+
+from repro.core.flows import extract_flows, page_load_time
+from repro.netlog.constants import EventPhase, EventType, SourceType
+
+
+class TestExtractFlows:
+    def test_groups_by_source_id(self, events):
+        events.request("http://a.example/", time=0.0)
+        events.request("http://b.example/", time=5.0)
+        flows = extract_flows(events.events)
+        assert len(flows) == 2
+        assert {f.url for f in flows} == {
+            "http://a.example/",
+            "http://b.example/",
+        }
+
+    def test_flow_order_matches_first_appearance(self, events):
+        events.request("http://late-id.example/", time=0.0)
+        events.request("http://early-time.example/", time=0.0)
+        flows = extract_flows(events.events)
+        assert flows[0].url == "http://late-id.example/"
+
+    def test_browser_internal_sources_filtered(self, events):
+        source = events.source(SourceType.BROWSER_INTERNAL)
+        events.add(
+            0.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="http://chrome-internal.example/",
+        )
+        events.request("http://content.example/")
+        flows = extract_flows(events.events)
+        assert len(flows) == 1
+        assert flows[0].url == "http://content.example/"
+
+    def test_captures_method_and_initiator(self, events):
+        source = events.source()
+        events.add(
+            1.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="https://x.example/",
+            method="POST",
+            initiator="tracker.js",
+        )
+        flow = extract_flows(events.events)[0]
+        assert flow.method == "POST"
+        assert flow.initiator == "tracker.js"
+        assert flow.begin_time == 1.0
+
+    def test_redirect_chain_collected_in_order(self, events):
+        events.request(
+            "http://public.example/",
+            redirects=("http://hop.example/", "http://127.0.0.1/"),
+        )
+        flow = extract_flows(events.events)[0]
+        assert flow.redirect_chain == [
+            "http://hop.example/",
+            "http://127.0.0.1/",
+        ]
+        assert flow.all_urls() == [
+            "http://public.example/",
+            "http://hop.example/",
+            "http://127.0.0.1/",
+        ]
+
+    def test_websocket_flag_and_url(self, events):
+        events.request(
+            "wss://localhost:5939/", source_type=SourceType.WEB_SOCKET
+        )
+        flow = extract_flows(events.events)[0]
+        assert flow.is_websocket
+        assert flow.url == "wss://localhost:5939/"
+
+    def test_error_captured_from_request_alive_end(self, events):
+        source = events.source()
+        events.add(
+            0.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="http://dead.example/",
+        )
+        events.add(
+            3.0,
+            EventType.REQUEST_ALIVE,
+            source,
+            EventPhase.END,
+            net_error=-105,
+        )
+        flow = extract_flows(events.events)[0]
+        assert flow.failed
+        assert flow.net_error == -105
+        assert flow.duration_ms == 3.0
+
+    def test_socket_error_wins_over_later_alive_end(self, events):
+        source = events.source()
+        events.add(
+            0.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="http://dead.example/",
+        )
+        events.add(1.0, EventType.SOCKET_ERROR, source, net_error=-102)
+        events.add(2.0, EventType.REQUEST_ALIVE, source, EventPhase.END)
+        flow = extract_flows(events.events)[0]
+        assert flow.net_error == -102
+
+    def test_truncated_flow_uses_last_event_time(self, events):
+        source = events.source()
+        events.add(
+            0.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="http://slow.example/",
+        )
+        events.add(7.5, EventType.TCP_CONNECT, source, EventPhase.END)
+        flow = extract_flows(events.events)[0]
+        assert flow.end_time == 7.5
+        assert not flow.failed
+
+    def test_target_parsing_tolerates_garbage(self, events):
+        source = events.source()
+        events.add(
+            0.0,
+            EventType.URL_REQUEST_START_JOB,
+            source,
+            EventPhase.BEGIN,
+            url="garbage://???",
+        )
+        flow = extract_flows(events.events)[0]
+        assert flow.target() is None
+
+    def test_empty_stream(self):
+        assert extract_flows([]) == []
+
+
+class TestPageLoadTime:
+    def test_finds_commit_timestamp(self, events):
+        events.request("https://site.example/", time=0.0)
+        events.page_commit("https://site.example/", time=140.0)
+        assert page_load_time(events.events) == 140.0
+
+    def test_none_without_commit(self, events):
+        events.request("https://site.example/")
+        assert page_load_time(events.events) is None

@@ -1,0 +1,86 @@
+"""Tests for the port knowledge base (Table 4)."""
+
+import pytest
+
+from repro.core.ports import (
+    BIGIP_ASM_PORTS,
+    DEFAULT_REGISTRY,
+    THREATMETRIX_PORTS,
+    PortRegistry,
+    PortService,
+    ScanPurpose,
+)
+
+
+class TestTable4Contents:
+    def test_fourteen_fraud_ports(self):
+        assert len(THREATMETRIX_PORTS) == 14
+        assert DEFAULT_REGISTRY.ports_for(ScanPurpose.FRAUD_DETECTION) == set(
+            THREATMETRIX_PORTS
+        )
+
+    def test_seven_bot_ports(self):
+        assert len(BIGIP_ASM_PORTS) == 7
+        assert DEFAULT_REGISTRY.ports_for(ScanPurpose.BOT_DETECTION) == set(
+            BIGIP_ASM_PORTS
+        )
+
+    def test_scan_profiles_do_not_overlap(self):
+        assert not set(THREATMETRIX_PORTS) & set(BIGIP_ASM_PORTS)
+
+    @pytest.mark.parametrize(
+        ("port", "service"),
+        [
+            (3389, "Windows Remote Desktop"),
+            (5939, "TeamViewer"),
+            (7070, "AnyDesk Remote Desktop"),
+            (17556, "Microsoft Edge WebDriver"),
+            (9515, "W32.Loxbot.A"),
+        ],
+    )
+    def test_known_service_names(self, port, service):
+        assert DEFAULT_REGISTRY.service_name(port) == service
+
+    def test_malware_ports_match_paper(self):
+        # Table 4: 4 of the 7 bot-detection ports belong to known malware.
+        assert DEFAULT_REGISTRY.malware_ports() == {4444, 4653, 5555, 9515}
+
+    def test_unknown_port(self):
+        assert DEFAULT_REGISTRY.lookup(31337) is None
+        assert DEFAULT_REGISTRY.service_name(31337) == "Unknown"
+
+    def test_rows_sorted_by_port(self):
+        rows = DEFAULT_REGISTRY.rows()
+        assert [r.port for r in rows] == sorted(r.port for r in rows)
+        assert len(rows) == len(DEFAULT_REGISTRY)
+
+
+class TestRegistryMutation:
+    def test_register_new_service(self):
+        registry = PortRegistry()
+        registry.register(
+            PortService(6463, "Discord RPC", ScanPurpose.FRAUD_DETECTION)
+        )
+        assert registry.service_name(6463) == "Discord RPC"
+        # The module-level default must not be affected.
+        assert DEFAULT_REGISTRY.lookup(6463) is None
+
+    def test_register_replaces(self):
+        registry = PortRegistry()
+        registry.register(
+            PortService(3389, "RDP (renamed)", ScanPurpose.FRAUD_DETECTION)
+        )
+        assert registry.service_name(3389) == "RDP (renamed)"
+
+    @pytest.mark.parametrize("port", [0, -1, 65536])
+    def test_invalid_port_rejected(self, port):
+        registry = PortRegistry()
+        with pytest.raises(ValueError):
+            registry.register(
+                PortService(port, "x", ScanPurpose.FRAUD_DETECTION)
+            )
+
+    def test_describe(self):
+        row = DEFAULT_REGISTRY.lookup(4444)
+        assert row is not None
+        assert row.describe().startswith("4444: Malware: ")

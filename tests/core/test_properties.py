@@ -1,0 +1,122 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addresses import parse_target
+from repro.core.classifier import BehaviorClassifier
+from repro.core.detector import LocalRequest, LocalTrafficDetector
+from repro.core.ports import THREATMETRIX_PORTS
+from repro.core.signatures import BehaviorClass
+from tests.conftest import EventBuilder
+
+# -- strategies ----------------------------------------------------------
+
+_local_hosts = st.sampled_from(
+    ["localhost", "127.0.0.1", "10.0.0.5", "192.168.1.8", "172.16.9.9"]
+)
+_schemes = st.sampled_from(["http", "https", "ws", "wss"])
+_paths = st.sampled_from(
+    ["/", "/wp-content/uploads/a.jpg", "/peers.json", "/livereload.js",
+     "/?v=1", "/status", "/sockjs-node/info?t=1"]
+)
+
+
+@st.composite
+def _local_requests(draw, min_size=1, max_size=30):
+    urls = draw(
+        st.lists(
+            st.builds(
+                lambda s, h, p, path: f"{s}://{h}:{p}{path}",
+                _schemes,
+                _local_hosts,
+                st.integers(1, 65535),
+                _paths,
+            ),
+            min_size=min_size,
+            max_size=max_size,
+        )
+    )
+    return [
+        LocalRequest(target=parse_target(url), time=float(i), source_id=i + 1)
+        for i, url in enumerate(urls)
+    ]
+
+
+class TestClassifierProperties:
+    @given(_local_requests())
+    @settings(max_examples=80, deadline=None)
+    def test_always_returns_a_verdict(self, requests):
+        verdict = BehaviorClassifier().classify(requests)
+        assert isinstance(verdict.behavior, BehaviorClass)
+
+    @given(_local_requests())
+    @settings(max_examples=50, deadline=None)
+    def test_order_invariance(self, requests):
+        classifier = BehaviorClassifier()
+        forward = classifier.classify(requests)
+        backward = classifier.classify(list(reversed(requests)))
+        assert forward.behavior is backward.behavior
+
+    @given(_local_requests())
+    @settings(max_examples=50, deadline=None)
+    def test_duplication_invariance(self, requests):
+        """Seeing the same traffic from three OS crawls must not change
+        the verdict (the per-OS pooling case)."""
+        classifier = BehaviorClassifier()
+        single = classifier.classify(requests)
+        tripled = classifier.classify(requests * 3)
+        assert single.behavior is tripled.behavior
+
+    @given(st.permutations(list(THREATMETRIX_PORTS)))
+    @settings(max_examples=20, deadline=None)
+    def test_tm_scan_detected_in_any_probe_order(self, ports):
+        requests = [
+            LocalRequest(
+                target=parse_target(f"wss://localhost:{p}/"),
+                time=float(i),
+                source_id=i + 1,
+            )
+            for i, p in enumerate(ports)
+        ]
+        verdict = BehaviorClassifier().classify(requests)
+        assert verdict.behavior is BehaviorClass.FRAUD_DETECTION
+
+
+class TestDetectorProperties:
+    @given(
+        st.lists(
+            st.tuples(_schemes, _local_hosts, st.integers(1, 65535)),
+            min_size=0,
+            max_size=20,
+        ),
+        st.lists(
+            st.sampled_from(
+                ["https://cdn.example/app.js", "http://fonts.example/r.woff2"]
+            ),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_detects_exactly_the_local_requests(self, local, public):
+        builder = EventBuilder()
+        for index, (scheme, host, port) in enumerate(local):
+            builder.request(f"{scheme}://{host}:{port}/", time=float(index))
+        for index, url in enumerate(public):
+            builder.request(url, time=100.0 + index)
+        detection = LocalTrafficDetector().detect(builder.events)
+        assert len(detection.requests) == len(local)
+        assert detection.total_flows == len(local) + len(public)
+
+    @given(_local_requests(min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_detection_via_flows_is_stable(self, requests):
+        """Feeding detected requests' URLs back through a fresh event
+        stream reproduces identical targets (fixpoint property)."""
+        builder = EventBuilder()
+        for request in requests:
+            builder.request(request.target.url(), time=request.time or 0.0)
+        detection = LocalTrafficDetector().detect(builder.events)
+        detected = sorted((r.target for r in detection.requests), key=str)
+        original = sorted((r.target for r in requests), key=str)
+        assert detected == original

@@ -1,0 +1,118 @@
+"""Tests for SiteFinding and overlap/rollup helpers."""
+
+from repro.core.addresses import Locality, parse_target
+from repro.core.detector import DetectionResult, LocalRequest
+from repro.core.report import (
+    SiteFinding,
+    findings_with_activity,
+    os_overlap_partition,
+    per_os_totals,
+)
+
+
+def _detection(urls: list[str], page_load: float = 100.0) -> DetectionResult:
+    requests = [
+        LocalRequest(
+            target=parse_target(url),
+            time=page_load + 1000.0 * (index + 1),
+            source_id=index + 2,
+        )
+        for index, url in enumerate(urls)
+    ]
+    return DetectionResult(requests=requests, page_load_time=page_load)
+
+
+def _finding(domain="site.example", rank=1, per_os=None) -> SiteFinding:
+    return SiteFinding(domain=domain, rank=rank, per_os=per_os or {})
+
+
+class TestSiteFinding:
+    def test_oses_with_activity_respects_locality(self):
+        finding = _finding(
+            per_os={
+                "windows": _detection(["wss://localhost:3389/"]),
+                "linux": _detection(["http://10.0.0.1/a.jpg"]),
+            }
+        )
+        assert finding.oses_with_activity(Locality.LOCALHOST) == ("windows",)
+        assert finding.oses_with_activity(Locality.LAN) == ("linux",)
+        assert finding.has_localhost_activity and finding.has_lan_activity
+
+    def test_os_order_is_canonical(self):
+        finding = _finding(
+            per_os={
+                "mac": _detection(["http://localhost:1/"]),
+                "windows": _detection(["http://localhost:1/"]),
+            }
+        )
+        assert finding.oses_with_activity(Locality.LOCALHOST) == (
+            "windows",
+            "mac",
+        )
+
+    def test_requests_filtering(self):
+        finding = _finding(
+            per_os={
+                "windows": _detection(
+                    ["http://localhost:80/a", "http://192.168.1.1/b"]
+                )
+            }
+        )
+        assert len(finding.requests()) == 2
+        assert len(finding.requests(Locality.LOCALHOST)) == 1
+        assert len(finding.requests(Locality.LAN, "windows")) == 1
+        assert finding.requests(Locality.LAN, "linux") == []
+
+    def test_ports_schemes_lan_addresses(self):
+        finding = _finding(
+            per_os={
+                "linux": _detection(
+                    ["https://192.168.33.10:443/x.png", "http://10.1.1.1:8080/y"]
+                )
+            }
+        )
+        assert finding.ports(Locality.LAN) == {443, 8080}
+        assert finding.schemes(Locality.LAN) == {"https", "http"}
+        assert finding.lan_addresses() == {"192.168.33.10", "10.1.1.1"}
+
+    def test_first_request_delay(self):
+        finding = _finding(
+            per_os={"mac": _detection(["http://localhost:9/"], page_load=500.0)}
+        )
+        assert finding.first_request_delay_ms(Locality.LOCALHOST, "mac") == 1000.0
+        assert finding.first_request_delay_ms(Locality.LOCALHOST, "linux") is None
+
+
+class TestRollups:
+    def _population(self):
+        return [
+            _finding("w-only.example", 1, {"windows": _detection(["ws://localhost:1/"])}),
+            _finding(
+                "all.example",
+                2,
+                {
+                    "windows": _detection(["http://localhost:2/"]),
+                    "linux": _detection(["http://localhost:2/"]),
+                    "mac": _detection(["http://localhost:2/"]),
+                },
+            ),
+            _finding("lan.example", 3, {"linux": _detection(["http://10.0.0.9/"])}),
+            _finding("inactive.example", 4, {}),
+        ]
+
+    def test_findings_with_activity(self):
+        population = self._population()
+        localhost = findings_with_activity(population, Locality.LOCALHOST)
+        assert {f.domain for f in localhost} == {"w-only.example", "all.example"}
+        lan = findings_with_activity(population, Locality.LAN)
+        assert {f.domain for f in lan} == {"lan.example"}
+
+    def test_overlap_partition(self):
+        partition = os_overlap_partition(self._population(), Locality.LOCALHOST)
+        assert partition[frozenset({"windows"})] == 1
+        assert partition[frozenset({"windows", "linux", "mac"})] == 1
+        assert len(partition) == 2
+
+    def test_per_os_totals(self):
+        totals = per_os_totals(self._population(), Locality.LOCALHOST)
+        assert totals == {"windows": 2, "linux": 1, "mac": 1}

@@ -1,0 +1,236 @@
+"""Tests for behaviour signatures and their matching rules."""
+
+import pytest
+
+from repro.core.addresses import parse_target
+from repro.core.detector import LocalRequest
+from repro.core.ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
+from repro.core.signatures import (
+    BIGIP_ASM_SIGNATURE,
+    CENSORSHIP_SIGNATURE,
+    DEVELOPER_ERROR_SIGNATURE,
+    NATIVE_APP_SIGNATURES,
+    THREATMETRIX_SIGNATURE,
+    BehaviorClass,
+    DeveloperErrorKind,
+    PortScanSignature,
+    SignatureMatch,
+    default_signatures,
+    iter_signature_names,
+)
+
+
+def _request(url: str, *, via_redirect: bool = False) -> LocalRequest:
+    return LocalRequest(
+        target=parse_target(url),
+        time=0.0,
+        source_id=1,
+        via_redirect=via_redirect,
+    )
+
+
+def _scan(scheme: str, ports, path: str = "/"):
+    return [_request(f"{scheme}://localhost:{port}{path}") for port in ports]
+
+
+class TestThreatMetrixSignature:
+    def test_full_scan_matches(self):
+        match = THREATMETRIX_SIGNATURE.match(_scan("wss", THREATMETRIX_PORTS))
+        assert match is not None
+        assert match.behavior is BehaviorClass.FRAUD_DETECTION
+        assert match.confidence == 1.0
+
+    def test_partial_scan_matches_with_lower_confidence(self):
+        match = THREATMETRIX_SIGNATURE.match(
+            _scan("wss", THREATMETRIX_PORTS[:8])
+        )
+        assert match is not None
+        assert match.confidence < 1.0
+
+    def test_too_few_ports_do_not_match(self):
+        assert THREATMETRIX_SIGNATURE.match(_scan("wss", [3389, 5939])) is None
+
+    def test_wrong_scheme_does_not_match(self):
+        assert THREATMETRIX_SIGNATURE.match(_scan("http", THREATMETRIX_PORTS)) is None
+
+    def test_wrong_path_does_not_match(self):
+        requests = _scan("wss", THREATMETRIX_PORTS, path="/fingerprint")
+        assert THREATMETRIX_SIGNATURE.match(requests) is None
+
+    def test_duplicate_ports_counted_once(self):
+        # 12 probes of only 3 distinct ports must not satisfy min_ports.
+        requests = _scan("wss", [3389, 5939, 7070] * 4)
+        assert THREATMETRIX_SIGNATURE.match(requests) is None
+
+
+class TestBigIpSignature:
+    def test_full_scan_matches(self):
+        match = BIGIP_ASM_SIGNATURE.match(_scan("http", BIGIP_ASM_PORTS))
+        assert match is not None
+        assert match.behavior is BehaviorClass.BOT_DETECTION
+
+    def test_https_variant_does_not_match(self):
+        assert BIGIP_ASM_SIGNATURE.match(_scan("https", BIGIP_ASM_PORTS)) is None
+
+
+class TestNativeAppSignatures:
+    @pytest.mark.parametrize(
+        ("url", "expected"),
+        [
+            ("ws://localhost:6463/?v=1", "discord-client"),
+            ("ws://localhost:6472/?v=1", "discord-client"),
+            ("ws://localhost:28337/", "faceit-client"),
+            ("https://127.0.0.1:14443/?code=9&dummy=1", "nprotect-online-security"),
+            ("wss://localhost:31027/", "anysign"),
+            ("http://127.0.0.1:12071/v1/init.json?api_port=1", "gamehouse-client"),
+            ("http://127.0.0.1:2081/version?_=5", "iwin-client"),
+            ("ws://localhost:60202/check", "gameslol-client"),
+            ("http://127.0.0.1:5320/status", "screenleap-client"),
+            ("http://127.0.0.1:6878/webui/api/service", "acestream-client"),
+            ("http://127.0.0.1:51505/socket.io", "trustdice-client"),
+            ("http://127.0.0.1:16423/get_client_ver?v=2", "iqiyi-client"),
+            ("http://127.0.0.1:28317/get_thunder_version/", "thunder-client"),
+            ("wss://localhost:64443/service/cryptapi", "eimzo-cryptapi"),
+            ("ws://localhost:38684/", "gnway-client"),
+            ("https://127.0.0.1:4000/socket.io/?EIO=3", "mcgeeandco-socketio"),
+        ],
+    )
+    def test_each_known_endpoint_matches(self, url, expected):
+        request = _request(url)
+        matches = [
+            s.name
+            for s in NATIVE_APP_SIGNATURES
+            if s.match([request]) is not None
+        ]
+        assert expected in matches
+
+    def test_discord_port_with_wrong_path_does_not_match(self):
+        discord = next(s for s in NATIVE_APP_SIGNATURES if s.name == "discord-client")
+        assert discord.match([_request("ws://localhost:6463/other")]) is None
+
+    def test_wrong_scheme_rejected(self):
+        faceit = next(s for s in NATIVE_APP_SIGNATURES if s.name == "faceit-client")
+        assert faceit.match([_request("http://127.0.0.1:28337/")]) is None
+
+
+class TestDeveloperErrorSignature:
+    @pytest.mark.parametrize(
+        ("url", "kind"),
+        [
+            ("http://127.0.0.1:8888/wp-content/uploads/x.jpg",
+             DeveloperErrorKind.LOCAL_FILE_SERVER),
+            ("http://127.0.0.1/wp-includes/js/jquery.js",
+             DeveloperErrorKind.LOCAL_FILE_SERVER),
+            ("http://127.0.0.1:80/Silk%20Static/intro.mp4",
+             DeveloperErrorKind.LOCAL_FILE_SERVER),
+            ("http://127.0.0.1/robots.txt",
+             DeveloperErrorKind.LOCAL_FILE_SERVER),
+            ("http://localhost:5005/xook.js", DeveloperErrorKind.PEN_TEST),
+            ("https://localhost:35729/livereload.js",
+             DeveloperErrorKind.LIVERELOAD),
+            ("http://localhost:9000/sockjs-node/info?t=1",
+             DeveloperErrorKind.SOCKJS_NODE),
+            ("http://localhost:8000/setuid",
+             DeveloperErrorKind.OTHER_LOCAL_SERVICE),
+            ("https://localhost:1931/record/state",
+             DeveloperErrorKind.OTHER_LOCAL_SERVICE),
+        ],
+    )
+    def test_kind_attribution(self, url, kind):
+        match = DEVELOPER_ERROR_SIGNATURE.match([_request(url)])
+        assert match is not None
+        assert match.behavior is BehaviorClass.DEVELOPER_ERROR
+        assert match.dev_error_kind is kind
+
+    def test_pen_test_wins_over_generic_js(self):
+        # xook.js ends in .js — the pen-test rule must take precedence.
+        match = DEVELOPER_ERROR_SIGNATURE.match(
+            [_request("http://localhost:5005/xook.js")]
+        )
+        assert match is not None
+        assert match.dev_error_kind is DeveloperErrorKind.PEN_TEST
+
+    def test_redirect_to_local_root(self):
+        match = DEVELOPER_ERROR_SIGNATURE.match(
+            [_request("http://127.0.0.1:80/", via_redirect=True)]
+        )
+        assert match is not None
+        assert match.dev_error_kind is DeveloperErrorKind.REDIRECT
+
+    def test_lone_root_localhost_service(self):
+        match = DEVELOPER_ERROR_SIGNATURE.match(
+            [_request("http://localhost:56666/")]
+        )
+        assert match is not None
+        assert match.dev_error_kind is DeveloperErrorKind.OTHER_LOCAL_SERVICE
+        assert match.confidence < 0.5
+
+    def test_lone_root_repeated_across_oses_still_matches(self):
+        requests = [_request("http://localhost:56666/") for _ in range(3)]
+        assert DEVELOPER_ERROR_SIGNATURE.match(requests) is not None
+
+    def test_multi_port_root_scan_does_not_match(self):
+        requests = [
+            _request("http://localhost:1080/"),
+            _request("http://localhost:3306/"),
+        ]
+        assert DEVELOPER_ERROR_SIGNATURE.match(requests) is None
+
+    def test_json_poll_does_not_match(self):
+        # hola.org's /peers.json polls stay in the Unknown class.
+        assert (
+            DEVELOPER_ERROR_SIGNATURE.match(
+                [_request("http://127.0.0.1:6880/peers.json")]
+            )
+            is None
+        )
+
+    def test_lan_root_does_not_match_lone_root_rule(self):
+        assert (
+            DEVELOPER_ERROR_SIGNATURE.match([_request("http://10.10.34.35:80/")])
+            is None
+        )
+
+
+class TestCensorshipSignature:
+    def test_blackhole_iframe_matches(self):
+        match = CENSORSHIP_SIGNATURE.match([_request("http://10.10.34.35:80/")])
+        assert match is not None
+        assert match.behavior is BehaviorClass.UNKNOWN
+        assert match.signature == "censorship-lan-iframe"
+
+    def test_other_lan_roots_do_not_match(self):
+        assert CENSORSHIP_SIGNATURE.match([_request("http://10.0.0.1:80/")]) is None
+
+    def test_blackhole_with_path_does_not_match(self):
+        assert (
+            CENSORSHIP_SIGNATURE.match([_request("http://10.10.34.35/x.png")])
+            is None
+        )
+
+
+class TestSignatureChain:
+    def test_chain_order(self):
+        names = iter_signature_names(default_signatures())
+        assert names[0] == "lan-sweep"  # the attack class is checked first
+        assert names[1] == "threatmetrix"
+        assert names[2] == "bigip-asm-bot-defense"
+        assert names[-1] == "developer-error"
+        assert "censorship-lan-iframe" in names
+
+    def test_confidence_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            SignatureMatch(
+                behavior=BehaviorClass.UNKNOWN, signature="x", confidence=1.5
+            )
+
+    def test_port_scan_signature_is_reusable(self):
+        custom = PortScanSignature(
+            name="custom-scan",
+            behavior=BehaviorClass.FRAUD_DETECTION,
+            scheme="https",
+            ports=frozenset({1, 2, 3, 4}),
+            min_ports=2,
+        )
+        assert custom.match(_scan("https", [1, 2])) is not None
+        assert custom.match(_scan("https", [1])) is None

@@ -1,0 +1,47 @@
+"""Tests for campaigns persisting telemetry to the store."""
+
+from repro.crawler.campaign import Campaign
+from repro.storage.db import TelemetryStore
+from repro.web.population import build_top_population
+
+
+class TestCampaignStorage:
+    def test_visits_and_local_requests_persisted(self):
+        population = build_top_population(2020, scale=0.002)
+        with TelemetryStore() as store:
+            result = Campaign(store=store).run(population)
+            # One visit row per (site, OS).
+            assert store.visit_count("top2020") == len(population) * 3
+
+            stored_localhost = set(
+                store.domains_with_local_activity("top2020", "localhost")
+            )
+            measured_localhost = {
+                f.domain for f in result.findings if f.has_localhost_activity
+            }
+            assert stored_localhost == measured_localhost
+
+            stored_lan = set(
+                store.domains_with_local_activity("top2020", "lan")
+            )
+            measured_lan = {
+                f.domain for f in result.findings if f.has_lan_activity
+            }
+            assert stored_lan == measured_lan
+
+    def test_stored_success_counts_match_stats(self):
+        population = build_top_population(2020, scale=0.002)
+        with TelemetryStore() as store:
+            result = Campaign(store=store).run(population)
+            stored = store.success_counts("top2020")
+            for os_name, stats in result.stats.items():
+                assert stored[os_name] == (stats.successes, stats.failures)
+
+    def test_stored_requests_queryable_per_site(self):
+        population = build_top_population(2020, scale=0.002)
+        with TelemetryStore() as store:
+            Campaign(store=store).run(population)
+            rows = store.local_requests_for("top2020", "ebay.com")
+            assert len(rows) == 14  # the ThreatMetrix scan, Windows only
+            assert all(row.scheme == "wss" for row in rows)
+            assert all(row.os_name == "windows" for row in rows)

@@ -1,0 +1,108 @@
+"""Tests for the per-OS crawler and its statistics."""
+
+from repro.browser.errors import NetError
+from repro.crawler.connectivity import ConnectivityChecker
+from repro.crawler.crawl import Crawler, CrawlStats
+from repro.crawler.vm import OSEnvironment
+from repro.web.behaviors import ResourceFetchBehavior
+from repro.web.website import Website
+
+
+def _crawler(os_name="windows", **kwargs) -> Crawler:
+    return Crawler(OSEnvironment.for_os(os_name), **kwargs)
+
+
+def _active_site(domain="active.example", oses=("windows",)) -> Website:
+    return Website(
+        domain,
+        behaviors=[
+            ResourceFetchBehavior(
+                name="dev",
+                urls=("http://127.0.0.1:8888/wp-content/a.jpg",),
+                active_oses=frozenset(oses),
+            )
+        ],
+    )
+
+
+class TestCrawlSite:
+    def test_successful_crawl_detects_activity(self):
+        record = _crawler().crawl_site(_active_site())
+        assert record.success
+        assert record.has_local_activity
+        assert record.os_name == "windows"
+
+    def test_inactive_os_sees_no_activity(self):
+        record = _crawler("linux").crawl_site(_active_site(oses=("windows",)))
+        assert record.success
+        assert not record.has_local_activity
+
+    def test_injected_failure_recorded(self):
+        site = Website(
+            "down.example",
+            load_errors={"windows": NetError.ERR_NAME_NOT_RESOLVED},
+        )
+        record = _crawler().crawl_site(site)
+        assert not record.success
+        assert record.error_bucket == "NAME_NOT_RESOLVED"
+        assert record.detection is None
+
+    def test_failure_only_applies_to_its_os(self):
+        site = Website(
+            "down.example",
+            load_errors={"windows": NetError.ERR_CONNECTION_RESET},
+        )
+        assert not _crawler("windows").crawl_site(site).success
+        assert _crawler("linux").crawl_site(site).success
+
+    def test_connectivity_outage_skips_instead_of_failing(self):
+        crawler = _crawler()
+        crawler.connectivity.outage = True
+        record = crawler.crawl_site(_active_site())
+        assert record.connectivity_skipped
+        assert record.error is NetError.ERR_INTERNET_DISCONNECTED
+
+    def test_connectivity_can_be_disabled(self):
+        crawler = _crawler(check_connectivity=False)
+        crawler.connectivity.outage = True
+        assert crawler.crawl_site(_active_site()).success
+
+
+class TestCrawlStats:
+    def test_stats_accumulate(self):
+        crawler = _crawler()
+        sites = [
+            _active_site("a.example"),
+            Website("b.example", load_errors={"windows": NetError.ERR_TIMED_OUT}),
+            Website("c.example"),
+        ]
+        stats = CrawlStats(os_name="windows", crawl="test")
+        for record in crawler.crawl(sites):
+            stats.record(record)
+        assert stats.successes == 2
+        assert stats.failures == 1
+        assert stats.errors == {"Others": 1}
+        assert stats.total == 3
+
+    def test_skips_counted_separately(self):
+        stats = CrawlStats(os_name="windows", crawl="test")
+        crawler = _crawler()
+        crawler.connectivity.outage = True
+        stats.record(crawler.crawl_site(_active_site()))
+        assert stats.skipped == 1
+        assert stats.total == 0
+
+
+class TestConnectivityChecker:
+    def test_normal_check_passes(self):
+        crawler = _crawler()
+        checker = ConnectivityChecker(network=crawler.browser.network)
+        assert checker.check()
+        assert checker.checks == 1
+        assert checker.failures == 0
+
+    def test_outage_fails(self):
+        crawler = _crawler()
+        checker = ConnectivityChecker(network=crawler.browser.network, outage=True)
+        assert not checker.check()
+        assert checker.failures == 1

@@ -1,0 +1,109 @@
+"""Tests for internal-page crawling (§3.3 future-work extension)."""
+
+import pytest
+
+from repro.core.signatures import BehaviorClass
+from repro.crawler.campaign import Campaign
+from repro.crawler.crawl import Crawler
+from repro.crawler.vm import OSEnvironment
+from repro.web.behaviors import PortScanBehavior
+from repro.web.internal import LOGIN_PAGE_SCANNERS, login_scan_behavior
+from repro.web.population import build_top_population
+from repro.web.seeds import TM_PORTS
+from repro.web.website import Website
+
+
+def _login_site(domain="bank.example") -> Website:
+    return Website(
+        domain,
+        internal_pages={
+            "/signin": [
+                PortScanBehavior(
+                    name="threatmetrix (login)",
+                    scheme="wss",
+                    ports=TM_PORTS,
+                    active_oses=frozenset({"windows"}),
+                )
+            ]
+        },
+    )
+
+
+class TestWebsiteInternalPages:
+    def test_page_lookup(self):
+        site = _login_site()
+        page = site.page("/signin")
+        assert page.url == "https://bank.example/signin"
+        assert len(page.scripts) == 1
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(KeyError):
+            _login_site().page("/nope")
+
+    def test_internal_behaviour_counts_as_local_behaviour(self):
+        assert _login_site().has_local_behavior()
+
+
+class TestCrawlerInternal:
+    def test_landing_only_crawl_misses_login_scan(self):
+        crawler = Crawler(OSEnvironment.for_os("windows"))
+        record = crawler.crawl_site(_login_site())
+        assert record.success
+        assert not record.has_local_activity
+
+    def test_internal_crawl_finds_login_scan(self):
+        crawler = Crawler(
+            OSEnvironment.for_os("windows"), include_internal=True
+        )
+        record = crawler.crawl_site(_login_site())
+        assert record.has_local_activity
+        assert record.detection is not None
+        assert len(record.detection.localhost_requests) == len(TM_PORTS)
+
+    def test_internal_crawl_respects_os_conditional_scripts(self):
+        crawler = Crawler(OSEnvironment.for_os("linux"), include_internal=True)
+        record = crawler.crawl_site(_login_site())
+        assert not record.has_local_activity
+
+
+class TestLoginScannerSeeds:
+    def test_seeded_population_contains_scanners(self, top2020_population):
+        for scanner in LOGIN_PAGE_SCANNERS:
+            site = top2020_population.website(scanner.domain)
+            assert scanner.login_path in site.internal_pages
+            assert not site.behaviors  # landing page stays clean
+            assert site.calibrated
+
+    def test_login_scan_behavior_shape(self):
+        behavior = login_scan_behavior(LOGIN_PAGE_SCANNERS[0])
+        assert behavior.scheme == "wss"
+        assert behavior.ports == TM_PORTS
+        assert behavior.active_oses == frozenset({"windows"})
+
+    def test_opt_out_removes_them(self):
+        population = build_top_population(
+            2020, scale=0.002, login_page_scanners=False
+        )
+        assert "chase.com" not in population.by_domain or not (
+            population.website("chase.com").internal_pages
+        )
+
+    def test_deep_campaign_is_a_strict_superset(self, top2020_population):
+        shallow = Campaign().run(top2020_population)
+        deep = Campaign(include_internal=True).run(top2020_population)
+        shallow_localhost = {
+            f.domain for f in shallow.findings if f.has_localhost_activity
+        }
+        deep_localhost = {
+            f.domain for f in deep.findings if f.has_localhost_activity
+        }
+        assert shallow_localhost < deep_localhost
+        assert deep_localhost - shallow_localhost == {
+            s.domain for s in LOGIN_PAGE_SCANNERS
+        }
+        # The surfaced sites classify as fraud detection, like their
+        # landing-page cousins.
+        for scanner in LOGIN_PAGE_SCANNERS:
+            finding = deep.finding(scanner.domain)
+            assert finding is not None
+            assert finding.behavior is BehaviorClass.FRAUD_DETECTION

@@ -1,0 +1,125 @@
+"""Tests for the §5.4 developer lint tool."""
+
+from repro.core.signatures import BehaviorClass
+from repro.defense.devlint import LintSeverity, lint_website
+from repro.web.behaviors import (
+    PortScanBehavior,
+    PublicResourceBehavior,
+    ResourceFetchBehavior,
+)
+from repro.web.seeds import TM_PORTS
+from repro.web.website import Website
+
+ALL = frozenset({"windows", "linux", "mac"})
+
+
+class TestCleanSites:
+    def test_no_behaviors(self):
+        report = lint_website(Website("clean.example"))
+        assert report.clean
+        assert "no local network requests" in report.render()
+
+    def test_public_only_behaviors(self):
+        site = Website(
+            "publicish.example",
+            behaviors=[
+                PublicResourceBehavior(
+                    name="cdn", urls=("https://cdn.example/app.js",)
+                )
+            ],
+        )
+        assert lint_website(site).clean
+
+
+class TestDevErrorFlagging:
+    def test_remnant_fetch_is_an_error(self):
+        site = Website(
+            "oops.example",
+            behaviors=[
+                ResourceFetchBehavior(
+                    name="stale",
+                    urls=("http://127.0.0.1:8888/wp-content/uploads/x.jpg",),
+                    active_oses=ALL,
+                )
+            ],
+        )
+        report = lint_website(site)
+        (finding,) = report.findings
+        assert finding.severity is LintSeverity.ERROR
+        assert finding.behavior is BehaviorClass.DEVELOPER_ERROR
+        assert report.count(LintSeverity.ERROR) == 1
+        assert "remnant" in finding.advice
+
+    def test_os_conditional_remnant_reports_its_oses(self):
+        # The §5.4 point: lint must sweep all user agents.
+        site = Website(
+            "winonly.example",
+            behaviors=[
+                ResourceFetchBehavior(
+                    name="stale",
+                    urls=("http://127.0.0.1/banner.png",),
+                    active_oses=frozenset({"windows"}),
+                )
+            ],
+        )
+        (finding,) = lint_website(site).findings
+        assert finding.oses == ("windows",)
+
+
+class TestIntentionalTraffic:
+    def test_anti_fraud_scan_is_informational(self):
+        site = Website(
+            "shop.example",
+            behaviors=[
+                PortScanBehavior(
+                    name="threatmetrix@h.online-metrix.net",
+                    scheme="wss",
+                    ports=TM_PORTS,
+                    active_oses=frozenset({"windows"}),
+                )
+            ],
+        )
+        report = lint_website(site)
+        assert len(report.findings) == 14
+        assert report.count(LintSeverity.INFO) == 14
+        assert report.count(LintSeverity.ERROR) == 0
+        assert all(
+            f.behavior is BehaviorClass.FRAUD_DETECTION
+            for f in report.findings
+        )
+
+    def test_internal_pages_are_linted_too(self):
+        from repro.web.internal import LOGIN_PAGE_SCANNERS, login_scan_behavior
+
+        scanner = LOGIN_PAGE_SCANNERS[0]
+        site = Website(
+            scanner.domain,
+            internal_pages={"/signin": [login_scan_behavior(scanner)]},
+        )
+        report = lint_website(site)
+        assert not report.clean
+        assert all(f.page == "/signin" for f in report.findings)
+
+
+class TestSeededPopulationLint:
+    def test_lint_agrees_with_crawl_findings(self, top2020_population):
+        """Every seeded active site lints dirty; every filler site clean."""
+        dirty = 0
+        for domain in sorted(top2020_population.active_domains):
+            report = lint_website(top2020_population.website(domain))
+            assert not report.clean, domain
+            dirty += 1
+        assert dirty == len(top2020_population.active_domains)
+
+        filler = next(
+            w
+            for w in top2020_population.websites
+            if w.domain not in top2020_population.active_domains
+        )
+        assert lint_website(filler).clean
+
+    def test_render_shape(self, top2020_population):
+        report = lint_website(top2020_population.website("rkn.gov.ru"))
+        text = report.render()
+        assert "ERROR" in text
+        assert "/xook.js" in text

@@ -1,0 +1,63 @@
+"""Tests for PNA policy evaluation against measured findings."""
+
+from repro.core.signatures import BehaviorClass
+from repro.defense.evaluate import evaluate_policy, native_app_directory
+from repro.defense.pna import PrivateNetworkAccessPolicy
+
+
+class TestNativeAppDirectory:
+    def test_directory_covers_native_endpoints_only(self, top2020_result):
+        directory = native_app_directory(top2020_result.findings)
+        assert directory.acknowledges("localhost", 28337)  # FACEIT
+        assert directory.acknowledges("localhost", 6463)  # Discord
+        assert not directory.acknowledges("localhost", 3389)  # TM scan target
+
+
+class TestEvaluatePolicy:
+    def test_scanners_blocked_native_preserved(self, top2020_result):
+        policy = PrivateNetworkAccessPolicy(
+            directory=native_app_directory(top2020_result.findings)
+        )
+        evaluation = evaluate_policy(
+            top2020_result.findings, policy, label="pna+native-opt-in"
+        )
+        fraud = evaluation.impacts[BehaviorClass.FRAUD_DETECTION]
+        assert fraud.block_rate > 0.9  # probes die; telemetry upload is public
+        assert fraud.sites_fully_blocked == 0 or fraud.sites == 35
+        native = evaluation.impacts[BehaviorClass.NATIVE_APPLICATION]
+        assert native.sites_fully_blocked == 0
+        assert native.block_rate == 0.0
+        dev = evaluation.impacts[BehaviorClass.DEVELOPER_ERROR]
+        assert dev.requests_blocked > 0
+
+    def test_without_opt_in_everything_local_is_blocked(self, top2020_result):
+        policy = PrivateNetworkAccessPolicy()
+        evaluation = evaluate_policy(
+            top2020_result.findings, policy, label="pna-no-adoption"
+        )
+        for impact in evaluation.impacts.values():
+            local_requests = impact.requests
+            if local_requests:
+                assert impact.requests_blocked == local_requests
+
+    def test_malicious_population_blocked_by_insecure_context(
+        self, malicious_result
+    ):
+        # Malicious pages load over http -> rule 1 alone kills their local
+        # traffic under PNA.
+        policy = PrivateNetworkAccessPolicy(
+            directory=native_app_directory(malicious_result.findings)
+        )
+        evaluation = evaluate_policy(
+            malicious_result.findings, policy, label="pna-malicious"
+        )
+        assert evaluation.total_requests_blocked > 0
+        for impact in evaluation.impacts.values():
+            assert impact.requests_blocked == impact.requests
+
+    def test_render_contains_classes(self, top2020_result):
+        policy = PrivateNetworkAccessPolicy()
+        evaluation = evaluate_policy(top2020_result.findings, policy, label="x")
+        text = evaluation.render()
+        assert "Fraud Detection" in text
+        assert "Native Application" in text

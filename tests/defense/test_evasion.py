@@ -1,0 +1,104 @@
+"""Tests for the port-moving evasion study (§5.1 extension)."""
+
+import pytest
+
+from repro.core.ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
+from repro.defense.evasion import (
+    AttackerHost,
+    PortStrategy,
+    detection_rate,
+    evasion_sweep,
+    host_is_flagged,
+)
+
+
+class TestAttackerHost:
+    def test_standard_strategy_keeps_ports(self):
+        host = AttackerHost(label="a", services=(3389, 5939))
+        assert host.listening_ports() == {3389, 5939}
+
+    def test_shifted_strategy_moves_ports(self):
+        host = AttackerHost(
+            label="a", services=(3389,), strategy=PortStrategy.SHIFTED
+        )
+        assert host.listening_ports() == {13389}
+
+    def test_shifted_strategy_stays_in_port_range(self):
+        host = AttackerHost(
+            label="a", services=(60_000,), strategy=PortStrategy.SHIFTED
+        )
+        (port,) = host.listening_ports()
+        assert 0 < port <= 65_535
+
+    def test_randomized_strategy_is_deterministic_per_label(self):
+        a = AttackerHost(
+            label="bot-1", services=(4444,), strategy=PortStrategy.RANDOMIZED
+        )
+        b = AttackerHost(
+            label="bot-1", services=(4444,), strategy=PortStrategy.RANDOMIZED
+        )
+        assert a.listening_ports() == b.listening_ports()
+        assert all(p >= 49_152 for p in a.listening_ports())
+
+
+class TestDetection:
+    def test_standard_hosts_are_flagged(self):
+        host = AttackerHost(label="rdp-bot", services=(3389,))
+        assert host_is_flagged(host, THREATMETRIX_PORTS)
+
+    def test_moved_hosts_evade(self):
+        host = AttackerHost(
+            label="rdp-bot",
+            services=(3389,),
+            strategy=PortStrategy.RANDOMIZED,
+        )
+        assert not host_is_flagged(host, THREATMETRIX_PORTS)
+
+    def test_detection_rate_over_mixed_population(self):
+        hosts = [
+            AttackerHost(label=f"s{i}", services=(4444,)) for i in range(6)
+        ] + [
+            AttackerHost(
+                label=f"r{i}",
+                services=(4444,),
+                strategy=PortStrategy.RANDOMIZED,
+            )
+            for i in range(4)
+        ]
+        assert detection_rate(hosts, BIGIP_ASM_PORTS) == pytest.approx(0.6)
+
+    def test_empty_population(self):
+        assert detection_rate([], BIGIP_ASM_PORTS) == 0.0
+
+
+class TestEvasionSweep:
+    def test_sweep_monotonically_decreases(self):
+        points = evasion_sweep(
+            population=100,
+            services=(3389, 5939),
+            scan_ports=THREATMETRIX_PORTS,
+        )
+        rates = [p.detection_rate for p in points]
+        assert rates[0] == 1.0
+        assert rates[-1] == 0.0
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_fraction_endpoints(self):
+        points = evasion_sweep(
+            population=40,
+            services=(4444,),
+            scan_ports=BIGIP_ASM_PORTS,
+            fractions=(0.0, 0.5, 1.0),
+        )
+        assert [p.evading_fraction for p in points] == [0.0, 0.5, 1.0]
+        assert points[1].detection_rate == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            evasion_sweep(
+                population=0, services=(1,), scan_ports=(1,)
+            )
+        with pytest.raises(ValueError):
+            evasion_sweep(
+                population=5, services=(1,), scan_ports=(1,), fractions=(2.0,)
+            )

@@ -1,0 +1,108 @@
+"""Tests for the Private Network Access policy model."""
+
+from repro.core.addresses import Locality, parse_target
+from repro.defense.pna import (
+    AddressSpace,
+    PnaServiceDirectory,
+    PrivateNetworkAccessPolicy,
+    Verdict,
+    is_private_network_request,
+)
+
+
+class TestAddressSpace:
+    def test_mapping_from_locality(self):
+        assert AddressSpace.of(Locality.LOCALHOST) is AddressSpace.LOCAL
+        assert AddressSpace.of(Locality.LAN) is AddressSpace.PRIVATE
+        assert AddressSpace.of(Locality.PUBLIC) is AddressSpace.PUBLIC
+
+    def test_private_network_request_ordering(self):
+        assert is_private_network_request(AddressSpace.PUBLIC, AddressSpace.LOCAL)
+        assert is_private_network_request(AddressSpace.PUBLIC, AddressSpace.PRIVATE)
+        assert is_private_network_request(AddressSpace.PRIVATE, AddressSpace.LOCAL)
+        assert not is_private_network_request(
+            AddressSpace.PUBLIC, AddressSpace.PUBLIC
+        )
+        assert not is_private_network_request(
+            AddressSpace.LOCAL, AddressSpace.PUBLIC
+        )
+        assert not is_private_network_request(
+            AddressSpace.LOCAL, AddressSpace.LOCAL
+        )
+
+
+class TestPolicy:
+    def test_public_requests_always_allowed(self):
+        policy = PrivateNetworkAccessPolicy()
+        decision = policy.evaluate(
+            parse_target("https://cdn.example/app.js"), initiator_secure=False
+        )
+        assert decision.allowed
+        assert policy.blocked == 0
+
+    def test_insecure_context_blocked_first(self):
+        policy = PrivateNetworkAccessPolicy()
+        decision = policy.evaluate(
+            parse_target("http://localhost:8080/"), initiator_secure=False
+        )
+        assert decision.verdict is Verdict.BLOCKED_INSECURE_CONTEXT
+        assert not decision.preflight_sent
+
+    def test_preflight_without_acknowledgement_blocks(self):
+        policy = PrivateNetworkAccessPolicy()
+        decision = policy.evaluate(
+            parse_target("wss://localhost:5939/"), initiator_secure=True
+        )
+        assert decision.verdict is Verdict.BLOCKED_PREFLIGHT_FAILED
+        assert decision.preflight_sent
+
+    def test_opted_in_service_allowed(self):
+        directory = PnaServiceDirectory()
+        directory.opt_in("localhost", 6463)
+        policy = PrivateNetworkAccessPolicy(directory=directory)
+        decision = policy.evaluate(
+            parse_target("ws://localhost:6463/?v=1"), initiator_secure=True
+        )
+        assert decision.allowed
+        assert decision.preflight_sent
+
+    def test_opt_in_is_per_port(self):
+        directory = PnaServiceDirectory()
+        directory.opt_in("localhost", 6463)
+        policy = PrivateNetworkAccessPolicy(directory=directory)
+        assert not policy.evaluate(
+            parse_target("ws://localhost:6464/?v=1"), initiator_secure=True
+        ).allowed
+
+    def test_private_initiator_to_local_still_gated(self):
+        policy = PrivateNetworkAccessPolicy()
+        decision = policy.evaluate(
+            parse_target("http://127.0.0.1:80/"),
+            initiator_secure=True,
+            initiator_space=AddressSpace.PRIVATE,
+        )
+        assert decision.verdict is Verdict.BLOCKED_PREFLIGHT_FAILED
+
+    def test_counters(self):
+        policy = PrivateNetworkAccessPolicy()
+        policy.evaluate(parse_target("https://x.example/"), initiator_secure=True)
+        policy.evaluate(parse_target("http://localhost/"), initiator_secure=True)
+        assert policy.decisions == 2
+        assert policy.blocked == 1
+
+
+class TestPromptMode:
+    def test_user_grant_allows(self):
+        policy = PrivateNetworkAccessPolicy(
+            prompt_mode=True, prompt_grants={"localhost": True}
+        )
+        assert policy.evaluate(
+            parse_target("http://localhost:9000/"), initiator_secure=False
+        ).allowed
+
+    def test_user_denial_blocks(self):
+        policy = PrivateNetworkAccessPolicy(prompt_mode=True)
+        decision = policy.evaluate(
+            parse_target("http://192.168.1.1/admin"), initiator_secure=True
+        )
+        assert decision.verdict is Verdict.BLOCKED_USER_DENIED

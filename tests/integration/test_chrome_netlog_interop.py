@@ -1,0 +1,97 @@
+"""Interop with realistically shaped Chrome NetLog documents.
+
+Real ``chrome --log-net-log`` output differs from our writer's in ways
+the parser must tolerate: a huge ``constants`` block with hundreds of
+event-type names, extra top-level keys (``polledData``), events of types
+we do not model, and source types beyond our enum.  These tests feed the
+parser hand-built documents with that shape and verify the pipeline
+still finds the local traffic.
+"""
+
+import io
+import json
+
+from repro.core.addresses import Locality
+from repro.core.classifier import BehaviorClassifier
+from repro.core.detector import LocalTrafficDetector
+from repro.core.signatures import BehaviorClass
+from repro.netlog import loads
+from repro.netlog.streaming import iter_events_streaming
+
+
+def _chrome_like_document() -> dict:
+    """A document shaped like real Chrome output.
+
+    Event type ids use Chrome-scale magnitudes; the names we rely on
+    (``URL_REQUEST_START_JOB``, ``REQUEST_ALIVE``, …) are genuine Chrome
+    NetLog event names, carried through the constants table.
+    """
+    constants = {
+        "logFormatVersion": 1,
+        "timeTickOffset": 1300000000,
+        "logEventTypes": {
+            "REQUEST_ALIVE": 1,
+            "URL_REQUEST_START_JOB": 2,
+            "TCP_CONNECT": 30,
+            # Hundreds of others in real logs; a sample of unmodelled ones:
+            "HTTP2_SESSION": 411,
+            "QUIC_SESSION": 520,
+            "COOKIE_STORE_COOKIE_ADDED": 601,
+        },
+        "logSourceType": {"URL_REQUEST": 1, "SOCKET": 2},
+        "clientInfo": {"name": "Chrome", "version": "84.0.4147.89"},
+    }
+    events = [
+        # An unmodelled QUIC event the parser must skip.
+        {"time": "100", "type": 520, "phase": 1,
+         "source": {"id": 7, "type": 9}},
+        # The page's localhost probes, as URL_REQUEST flows.
+        *[
+            {
+                "time": 1000 + i,
+                "type": "URL_REQUEST_START_JOB",
+                "phase": 1,
+                "source": {"id": 10 + i, "type": 1},
+                "params": {
+                    "url": f"http://127.0.0.1:{port}/",
+                    "method": "GET",
+                    "load_flags": 50,
+                },
+            }
+            for i, port in enumerate((4444, 4653, 5555, 7054, 7055, 9515, 17556))
+        ],
+        # Cookie noise.
+        {"time": 1200, "type": 601, "phase": 0,
+         "source": {"id": 30, "type": 1}},
+    ]
+    return {
+        "constants": constants,
+        "events": events,
+        "polledData": {"activeSpdySessions": []},
+    }
+
+
+class TestChromeLikeLogs:
+    def test_lenient_parse_finds_local_probes(self):
+        text = json.dumps(_chrome_like_document())
+        events = loads(text, strict=False)
+        detection = LocalTrafficDetector().detect(events)
+        assert len(detection.localhost_requests) == 7
+        verdict = BehaviorClassifier().classify(detection.requests)
+        assert verdict.behavior is BehaviorClass.BOT_DETECTION
+
+    def test_streaming_parse_equivalent(self):
+        text = json.dumps(_chrome_like_document())
+        streamed = list(iter_events_streaming(io.StringIO(text)))
+        assert streamed == loads(text, strict=False)
+
+    def test_time_as_string_is_coerced(self):
+        # Chrome writes event times as JSON strings in some versions.
+        document = _chrome_like_document()
+        for event in document["events"]:
+            event["time"] = str(event["time"])
+        events = loads(json.dumps(document), strict=False)
+        detection = LocalTrafficDetector().detect(events)
+        assert detection.ports(Locality.LOCALHOST) == {
+            4444, 4653, 5555, 7054, 7055, 9515, 17556,
+        }

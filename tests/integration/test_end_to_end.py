@@ -1,0 +1,97 @@
+"""End-to-end integration: crawl → NetLog → parse → detect → classify.
+
+These tests exercise the full pipeline including a NetLog JSON
+serialisation round-trip in the middle — proving the core library works
+on logs, not just on in-memory objects — and check headline paper numbers
+end to end.
+"""
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.useragent import identity_for
+from repro.core.classifier import BehaviorClassifier
+from repro.core.detector import LocalTrafficDetector
+from repro.core.signatures import BehaviorClass
+from repro.netlog import dumps, loads
+from repro.web.population import build_top_population
+
+
+class TestNetLogRoundTripPipeline:
+    def test_detection_survives_serialisation(self, top2020_population):
+        site = top2020_population.website("ebay.com")
+        chrome = SimulatedChrome(identity_for("windows"))
+        visit = chrome.visit(site.page())
+        assert visit.success
+
+        # Serialise the telemetry to NetLog JSON and parse it back — the
+        # path a real deployment takes (chrome --log-net-log=file.json).
+        text = dumps(visit.events)
+        events = loads(text)
+        detection = LocalTrafficDetector().detect(events)
+        assert len(detection.localhost_requests) == 14
+        verdict = BehaviorClassifier().classify(detection.requests)
+        assert verdict.behavior is BehaviorClass.FRAUD_DETECTION
+
+    def test_benign_site_stays_clean_after_roundtrip(self, top2020_population):
+        filler = next(
+            w
+            for w in top2020_population.websites
+            if w.domain not in top2020_population.active_domains
+            and not w.load_errors
+        )
+        chrome = SimulatedChrome(identity_for("linux"))
+        visit = chrome.visit(filler.page())
+        detection = LocalTrafficDetector().detect(loads(dumps(visit.events)))
+        assert not detection.has_local_activity
+
+
+class TestHeadlineNumbers:
+    """Section 4's headline findings, measured through the full pipeline."""
+
+    def test_localhost_population_2020(self, top2020_result):
+        localhost = [
+            f for f in top2020_result.findings if f.has_localhost_activity
+        ]
+        assert len(localhost) == 107
+
+    def test_fraud_detection_is_over_40_percent_with_bot(self, top2020_result):
+        # "over 40% of them explicitly conduct host profiling" (fraud+bot).
+        localhost = [
+            f for f in top2020_result.findings if f.has_localhost_activity
+        ]
+        profiling = [
+            f
+            for f in localhost
+            if f.behavior
+            in (BehaviorClass.FRAUD_DETECTION, BehaviorClass.BOT_DETECTION)
+        ]
+        assert len(profiling) / len(localhost) > 0.40
+
+    def test_activity_skews_to_windows(self, top2020_result):
+        from repro.analysis import rq1
+        from repro.core.addresses import Locality
+
+        summary = rq1.summarize_activity(
+            top2020_result.findings, Locality.LOCALHOST
+        )
+        assert summary.per_os["windows"] > summary.per_os["linux"]
+        assert summary.os_exclusive("windows") == 48
+
+    def test_monitor_window_truncates_late_activity(self, top2020_population):
+        """The 20s threshold ablation: a 5-second window misses the
+        late-firing anti-abuse scanners; 20 seconds catches everything."""
+        from repro.crawler.campaign import Campaign
+
+        short = Campaign(monitor_window_ms=5_000.0).run(top2020_population)
+        short_localhost = sum(
+            1 for f in short.findings if f.has_localhost_activity
+        )
+        assert short_localhost < 107
+
+    def test_detection_is_deterministic(self, top2020_population):
+        from repro.crawler.campaign import run_campaign
+
+        first = run_campaign(top2020_population)
+        second = run_campaign(top2020_population)
+        assert [f.domain for f in first.findings] == [
+            f.domain for f in second.findings
+        ]

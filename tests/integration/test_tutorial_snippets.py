@@ -1,0 +1,96 @@
+"""The tutorial's code paths, executed (docs must not rot)."""
+
+from repro.core import BehaviorClassifier, Locality, default_signatures
+from repro.core.signatures import (
+    GENERIC_PORTSCAN_SIGNATURE,
+    BehaviorClass,
+    EndpointSignature,
+)
+from repro.crawler.campaign import Campaign
+from repro.storage import TelemetryStore
+from repro.web import PortScanBehavior, Website
+from repro.web.population import CrawlPopulation
+from repro.web.seeds import TM_PORTS
+
+
+class TestCustomSignatureRecipe:
+    def test_meetly_signature(self):
+        meetly = EndpointSignature(
+            name="meetly-client",
+            app="Meetly desktop client",
+            ports=frozenset({7880, 7881, 7882}),
+            path_pattern=r"^/api/presence",
+            schemes=frozenset({"http"}),
+        )
+        chain = default_signatures()
+        chain.insert(-1, meetly)
+        classifier = BehaviorClassifier(chain)
+
+        from repro.core.addresses import parse_target
+        from repro.core.detector import LocalRequest
+
+        verdict = classifier.classify(
+            [
+                LocalRequest(
+                    target=parse_target("http://127.0.0.1:7881/api/presence"),
+                    time=0.0,
+                    source_id=1,
+                )
+            ]
+        )
+        assert verdict.signature_name == "meetly-client"
+        assert verdict.behavior is BehaviorClass.NATIVE_APPLICATION
+
+    def test_monitoring_chain_prefix(self):
+        chain = [GENERIC_PORTSCAN_SIGNATURE] + default_signatures()
+        assert chain[0].name == "generic-localhost-portscan"
+        assert BehaviorClassifier(chain).signatures[0] is chain[0]
+
+
+class TestCustomPopulationRecipe:
+    def test_watchlist_campaign_with_store(self, tmp_path):
+        sites = [
+            Website(
+                "suspicious-shop.example",
+                behaviors=[
+                    PortScanBehavior(
+                        name="threatmetrix@h.online-metrix.net",
+                        scheme="wss",
+                        ports=TM_PORTS,
+                        active_oses=frozenset({"windows"}),
+                        delay_ms=9_000.0,
+                    )
+                ],
+            ),
+            Website("plain-blog.example"),
+        ]
+        population = CrawlPopulation(
+            name="my-watchlist",
+            websites=sites,
+            oses=("windows", "linux"),
+            active_domains={"suspicious-shop.example"},
+        )
+        db_path = tmp_path / "watchlist.sqlite"
+        with TelemetryStore(str(db_path)) as store:
+            result = Campaign(store=store, include_internal=True).run(
+                population
+            )
+            assert store.visit_count("my-watchlist") == 4  # 2 sites x 2 OSes
+
+        (finding,) = result.findings
+        assert finding.domain == "suspicious-shop.example"
+        assert finding.behavior is BehaviorClass.FRAUD_DETECTION
+        assert finding.oses_with_activity(Locality.LOCALHOST) == ("windows",)
+        assert db_path.exists()
+
+
+class TestConnectivityGateEndToEnd:
+    def test_campaign_with_connectivity_checks(self):
+        population = CrawlPopulation(
+            name="gate-check",
+            websites=[Website("a.example"), Website("b.example")],
+            oses=("linux",),
+        )
+        result = Campaign(check_connectivity=True).run(population)
+        assert result.stats["linux"].successes == 2
+        assert result.stats["linux"].skipped == 0

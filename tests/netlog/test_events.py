@@ -1,0 +1,102 @@
+"""Tests for the NetLog event model and source-id allocation."""
+
+import pytest
+
+from repro.netlog.constants import EventPhase, EventType, SourceType
+from repro.netlog.events import (
+    NetLogEvent,
+    NetLogSource,
+    SourceIdAllocator,
+    events_for_source,
+)
+
+
+class TestNetLogSource:
+    def test_browser_internal_flag(self):
+        internal = NetLogSource(id=1, type=SourceType.BROWSER_INTERNAL)
+        content = NetLogSource(id=2, type=SourceType.URL_REQUEST)
+        assert internal.is_browser_internal()
+        assert not content.is_browser_internal()
+
+    def test_sources_are_hashable_and_comparable(self):
+        a = NetLogSource(id=1, type=SourceType.SOCKET)
+        b = NetLogSource(id=1, type=SourceType.SOCKET)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestNetLogEvent:
+    def test_url_accessor_returns_string_urls_only(self):
+        source = NetLogSource(id=1, type=SourceType.URL_REQUEST)
+        with_url = NetLogEvent(
+            time=0.0,
+            type=EventType.URL_REQUEST_START_JOB,
+            source=source,
+            params={"url": "http://localhost:8080/"},
+        )
+        with_junk = NetLogEvent(
+            time=0.0,
+            type=EventType.URL_REQUEST_START_JOB,
+            source=source,
+            params={"url": 42},
+        )
+        assert with_url.url == "http://localhost:8080/"
+        assert with_junk.url is None
+
+    def test_net_error_accessor(self):
+        source = NetLogSource(id=1, type=SourceType.URL_REQUEST)
+        event = NetLogEvent(
+            time=0.0,
+            type=EventType.SOCKET_ERROR,
+            source=source,
+            params={"net_error": -105},
+        )
+        assert event.net_error == -105
+
+    def test_net_error_rejects_non_int(self):
+        source = NetLogSource(id=1, type=SourceType.URL_REQUEST)
+        event = NetLogEvent(
+            time=0.0,
+            type=EventType.SOCKET_ERROR,
+            source=source,
+            params={"net_error": "oops"},
+        )
+        assert event.net_error is None
+
+    def test_default_phase_is_none(self):
+        source = NetLogSource(id=1, type=SourceType.URL_REQUEST)
+        event = NetLogEvent(
+            time=1.0, type=EventType.TCP_CONNECT, source=source
+        )
+        assert event.phase is EventPhase.NONE
+        assert event.params == {}
+
+
+class TestSourceIdAllocator:
+    def test_ids_are_serial(self):
+        allocator = SourceIdAllocator()
+        first = allocator.allocate(SourceType.URL_REQUEST)
+        second = allocator.allocate(SourceType.WEB_SOCKET)
+        assert second.id == first.id + 1
+        assert second.type is SourceType.WEB_SOCKET
+
+    def test_custom_start(self):
+        allocator = SourceIdAllocator(start=100)
+        assert allocator.allocate(SourceType.SOCKET).id == 100
+        assert allocator.next_id == 101
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SourceIdAllocator(start=-1)
+
+
+class TestEventsForSource:
+    def test_filters_by_source_id_preserving_order(self, events):
+        a = events.request("http://a.example/")
+        b = events.request("http://b.example/")
+        mine = list(events_for_source(events.events, a.id))
+        theirs = list(events_for_source(events.events, b.id))
+        assert all(e.source.id == a.id for e in mine)
+        assert all(e.source.id == b.id for e in theirs)
+        assert len(mine) == 3 and len(theirs) == 3
+        assert [e.time for e in mine] == sorted(e.time for e in mine)

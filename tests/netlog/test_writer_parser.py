@@ -1,0 +1,167 @@
+"""Writer/parser round-trips and malformed-document handling."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlog import (
+    EventPhase,
+    EventType,
+    NetLogEvent,
+    NetLogParseError,
+    NetLogSource,
+    SourceType,
+    dump,
+    dumps,
+    loads,
+    parse_record,
+)
+from repro.netlog.writer import build_constants, event_to_record
+
+
+def _event(time=0.0, type=EventType.URL_REQUEST_START_JOB, source_id=1,
+           source_type=SourceType.URL_REQUEST, phase=EventPhase.BEGIN,
+           params=None):
+    return NetLogEvent(
+        time=time,
+        type=type,
+        source=NetLogSource(id=source_id, type=source_type),
+        phase=phase,
+        params=params or {},
+    )
+
+
+class TestWriter:
+    def test_document_is_valid_json_with_constants(self):
+        text = dumps([_event(params={"url": "http://localhost/"})])
+        document = json.loads(text)
+        assert "constants" in document and "events" in document
+        assert document["constants"]["logEventTypes"]["URL_REQUEST_START_JOB"]
+
+    def test_dump_streams_and_counts(self):
+        buffer = io.StringIO()
+        count = dump((_event(time=float(i)) for i in range(5)), buffer)
+        assert count == 5
+        assert len(json.loads(buffer.getvalue())["events"]) == 5
+
+    def test_empty_log(self):
+        document = json.loads(dumps([]))
+        assert document["events"] == []
+
+    def test_event_to_record_omits_empty_params(self):
+        record = event_to_record(_event())
+        assert "params" not in record
+
+    def test_constants_carry_time_origin(self):
+        constants = build_constants(1234.5)
+        assert constants["timeTickOffset"] == 1234.5
+
+
+class TestParser:
+    def test_roundtrip_preserves_everything(self):
+        events = [
+            _event(time=1.5, params={"url": "wss://localhost:5939/", "method": "GET"}),
+            _event(
+                time=2.0,
+                type=EventType.REQUEST_ALIVE,
+                phase=EventPhase.END,
+                params={"net_error": -102},
+            ),
+        ]
+        parsed = loads(dumps(events))
+        assert parsed == events
+
+    def test_parses_event_type_names(self):
+        # Producers may write symbolic type names; the constants header
+        # maps them back.
+        text = dumps([_event()])
+        document = json.loads(text)
+        document["events"][0]["type"] = "URL_REQUEST_START_JOB"
+        parsed = loads(json.dumps(document))
+        assert parsed[0].type is EventType.URL_REQUEST_START_JOB
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(NetLogParseError):
+            loads("{not json")
+
+    def test_missing_events_array_raises(self):
+        with pytest.raises(NetLogParseError):
+            loads('{"constants": {}}')
+
+    def test_non_object_document_raises(self):
+        with pytest.raises(NetLogParseError):
+            loads("[1, 2, 3]")
+
+    def test_unknown_type_strict_raises(self):
+        record = {"time": 0, "type": 99999, "source": {"id": 1, "type": 1}}
+        with pytest.raises(NetLogParseError):
+            parse_record(record, strict=True)
+
+    def test_unknown_type_lenient_skips(self):
+        record = {"time": 0, "type": 99999, "source": {"id": 1, "type": 1}}
+        assert parse_record(record, strict=False) is None
+
+    def test_bool_type_rejected(self):
+        record = {"time": 0, "type": True, "source": {"id": 1, "type": 1}}
+        assert parse_record(record, strict=False) is None
+
+    def test_malformed_source_raises(self):
+        record = {"time": 0, "type": 2, "source": "nope"}
+        with pytest.raises(NetLogParseError):
+            parse_record(record)
+
+    def test_bad_phase_degrades_to_none(self):
+        record = {
+            "time": 0,
+            "type": int(EventType.TCP_CONNECT),
+            "source": {"id": 3, "type": 2},
+            "phase": 77,
+        }
+        event = parse_record(record)
+        assert event is not None and event.phase is EventPhase.NONE
+
+    def test_non_dict_params_raises(self):
+        record = {
+            "time": 0,
+            "type": int(EventType.TCP_CONNECT),
+            "source": {"id": 3, "type": 2},
+            "params": [1, 2],
+        }
+        with pytest.raises(NetLogParseError):
+            parse_record(record)
+
+
+# Hypothesis strategies for whole events.
+_params = st.dictionaries(
+    st.sampled_from(["url", "method", "net_error", "host", "location"]),
+    st.one_of(st.text(max_size=40), st.integers(-400, 0)),
+    max_size=3,
+)
+_events_strategy = st.lists(
+    st.builds(
+        _event,
+        time=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        type=st.sampled_from(list(EventType)),
+        source_id=st.integers(1, 10_000),
+        source_type=st.sampled_from(list(SourceType)),
+        phase=st.sampled_from(list(EventPhase)),
+        params=_params,
+    ),
+    max_size=25,
+)
+
+
+class TestRoundtripProperties:
+    @given(_events_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_identity(self, events):
+        assert loads(dumps(events)) == events
+
+    @given(_events_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_is_idempotent(self, events):
+        once = dumps(loads(dumps(events)))
+        assert loads(once) == events

@@ -1,0 +1,128 @@
+"""Tests for the SQLite telemetry store."""
+
+from repro.core.detector import LocalTrafficDetector
+from repro.storage.db import TelemetryStore
+
+
+def _detection(events_builder, urls):
+    for index, url in enumerate(urls):
+        events_builder.request(url, time=float(index))
+    return LocalTrafficDetector().detect(events_builder.events)
+
+
+class TestVisits:
+    def test_record_and_count(self, events):
+        with TelemetryStore() as store:
+            store.record_visit("top2020", "a.example", "windows", success=True)
+            store.record_visit("top2020", "a.example", "linux", success=True)
+            store.record_visit("malicious", "b.example", "windows", success=False,
+                               error=-105)
+            assert store.visit_count() == 3
+            assert store.visit_count("top2020") == 2
+
+    def test_replace_on_duplicate_key(self):
+        with TelemetryStore() as store:
+            store.record_visit("c", "a.example", "windows", success=False, error=-7)
+            store.record_visit("c", "a.example", "windows", success=True)
+            assert store.visit_count() == 1
+            (visit,) = store.visits("c")
+            assert visit.success
+
+    def test_success_counts(self):
+        with TelemetryStore() as store:
+            store.record_visit("c", "a.example", "windows", success=True)
+            store.record_visit("c", "b.example", "windows", success=False, error=-105)
+            store.record_visit("c", "a.example", "linux", success=True)
+            counts = store.success_counts("c")
+            assert counts["windows"] == (1, 1)
+            assert counts["linux"] == (1, 0)
+
+    def test_visit_metadata_roundtrip(self):
+        with TelemetryStore() as store:
+            store.record_visit(
+                "c", "a.example", "mac", success=True, rank=42, category="malware"
+            )
+            (visit,) = store.visits("c", os_name="mac")
+            assert visit.rank == 42
+            assert visit.category == "malware"
+
+
+class TestLocalRequests:
+    def test_detection_rows_stored(self, events):
+        detection = _detection(
+            events, ["http://localhost:8000/x", "http://10.0.0.1/y.png"]
+        )
+        with TelemetryStore() as store:
+            store.record_visit(
+                "c", "a.example", "windows", success=True, detection=detection
+            )
+            localhost = store.domains_with_local_activity("c", "localhost")
+            lan = store.domains_with_local_activity("c", "lan")
+            assert localhost == ["a.example"]
+            assert lan == ["a.example"]
+
+    def test_requests_roundtrip(self, events):
+        detection = _detection(events, ["wss://localhost:5939/"])
+        with TelemetryStore() as store:
+            store.record_visit(
+                "c", "a.example", "windows", success=True, detection=detection
+            )
+            rows = store.local_requests_for("c", "a.example")
+            assert len(rows) == 1
+            assert rows[0].scheme == "wss"
+            assert rows[0].port == 5939
+            assert rows[0].os_name == "windows"
+            assert not rows[0].via_redirect
+
+    def test_os_filter(self, events):
+        detection = _detection(events, ["http://localhost:1/"])
+        with TelemetryStore() as store:
+            store.record_visit(
+                "c", "a.example", "windows", success=True, detection=detection
+            )
+            store.record_visit("c", "a.example", "linux", success=True)
+            assert store.domains_with_local_activity(
+                "c", "localhost", os_name="windows"
+            ) == ["a.example"]
+            assert (
+                store.domains_with_local_activity("c", "localhost", os_name="linux")
+                == []
+            )
+
+
+class TestEvents:
+    def test_raw_events_stored_on_request(self, events):
+        events.request("http://localhost:9/")
+        with TelemetryStore() as store:
+            visit_id = store.record_visit(
+                "c", "a.example", "mac", success=True, events=events.events
+            )
+            assert store.event_count(visit_id) == len(events.events)
+            assert store.event_count() == len(events.events)
+
+    def test_events_not_stored_by_default(self):
+        with TelemetryStore() as store:
+            store.record_visit("c", "a.example", "mac", success=True)
+            assert store.event_count() == 0
+
+
+class TestEndToEndStorage:
+    def test_campaign_findings_storable(self, top2020_result):
+        with TelemetryStore() as store:
+            for finding in top2020_result.findings[:20]:
+                for os_name, detection in finding.per_os.items():
+                    store.record_visit(
+                        "top2020",
+                        finding.domain,
+                        os_name,
+                        success=True,
+                        rank=finding.rank,
+                        detection=detection,
+                    )
+            domains = store.domains_with_local_activity("top2020", "localhost")
+            expected = {
+                f.domain
+                for f in top2020_result.findings[:20]
+                if f.has_localhost_activity
+            }
+            assert set(domains) == expected

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.page import Page, PlannedRequest
+from repro.browser.useragent import identity_for
+from repro.cli import main
+from repro.netlog import dumps
+
+
+class _Script:
+    name = "s"
+
+    def __init__(self, urls):
+        self._urls = urls
+
+    def plan(self, context):
+        return [PlannedRequest(url=u) for u in self._urls]
+
+
+@pytest.fixture
+def netlog_file(tmp_path):
+    chrome = SimulatedChrome(identity_for("windows"))
+    page = Page(
+        url="https://site.example/",
+        scripts=[_Script(["http://localhost:8000/setuid"])],
+    )
+    visit = chrome.visit(page)
+    path = tmp_path / "netlog.json"
+    path.write_text(dumps(visit.events))
+    return path
+
+
+class TestAnalyze:
+    def test_detects_and_classifies(self, netlog_file, capsys):
+        assert main(["analyze", str(netlog_file)]) == 0
+        out = capsys.readouterr().out
+        assert "localhost" in out
+        assert "Developer Errors" in out
+
+    def test_clean_log(self, tmp_path, capsys):
+        chrome = SimulatedChrome(identity_for("linux"))
+        visit = chrome.visit(Page(url="https://clean.example/"))
+        path = tmp_path / "clean.json"
+        path.write_text(dumps(visit.events))
+        assert main(["analyze", str(path)]) == 0
+        assert "no localhost or LAN traffic" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        assert main(["analyze", str(path)]) == 2
+        assert "not a NetLog" in capsys.readouterr().err
+
+    def test_non_netlog_json(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        assert main(["analyze", str(path)]) == 2
+
+
+class TestStudy:
+    def test_top2020_headlines(self, capsys):
+        assert main(["study", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "localhost-active sites: 107" in out
+        assert "LAN-active sites: 9" in out
+        assert "Fraud Detection" in out
+
+
+class TestTableCommand:
+    def test_static_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        assert "TeamViewer" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "ebay.com" in out
+        assert "Fraud Detection" in out
+
+    def test_table9(self, capsys):
+        assert main(["table", "9", "--scale", "0.002"]) == 0
+        assert "wangzonghang.cn" in capsys.readouterr().out
+
+    def test_invalid_table_number(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table", "12"])
+
+
+class TestFigureCommand:
+    def test_figure3(self, capsys):
+        assert main(["figure", "3", "--scale", "0.002"]) == 0
+        assert "rank CDFs" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5", "--scale", "0.002"]) == 0
+        assert "seconds to first request" in capsys.readouterr().out

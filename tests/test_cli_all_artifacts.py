@@ -1,0 +1,55 @@
+"""Exhaustive CLI coverage: every table and figure number renders."""
+
+import pytest
+
+from repro.cli import main
+
+_SCALE = ["--scale", "0.002"]
+
+_TABLE_MARKERS = {
+    1: "NAME_NOT_RESOLVED",
+    2: "malware",
+    3: "ebay.com",
+    4: "TeamViewer",
+    5: "Fraud Detection",
+    6: "10.10.34.35",
+    7: "iqiyi.com",
+    8: "customer-ebay.com",
+    9: "wangzonghang.cn",
+    10: "unib.ac.id",
+    11: "rkn.gov.ru",
+}
+
+_FIGURE_MARKERS = {
+    2: "OS overlap",
+    3: "rank CDFs",
+    4: "protocols and ports",
+    5: "seconds to first request",
+    6: "seconds to first request",
+    7: "seconds to first request",
+    8: "protocols and ports",
+    9: "rank CDFs",
+}
+
+
+@pytest.mark.parametrize("number", sorted(_TABLE_MARKERS))
+def test_every_table_renders(number, capsys):
+    assert main(["table", str(number), *_SCALE]) == 0
+    out = capsys.readouterr().out
+    assert _TABLE_MARKERS[number] in out, f"table {number}"
+
+
+@pytest.mark.parametrize("number", sorted(_FIGURE_MARKERS))
+def test_every_figure_renders(number, capsys):
+    assert main(["figure", str(number), *_SCALE]) == 0
+    out = capsys.readouterr().out
+    assert _FIGURE_MARKERS[number] in out, f"figure {number}"
+
+
+@pytest.mark.parametrize(
+    "population", ["top2020", "top2021", "malicious"]
+)
+def test_study_all_populations(population, capsys):
+    assert main(["study", "--population", population, *_SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "localhost-active sites:" in out

@@ -1,0 +1,45 @@
+"""Tests for the report and validate CLI commands."""
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Knock and Talk — reproduction report" in out
+        assert "RQ1" in out and "Malicious webpages" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["report", "--scale", "0.002", "-o", str(target)]) == 0
+        assert target.exists()
+        text = target.read_text()
+        assert "107 localhost-active sites" in text
+        assert "report written" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_validate_passes_at_small_scale(self, capsys):
+        assert main(["validate", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+        assert "top2020" in out and "malicious" in out
+
+
+class TestLintCommand:
+    def test_lint_dev_error_site(self, capsys):
+        assert main(["lint", "zakupki.gov.ru"]) == 0
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "/record/state" in out
+
+    def test_lint_native_app_site(self, capsys):
+        assert main(["lint", "faceit.com"]) == 0
+        out = capsys.readouterr().out
+        assert "INFO" in out and "Native Application" in out
+
+    def test_lint_unknown_domain(self, capsys):
+        assert main(["lint", "nosuch.example"]) == 2
+        assert "not in any seeded population" in capsys.readouterr().err

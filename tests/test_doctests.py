@@ -1,0 +1,22 @@
+"""Run the doctests embedded in module docstrings.
+
+Keeps inline examples in the public API honest; modules listed here are
+the ones whose docstrings carry runnable examples.
+"""
+
+import doctest
+
+import repro.analysis.stats
+import repro.core.addresses
+
+_MODULES = (
+    repro.core.addresses,
+    repro.analysis.stats,
+)
+
+
+def test_module_doctests():
+    for module in _MODULES:
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"doctest failures in {module.__name__}"
+        assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,77 @@
+"""Tests for blocklist feeds and one-URL-per-domain dedup."""
+
+import pytest
+
+from repro.toplists.blocklists import (
+    Blocklist,
+    BlocklistEntry,
+    dedupe_one_url_per_domain,
+    synthesize_feed,
+)
+
+
+class TestBlocklistEntry:
+    def test_domain_extraction(self):
+        entry = BlocklistEntry(
+            url="http://Evil.Example/pay/load.exe",
+            category="malware",
+            source="urlhaus",
+        )
+        assert entry.domain == "evil.example"
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError):
+            BlocklistEntry(url="http://x/", category="ads", source="surbl")
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            BlocklistEntry(url="http://x/", category="abuse", source="unknown")
+
+
+class TestDedup:
+    def test_one_url_per_domain(self):
+        feed = synthesize_feed(
+            "urlhaus",
+            "malware",
+            ["a.example", "b.example"],
+            source="urlhaus",
+            urls_per_domain=3,
+        )
+        assert len(feed) == 6
+        selected = dedupe_one_url_per_domain([feed])
+        assert len(selected) == 2
+        assert {e.domain for e in selected} == {"a.example", "b.example"}
+
+    def test_first_feed_wins_across_lists(self):
+        phishtank = synthesize_feed(
+            "phishtank", "phishing", ["dual.example"], source="phishtank"
+        )
+        surbl = synthesize_feed(
+            "surbl", "abuse", ["dual.example", "only-surbl.example"],
+            source="surbl",
+        )
+        selected = dedupe_one_url_per_domain([phishtank, surbl])
+        by_domain = {e.domain: e for e in selected}
+        assert by_domain["dual.example"].category == "phishing"
+        assert by_domain["only-surbl.example"].category == "abuse"
+
+    def test_first_url_within_feed_wins(self):
+        feed = Blocklist(
+            "urlhaus",
+            [
+                BlocklistEntry(
+                    url="http://a.example/first", category="malware",
+                    source="urlhaus",
+                ),
+                BlocklistEntry(
+                    url="http://a.example/second", category="malware",
+                    source="urlhaus",
+                ),
+            ],
+        )
+        (selected,) = dedupe_one_url_per_domain([feed])
+        assert selected.url.endswith("/first")
+
+    def test_invalid_urls_per_domain(self):
+        with pytest.raises(ValueError):
+            synthesize_feed("f", "abuse", [], source="surbl", urls_per_domain=0)

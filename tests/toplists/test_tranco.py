@@ -1,0 +1,87 @@
+"""Tests for Tranco-style list building."""
+
+import pytest
+
+from repro.toplists.tranco import TopListEntry, TrancoList, build_top_list
+
+
+class TestTrancoList:
+    def test_lookup_both_ways(self):
+        top = TrancoList(
+            "t", [TopListEntry(1, "a.example"), TopListEntry(2, "b.example")]
+        )
+        assert top.rank_of("a.example") == 1
+        assert top.rank_of("missing.example") is None
+        assert "b.example" in top
+        assert top.domains() == ["a.example", "b.example"]
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            TrancoList(
+                "t", [TopListEntry(1, "a.example"), TopListEntry(1, "b.example")]
+            )
+
+    def test_duplicate_domains_rejected(self):
+        with pytest.raises(ValueError):
+            TrancoList(
+                "t", [TopListEntry(1, "a.example"), TopListEntry(2, "a.example")]
+            )
+
+    def test_entries_sorted_by_rank(self):
+        top = TrancoList(
+            "t", [TopListEntry(5, "e.example"), TopListEntry(2, "b.example")]
+        )
+        assert [e.rank for e in top] == [2, 5]
+        assert top.head(1)[0].domain == "b.example"
+
+
+class TestBuildTopList:
+    def test_seeds_land_on_requested_ranks(self):
+        top = build_top_list("t", 100, {"ebay.example": 10, "citi.example": 20})
+        assert top.rank_of("ebay.example") == 10
+        assert top.rank_of("citi.example") == 20
+        assert len(top) == 100
+
+    def test_rank_collisions_shift_down(self):
+        top = build_top_list("t", 100, {"a.example": 5, "b.example": 5})
+        ranks = sorted([top.rank_of("a.example"), top.rank_of("b.example")])
+        assert ranks == [5, 6]
+
+    def test_filler_fills_remaining_slots(self):
+        top = build_top_list("t", 10, {"x.example": 3})
+        assert len(top) == 10
+        assert sum(1 for e in top if e.domain.startswith("site-")) == 9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_top_list("t", 0, {})
+        with pytest.raises(ValueError):
+            build_top_list("t", 10, {"a.example": 0})
+        with pytest.raises(ValueError):
+            build_top_list("t", 3, {"a": 1, "b": 2, "c": 3, "d": 4})
+
+    def test_reuse_fraction_controls_overlap(self):
+        first = build_top_list("t1", 1000, {}, filler_generation="a")
+        second = build_top_list(
+            "t2",
+            1000,
+            {},
+            filler_generation="b",
+            reuse_filler_from=first,
+            reuse_fraction=0.75,
+        )
+        overlap = len(set(first.domains()) & set(second.domains()))
+        assert overlap == 750
+
+    def test_reused_filler_skips_seed_collisions(self):
+        first = build_top_list("t1", 20, {}, filler_generation="a")
+        seed_domain = first.domains()[0]
+        second = build_top_list(
+            "t2",
+            20,
+            {seed_domain: 15},
+            filler_generation="b",
+            reuse_filler_from=first,
+        )
+        assert second.rank_of(seed_domain) == 15
+        assert len(set(second.domains())) == 20

@@ -1,0 +1,136 @@
+"""Tests for the script behaviour models."""
+
+import pytest
+
+from repro.browser.page import ScriptContext
+from repro.web.behaviors import (
+    DirectLocalFetch,
+    NativeAppProbe,
+    PortScanBehavior,
+    PublicResourceBehavior,
+    RedirectToLocalBehavior,
+    ResourceFetchBehavior,
+)
+
+W = frozenset({"windows"})
+ALL = frozenset({"windows", "linux", "mac"})
+
+
+def _context(os_name="windows") -> ScriptContext:
+    return ScriptContext(
+        os_name=os_name, user_agent="UA", page_url="https://site.example/"
+    )
+
+
+class TestPortScanBehavior:
+    def _scan(self, **kwargs):
+        defaults = dict(
+            name="threatmetrix@vendor.example",
+            scheme="wss",
+            ports=(3389, 5939, 7070),
+            active_oses=W,
+            delay_ms=8000.0,
+        )
+        defaults.update(kwargs)
+        return PortScanBehavior(**defaults)
+
+    def test_probes_every_port_on_active_os(self):
+        plan = self._scan().plan(_context("windows"))
+        assert [p.url for p in plan] == [
+            "wss://localhost:3389/",
+            "wss://localhost:5939/",
+            "wss://localhost:7070/",
+        ]
+
+    def test_inactive_os_plans_nothing(self):
+        assert self._scan().plan(_context("linux")) == []
+
+    def test_probes_fire_as_a_burst_after_delay(self):
+        plan = self._scan().plan(_context("windows"))
+        delays = [p.delay_ms for p in plan]
+        assert min(delays) == 8000.0
+        assert max(delays) - min(delays) < 1000.0
+        assert delays == sorted(delays)
+
+    def test_telemetry_upload_is_public_and_post(self):
+        scan = self._scan(telemetry_url="https://vendor.example/fp/clear.png")
+        plan = scan.plan(_context("windows"))
+        upload = plan[-1]
+        assert upload.url.startswith("https://vendor.example/")
+        assert upload.method == "POST"
+        assert upload.delay_ms > max(p.delay_ms for p in plan[:-1])
+
+    def test_empty_os_set_rejected_by_helpers(self):
+        from repro.web.behaviors import _oses
+
+        with pytest.raises(ValueError):
+            _oses(())
+
+
+class TestNativeAppProbe:
+    def test_probe_urls_and_path(self):
+        probe = NativeAppProbe(
+            name="Discord",
+            scheme="ws",
+            ports=(6463, 6464),
+            path="/?v=1",
+            active_oses=ALL,
+            host="localhost",
+        )
+        plan = probe.plan(_context("mac"))
+        assert [p.url for p in plan] == [
+            "ws://localhost:6463/?v=1",
+            "ws://localhost:6464/?v=1",
+        ]
+        assert all(p.initiator == "Discord" for p in plan)
+
+
+class TestResourceFetchBehavior:
+    def test_fetches_each_url_in_order(self):
+        fetch = ResourceFetchBehavior(
+            name="dev",
+            urls=(
+                "http://127.0.0.1:8888/wp-content/a.jpg",
+                "http://127.0.0.1:8888/wp-content/b.jpg",
+            ),
+            active_oses=ALL,
+            delay_ms=700.0,
+        )
+        plan = fetch.plan(_context("linux"))
+        assert len(plan) == 2
+        assert plan[0].delay_ms == 700.0
+        assert plan[1].delay_ms > plan[0].delay_ms
+
+
+class TestRedirectToLocalBehavior:
+    def test_public_request_carries_local_redirect(self):
+        behavior = RedirectToLocalBehavior(
+            name="redir",
+            public_url="http://site.example/home",
+            local_url="http://127.0.0.1:80/",
+            active_oses=ALL,
+        )
+        (planned,) = behavior.plan(_context("mac"))
+        assert planned.url == "http://site.example/home"
+        assert planned.redirect_to == ("http://127.0.0.1:80/",)
+
+
+class TestDirectLocalFetch:
+    def test_single_direct_request(self):
+        fetch = DirectLocalFetch(
+            name="iframe",
+            local_url="http://10.10.34.35:80/",
+            active_oses=frozenset({"linux"}),
+        )
+        assert fetch.plan(_context("windows")) == []
+        (planned,) = fetch.plan(_context("linux"))
+        assert planned.url == "http://10.10.34.35:80/"
+
+
+class TestPublicResourceBehavior:
+    def test_defaults_to_all_oses(self):
+        noise = PublicResourceBehavior(
+            name="noise", urls=("https://cdn.example/app.js",)
+        )
+        for os_name in ("windows", "linux", "mac"):
+            assert len(noise.plan(_context(os_name))) == 1

@@ -1,0 +1,107 @@
+"""Tests for the what-if scenario population generator."""
+
+import pytest
+
+from repro.core.addresses import Locality
+from repro.core.signatures import BehaviorClass
+from repro.crawler.campaign import run_campaign
+from repro.web.generator import ScenarioRates, generate_scenario
+
+
+class TestScenarioRates:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioRates(fraud_detection=1.5).validate()
+        with pytest.raises(ValueError):
+            ScenarioRates(
+                fraud_detection=0.6, developer_error=0.6
+            ).validate()
+        ScenarioRates().validate()  # defaults are sane
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        rates = ScenarioRates(fraud_detection=0.05)
+        a = generate_scenario(500, rates, seed=1)
+        b = generate_scenario(500, rates, seed=1)
+        assert a.assigned == b.assigned
+
+    def test_rates_are_respected(self):
+        rates = ScenarioRates(
+            fraud_detection=0.10, developer_error=0.10, tracker_scan=0.05
+        )
+        scenario = generate_scenario(2_000, rates, seed=7)
+        assert 120 <= scenario.count("fraud") <= 280
+        assert 120 <= scenario.count("dev") <= 280
+        assert 50 <= scenario.count("tracker") <= 160
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_scenario(0, ScenarioRates())
+
+    def test_zero_rates_generate_inert_population(self):
+        scenario = generate_scenario(
+            100,
+            ScenarioRates(
+                fraud_detection=0.0,
+                bot_detection=0.0,
+                native_app=0.0,
+                developer_error=0.0,
+            ),
+        )
+        assert not scenario.assigned
+        result = run_campaign(scenario.population)
+        assert result.findings == []
+
+
+class TestScenarioMeasurement:
+    def test_pipeline_recovers_the_assignment(self):
+        """Ground truth in, measured classes out — the generator's
+        assignments must be recovered by the full pipeline."""
+        rates = ScenarioRates(
+            fraud_detection=0.04,
+            bot_detection=0.02,
+            native_app=0.02,
+            developer_error=0.04,
+        )
+        scenario = generate_scenario(1_000, rates, seed=3)
+        result = run_campaign(scenario.population)
+        measured = {
+            f.domain: f.behavior
+            for f in result.findings
+            if f.has_localhost_activity
+        }
+        expected_class = {
+            "fraud": BehaviorClass.FRAUD_DETECTION,
+            "bot": BehaviorClass.BOT_DETECTION,
+            "native": BehaviorClass.NATIVE_APPLICATION,
+            "dev": BehaviorClass.DEVELOPER_ERROR,
+        }
+        for domain, kind in scenario.assigned.items():
+            assert domain in measured, domain
+            assert measured[domain] is expected_class[kind], (domain, kind)
+
+    def test_tracker_scans_are_indistinguishable_from_fraud(self):
+        """The §5.2 point: a tracking scan reusing the TM technique
+        classifies identically by traffic shape — only attribution of the
+        serving domain can separate them."""
+        scenario = generate_scenario(
+            400, ScenarioRates(tracker_scan=0.05), seed=9
+        )
+        result = run_campaign(scenario.population)
+        trackers = [
+            domain
+            for domain, kind in scenario.assigned.items()
+            if kind == "tracker"
+        ]
+        assert trackers
+        for domain in trackers:
+            finding = result.finding(domain)
+            assert finding is not None
+            assert finding.behavior is BehaviorClass.FRAUD_DETECTION
+            # Attribution, however, shows an unknown third party.
+            from repro.analysis.attribution import attribute_site
+
+            attribution = attribute_site(finding, locality=Locality.LOCALHOST)
+            assert "fingerprint-cdn.example" in attribution.third_party_domains
+            assert "ThreatMetrix Inc." not in attribution.organizations

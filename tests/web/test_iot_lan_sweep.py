@@ -1,0 +1,193 @@
+"""Tests for the IoT/home-network substrate and LAN-sweep attack model."""
+
+import pytest
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.page import Page, ScriptContext
+from repro.browser.useragent import identity_for
+from repro.core.classifier import BehaviorClassifier
+from repro.core.detector import LocalTrafficDetector
+from repro.core.signatures import LAN_SWEEP_SIGNATURE, BehaviorClass
+from repro.web.iot import DEVICE_CATALOG, HomeNetwork, IoTDevice, typical_home_network
+from repro.web.behaviors import LanSweepBehavior
+
+ALL = frozenset({"windows", "linux", "mac"})
+
+
+class TestHomeNetwork:
+    def test_device_catalogue(self):
+        device = IoTDevice.of_kind("camera", "192.168.1.23")
+        assert device.port == 80
+        assert device.url.startswith("http://192.168.1.23")
+        with pytest.raises(ValueError):
+            IoTDevice.of_kind("toaster", "192.168.1.9")
+
+    def test_add_device_validations(self):
+        network = HomeNetwork()
+        network.add_device("router", 1)
+        with pytest.raises(ValueError):
+            network.add_device("camera", 1)  # address occupied
+        with pytest.raises(ValueError):
+            network.add_device("camera", 0)
+
+    def test_install_exposes_devices(self):
+        network = HomeNetwork()
+        network.add_device("router", 1)
+        network.add_device("printer", 42)
+        table = network.service_table()
+        from repro.browser.network import PortState
+
+        assert table.state("192.168.1.1", 80) is PortState.OPEN
+        assert table.state("192.168.1.42", 80) is PortState.OPEN
+        assert table.state("192.168.1.99", 80) is PortState.CLOSED
+
+    def test_typical_network_is_deterministic(self):
+        a = typical_home_network(device_count=5)
+        b = typical_home_network(device_count=5)
+        assert a.addresses() == b.addresses()
+        assert a.addresses()[0] == "192.168.1.1"  # router always present
+        assert len(a.devices) == 5
+
+    def test_device_count_validation(self):
+        with pytest.raises(ValueError):
+            typical_home_network(device_count=0)
+
+
+class TestLanSweepBehavior:
+    def test_sweeps_the_range(self):
+        sweep = LanSweepBehavior(
+            name="sonar.js", subnet="192.168.1", active_oses=ALL,
+            host_range=(1, 8),
+        )
+        context = ScriptContext(
+            os_name="linux", user_agent="UA", page_url="https://evil.example/"
+        )
+        plan = sweep.plan(context)
+        assert len(plan) == 8
+        assert plan[0].url == "http://192.168.1.1:80/"
+        assert plan[-1].url == "http://192.168.1.8:80/"
+
+    def test_invalid_range_rejected(self):
+        sweep = LanSweepBehavior(
+            name="x", subnet="10.0.0", active_oses=ALL, host_range=(0, 5)
+        )
+        context = ScriptContext(
+            os_name="mac", user_agent="UA", page_url="https://a.example/"
+        )
+        with pytest.raises(ValueError):
+            sweep.plan(context)
+
+    def test_multiple_probe_paths(self):
+        sweep = LanSweepBehavior(
+            name="iot-probe", subnet="192.168.1", active_oses=ALL,
+            host_range=(1, 2),
+            probe_paths=("/", "/onvif/device_service"),
+        )
+        context = ScriptContext(
+            os_name="windows", user_agent="UA", page_url="https://a.example/"
+        )
+        assert len(sweep.plan(context)) == 4
+
+
+class TestLanSweepDetection:
+    def _attack_page(self, host_range=(1, 16)) -> Page:
+        return Page(
+            url="https://attacker.example/",
+            scripts=[
+                LanSweepBehavior(
+                    name="lan-js",
+                    subnet="192.168.1",
+                    active_oses=ALL,
+                    host_range=host_range,
+                )
+            ],
+        )
+
+    def test_sweep_classified_as_internal_attack(self):
+        chrome = SimulatedChrome(identity_for("windows"))
+        visit = chrome.visit(self._attack_page())
+        detection = LocalTrafficDetector().detect(visit.events)
+        assert len(detection.lan_requests) == 16
+        verdict = BehaviorClassifier().classify(detection.requests)
+        assert verdict.behavior is BehaviorClass.INTERNAL_ATTACK
+        assert verdict.signature_name == "lan-sweep"
+
+    def test_single_lan_fetch_is_not_an_attack(self):
+        # Every real LAN requester in the paper touches exactly one host;
+        # the attack signature must not fire on them.
+        from repro.core.addresses import parse_target
+        from repro.core.detector import LocalRequest
+
+        requests = [
+            LocalRequest(
+                target=parse_target("http://192.168.64.160/wp-content/a.jpg"),
+                time=0.0,
+                source_id=1,
+            )
+        ]
+        assert LAN_SWEEP_SIGNATURE.match(requests) is None
+
+    def test_threshold_boundary(self):
+        from repro.core.addresses import parse_target
+        from repro.core.detector import LocalRequest
+
+        def sweep(n):
+            return [
+                LocalRequest(
+                    target=parse_target(f"http://192.168.1.{i}/"),
+                    time=0.0,
+                    source_id=i,
+                )
+                for i in range(1, n + 1)
+            ]
+
+        assert LAN_SWEEP_SIGNATURE.match(sweep(4)) is None
+        match = LAN_SWEEP_SIGNATURE.match(sweep(5))
+        assert match is not None
+        assert match.behavior is BehaviorClass.INTERNAL_ATTACK
+
+    def test_localhost_scans_do_not_trigger_lan_sweep(self):
+        from repro.core.addresses import parse_target
+        from repro.core.detector import LocalRequest
+        from repro.core.ports import THREATMETRIX_PORTS
+
+        requests = [
+            LocalRequest(
+                target=parse_target(f"wss://localhost:{p}/"),
+                time=0.0,
+                source_id=p,
+            )
+            for p in THREATMETRIX_PORTS
+        ]
+        assert LAN_SWEEP_SIGNATURE.match(requests) is None
+
+    def test_sweep_discovers_installed_iot_devices(self):
+        """End to end: the attack page's probes to real devices succeed,
+        probes to empty addresses are refused — exactly the signal an
+        attacker harvests (Acar et al.)."""
+        from repro.crawler.vm import OSEnvironment
+
+        environment = OSEnvironment.for_os("linux")
+        network = typical_home_network(device_count=4)
+        network.install(environment.services)
+        chrome = environment.browser()
+        visit = chrome.visit(self._attack_page(host_range=(1, 64)))
+
+        from repro.netlog.constants import EventType
+
+        connects = [
+            e for e in visit.events
+            if e.type is EventType.TCP_CONNECT
+            and str(e.params.get("address", "")).startswith("192.168.1.")
+        ]
+        succeeded = {
+            e.params["address"].split(":")[0]
+            for e in connects
+            if e.params.get("net_error", 0) == 0
+        }
+        in_range = {
+            d.address
+            for d in network.devices
+            if d.port == 80 and int(d.address.rsplit(".", 1)[1]) <= 64
+        }
+        assert succeeded == in_range

@@ -1,0 +1,135 @@
+"""Tests for population building and failure injection."""
+
+from collections import Counter
+
+from repro.web import seeds as S
+from repro.web.population import (
+    build_malicious_population,
+    build_top_population,
+)
+
+
+class TestTopPopulation:
+    def test_every_seed_present_even_at_small_scale(self, top2020_population):
+        for seed in S.LOCALHOST_2020:
+            assert seed.domain in top2020_population.by_domain
+
+    def test_active_sites_have_behaviors(self, top2020_population):
+        for domain in top2020_population.active_domains:
+            assert top2020_population.website(domain).has_local_behavior()
+
+    def test_filler_sites_have_no_behaviors(self, top2020_population):
+        fillers = [
+            w
+            for w in top2020_population.websites
+            if w.domain not in top2020_population.active_domains
+        ]
+        assert fillers
+        assert all(not w.behaviors for w in fillers)
+
+    def test_oses_match_measurement_years(
+        self, top2020_population, top2021_population
+    ):
+        assert top2020_population.oses == ("windows", "linux", "mac")
+        assert top2021_population.oses == ("windows", "linux")
+
+    def test_seeded_sites_never_fail(self, top2020_population):
+        for domain in top2020_population.active_domains:
+            assert not top2020_population.website(domain).load_errors
+
+    def test_failure_counts_scale(self, top2020_population):
+        scale = len(top2020_population) / S.TOP_LIST_SIZE
+        _, windows_errors = S.TABLE1_TARGETS[("top2020", "windows")]
+        expected = sum(int(v * scale) for v in windows_errors.values())
+        failing = sum(
+            1
+            for w in top2020_population.websites
+            if "windows" in w.load_errors
+        )
+        assert failing == expected
+
+    def test_failure_injection_is_deterministic(self):
+        first = build_top_population(2020, scale=0.002)
+        second = build_top_population(2020, scale=0.002)
+        failures_first = {
+            w.domain: dict(w.load_errors) for w in first.websites if w.load_errors
+        }
+        failures_second = {
+            w.domain: dict(w.load_errors) for w in second.websites if w.load_errors
+        }
+        assert failures_first == failures_second
+
+    def test_ranks_unique_and_contiguous(self, top2020_population):
+        ranks = [w.rank for w in top2020_population.websites]
+        assert len(set(ranks)) == len(ranks)
+        assert min(ranks) == 1
+
+    def test_full_scale_failure_counts_exact(self):
+        # Full-size population reproduces Table 1's exact counts; this is
+        # moderately expensive so only Windows/2021 is checked here (the
+        # Table 1 bench checks all rows).
+        population = build_top_population(2021, scale=1.0)
+        _, expected = S.TABLE1_TARGETS[("top2021", "windows")]
+        from repro.browser.errors import table1_bucket
+
+        buckets = Counter(
+            table1_bucket(w.load_errors["windows"])
+            for w in population.websites
+            if "windows" in w.load_errors
+        )
+        assert buckets == expected
+
+    def test_2021_reuses_2020_filler(self, top2020_population):
+        second = build_top_population(
+            2021, scale=0.005, base_list=top2020_population.top_list
+        )
+        first_fillers = {
+            w.domain
+            for w in top2020_population.websites
+            if w.domain.startswith("site-")
+        }
+        second_fillers = {
+            w.domain for w in second.websites if w.domain.startswith("site-")
+        }
+        overlap = len(first_fillers & second_fillers) / max(len(second_fillers), 1)
+        assert 0.6 <= overlap <= 0.9  # the paper observed ~75%
+
+    def test_stopped_sites_are_inactive_in_2021(self, top2021_population):
+        # citi.com continued to exist in the 2021 list but stopped its
+        # ThreatMetrix localhost traffic.
+        site = top2021_population.website("citi.com")
+        assert not site.has_local_behavior()
+
+    def test_absent_sites_not_in_2021(self, top2021_population):
+        assert "cponline.pw" not in top2021_population.by_domain
+
+
+class TestMaliciousPopulation:
+    def test_category_composition(self, malicious_population):
+        categories = Counter(w.category for w in malicious_population.websites)
+        assert set(categories) == {
+            "malware",
+            "abuse",
+            "phishing",
+            "uncategorized",
+        }
+
+    def test_all_seeded_sites_present(self, malicious_population):
+        for seed in S.MALICIOUS_LOCALHOST:
+            assert seed.domain in malicious_population.by_domain
+        for seed in S.MALICIOUS_LAN:
+            assert seed.domain in malicious_population.by_domain
+
+    def test_malicious_sites_are_http(self, malicious_population):
+        site = malicious_population.website("customer-ebay.com")
+        assert site.landing_url.startswith("http://")
+
+    def test_seeded_sites_never_fail(self, malicious_population):
+        for domain in malicious_population.active_domains:
+            assert not malicious_population.website(domain).load_errors
+
+    def test_calibrated_flag_propagates(self, malicious_population):
+        assert malicious_population.website(
+            "secure-ebay-signin.com"
+        ).calibrated
+        assert not malicious_population.website("customer-ebay.com").calibrated

@@ -1,0 +1,156 @@
+"""Data-integrity tests: seed probes match the paper tables' path shapes.
+
+Tables 5, 7, 8 and 11 give protocol/ports *and paths*; these tests pin
+the seeded paths to the published patterns so a seed edit cannot drift
+away from the paper silently.
+"""
+
+import re
+
+from repro.web import seeds as S
+
+
+def _seed(domain: str) -> S.LocalhostSeed:
+    for seed in list(S.LOCALHOST_2020) + list(S.NEW_2021):
+        if seed.domain == domain:
+            return seed
+    raise AssertionError(f"no seed for {domain}")
+
+
+def _malicious(domain: str) -> S.MaliciousSeed:
+    for seed in S.MALICIOUS_LOCALHOST:
+        if seed.domain == domain:
+            return seed
+    raise AssertionError(f"no malicious seed for {domain}")
+
+
+class TestTable5Paths:
+    def test_fraud_and_bot_probe_root(self):
+        for seed in S.LOCALHOST_2020:
+            if seed.reason in ("fraud", "bot"):
+                assert all(p.path == "/" for p in seed.probes), seed.domain
+
+    def test_discord_sites_use_v1_query(self):
+        for domain in ("cponline.pw", "runeline.com"):
+            (probe,) = _seed(domain).probes
+            assert probe.path == "/?v=1"
+            assert probe.ports == tuple(range(6463, 6473))
+
+    def test_samsungcard_dual_probes(self):
+        seed = _seed("samsungcard.com")
+        schemes = {p.scheme for p in seed.probes}
+        assert schemes == {"wss", "https"}
+        nprotect = next(p for p in seed.probes if p.scheme == "https")
+        assert re.match(r"^/\?code=.*&dummy=", nprotect.path)
+        assert nprotect.ports == tuple(range(14440, 14450))
+
+    def test_gamehouse_family_init_json(self):
+        for domain in ("gamehouse.com", "zylom.com"):
+            (probe,) = _seed(domain).probes
+            assert probe.path.startswith("/v1/init.json?api_port=")
+
+    def test_hola_json_polling(self):
+        (probe,) = _seed("hola.org").probes
+        assert probe.path.endswith(".json")
+        assert probe.ports == tuple(range(6880, 6890))
+
+    def test_wowreality_port_list_matches_table(self):
+        (probe,) = _seed("wowreality.info").probes
+        assert len(probe.ports) == 25
+        assert {1080, 3306, 6379, 11211, 27017} <= set(probe.ports)
+
+
+class TestTable11Paths:
+    def test_wordpress_remnants_keep_wp_content(self):
+        wp_sites = [
+            seed
+            for seed in S.LOCALHOST_2020
+            if seed.dev_kind == "file"
+            and any("/wp-content/" in p.path for p in seed.probes)
+        ]
+        assert len(wp_sites) >= 8  # many Table 11 rows are WP uploads
+
+    def test_livereload_sites_fetch_livereload_js(self):
+        for seed in S.LOCALHOST_2020:
+            if seed.dev_kind == "livereload":
+                assert all(
+                    p.path.endswith("livereload.js") for p in seed.probes
+                ), seed.domain
+
+    def test_sockjs_path_and_port(self):
+        for seed in S.LOCALHOST_2020:
+            if seed.dev_kind == "sockjs":
+                (probe,) = seed.probes
+                assert probe.path.startswith("/sockjs-node/info")
+                assert probe.ports == (9000,)
+
+    def test_rkn_pen_test_artifact(self):
+        seed = _seed("rkn.gov.ru")
+        (probe,) = seed.probes
+        assert probe.path == "/xook.js"
+        assert probe.ports == (5005,)
+
+    def test_other_service_paths_match_table(self):
+        expectations = {
+            "zakupki.gov.ru": "/record/state",
+            "gamezone.com": "/setuid",
+            "interbank.pe": "/avisos-portal",
+            "fsist.com.br": "/getCertificados",
+            "spaceappschallenge.org": "/graphql",
+            "fromhomefitness.com": "/app/getLicenseKey",
+        }
+        for domain, path in expectations.items():
+            (probe,) = _seed(domain).probes
+            assert probe.path == path, domain
+
+
+class TestTable7Paths:
+    def test_iqiyi_family_get_client_ver(self):
+        for domain in ("iqiyi.com", "qy.net", "71.am"):
+            (probe,) = _seed(domain).probes
+            assert probe.path.startswith("/get_client_ver")
+            assert probe.ports == (16422, 16423)
+
+    def test_thunder_family(self):
+        for domain in ("nfstar.net", "9ekk.com", "somode.com"):
+            (probe,) = _seed(domain).probes
+            assert probe.path.startswith("/get_thunder_version")
+            assert probe.ports == (28317, 36759)
+
+    def test_eimzo_cryptapi(self):
+        for domain in ("soliqservis.uz", "didox.uz"):
+            (probe,) = _seed(domain).probes
+            assert probe.scheme == "wss"
+            assert probe.ports == (64443,)
+            assert probe.path == "/service/cryptapi"
+
+    def test_nonexistent_image_pattern(self):
+        (probe,) = _seed("wealthcareportal.com").probes
+        assert re.match(r"^/NonExistentImage\d+\.gif$", probe.path)
+
+
+class TestTable8Paths:
+    def test_postepay_family_nonexistent_images(self):
+        for domain in (
+            "evolution-postepay.com",
+            "postepaynuovo.com",
+            "sbloccareposte.com",
+            "verificapostepay.com",
+        ):
+            (probe,) = _malicious(domain).probes
+            assert re.match(r"^/NonExistentImage\d+\.gif$", probe.path), domain
+
+    def test_amazon_phish_fetch_robots(self):
+        seeds = [
+            s
+            for s in S.MALICIOUS_LOCALHOST
+            if s.domain.startswith("amazon.co.jp.")
+        ]
+        assert len(seeds) == 12
+        for seed in seeds:
+            (probe,) = seed.probes
+            assert probe.path == "/robots.txt"
+
+    def test_elilaifs_thunder_probe(self):
+        (probe,) = _malicious("elilaifs.cn").probes
+        assert probe.path.startswith("/get_thunder_version")

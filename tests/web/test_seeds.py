@@ -1,0 +1,179 @@
+"""Invariant tests over the ground-truth seed data.
+
+These assert the aggregate constraints the paper states — section 4.1's
+headline counts, Figure 2's overlap partition, Table 2's marginals — hold
+over the transcribed+calibrated seed rows.  If a seed edit breaks a paper
+aggregate, these tests localise it.
+"""
+
+from collections import Counter
+
+from repro.web import seeds as S
+
+
+class TestLocalhost2020:
+    def test_107_sites(self):
+        assert len(S.LOCALHOST_2020) == 107
+
+    def test_reason_counts(self):
+        counts = Counter(seed.reason for seed in S.LOCALHOST_2020)
+        assert counts["fraud"] == 35
+        assert counts["bot"] == 10
+        assert counts["native"] == 12
+        assert counts["dev"] == 45
+        assert counts["unknown"] == 5
+
+    def test_per_os_totals_match_figure_2a(self):
+        totals = Counter()
+        for seed in S.LOCALHOST_2020:
+            for os_name in seed.oses_2020 or ():
+                totals[os_name] += 1
+        assert totals == {"windows": 92, "linux": 54, "mac": 54}
+
+    def test_overlap_partition_matches_figure_2a(self):
+        partition = Counter(
+            frozenset(seed.oses_2020)
+            for seed in S.LOCALHOST_2020
+            if seed.oses_2020
+        )
+        assert partition[frozenset({"windows"})] == 48
+        assert partition[frozenset({"linux"})] == 2
+        assert partition[frozenset({"mac"})] == 5
+        assert partition[frozenset({"windows", "linux"})] == 3
+        assert partition[frozenset({"linux", "mac"})] == 8
+        assert partition[frozenset({"windows", "linux", "mac"})] == 41
+        assert partition.get(frozenset({"windows", "mac"}), 0) == 0
+
+    def test_fraud_and_bot_are_windows_only(self):
+        for seed in S.LOCALHOST_2020:
+            if seed.reason in ("fraud", "bot"):
+                assert seed.oses_2020 == ("windows",), seed.domain
+
+    def test_windows_wss_requests_match_figure_4a(self):
+        # 35 ThreatMetrix deployers x 14 ports = 490 WSS probes.
+        wss = 0
+        for seed in S.LOCALHOST_2020:
+            if not seed.oses_2020 or "windows" not in seed.oses_2020:
+                continue
+            for probe in seed.probes:
+                if probe.scheme == "wss" and seed.reason == "fraud":
+                    wss += len(probe.ports)
+        assert wss == 490
+
+    def test_domains_unique(self):
+        domains = [seed.domain for seed in S.LOCALHOST_2020]
+        assert len(domains) == len(set(domains))
+
+    def test_ranks_positive_and_within_list(self):
+        for seed in S.LOCALHOST_2020:
+            assert 1 <= seed.rank <= S.TOP_LIST_SIZE
+
+    def test_sockjs_sites_are_mac_only(self):
+        sockjs = [s for s in S.LOCALHOST_2020 if s.dev_kind == "sockjs"]
+        assert len(sockjs) == 5
+        assert all(s.oses_2020 == ("mac",) for s in sockjs)
+
+
+class TestLocalhost2021:
+    def test_82_sites(self):
+        assert len(S.localhost_seeds_2021()) == 82
+
+    def test_per_os_totals_match_figure_9(self):
+        totals = Counter()
+        for seed in S.localhost_seeds_2021():
+            for os_name in seed.oses_2021 or ():
+                totals[os_name] += 1
+        assert totals == {"windows": 82, "linux": 48}
+
+    def test_no_mac_activity_in_2021(self):
+        # The 2021 crawl ran on Windows and Linux only (section 3.2).
+        for seed in S.localhost_seeds_2021():
+            assert "mac" not in (seed.oses_2021 or ())
+
+    def test_bot_detection_disappeared(self):
+        # Section 4.3.2: no BIG-IP ASM activity in 2021.
+        for seed in S.localhost_seeds_2021():
+            assert seed.reason != "bot"
+
+    def test_new_2021_domains_do_not_collide_with_2020(self):
+        old = {seed.domain for seed in S.LOCALHOST_2020}
+        new = {seed.domain for seed in S.NEW_2021}
+        assert not old & new
+
+
+class TestLanSeeds:
+    def test_2020_has_nine_sites(self):
+        assert len(S.LAN_2020) == 9
+
+    def test_2021_has_eight_sites(self):
+        assert len(S.LAN_2021) == 8
+
+    def test_unib_is_the_only_repeat(self):
+        # Section 4.1: only one site made LAN requests in both years.
+        both = {s.domain for s in S.LAN_2020} & {s.domain for s in S.LAN_2021}
+        assert both == {"unib.ac.id"}
+
+    def test_lan_addresses_are_private(self):
+        from repro.core.addresses import Locality, classify_host
+
+        for seed in list(S.LAN_2020) + list(S.LAN_2021) + list(S.MALICIOUS_LAN):
+            assert classify_host(seed.ip) is Locality.LAN, seed.domain
+
+    def test_standard_ports_dominate_top_lists(self):
+        # Table 6: all 2020 top-100K LAN requests used ports 80/443.
+        assert all(s.port in (80, 443) for s in S.LAN_2020)
+
+
+class TestMaliciousSeeds:
+    def test_marginals_match_table_2(self):
+        marginals = Counter()
+        for seed in S.MALICIOUS_LOCALHOST:
+            for os_name in seed.oses:
+                marginals[(seed.category, os_name)] += 1
+        assert marginals[("malware", "windows")] == 72
+        assert marginals[("malware", "linux")] == 83
+        assert marginals[("malware", "mac")] == 75
+        assert marginals[("phishing", "windows")] == 25
+        assert marginals[("phishing", "linux")] == 41
+        assert marginals[("phishing", "mac")] == 9
+        assert not any(cat == "abuse" for cat, _ in marginals)
+
+    def test_lan_marginals_match_table_2(self):
+        marginals = Counter()
+        for seed in S.MALICIOUS_LAN:
+            for os_name in seed.oses:
+                marginals[(seed.category, os_name)] += 1
+        assert marginals[("malware", "windows")] == 8
+        assert marginals[("malware", "linux")] == 7
+        assert marginals[("malware", "mac")] == 7
+        assert marginals[("abuse", "windows")] == 1
+
+    def test_clone_count_matches_figure_4b(self):
+        clones = [
+            s for s in S.MALICIOUS_LOCALHOST if s.kind == "threatmetrix-clone"
+        ]
+        # 18 clones x 14 ports = 252 Windows WSS requests (Figure 4b).
+        assert len(clones) == 18
+        assert all(s.oses == ("windows",) for s in clones)
+
+    def test_population_constants_match_table_1(self):
+        assert (
+            S.MALWARE_COUNT + S.ABUSE_COUNT + S.PHISHING_COUNT
+            + S.UNCATEGORIZED_COUNT
+            == S.MALICIOUS_TOTAL
+        )
+        for (crawl, _os), (successes, errors) in S.TABLE1_TARGETS.items():
+            total = successes + sum(errors.values())
+            if crawl == "malicious":
+                assert total == S.MALICIOUS_TOTAL
+            else:
+                assert total == S.TOP_LIST_SIZE
+
+    def test_malicious_category_successes_sum_to_table1(self):
+        for os_name, per_category in S.MALICIOUS_CATEGORY_SUCCESSES.items():
+            successes, _ = S.TABLE1_TARGETS[("malicious", os_name)]
+            assert sum(per_category.values()) == successes
+
+    def test_domains_unique(self):
+        domains = [seed.domain for seed in S.MALICIOUS_LOCALHOST]
+        assert len(domains) == len(set(domains))

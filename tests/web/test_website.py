@@ -1,0 +1,61 @@
+"""Tests for the Website model."""
+
+from repro.browser.errors import NetError
+from repro.web.behaviors import PublicResourceBehavior, ResourceFetchBehavior
+from repro.web.website import Website
+
+
+class TestWebsite:
+    def test_landing_url_scheme(self):
+        assert Website("a.example").landing_url == "https://a.example/"
+        assert Website("b.example", https=False).landing_url == "http://b.example/"
+
+    def test_page_carries_scripts_and_resources(self):
+        behavior = ResourceFetchBehavior(
+            name="dev",
+            urls=("http://127.0.0.1/x.png",),
+            active_oses=frozenset({"windows"}),
+        )
+        site = Website(
+            "a.example",
+            behaviors=[behavior],
+            resources=["https://cdn.example/app.js"],
+        )
+        page = site.page()
+        assert page.url == "https://a.example/"
+        assert page.scripts == [behavior]
+        assert page.resources == ["https://cdn.example/app.js"]
+
+    def test_page_is_a_fresh_copy(self):
+        site = Website("a.example", resources=["https://cdn.example/x"])
+        page = site.page()
+        page.resources.append("https://evil.example/")
+        assert site.resources == ["https://cdn.example/x"]
+
+    def test_load_error_lookup(self):
+        site = Website(
+            "a.example",
+            load_errors={"windows": NetError.ERR_CONNECTION_RESET},
+        )
+        assert site.load_error_for("windows") is NetError.ERR_CONNECTION_RESET
+        assert site.load_error_for("linux") is None
+
+    def test_has_local_behavior_ignores_public_noise(self):
+        noisy = Website(
+            "a.example",
+            behaviors=[
+                PublicResourceBehavior(name="noise", urls=("https://c.example/x",))
+            ],
+        )
+        assert not noisy.has_local_behavior()
+        active = Website(
+            "b.example",
+            behaviors=[
+                ResourceFetchBehavior(
+                    name="dev",
+                    urls=("http://127.0.0.1/x",),
+                    active_oses=frozenset({"mac"}),
+                )
+            ],
+        )
+        assert active.has_local_behavior()
