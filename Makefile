@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report validate examples clean
+.PHONY: install test lint bench bench-quick report validate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:             ## style/correctness lint (pip install ruff)
+	$(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/
 
 bench:            ## full-scale: regenerates every paper table and figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

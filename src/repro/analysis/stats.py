@@ -40,10 +40,12 @@ def quantile(values: Sequence[float], q: float) -> float:
     low = int(position)
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
-    interpolated = ordered[low] * (1 - fraction) + ordered[high] * fraction
-    # Interpolation can drift one ulp outside the sample range on denormal
-    # inputs; clamp so callers can rely on min <= q(x) <= max.
-    return min(max(interpolated, ordered[0]), ordered[-1])
+    # The `a + (b - a) * f` form is exact at f == 0 and monotone in q even
+    # on denormal inputs (the two-product form can round each term to zero
+    # and dip below an earlier quantile); clamp to the segment so callers
+    # can rely on min <= q(x) <= max.
+    interpolated = ordered[low] + (ordered[high] - ordered[low]) * fraction
+    return min(max(interpolated, ordered[low]), ordered[high])
 
 
 def median(values: Sequence[float]) -> float:

@@ -13,9 +13,15 @@ The paper's dominant crawl-failure mode is DNS (≈90% of failures are
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..core.addresses import parse_ip
 from .errors import NetError
+
+#: Fault seam: called once per lookup with the hostname; a returned
+#: failing :class:`NetError` makes that lookup fail (transiently, if the
+#: hook stops returning it on later attempts).
+DnsFaultHook = Callable[[str], "NetError | None"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,10 +46,16 @@ class SimulatedResolver:
     ``default_resolvable`` is False.
     """
 
-    def __init__(self, *, default_resolvable: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        default_resolvable: bool = True,
+        fault_hook: DnsFaultHook | None = None,
+    ) -> None:
         self._records: dict[str, str] = {}
         self._failures: dict[str, NetError] = {}
         self._default_resolvable = default_resolvable
+        self._fault_hook = fault_hook
         self.queries = 0
 
     def add_record(self, name: str, address: str) -> None:
@@ -67,6 +79,10 @@ class SimulatedResolver:
             return ResolutionResult(address="127.0.0.1")
         if parse_ip(host) is not None:
             return ResolutionResult(address=host)
+        if self._fault_hook is not None:
+            fault = self._fault_hook(host)
+            if fault is not None and fault.failed:
+                return ResolutionResult(address=None, error=fault)
         injected = self._failures.get(host)
         if injected is not None:
             return ResolutionResult(address=None, error=injected)

@@ -57,6 +57,29 @@ def table1_bucket(error: NetError) -> str:
     return "Others"
 
 
+#: Failure modes that are plausibly transient from the crawler's seat:
+#: resolver hiccups, resets, timeouts, handshake glitches, and our own
+#: uplink dying.  A retry policy re-attempts these before the failure
+#: lands in a Table 1 bucket.  Certificate errors, redirect loops, and
+#: aborts are deterministic properties of the site and are not retried.
+TRANSIENT_ERRORS: frozenset[NetError] = frozenset(
+    {
+        NetError.ERR_NAME_NOT_RESOLVED,
+        NetError.ERR_CONNECTION_RESET,
+        NetError.ERR_CONNECTION_FAILED,
+        NetError.ERR_TIMED_OUT,
+        NetError.ERR_SSL_PROTOCOL_ERROR,
+        NetError.ERR_EMPTY_RESPONSE,
+        NetError.ERR_INTERNET_DISCONNECTED,
+    }
+)
+
+
+def is_transient(error: NetError) -> bool:
+    """Whether a failed visit with ``error`` is worth retrying."""
+    return error in TRANSIENT_ERRORS
+
+
 #: Errors the crawls' "Others" bucket is drawn from when injecting
 #: failures (timeouts, SSL handshake issues, redirect loops, ...).
 OTHER_ERROR_POOL: tuple[NetError, ...] = (

@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.addresses import Locality, classify_host
 from .errors import NetError
+
+#: Fault seam: called once per connect with (host, port); a returned
+#: failing :class:`NetError` makes that connect attempt fail.
+ConnectFaultHook = Callable[[str, int], "NetError | None"]
 
 
 class PortState(enum.Enum):
@@ -112,8 +117,14 @@ class SimulatedNetwork:
     LAN_RTT_MS = 2.0
     WAN_RTT_MS = 35.0
 
-    def __init__(self, services: LocalServiceTable | None = None) -> None:
+    def __init__(
+        self,
+        services: LocalServiceTable | None = None,
+        *,
+        fault_hook: ConnectFaultHook | None = None,
+    ) -> None:
         self.services = services if services is not None else LocalServiceTable()
+        self._fault_hook = fault_hook
         self.connect_attempts = 0
 
     def connect(self, host: str, port: int) -> ConnectOutcome:
@@ -121,6 +132,17 @@ class SimulatedNetwork:
         self.connect_attempts += 1
         locality = classify_host(host)
         key = f"{host}:{port}"
+        if self._fault_hook is not None:
+            fault = self._fault_hook(host, port)
+            if fault is not None and fault.failed:
+                # A mid-handshake failure: the peer was reached (or the
+                # path died) quickly — use the timeout only for timeouts.
+                latency = (
+                    CONNECT_TIMEOUT_MS
+                    if fault is NetError.ERR_TIMED_OUT
+                    else self.LAN_RTT_MS + _stable_jitter(key, 2.0)
+                )
+                return ConnectOutcome(error=fault, latency_ms=latency)
         if locality is Locality.PUBLIC:
             # Public servers in the simulation accept by default; failure
             # injection for page loads happens at DNS / page level.

@@ -31,7 +31,7 @@ from .core.addresses import Locality
 from .core.classifier import BehaviorClassifier
 from .core.detector import LocalTrafficDetector
 from .crawler.campaign import CampaignResult, run_campaign
-from .netlog import NetLogParseError, load
+from .netlog import NetLogParseError, ParseStats, load
 from .web import seeds as S
 from .web.population import (
     build_malicious_population,
@@ -60,6 +60,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default="top2020",
     )
     study.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+    study.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="visit attempts per site (1 = no retries)",
+    )
+    study.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="persist per-visit telemetry to this SQLite file",
+    )
+    study.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip (OS, domain) pairs already recorded in --db",
+    )
+    study.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject faults from this JSON plan (chaos testing)",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 12))
@@ -97,9 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 def _cmd_analyze(path: str) -> int:
+    stats = ParseStats()
     try:
         with open(path) as fp:
-            events = load(fp, strict=False)
+            events = load(fp, strict=False, stats=stats)
     except OSError as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         return 2
@@ -109,6 +134,8 @@ def _cmd_analyze(path: str) -> int:
 
     detection = LocalTrafficDetector().detect(events)
     print(f"{len(events)} events, {detection.total_flows} request flows")
+    if stats.damaged:
+        print(f"warning: damaged NetLog salvaged — {stats.describe()}")
     if not detection.has_local_activity:
         print("no localhost or LAN traffic detected")
         return 0
@@ -128,16 +155,81 @@ def _cmd_analyze(path: str) -> int:
     return 0
 
 
-def _campaign(population_name: str, scale: float) -> CampaignResult:
+def _population(population_name: str, scale: float):
     if population_name == "malicious":
-        return run_campaign(build_malicious_population(scale=scale))
+        return build_malicious_population(scale=scale)
     year = 2020 if population_name == "top2020" else 2021
-    return run_campaign(build_top_population(year, scale=scale))
+    return build_top_population(year, scale=scale)
 
 
-def _cmd_study(population_name: str, scale: float) -> int:
+def _campaign(population_name: str, scale: float) -> CampaignResult:
+    return run_campaign(_population(population_name, scale))
+
+
+def _cmd_study(
+    population_name: str,
+    scale: float,
+    *,
+    retries: int = 1,
+    db: str | None = None,
+    resume: bool = False,
+    fault_plan: str | None = None,
+) -> int:
+    from .crawler.campaign import Campaign
+    from .crawler.retry import RetryPolicy
+    from .faults import FaultPlan
+    from .storage.db import TelemetryStore
+
+    if resume and db is None:
+        print("error: --resume requires --db", file=sys.stderr)
+        return 2
+    if retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
+    plan: FaultPlan | None = None
+    if fault_plan is not None:
+        try:
+            with open(fault_plan) as fp:
+                plan = FaultPlan.load(fp)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
+
     print(f"crawling {population_name} at scale {scale:.1%} ...")
-    result = _campaign(population_name, scale)
+    store = TelemetryStore(db) if db is not None else None
+    campaign = Campaign(
+        store=store,
+        retry_policy=RetryPolicy(max_attempts=retries),
+        fault_plan=plan,
+        # The gate only matters when outages can happen.
+        check_connectivity=plan is not None,
+        checkpoint_every=100 if store is not None else 0,
+    )
+    try:
+        result = campaign.run(
+            _population(population_name, scale), resume=resume
+        )
+    finally:
+        if store is not None:
+            store.commit()
+
+    retried = sum(s.retried for s in result.stats.values())
+    recovered = sum(s.recovered for s in result.stats.values())
+    skipped = sum(s.skipped for s in result.stats.values())
+    if retries > 1 or plan is not None or retried:
+        print(
+            f"resilience: {retried} visits retried, "
+            f"{recovered} recovered, {skipped} skipped on connectivity"
+        )
+    injector = campaign.last_injector
+    if injector is not None and injector.injected_total():
+        injected = ", ".join(
+            f"{kind.value}={count}"
+            for kind, count in sorted(
+                injector.injected.items(), key=lambda kv: kv[0].value
+            )
+        )
+        print(f"injected faults: {injected}")
     summary = rq1.summarize_activity(result.findings, Locality.LOCALHOST)
     lan = [f for f in result.findings if f.has_lan_activity]
     print(f"localhost-active sites: {summary.total_sites}")
@@ -282,7 +374,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "analyze":
         return _cmd_analyze(args.netlog)
     if args.command == "study":
-        return _cmd_study(args.population, args.scale)
+        return _cmd_study(
+            args.population,
+            args.scale,
+            retries=args.retries,
+            db=args.db,
+            resume=args.resume,
+            fault_plan=args.fault_plan,
+        )
     if args.command == "table":
         return _cmd_table(args.number, args.scale)
     if args.command == "figure":

@@ -24,7 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..browser.network import LocalServiceTable, PortState, SimulatedNetwork
+from ..browser.network import LocalServiceTable, SimulatedNetwork
 
 
 @dataclass(frozen=True, slots=True)

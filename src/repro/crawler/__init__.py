@@ -1,13 +1,15 @@
 """Measurement harness: connectivity gate, per-OS crawler, campaigns."""
 
-from .campaign import Campaign, CampaignResult, run_campaign
+from .campaign import Campaign, CampaignResult, finding_fingerprint, run_campaign
 from .connectivity import PROBE_HOST, PROBE_PORT, ConnectivityChecker
 from .crawl import Crawler, CrawlRecord, CrawlStats
+from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy, VirtualClock
 from .vm import VANTAGE_BY_OS, OSEnvironment
 
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "finding_fingerprint",
     "run_campaign",
     "PROBE_HOST",
     "PROBE_PORT",
@@ -15,6 +17,10 @@ __all__ = [
     "Crawler",
     "CrawlRecord",
     "CrawlStats",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+    "VirtualClock",
     "VANTAGE_BY_OS",
     "OSEnvironment",
 ]

@@ -9,18 +9,34 @@ records with a behaviour classification (RQ3).
 Only sites that exhibited local activity retain their detections —
 everything else contributes to statistics and is dropped, which is what
 keeps full 100K×OS campaigns in memory.
+
+Campaigns are resilient by construction:
+
+* a :class:`~repro.crawler.retry.RetryPolicy` re-attempts transient visit
+  failures before they land in a Table 1 bucket;
+* a :class:`~repro.faults.FaultPlan` can be attached to inject scheduled
+  faults at every pipeline seam (chaos testing);
+* with a persistent :class:`~repro.storage.db.TelemetryStore`, progress
+  is checkpointed per visit, and ``run(..., resume=True)`` skips every
+  (crawl, OS, domain) already recorded — a campaign killed mid-run picks
+  up where it stopped and produces findings identical to an uninterrupted
+  one (see :func:`finding_fingerprint`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..browser.errors import NetError, table1_bucket
 from ..core.classifier import BehaviorClassifier
 from ..core.detector import LocalTrafficDetector
 from ..core.report import SiteFinding
+from ..faults.injector import FaultInjector, InjectedCrashError, StorageWriteError
+from ..faults.plan import FaultPlan
 from ..storage.db import TelemetryStore
 from ..web.population import CrawlPopulation
-from .crawl import Crawler, CrawlStats
+from .crawl import Crawler, CrawlRecord, CrawlStats
+from .retry import NO_RETRY, RetryPolicy
 from .vm import OSEnvironment
 
 
@@ -44,6 +60,55 @@ class CampaignResult:
         return sum(stats.successes for stats in self.stats.values())
 
 
+def finding_fingerprint(finding: SiteFinding) -> tuple:
+    """Canonical identity of one finding, for invariance checks.
+
+    Covers everything a finding *means* — domain, rank, category,
+    behaviour verdict, and every detected local request with its timing —
+    while excluding browser-process artifacts (NetLog source ids), which
+    legitimately shift when retries or a resume change how many pages a
+    browser instance has loaded before a given site.
+    """
+    classification = (
+        (
+            finding.classification.behavior.value,
+            finding.classification.signature_name,
+        )
+        if finding.classification is not None
+        else None
+    )
+    per_os = tuple(
+        (
+            os_name,
+            detection.page_load_time,
+            detection.total_flows,
+            tuple(
+                (
+                    request.locality.value,
+                    request.scheme,
+                    request.host,
+                    request.port,
+                    request.path,
+                    request.time,
+                    request.method,
+                    request.via_redirect,
+                    request.initiator,
+                )
+                for request in detection.requests
+            ),
+        )
+        for os_name, detection in sorted(finding.per_os.items())
+    )
+    return (
+        finding.domain,
+        finding.rank,
+        finding.population,
+        finding.category,
+        classification,
+        per_os,
+    )
+
+
 class Campaign:
     """Runs one population across its OS matrix and classifies findings."""
 
@@ -56,6 +121,10 @@ class Campaign:
         check_connectivity: bool = False,
         include_internal: bool = False,
         store: TelemetryStore | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        injector: FaultInjector | None = None,
+        checkpoint_every: int = 0,
     ) -> None:
         self.monitor_window_ms = monitor_window_ms
         self.detector = detector
@@ -70,52 +139,57 @@ class Campaign:
         # synthetic populations have no outages, so it defaults off for
         # throughput and can be enabled to exercise the full loop.
         self.check_connectivity = check_connectivity
+        self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
+        # Chaos knobs: a plan builds a fresh injector per run(); passing an
+        # injector explicitly shares its attempt state across runs.
+        self.fault_plan = fault_plan
+        self._shared_injector = injector
+        #: The injector the most recent run() used (None without faults) —
+        #: exposes per-kind injection counts to benches and tests.
+        self.last_injector: FaultInjector | None = injector
+        # Commit the store every N visits so a crash loses at most N rows;
+        # 0 commits once per OS pass (plus once at the end).
+        self.checkpoint_every = checkpoint_every
 
-    def run(self, population: CrawlPopulation) -> CampaignResult:
-        """Crawl ``population`` on every OS it is defined for."""
+    def _make_injector(self) -> FaultInjector | None:
+        if self._shared_injector is not None:
+            return self._shared_injector
+        if self.fault_plan is not None:
+            return FaultInjector(self.fault_plan)
+        return None
+
+    def run(
+        self, population: CrawlPopulation, *, resume: bool = False
+    ) -> CampaignResult:
+        """Crawl ``population`` on every OS it is defined for.
+
+        With ``resume=True`` (requires a store), every (OS, domain) that
+        already has a stored outcome is restored from the database instead
+        of being re-crawled; the returned result is indistinguishable —
+        same Table 1 statistics, same findings — from a run that was never
+        interrupted.
+        """
+        if resume and self.store is None:
+            raise ValueError("resume=True requires a persistent store")
+        injector = self._make_injector()
+        self.last_injector = injector
+        if self.store is not None:
+            self.store.write_fault_hook = (
+                injector.storage_hook if injector is not None else None
+            )
         result = CampaignResult(name=population.name, oses=population.oses)
         findings: dict[str, SiteFinding] = {}
-        for os_name in population.oses:
-            environment = (
-                OSEnvironment.for_os(os_name, monitor_window_ms=self.monitor_window_ms)
-                if self.monitor_window_ms is not None
-                else OSEnvironment.for_os(os_name)
-            )
-            crawler = Crawler(
-                environment,
-                detector=self.detector,
-                check_connectivity=self.check_connectivity,
-                include_internal=self.include_internal,
-            )
-            records, stats = crawler.crawl_population(population)
-            result.stats[os_name] = stats
-            for record in records:
+        try:
+            for os_name in population.oses:
+                self._run_os(population, os_name, result, findings, injector, resume)
                 if self.store is not None:
-                    self.store.record_visit(
-                        population.name,
-                        record.domain,
-                        os_name,
-                        success=record.success,
-                        error=int(record.error),
-                        rank=record.rank,
-                        category=record.category,
-                        detection=record.detection
-                        if record.has_local_activity
-                        else None,
-                    )
-                if not record.has_local_activity:
-                    continue
-                finding = findings.get(record.domain)
-                if finding is None:
-                    finding = SiteFinding(
-                        domain=record.domain,
-                        rank=record.rank,
-                        population=population.name,
-                        category=record.category,
-                    )
-                    findings[record.domain] = finding
-                assert record.detection is not None
-                finding.per_os[os_name] = record.detection
+                    self.store.commit()
+        except InjectedCrashError:
+            # A simulated hard crash: flush what completed so a resumed
+            # campaign starts from this exact checkpoint, then propagate.
+            if self.store is not None:
+                self.store.commit()
+            raise
 
         for finding in findings.values():
             finding.classification = self.classifier.classify_per_os(
@@ -131,6 +205,158 @@ class Campaign:
         if self.store is not None:
             self.store.commit()
         return result
+
+    # -- one OS pass -------------------------------------------------------
+
+    def _run_os(
+        self,
+        population: CrawlPopulation,
+        os_name: str,
+        result: CampaignResult,
+        findings: dict[str, SiteFinding],
+        injector: FaultInjector | None,
+        resume: bool,
+    ) -> None:
+        environment = (
+            OSEnvironment.for_os(os_name, monitor_window_ms=self.monitor_window_ms)
+            if self.monitor_window_ms is not None
+            else OSEnvironment.for_os(os_name)
+        )
+        crawler = Crawler(
+            environment,
+            detector=self.detector,
+            check_connectivity=self.check_connectivity,
+            include_internal=self.include_internal,
+            retry_policy=self.retry_policy,
+            injector=injector,
+        )
+        stats = CrawlStats(os_name=os_name, crawl=population.name)
+        result.stats[os_name] = stats
+
+        websites = population.websites
+        if resume:
+            done = self._restore_os(population.name, os_name, stats, findings)
+            if done:
+                websites = [w for w in websites if w.domain not in done]
+
+        for index, record in enumerate(crawler.crawl(websites), start=1):
+            if injector is not None:
+                # The crash seam fires before the record is accounted or
+                # persisted: a crashed visit leaves no trace, exactly like
+                # a killed process, and resume re-crawls it.
+                injector.on_visit()
+            stats.record(record)
+            self._persist(population.name, os_name, record)
+            self._fold(record, os_name, findings, population.name)
+            if (
+                self.checkpoint_every
+                and self.store is not None
+                and index % self.checkpoint_every == 0
+            ):
+                self.store.commit()
+
+    def _restore_os(
+        self,
+        crawl: str,
+        os_name: str,
+        stats: CrawlStats,
+        findings: dict[str, SiteFinding],
+    ) -> set[str]:
+        """Rebuild stats and findings for already-recorded visits."""
+        assert self.store is not None
+        rows = self.store.visits(crawl, os_name=os_name)
+        if not rows:
+            return set()
+        detections = self.store.detections_for(crawl, os_name)
+        done: set[str] = set()
+        for row in rows:
+            done.add(row.domain)
+            stats.total_attempts += row.attempts
+            if row.attempts > 1:
+                stats.retried += 1
+            if row.skipped:
+                stats.skipped += 1
+                continue
+            if row.success:
+                stats.successes += 1
+                if row.attempts > 1:
+                    stats.recovered += 1
+            else:
+                stats.failures += 1
+                try:
+                    bucket = table1_bucket(NetError(row.error))
+                except ValueError:
+                    bucket = "Others"
+                assert stats.errors is not None
+                stats.errors[bucket] = stats.errors.get(bucket, 0) + 1
+                continue
+            detection = detections.get(row.domain)
+            if detection is None or not detection.has_local_activity:
+                continue
+            finding = findings.get(row.domain)
+            if finding is None:
+                finding = SiteFinding(
+                    domain=row.domain,
+                    rank=row.rank,
+                    population=crawl,
+                    category=row.category,
+                )
+                findings[row.domain] = finding
+            finding.per_os[os_name] = detection
+        return done
+
+    # -- per-record plumbing ----------------------------------------------
+
+    def _persist(self, crawl: str, os_name: str, record: CrawlRecord) -> None:
+        if self.store is None:
+            return
+        write_attempts = 0
+        # The write retry budget mirrors the visit retry budget: storage
+        # faults are transient by definition (the injector's model), but a
+        # campaign run without retries keeps the seed's fail-fast shape.
+        budget = self.retry_policy.max_attempts
+        while True:
+            write_attempts += 1
+            try:
+                self.store.record_visit(
+                    crawl,
+                    record.domain,
+                    os_name,
+                    success=record.success,
+                    error=int(record.error),
+                    rank=record.rank,
+                    category=record.category,
+                    skipped=record.connectivity_skipped,
+                    attempts=record.attempts,
+                    detection=record.detection
+                    if record.has_local_activity
+                    else None,
+                )
+                return
+            except StorageWriteError:
+                if write_attempts >= budget:
+                    raise
+
+    def _fold(
+        self,
+        record: CrawlRecord,
+        os_name: str,
+        findings: dict[str, SiteFinding],
+        population_name: str,
+    ) -> None:
+        if not record.has_local_activity:
+            return
+        finding = findings.get(record.domain)
+        if finding is None:
+            finding = SiteFinding(
+                domain=record.domain,
+                rank=record.rank,
+                population=population_name,
+                category=record.category,
+            )
+            findings[record.domain] = finding
+        assert record.detection is not None
+        finding.per_os[os_name] = record.detection
 
 
 def run_campaign(

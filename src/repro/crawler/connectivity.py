@@ -10,11 +10,16 @@ loop's retry/skip behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..browser.network import SimulatedNetwork
 
 PROBE_HOST = "8.8.8.8"
 PROBE_PORT = 53
+
+#: Fault seam: called once per check; returning True means the uplink is
+#: down for this check (bounded outages come from the fault injector).
+OutageHook = Callable[[], bool]
 
 
 @dataclass(slots=True)
@@ -24,13 +29,15 @@ class ConnectivityChecker:
     network: SimulatedNetwork
     #: Injected outage flag; set True to simulate losing the uplink.
     outage: bool = False
+    #: Scheduled-outage seam (see :class:`~repro.faults.FaultInjector`).
+    fault_hook: OutageHook | None = None
     checks: int = 0
     failures: int = 0
 
     def check(self) -> bool:
         """True when the measurement host can reach the Internet."""
         self.checks += 1
-        if self.outage:
+        if self.outage or (self.fault_hook is not None and self.fault_hook()):
             self.failures += 1
             return False
         outcome = self.network.connect(PROBE_HOST, PROBE_PORT)

@@ -6,6 +6,11 @@ simulated browser for the monitoring window, then runs the local-traffic
 detector over the captured NetLog events.  Output is a stream of
 :class:`CrawlRecord` rows — the unit the storage and analysis layers
 consume.
+
+Transient failures (resolver hiccups, resets, uplink outages — injected
+or organic) are retried under a :class:`~repro.crawler.retry.RetryPolicy`
+before they land in a Table 1 bucket; backoff waits accrue on a virtual
+clock, so resilience costs simulated seconds, not wall-clock ones.
 """
 
 from __future__ import annotations
@@ -15,9 +20,11 @@ from typing import Iterable, Iterator
 
 from ..browser.errors import NetError, table1_bucket
 from ..core.detector import DetectionResult, LocalTrafficDetector
+from ..faults.injector import FaultInjector
 from ..web.population import CrawlPopulation
 from ..web.website import Website
 from .connectivity import ConnectivityChecker
+from .retry import NO_RETRY, RetryPolicy, VirtualClock
 from .vm import OSEnvironment
 
 
@@ -33,6 +40,10 @@ class CrawlRecord:
     category: str | None = None
     detection: DetectionResult | None = None
     connectivity_skipped: bool = False
+    #: How many visit attempts this outcome took (1 = no retries needed).
+    attempts: int = 1
+    #: Total simulated backoff spent between those attempts.
+    backoff_ms: float = 0.0
 
     @property
     def error_bucket(self) -> str | None:
@@ -45,6 +56,11 @@ class CrawlRecord:
     def has_local_activity(self) -> bool:
         return bool(self.detection and self.detection.has_local_activity)
 
+    @property
+    def recovered(self) -> bool:
+        """Succeeded, but only after at least one retry."""
+        return self.success and self.attempts > 1
+
 
 @dataclass(slots=True)
 class CrawlStats:
@@ -56,6 +72,14 @@ class CrawlStats:
     failures: int = 0
     errors: dict[str, int] | None = None
     skipped: int = 0
+    #: Visit attempts across all records (== total when retries are off).
+    total_attempts: int = 0
+    #: Records that needed more than one attempt.
+    retried: int = 0
+    #: Records that failed transiently but succeeded on a retry.
+    recovered: int = 0
+    #: Simulated milliseconds spent backing off between attempts.
+    backoff_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.errors is None:
@@ -66,6 +90,12 @@ class CrawlStats:
         return self.successes + self.failures
 
     def record(self, record: CrawlRecord) -> None:
+        self.total_attempts += record.attempts
+        self.backoff_ms += record.backoff_ms
+        if record.attempts > 1:
+            self.retried += 1
+        if record.recovered:
+            self.recovered += 1
         if record.connectivity_skipped:
             self.skipped += 1
             return
@@ -88,11 +118,31 @@ class Crawler:
         detector: LocalTrafficDetector | None = None,
         check_connectivity: bool = True,
         include_internal: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.environment = environment
         self.detector = detector if detector is not None else LocalTrafficDetector()
-        self.browser = environment.browser()
-        self.connectivity = ConnectivityChecker(network=self.browser.network)
+        self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
+        self.injector = injector
+        self.clock = VirtualClock()
+        if injector is not None:
+            # Thread the fault seams through the whole stack this crawler
+            # owns: resolver, network, and connectivity gate.
+            from ..browser.dns import SimulatedResolver
+
+            network = environment.network(fault_hook=injector.connect_hook)
+            self.browser = environment.browser(
+                resolver=SimulatedResolver(fault_hook=injector.dns_hook),
+                network=network,
+            )
+            self.connectivity = ConnectivityChecker(
+                network=self.browser.network,
+                fault_hook=injector.connectivity_hook,
+            )
+        else:
+            self.browser = environment.browser()
+            self.connectivity = ConnectivityChecker(network=self.browser.network)
         self.check_connectivity = check_connectivity
         # The paper crawled landing pages only (section 3.3 lists internal
         # pages as future work); opting in visits every declared internal
@@ -100,20 +150,76 @@ class Crawler:
         self.include_internal = include_internal
 
     def crawl_site(self, website: Website) -> CrawlRecord:
-        """Visit one website's landing page and analyse its telemetry."""
+        """Visit one website, retrying transient failures per policy.
+
+        The connectivity gate runs before every attempt and has its own
+        wait budget: a bounded uplink outage is ridden out with backoff
+        rather than charged against the site's visit attempts, so an
+        outage and a transient site failure never compound into a
+        spurious Table 1 entry.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        backoff_total = 0.0
+        while True:
+            attempt += 1
+            skip, backoff_total = self._await_connectivity(website, backoff_total)
+            if skip is not None:
+                # Uplink stayed down through the wait budget: record a
+                # skip rather than misattribute the failure (section 3.1).
+                skip.attempts = attempt
+                skip.backoff_ms = backoff_total
+                return skip
+            record = self._visit_once(website)
+            record.attempts = attempt
+            record.backoff_ms = backoff_total
+            if record.success or not policy.should_retry(record.error, attempt):
+                return record
+            wait = policy.backoff_ms(website.domain, attempt)
+            backoff_total += wait
+            self.clock.advance(wait)
+
+    def _await_connectivity(
+        self, website: Website, backoff_total: float
+    ) -> tuple[CrawlRecord | None, float]:
+        """Run the connectivity gate, waiting out bounded outages.
+
+        Returns ``(skip_record, backoff)`` when the uplink is still down
+        after the wait budget, ``(None, backoff)`` when it is safe to
+        visit.  The wait budget matches the retry budget
+        (``max_attempts - 1`` re-checks), so the seed's no-retry policy
+        keeps its skip-immediately behaviour.
+        """
+        if not self.check_connectivity:
+            return None, backoff_total
+        policy = self.retry_policy
+        waits = 0
+        while not self.connectivity.check():
+            if (
+                not policy.retry_connectivity_skips
+                or waits >= policy.max_attempts - 1
+            ):
+                return (
+                    CrawlRecord(
+                        domain=website.domain,
+                        os_name=self.environment.os_name,
+                        success=False,
+                        error=NetError.ERR_INTERNET_DISCONNECTED,
+                        rank=website.rank,
+                        category=website.category,
+                        connectivity_skipped=True,
+                    ),
+                    backoff_total,
+                )
+            waits += 1
+            wait = policy.backoff_ms(f"{website.domain}@gate", waits)
+            backoff_total += wait
+            self.clock.advance(wait)
+        return None, backoff_total
+
+    def _visit_once(self, website: Website) -> CrawlRecord:
+        """One visit attempt: page load and detection (gate already run)."""
         os_name = self.environment.os_name
-        if self.check_connectivity and not self.connectivity.check():
-            # No Internet on our side: skip rather than misattribute the
-            # failure to the website (section 3.1).
-            return CrawlRecord(
-                domain=website.domain,
-                os_name=os_name,
-                success=False,
-                error=NetError.ERR_INTERNET_DISCONNECTED,
-                rank=website.rank,
-                category=website.category,
-                connectivity_skipped=True,
-            )
         forced = website.load_error_for(os_name)
         visit = self.browser.visit(website.page(), forced_error=forced)
         record = CrawlRecord(
@@ -143,9 +249,7 @@ class Crawler:
             record.detection.requests.extend(detection.requests)
             record.detection.total_flows += detection.total_flows
 
-    def crawl(
-        self, websites: Iterable[Website], *, crawl_name: str = ""
-    ) -> Iterator[CrawlRecord]:
+    def crawl(self, websites: Iterable[Website]) -> Iterator[CrawlRecord]:
         """Visit each website once, in order, yielding records."""
         for website in websites:
             yield self.crawl_site(website)
@@ -156,7 +260,7 @@ class Crawler:
         """Crawl a whole population on this OS, with stats accounting."""
         stats = CrawlStats(os_name=self.environment.os_name, crawl=population.name)
         records: list[CrawlRecord] = []
-        for record in self.crawl(population.websites, crawl_name=population.name):
+        for record in self.crawl(population.websites):
             stats.record(record)
             records.append(record)
         return records, stats

@@ -1,0 +1,94 @@
+"""Retry policy for transient crawl failures, on the virtual clock.
+
+The paper's crawls attribute every failure to the *website* (Table 1),
+which is only honest if measurement-side transients — resolver hiccups,
+resets, our uplink dying for a minute — are retried away first.
+:class:`RetryPolicy` decides what is worth re-attempting and how long to
+back off; :class:`VirtualClock` accrues those waits in simulated time, so
+a campaign that rides out thousands of backoffs still runs in
+milliseconds of wall clock.
+
+Backoff is exponential with deterministic jitter: the jitter term is a
+stable hash of ``(domain, attempt)``, not a live RNG draw, so two runs of
+the same campaign back off identically — a precondition for the chaos
+benches' byte-for-byte invariance checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..browser.errors import NetError, is_transient
+
+
+def _stable_jitter(key: str, spread_ms: float) -> float:
+    """Deterministic pseudo-jitter in [0, spread_ms) derived from ``key``."""
+    digest = 2166136261
+    for ch in key:
+        digest = ((digest ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return (digest % 10_000) / 10_000.0 * spread_ms
+
+
+@dataclass(slots=True)
+class VirtualClock:
+    """Monotonic simulated time, advanced explicitly (milliseconds)."""
+
+    now_ms: float = 0.0
+
+    def advance(self, delta_ms: float) -> float:
+        if delta_ms < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now_ms += delta_ms
+        return self.now_ms
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How a crawler re-attempts failed visits.
+
+    ``max_attempts`` is the total visit budget per site (1 = no retries,
+    the seed behaviour).  Only transient failures (see
+    :func:`repro.browser.errors.is_transient`) are retried; permanent
+    failures land in their Table 1 bucket on the first attempt.
+
+    The connectivity gate has its own wait budget of ``max_attempts - 1``
+    re-checks per attempt when ``retry_connectivity_skips`` is set:
+    outages are *waited out* with backoff rather than charged against
+    the site's visit attempts, so a bounded outage and a transient site
+    failure never compound into a spurious failure record.
+    """
+
+    max_attempts: int = 1
+    backoff_base_ms: float = 500.0
+    backoff_multiplier: float = 2.0
+    backoff_jitter_ms: float = 250.0
+    retry_connectivity_skips: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0 or self.backoff_jitter_ms < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def should_retry(self, error: NetError, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) should be redone."""
+        return attempt < self.max_attempts and is_transient(error)
+
+    def backoff_ms(self, key: str, attempt: int) -> float:
+        """Wait before re-attempt ``attempt + 1``, deterministic in key."""
+        base = self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1)
+        return base + _stable_jitter(f"{key}#{attempt}", self.backoff_jitter_ms)
+
+
+#: Policy used when callers just say "retry": three attempts, which masks
+#: any transient with depth <= 2 (the chaos plans' default).
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=3)
+
+#: The seed behaviour — one attempt, no second chances.
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -51,14 +51,19 @@ class OSEnvironment:
     def os_name(self) -> str:
         return self.identity.name
 
-    def network(self) -> SimulatedNetwork:
-        return SimulatedNetwork(services=self.services)
+    def network(self, *, fault_hook=None) -> SimulatedNetwork:
+        return SimulatedNetwork(services=self.services, fault_hook=fault_hook)
 
-    def browser(self, *, resolver: SimulatedResolver | None = None) -> SimulatedChrome:
+    def browser(
+        self,
+        *,
+        resolver: SimulatedResolver | None = None,
+        network: SimulatedNetwork | None = None,
+    ) -> SimulatedChrome:
         """A fresh Chrome instance (clean profile) in this environment."""
         return SimulatedChrome(
             self.identity,
             resolver=resolver,
-            network=self.network(),
+            network=network if network is not None else self.network(),
             monitor_window_ms=self.monitor_window_ms,
         )

@@ -1,0 +1,158 @@
+"""Fault injector: executes a :class:`FaultPlan` through narrow seams.
+
+One injector instance carries the mutable state a plan needs at run time —
+per-key attempt counters (so *transient* faults fail the first N attempts
+and then recover), the connectivity-check counter that drives bounded
+outages, and the campaign visit counter that drives crashes.  All hook
+methods are cheap and deterministic; an injector with an empty plan is a
+no-op at every seam.
+
+Seams (each accepts a plain callable, never the injector itself):
+
+* ``browser.dns`` — :meth:`FaultInjector.dns_hook` plugs into
+  :class:`~repro.browser.dns.SimulatedResolver`;
+* ``browser.network`` — :meth:`FaultInjector.connect_hook` plugs into
+  :class:`~repro.browser.network.SimulatedNetwork`;
+* ``crawler.connectivity`` — :meth:`FaultInjector.connectivity_hook` plugs
+  into :class:`~repro.crawler.connectivity.ConnectivityChecker`;
+* ``netlog`` — :meth:`FaultInjector.corrupt_netlog` mangles a serialised
+  NetLog document the way a killed Chrome does;
+* ``storage.db`` — :meth:`FaultInjector.storage_hook` plugs into
+  :class:`~repro.storage.db.TelemetryStore` and raises
+  :class:`StorageWriteError` on scheduled writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..browser.errors import NetError
+from .plan import FaultKind, FaultPlan, _stable_hash
+
+
+class InjectedCrashError(RuntimeError):
+    """A scheduled hard crash of the campaign process."""
+
+
+class StorageWriteError(RuntimeError):
+    """A scheduled (transient) telemetry-store write failure."""
+
+
+@dataclass(slots=True)
+class FaultInjector:
+    """Executes one fault plan; tracks what it actually injected."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Injection counts per fault kind, for observability and tests.
+    injected: dict[FaultKind, int] = field(default_factory=dict)
+    _attempts: dict[tuple[FaultKind, str], int] = field(default_factory=dict)
+    _connectivity_checks: int = 0
+    _visits: int = 0
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _next_attempt(self, kind: FaultKind, key: str) -> int:
+        count = self._attempts.get((kind, key), 0) + 1
+        self._attempts[(kind, key)] = count
+        return count
+
+    def _record(self, kind: FaultKind) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    def _transient_strike(self, kind: FaultKind, key: str) -> bool:
+        """Advance the attempt counter; True while the fault is active."""
+        depth = self.plan.fail_depth(kind, key)
+        if depth == 0:
+            return False
+        if self._next_attempt(kind, key) > depth:
+            return False
+        self._record(kind)
+        return True
+
+    # -- browser.dns seam --------------------------------------------------
+
+    def dns_hook(self, host: str) -> NetError | None:
+        """Transient resolution failure for ``host``, if scheduled."""
+        if self._transient_strike(FaultKind.DNS, host):
+            return NetError.ERR_NAME_NOT_RESOLVED
+        return None
+
+    # -- browser.network seam ----------------------------------------------
+
+    def connect_hook(self, host: str, port: int) -> NetError | None:
+        """Transient connect-level failure for ``host:port``, if scheduled."""
+        key = f"{host}:{port}"
+        if self._transient_strike(FaultKind.CONNECTION_RESET, key):
+            return NetError.ERR_CONNECTION_RESET
+        if self._transient_strike(FaultKind.TLS, key):
+            return NetError.ERR_SSL_PROTOCOL_ERROR
+        return None
+
+    # -- crawler.connectivity seam ----------------------------------------
+
+    def connectivity_hook(self) -> bool:
+        """True while a scheduled uplink outage is in effect.
+
+        Outages are counter-triggered: an ``outage`` spec with
+        ``at_count=N, duration=D`` swallows connectivity checks
+        N .. N+D-1 (1-based), then the uplink recovers — bounded by
+        construction, so a retry policy with enough attempts rides it out.
+        """
+        self._connectivity_checks += 1
+        check = self._connectivity_checks
+        for spec in self.plan.specs(FaultKind.OUTAGE):
+            if spec.at_count is None or spec.duration <= 0:
+                continue
+            if spec.at_count <= check < spec.at_count + spec.duration:
+                self._record(FaultKind.OUTAGE)
+                return True
+        return False
+
+    # -- netlog seam -------------------------------------------------------
+
+    def corrupt_netlog(self, text: str, key: str) -> str:
+        """Damage a serialised NetLog document the way real crashes do.
+
+        When ``key`` is scheduled for truncation, the document loses its
+        tail from a stable, key-derived position (at minimum the closing
+        ``]}`` — the signature of a killed Chrome); a spec with
+        ``duration > 0`` additionally NUL-pads the wound, modelling
+        filesystem preallocation after a power loss.  Unscheduled keys
+        pass through untouched.
+        """
+        for spec in self.plan.specs(FaultKind.NETLOG_TRUNCATION):
+            if not self.plan.selects(spec, key):
+                continue
+            self._record(FaultKind.NETLOG_TRUNCATION)
+            digest = _stable_hash(f"{self.plan.seed}:cut:{key}")
+            # Cut somewhere in the back half, but never keep the final
+            # two characters (the `]}` Chrome fails to write).
+            fraction = 0.5 + (digest % 4500) / 10_000.0
+            cut = min(int(len(text) * fraction), max(len(text) - 2, 0))
+            damaged = text[:cut]
+            if spec.duration > 0:
+                damaged += "\x00" * spec.duration
+            return damaged
+        return text
+
+    # -- storage.db seam ---------------------------------------------------
+
+    def storage_hook(self, key: str) -> None:
+        """Raise :class:`StorageWriteError` on scheduled write attempts."""
+        if self._transient_strike(FaultKind.STORAGE_WRITE, key):
+            raise StorageWriteError(f"injected storage write failure: {key}")
+
+    # -- campaign crash seam -----------------------------------------------
+
+    def on_visit(self) -> None:
+        """Advance the visit counter; raise when a crash is scheduled."""
+        self._visits += 1
+        for spec in self.plan.specs(FaultKind.CRASH):
+            if spec.at_count is not None and self._visits == spec.at_count:
+                self._record(FaultKind.CRASH)
+                raise InjectedCrashError(
+                    f"injected crash at visit {self._visits}"
+                )

@@ -1,0 +1,213 @@
+"""Fault plans: seeded, serialisable schedules of pipeline faults.
+
+A plan is a seed plus a list of :class:`FaultSpec` entries.  Whether a
+given opportunity (a DNS lookup for ``example.com``, the 512th visit of a
+campaign, ...) is faulted is a pure function of ``(seed, kind, key)`` — no
+shared RNG state — so the same plan produces the same injected-failure
+schedule regardless of evaluation order, process, or how many other fault
+kinds are active.  That determinism is what lets the chaos benches assert
+Table 1/5 invariance under injection.
+
+Plans serialise to JSON (``repro study --fault-plan plan.json``)::
+
+    {
+      "seed": "chaos-2026",
+      "faults": [
+        {"kind": "dns", "rate": 0.05, "times": 2},
+        {"kind": "reset", "rate": 0.02},
+        {"kind": "outage", "at_count": 40, "duration": 2},
+        {"kind": "crash", "at_count": 500}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Sequence
+
+
+class FaultKind(str, enum.Enum):
+    """Where in the pipeline a fault strikes."""
+
+    #: Transient ``ERR_NAME_NOT_RESOLVED`` at the resolver seam.
+    DNS = "dns"
+    #: Transient ``ERR_CONNECTION_RESET`` at the network-connect seam.
+    CONNECTION_RESET = "reset"
+    #: Transient ``ERR_SSL_PROTOCOL_ERROR`` at the network-connect seam.
+    TLS = "tls"
+    #: Uplink outage at the connectivity gate, bounded in checks.
+    OUTAGE = "outage"
+    #: Tail truncation of a serialised NetLog document.
+    NETLOG_TRUNCATION = "netlog-truncation"
+    #: Transient failure writing a row to the telemetry store.
+    STORAGE_WRITE = "storage-write"
+    #: Hard crash of the campaign process after N visits.
+    CRASH = "crash"
+
+
+#: Resolution of the per-key fault draw (1/10^4 rate granularity).
+_RATE_SCALE = 10_000
+
+
+def _stable_hash(text: str) -> int:
+    """FNV-1a, the repo's stable cross-process hash."""
+    digest = 2166136261
+    for ch in text:
+        digest = ((digest ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return digest
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault family.
+
+    ``rate``
+        Probability that any given key (domain, host, write, document) is
+        selected for injection; the draw is a stable hash of the plan seed
+        and the key, so it is identical across runs.
+    ``times``
+        How many consecutive attempts on a selected key fail before it
+        recovers — the *transient depth*.  A retry policy with
+        ``max_attempts > times`` fully masks the fault.
+    ``duration``
+        For :attr:`FaultKind.OUTAGE`: how many consecutive connectivity
+        checks the outage swallows.
+    ``at_count``
+        For counter-triggered kinds (``outage``, ``crash``): the 1-based
+        opportunity index at which the fault fires.
+    """
+
+    kind: FaultKind
+    rate: float = 0.0
+    times: int = 1
+    duration: int = 0
+    at_count: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {self.rate}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        if self.at_count is not None and self.at_count < 1:
+            raise ValueError("at_count is 1-based")
+
+    def to_json(self) -> dict:
+        record: dict = {"kind": self.kind.value}
+        if self.rate:
+            record["rate"] = self.rate
+        if self.times != 1:
+            record["times"] = self.times
+        if self.duration:
+            record["duration"] = self.duration
+        if self.at_count is not None:
+            record["at_count"] = self.at_count
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "FaultSpec":
+        if not isinstance(record, dict):
+            raise ValueError("fault spec must be an object")
+        try:
+            kind = FaultKind(record["kind"])
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"unknown fault kind in {record!r}") from exc
+        return cls(
+            kind=kind,
+            rate=float(record.get("rate", 0.0)),
+            times=int(record.get("times", 1)),
+            duration=int(record.get("duration", 0)),
+            at_count=(
+                int(record["at_count"]) if record.get("at_count") is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seeded schedule of faults across the pipeline seams."""
+
+    seed: str = "fault-plan"
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- composition -------------------------------------------------------
+
+    def specs(self, kind: FaultKind) -> tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.faults if spec.kind is kind)
+
+    def without(self, *kinds: FaultKind) -> "FaultPlan":
+        """A copy with the given fault kinds removed (e.g. drop ``crash``
+        when restarting a crashed campaign)."""
+        return FaultPlan(
+            seed=self.seed,
+            faults=tuple(s for s in self.faults if s.kind not in kinds),
+        )
+
+    # -- the deterministic draw -------------------------------------------
+
+    def selects(self, spec: FaultSpec, key: str) -> bool:
+        """Whether ``spec`` strikes ``key`` under this plan's seed."""
+        if spec.rate <= 0.0:
+            return False
+        draw = _stable_hash(f"{self.seed}:{spec.kind.value}:{key}") % _RATE_SCALE
+        return draw < int(spec.rate * _RATE_SCALE)
+
+    def fail_depth(self, kind: FaultKind, key: str) -> int:
+        """How many consecutive attempts on ``key`` should fail (0 = none)."""
+        depth = 0
+        for spec in self.specs(kind):
+            if self.selects(spec, key):
+                depth = max(depth, spec.times)
+        return depth
+
+    def schedule(self, kind: FaultKind, keys: Iterable[str]) -> dict[str, int]:
+        """Materialise the fault schedule for a key universe.
+
+        Maps each selected key to its transient depth; used by tests to
+        assert two runs of the same plan inject identically.
+        """
+        out: dict[str, int] = {}
+        for key in keys:
+            depth = self.fail_depth(kind, key)
+            if depth:
+                out[key] = depth
+        return out
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_json() for spec in self.faults],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2)
+
+    @classmethod
+    def from_json(cls, document: dict) -> "FaultPlan":
+        if not isinstance(document, dict):
+            raise ValueError("fault plan must be a JSON object")
+        raw_faults = document.get("faults", [])
+        if not isinstance(raw_faults, Sequence) or isinstance(raw_faults, str):
+            raise ValueError("fault plan 'faults' must be an array")
+        return cls(
+            seed=str(document.get("seed", "fault-plan")),
+            faults=tuple(FaultSpec.from_json(record) for record in raw_faults),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_json(json.loads(text))
+
+    @classmethod
+    def load(cls, fp: IO[str]) -> "FaultPlan":
+        return cls.from_json(json.load(fp))

@@ -14,7 +14,16 @@ from .constants import (
     SourceType,
 )
 from .events import NetLogEvent, NetLogSource, SourceIdAllocator, events_for_source
-from .parser import NetLogParseError, iter_events, load, loads, parse_record
+from .parser import (
+    NetLogParseError,
+    NetLogTruncationError,
+    ParseStats,
+    iter_events,
+    load,
+    loads,
+    parse_record,
+)
+from .streaming import count_event_types, iter_events_streaming
 from .writer import build_constants, dump, dumps, event_to_record
 
 __all__ = [
@@ -28,7 +37,11 @@ __all__ = [
     "SourceIdAllocator",
     "events_for_source",
     "NetLogParseError",
+    "NetLogTruncationError",
+    "ParseStats",
+    "count_event_types",
     "iter_events",
+    "iter_events_streaming",
     "load",
     "loads",
     "parse_record",

@@ -2,14 +2,25 @@
 
 Parses documents written by :mod:`repro.netlog.writer` — and, for the event
 types we model, documents written by real Chrome — back into
-:class:`~repro.netlog.events.NetLogEvent` streams.  Unknown event or source
-types are preserved numerically when ``strict`` is off, so a log from a
-newer producer degrades gracefully instead of failing to load.
+:class:`~repro.netlog.events.NetLogEvent` streams.
+
+Two failure philosophies coexist:
+
+* ``strict=True`` (default): any malformed record or damaged document
+  raises :class:`NetLogParseError` — the right mode for logs we wrote
+  ourselves, where damage means a bug.
+* ``strict=False``: *salvage mode*.  Records with unknown types or
+  malformed fields are skipped and counted, and a physically damaged
+  document — tail-truncated (Chrome omits the closing ``]}`` when
+  killed), NUL-padded, or cut mid-record — yields every event in its
+  intact prefix instead of raising.  Pass a :class:`ParseStats` to learn
+  what was recovered versus dropped.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import IO, Iterator
 
 from .constants import (
@@ -22,6 +33,45 @@ from .events import NetLogEvent, NetLogSource
 
 class NetLogParseError(ValueError):
     """Raised when a document is not a well-formed NetLog."""
+
+
+class NetLogTruncationError(NetLogParseError):
+    """The document ended prematurely (killed writer, torn write)."""
+
+
+@dataclass(slots=True)
+class ParseStats:
+    """Accounting for one parse: what was recovered, what was lost."""
+
+    #: Events successfully decoded (== salvaged events on a damaged doc).
+    parsed: int = 0
+    #: Records skipped because their event type is not in our vocabulary.
+    dropped_unknown_type: int = 0
+    #: Records skipped because a field was malformed (bad ``time``,
+    #: ``source`` or ``params``), plus a partial record lost to truncation.
+    dropped_malformed: int = 0
+    #: The document ended before its closing ``]}``.
+    truncated: bool = False
+
+    @property
+    def dropped(self) -> int:
+        """Total records that did not become events."""
+        return self.dropped_unknown_type + self.dropped_malformed
+
+    @property
+    def damaged(self) -> bool:
+        """Whether the parse lost anything at all."""
+        return self.truncated or self.dropped_malformed > 0
+
+    def describe(self) -> str:
+        parts = [f"{self.parsed} events"]
+        if self.truncated:
+            parts.append("truncated document")
+        if self.dropped_malformed:
+            parts.append(f"{self.dropped_malformed} malformed records dropped")
+        if self.dropped_unknown_type:
+            parts.append(f"{self.dropped_unknown_type} unknown-type records skipped")
+        return ", ".join(parts)
 
 
 def _coerce_event_type(value: object, names: dict[str, int]) -> EventType | None:
@@ -48,34 +98,55 @@ def parse_record(
     *,
     event_names: dict[str, int] | None = None,
     strict: bool = True,
+    stats: ParseStats | None = None,
 ) -> NetLogEvent | None:
     """Parse a single event record.
 
-    Returns ``None`` for records carrying unknown types when ``strict`` is
-    False; raises :class:`NetLogParseError` otherwise.
+    Returns ``None`` for records that cannot become events when ``strict``
+    is False — unknown types *and* malformed fields are both
+    skip-and-count in non-strict mode; raises :class:`NetLogParseError`
+    otherwise.
     """
     if not isinstance(record, dict):
-        raise NetLogParseError(f"event record must be an object, got {type(record).__name__}")
+        if strict:
+            raise NetLogParseError(
+                f"event record must be an object, got {type(record).__name__}"
+            )
+        if stats is not None:
+            stats.dropped_malformed += 1
+        return None
     try:
         raw_source = record["source"]
         time = float(record["time"])
     except (KeyError, TypeError, ValueError) as exc:
-        raise NetLogParseError(f"malformed event record: {record!r}") from exc
+        if strict:
+            raise NetLogParseError(f"malformed event record: {record!r}") from exc
+        if stats is not None:
+            stats.dropped_malformed += 1
+        return None
 
     event_type = _coerce_event_type(record.get("type"), event_names or {})
     if event_type is None:
         if strict:
             raise NetLogParseError(f"unknown event type: {record.get('type')!r}")
+        if stats is not None:
+            stats.dropped_unknown_type += 1
         return None
 
     if not isinstance(raw_source, dict):
-        raise NetLogParseError("event source must be an object")
+        if strict:
+            raise NetLogParseError("event source must be an object")
+        if stats is not None:
+            stats.dropped_malformed += 1
+        return None
     try:
         source_id = int(raw_source["id"])
         source_type = SourceType(int(raw_source.get("type", 0)))
     except (KeyError, TypeError, ValueError) as exc:
         if strict:
             raise NetLogParseError(f"malformed source: {raw_source!r}") from exc
+        if stats is not None:
+            stats.dropped_malformed += 1
         return None
 
     try:
@@ -85,8 +156,14 @@ def parse_record(
 
     params = record.get("params") or {}
     if not isinstance(params, dict):
-        raise NetLogParseError("event params must be an object")
+        if strict:
+            raise NetLogParseError("event params must be an object")
+        if stats is not None:
+            stats.dropped_malformed += 1
+        return None
 
+    if stats is not None:
+        stats.parsed += 1
     return NetLogEvent(
         time=time,
         type=event_type,
@@ -96,25 +173,46 @@ def parse_record(
     )
 
 
-def load(fp: IO[str], *, strict: bool = True) -> list[NetLogEvent]:
+def load(
+    fp: IO[str], *, strict: bool = True, stats: ParseStats | None = None
+) -> list[NetLogEvent]:
     """Parse a complete NetLog document from a file object."""
-    try:
-        document = json.load(fp)
-    except json.JSONDecodeError as exc:
-        raise NetLogParseError(f"invalid JSON: {exc}") from exc
-    return _parse_document(document, strict=strict)
+    return loads(fp.read(), strict=strict, stats=stats)
 
 
-def loads(text: str, *, strict: bool = True) -> list[NetLogEvent]:
-    """Parse a complete NetLog document from a string."""
+def loads(
+    text: str, *, strict: bool = True, stats: ParseStats | None = None
+) -> list[NetLogEvent]:
+    """Parse a complete NetLog document from a string.
+
+    In non-strict mode a document that is not valid JSON — the signature
+    of a truncated or NUL-padded NetLog — is salvaged: every event in the
+    intact prefix is recovered and the damage is reported through
+    ``stats`` instead of an exception.
+    """
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise NetLogParseError(f"invalid JSON: {exc}") from exc
-    return _parse_document(document, strict=strict)
+        if strict:
+            raise NetLogParseError(f"invalid JSON: {exc}") from exc
+        return _salvage(text, stats)
+    return _parse_document(document, strict=strict, stats=stats)
 
 
-def iter_events(document: dict, *, strict: bool = True) -> Iterator[NetLogEvent]:
+def _salvage(text: str, stats: ParseStats | None) -> list[NetLogEvent]:
+    """Recover the intact event prefix of a damaged document."""
+    import io
+
+    from .streaming import iter_events_streaming
+
+    return list(
+        iter_events_streaming(io.StringIO(text), strict=False, stats=stats)
+    )
+
+
+def iter_events(
+    document: dict, *, strict: bool = True, stats: ParseStats | None = None
+) -> Iterator[NetLogEvent]:
     """Yield events from an already-decoded NetLog document."""
     if not isinstance(document, dict):
         raise NetLogParseError("NetLog document must be a JSON object")
@@ -124,10 +222,14 @@ def iter_events(document: dict, *, strict: bool = True) -> Iterator[NetLogEvent]
     if not isinstance(raw_events, list):
         raise NetLogParseError("NetLog document missing 'events' array")
     for record in raw_events:
-        event = parse_record(record, event_names=event_names, strict=strict)
+        event = parse_record(
+            record, event_names=event_names, strict=strict, stats=stats
+        )
         if event is not None:
             yield event
 
 
-def _parse_document(document: dict, *, strict: bool) -> list[NetLogEvent]:
-    return list(iter_events(document, strict=strict))
+def _parse_document(
+    document: dict, *, strict: bool, stats: ParseStats | None = None
+) -> list[NetLogEvent]:
+    return list(iter_events(document, strict=strict, stats=stats))

@@ -10,6 +10,13 @@ NetLog layout: a top-level object whose ``events`` key holds an array of
 objects.  Individual event objects are still decoded with the stdlib
 ``json`` module, so value semantics are identical to the whole-document
 parser.
+
+Damage tolerance: a NetLog from a killed browser ends mid-stream — no
+closing ``]}``, sometimes a half-written record, sometimes a NUL-padded
+tail (page-cache flush of a sparse file).  With ``strict=False`` the
+walker yields every event up to the damage point and stops, recording
+``truncated`` (and a dropped partial record, if any) in the optional
+:class:`~repro.netlog.parser.ParseStats` instead of raising.
 """
 
 from __future__ import annotations
@@ -19,28 +26,45 @@ from typing import IO, Iterator
 
 from .constants import EventType
 from .events import NetLogEvent
-from .parser import NetLogParseError, parse_record
+from .parser import (
+    NetLogParseError,
+    NetLogTruncationError,
+    ParseStats,
+    parse_record,
+)
 
 _CHUNK_SIZE = 64 * 1024
 
 
 class _Scanner:
-    """Incremental reader with pushback over a text stream."""
+    """Incremental reader with pushback over a text stream.
+
+    A NUL byte is treated as (sticky) end of input: real truncated
+    NetLogs are often padded with NULs up to a block boundary, and no
+    valid JSON contains a raw NUL outside an escape sequence.
+    """
 
     def __init__(self, fp: IO[str]) -> None:
         self._fp = fp
         self._buffer = ""
         self._position = 0
+        self._eof = False
 
     def read_char(self) -> str:
-        """Next character, or '' at EOF."""
+        """Next character, or '' at EOF (or at a NUL — see class doc)."""
+        if self._eof:
+            return ""
         if self._position >= len(self._buffer):
             self._buffer = self._fp.read(_CHUNK_SIZE)
             self._position = 0
             if not self._buffer:
+                self._eof = True
                 return ""
         ch = self._buffer[self._position]
         self._position += 1
+        if ch == "\x00":
+            self._eof = True
+            return ""
         return ch
 
     def read_nonspace(self) -> str:
@@ -56,11 +80,11 @@ def _read_string(scanner: _Scanner) -> str:
     while True:
         ch = scanner.read_char()
         if not ch:
-            raise NetLogParseError("unterminated string")
+            raise NetLogTruncationError("unterminated string")
         if ch == "\\":
             escaped = scanner.read_char()
             if not escaped:
-                raise NetLogParseError("unterminated escape")
+                raise NetLogTruncationError("unterminated escape")
             parts.append(ch + escaped)
             continue
         if ch == '"':
@@ -76,13 +100,13 @@ def _read_balanced_object(scanner: _Scanner) -> str:
     while depth:
         ch = scanner.read_char()
         if not ch:
-            raise NetLogParseError("unterminated object")
+            raise NetLogTruncationError("unterminated object")
         parts.append(ch)
         if in_string:
             if ch == "\\":
                 follow = scanner.read_char()
                 if not follow:
-                    raise NetLogParseError("unterminated escape")
+                    raise NetLogTruncationError("unterminated escape")
                 parts.append(follow)
             elif ch == '"':
                 in_string = False
@@ -110,7 +134,7 @@ def _skip_value(scanner: _Scanner, first: str) -> None:
         while depth:
             ch = scanner.read_char()
             if not ch:
-                raise NetLogParseError("unterminated array")
+                raise NetLogTruncationError("unterminated array")
             if in_string:
                 if ch == "\\":
                     scanner.read_char()
@@ -132,7 +156,7 @@ def _skip_value(scanner: _Scanner, first: str) -> None:
 
 
 def iter_events_streaming(
-    fp: IO[str], *, strict: bool = False
+    fp: IO[str], *, strict: bool = False, stats: ParseStats | None = None
 ) -> Iterator[NetLogEvent]:
     """Yield NetLog events from a file object with bounded memory.
 
@@ -144,10 +168,26 @@ def iter_events_streaming(
     Unknown event types are skipped when ``strict`` is False (the
     default here, unlike the whole-document parser, because real Chrome
     logs carry hundreds of event types beyond the modelled subset).
+    Non-strict mode also tolerates physical damage: on a truncated or
+    NUL-padded document the generator yields the intact event prefix,
+    marks ``stats.truncated`` and stops instead of raising.
     """
-    scanner = _Scanner(fp)
+    try:
+        yield from _iter_document(_Scanner(fp), strict, stats)
+    except NetLogTruncationError:
+        if strict:
+            raise
+        if stats is not None:
+            stats.truncated = True
+
+
+def _iter_document(
+    scanner: _Scanner, strict: bool, stats: ParseStats | None
+) -> Iterator[NetLogEvent]:
     opener = scanner.read_nonspace()
     if opener != "{":
+        if not opener:
+            raise NetLogTruncationError("empty NetLog document")
         raise NetLogParseError("NetLog document must be a JSON object")
 
     event_names: dict[str, int] = {}
@@ -158,23 +198,40 @@ def iter_events_streaming(
         if ch == ",":
             continue
         if ch != '"':
+            if not ch:
+                raise NetLogTruncationError("document ended before '}'")
             raise NetLogParseError(f"expected object key, got {ch!r}")
         key = _read_string(scanner)
         colon = scanner.read_nonspace()
         if colon != ":":
+            if not colon:
+                raise NetLogTruncationError("document ended after object key")
             raise NetLogParseError("expected ':' after object key")
         first = scanner.read_nonspace()
+        if not first:
+            raise NetLogTruncationError("document ended before a value")
         if key == "constants" and first == "{":
-            constants = json.loads(_read_balanced_object(scanner))
+            raw = _read_balanced_object(scanner)
+            try:
+                constants = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise NetLogParseError(
+                        f"malformed constants block: {exc}"
+                    ) from exc
+                constants = {}
             event_names = constants.get("logEventTypes") or {}
         elif key == "events" and first == "[":
-            yield from _iter_array_events(scanner, event_names, strict)
+            yield from _iter_array_events(scanner, event_names, strict, stats)
         else:
             _skip_value(scanner, first)
 
 
 def _iter_array_events(
-    scanner: _Scanner, event_names: dict[str, int], strict: bool
+    scanner: _Scanner,
+    event_names: dict[str, int],
+    strict: bool,
+    stats: ParseStats | None,
 ) -> Iterator[NetLogEvent]:
     while True:
         ch = scanner.read_nonspace()
@@ -183,13 +240,29 @@ def _iter_array_events(
         if ch == ",":
             continue
         if ch != "{":
+            if not ch:
+                raise NetLogTruncationError("events array unterminated")
             raise NetLogParseError(f"expected event object, got {ch!r}")
-        raw = _read_balanced_object(scanner)
+        try:
+            raw = _read_balanced_object(scanner)
+        except NetLogTruncationError:
+            # The cut fell inside this record: its prefix is unusable.
+            if not strict and stats is not None:
+                stats.dropped_malformed += 1
+            raise
         try:
             record = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise NetLogParseError(f"malformed event object: {exc}") from exc
-        event = parse_record(record, event_names=event_names, strict=strict)
+            if strict:
+                raise NetLogParseError(f"malformed event object: {exc}") from exc
+            # Balanced but undecodable (in-place corruption): the stream
+            # is still in sync after the closing brace, so keep walking.
+            if stats is not None:
+                stats.dropped_malformed += 1
+            continue
+        event = parse_record(
+            record, event_names=event_names, strict=strict, stats=stats
+        )
         if event is not None:
             yield event
 

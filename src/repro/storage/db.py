@@ -4,21 +4,31 @@ The paper parsed Chrome NetLogs and "stored the network events in a
 database for efficient querying" (section 3.1; 11 TB across the study).
 This store reproduces that logical design at laptop scale:
 
-* ``visits`` — one row per (crawl, domain, OS) page load with its outcome;
+* ``visits`` — one row per (crawl, domain, OS) page load with its outcome,
+  retry accounting, and the connectivity-skip flag (so stored rows carry
+  the same Table 1 semantics as :class:`~repro.crawler.crawl.CrawlStats`);
 * ``events`` — raw NetLog events (optional: bulky; stored on request);
 * ``local_requests`` — denormalised detected local requests, the table
-  every analysis query actually hits.
+  every analysis query actually hits — complete enough to reconstruct
+  the original :class:`~repro.core.detector.DetectionResult`, which is
+  what checkpoint/resume rides on.
 
 Use as a context manager; pass ``":memory:"`` for throwaway stores.
+
+The optional ``write_fault_hook`` is the ``storage.db`` fault seam: it is
+called once per visit write with the row key and may raise (the fault
+injector raises :class:`~repro.faults.StorageWriteError`) to simulate a
+failed write; the campaign layer retries around it.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Iterable
+from typing import Callable, Iterable
 
-from ..core.detector import DetectionResult
+from ..core.addresses import Locality, RequestTarget
+from ..core.detector import DetectionResult, LocalRequest
 from ..netlog.events import NetLogEvent
 from .records import LocalRequestRow, VisitRow
 
@@ -32,6 +42,10 @@ CREATE TABLE IF NOT EXISTS visits (
     error INTEGER NOT NULL DEFAULT 0,
     rank INTEGER,
     category TEXT,
+    skipped INTEGER NOT NULL DEFAULT 0,
+    attempts INTEGER NOT NULL DEFAULT 1,
+    page_load_time REAL,
+    total_flows INTEGER,
     UNIQUE (crawl, domain, os_name)
 );
 CREATE TABLE IF NOT EXISTS events (
@@ -51,21 +65,58 @@ CREATE TABLE IF NOT EXISTS local_requests (
     port INTEGER NOT NULL,
     path TEXT NOT NULL,
     time REAL,
-    via_redirect INTEGER NOT NULL DEFAULT 0
+    via_redirect INTEGER NOT NULL DEFAULT 0,
+    source_id INTEGER NOT NULL DEFAULT 0,
+    method TEXT NOT NULL DEFAULT 'GET',
+    initiator TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_visits_crawl ON visits(crawl, os_name);
 CREATE INDEX IF NOT EXISTS idx_local_visit ON local_requests(visit_id);
 CREATE INDEX IF NOT EXISTS idx_local_locality ON local_requests(locality);
 """
 
+#: Columns added after the seed schema; applied to pre-existing database
+#: files so old stores keep opening (ALTER TABLE is idempotent per run).
+_MIGRATIONS: tuple[tuple[str, str, str], ...] = (
+    ("visits", "skipped", "INTEGER NOT NULL DEFAULT 0"),
+    ("visits", "attempts", "INTEGER NOT NULL DEFAULT 1"),
+    ("visits", "page_load_time", "REAL"),
+    ("visits", "total_flows", "INTEGER"),
+    ("local_requests", "source_id", "INTEGER NOT NULL DEFAULT 0"),
+    ("local_requests", "method", "TEXT NOT NULL DEFAULT 'GET'"),
+    ("local_requests", "initiator", "TEXT"),
+)
+
+#: Fault seam: called with "crawl:domain:os" before each visit write.
+WriteFaultHook = Callable[[str], None]
+
 
 class TelemetryStore:
     """SQLite store for crawl telemetry."""
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        write_fault_hook: WriteFaultHook | None = None,
+    ) -> None:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA journal_mode=MEMORY")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+        self.write_fault_hook = write_fault_hook
+
+    def _migrate(self) -> None:
+        """Add post-seed columns to stores created by older versions."""
+        for table, column, decl in _MIGRATIONS:
+            present = {
+                row[1]
+                for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+            if column not in present:
+                self._conn.execute(
+                    f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
+                )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -93,15 +144,32 @@ class TelemetryStore:
         error: int = 0,
         rank: int | None = None,
         category: str | None = None,
+        skipped: bool = False,
+        attempts: int = 1,
         detection: DetectionResult | None = None,
         events: Iterable[NetLogEvent] | None = None,
     ) -> int:
         """Store one visit; returns its visit id."""
+        if self.write_fault_hook is not None:
+            self.write_fault_hook(f"{crawl}:{domain}:{os_name}")
         cursor = self._conn.execute(
             "INSERT OR REPLACE INTO visits "
-            "(crawl, domain, os_name, success, error, rank, category) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?)",
-            (crawl, domain, os_name, int(success), error, rank, category),
+            "(crawl, domain, os_name, success, error, rank, category, "
+            " skipped, attempts, page_load_time, total_flows) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                crawl,
+                domain,
+                os_name,
+                int(success),
+                error,
+                rank,
+                category,
+                int(skipped),
+                attempts,
+                detection.page_load_time if detection is not None else None,
+                detection.total_flows if detection is not None else None,
+            ),
         )
         visit_id = int(cursor.lastrowid or 0)
         if events is not None:
@@ -122,7 +190,10 @@ class TelemetryStore:
             )
         if detection is not None:
             self._conn.executemany(
-                "INSERT INTO local_requests VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO local_requests "
+                "(visit_id, locality, scheme, host, port, path, time, "
+                " via_redirect, source_id, method, initiator) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     (
                         visit_id,
@@ -133,6 +204,9 @@ class TelemetryStore:
                         request.path,
                         request.time,
                         int(request.via_redirect),
+                        request.source_id,
+                        request.method,
+                        request.initiator,
                     )
                     for request in detection.requests
                 ),
@@ -151,15 +225,32 @@ class TelemetryStore:
         return int(row[0])
 
     def success_counts(self, crawl: str) -> dict[str, tuple[int, int]]:
-        """Per-OS (successes, failures) for one crawl."""
+        """Per-OS (successes, failures) for one crawl.
+
+        Connectivity-skipped rows are excluded on both sides — the paper
+        never attributes a measurement-side outage to a website.
+        """
         out: dict[str, tuple[int, int]] = {}
         for os_name, successes, failures in self._conn.execute(
             "SELECT os_name, SUM(success), SUM(1 - success) "
-            "FROM visits WHERE crawl = ? GROUP BY os_name",
+            "FROM visits WHERE crawl = ? AND skipped = 0 GROUP BY os_name",
             (crawl,),
         ):
             out[os_name] = (int(successes or 0), int(failures or 0))
         return out
+
+    def completed_domains(self, crawl: str, os_name: str) -> set[str]:
+        """Domains with a recorded outcome for (crawl, OS) — the
+        checkpoint a resumed campaign skips past.  Skipped rows count as
+        completed: re-crawling them would let a resumed run diverge from
+        the uninterrupted one it must reproduce."""
+        return {
+            row[0]
+            for row in self._conn.execute(
+                "SELECT domain FROM visits WHERE crawl = ? AND os_name = ?",
+                (crawl, os_name),
+            )
+        }
 
     def domains_with_local_activity(
         self, crawl: str, locality: str, os_name: str | None = None
@@ -195,10 +286,63 @@ class TelemetryStore:
             for row in rows
         ]
 
+    def detections_for(self, crawl: str, os_name: str) -> dict[str, DetectionResult]:
+        """Reconstruct per-domain detections for one (crawl, OS) pass.
+
+        Rows come back in insertion order (rowid), which is the detector's
+        (time, source_id) order — so the rebuilt
+        :class:`~repro.core.detector.DetectionResult` compares equal to
+        the one the original crawl produced.  Only domains with stored
+        local requests appear (the campaign persists detections for
+        exactly those).
+        """
+        visit_rows = self._conn.execute(
+            "SELECT visit_id, domain, page_load_time, total_flows "
+            "FROM visits WHERE crawl = ? AND os_name = ?",
+            (crawl, os_name),
+        ).fetchall()
+        meta = {row[0]: (row[1], row[2], row[3]) for row in visit_rows}
+        if not meta:
+            return {}
+        out: dict[str, DetectionResult] = {}
+        placeholders = ",".join("?" * len(meta))
+        for row in self._conn.execute(
+            "SELECT visit_id, locality, scheme, host, port, path, time, "
+            "via_redirect, source_id, method, initiator "
+            f"FROM local_requests WHERE visit_id IN ({placeholders}) "
+            "ORDER BY rowid",
+            tuple(meta),
+        ):
+            domain, page_load_time, total_flows = meta[row[0]]
+            detection = out.get(domain)
+            if detection is None:
+                detection = DetectionResult(
+                    page_load_time=page_load_time,
+                    total_flows=int(total_flows or 0),
+                )
+                out[domain] = detection
+            detection.requests.append(
+                LocalRequest(
+                    target=RequestTarget(
+                        scheme=row[2],
+                        host=row[3],
+                        port=row[4],
+                        path=row[5],
+                        locality=Locality(row[1]),
+                    ),
+                    time=row[6],
+                    source_id=row[8],
+                    method=row[9],
+                    via_redirect=bool(row[7]),
+                    initiator=row[10],
+                )
+            )
+        return out
+
     def visits(self, crawl: str, *, os_name: str | None = None) -> list[VisitRow]:
         sql = (
             "SELECT visit_id, crawl, domain, os_name, success, error, rank, "
-            "category FROM visits WHERE crawl = ?"
+            "category, skipped, attempts FROM visits WHERE crawl = ?"
         )
         args: list[object] = [crawl]
         if os_name is not None:
@@ -208,6 +352,7 @@ class TelemetryStore:
             VisitRow(
                 visit_id=row[0], crawl=row[1], domain=row[2], os_name=row[3],
                 success=bool(row[4]), error=row[5], rank=row[6], category=row[7],
+                skipped=bool(row[8]), attempts=row[9],
             )
             for row in self._conn.execute(sql + " ORDER BY visit_id", args)
         ]

@@ -22,6 +22,11 @@ class VisitRow:
     error: int
     rank: int | None
     category: str | None
+    #: Connectivity-gate skip: a measurement-side outage, not a site
+    #: failure (kept out of success/failure accounting, as in Table 1).
+    skipped: bool = False
+    #: Visit attempts the outcome took (1 = first try).
+    attempts: int = 1
 
 
 @dataclass(frozen=True, slots=True)

@@ -28,7 +28,6 @@ from .behaviors import (
     DirectLocalFetch,
     NativeAppProbe,
     PortScanBehavior,
-    PublicResourceBehavior,
     RedirectToLocalBehavior,
     ResourceFetchBehavior,
 )

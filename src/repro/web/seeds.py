@@ -15,7 +15,7 @@ to stable example names — the analyses only depend on path *shape*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 W, L, M = "windows", "linux", "mac"
 ALL = (W, L, M)

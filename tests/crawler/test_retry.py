@@ -1,0 +1,182 @@
+"""Tests for the retry policy, virtual clock, and retrying crawler."""
+
+import pytest
+
+from repro.browser.errors import NetError, is_transient
+from repro.crawler.crawl import Crawler, CrawlStats
+from repro.crawler.retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+    VirtualClock,
+)
+from repro.crawler.vm import OSEnvironment
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.web.website import Website
+
+
+class TestErrorClassification:
+    def test_transient_errors(self):
+        for error in (
+            NetError.ERR_NAME_NOT_RESOLVED,
+            NetError.ERR_CONNECTION_RESET,
+            NetError.ERR_TIMED_OUT,
+            NetError.ERR_INTERNET_DISCONNECTED,
+        ):
+            assert is_transient(error), error
+
+    def test_permanent_errors(self):
+        for error in (
+            NetError.OK,
+            NetError.ERR_CERT_AUTHORITY_INVALID,
+            NetError.ERR_CERT_COMMON_NAME_INVALID,
+        ):
+            assert not is_transient(error), error
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+    def test_no_retry_is_disabled(self):
+        assert not NO_RETRY.enabled
+        assert DEFAULT_RETRY_POLICY.enabled
+
+    def test_should_retry_only_transient_within_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(NetError.ERR_CONNECTION_RESET, 1)
+        assert policy.should_retry(NetError.ERR_CONNECTION_RESET, 2)
+        assert not policy.should_retry(NetError.ERR_CONNECTION_RESET, 3)
+        assert not policy.should_retry(NetError.ERR_CERT_AUTHORITY_INVALID, 1)
+
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4)
+        waits = [policy.backoff_ms("example.com", a) for a in (1, 2, 3)]
+        assert waits[0] < waits[1] < waits[2]
+        again = [policy.backoff_ms("example.com", a) for a in (1, 2, 3)]
+        assert waits == again
+
+    def test_backoff_jitter_varies_by_key(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.backoff_ms("a.example", 1) != policy.backoff_ms(
+            "b.example", 1
+        )
+
+
+class TestVirtualClock:
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(100.0)
+        assert clock.advance(50.0) == 150.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+def _faulted_crawler(policy, *, rate=1.0, times=1, seed="retry-test"):
+    plan = FaultPlan(
+        seed=seed, faults=(FaultSpec(kind=FaultKind.DNS, rate=rate, times=times),)
+    )
+    return Crawler(
+        OSEnvironment.for_os("windows"),
+        retry_policy=policy,
+        injector=FaultInjector(plan=plan),
+    )
+
+
+class TestRetryingCrawler:
+    def test_transient_fault_masked_by_retry(self):
+        # rate=1.0 faults every domain; depth 2 < 3 attempts.
+        crawler = _faulted_crawler(RetryPolicy(max_attempts=3), times=2)
+        record = crawler.crawl_site(Website("flaky.example"))
+        assert record.success
+        assert record.attempts == 3
+        assert record.recovered
+        assert record.backoff_ms > 0.0
+        assert crawler.clock.now_ms == record.backoff_ms
+
+    def test_transient_fault_deeper_than_budget_fails(self):
+        crawler = _faulted_crawler(RetryPolicy(max_attempts=2), times=3)
+        record = crawler.crawl_site(Website("flaky.example"))
+        assert not record.success
+        assert record.error is NetError.ERR_NAME_NOT_RESOLVED
+        assert record.attempts == 2
+        assert not record.recovered
+
+    def test_no_retry_keeps_seed_behaviour(self):
+        crawler = _faulted_crawler(NO_RETRY, times=1)
+        record = crawler.crawl_site(Website("flaky.example"))
+        assert not record.success
+        assert record.attempts == 1
+        assert record.backoff_ms == 0.0
+
+    def test_permanent_failure_not_retried(self):
+        crawler = Crawler(
+            OSEnvironment.for_os("windows"),
+            retry_policy=RetryPolicy(max_attempts=5),
+        )
+        site = Website(
+            "blocked.example",
+            load_errors={"windows": NetError.ERR_CERT_AUTHORITY_INVALID},
+        )
+        record = crawler.crawl_site(site)
+        assert not record.success
+        assert record.attempts == 1
+
+    def test_stats_account_for_retries(self):
+        crawler = _faulted_crawler(RetryPolicy(max_attempts=3), times=2)
+        stats = CrawlStats(os_name="windows", crawl="test")
+        stats.record(crawler.crawl_site(Website("flaky.example")))
+        stats.record(
+            Crawler(OSEnvironment.for_os("windows")).crawl_site(
+                Website("steady.example")
+            )
+        )
+        assert stats.successes == 2
+        assert stats.total_attempts == 4
+        assert stats.retried == 1
+        assert stats.recovered == 1
+        assert stats.backoff_ms > 0.0
+
+
+class TestOutageWaitBudget:
+    def _crawler(self, policy, *, at_count=1, duration=1):
+        plan = FaultPlan(
+            seed="outage-test",
+            faults=(
+                FaultSpec(
+                    kind=FaultKind.OUTAGE, at_count=at_count, duration=duration
+                ),
+            ),
+        )
+        return Crawler(
+            OSEnvironment.for_os("windows"),
+            retry_policy=policy,
+            injector=FaultInjector(plan=plan),
+            check_connectivity=True,
+        )
+
+    def test_bounded_outage_waited_out(self):
+        crawler = self._crawler(RetryPolicy(max_attempts=3), duration=2)
+        record = crawler.crawl_site(Website("steady.example"))
+        assert record.success
+        assert not record.connectivity_skipped
+        assert record.backoff_ms > 0.0
+
+    def test_outage_beyond_budget_records_skip(self):
+        crawler = self._crawler(RetryPolicy(max_attempts=2), duration=50)
+        record = crawler.crawl_site(Website("steady.example"))
+        assert record.connectivity_skipped
+        assert record.error is NetError.ERR_INTERNET_DISCONNECTED
+
+    def test_no_retry_skips_immediately(self):
+        crawler = self._crawler(NO_RETRY, duration=1)
+        record = crawler.crawl_site(Website("steady.example"))
+        assert record.connectivity_skipped
+        assert record.backoff_ms == 0.0

@@ -1,0 +1,168 @@
+"""Tests for the fault injector's seam hooks."""
+
+import pytest
+
+from repro.browser.errors import NetError
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    StorageWriteError,
+)
+from repro.netlog import (
+    EventPhase,
+    EventType,
+    NetLogEvent,
+    NetLogSource,
+    ParseStats,
+    SourceType,
+    dumps,
+    loads,
+)
+
+
+def _injector(*faults, seed="inj-test"):
+    return FaultInjector(plan=FaultPlan(seed=seed, faults=tuple(faults)))
+
+
+def _faulted_key(injector, kind, keys):
+    """First key the plan selects for ``kind`` (skip the test otherwise)."""
+    for key in keys:
+        if injector.plan.fail_depth(kind, key):
+            return key
+    pytest.fail(f"plan selected no key for {kind} among {len(keys)} keys")
+
+
+KEYS = [f"host-{i}.example" for i in range(200)]
+
+
+class TestTransientSeams:
+    def test_dns_fails_then_recovers(self):
+        injector = _injector(FaultSpec(kind=FaultKind.DNS, rate=0.2, times=2))
+        host = _faulted_key(injector, FaultKind.DNS, KEYS)
+        assert injector.dns_hook(host) is NetError.ERR_NAME_NOT_RESOLVED
+        assert injector.dns_hook(host) is NetError.ERR_NAME_NOT_RESOLVED
+        # Transient depth exhausted: the name resolves from now on.
+        assert injector.dns_hook(host) is None
+        assert injector.injected[FaultKind.DNS] == 2
+
+    def test_unselected_host_never_faulted(self):
+        injector = _injector(FaultSpec(kind=FaultKind.DNS, rate=0.2, times=2))
+        clean = next(h for h in KEYS if not injector.plan.fail_depth(FaultKind.DNS, h))
+        assert all(injector.dns_hook(clean) is None for _ in range(5))
+
+    def test_connect_faults_keyed_by_host_and_port(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.CONNECTION_RESET, rate=0.2)
+        )
+        key = _faulted_key(
+            injector, FaultKind.CONNECTION_RESET, [f"{h}:80" for h in KEYS]
+        )
+        host, port = key.rsplit(":", 1)
+        assert injector.connect_hook(host, int(port)) is NetError.ERR_CONNECTION_RESET
+        assert injector.connect_hook(host, int(port)) is None
+
+    def test_tls_fault_returns_ssl_error(self):
+        injector = _injector(FaultSpec(kind=FaultKind.TLS, rate=0.2))
+        key = _faulted_key(injector, FaultKind.TLS, [f"{h}:443" for h in KEYS])
+        host, port = key.rsplit(":", 1)
+        assert injector.connect_hook(host, int(port)) is NetError.ERR_SSL_PROTOCOL_ERROR
+
+    def test_storage_hook_raises_then_recovers(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.STORAGE_WRITE, rate=0.2)
+        )
+        key = _faulted_key(injector, FaultKind.STORAGE_WRITE, KEYS)
+        with pytest.raises(StorageWriteError):
+            injector.storage_hook(key)
+        injector.storage_hook(key)  # second attempt succeeds
+
+
+class TestCounterSeams:
+    def test_outage_window_is_bounded(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.OUTAGE, at_count=3, duration=2)
+        )
+        observed = [injector.connectivity_hook() for _ in range(6)]
+        assert observed == [False, False, True, True, False, False]
+        assert injector.injected[FaultKind.OUTAGE] == 2
+
+    def test_crash_fires_exactly_once(self):
+        injector = _injector(FaultSpec(kind=FaultKind.CRASH, at_count=3))
+        injector.on_visit()
+        injector.on_visit()
+        with pytest.raises(InjectedCrashError):
+            injector.on_visit()
+        # A resumed campaign with a fresh visit counter would re-crash;
+        # the same injector past the trigger does not.
+        injector.on_visit()
+
+
+class TestNetlogSeam:
+    def _document(self):
+        events = [
+            NetLogEvent(
+                time=float(i),
+                type=EventType.URL_REQUEST_START_JOB,
+                source=NetLogSource(id=i + 1, type=SourceType.URL_REQUEST),
+                phase=EventPhase.BEGIN,
+                params={"url": "http://localhost/"},
+            )
+            for i in range(8)
+        ]
+        return dumps(events)
+
+    def test_corruption_is_salvageable(self):
+        # The injector's damage model matches what the salvage parser
+        # recovers from: corrupt end-to-end, then re-parse non-strictly.
+        injector = _injector(
+            FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5, duration=16)
+        )
+        document = self._document()
+        clean = loads(document)
+        key = _faulted_key(injector, FaultKind.NETLOG_TRUNCATION, KEYS)
+        damaged = injector.corrupt_netlog(document, key)
+        assert damaged != document
+        assert "\x00" in damaged
+        stats = ParseStats()
+        salvaged = loads(damaged, strict=False, stats=stats)
+        assert stats.truncated
+        assert salvaged == clean[: len(salvaged)]
+
+    def test_corruption_is_deterministic(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5)
+        )
+        document = self._document()
+        key = _faulted_key(injector, FaultKind.NETLOG_TRUNCATION, KEYS)
+        other = _injector(
+            FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5)
+        )
+        assert injector.corrupt_netlog(document, key) == other.corrupt_netlog(
+            document, key
+        )
+
+    def test_unscheduled_document_untouched(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5)
+        )
+        document = self._document()
+        clean_key = next(
+            k for k in KEYS
+            if not injector.plan.fail_depth(FaultKind.NETLOG_TRUNCATION, k)
+        )
+        assert injector.corrupt_netlog(document, clean_key) == document
+
+
+class TestEmptyPlan:
+    def test_noop_at_every_seam(self):
+        injector = FaultInjector()
+        assert injector.dns_hook("example.com") is None
+        assert injector.connect_hook("example.com", 443) is None
+        assert injector.connectivity_hook() is False
+        assert injector.corrupt_netlog("{}", "k") == "{}"
+        injector.storage_hook("k")
+        injector.on_visit()
+        assert injector.injected_total() == 0

@@ -12,7 +12,6 @@ from repro.core.classifier import BehaviorClassifier
 from repro.core.detector import LocalTrafficDetector
 from repro.core.signatures import BehaviorClass
 from repro.netlog import dumps, loads
-from repro.web.population import build_top_population
 
 
 class TestNetLogRoundTripPipeline:

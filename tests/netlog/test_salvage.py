@@ -1,0 +1,186 @@
+"""Salvage-mode tests: damaged NetLog documents, both parsers.
+
+A NetLog from a killed browser is damaged in predictable ways: the
+closing ``]}`` never gets written, the cut can fall mid-record, and
+filesystems pad the tail with NULs.  Non-strict parsing must recover the
+intact event prefix and account for the loss in :class:`ParseStats`;
+strict parsing must keep raising.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.netlog import (
+    EventPhase,
+    EventType,
+    NetLogEvent,
+    NetLogParseError,
+    NetLogSource,
+    NetLogTruncationError,
+    ParseStats,
+    SourceType,
+    dumps,
+    iter_events_streaming,
+    loads,
+    parse_record,
+)
+
+
+def _event(time=0.0, source_id=1, params=None):
+    return NetLogEvent(
+        time=time,
+        type=EventType.URL_REQUEST_START_JOB,
+        source=NetLogSource(id=source_id, type=SourceType.URL_REQUEST),
+        phase=EventPhase.BEGIN,
+        params=params if params is not None else {"url": "http://localhost/"},
+    )
+
+
+@pytest.fixture()
+def document():
+    return dumps([_event(time=float(i), source_id=i + 1) for i in range(10)])
+
+
+def _streaming(text, stats=None, strict=False):
+    return list(
+        iter_events_streaming(io.StringIO(text), strict=strict, stats=stats)
+    )
+
+
+class TestTruncatedDocuments:
+    """Each damage shape, against both the whole-document and streaming
+    parsers; each must recover at least the untruncated prefix."""
+
+    def test_missing_closing_brackets(self, document):
+        text = document.rstrip()
+        assert text.endswith("]}")
+        text = text[:-2]
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(text, stats)
+            assert len(events) == 10  # every record was intact
+            assert stats.truncated
+            assert stats.parsed == 10
+            assert stats.dropped == 0
+
+    def test_mid_record_truncation(self, document):
+        # Cut inside the final record: 9 intact events, 1 partial dropped.
+        text = document[: document.rfind('"source"')]
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(text, stats)
+            assert len(events) == 9
+            assert [e.time for e in events] == [float(i) for i in range(9)]
+            assert stats.truncated
+            assert stats.dropped_malformed == 1
+
+    def test_nul_padded_tail(self, document):
+        text = document[: document.rfind('"source"')] + "\x00" * 128
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(text, stats)
+            assert len(events) == 9
+            assert stats.truncated
+
+    def test_empty_events_array(self):
+        text = dumps([])
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            assert parse(text, stats) == []
+            assert not stats.truncated
+            assert not stats.damaged
+
+    def test_strict_mode_still_raises(self, document):
+        truncated = document[:-4]
+        with pytest.raises(NetLogParseError):
+            loads(truncated, strict=True)
+        with pytest.raises(NetLogTruncationError):
+            _streaming(truncated, strict=True)
+
+    def test_salvage_matches_clean_parse_prefix(self, document):
+        # The salvaged events are value-identical to the clean parse.
+        clean = loads(document)
+        salvaged = loads(document[:-4], strict=False)
+        assert salvaged == clean[: len(salvaged)]
+
+    def test_every_cut_point_recovers_a_prefix(self, document):
+        # Sweep cut positions: salvage must never raise and never invent
+        # events beyond the clean parse.
+        clean = loads(document)
+        for cut in range(0, len(document), 37):
+            stats = ParseStats()
+            salvaged = loads(document[:cut], strict=False, stats=stats)
+            assert salvaged == clean[: len(salvaged)]
+
+
+class TestNonStrictRecordHandling:
+    """strict=False skips-and-counts malformed records of every shape."""
+
+    def _doc_with(self, mutate):
+        document = json.loads(
+            dumps([_event(time=float(i), source_id=i + 1) for i in range(4)])
+        )
+        mutate(document["events"])
+        return json.dumps(document)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda events: events[1].update(time="bogus"),
+            lambda events: events[1].pop("time"),
+            lambda events: events[1].pop("source"),
+            lambda events: events[1].update(source=[1, 2]),
+            lambda events: events[1].update(source={"id": "x"}),
+            lambda events: events[1].update(params="not-a-dict"),
+            lambda events: events.__setitem__(1, "not-an-object"),
+        ],
+        ids=[
+            "bad-time",
+            "missing-time",
+            "missing-source",
+            "source-not-object",
+            "bad-source-id",
+            "params-not-object",
+            "record-not-object",
+        ],
+    )
+    def test_malformed_record_skipped_and_counted(self, mutate):
+        text = self._doc_with(mutate)
+        stats = ParseStats()
+        events = loads(text, strict=False, stats=stats)
+        assert [e.source.id for e in events] == [1, 3, 4]
+        assert stats.dropped_malformed == 1
+        assert stats.parsed == 3
+        with pytest.raises(NetLogParseError):
+            loads(text, strict=True)
+
+    def test_unknown_type_counted_separately(self):
+        record = {
+            "time": 1.0,
+            "type": 9999,
+            "source": {"id": 1, "type": 1},
+            "phase": 1,
+        }
+        stats = ParseStats()
+        assert parse_record(record, strict=False, stats=stats) is None
+        assert stats.dropped_unknown_type == 1
+        assert stats.dropped_malformed == 0
+
+    def test_in_place_corruption_streaming(self, document):
+        # A balanced-but-undecodable record desynchronises nothing: the
+        # streaming walker drops it and keeps going.
+        corrupted = document.replace('"time": 3.0', '"time": 3.#!', 1)
+        assert corrupted != document
+        stats = ParseStats()
+        events = _streaming(corrupted, stats)
+        assert len(events) == 9
+        assert stats.dropped_malformed == 1
+        assert not stats.truncated
+
+    def test_describe_mentions_damage(self, document):
+        stats = ParseStats()
+        loads(document[:-4], strict=False, stats=stats)
+        text = stats.describe()
+        assert "truncated" in text

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.netlog import EventPhase, EventType, NetLogEvent, NetLogSource, SourceType, dumps, loads
-from repro.netlog.parser import NetLogParseError
+from repro.netlog.parser import NetLogParseError, ParseStats
 from repro.netlog.streaming import count_event_types, iter_events_streaming
 
 
@@ -100,10 +100,19 @@ class TestStreamingParser:
         with pytest.raises(NetLogParseError):
             list(iter_events_streaming(io.StringIO("[1, 2]")))
 
-    def test_truncated_document_rejected(self):
+    def test_truncated_document_rejected_when_strict(self):
         text = dumps([_event()])[:-10]
         with pytest.raises(NetLogParseError):
-            list(iter_events_streaming(io.StringIO(text)))
+            list(iter_events_streaming(io.StringIO(text), strict=True))
+
+    def test_truncated_document_salvaged_by_default(self):
+        # Non-strict (the default) yields the intact prefix and stops.
+        events = [_event(time=float(i), source_id=i + 1) for i in range(5)]
+        text = dumps(events)[:-10]
+        stats = ParseStats()
+        salvaged = list(iter_events_streaming(io.StringIO(text), stats=stats))
+        assert len(salvaged) == 4
+        assert stats.truncated
 
     def test_count_event_types(self):
         events = [

@@ -8,7 +8,7 @@ from repro.browser.useragent import identity_for
 from repro.core.classifier import BehaviorClassifier
 from repro.core.detector import LocalTrafficDetector
 from repro.core.signatures import LAN_SWEEP_SIGNATURE, BehaviorClass
-from repro.web.iot import DEVICE_CATALOG, HomeNetwork, IoTDevice, typical_home_network
+from repro.web.iot import HomeNetwork, IoTDevice, typical_home_network
 from repro.web.behaviors import LanSweepBehavior
 
 ALL = frozenset({"windows", "linux", "mac"})

@@ -3,10 +3,7 @@
 from collections import Counter
 
 from repro.web import seeds as S
-from repro.web.population import (
-    build_malicious_population,
-    build_top_population,
-)
+from repro.web.population import build_top_population
 
 
 class TestTopPopulation:
