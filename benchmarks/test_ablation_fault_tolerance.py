@@ -13,7 +13,9 @@ from its checkpoint database; the merged result must again be identical.
 
 import pytest
 
+from repro.analysis import tables
 from repro.crawler.campaign import Campaign, finding_fingerprint
+from repro.crawler.executor import ExecutorConfig
 from repro.crawler.retry import RetryPolicy
 from repro.faults import FaultKind, FaultPlan, FaultSpec, InjectedCrashError
 from repro.storage.db import TelemetryStore
@@ -158,6 +160,194 @@ def test_fault_tolerance_ablation(benchmark, chaos):
     # from one that was never interrupted.
     assert _table1(resumed) == _table1(chaotic)
     assert _fingerprints(resumed) == _fingerprints(chaotic)
+
+
+# ---------------------------------------------------------------------------
+# Supervised executor: worker-count invariance under hang/slow chaos
+# ---------------------------------------------------------------------------
+
+#: Hang cancellations cost real wall-clock time (the watchdog must catch
+#: them), so the supervised ablation runs at half the chaos scale.
+SUPERVISED_SCALE = 0.005
+
+#: Short deadlines keep the bench fast; the determinism claims hold at
+#: any setting because every fault is a pure function of the visit.
+SUPERVISED_KNOBS = dict(
+    wall_deadline_s=0.15,
+    watchdog_poll_s=0.03,
+    quarantine_after=3,
+    handle_signals=False,
+)
+
+#: Allowance for thread-scheduling latency on loaded CI hosts: the
+#: watchdog's *mechanism* bounds cancellation at one poll interval past
+#: the deadline, and the assertion adds only scheduler jitter on top.
+#: Generous on purpose — a regressed watchdog (polls an order of
+#: magnitude slower, or stops rescuing at all) still blows through it.
+SCHED_SLACK_S = 0.35
+
+SUPERVISED_PLAN = FaultPlan(
+    seed="supervised-chaos",
+    faults=(
+        # The sequential chaos kinds still fire (scoped per visit) ...
+        FaultSpec(kind=FaultKind.DNS, rate=0.05, times=2),
+        # ... plus the supervised-only kinds: transient hangs the
+        # watchdog rescues and the executor re-attempts,
+        FaultSpec(kind=FaultKind.HANG, rate=0.02, times=1),
+        # deterministic failers (depth >= quarantine_after) that must be
+        # dead-lettered exactly once,
+        FaultSpec(kind=FaultKind.HANG, rate=0.005, times=10),
+        # a slow stall inside the simulated budget (ridden out),
+        FaultSpec(kind=FaultKind.SLOW, rate=0.05, duration=3_000),
+        # and one past it (20s window + 10s stall > 25s deadline; the
+        # stall is single-shot, so the re-attempt recovers).
+        FaultSpec(kind=FaultKind.SLOW, rate=0.01, duration=10_000),
+    ),
+)
+
+SUPERVISED_CRASH_PLAN = FaultPlan(
+    seed=SUPERVISED_PLAN.seed,
+    faults=SUPERVISED_PLAN.faults
+    + (FaultSpec(kind=FaultKind.CRASH, at_count=400),),
+)
+
+
+def _supervised_campaign(workers, plan, store=None):
+    return Campaign(
+        retry_policy=RETRIES,
+        fault_plan=plan,
+        store=store,
+        executor=ExecutorConfig(workers=workers, **SUPERVISED_KNOBS),
+    )
+
+
+@pytest.fixture(scope="module")
+def supervised():
+    population = build_top_population(2020, scale=SUPERVISED_SCALE)
+
+    runs = {}
+    for workers in (1, 8):
+        store = TelemetryStore(serialized=True)
+        campaign = _supervised_campaign(workers, SUPERVISED_PLAN, store)
+        result = campaign.run(population)
+        runs[workers] = {
+            "campaign": campaign,
+            "store": store,
+            "result": result,
+        }
+
+    # Crash-kill a supervised 8-worker campaign mid-run, then resume it
+    # (crash spec dropped, like a restarted operator) on the same store.
+    crash_store = TelemetryStore(serialized=True, commit_every=25)
+    crashing = _supervised_campaign(8, SUPERVISED_CRASH_PLAN, crash_store)
+    crashed_rows = None
+    try:
+        crashing.run(population)
+    except InjectedCrashError:
+        crashed_rows = len(crash_store.visits(population.name))
+    resuming = _supervised_campaign(
+        8, SUPERVISED_CRASH_PLAN.without(FaultKind.CRASH), crash_store
+    )
+    resumed = resuming.run(population, resume=True)
+
+    return {
+        "population": population,
+        "runs": runs,
+        "crashed_rows": crashed_rows,
+        "resumed": resumed,
+        "crash_store": crash_store,
+    }
+
+
+def test_supervised_worker_invariance(benchmark, supervised):
+    population = supervised["population"]
+    solo, pooled = supervised["runs"][1], supervised["runs"][8]
+
+    def render():
+        lines = ["Supervised executor ablation (hang/slow chaos plan)"]
+        lines.append(f"  {'workers':<9}{'hangs':>7}{'slow':>7}{'quarantined':>13}{'overshoot':>11}")
+        for workers, run in sorted(supervised["runs"].items()):
+            ex = run["campaign"].last_executor.stats
+            lines.append(
+                f"  {workers:<9}{ex.deadline_cancelled:>7}"
+                f"{ex.deadline_exceeded + ex.slow_ridden_out:>7}"
+                f"{ex.quarantined:>13}{ex.max_overshoot_s:>10.3f}s"
+            )
+        lines.append(
+            f"  crash after {supervised['crashed_rows']} persisted visits; "
+            f"resume found {len(supervised['resumed'].findings)} sites "
+            f"(uninterrupted: {len(pooled['result'].findings)})"
+        )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    write_artifact("ablation_supervised_executor.txt", text)
+    print("\n" + text)
+
+    # The supervised fault kinds actually fired.
+    injector = pooled["campaign"].last_injector
+    assert injector.injected.get(FaultKind.HANG, 0) > 0
+    assert injector.injected.get(FaultKind.SLOW, 0) > 0
+
+    # Worker-count invariance, down to the rendered bytes: Table 1
+    # (with its dynamic VISIT_DEADLINE column) and Table 5 agree.
+    r1, r8 = solo["result"], pooled["result"]
+    assert _table1(r1) == _table1(r8)
+    assert _fingerprints(r1) == _fingerprints(r8)
+    assert (
+        tables.table_1(list(r1.stats.values())).text
+        == tables.table_1(list(r8.stats.values())).text
+    )
+    assert tables.table_5(r1.findings).text == tables.table_5(r8.findings).text
+
+    # The watchdog held its latency bound: no cancelled visit ran more
+    # than one poll interval (plus scheduler jitter) past its deadline.
+    for run in supervised["runs"].values():
+        ex = run["campaign"].last_executor.stats
+        assert ex.deadline_cancelled > 0
+        assert ex.max_overshoot_s <= (
+            SUPERVISED_KNOBS["watchdog_poll_s"] + SCHED_SLACK_S
+        )
+
+    # Every deterministic failer — and nothing else — is dead-lettered
+    # exactly once per OS, with the configured failure count.
+    failers = SUPERVISED_PLAN.schedule(
+        FaultKind.HANG, [w.domain for w in population.websites]
+    )
+    expected = sorted(
+        (domain, os_name)
+        for domain, depth in failers.items()
+        if depth >= SUPERVISED_KNOBS["quarantine_after"]
+        for os_name in population.oses
+    )
+    assert expected, "plan selected no deterministic failers"
+    for run in supervised["runs"].values():
+        letters = run["store"].dead_letters(population.name)
+        assert sorted((l.domain, l.os_name) for l in letters) == expected
+        assert all(
+            l.failures == SUPERVISED_KNOBS["quarantine_after"] for l in letters
+        )
+
+
+def test_supervised_crash_resume_equivalence(supervised):
+    """A crash-killed 8-worker campaign resumes to the uninterrupted result."""
+    population = supervised["population"]
+    uninterrupted = supervised["runs"][8]["result"]
+    resumed = supervised["resumed"]
+    crashed_rows = supervised["crashed_rows"]
+
+    total_visits = len(population.websites) * len(population.oses)
+    assert crashed_rows is not None and 0 < crashed_rows < total_visits
+
+    assert _table1(resumed) == _table1(uninterrupted)
+    assert _fingerprints(resumed) == _fingerprints(uninterrupted)
+
+    # The dead-letter queue converged to the same set, still once each.
+    merged = supervised["crash_store"].dead_letters(population.name)
+    reference = supervised["runs"][8]["store"].dead_letters(population.name)
+    assert [
+        (l.domain, l.os_name, l.failures) for l in merged
+    ] == [(l.domain, l.os_name, l.failures) for l in reference]
 
 
 def test_fault_schedule_determinism(chaos):

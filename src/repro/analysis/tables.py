@@ -53,11 +53,26 @@ def _ports_label(ports: Iterable[int]) -> str:
 # ---------------------------------------------------------------------------
 
 def table_1(stats: Sequence[CrawlStats]) -> RenderedTable:
-    """Web crawl statistics: successes, failures, error breakdown."""
+    """Web crawl statistics: successes, failures, error breakdown.
+
+    The paper's fixed error columns always render; buckets outside them
+    (e.g. ``VISIT_DEADLINE`` from the supervised executor's watchdog)
+    appear as extra columns only when some run actually produced them,
+    so fault-free output is byte-identical to the seed's.
+    """
+    extra = sorted(
+        {
+            bucket
+            for stat in stats
+            for bucket in (stat.errors or {})
+            if bucket not in TABLE1_ERROR_COLUMNS
+        }
+    )
+    columns = TABLE1_ERROR_COLUMNS + tuple(extra)
     rows = []
     lines = [
         f"{'Crawl':<12}{'OS':<9}{'#success':>10}{'#failed':>9}  "
-        + "".join(f"{column:>18}" for column in TABLE1_ERROR_COLUMNS)
+        + "".join(f"{column:>18}" for column in columns)
     ]
     for stat in stats:
         errors = stat.errors or {}
@@ -66,14 +81,14 @@ def table_1(stats: Sequence[CrawlStats]) -> RenderedTable:
             "os": stat.os_name,
             "successes": stat.successes,
             "failures": stat.failures,
-            "errors": {column: errors.get(column, 0) for column in TABLE1_ERROR_COLUMNS},
+            "errors": {column: errors.get(column, 0) for column in columns},
         }
         rows.append(row)
         total = max(stat.total, 1)
         fail = max(stat.failures, 1)
         cells = "".join(
             f"{errors.get(column, 0):>10} ({errors.get(column, 0) / fail:>4.1%})"
-            for column in TABLE1_ERROR_COLUMNS
+            for column in columns
         )
         lines.append(
             f"{stat.crawl:<12}{stat.os_name:<9}"

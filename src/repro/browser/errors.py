@@ -28,6 +28,9 @@ class NetError(enum.IntEnum):
     ERR_CERT_AUTHORITY_INVALID = -202
     ERR_TOO_MANY_REDIRECTS = -310
     ERR_ABORTED = -3
+    #: Not a Chrome code: a visit cancelled by the crawl supervisor for
+    #: exceeding its deadline budget (simulated) or wedging (wall clock).
+    ERR_VISIT_DEADLINE = -999
 
     @property
     def failed(self) -> bool:
@@ -48,6 +51,11 @@ def table1_bucket(error: NetError) -> str:
     """Map a net error to its Table 1 column."""
     if error is NetError.ERR_NAME_NOT_RESOLVED:
         return "NAME_NOT_RESOLVED"
+    if error is NetError.ERR_VISIT_DEADLINE:
+        # Supervisor-cancelled visits get their own bucket rather than
+        # polluting "Others": they are a property of the *visit* (hang,
+        # livelock, pathological slowness), not of the site's stack.
+        return "VISIT_DEADLINE"
     if error is NetError.ERR_CONNECTION_REFUSED:
         return "CONN_REFUSED"
     if error is NetError.ERR_CONNECTION_RESET:

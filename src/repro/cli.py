@@ -84,6 +84,53 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="inject faults from this JSON plan (chaos testing)",
     )
+    study.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run visits through the supervised executor with N workers "
+        "(0 = plain sequential loop); results are identical at any N",
+    )
+    study.add_argument(
+        "--visit-deadline",
+        type=float,
+        default=25_000.0,
+        metavar="MS",
+        help="simulated per-visit budget in ms (supervised runs; must "
+        "exceed the 20s monitor window)",
+    )
+    study.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        metavar="K",
+        help="dead-letter a visit after K deadline failures (supervised runs)",
+    )
+    study.add_argument(
+        "--wall-deadline",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="wall-clock seconds before the watchdog cancels a wedged "
+        "visit attempt (supervised runs)",
+    )
+
+    deadletter = sub.add_parser(
+        "deadletter",
+        help="inspect or re-queue quarantined visits in a telemetry store",
+    )
+    dl_sub = deadletter.add_subparsers(dest="dl_command", required=True)
+    dl_list = dl_sub.add_parser("list", help="show quarantined visits")
+    dl_list.add_argument("--db", required=True, metavar="PATH")
+    dl_list.add_argument("--crawl", default=None, help="filter by crawl name")
+    dl_retry = dl_sub.add_parser(
+        "retry",
+        help="clear quarantine rows so a --resume run re-attempts them",
+    )
+    dl_retry.add_argument("--db", required=True, metavar="PATH")
+    dl_retry.add_argument("--crawl", default=None, help="filter by crawl name")
+    dl_retry.add_argument("--domain", default=None, help="filter by domain")
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 12))
@@ -174,8 +221,13 @@ def _cmd_study(
     db: str | None = None,
     resume: bool = False,
     fault_plan: str | None = None,
+    workers: int = 0,
+    visit_deadline: float = 25_000.0,
+    quarantine_after: int = 3,
+    wall_deadline: float = 5.0,
 ) -> int:
     from .crawler.campaign import Campaign
+    from .crawler.executor import CampaignInterrupted, ExecutorConfig
     from .crawler.retry import RetryPolicy
     from .faults import FaultPlan
     from .storage.db import TelemetryStore
@@ -186,32 +238,82 @@ def _cmd_study(
     if retries < 1:
         print("error: --retries must be >= 1", file=sys.stderr)
         return 2
+    if workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
     plan: FaultPlan | None = None
     if fault_plan is not None:
         try:
             with open(fault_plan) as fp:
                 plan = FaultPlan.load(fp)
-        except (OSError, ValueError, KeyError) as exc:
-            print(f"error: cannot load fault plan: {exc}", file=sys.stderr)
+        except OSError as exc:
+            print(f"error: cannot read fault plan: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            # Plan validation raises one actionable line naming the bad
+            # field/kind — show it verbatim, never a traceback.
+            print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+            return 2
+
+    supervised = workers >= 1
+    executor_config: ExecutorConfig | None = None
+    if supervised:
+        try:
+            executor_config = ExecutorConfig(
+                workers=workers,
+                visit_deadline_ms=visit_deadline,
+                quarantine_after=quarantine_after,
+                wall_deadline_s=wall_deadline,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
 
     print(f"crawling {population_name} at scale {scale:.1%} ...")
-    store = TelemetryStore(db) if db is not None else None
+    store = (
+        TelemetryStore(db, serialized=supervised, commit_every=100 if supervised else 0)
+        if db is not None
+        else None
+    )
     campaign = Campaign(
         store=store,
         retry_policy=RetryPolicy(max_attempts=retries),
         fault_plan=plan,
         # The gate only matters when outages can happen.
         check_connectivity=plan is not None,
-        checkpoint_every=100 if store is not None else 0,
+        checkpoint_every=100 if store is not None and not supervised else 0,
+        executor=executor_config,
     )
     try:
         result = campaign.run(
             _population(population_name, scale), resume=resume
         )
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except ValueError as exc:
+        # Configuration rejected at run time (e.g. a visit deadline
+        # below the monitor window, a non-serialized store).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if store is not None:
             store.commit()
+            store.close()
+
+    if supervised and campaign.last_executor is not None:
+        ex = campaign.last_executor.stats
+        print(
+            f"supervision: {ex.dispatched} visits across {workers} workers, "
+            f"{ex.deadline_cancelled} hangs cancelled, "
+            f"{ex.deadline_exceeded} over simulated budget, "
+            f"{ex.quarantined} quarantined"
+        )
+        if store is not None and ex.quarantined:
+            print(
+                "quarantined visits are parked in the dead-letter queue — "
+                "inspect with: repro deadletter list --db", db
+            )
 
     retried = sum(s.retried for s in result.stats.values())
     recovered = sum(s.recovered for s in result.stats.values())
@@ -242,6 +344,47 @@ def _cmd_study(
     ):
         print(f"  {behavior.value:<24}{count:>5}")
     return 0
+
+
+def _cmd_deadletter(
+    dl_command: str,
+    db: str,
+    *,
+    crawl: str | None = None,
+    domain: str | None = None,
+) -> int:
+    import os
+
+    from .browser.errors import NetError, table1_bucket
+    from .storage.db import TelemetryStore
+
+    if not os.path.exists(db):
+        print(f"error: no such database: {db}", file=sys.stderr)
+        return 2
+    with TelemetryStore(db) as store:
+        if dl_command == "list":
+            letters = store.dead_letters(crawl)
+            if not letters:
+                print("dead-letter queue is empty")
+                return 0
+            print(f"{'crawl':<12}{'os':<9}{'domain':<28}{'failures':>9}  reason")
+            for letter in letters:
+                try:
+                    bucket = table1_bucket(NetError(letter.error))
+                except ValueError:
+                    bucket = str(letter.error)
+                print(
+                    f"{letter.crawl:<12}{letter.os_name:<9}"
+                    f"{letter.domain:<28}{letter.failures:>9}  "
+                    f"[{bucket}] {letter.reason}"
+                )
+            return 0
+        requeued = store.requeue_dead_letters(crawl, domain)
+        print(
+            f"re-queued {requeued} visit(s); run the study again with "
+            "--resume to re-attempt them"
+        )
+        return 0
 
 
 def _cmd_table(number: int, scale: float) -> int:
@@ -381,6 +524,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             db=args.db,
             resume=args.resume,
             fault_plan=args.fault_plan,
+            workers=args.workers,
+            visit_deadline=args.visit_deadline,
+            quarantine_after=args.quarantine_after,
+            wall_deadline=args.wall_deadline,
+        )
+    if args.command == "deadletter":
+        return _cmd_deadletter(
+            args.dl_command, args.db, crawl=args.crawl,
+            domain=getattr(args, "domain", None),
         )
     if args.command == "table":
         return _cmd_table(args.number, args.scale)

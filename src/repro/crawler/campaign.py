@@ -31,11 +31,17 @@ from ..browser.errors import NetError, table1_bucket
 from ..core.classifier import BehaviorClassifier
 from ..core.detector import LocalTrafficDetector
 from ..core.report import SiteFinding
-from ..faults.injector import FaultInjector, InjectedCrashError, StorageWriteError
+from ..faults.injector import (
+    FaultInjector,
+    InjectedCrashError,
+    ScopedFaultInjector,
+    StorageWriteError,
+)
 from ..faults.plan import FaultPlan
 from ..storage.db import TelemetryStore
 from ..web.population import CrawlPopulation
 from .crawl import Crawler, CrawlRecord, CrawlStats
+from .executor import CampaignInterrupted, ExecutorConfig, SupervisedExecutor
 from .retry import NO_RETRY, RetryPolicy
 from .vm import OSEnvironment
 
@@ -48,12 +54,23 @@ class CampaignResult:
     oses: tuple[str, ...]
     stats: dict[str, CrawlStats] = field(default_factory=dict)
     findings: list[SiteFinding] = field(default_factory=list)
+    # Lazy domain → finding index: per-site lookups over a 100K-site
+    # campaign would otherwise be a quadratic linear scan.  Rebuilt
+    # whenever the findings list is replaced or its length changes.
+    _finding_index: dict[str, SiteFinding] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _finding_index_basis: list[SiteFinding] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def finding(self, domain: str) -> SiteFinding | None:
-        for finding in self.findings:
-            if finding.domain == domain:
-                return finding
-        return None
+        if self._finding_index_basis is not self.findings or len(
+            self._finding_index
+        ) != len(self.findings):
+            self._finding_index = {f.domain: f for f in self.findings}
+            self._finding_index_basis = self.findings
+        return self._finding_index.get(domain)
 
     @property
     def total_successes(self) -> int:
@@ -125,6 +142,7 @@ class Campaign:
         fault_plan: FaultPlan | None = None,
         injector: FaultInjector | None = None,
         checkpoint_every: int = 0,
+        executor: ExecutorConfig | None = None,
     ) -> None:
         self.monitor_window_ms = monitor_window_ms
         self.detector = detector
@@ -150,6 +168,14 @@ class Campaign:
         # Commit the store every N visits so a crash loses at most N rows;
         # 0 commits once per OS pass (plus once at the end).
         self.checkpoint_every = checkpoint_every
+        # Supervised parallel execution: when a config is given, visits
+        # run through a SupervisedExecutor (worker pool + watchdog +
+        # deadlines + dead-letter quarantine) instead of the sequential
+        # loop.  Results are invariant under the worker count.
+        self.executor_config = executor
+        #: The executor the most recent supervised run() used — exposes
+        #: supervision statistics (cancellations, quarantines, drains).
+        self.last_executor: SupervisedExecutor | None = None
 
     def _make_injector(self) -> FaultInjector | None:
         if self._shared_injector is not None:
@@ -180,13 +206,19 @@ class Campaign:
         result = CampaignResult(name=population.name, oses=population.oses)
         findings: dict[str, SiteFinding] = {}
         try:
-            for os_name in population.oses:
-                self._run_os(population, os_name, result, findings, injector, resume)
-                if self.store is not None:
-                    self.store.commit()
-        except InjectedCrashError:
-            # A simulated hard crash: flush what completed so a resumed
-            # campaign starts from this exact checkpoint, then propagate.
+            if self.executor_config is not None:
+                self._run_supervised(population, result, findings, injector, resume)
+            else:
+                for os_name in population.oses:
+                    self._run_os(
+                        population, os_name, result, findings, injector, resume
+                    )
+                    if self.store is not None:
+                        self.store.commit()
+        except (InjectedCrashError, CampaignInterrupted):
+            # A simulated hard crash or a graceful signal drain: flush
+            # what completed so a resumed campaign starts from this exact
+            # checkpoint, then propagate.
             if self.store is not None:
                 self.store.commit()
             raise
@@ -254,6 +286,115 @@ class Campaign:
                 and index % self.checkpoint_every == 0
             ):
                 self.store.commit()
+
+    # -- supervised (parallel) execution -----------------------------------
+
+    def _run_supervised(
+        self,
+        population: CrawlPopulation,
+        result: CampaignResult,
+        findings: dict[str, SiteFinding],
+        injector: FaultInjector | None,
+        resume: bool,
+    ) -> None:
+        """Run every OS pass through the supervised worker-pool executor.
+
+        The executor merges each pass's outcomes back in submission
+        (domain) order before they reach stats/finding folding, so the
+        result is byte-identical to a single-worker run regardless of
+        the configured worker count.
+        """
+        assert self.executor_config is not None
+        if (
+            self.store is not None
+            and self.executor_config.workers > 1
+            and not self.store.serialized
+        ):
+            raise ValueError(
+                "workers > 1 requires a TelemetryStore opened with "
+                "serialized=True (worker threads share the writer)"
+            )
+        executor = SupervisedExecutor(self.executor_config)
+        self.last_executor = executor
+        index_base = 0
+        with executor.supervise():
+            for os_name in population.oses:
+                index_base += self._run_os_supervised(
+                    population, os_name, result, findings, injector, resume,
+                    executor, index_base,
+                )
+                if self.store is not None:
+                    self.store.commit()
+
+    def _run_os_supervised(
+        self,
+        population: CrawlPopulation,
+        os_name: str,
+        result: CampaignResult,
+        findings: dict[str, SiteFinding],
+        injector: FaultInjector | None,
+        resume: bool,
+        executor: SupervisedExecutor,
+        index_base: int,
+    ) -> int:
+        """One supervised OS pass; returns how many visits it scheduled."""
+        environment = (
+            OSEnvironment.for_os(os_name, monitor_window_ms=self.monitor_window_ms)
+            if self.monitor_window_ms is not None
+            else OSEnvironment.for_os(os_name)
+        )
+        stats = CrawlStats(os_name=os_name, crawl=population.name)
+        result.stats[os_name] = stats
+
+        websites = population.websites
+        if resume:
+            done = self._restore_os(population.name, os_name, stats, findings)
+            if done:
+                websites = [w for w in websites if w.domain not in done]
+
+        def crawler_factory(scoped: ScopedFaultInjector | None) -> Crawler:
+            # Same construction as the sequential pass; the fault seams
+            # thread through the worker's per-visit-scoped injector view
+            # (its hook surface matches the base injector's).
+            return Crawler(
+                environment,
+                detector=self.detector,
+                check_connectivity=self.check_connectivity,
+                include_internal=self.include_internal,
+                retry_policy=self.retry_policy,
+                injector=scoped,
+            )
+
+        def persist(record_os: str, record: CrawlRecord) -> None:
+            self._persist(population.name, record_os, record)
+
+        def dead_letter(
+            record_os: str, record: CrawlRecord, failures: int
+        ) -> None:
+            if self.store is None:
+                return
+            self.store.record_dead_letter(
+                population.name,
+                record.domain,
+                record_os,
+                error=int(record.error),
+                failures=failures,
+                reason="visit deadline exceeded (hang or pathological page)",
+            )
+
+        outcomes = executor.run_pass(
+            os_name,
+            websites,
+            crawler_factory=crawler_factory,
+            injector=injector,
+            index_base=index_base,
+            persist=persist if self.store is not None else None,
+            dead_letter=dead_letter if self.store is not None else None,
+        )
+        for outcome in outcomes:
+            stats.record(outcome.record)
+            self._fold(outcome.record, os_name, findings, population.name)
+        return len(websites)
 
     def _restore_os(
         self,

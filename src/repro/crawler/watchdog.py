@@ -1,0 +1,190 @@
+"""Wall-clock supervision for crawl visits: heartbeats, deadlines, rescue.
+
+The paper bounds every page visit to a 20-second monitoring window but
+still lost visits to browser hangs; at campaign scale an unsupervised
+worker that wedges silently stalls the whole run.  This module is the
+executor's safety net on *real* time (the simulated clock cannot observe
+a livelocked worker — by definition it stops advancing):
+
+* each visit attempt runs under a :class:`VisitGuard` holding the
+  worker's heartbeat and a hard wall-clock deadline;
+* the :class:`Watchdog` thread polls all active guards every
+  ``poll_interval_s`` and cancels any attempt past its deadline by
+  setting its :class:`CancelToken` — cooperative code (the injected
+  ``hang`` fault's wedge loop, any long-running visit step) observes the
+  token and raises :class:`VisitCancelled`;
+* an attempt that *ignores* its cancellation for ``abandon_grace_s`` is
+  declared abandoned — the supervisor writes the visit off as a deadline
+  failure and replaces the worker, so one pathological page can never
+  wedge a campaign.
+
+Cancellation latency is bounded by construction: a cancelled visit ends
+at most one poll interval after its deadline, which is exactly what the
+chaos bench asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+from contextlib import contextmanager
+
+
+class VisitCancelled(RuntimeError):
+    """Raised inside a visit attempt when the watchdog cancelled it."""
+
+
+class CancelToken:
+    """One attempt's cancellation flag, observed cooperatively."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout_s: float) -> bool:
+        """Sleep up to ``timeout_s``; True when cancellation arrived."""
+        return self._event.wait(timeout_s)
+
+    def checkpoint(self) -> None:
+        """Raise :class:`VisitCancelled` if this attempt was cancelled."""
+        if self._event.is_set():
+            raise VisitCancelled("visit cancelled by watchdog")
+
+
+@dataclass(slots=True)
+class VisitGuard:
+    """One supervised visit attempt, as the watchdog sees it."""
+
+    worker_id: int
+    key: str
+    deadline_s: float
+    token: CancelToken
+    started: float = field(default_factory=time.monotonic)
+    last_beat: float = 0.0
+    cancelled_at: float | None = None
+    cleared: bool = False
+    abandoned: bool = False
+
+    def __post_init__(self) -> None:
+        self.last_beat = self.started
+
+    def beat(self) -> None:
+        """Worker heartbeat: proof of liveness for observability."""
+        self.last_beat = time.monotonic()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self.started
+
+
+class Watchdog:
+    """Supervises visit guards on a dedicated wall-clock thread."""
+
+    def __init__(
+        self,
+        *,
+        poll_interval_s: float = 0.05,
+        abandon_grace_s: float | None = None,
+        on_abandon: Callable[[VisitGuard], None] | None = None,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+        self.poll_interval_s = poll_interval_s
+        # Default grace: several polls — enough for any cooperative visit
+        # to notice its token, short enough that a truly wedged worker is
+        # written off quickly.
+        self.abandon_grace_s = (
+            abandon_grace_s if abandon_grace_s is not None else 5 * poll_interval_s
+        )
+        self.on_abandon = on_abandon
+        self.cancelled = 0
+        self.abandoned = 0
+        self._guards: dict[int, VisitGuard] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="crawl-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "Watchdog":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- guard registration ------------------------------------------------
+
+    @contextmanager
+    def watch(
+        self, worker_id: int, key: str, deadline_s: float, token: CancelToken
+    ) -> Iterator[VisitGuard]:
+        """Guard one visit attempt for the duration of the ``with`` block."""
+        guard = VisitGuard(
+            worker_id=worker_id, key=key, deadline_s=deadline_s, token=token
+        )
+        with self._lock:
+            self._guards[worker_id] = guard
+        try:
+            yield guard
+        finally:
+            guard.cleared = True
+            with self._lock:
+                if self._guards.get(worker_id) is guard:
+                    del self._guards[worker_id]
+
+    def active_guards(self) -> list[VisitGuard]:
+        with self._lock:
+            return list(self._guards.values())
+
+    # -- the supervision loop ----------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            self._scan()
+
+    def _scan(self) -> None:
+        now = time.monotonic()
+        for guard in self.active_guards():
+            if guard.cleared:
+                continue
+            if guard.cancelled_at is None:
+                if now - guard.started > guard.deadline_s:
+                    guard.cancelled_at = now
+                    guard.token.cancel()
+                    self.cancelled += 1
+            elif (
+                not guard.abandoned
+                and now - guard.cancelled_at > self.abandon_grace_s
+            ):
+                # The attempt ignored its cancellation: a genuine wedge.
+                guard.abandoned = True
+                self.abandoned += 1
+                if self.on_abandon is not None:
+                    self.on_abandon(guard)

@@ -14,7 +14,12 @@ resolver, network stack, connectivity checker, NetLog serialisation, and
 telemetry store.  The same plan always injects the same faults.
 """
 
-from .injector import FaultInjector, InjectedCrashError, StorageWriteError
+from .injector import (
+    FaultInjector,
+    InjectedCrashError,
+    ScopedFaultInjector,
+    StorageWriteError,
+)
 from .plan import FaultKind, FaultPlan, FaultSpec
 
 __all__ = [
@@ -23,5 +28,6 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedCrashError",
+    "ScopedFaultInjector",
     "StorageWriteError",
 ]

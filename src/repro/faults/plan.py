@@ -46,10 +46,34 @@ class FaultKind(str, enum.Enum):
     STORAGE_WRITE = "storage-write"
     #: Hard crash of the campaign process after N visits.
     CRASH = "crash"
+    #: Visit wedges in wall-clock time until the watchdog cancels it
+    #: (supervised executor only).  ``times`` is the transient depth:
+    #: how many attempts on a selected site hang before it recovers —
+    #: a depth at or above the executor's quarantine threshold makes the
+    #: site a deterministic failer that ends in the dead-letter queue.
+    HANG = "hang"
+    #: Visit stalls for ``duration`` extra *simulated* milliseconds
+    #: (supervised executor only).  A stall that pushes the visit past
+    #: its simulated deadline budget is cancelled like a hang; a smaller
+    #: one is ridden out and merely costs virtual time.
+    SLOW = "slow"
 
 
 #: Resolution of the per-key fault draw (1/10^4 rate granularity).
 _RATE_SCALE = 10_000
+
+
+def _coerce(record: dict, name: str, converter, default):
+    """Convert one spec field, naming the field in any failure."""
+    value = record.get(name, default)
+    if value is default:
+        return default
+    try:
+        return converter(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"field '{name}' must be a {converter.__name__}, got {value!r}"
+        ) from exc
 
 
 def _stable_hash(text: str) -> int:
@@ -111,20 +135,35 @@ class FaultSpec:
     @classmethod
     def from_json(cls, record: dict) -> "FaultSpec":
         if not isinstance(record, dict):
-            raise ValueError("fault spec must be an object")
+            raise ValueError(f"fault spec must be an object, got {record!r}")
+        unknown = set(record) - {"kind", "rate", "times", "duration", "at_count"}
+        if unknown:
+            raise ValueError(
+                f"fault spec has unknown field(s) {sorted(unknown)} in {record!r}"
+            )
+        if "kind" not in record:
+            raise ValueError(f"fault spec is missing 'kind' in {record!r}")
         try:
             kind = FaultKind(record["kind"])
-        except (KeyError, ValueError) as exc:
-            raise ValueError(f"unknown fault kind in {record!r}") from exc
-        return cls(
-            kind=kind,
-            rate=float(record.get("rate", 0.0)),
-            times=int(record.get("times", 1)),
-            duration=int(record.get("duration", 0)),
-            at_count=(
-                int(record["at_count"]) if record.get("at_count") is not None else None
-            ),
-        )
+        except ValueError as exc:
+            known = ", ".join(k.value for k in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {record['kind']!r} (known kinds: {known})"
+            ) from exc
+        try:
+            return cls(
+                kind=kind,
+                rate=_coerce(record, "rate", float, 0.0),
+                times=_coerce(record, "times", int, 1),
+                duration=_coerce(record, "duration", int, 0),
+                at_count=(
+                    _coerce(record, "at_count", int, None)
+                    if record.get("at_count") is not None
+                    else None
+                ),
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad {kind.value!r} fault spec: {exc}") from exc
 
 
 @dataclass(frozen=True, slots=True)
@@ -196,13 +235,19 @@ class FaultPlan:
     def from_json(cls, document: dict) -> "FaultPlan":
         if not isinstance(document, dict):
             raise ValueError("fault plan must be a JSON object")
+        seed = document.get("seed", "fault-plan")
+        if not isinstance(seed, str):
+            raise ValueError(f"fault plan field 'seed' must be a string, got {seed!r}")
         raw_faults = document.get("faults", [])
         if not isinstance(raw_faults, Sequence) or isinstance(raw_faults, str):
-            raise ValueError("fault plan 'faults' must be an array")
-        return cls(
-            seed=str(document.get("seed", "fault-plan")),
-            faults=tuple(FaultSpec.from_json(record) for record in raw_faults),
-        )
+            raise ValueError("fault plan field 'faults' must be an array")
+        faults = []
+        for position, record in enumerate(raw_faults):
+            try:
+                faults.append(FaultSpec.from_json(record))
+            except ValueError as exc:
+                raise ValueError(f"faults[{position}]: {exc}") from exc
+        return cls(seed=seed, faults=tuple(faults))
 
     @classmethod
     def loads(cls, text: str) -> "FaultPlan":

@@ -25,12 +25,13 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from typing import Callable, Iterable
 
 from ..core.addresses import Locality, RequestTarget
 from ..core.detector import DetectionResult, LocalRequest
 from ..netlog.events import NetLogEvent
-from .records import LocalRequestRow, VisitRow
+from .records import DeadLetterRow, LocalRequestRow, VisitRow
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS visits (
@@ -70,6 +71,15 @@ CREATE TABLE IF NOT EXISTS local_requests (
     method TEXT NOT NULL DEFAULT 'GET',
     initiator TEXT
 );
+CREATE TABLE IF NOT EXISTS dead_letters (
+    crawl TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    os_name TEXT NOT NULL,
+    error INTEGER NOT NULL DEFAULT 0,
+    failures INTEGER NOT NULL DEFAULT 0,
+    reason TEXT NOT NULL DEFAULT '',
+    UNIQUE (crawl, domain, os_name)
+);
 CREATE INDEX IF NOT EXISTS idx_visits_crawl ON visits(crawl, os_name);
 CREATE INDEX IF NOT EXISTS idx_local_visit ON local_requests(visit_id);
 CREATE INDEX IF NOT EXISTS idx_local_locality ON local_requests(locality);
@@ -92,19 +102,42 @@ WriteFaultHook = Callable[[str], None]
 
 
 class TelemetryStore:
-    """SQLite store for crawl telemetry."""
+    """SQLite store for crawl telemetry.
+
+    ``serialized=True`` turns on the concurrent-writer mode the
+    supervised executor needs: the connection is shared across threads
+    behind an internal writer lock, and file-backed stores switch to WAL
+    journaling so readers never block a checkpointing writer.
+
+    ``commit_every=N`` batches commits: every Nth write commits the
+    transaction (instead of the caller committing per visit), and
+    :meth:`flush` forces the tail out on drain/exit.  A crash loses at
+    most the last ``N - 1`` writes — exactly the recovery window the
+    checkpoint/resume machinery is tested against.
+    """
 
     def __init__(
         self,
         path: str = ":memory:",
         *,
         write_fault_hook: WriteFaultHook | None = None,
+        serialized: bool = False,
+        commit_every: int = 0,
     ) -> None:
-        self._conn = sqlite3.connect(path)
-        self._conn.execute("PRAGMA journal_mode=MEMORY")
+        if commit_every < 0:
+            raise ValueError("commit_every must be >= 0")
+        self._conn = sqlite3.connect(path, check_same_thread=not serialized)
+        self._lock = threading.RLock()
+        self.serialized = serialized
+        if serialized and path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        else:
+            self._conn.execute("PRAGMA journal_mode=MEMORY")
         self._conn.executescript(_SCHEMA)
         self._migrate()
         self.write_fault_hook = write_fault_hook
+        self.commit_every = commit_every
+        self._pending_writes = 0
 
     def _migrate(self) -> None:
         """Add post-seed columns to stores created by older versions."""
@@ -121,7 +154,13 @@ class TelemetryStore:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            if self.commit_every and self._pending_writes:
+                # Batched mode: a clean close flushes the tail batch; only
+                # a crash (process death, no close) loses pending writes.
+                self._conn.commit()
+                self._pending_writes = 0
+            self._conn.close()
 
     def __enter__(self) -> "TelemetryStore":
         return self
@@ -130,7 +169,22 @@ class TelemetryStore:
         self.close()
 
     def commit(self) -> None:
-        self._conn.commit()
+        with self._lock:
+            self._conn.commit()
+            self._pending_writes = 0
+
+    def flush(self) -> None:
+        """Commit any batched writes (drain/exit path for ``commit_every``)."""
+        self.commit()
+
+    def _wrote(self) -> None:
+        """Account one write; auto-commit when the batch is full."""
+        if not self.commit_every:
+            return
+        self._pending_writes += 1
+        if self._pending_writes >= self.commit_every:
+            self._conn.commit()
+            self._pending_writes = 0
 
     # -- writes --------------------------------------------------------------
 
@@ -152,6 +206,36 @@ class TelemetryStore:
         """Store one visit; returns its visit id."""
         if self.write_fault_hook is not None:
             self.write_fault_hook(f"{crawl}:{domain}:{os_name}")
+        with self._lock:
+            return self._record_visit_locked(
+                crawl,
+                domain,
+                os_name,
+                success=success,
+                error=error,
+                rank=rank,
+                category=category,
+                skipped=skipped,
+                attempts=attempts,
+                detection=detection,
+                events=events,
+            )
+
+    def _record_visit_locked(
+        self,
+        crawl: str,
+        domain: str,
+        os_name: str,
+        *,
+        success: bool,
+        error: int = 0,
+        rank: int | None = None,
+        category: str | None = None,
+        skipped: bool = False,
+        attempts: int = 1,
+        detection: DetectionResult | None = None,
+        events: Iterable[NetLogEvent] | None = None,
+    ) -> int:
         cursor = self._conn.execute(
             "INSERT OR REPLACE INTO visits "
             "(crawl, domain, os_name, success, error, rank, category, "
@@ -211,7 +295,91 @@ class TelemetryStore:
                     for request in detection.requests
                 ),
             )
+        self._wrote()
         return visit_id
+
+    # -- dead-letter queue -------------------------------------------------
+
+    def record_dead_letter(
+        self,
+        crawl: str,
+        domain: str,
+        os_name: str,
+        *,
+        error: int,
+        failures: int,
+        reason: str = "",
+    ) -> None:
+        """Park one poison visit (idempotent per (crawl, domain, OS))."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO dead_letters (crawl, domain, os_name, error, "
+                "failures, reason) VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT (crawl, domain, os_name) DO UPDATE SET "
+                "error = excluded.error, failures = excluded.failures, "
+                "reason = excluded.reason",
+                (crawl, domain, os_name, error, failures, reason),
+            )
+            self._wrote()
+
+    def dead_letters(self, crawl: str | None = None) -> list[DeadLetterRow]:
+        sql = (
+            "SELECT crawl, domain, os_name, error, failures, reason "
+            "FROM dead_letters"
+        )
+        args: list[object] = []
+        if crawl is not None:
+            sql += " WHERE crawl = ?"
+            args.append(crawl)
+        with self._lock:
+            rows = self._conn.execute(
+                sql + " ORDER BY crawl, os_name, domain", args
+            ).fetchall()
+        return [
+            DeadLetterRow(
+                crawl=row[0], domain=row[1], os_name=row[2],
+                error=row[3], failures=row[4], reason=row[5],
+            )
+            for row in rows
+        ]
+
+    def requeue_dead_letters(
+        self, crawl: str | None = None, domain: str | None = None
+    ) -> int:
+        """Clear matching dead letters so a resumed run re-attempts them.
+
+        Deletes the quarantine rows *and* their recorded visit outcomes
+        (the failure rows that make resume skip them); returns how many
+        visits were re-queued.
+        """
+        where, args = [], []
+        if crawl is not None:
+            where.append("crawl = ?")
+            args.append(crawl)
+        if domain is not None:
+            where.append("domain = ?")
+            args.append(domain)
+        clause = (" WHERE " + " AND ".join(where)) if where else ""
+        with self._lock:
+            letters = self._conn.execute(
+                f"SELECT crawl, domain, os_name FROM dead_letters{clause}", args
+            ).fetchall()
+            for letter_crawl, letter_domain, letter_os in letters:
+                self._conn.execute(
+                    "DELETE FROM local_requests WHERE visit_id IN "
+                    "(SELECT visit_id FROM visits "
+                    " WHERE crawl = ? AND domain = ? AND os_name = ?)",
+                    (letter_crawl, letter_domain, letter_os),
+                )
+                self._conn.execute(
+                    "DELETE FROM visits "
+                    "WHERE crawl = ? AND domain = ? AND os_name = ?",
+                    (letter_crawl, letter_domain, letter_os),
+                )
+            self._conn.execute(f"DELETE FROM dead_letters{clause}", args)
+            self._conn.commit()
+            self._pending_writes = 0
+        return len(letters)
 
     # -- queries ----------------------------------------------------------
 

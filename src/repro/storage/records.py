@@ -43,6 +43,24 @@ class EventRow:
 
 
 @dataclass(frozen=True, slots=True)
+class DeadLetterRow:
+    """One quarantined (crawl, domain, OS) visit.
+
+    A visit lands here when it failed non-transiently ``failures`` times
+    under supervision (deadline cancellations, persistent hangs); resume
+    loops skip it instead of re-poisoning themselves, and
+    ``repro deadletter retry`` re-queues it explicitly.
+    """
+
+    crawl: str
+    domain: str
+    os_name: str
+    error: int
+    failures: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
 class LocalRequestRow:
     """One detected locally-bound request (denormalised for fast queries)."""
 

@@ -1,0 +1,261 @@
+"""Supervised executor tests: determinism, deadlines, quarantine.
+
+Fast-by-construction: small populations, short wall deadlines, tight
+watchdog polls.  The chaos bench covers the same properties at scale.
+"""
+
+import pytest
+
+from repro.browser.errors import NetError
+from repro.crawler.campaign import Campaign, finding_fingerprint
+from repro.crawler.executor import ExecutorConfig, SupervisedExecutor
+from repro.crawler.retry import RetryPolicy
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.storage.db import TelemetryStore
+from repro.web.population import CrawlPopulation, build_top_population
+from repro.web.website import Website
+
+SCALE = 0.002
+
+#: Short wall deadlines keep hang rescues cheap in tests.
+FAST = dict(
+    wall_deadline_s=0.1,
+    watchdog_poll_s=0.02,
+    quarantine_after=3,
+    handle_signals=False,
+)
+
+
+def _population(scale=SCALE):
+    return build_top_population(2020, scale=scale)
+
+
+def _tiny_population(size=4):
+    """A few always-successful sites — hang tests pay real wall time per
+    rescue, so they run on the smallest population that still proves
+    the behaviour."""
+    return CrawlPopulation(
+        name="tiny",
+        websites=[
+            Website(domain=f"site-{i:02}.example", rank=i + 1)
+            for i in range(size)
+        ],
+        oses=("windows", "linux", "mac"),
+    )
+
+
+def _table1(result):
+    return {
+        os_name: (stats.successes, stats.failures, dict(stats.errors or {}))
+        for os_name, stats in result.stats.items()
+    }
+
+
+def _fingerprints(result):
+    return [finding_fingerprint(finding) for finding in result.findings]
+
+
+def _config(workers, **overrides):
+    return ExecutorConfig(workers=workers, **{**FAST, **overrides})
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(visit_deadline_ms=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(wall_deadline_s=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(quarantine_after=0)
+
+    def test_deadline_must_exceed_monitor_window(self):
+        campaign = Campaign(
+            executor=_config(1, visit_deadline_ms=10_000.0)
+        )
+        with pytest.raises(ValueError, match="monitor window"):
+            campaign.run(_population(scale=0.001))
+
+    def test_parallel_workers_need_serialized_store(self):
+        campaign = Campaign(
+            store=TelemetryStore(),  # serialized=False
+            executor=_config(2),
+        )
+        with pytest.raises(ValueError, match="serialized"):
+            campaign.run(_population(scale=0.001))
+
+
+class TestDeterminism:
+    def test_supervised_matches_sequential_without_faults(self):
+        population = _population()
+        sequential = Campaign().run(population)
+        supervised = Campaign(executor=_config(1)).run(population)
+        assert _table1(supervised) == _table1(sequential)
+        assert _fingerprints(supervised) == _fingerprints(sequential)
+
+    def test_results_invariant_under_worker_count(self):
+        population = _population()
+        results = [
+            Campaign(executor=_config(workers)).run(population)
+            for workers in (1, 3, 8)
+        ]
+        for other in results[1:]:
+            assert _table1(other) == _table1(results[0])
+            assert _fingerprints(other) == _fingerprints(results[0])
+
+
+class TestHangSupervision:
+    def _plan(self, times):
+        # rate=1.0 selects every site; `times` is the transient depth.
+        return FaultPlan(
+            seed="hang-test",
+            faults=(FaultSpec(kind=FaultKind.HANG, rate=1.0, times=times),),
+        )
+
+    def test_transient_hang_recovers_with_attempt_accounting(self):
+        population = _tiny_population()
+        campaign = Campaign(
+            fault_plan=self._plan(times=1), executor=_config(2)
+        )
+        result = campaign.run(population)
+        stats = campaign.last_executor.stats
+        # Every visit hung once, was cancelled, and recovered on retry.
+        assert stats.deadline_cancelled == len(population) * 3
+        assert stats.reattempts == len(population) * 3
+        assert stats.quarantined == 0
+        for os_stats in result.stats.values():
+            assert os_stats.failures == 0
+            # The absorbed hang shows up in the attempt accounting.
+            assert os_stats.total_attempts == len(population) * 2
+            assert os_stats.retried == len(population)
+
+    def test_deterministic_hang_is_quarantined_exactly_once(self):
+        population = _tiny_population()
+        store = TelemetryStore(serialized=True)
+        campaign = Campaign(
+            fault_plan=self._plan(times=10),  # deeper than quarantine_after
+            store=store,
+            executor=_config(2),
+        )
+        result = campaign.run(population)
+        stats = campaign.last_executor.stats
+        assert stats.quarantined == len(population) * 3
+        for os_stats in result.stats.values():
+            assert os_stats.successes == 0
+            assert os_stats.failures == len(population)
+            assert os_stats.errors == {"VISIT_DEADLINE": len(population)}
+        letters = store.dead_letters(population.name)
+        assert len(letters) == len(population) * 3
+        assert all(l.failures == FAST["quarantine_after"] for l in letters)
+        assert all(l.error == int(NetError.ERR_VISIT_DEADLINE) for l in letters)
+        # The stored visit rows carry the same Table 1 semantics.
+        rows = store.visits(population.name)
+        assert all(
+            not row.success and row.error == int(NetError.ERR_VISIT_DEADLINE)
+            for row in rows
+        )
+
+    def test_requeued_dead_letters_are_reattempted_on_resume(self):
+        population = _tiny_population()
+        store = TelemetryStore(serialized=True)
+        campaign = Campaign(
+            fault_plan=self._plan(times=10), store=store, executor=_config(2)
+        )
+        campaign.run(population)
+        assert store.dead_letters(population.name)
+
+        requeued = store.requeue_dead_letters(population.name)
+        assert requeued == len(population) * 3
+        assert store.dead_letters(population.name) == []
+        # With the hang gone, the resumed run re-attempts exactly the
+        # re-queued visits and they all succeed.
+        healthy = Campaign(store=store, executor=_config(2))
+        result = healthy.run(population, resume=True)
+        for os_stats in result.stats.values():
+            assert os_stats.failures == 0
+        assert healthy.last_executor.stats.dispatched == requeued
+
+
+class TestSlowSupervision:
+    def _plan(self, duration):
+        return FaultPlan(
+            seed="slow-test",
+            faults=(
+                FaultSpec(kind=FaultKind.SLOW, rate=1.0, duration=duration),
+            ),
+        )
+
+    def test_slow_within_budget_is_ridden_out(self):
+        population = _tiny_population()
+        baseline = Campaign().run(population)
+        campaign = Campaign(
+            fault_plan=self._plan(duration=3_000), executor=_config(2)
+        )
+        result = campaign.run(population)
+        stats = campaign.last_executor.stats
+        assert stats.slow_ridden_out == len(population) * 3
+        assert stats.deadline_exceeded == 0
+        # Riding out a stall costs simulated time only — results match.
+        assert _table1(result) == _table1(baseline)
+        assert _fingerprints(result) == _fingerprints(baseline)
+
+    def test_slow_past_budget_is_cancelled_then_recovers(self):
+        population = _tiny_population()
+        baseline = Campaign().run(population)
+        # 20s window + 10s stall > 25s deadline; single-shot (times=1),
+        # so the supervisor's re-attempt completes.
+        campaign = Campaign(
+            fault_plan=self._plan(duration=10_000), executor=_config(2)
+        )
+        result = campaign.run(population)
+        stats = campaign.last_executor.stats
+        assert stats.deadline_exceeded == len(population) * 3
+        assert stats.reattempts == len(population) * 3
+        assert stats.quarantined == 0
+        assert _fingerprints(result) == _fingerprints(baseline)
+
+
+class TestPassPlumbing:
+    def test_run_pass_merges_in_submission_order(self):
+        population = _tiny_population()
+        config = _config(4)
+        executor = SupervisedExecutor(config)
+        from repro.crawler.crawl import Crawler
+        from repro.crawler.vm import OSEnvironment
+
+        environment = OSEnvironment.for_os("windows")
+        with executor.supervise():
+            outcomes = executor.run_pass(
+                "windows",
+                population.websites,
+                crawler_factory=lambda scoped: Crawler(
+                    environment, injector=scoped
+                ),
+            )
+        assert [o.task.index for o in outcomes] == list(
+            range(1, len(population) + 1)
+        )
+        assert [o.task.website.domain for o in outcomes] == [
+            w.domain for w in population.websites
+        ]
+
+    def test_chaos_plan_interacts_deterministically_with_supervision(self):
+        population = _population()
+        plan = FaultPlan(
+            seed="mixed-chaos",
+            faults=(
+                FaultSpec(kind=FaultKind.DNS, rate=0.10, times=2),
+                FaultSpec(kind=FaultKind.HANG, rate=0.03, times=1),
+                FaultSpec(kind=FaultKind.SLOW, rate=0.05, duration=2_000),
+            ),
+        )
+        policy = RetryPolicy(max_attempts=4)
+        runs = [
+            Campaign(
+                retry_policy=policy, fault_plan=plan, executor=_config(workers)
+            ).run(population)
+            for workers in (1, 6)
+        ]
+        assert _table1(runs[0]) == _table1(runs[1])
+        assert _fingerprints(runs[0]) == _fingerprints(runs[1])

@@ -1,0 +1,148 @@
+"""Shutdown equivalence: a supervised campaign killed mid-run — by a
+real SIGINT, a programmatic drain, or an injected hard crash — resumes
+from its checkpoint store to results fingerprint-identical to an
+uninterrupted run, at several worker counts."""
+
+import signal
+
+import pytest
+
+from repro.crawler.campaign import Campaign, finding_fingerprint
+from repro.crawler.executor import CampaignInterrupted, ExecutorConfig
+from repro.faults import FaultKind, FaultPlan, FaultSpec, InjectedCrashError
+from repro.storage.db import TelemetryStore
+from repro.web.population import build_top_population
+
+SCALE = 0.002
+
+FAST = dict(
+    wall_deadline_s=0.1,
+    watchdog_poll_s=0.02,
+    quarantine_after=3,
+)
+
+
+def _population():
+    return build_top_population(2020, scale=SCALE)
+
+
+def _table1(result):
+    return {
+        os_name: (stats.successes, stats.failures, dict(stats.errors or {}))
+        for os_name, stats in result.stats.items()
+    }
+
+
+def _fingerprints(result):
+    return [finding_fingerprint(finding) for finding in result.findings]
+
+
+def _config(workers, handle_signals=False):
+    return ExecutorConfig(
+        workers=workers, handle_signals=handle_signals, **FAST
+    )
+
+
+def _interrupt_after(monkeypatch, visits, trigger):
+    """Arm ``trigger()`` to fire once, after the Nth persisted visit."""
+    original = TelemetryStore.record_visit
+    state = {"count": 0, "fired": False}
+
+    def counting(self, *args, **kwargs):
+        visit_id = original(self, *args, **kwargs)
+        state["count"] += 1
+        if state["count"] == visits and not state["fired"]:
+            state["fired"] = True
+            trigger()
+        return visit_id
+
+    # The wrapper is inert once fired, so it can stay installed for the
+    # resumed run (monkeypatch undoes it when the test ends).
+    monkeypatch.setattr(TelemetryStore, "record_visit", counting)
+    return state
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_drain_then_resume_matches_uninterrupted(
+    monkeypatch, workers
+):
+    """A programmatic drain request (the signal handler's effect)."""
+    population = _population()
+    uninterrupted = Campaign(executor=_config(workers)).run(population)
+
+    store = TelemetryStore(serialized=True)
+    draining = Campaign(store=store, executor=_config(workers))
+    # Request the drain from inside the run, as a delivered signal would.
+    state = _interrupt_after(
+        monkeypatch, 50, lambda: draining.last_executor.request_drain()
+    )
+    with pytest.raises(CampaignInterrupted):
+        draining.run(population)
+    assert state["fired"]
+    assert draining.last_executor.stats.drained
+
+    # The drain flushed its checkpoints: something persisted, not all.
+    persisted = len(store.visits(population.name))
+    assert 0 < persisted < len(population) * 3
+
+    resumed = Campaign(store=store, executor=_config(workers)).run(
+        population, resume=True
+    )
+    assert _table1(resumed) == _table1(uninterrupted)
+    assert _fingerprints(resumed) == _fingerprints(uninterrupted)
+    assert len(store.visits(population.name)) == len(population) * 3
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_sigint_then_resume_matches_uninterrupted(monkeypatch, workers):
+    """A real SIGINT delivered mid-run (the installed handler drains)."""
+    population = _population()
+    uninterrupted = Campaign(executor=_config(workers)).run(population)
+
+    store = TelemetryStore(serialized=True)
+    state = _interrupt_after(
+        monkeypatch, 50, lambda: signal.raise_signal(signal.SIGINT)
+    )
+    before = signal.getsignal(signal.SIGINT)
+    with pytest.raises(CampaignInterrupted):
+        Campaign(
+            store=store, executor=_config(workers, handle_signals=True)
+        ).run(population)
+    assert state["fired"]
+    # supervise() restored the previous SIGINT disposition on exit.
+    assert signal.getsignal(signal.SIGINT) is before
+
+    resumed = Campaign(store=store, executor=_config(workers)).run(
+        population, resume=True
+    )
+    assert _table1(resumed) == _table1(uninterrupted)
+    assert _fingerprints(resumed) == _fingerprints(uninterrupted)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_injected_crash_then_resume_matches_uninterrupted(workers):
+    """A scheduled hard crash partway into the second OS pass."""
+    population = _population()
+    crash_at = len(population) + 5
+    plan = FaultPlan(
+        seed="shutdown-test",
+        faults=(FaultSpec(kind=FaultKind.CRASH, at_count=crash_at),),
+    )
+    uninterrupted = Campaign(executor=_config(workers)).run(population)
+
+    store = TelemetryStore(serialized=True)
+    with pytest.raises(InjectedCrashError):
+        Campaign(
+            fault_plan=plan, store=store, executor=_config(workers)
+        ).run(population)
+    # The crashed visit itself left no trace (it was never dispatched).
+    assert len(store.visits(population.name)) == crash_at - 1
+
+    resumed = Campaign(
+        fault_plan=plan.without(FaultKind.CRASH),
+        store=store,
+        executor=_config(workers),
+    ).run(population, resume=True)
+    assert _table1(resumed) == _table1(uninterrupted)
+    assert _fingerprints(resumed) == _fingerprints(uninterrupted)
+    assert len(store.visits(population.name)) == len(population) * 3

@@ -1,0 +1,87 @@
+"""Watchdog unit tests: cancellation latency, abandonment, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.crawler.watchdog import CancelToken, VisitCancelled, Watchdog
+
+
+def test_cancel_token_checkpoint():
+    token = CancelToken()
+    token.checkpoint()  # not cancelled: no-op
+    assert not token.cancelled
+    token.cancel()
+    assert token.cancelled
+    with pytest.raises(VisitCancelled):
+        token.checkpoint()
+
+
+def test_watchdog_cancels_past_deadline():
+    token = CancelToken()
+    with Watchdog(poll_interval_s=0.01) as watchdog:
+        with watchdog.watch(0, "windows:example.com", 0.05, token):
+            # Wait cooperatively, like the executor's hang wedge does.
+            started = time.monotonic()
+            assert token.wait(2.0), "watchdog never cancelled the visit"
+            elapsed = time.monotonic() - started
+        # Cancelled after the deadline, within about one poll interval
+        # (generous slack for slow CI hosts).
+        assert 0.05 <= elapsed < 0.5
+        assert watchdog.cancelled == 1
+        assert watchdog.abandoned == 0
+
+
+def test_watchdog_ignores_cleared_guards():
+    token = CancelToken()
+    with Watchdog(poll_interval_s=0.01) as watchdog:
+        with watchdog.watch(0, "windows:fast.example", 10.0, token):
+            pass  # attempt finished well inside its deadline
+        time.sleep(0.05)
+        assert watchdog.cancelled == 0
+        assert not token.cancelled
+
+
+def test_watchdog_abandons_uncooperative_visit():
+    abandoned = []
+    done = threading.Event()
+
+    def uncooperative(token: CancelToken, watchdog: Watchdog) -> None:
+        with watchdog.watch(7, "linux:wedged.example", 0.02, token):
+            # Ignore the cancellation entirely — a true wedge.
+            while not done.wait(0.005):
+                pass
+
+    token = CancelToken()
+    with Watchdog(
+        poll_interval_s=0.01,
+        abandon_grace_s=0.05,
+        on_abandon=lambda guard: (abandoned.append(guard), done.set()),
+    ) as watchdog:
+        thread = threading.Thread(
+            target=uncooperative, args=(token, watchdog), daemon=True
+        )
+        thread.start()
+        assert done.wait(5.0), "watchdog never abandoned the wedged visit"
+        thread.join(timeout=5.0)
+        assert watchdog.cancelled == 1
+        assert watchdog.abandoned == 1
+    (guard,) = abandoned
+    assert guard.worker_id == 7
+    assert guard.abandoned
+    assert token.cancelled
+
+
+def test_watchdog_start_stop_idempotent():
+    watchdog = Watchdog(poll_interval_s=0.01)
+    watchdog.start()
+    watchdog.start()  # second start is a no-op
+    watchdog.stop()
+    watchdog.stop()  # second stop is a no-op
+    assert watchdog.active_guards() == []
+
+
+def test_watchdog_rejects_bad_poll_interval():
+    with pytest.raises(ValueError):
+        Watchdog(poll_interval_s=0.0)

@@ -100,3 +100,69 @@ class TestSerialisation:
     def test_loads_rejects_non_object(self):
         with pytest.raises(ValueError):
             FaultPlan.loads("[1, 2]")
+
+
+class TestPlanValidationErrors:
+    """`repro study --fault-plan` surfaces these verbatim — each must be
+    a single actionable line naming the offending field or kind."""
+
+    def _error(self, text):
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.loads(text)
+        message = str(excinfo.value)
+        assert "\n" not in message, "error must be one line"
+        return message
+
+    def test_unknown_kind_lists_known_kinds(self):
+        message = self._error(
+            '{"seed": "x", "faults": [{"kind": "wedge"}]}'
+        )
+        assert "faults[0]" in message
+        assert "'wedge'" in message
+        assert "hang" in message and "slow" in message  # known kinds listed
+
+    def test_missing_kind_named(self):
+        message = self._error('{"faults": [{"rate": 0.5}]}')
+        assert "missing 'kind'" in message
+
+    def test_unknown_field_named(self):
+        message = self._error(
+            '{"faults": [{"kind": "dns", "rte": 0.5}]}'
+        )
+        assert "rte" in message
+
+    def test_non_numeric_rate_names_field(self):
+        message = self._error(
+            '{"faults": [{"kind": "dns", "rate": "lots"}]}'
+        )
+        assert "'rate'" in message and "'lots'" in message
+
+    def test_out_of_range_value_names_kind(self):
+        message = self._error(
+            '{"faults": [{"kind": "hang", "rate": 3.5}]}'
+        )
+        assert "bad 'hang' fault spec" in message
+
+    def test_position_identifies_bad_spec(self):
+        message = self._error(
+            '{"faults": [{"kind": "dns"}, {"kind": "slow", "times": 0}]}'
+        )
+        assert message.startswith("faults[1]")
+
+    def test_non_string_seed_rejected(self):
+        message = self._error('{"seed": 7, "faults": []}')
+        assert "'seed'" in message
+
+    def test_non_array_faults_rejected(self):
+        message = self._error('{"faults": {"kind": "dns"}}')
+        assert "'faults'" in message
+
+    def test_hang_and_slow_round_trip(self):
+        plan = FaultPlan(
+            seed="supervised",
+            faults=(
+                FaultSpec(kind=FaultKind.HANG, rate=0.02, times=5),
+                FaultSpec(kind=FaultKind.SLOW, rate=0.05, duration=3000),
+            ),
+        )
+        assert FaultPlan.loads(plan.dumps()) == plan

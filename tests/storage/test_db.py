@@ -126,3 +126,164 @@ class TestEndToEndStorage:
                 if f.has_localhost_activity
             }
             assert set(domains) == expected
+
+
+class TestDeadLetters:
+    def test_record_and_list_ordering(self):
+        with TelemetryStore() as store:
+            store.record_dead_letter(
+                "c", "b.example", "mac", error=-999, failures=3, reason="hang"
+            )
+            store.record_dead_letter(
+                "c", "a.example", "linux", error=-999, failures=3, reason="hang"
+            )
+            letters = store.dead_letters("c")
+            assert [(l.domain, l.os_name) for l in letters] == [
+                ("a.example", "linux"),
+                ("b.example", "mac"),
+            ]
+            assert all(l.error == -999 and l.failures == 3 for l in letters)
+
+    def test_upsert_is_idempotent(self):
+        with TelemetryStore() as store:
+            for failures in (3, 5):
+                store.record_dead_letter(
+                    "c", "a.example", "mac", error=-999, failures=failures
+                )
+            (letter,) = store.dead_letters()
+            assert letter.failures == 5  # last write wins, still one row
+
+    def test_crawl_filter(self):
+        with TelemetryStore() as store:
+            store.record_dead_letter("c1", "a.example", "mac", error=-999, failures=3)
+            store.record_dead_letter("c2", "b.example", "mac", error=-999, failures=3)
+            assert [l.crawl for l in store.dead_letters("c1")] == ["c1"]
+            assert len(store.dead_letters()) == 2
+
+    def test_requeue_clears_letters_and_visit_rows(self):
+        with TelemetryStore() as store:
+            store.record_visit("c", "a.example", "mac", success=False, error=-999)
+            store.record_visit("c", "b.example", "mac", success=True)
+            store.record_dead_letter("c", "a.example", "mac", error=-999, failures=3)
+            assert store.requeue_dead_letters("c") == 1
+            assert store.dead_letters() == []
+            # The quarantined visit row is gone (resume will re-attempt
+            # it); unrelated rows survive.
+            assert [row.domain for row in store.visits("c")] == ["b.example"]
+
+    def test_requeue_domain_filter(self):
+        with TelemetryStore() as store:
+            for domain in ("a.example", "b.example"):
+                store.record_dead_letter("c", domain, "mac", error=-999, failures=3)
+            assert store.requeue_dead_letters("c", domain="a.example") == 1
+            assert [l.domain for l in store.dead_letters()] == ["b.example"]
+
+
+class TestBatchedCommits:
+    def _fill(self, store, count):
+        for index in range(count):
+            store.record_visit(
+                "c", f"site-{index:03}.example", "mac", success=True
+            )
+
+    def test_crash_loses_at_most_one_batch(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        store = TelemetryStore(path, commit_every=10)
+        self._fill(store, 27)
+        # Simulate a crash: a second reader sees only committed batches —
+        # 20 of the 27 rows (the open transaction's tail is invisible).
+        with TelemetryStore(path) as reader:
+            assert reader.visit_count("c") == 20
+        # A graceful flush makes the tail durable.
+        store.flush()
+        with TelemetryStore(path) as reader:
+            assert reader.visit_count("c") == 27
+        store.close()
+
+    def test_close_flushes_tail_batch(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        with TelemetryStore(path, commit_every=10) as store:
+            self._fill(store, 7)
+        with TelemetryStore(path) as reader:
+            assert reader.visit_count("c") == 7
+
+    def test_resume_from_crash_point_recovers(self, tmp_path):
+        """The crash-point recovery loop: crash mid-batch, reopen, and
+        the re-written rows land exactly once (UPSERT semantics)."""
+        path = str(tmp_path / "telemetry.db")
+        store = TelemetryStore(path, commit_every=10)
+        self._fill(store, 27)
+        del store  # crash: no close, no flush — rows 21..27 are lost
+        import gc
+
+        gc.collect()  # make the dropped connection release its lock now
+
+        recovered = TelemetryStore(path, commit_every=10)
+        assert recovered.visit_count("c") == 20
+        # A resumed campaign re-records everything past the checkpoint.
+        for index in range(20, 27):
+            recovered.record_visit(
+                "c", f"site-{index:03}.example", "mac", success=True
+            )
+        recovered.flush()
+        assert recovered.visit_count("c") == 27
+        rows = recovered.visits("c")
+        assert len({row.domain for row in rows}) == 27  # no duplicates
+        recovered.close()
+
+
+class TestSerializedMode:
+    def test_concurrent_writers(self):
+        import threading
+
+        store = TelemetryStore(serialized=True)
+        errors = []
+
+        def write(worker):
+            try:
+                for index in range(25):
+                    store.record_visit(
+                        "c",
+                        f"w{worker}-site-{index:02}.example",
+                        "mac",
+                        success=True,
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(worker,)) for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.visit_count("c") == 100
+        store.close()
+
+    def test_file_store_uses_wal(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        store = TelemetryStore(path, serialized=True)
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+    def test_unserialized_store_rejects_cross_thread_use(self):
+        import threading
+
+        store = TelemetryStore()
+        outcome = {}
+
+        def write():
+            try:
+                store.record_visit("c", "a.example", "mac", success=True)
+                outcome["error"] = None
+            except Exception as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        thread.join()
+        assert outcome["error"] is not None  # sqlite guards the misuse
+        store.close()

@@ -102,3 +102,120 @@ class TestFigureCommand:
     def test_figure5(self, capsys):
         assert main(["figure", "5", "--scale", "0.002"]) == 0
         assert "seconds to first request" in capsys.readouterr().out
+
+
+class TestStudySupervised:
+    def test_workers_flag_runs_supervised(self, capsys):
+        assert main(["study", "--scale", "0.001", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "supervision:" in out
+        assert "2 workers" in out
+
+    def test_sequential_run_prints_no_supervision(self, capsys):
+        assert main(["study", "--scale", "0.001"]) == 0
+        assert "supervision:" not in capsys.readouterr().out
+
+    def test_visit_deadline_below_window_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "study", "--scale", "0.001", "--workers", "2",
+                    "--visit-deadline", "1000",
+                ]
+            )
+            != 0
+        )
+        err = capsys.readouterr().err
+        assert "monitor window" in err
+
+    def test_negative_workers_rejected(self, capsys):
+        assert main(["study", "--scale", "0.001", "--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestFaultPlanErrors:
+    def _run(self, tmp_path, capsys, text):
+        path = tmp_path / "plan.json"
+        path.write_text(text)
+        code = main(
+            ["study", "--scale", "0.001", "--fault-plan", str(path)]
+        )
+        return code, capsys.readouterr().err
+
+    def test_unknown_kind_is_one_clear_line(self, tmp_path, capsys):
+        code, err = self._run(
+            tmp_path, capsys, '{"seed": "x", "faults": [{"kind": "wedge"}]}'
+        )
+        assert code == 2
+        assert err.startswith("error: invalid fault plan: faults[0]")
+        assert "wedge" in err and "known kinds" in err
+        assert "Traceback" not in err
+
+    def test_bad_field_named(self, tmp_path, capsys):
+        code, err = self._run(
+            tmp_path,
+            capsys,
+            '{"faults": [{"kind": "dns", "rate": "lots"}]}',
+        )
+        assert code == 2
+        assert "'rate'" in err and "Traceback" not in err
+
+    def test_invalid_json_reported(self, tmp_path, capsys):
+        code, err = self._run(tmp_path, capsys, "{not json")
+        assert code == 2
+        assert "invalid fault plan" in err
+
+    def test_missing_file_reported(self, tmp_path, capsys):
+        code = main(
+            [
+                "study", "--scale", "0.001",
+                "--fault-plan", "/nonexistent/plan.json",
+            ]
+        )
+        assert code == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+
+class TestDeadletterCommand:
+    def _quarantine_db(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        plan = tmp_path / "plan.json"
+        # Seed chosen so the rate selects exactly one domain at this
+        # scale; hangs cost real wall time, so keep the set tiny and the
+        # wall deadline short.
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": "cli-dl-2",
+                    "faults": [{"kind": "hang", "rate": 0.02, "times": 10}],
+                }
+            )
+        )
+        code = main(
+            [
+                "study", "--scale", "0.0001", "--workers", "2",
+                "--wall-deadline", "0.15",
+                "--fault-plan", str(plan), "--db", path,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_list_and_retry_round_trip(self, tmp_path, capsys):
+        path = self._quarantine_db(tmp_path)
+        capsys.readouterr()
+
+        assert main(["deadletter", "list", "--db", path]) == 0
+        out = capsys.readouterr().out
+        assert "VISIT_DEADLINE" in out
+
+        assert main(["deadletter", "retry", "--db", path]) == 0
+        assert "re-queued" in capsys.readouterr().out
+
+        assert main(["deadletter", "list", "--db", path]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_missing_db_rejected(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.db")
+        assert main(["deadletter", "list", "--db", missing]) == 2
+        assert "no such database" in capsys.readouterr().err
