@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-quick report validate examples clean
+# Campaign artefacts audited by `make fsck` (override on the command line).
+DB ?= crawl.db
+NETLOG_DIR ?= netlogs
+
+.PHONY: install test lint bench bench-quick report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +28,9 @@ report:
 
 validate:
 	$(PYTHON) -m repro.cli validate
+
+fsck:             ## audit campaign data integrity (make fsck DB=crawl.db NETLOG_DIR=netlogs)
+	$(PYTHON) -m repro.cli fsck --db $(DB) $(if $(wildcard $(NETLOG_DIR)),--netlog-dir $(NETLOG_DIR))
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done

@@ -1,0 +1,229 @@
+"""Chaos bench: injected corruption vs. the end-to-end integrity subsystem.
+
+PR 1's chaos bench proved transient *failures* retry away; this one
+proves *corruption* cannot hide.  A seeded plan tears holes in archived
+NetLogs, silently flips digits inside them (damage that stays valid
+JSON, invisible without checksums), and exhausts disk space under
+archive writes; on top of that the telemetry database suffers direct
+bit-rot.  ``repro fsck`` must then (a) detect every single injected
+corruption — no more, no less — and (b) repair them through its tiered
+ladder until the campaign digest is byte-identical to a fault-free run.
+"""
+
+import pytest
+
+from repro.analysis.validate import integrity_scorecard
+from repro.crawler.campaign import Campaign, finding_fingerprint
+from repro.crawler.retry import RetryPolicy
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.netlog import NetLogArchive
+from repro.storage.db import TelemetryStore
+from repro.storage.integrity import (
+    FsckKind,
+    campaign_digest,
+    fsck,
+    population_revisiter,
+)
+from repro.web.population import build_top_population
+
+from .conftest import write_artifact
+
+CHAOS_SCALE = 0.01
+
+RETRIES = RetryPolicy(max_attempts=4)
+
+#: ``disk-full`` depth deliberately exceeds the retry budget, so selected
+#: archive writes fail permanently and leave holes for fsck to find.
+INTEGRITY_PLAN = FaultPlan(
+    seed="integrity-bench",
+    faults=(
+        FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.05, duration=48),
+        FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.05),
+        FaultSpec(kind=FaultKind.DISK_FULL, rate=0.03, times=8),
+    ),
+)
+
+#: Database rows to bit-rot directly (beyond the archive-side plan).
+DB_ROT_ROWS = 8
+
+
+def _active_visits(store, crawl):
+    """(domain, os) of every successful, unskipped visit."""
+    return {
+        (row[0], row[1])
+        for row in store.connection.execute(
+            "SELECT domain, os_name FROM visits "
+            "WHERE crawl = ? AND success = 1 AND skipped = 0",
+            (crawl,),
+        )
+    }
+
+
+def _found(report, kind):
+    return {(f.domain, f.os_name) for f in report.findings_of(kind)}
+
+
+@pytest.fixture(scope="module")
+def integrity(tmp_path_factory):
+    population = build_top_population(2020, scale=CHAOS_SCALE)
+
+    # Fault-free reference run, archived and persisted.
+    clean_root = tmp_path_factory.mktemp("integrity-clean")
+    clean_store = TelemetryStore(str(clean_root / "telemetry.db"))
+    clean_archive = NetLogArchive(clean_root / "netlogs")
+    clean_result = Campaign(
+        store=clean_store, netlog_archive=clean_archive
+    ).run(population)
+    clean_store.commit()
+
+    # The same campaign under the corruption plan.
+    chaos_root = tmp_path_factory.mktemp("integrity-chaos")
+    store = TelemetryStore(str(chaos_root / "telemetry.db"))
+    archive = NetLogArchive(chaos_root / "netlogs")
+    campaign = Campaign(
+        store=store,
+        netlog_archive=archive,
+        fault_plan=INTEGRITY_PLAN,
+        retry_policy=RETRIES,
+    )
+    result = campaign.run(population)
+    store.commit()
+
+    # Direct database bit-rot on a sample of healthy rows.
+    rotted = store.connection.execute(
+        "SELECT visit_id, domain, os_name FROM visits "
+        "WHERE crawl = ? AND success = 1 AND skipped = 0 "
+        "ORDER BY visit_id LIMIT ?",
+        (population.name, DB_ROT_ROWS),
+    ).fetchall()
+    for visit_id, _, _ in rotted:
+        store.connection.execute(
+            "UPDATE visits SET page_load_time = "
+            "COALESCE(page_load_time, 0) + 3 WHERE visit_id = ?",
+            (visit_id,),
+        )
+    store.commit()
+
+    detected = fsck(store, archive)
+    repaired = fsck(
+        store,
+        archive,
+        repair=True,
+        revisit=population_revisiter(population, store, archive),
+    )
+    rescan = fsck(store, archive)
+
+    return {
+        "population": population,
+        "clean_store": clean_store,
+        "clean_result": clean_result,
+        "store": store,
+        "result": result,
+        "campaign": campaign,
+        "rotted": {(domain, os_name) for _, domain, os_name in rotted},
+        "detected": detected,
+        "repaired": repaired,
+        "rescan": rescan,
+    }
+
+
+def test_integrity_ablation(benchmark, integrity):
+    population = integrity["population"]
+    store, clean_store = integrity["store"], integrity["clean_store"]
+    campaign = integrity["campaign"]
+    detected, repaired = integrity["detected"], integrity["repaired"]
+    injector = campaign.last_injector
+
+    def render():
+        lines = ["Integrity ablation (corruption plan vs. fault-free run)"]
+        injected = ", ".join(
+            f"{kind.value}={count}"
+            for kind, count in sorted(
+                injector.injected.items(), key=lambda kv: kv[0].value
+            )
+        )
+        lines.append(f"  injected: {injected}")
+        lines.append(
+            f"  archive writes abandoned to disk-full: "
+            f"{campaign.archive_failures}"
+        )
+        by_kind = {}
+        for finding in detected.findings:
+            by_kind[finding.kind.value] = by_kind.get(finding.kind.value, 0) + 1
+        lines.append(
+            "  detected: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        )
+        tiers = {}
+        for finding in repaired.findings:
+            tiers[finding.repair_tier] = tiers.get(finding.repair_tier, 0) + 1
+        lines.append(
+            "  repaired: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(tiers.items()))
+        )
+        lines.append(
+            f"  campaign digest: {campaign_digest(store, population.name)}"
+        )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    write_artifact("ablation_integrity.txt", text)
+    print("\n" + text)
+
+    # Every corruption kind actually fired.
+    for kind in (FaultKind.TORN_WRITE, FaultKind.BIT_FLIP, FaultKind.DISK_FULL):
+        assert injector.injected.get(kind, 0) > 0, kind
+    assert campaign.archive_failures > 0
+
+    # --- detection: 100% of injected corruptions, and nothing else ---
+    active = _active_visits(store, population.name)
+    qualified = {
+        (domain, os_name): f"{population.name}:{os_name}:{domain}"
+        for domain, os_name in active
+    }
+    keys = list(qualified.values())
+    scheduled_missing = {
+        visit
+        for visit, key in qualified.items()
+        if INTEGRITY_PLAN.schedule(FaultKind.DISK_FULL, [key])
+    }
+    scheduled_damage = {
+        visit
+        for visit, key in qualified.items()
+        if (
+            INTEGRITY_PLAN.schedule(FaultKind.TORN_WRITE, [key])
+            or INTEGRITY_PLAN.schedule(FaultKind.BIT_FLIP, [key])
+        )
+    } - scheduled_missing
+    assert scheduled_damage and scheduled_missing, "plan injected nothing"
+    assert _found(detected, FsckKind.ARCHIVE_DAMAGE) == scheduled_damage
+    assert _found(detected, FsckKind.MISSING_ARCHIVE) == scheduled_missing
+    assert _found(detected, FsckKind.DIGEST_MISMATCH) == integrity["rotted"]
+    assert keys  # the scan covered the campaign
+
+    # --- repair: every finding resolved, nothing left behind ---
+    assert repaired.ok and repaired.unrepaired == 0
+    assert integrity["rescan"].clean
+    assert integrity_scorecard(repaired).all_passed
+
+    # --- equivalence: the repaired store is byte-identical to fault-free ---
+    assert campaign_digest(store, population.name) == campaign_digest(
+        clean_store, population.name
+    )
+    assert [
+        finding_fingerprint(f) for f in integrity["result"].findings
+    ] == [finding_fingerprint(f) for f in integrity["clean_result"].findings]
+
+
+def test_integrity_plan_round_trip(integrity):
+    """The corruption plan survives JSON serialisation bit-for-bit."""
+    round_tripped = FaultPlan.loads(INTEGRITY_PLAN.dumps())
+    assert round_tripped == INTEGRITY_PLAN
+    keys = [
+        f"{integrity['population'].name}:windows:{w.domain}"
+        for w in integrity["population"].websites
+    ]
+    for kind in (FaultKind.TORN_WRITE, FaultKind.BIT_FLIP, FaultKind.DISK_FULL):
+        assert round_tripped.schedule(kind, keys) == INTEGRITY_PLAN.schedule(
+            kind, keys
+        )

@@ -196,6 +196,31 @@ def validate_malicious(result: CampaignResult) -> Scorecard:
     return card
 
 
+def integrity_scorecard(report) -> Scorecard:
+    """Score an :class:`~repro.storage.integrity.FsckReport`.
+
+    Turns the fsck result into the same pass/fail scorecard shape as the
+    paper-number validators, so CI and downstream users can gate on data
+    integrity with the machinery they already use for measurement
+    fidelity: no finding may remain unrepaired, and a repaired store must
+    carry a campaign digest for every crawl it holds.
+    """
+    card = Scorecard()
+    card.add(
+        "unrepaired integrity findings",
+        0,
+        report.unrepaired,
+        note="fsck repair ladder must leave nothing damaged",
+    )
+    card.add(
+        "campaign digests emitted",
+        len(report.campaign_digests),
+        sum(1 for digest in report.campaign_digests.values() if digest),
+        note="fingerprint-equivalence proof per crawl",
+    )
+    return card
+
+
 #: Validators by campaign name, for generic runners.
 VALIDATORS: dict[str, Callable[[CampaignResult], Scorecard]] = {
     "top2020": validate_top2020,

@@ -10,6 +10,10 @@ Four subcommands:
     Run a measurement campaign and print the RQ1/RQ2/RQ3 headline
     numbers.
 
+``repro fsck --db PATH [--netlog-dir DIR] [--repair]``
+    Audit a campaign database (and its NetLog archive) for at-rest
+    corruption; with ``--repair``, apply tiered self-repair.
+
 ``repro table N [--scale S]``
     Regenerate paper Table N (1–11).
 
@@ -79,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip (OS, domain) pairs already recorded in --db",
     )
     study.add_argument(
+        "--netlog-dir",
+        default=None,
+        metavar="DIR",
+        help="archive every visit's NetLog as a checksummed document "
+        "under this directory (enables tier-1 fsck repair)",
+    )
+    study.add_argument(
         "--fault-plan",
         default=None,
         metavar="PATH",
@@ -131,6 +142,38 @@ def _build_parser() -> argparse.ArgumentParser:
     dl_retry.add_argument("--db", required=True, metavar="PATH")
     dl_retry.add_argument("--crawl", default=None, help="filter by crawl name")
     dl_retry.add_argument("--domain", default=None, help="filter by domain")
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="audit (and repair) a campaign database + NetLog archive",
+    )
+    fsck.add_argument("--db", required=True, metavar="PATH")
+    fsck.add_argument(
+        "--netlog-dir",
+        default=None,
+        metavar="DIR",
+        help="the NetLog archive the campaign wrote (enables archive "
+        "auditing and tier-1 re-parse repair)",
+    )
+    fsck.add_argument("--crawl", default=None, help="audit one crawl only")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="apply tiered repair (re-parse → re-visit → quarantine) "
+        "instead of only reporting",
+    )
+    fsck.add_argument(
+        "--population",
+        choices=("top2020", "top2021", "malicious"),
+        default=None,
+        help="population to re-visit damaged domains from (tier-2 repair)",
+    )
+    fsck.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 12))
@@ -220,6 +263,7 @@ def _cmd_study(
     retries: int = 1,
     db: str | None = None,
     resume: bool = False,
+    netlog_dir: str | None = None,
     fault_plan: str | None = None,
     workers: int = 0,
     visit_deadline: float = 25_000.0,
@@ -230,6 +274,7 @@ def _cmd_study(
     from .crawler.executor import CampaignInterrupted, ExecutorConfig
     from .crawler.retry import RetryPolicy
     from .faults import FaultPlan
+    from .netlog.archive import NetLogArchive
     from .storage.db import TelemetryStore
 
     if resume and db is None:
@@ -283,6 +328,9 @@ def _cmd_study(
         check_connectivity=plan is not None,
         checkpoint_every=100 if store is not None and not supervised else 0,
         executor=executor_config,
+        netlog_archive=(
+            NetLogArchive(netlog_dir) if netlog_dir is not None else None
+        ),
     )
     try:
         result = campaign.run(
@@ -322,6 +370,12 @@ def _cmd_study(
         print(
             f"resilience: {retried} visits retried, "
             f"{recovered} recovered, {skipped} skipped on connectivity"
+        )
+    if campaign.archive_failures:
+        print(
+            f"warning: {campaign.archive_failures} NetLog document(s) lost "
+            "to disk-full faults — audit with: repro fsck --db ... "
+            f"--netlog-dir {netlog_dir}"
         )
     injector = campaign.last_injector
     if injector is not None and injector.injected_total():
@@ -379,11 +433,67 @@ def _cmd_deadletter(
                     f"[{bucket}] {letter.reason}"
                 )
             return 0
+        if not store.dead_letters(crawl):
+            # Empty queue is a success, not an error: there is simply
+            # nothing to re-attempt.
+            print("dead-letter queue is empty — nothing to retry")
+            return 0
         requeued = store.requeue_dead_letters(crawl, domain)
+        if requeued == 0:
+            print("no quarantined visits match the given filters")
+            return 0
         print(
             f"re-queued {requeued} visit(s); run the study again with "
             "--resume to re-attempt them"
         )
+        return 0
+
+
+def _cmd_fsck(
+    db: str,
+    *,
+    netlog_dir: str | None = None,
+    crawl: str | None = None,
+    repair: bool = False,
+    population_name: str | None = None,
+    scale: float = _DEFAULT_SCALE,
+    as_json: bool = False,
+) -> int:
+    import json
+    import os
+
+    from .netlog.archive import NetLogArchive
+    from .storage.db import TelemetryStore
+    from .storage.integrity import Revisiter, fsck, population_revisiter
+
+    if not os.path.exists(db):
+        print(f"error: no such database: {db}", file=sys.stderr)
+        return 2
+    if netlog_dir is not None and not os.path.isdir(netlog_dir):
+        print(f"error: no such archive directory: {netlog_dir}", file=sys.stderr)
+        return 2
+    archive = NetLogArchive(netlog_dir) if netlog_dir is not None else None
+    with TelemetryStore(db) as store:
+        revisit: Revisiter | None = None
+        if repair and population_name is not None:
+            revisit = population_revisiter(
+                _population(population_name, scale), store, archive
+            )
+        report = fsck(
+            store, archive, crawl=crawl, repair=repair, revisit=revisit
+        )
+        if as_json:
+            print(json.dumps(report.to_json(), indent=2))
+        else:
+            print(report.render())
+        if not report.ok:
+            if not repair:
+                print(
+                    "rerun with --repair (and --population for tier-2 "
+                    "re-visits) to repair",
+                    file=sys.stderr,
+                )
+            return 1
         return 0
 
 
@@ -523,6 +633,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             retries=args.retries,
             db=args.db,
             resume=args.resume,
+            netlog_dir=args.netlog_dir,
             fault_plan=args.fault_plan,
             workers=args.workers,
             visit_deadline=args.visit_deadline,
@@ -533,6 +644,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_deadletter(
             args.dl_command, args.db, crawl=args.crawl,
             domain=getattr(args, "domain", None),
+        )
+    if args.command == "fsck":
+        return _cmd_fsck(
+            args.db,
+            netlog_dir=args.netlog_dir,
+            crawl=args.crawl,
+            repair=args.repair,
+            population_name=args.population,
+            scale=args.scale,
+            as_json=args.json,
         )
     if args.command == "table":
         return _cmd_table(args.number, args.scale)

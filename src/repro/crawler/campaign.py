@@ -38,6 +38,7 @@ from ..faults.injector import (
     StorageWriteError,
 )
 from ..faults.plan import FaultPlan
+from ..netlog.archive import NetLogArchive
 from ..storage.db import TelemetryStore
 from ..web.population import CrawlPopulation
 from .crawl import Crawler, CrawlRecord, CrawlStats
@@ -143,6 +144,7 @@ class Campaign:
         injector: FaultInjector | None = None,
         checkpoint_every: int = 0,
         executor: ExecutorConfig | None = None,
+        netlog_archive: NetLogArchive | None = None,
     ) -> None:
         self.monitor_window_ms = monitor_window_ms
         self.detector = detector
@@ -176,6 +178,13 @@ class Campaign:
         #: The executor the most recent supervised run() used — exposes
         #: supervision statistics (cancellations, quarantines, drains).
         self.last_executor: SupervisedExecutor | None = None
+        # Optional raw-capture archive: every successful visit's NetLog
+        # is persisted as a checksummed document (the paper kept every
+        # capture; `repro fsck` repairs database damage from it).
+        self.netlog_archive = netlog_archive
+        #: Archive documents lost to exhausted disk-full retries in the
+        #: most recent run() — holes `repro fsck` will flag.
+        self.archive_failures = 0
 
     def _make_injector(self) -> FaultInjector | None:
         if self._shared_injector is not None:
@@ -199,6 +208,7 @@ class Campaign:
             raise ValueError("resume=True requires a persistent store")
         injector = self._make_injector()
         self.last_injector = injector
+        self.archive_failures = 0
         if self.store is not None:
             self.store.write_fault_hook = (
                 injector.storage_hook if injector is not None else None
@@ -261,6 +271,7 @@ class Campaign:
             include_internal=self.include_internal,
             retry_policy=self.retry_policy,
             injector=injector,
+            capture_events=self.netlog_archive is not None,
         )
         stats = CrawlStats(os_name=os_name, crawl=population.name)
         result.stats[os_name] = stats
@@ -363,6 +374,7 @@ class Campaign:
                 include_internal=self.include_internal,
                 retry_policy=self.retry_policy,
                 injector=scoped,
+                capture_events=self.netlog_archive is not None,
             )
 
         def persist(record_os: str, record: CrawlRecord) -> None:
@@ -388,7 +400,11 @@ class Campaign:
             crawler_factory=crawler_factory,
             injector=injector,
             index_base=index_base,
-            persist=persist if self.store is not None else None,
+            persist=(
+                persist
+                if self.store is not None or self.netlog_archive is not None
+                else None
+            ),
             dead_letter=dead_letter if self.store is not None else None,
         )
         for outcome in outcomes:
@@ -449,6 +465,9 @@ class Campaign:
     # -- per-record plumbing ----------------------------------------------
 
     def _persist(self, crawl: str, os_name: str, record: CrawlRecord) -> None:
+        if self.netlog_archive is not None and record.events is not None:
+            self._archive_events(crawl, os_name, record)
+            record.events = None
         if self.store is None:
             return
         write_attempts = 0
@@ -477,6 +496,52 @@ class Campaign:
             except StorageWriteError:
                 if write_attempts >= budget:
                     raise
+
+    def _archive_events(
+        self, crawl: str, os_name: str, record: CrawlRecord
+    ) -> None:
+        """Persist one visit's raw NetLog into the archive.
+
+        Disk-full faults are retried under the same budget as storage
+        writes; on exhaustion the document is *dropped* (the visit row
+        survives) and counted in :attr:`archive_failures` — `repro fsck`
+        flags the hole as a missing-archive finding.
+        """
+        assert self.netlog_archive is not None and record.events is not None
+        injector = self.last_injector
+        key = f"{crawl}:{os_name}:{record.domain}"
+        attempts = 0
+        budget = self.retry_policy.max_attempts
+        while True:
+            attempts += 1
+            try:
+                if injector is not None:
+                    injector.archive_write_hook(key)
+                self.netlog_archive.write(
+                    crawl,
+                    os_name,
+                    record.domain,
+                    record.events,
+                    meta={
+                        "crawl": crawl,
+                        "domain": record.domain,
+                        "os": os_name,
+                        "success": record.success,
+                        "error": int(record.error),
+                        "rank": record.rank,
+                        "category": record.category,
+                        "skipped": record.connectivity_skipped,
+                        "attempts": record.attempts,
+                    },
+                    corrupt=(
+                        injector.corrupt_netlog if injector is not None else None
+                    ),
+                )
+                return
+            except OSError:
+                if attempts >= budget:
+                    self.archive_failures += 1
+                    return
 
     def _fold(
         self,

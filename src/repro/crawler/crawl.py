@@ -44,6 +44,10 @@ class CrawlRecord:
     attempts: int = 1
     #: Total simulated backoff spent between those attempts.
     backoff_ms: float = 0.0
+    #: Raw NetLog events of the successful attempt — populated only when
+    #: the crawler runs with ``capture_events=True`` (archiving campaigns);
+    #: the campaign clears it once the events are archived.
+    events: list | None = None
 
     @property
     def error_bucket(self) -> str | None:
@@ -120,8 +124,13 @@ class Crawler:
         include_internal: bool = False,
         retry_policy: RetryPolicy | None = None,
         injector: FaultInjector | None = None,
+        capture_events: bool = False,
     ) -> None:
         self.environment = environment
+        # Keep the successful attempt's raw NetLog events on the record
+        # (for archiving); off by default — at paper scale raw events
+        # were the 11 TB problem.
+        self.capture_events = capture_events
         self.detector = detector if detector is not None else LocalTrafficDetector()
         self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
         self.injector = injector
@@ -232,6 +241,8 @@ class Crawler:
         )
         if visit.success:
             record.detection = self.detector.detect(visit.events)
+            if self.capture_events:
+                record.events = list(visit.events)
             if self.include_internal and website.internal_pages:
                 self._crawl_internal_pages(website, record)
         return record

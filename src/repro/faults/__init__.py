@@ -17,6 +17,7 @@ telemetry store.  The same plan always injects the same faults.
 from .injector import (
     FaultInjector,
     InjectedCrashError,
+    InjectedDiskFullError,
     ScopedFaultInjector,
     StorageWriteError,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedCrashError",
+    "InjectedDiskFullError",
     "ScopedFaultInjector",
     "StorageWriteError",
 ]

@@ -39,6 +39,10 @@ class StorageWriteError(RuntimeError):
     """A scheduled (transient) telemetry-store write failure."""
 
 
+class InjectedDiskFullError(OSError):
+    """A scheduled (transient) ``ENOSPC`` while archiving a NetLog."""
+
+
 @dataclass(slots=True)
 class FaultInjector:
     """Executes one fault plan; tracks what it actually injected.
@@ -135,8 +139,16 @@ class FaultInjector:
         tail from a stable, key-derived position (at minimum the closing
         ``]}`` — the signature of a killed Chrome); a spec with
         ``duration > 0`` additionally NUL-pads the wound, modelling
-        filesystem preallocation after a power loss.  Unscheduled keys
-        pass through untouched.
+        filesystem preallocation after a power loss.
+
+        ``torn-write`` specs punch a NUL-filled hole of ``duration``
+        characters (default 64) into the interior of the document — the
+        mark of a multi-block write whose middle block never flushed.
+        ``bit-flip`` specs silently replace one digit in the back half
+        of the events array with a different digit: the document stays
+        valid JSON, so only checksum verification can see the damage.  Unscheduled keys pass
+        through untouched; a key scheduled for several kinds suffers them
+        all, truncation first.
         """
         for spec in self.plan.specs(FaultKind.NETLOG_TRUNCATION):
             if not self.plan.selects(spec, key):
@@ -147,10 +159,44 @@ class FaultInjector:
             # two characters (the `]}` Chrome fails to write).
             fraction = 0.5 + (digest % 4500) / 10_000.0
             cut = min(int(len(text) * fraction), max(len(text) - 2, 0))
-            damaged = text[:cut]
+            text = text[:cut]
             if spec.duration > 0:
-                damaged += "\x00" * spec.duration
-            return damaged
+                text += "\x00" * spec.duration
+            break
+        for spec in self.plan.specs(FaultKind.TORN_WRITE):
+            if not self.plan.selects(spec, key):
+                continue
+            self._record(FaultKind.TORN_WRITE)
+            digest = _stable_hash(f"{self.plan.seed}:tear:{key}")
+            width = spec.duration if spec.duration > 0 else 64
+            # The hole lands in the 30–70% region: interior damage with
+            # an intact head and tail, unlike a truncation.
+            fraction = 0.3 + (digest % 4000) / 10_000.0
+            start = min(int(len(text) * fraction), max(len(text) - 1, 0))
+            end = min(start + width, len(text))
+            text = text[:start] + "\x00" * (end - start) + text[end:]
+            break
+        for spec in self.plan.specs(FaultKind.BIT_FLIP):
+            if not self.plan.selects(spec, key):
+                continue
+            digest = _stable_hash(f"{self.plan.seed}:flip:{key}")
+            fraction = 0.45 + (digest % 4000) / 10_000.0
+            # Rot lands inside the events array (the measurement payload);
+            # the static constants header is re-derivable vocabulary, so
+            # damage there is not an integrity event.
+            marker = text.find('"events": [')
+            base = marker + len('"events": [') if marker >= 0 else 0
+            position = base + int((len(text) - base) * fraction)
+            # Flip the first digit at or after the chosen position —
+            # digit-for-digit substitution keeps the JSON well-formed.
+            for index in range(position, len(text)):
+                ch = text[index]
+                if ch.isdigit():
+                    flipped = str((int(ch) + 1) % 10)
+                    text = text[:index] + flipped + text[index + 1 :]
+                    self._record(FaultKind.BIT_FLIP)
+                    break
+            break
         return text
 
     # -- storage.db seam ---------------------------------------------------
@@ -159,6 +205,21 @@ class FaultInjector:
         """Raise :class:`StorageWriteError` on scheduled write attempts."""
         if self._transient_strike(FaultKind.STORAGE_WRITE, key):
             raise StorageWriteError(f"injected storage write failure: {key}")
+
+    # -- netlog-archive seam -----------------------------------------------
+
+    def archive_write_hook(self, key: str) -> None:
+        """Raise :class:`InjectedDiskFullError` on scheduled archive writes.
+
+        Transient like storage writes: a ``disk-full`` spec with
+        ``times=N`` fails the first N archive attempts for a selected
+        key, then the space "frees up" — so a retrying caller recovers,
+        while a single-shot caller leaves a hole for ``repro fsck``.
+        """
+        if self._transient_strike(FaultKind.DISK_FULL, key):
+            raise InjectedDiskFullError(
+                f"injected disk-full archiving NetLog: {key}"
+            )
 
     # -- campaign crash seam -----------------------------------------------
 

@@ -42,6 +42,19 @@ class FaultKind(str, enum.Enum):
     OUTAGE = "outage"
     #: Tail truncation of a serialised NetLog document.
     NETLOG_TRUNCATION = "netlog-truncation"
+    #: A NUL-filled hole in the middle of a serialised NetLog document —
+    #: the shape a torn multi-block write leaves after a power loss
+    #: (some blocks flushed, an interior one never made it).  ``duration``
+    #: overrides the hole width in characters (default ~64).
+    TORN_WRITE = "torn-write"
+    #: Silent single-character corruption of a serialised NetLog
+    #: document: one digit in the back half of the document is replaced
+    #: with a different digit, modelling storage bit-rot.  The document
+    #: stays structurally valid JSON — only checksums can see the damage.
+    BIT_FLIP = "bit-flip"
+    #: Transient ``ENOSPC`` when persisting a NetLog document to the
+    #: archive.  ``times`` is the transient depth, like other transients.
+    DISK_FULL = "disk-full"
     #: Transient failure writing a row to the telemetry store.
     STORAGE_WRITE = "storage-write"
     #: Hard crash of the campaign process after N visits.

@@ -13,8 +13,11 @@ from .constants import (
     EventType,
     SourceType,
 )
+from .archive import NetLogArchive
 from .events import NetLogEvent, NetLogSource, SourceIdAllocator, events_for_source
 from .parser import (
+    ChainVerifier,
+    NetLogIntegrityError,
     NetLogParseError,
     NetLogTruncationError,
     ParseStats,
@@ -24,9 +27,23 @@ from .parser import (
     parse_record,
 )
 from .streaming import count_event_types, iter_events_streaming
-from .writer import build_constants, dump, dumps, event_to_record
+from .writer import (
+    CHAIN_SEED,
+    CHECKSUM_ALGORITHM,
+    build_constants,
+    canonical_record_bytes,
+    dump,
+    dumps,
+    event_to_record,
+)
 
 __all__ = [
+    "CHAIN_SEED",
+    "CHECKSUM_ALGORITHM",
+    "ChainVerifier",
+    "NetLogArchive",
+    "NetLogIntegrityError",
+    "canonical_record_bytes",
     "DEFAULT_PORTS",
     "SUPPORTED_SCHEMES",
     "EventPhase",

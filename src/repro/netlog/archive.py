@@ -1,0 +1,153 @@
+"""On-disk archive of per-visit NetLog documents.
+
+The paper kept every capture ("11 TB across the study") so telemetry
+could be re-parsed when the reduction pipeline changed.  This archive
+reproduces that design at laptop scale: one checksummed NetLog JSON
+document per (crawl, OS, domain) visit, laid out as
+``root/<crawl>/<os>/<domain>.json``.
+
+Every document is written with ``checksums=True`` (per-record CRC32s,
+rolling hash chain, integrity trailer — see :mod:`repro.netlog.writer`)
+and carries a ``visitMeta`` header block with the visit's row-level
+metadata, so ``repro fsck`` can rebuild a damaged database row from the
+archive alone.  Writes go through a temp file and an atomic rename; the
+simulated torn writes, bit flips and disk-full failures of the fault
+injector enter through the ``corrupt`` / pre-write hooks instead of by
+racing the real filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .events import NetLogEvent
+from .parser import ParseStats
+from .streaming import iter_events_streaming
+from .writer import dumps
+
+#: The top-level key carrying visit metadata in archived documents.
+META_KEY = "visitMeta"
+
+#: A text-mangling hook applied to the serialised document before it hits
+#: disk (the fault injector's ``corrupt_netlog``).
+CorruptHook = Callable[[str, str], str]
+
+
+def _safe_component(name: str) -> str:
+    """A path-safe single component (domains may not traverse)."""
+    return name.replace(os.sep, "_").replace("..", "_") or "_"
+
+
+class NetLogArchive:
+    """Per-visit checksummed NetLog documents under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- layout ------------------------------------------------------------
+
+    def path_for(self, crawl: str, os_name: str, domain: str) -> Path:
+        return (
+            self.root
+            / _safe_component(crawl)
+            / _safe_component(os_name)
+            / f"{_safe_component(domain)}.json"
+        )
+
+    def exists(self, crawl: str, os_name: str, domain: str) -> bool:
+        return self.path_for(crawl, os_name, domain).exists()
+
+    def entries(self, crawl: str | None = None) -> Iterator[Path]:
+        """All archived documents (optionally for one crawl), sorted."""
+        roots = (
+            [self.root / _safe_component(crawl)]
+            if crawl is not None
+            else [self.root]
+        )
+        for base in roots:
+            if base.is_dir():
+                yield from sorted(base.rglob("*.json"))
+
+    # -- write -------------------------------------------------------------
+
+    def write(
+        self,
+        crawl: str,
+        os_name: str,
+        domain: str,
+        events: Iterable[NetLogEvent],
+        *,
+        meta: dict | None = None,
+        corrupt: CorruptHook | None = None,
+    ) -> Path:
+        """Archive one visit's events; returns the document path.
+
+        ``meta`` lands in the document's ``visitMeta`` block.  ``corrupt``
+        (the injector's netlog seam) mangles the serialised text before
+        it reaches disk, keyed by ``crawl:os:domain`` — so the same fault
+        plan damages the same files at any worker count.
+        """
+        path = self.path_for(crawl, os_name, domain)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = dumps(
+            events,
+            checksums=True,
+            extra={META_KEY: meta} if meta is not None else None,
+        )
+        if corrupt is not None:
+            text = corrupt(text, f"{crawl}:{os_name}:{domain}")
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(text)
+        tmp.replace(path)
+        return path
+
+    # -- read --------------------------------------------------------------
+
+    def read_events(
+        self,
+        crawl: str,
+        os_name: str,
+        domain: str,
+        *,
+        stats: ParseStats | None = None,
+    ) -> list[NetLogEvent] | None:
+        """Salvage-parse one archived document; None when absent."""
+        path = self.path_for(crawl, os_name, domain)
+        if not path.exists():
+            return None
+        with path.open() as fp:
+            return list(iter_events_streaming(fp, strict=False, stats=stats))
+
+    def read_meta(self, path: Path) -> dict | None:
+        """The ``visitMeta`` block of a document, damage-tolerant.
+
+        The block is written at the very front of the document, so it
+        survives every tail-side damage shape; a document corrupted
+        before its first few hundred bytes yields None.
+        """
+        try:
+            head = path.read_text(errors="replace")
+        except OSError:
+            return None
+        marker = f'"{META_KEY}": '
+        start = head.find(marker)
+        if start < 0:
+            return None
+        decoder = json.JSONDecoder()
+        try:
+            meta, _ = decoder.raw_decode(head, start + len(marker))
+        except ValueError:
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def verify(self, path: Path) -> ParseStats:
+        """Parse one document in salvage mode, returning its stats."""
+        stats = ParseStats()
+        with path.open() as fp:
+            for _ in iter_events_streaming(fp, strict=False, stats=stats):
+                pass
+        return stats

@@ -15,11 +15,21 @@ Two failure philosophies coexist:
   killed), NUL-padded, or cut mid-record — yields every event in its
   intact prefix instead of raising.  Pass a :class:`ParseStats` to learn
   what was recovered versus dropped.
+
+Documents written with ``checksums=True`` (see :mod:`repro.netlog.writer`)
+are verified as they are parsed: each record's CRC32 is recomputed over
+its canonical form, the rolling hash chain is re-derived link by link,
+and the ``integrity`` trailer is checked against the final chain value.
+In strict mode any mismatch raises :class:`NetLogIntegrityError`; in
+salvage mode the corrupt record is dropped, the damage is counted, and
+the index of the first divergent record is reported in
+:attr:`ParseStats.first_divergence`.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from typing import IO, Iterator
 
@@ -29,6 +39,7 @@ from .constants import (
     SourceType,
 )
 from .events import NetLogEvent, NetLogSource
+from .writer import CHAIN_SEED, canonical_record_bytes
 
 
 class NetLogParseError(ValueError):
@@ -37,6 +48,10 @@ class NetLogParseError(ValueError):
 
 class NetLogTruncationError(NetLogParseError):
     """The document ended prematurely (killed writer, torn write)."""
+
+
+class NetLogIntegrityError(NetLogParseError):
+    """A checksummed document failed CRC or hash-chain verification."""
 
 
 @dataclass(slots=True)
@@ -52,16 +67,37 @@ class ParseStats:
     dropped_malformed: int = 0
     #: The document ended before its closing ``]}``.
     truncated: bool = False
+    #: Records whose CRC32 checksum was verified successfully.
+    verified: int = 0
+    #: Records dropped because their CRC32 did not match their content
+    #: (in-place corruption: a bit flip inside an otherwise valid record).
+    checksum_failures: int = 0
+    #: Points where the rolling hash chain did not link up (records lost,
+    #: reordered or spliced between two individually-valid neighbours).
+    chain_breaks: int = 0
+    #: Index (0-based, in the ``events`` array) of the first record at
+    #: which a checksummed document diverged from what its writer emitted
+    #: — the first checksum failure, chain break, or dropped record.
+    first_divergence: int | None = None
 
     @property
     def dropped(self) -> int:
         """Total records that did not become events."""
-        return self.dropped_unknown_type + self.dropped_malformed
+        return (
+            self.dropped_unknown_type
+            + self.dropped_malformed
+            + self.checksum_failures
+        )
 
     @property
     def damaged(self) -> bool:
         """Whether the parse lost anything at all."""
-        return self.truncated or self.dropped_malformed > 0
+        return (
+            self.truncated
+            or self.dropped_malformed > 0
+            or self.checksum_failures > 0
+            or self.chain_breaks > 0
+        )
 
     def describe(self) -> str:
         parts = [f"{self.parsed} events"]
@@ -71,6 +107,12 @@ class ParseStats:
             parts.append(f"{self.dropped_malformed} malformed records dropped")
         if self.dropped_unknown_type:
             parts.append(f"{self.dropped_unknown_type} unknown-type records skipped")
+        if self.checksum_failures:
+            parts.append(f"{self.checksum_failures} checksum failures")
+        if self.chain_breaks:
+            parts.append(f"{self.chain_breaks} hash-chain breaks")
+        if self.first_divergence is not None:
+            parts.append(f"first divergence at record {self.first_divergence}")
         return ", ".join(parts)
 
 
@@ -173,6 +215,152 @@ def parse_record(
     )
 
 
+class ChainVerifier:
+    """Incremental CRC/hash-chain verification over one ``events`` array.
+
+    One instance is threaded through a parse; both the whole-document and
+    streaming parsers share it.  Unchecksummed (legacy) documents pass
+    through untouched: records without integrity fields are never
+    penalised, and chain state only starts mattering once a checksummed
+    record has been seen.
+
+    After a failure the verifier *resyncs* on the next record whose own
+    CRC verifies, adopting its stored chain value — so multiple
+    independent corruptions in one document are each detected rather than
+    cascading from the first.
+    """
+
+    __slots__ = ("value", "index", "synced", "seen_checksums")
+
+    def __init__(self) -> None:
+        self.value = CHAIN_SEED
+        self.index = 0  # next record's index in the events array
+        self.synced = True
+        self.seen_checksums = False
+
+    def _fail(
+        self,
+        index: int,
+        detail: str,
+        *,
+        strict: bool,
+        stats: ParseStats | None,
+        chain: bool,
+    ) -> bool:
+        if strict:
+            raise NetLogIntegrityError(f"record {index}: {detail}")
+        if stats is not None:
+            if chain:
+                stats.chain_breaks += 1
+            else:
+                stats.checksum_failures += 1
+            if stats.first_divergence is None:
+                stats.first_divergence = index
+        return False
+
+    def verify(
+        self,
+        record: dict,
+        *,
+        strict: bool = False,
+        stats: ParseStats | None = None,
+    ) -> bool:
+        """Check one decoded record; False means it must be dropped."""
+        index = self.index
+        self.index += 1
+        crc = record.get("crc")
+        chain = record.get("chain")
+        if crc is None and chain is None:
+            # Legacy record.  In a document that *is* checksummed, a
+            # record stripped of its integrity fields is itself damage —
+            # the next checksummed record's chain will expose the gap.
+            if self.seen_checksums:
+                self.synced = False
+            return True
+        self.seen_checksums = True
+        payload = canonical_record_bytes(record)
+        if crc is not None and crc != zlib.crc32(payload):
+            self.synced = False
+            return self._fail(
+                index,
+                "CRC32 mismatch (in-place corruption)",
+                strict=strict,
+                stats=stats,
+                chain=False,
+            )
+        if stats is not None:
+            stats.verified += 1
+        if chain is None:
+            self.synced = False
+            return True
+        if self.synced:
+            expected = zlib.crc32(payload, self.value)
+            if chain != expected:
+                # CRC-valid record, broken linkage: records were lost or
+                # spliced before this one.  Adopt its chain and go on.
+                self.value = int(chain)
+                return self._fail(
+                    index,
+                    "hash-chain break (records lost or reordered)",
+                    strict=strict,
+                    stats=stats,
+                    chain=True,
+                )
+            self.value = expected
+        else:
+            # Resync after a known gap; the gap was already accounted.
+            self.value = int(chain)
+            self.synced = True
+        return True
+
+    def mark_gap(self, stats: ParseStats | None = None) -> None:
+        """Note a record the parser dropped (malformed/undecodable).
+
+        In a checksummed document the gap is itself the divergence point,
+        so it pins ``first_divergence`` if nothing earlier did.
+        """
+        index = self.index
+        self.index += 1
+        self.synced = False
+        if (
+            self.seen_checksums
+            and stats is not None
+            and stats.first_divergence is None
+        ):
+            stats.first_divergence = index
+
+    def check_trailer(
+        self,
+        trailer: object,
+        *,
+        strict: bool = False,
+        stats: ParseStats | None = None,
+    ) -> None:
+        """Verify the document's ``integrity`` trailer, if present."""
+        if not isinstance(trailer, dict) or not self.seen_checksums:
+            return
+        expected_events = trailer.get("events")
+        expected_chain = trailer.get("chain")
+        if (
+            self.synced
+            and isinstance(expected_chain, int)
+            and expected_chain != self.value
+        ) or (
+            isinstance(expected_events, int) and expected_events != self.index
+        ):
+            detail = (
+                f"integrity trailer mismatch: trailer covers "
+                f"{expected_events} records ending at chain "
+                f"{expected_chain}, parse saw {self.index}"
+            )
+            if strict:
+                raise NetLogIntegrityError(detail)
+            if stats is not None:
+                stats.chain_breaks += 1
+                if stats.first_divergence is None:
+                    stats.first_divergence = self.index
+
+
 def load(
     fp: IO[str], *, strict: bool = True, stats: ParseStats | None = None
 ) -> list[NetLogEvent]:
@@ -213,7 +401,13 @@ def _salvage(text: str, stats: ParseStats | None) -> list[NetLogEvent]:
 def iter_events(
     document: dict, *, strict: bool = True, stats: ParseStats | None = None
 ) -> Iterator[NetLogEvent]:
-    """Yield events from an already-decoded NetLog document."""
+    """Yield events from an already-decoded NetLog document.
+
+    Checksummed documents are verified record by record: a record whose
+    CRC32 does not match its content is dropped (strict mode raises
+    :class:`NetLogIntegrityError` instead), and the hash chain plus the
+    ``integrity`` trailer are checked across the whole array.
+    """
     if not isinstance(document, dict):
         raise NetLogParseError("NetLog document must be a JSON object")
     constants = document.get("constants") or {}
@@ -221,12 +415,22 @@ def iter_events(
     raw_events = document.get("events")
     if not isinstance(raw_events, list):
         raise NetLogParseError("NetLog document missing 'events' array")
+    verifier = ChainVerifier()
     for record in raw_events:
+        if isinstance(record, dict):
+            if not verifier.verify(record, strict=strict, stats=stats):
+                continue
+        else:
+            # Non-dict slot: nothing to hash — a gap in the chain.
+            verifier.mark_gap(stats)
         event = parse_record(
             record, event_names=event_names, strict=strict, stats=stats
         )
         if event is not None:
             yield event
+    verifier.check_trailer(
+        document.get("integrity"), strict=strict, stats=stats
+    )
 
 
 def _parse_document(

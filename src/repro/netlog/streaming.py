@@ -27,6 +27,7 @@ from typing import IO, Iterator
 from .constants import EventType
 from .events import NetLogEvent
 from .parser import (
+    ChainVerifier,
     NetLogParseError,
     NetLogTruncationError,
     ParseStats,
@@ -191,6 +192,7 @@ def _iter_document(
         raise NetLogParseError("NetLog document must be a JSON object")
 
     event_names: dict[str, int] = {}
+    verifier = ChainVerifier()
     while True:
         ch = scanner.read_nonspace()
         if ch == "}":
@@ -222,7 +224,16 @@ def _iter_document(
                 constants = {}
             event_names = constants.get("logEventTypes") or {}
         elif key == "events" and first == "[":
-            yield from _iter_array_events(scanner, event_names, strict, stats)
+            yield from _iter_array_events(
+                scanner, event_names, strict, stats, verifier
+            )
+        elif key == "integrity" and first == "{":
+            raw = _read_balanced_object(scanner)
+            try:
+                trailer = json.loads(raw)
+            except json.JSONDecodeError:
+                trailer = None
+            verifier.check_trailer(trailer, strict=strict, stats=stats)
         else:
             _skip_value(scanner, first)
 
@@ -232,7 +243,10 @@ def _iter_array_events(
     event_names: dict[str, int],
     strict: bool,
     stats: ParseStats | None,
+    verifier: ChainVerifier | None = None,
 ) -> Iterator[NetLogEvent]:
+    if verifier is None:
+        verifier = ChainVerifier()
     while True:
         ch = scanner.read_nonspace()
         if ch == "]":
@@ -249,6 +263,7 @@ def _iter_array_events(
             # The cut fell inside this record: its prefix is unusable.
             if not strict and stats is not None:
                 stats.dropped_malformed += 1
+                verifier.mark_gap(stats)
             raise
         try:
             record = json.loads(raw)
@@ -259,6 +274,9 @@ def _iter_array_events(
             # is still in sync after the closing brace, so keep walking.
             if stats is not None:
                 stats.dropped_malformed += 1
+            verifier.mark_gap(stats)
+            continue
+        if not verifier.verify(record, strict=strict, stats=stats):
             continue
         event = parse_record(
             record, event_names=event_names, strict=strict, stats=stats

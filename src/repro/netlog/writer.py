@@ -7,12 +7,30 @@ Serialises an event stream into the JSON document format produced by
 records.  Writing the name tables makes the files self-describing, which is
 what lets :mod:`repro.netlog.parser` also ingest logs written by other
 producers (including real Chrome, modulo its much larger vocabulary).
+
+Checksummed capture (``checksums=True``) adds end-to-end integrity
+metadata that the parsers verify and ``repro fsck`` audits:
+
+* every record gains a ``crc`` field — CRC32 over the record's canonical
+  JSON form (sorted keys, no whitespace, integrity fields excluded);
+* every record gains a ``chain`` field — a rolling hash chain,
+  ``chain_n = crc32(canonical_n, chain_{n-1})`` seeded from
+  :data:`CHAIN_SEED` — so records cannot be dropped, duplicated or
+  reordered without breaking the chain;
+* the document gains an ``integrity`` trailer carrying the event count
+  and the final chain value, which catches clean whole-record tail
+  truncation that record-level checks cannot see.
+
+Both additions are backward compatible: the fields ride inside otherwise
+ordinary records and an unknown top-level key, so checksummed documents
+parse everywhere plain ones do.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import zlib
 from typing import IO, Iterable
 
 from .constants import (
@@ -23,6 +41,33 @@ from .constants import (
 from .events import NetLogEvent
 
 FORMAT_VERSION = 1
+
+#: Identifier of the checksum scheme, written into the integrity trailer.
+CHECKSUM_ALGORITHM = "crc32-chain-v1"
+
+#: Initial value of the rolling hash chain (a fixed, versioned seed so a
+#: chain value is never accidentally valid against a different scheme).
+CHAIN_SEED = zlib.crc32(b"repro-netlog-chain-v1")
+
+#: Record fields that carry integrity metadata (excluded from hashing).
+INTEGRITY_FIELDS = ("crc", "chain")
+
+
+def canonical_record_bytes(record: dict) -> bytes:
+    """The canonical byte form of a record that checksums are computed over.
+
+    Key order and whitespace are normalised so the writer and the verifier
+    agree regardless of how the record was produced; the integrity fields
+    themselves are excluded (a checksum cannot cover itself).
+    """
+    stripped = {
+        key: value
+        for key, value in record.items()
+        if key not in INTEGRITY_FIELDS
+    }
+    return json.dumps(stripped, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
 
 
 def event_to_record(event: NetLogEvent) -> dict:
@@ -54,28 +99,72 @@ def dump(
     fp: IO[str],
     *,
     time_origin_ms: float = 0.0,
+    checksums: bool = False,
+    extra: dict | None = None,
 ) -> int:
     """Write a complete NetLog document to ``fp``; returns event count.
 
     Events are streamed rather than materialised, so arbitrarily long logs
     can be written in constant memory — the property that makes NetLog
     usable for the paper's multi-terabyte crawls.
+
+    ``checksums=True`` emits per-record CRC32s, the rolling hash chain
+    and the ``integrity`` trailer (see the module docstring).  ``extra``
+    adds top-level keys (e.g. a visit-metadata block) ahead of the
+    ``constants`` header; both parsers skip keys they do not model.
     """
-    fp.write('{"constants": ')
+    fp.write("{")
+    if extra:
+        for key, value in extra.items():
+            fp.write(json.dumps(key))
+            fp.write(": ")
+            json.dump(value, fp)
+            fp.write(", ")
+    fp.write('"constants": ')
     json.dump(build_constants(time_origin_ms), fp)
     fp.write(', "events": [')
     count = 0
+    chain = CHAIN_SEED
     for event in events:
+        record = event_to_record(event)
+        if checksums:
+            payload = canonical_record_bytes(record)
+            record["crc"] = zlib.crc32(payload)
+            chain = zlib.crc32(payload, chain)
+            record["chain"] = chain
         if count:
             fp.write(",\n")
-        json.dump(event_to_record(event), fp)
+        json.dump(record, fp)
         count += 1
-    fp.write("]}")
+    fp.write("]")
+    if checksums:
+        fp.write(', "integrity": ')
+        json.dump(
+            {
+                "algorithm": CHECKSUM_ALGORITHM,
+                "events": count,
+                "chain": chain,
+            },
+            fp,
+        )
+    fp.write("}")
     return count
 
 
-def dumps(events: Iterable[NetLogEvent], *, time_origin_ms: float = 0.0) -> str:
+def dumps(
+    events: Iterable[NetLogEvent],
+    *,
+    time_origin_ms: float = 0.0,
+    checksums: bool = False,
+    extra: dict | None = None,
+) -> str:
     """Serialise a NetLog document to a string."""
     buffer = io.StringIO()
-    dump(events, buffer, time_origin_ms=time_origin_ms)
+    dump(
+        events,
+        buffer,
+        time_origin_ms=time_origin_ms,
+        checksums=checksums,
+        extra=extra,
+    )
     return buffer.getvalue()

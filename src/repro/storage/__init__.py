@@ -1,6 +1,32 @@
 """Telemetry persistence (SQLite), mirroring the paper's parsed-log DB."""
 
 from .db import TelemetryStore
+from .integrity import (
+    FsckFinding,
+    FsckKind,
+    FsckReport,
+    campaign_digest,
+    fsck,
+    population_revisiter,
+    visit_digest,
+)
+from .migrations import SCHEMA_VERSION, MigrationReport, migrate, schema_version
 from .records import EventRow, LocalRequestRow, VisitRow
 
-__all__ = ["TelemetryStore", "EventRow", "LocalRequestRow", "VisitRow"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "EventRow",
+    "FsckFinding",
+    "FsckKind",
+    "FsckReport",
+    "LocalRequestRow",
+    "MigrationReport",
+    "TelemetryStore",
+    "VisitRow",
+    "campaign_digest",
+    "fsck",
+    "migrate",
+    "population_revisiter",
+    "schema_version",
+    "visit_digest",
+]

@@ -24,6 +24,7 @@ failed write; the campaign layer retries around it.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import threading
 from typing import Callable, Iterable
@@ -31,71 +32,9 @@ from typing import Callable, Iterable
 from ..core.addresses import Locality, RequestTarget
 from ..core.detector import DetectionResult, LocalRequest
 from ..netlog.events import NetLogEvent
+from .integrity import detection_request_facts, visit_digest
+from .migrations import migrate
 from .records import DeadLetterRow, LocalRequestRow, VisitRow
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS visits (
-    visit_id INTEGER PRIMARY KEY AUTOINCREMENT,
-    crawl TEXT NOT NULL,
-    domain TEXT NOT NULL,
-    os_name TEXT NOT NULL,
-    success INTEGER NOT NULL,
-    error INTEGER NOT NULL DEFAULT 0,
-    rank INTEGER,
-    category TEXT,
-    skipped INTEGER NOT NULL DEFAULT 0,
-    attempts INTEGER NOT NULL DEFAULT 1,
-    page_load_time REAL,
-    total_flows INTEGER,
-    UNIQUE (crawl, domain, os_name)
-);
-CREATE TABLE IF NOT EXISTS events (
-    visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
-    time REAL NOT NULL,
-    type INTEGER NOT NULL,
-    source_id INTEGER NOT NULL,
-    source_type INTEGER NOT NULL,
-    phase INTEGER NOT NULL,
-    params_json TEXT NOT NULL DEFAULT '{}'
-);
-CREATE TABLE IF NOT EXISTS local_requests (
-    visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
-    locality TEXT NOT NULL,
-    scheme TEXT NOT NULL,
-    host TEXT NOT NULL,
-    port INTEGER NOT NULL,
-    path TEXT NOT NULL,
-    time REAL,
-    via_redirect INTEGER NOT NULL DEFAULT 0,
-    source_id INTEGER NOT NULL DEFAULT 0,
-    method TEXT NOT NULL DEFAULT 'GET',
-    initiator TEXT
-);
-CREATE TABLE IF NOT EXISTS dead_letters (
-    crawl TEXT NOT NULL,
-    domain TEXT NOT NULL,
-    os_name TEXT NOT NULL,
-    error INTEGER NOT NULL DEFAULT 0,
-    failures INTEGER NOT NULL DEFAULT 0,
-    reason TEXT NOT NULL DEFAULT '',
-    UNIQUE (crawl, domain, os_name)
-);
-CREATE INDEX IF NOT EXISTS idx_visits_crawl ON visits(crawl, os_name);
-CREATE INDEX IF NOT EXISTS idx_local_visit ON local_requests(visit_id);
-CREATE INDEX IF NOT EXISTS idx_local_locality ON local_requests(locality);
-"""
-
-#: Columns added after the seed schema; applied to pre-existing database
-#: files so old stores keep opening (ALTER TABLE is idempotent per run).
-_MIGRATIONS: tuple[tuple[str, str, str], ...] = (
-    ("visits", "skipped", "INTEGER NOT NULL DEFAULT 0"),
-    ("visits", "attempts", "INTEGER NOT NULL DEFAULT 1"),
-    ("visits", "page_load_time", "REAL"),
-    ("visits", "total_flows", "INTEGER"),
-    ("local_requests", "source_id", "INTEGER NOT NULL DEFAULT 0"),
-    ("local_requests", "method", "TEXT NOT NULL DEFAULT 'GET'"),
-    ("local_requests", "initiator", "TEXT"),
-)
 
 #: Fault seam: called with "crawl:domain:os" before each visit write.
 WriteFaultHook = Callable[[str], None]
@@ -126,6 +65,14 @@ class TelemetryStore:
     ) -> None:
         if commit_every < 0:
             raise ValueError("commit_every must be >= 0")
+        if path != ":memory:" and not path.startswith("file:"):
+            parent = os.path.dirname(os.path.abspath(path))
+            try:
+                os.makedirs(parent, exist_ok=True)
+            except OSError as exc:
+                raise RuntimeError(
+                    f"cannot create telemetry store directory {parent!r}: {exc}"
+                ) from exc
         self._conn = sqlite3.connect(path, check_same_thread=not serialized)
         self._lock = threading.RLock()
         self.serialized = serialized
@@ -133,23 +80,17 @@ class TelemetryStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
         else:
             self._conn.execute("PRAGMA journal_mode=MEMORY")
-        self._conn.executescript(_SCHEMA)
-        self._migrate()
+        # Numbered crash-safe migrations (PRAGMA user_version) bring any
+        # database — fresh, seed-era, or PR-2-era — to the current schema.
+        migrate(self._conn)
         self.write_fault_hook = write_fault_hook
         self.commit_every = commit_every
         self._pending_writes = 0
 
-    def _migrate(self) -> None:
-        """Add post-seed columns to stores created by older versions."""
-        for table, column, decl in _MIGRATIONS:
-            present = {
-                row[1]
-                for row in self._conn.execute(f"PRAGMA table_info({table})")
-            }
-            if column not in present:
-                self._conn.execute(
-                    f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
-                )
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (integrity scans, ad-hoc queries)."""
+        return self._conn
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -236,11 +177,32 @@ class TelemetryStore:
         detection: DetectionResult | None = None,
         events: Iterable[NetLogEvent] | None = None,
     ) -> int:
+        page_load_time = detection.page_load_time if detection is not None else None
+        total_flows = detection.total_flows if detection is not None else None
+        request_facts = (
+            detection_request_facts(detection) if detection is not None else []
+        )
+        # Content digest computed at commit time; `repro fsck` recomputes
+        # it from the stored rows to detect at-rest corruption.
+        digest = visit_digest(
+            crawl=crawl,
+            domain=domain,
+            os_name=os_name,
+            success=success,
+            error=error,
+            rank=rank,
+            category=category,
+            skipped=skipped,
+            page_load_time=page_load_time,
+            total_flows=total_flows,
+            requests=request_facts,
+        )
         cursor = self._conn.execute(
             "INSERT OR REPLACE INTO visits "
             "(crawl, domain, os_name, success, error, rank, category, "
-            " skipped, attempts, page_load_time, total_flows) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " skipped, attempts, page_load_time, total_flows, "
+            " digest, request_count) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 crawl,
                 domain,
@@ -251,8 +213,10 @@ class TelemetryStore:
                 category,
                 int(skipped),
                 attempts,
-                detection.page_load_time if detection is not None else None,
-                detection.total_flows if detection is not None else None,
+                page_load_time,
+                total_flows,
+                digest,
+                len(request_facts),
             ),
         )
         visit_id = int(cursor.lastrowid or 0)
@@ -297,6 +261,36 @@ class TelemetryStore:
             )
         self._wrote()
         return visit_id
+
+    def delete_visit(self, crawl: str, domain: str, os_name: str) -> int:
+        """Remove one visit and its child rows; returns rows removed.
+
+        The fsck repair tiers use this before rewriting a damaged visit,
+        so no stale ``local_requests``/``events`` children survive the
+        replacement (plain ``INSERT OR REPLACE`` would orphan them).
+        """
+        with self._lock:
+            ids = [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT visit_id FROM visits "
+                    "WHERE crawl = ? AND domain = ? AND os_name = ?",
+                    (crawl, domain, os_name),
+                )
+            ]
+            for visit_id in ids:
+                self._conn.execute(
+                    "DELETE FROM local_requests WHERE visit_id = ?", (visit_id,)
+                )
+                self._conn.execute(
+                    "DELETE FROM events WHERE visit_id = ?", (visit_id,)
+                )
+            self._conn.execute(
+                "DELETE FROM visits "
+                "WHERE crawl = ? AND domain = ? AND os_name = ?",
+                (crawl, domain, os_name),
+            )
+            return len(ids)
 
     # -- dead-letter queue -------------------------------------------------
 

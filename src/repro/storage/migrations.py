@@ -1,0 +1,250 @@
+"""Numbered, crash-safe schema migrations for the telemetry store.
+
+The seed grew its schema by ad-hoc ``ALTER TABLE`` patching on open,
+which has no versioning, no atomicity story, and no way to run data
+backfills.  This module replaces it with the standard production shape:
+
+* the schema version lives in ``PRAGMA user_version`` (0 = never
+  migrated, i.e. a fresh file or a PR-2-era database);
+* migrations are numbered steps applied in order, each inside its own
+  ``BEGIN IMMEDIATE`` transaction together with the version bump — a
+  crash at any point rolls the step back whole, and rerunning
+  :func:`migrate` resumes from the last completed step;
+* steps are written idempotently (``IF NOT EXISTS`` tables, guarded
+  ``ALTER TABLE``) so version-0 databases of any vintage converge on the
+  same schema.
+
+The optional ``fault_hook`` is the crash-point seam: it is called with
+``migration:v<N>:begin`` / ``migration:v<N>:commit`` around each step and
+may raise to simulate dying mid-migration — the coverage the acceptance
+criteria demand.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .integrity import visit_digest
+
+#: The schema version this build writes and expects.
+SCHEMA_VERSION = 2
+
+#: Crash-point seam: called with a step key; may raise to simulate a crash.
+MigrationFaultHook = Callable[[str], None]
+
+
+def _table_columns(conn: sqlite3.Connection, table: str) -> set[str]:
+    return {row[1] for row in conn.execute(f"PRAGMA table_info({table})")}
+
+
+def _add_column(
+    conn: sqlite3.Connection, table: str, column: str, decl: str
+) -> None:
+    """``ALTER TABLE ADD COLUMN`` guarded for idempotence (SQLite has no
+    ``ADD COLUMN IF NOT EXISTS``)."""
+    if column not in _table_columns(conn, table):
+        conn.execute(f"ALTER TABLE {table} ADD COLUMN {column} {decl}")
+
+
+# -- step 1: baseline schema (seed layout + PR-2 columns) -------------------
+
+_V1_TABLES = (
+    """CREATE TABLE IF NOT EXISTS visits (
+        visit_id INTEGER PRIMARY KEY AUTOINCREMENT,
+        crawl TEXT NOT NULL,
+        domain TEXT NOT NULL,
+        os_name TEXT NOT NULL,
+        success INTEGER NOT NULL,
+        error INTEGER NOT NULL DEFAULT 0,
+        rank INTEGER,
+        category TEXT,
+        skipped INTEGER NOT NULL DEFAULT 0,
+        attempts INTEGER NOT NULL DEFAULT 1,
+        page_load_time REAL,
+        total_flows INTEGER,
+        UNIQUE (crawl, domain, os_name)
+    )""",
+    """CREATE TABLE IF NOT EXISTS events (
+        visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
+        time REAL NOT NULL,
+        type INTEGER NOT NULL,
+        source_id INTEGER NOT NULL,
+        source_type INTEGER NOT NULL,
+        phase INTEGER NOT NULL,
+        params_json TEXT NOT NULL DEFAULT '{}'
+    )""",
+    """CREATE TABLE IF NOT EXISTS local_requests (
+        visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
+        locality TEXT NOT NULL,
+        scheme TEXT NOT NULL,
+        host TEXT NOT NULL,
+        port INTEGER NOT NULL,
+        path TEXT NOT NULL,
+        time REAL,
+        via_redirect INTEGER NOT NULL DEFAULT 0,
+        source_id INTEGER NOT NULL DEFAULT 0,
+        method TEXT NOT NULL DEFAULT 'GET',
+        initiator TEXT
+    )""",
+    """CREATE TABLE IF NOT EXISTS dead_letters (
+        crawl TEXT NOT NULL,
+        domain TEXT NOT NULL,
+        os_name TEXT NOT NULL,
+        error INTEGER NOT NULL DEFAULT 0,
+        failures INTEGER NOT NULL DEFAULT 0,
+        reason TEXT NOT NULL DEFAULT '',
+        UNIQUE (crawl, domain, os_name)
+    )""",
+    "CREATE INDEX IF NOT EXISTS idx_visits_crawl ON visits(crawl, os_name)",
+    "CREATE INDEX IF NOT EXISTS idx_local_visit ON local_requests(visit_id)",
+    "CREATE INDEX IF NOT EXISTS idx_local_locality ON local_requests(locality)",
+)
+
+#: Columns added between the seed and PR 2; version-0 databases may
+#: predate any of them, so v1 patches whichever are missing.
+_V1_COLUMNS = (
+    ("visits", "skipped", "INTEGER NOT NULL DEFAULT 0"),
+    ("visits", "attempts", "INTEGER NOT NULL DEFAULT 1"),
+    ("visits", "page_load_time", "REAL"),
+    ("visits", "total_flows", "INTEGER"),
+    ("local_requests", "source_id", "INTEGER NOT NULL DEFAULT 0"),
+    ("local_requests", "method", "TEXT NOT NULL DEFAULT 'GET'"),
+    ("local_requests", "initiator", "TEXT"),
+)
+
+
+def _v1_baseline(conn: sqlite3.Connection) -> None:
+    """Converge any version-0 database (fresh, seed-era, or PR-2-era)
+    onto the PR-2 schema."""
+    for statement in _V1_TABLES:
+        conn.execute(statement)
+    for table, column, decl in _V1_COLUMNS:
+        _add_column(conn, table, column, decl)
+
+
+# -- step 2: integrity columns + backfill -----------------------------------
+
+
+def _v2_integrity(conn: sqlite3.Connection) -> None:
+    """Add the content-digest and batch-accounting columns and backfill
+    them for every existing visit row."""
+    _add_column(conn, "visits", "digest", "TEXT")
+    _add_column(conn, "visits", "request_count", "INTEGER NOT NULL DEFAULT 0")
+    rows = conn.execute(
+        "SELECT visit_id, crawl, domain, os_name, success, error, rank, "
+        "category, skipped, page_load_time, total_flows "
+        "FROM visits WHERE digest IS NULL"
+    ).fetchall()
+    for (
+        visit_id,
+        crawl,
+        domain,
+        os_name,
+        success,
+        error,
+        rank,
+        category,
+        skipped,
+        page_load_time,
+        total_flows,
+    ) in rows:
+        requests = conn.execute(
+            "SELECT locality, scheme, host, port, path, time, via_redirect, "
+            "method, initiator FROM local_requests WHERE visit_id = ? "
+            "ORDER BY rowid",
+            (visit_id,),
+        ).fetchall()
+        digest = visit_digest(
+            crawl=crawl,
+            domain=domain,
+            os_name=os_name,
+            success=success,
+            error=error,
+            rank=rank,
+            category=category,
+            skipped=skipped,
+            page_load_time=page_load_time,
+            total_flows=total_flows,
+            requests=requests,
+        )
+        conn.execute(
+            "UPDATE visits SET digest = ?, request_count = ? "
+            "WHERE visit_id = ?",
+            (digest, len(requests), visit_id),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Migration:
+    """One numbered schema step."""
+
+    version: int
+    description: str
+    apply: Callable[[sqlite3.Connection], None]
+
+
+MIGRATIONS: tuple[Migration, ...] = (
+    Migration(1, "baseline schema (seed layout + PR-2 columns)", _v1_baseline),
+    Migration(2, "visit content digests + batch accounting", _v2_integrity),
+)
+
+
+@dataclass(slots=True)
+class MigrationReport:
+    """What one :func:`migrate` call did."""
+
+    start_version: int
+    end_version: int
+    applied: list[int] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def migrate(
+    conn: sqlite3.Connection,
+    *,
+    fault_hook: MigrationFaultHook | None = None,
+) -> MigrationReport:
+    """Bring ``conn`` up to :data:`SCHEMA_VERSION`, one atomic step at a time.
+
+    Each step runs inside its own immediate transaction together with its
+    ``user_version`` bump: either the step lands whole or the database is
+    untouched.  A crash (simulated via ``fault_hook`` raising) between
+    steps leaves earlier steps committed; rerunning resumes from there.
+    """
+    current = schema_version(conn)
+    report = MigrationReport(start_version=current, end_version=current)
+    # Explicit transaction control: the legacy isolation mode autocommits
+    # DDL, which would make a multi-statement step non-atomic.
+    saved_isolation = conn.isolation_level
+    conn.isolation_level = None
+    try:
+        for step in MIGRATIONS:
+            if step.version <= current:
+                continue
+            if fault_hook is not None:
+                fault_hook(f"migration:v{step.version}:begin")
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                step.apply(conn)
+                if fault_hook is not None:
+                    fault_hook(f"migration:v{step.version}:commit")
+                conn.execute(f"PRAGMA user_version = {step.version}")
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            current = step.version
+            report.applied.append(step.version)
+            report.end_version = current
+    finally:
+        conn.isolation_level = saved_isolation
+    return report

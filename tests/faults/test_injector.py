@@ -9,6 +9,7 @@ from repro.faults import (
     FaultPlan,
     FaultSpec,
     InjectedCrashError,
+    InjectedDiskFullError,
     StorageWriteError,
 )
 from repro.netlog import (
@@ -156,6 +157,103 @@ class TestNetlogSeam:
         assert injector.corrupt_netlog(document, clean_key) == document
 
 
+class TestIntegrityFaultSeams:
+    """The PR-3 corruption kinds: torn writes, silent bit rot, disk-full."""
+
+    def _document(self, checksums=True):
+        events = [
+            NetLogEvent(
+                time=float(i),
+                type=EventType.URL_REQUEST_START_JOB,
+                source=NetLogSource(id=i + 1, type=SourceType.URL_REQUEST),
+                phase=EventPhase.BEGIN,
+                params={"url": "http://localhost/"},
+            )
+            for i in range(8)
+        ]
+        return dumps(events, checksums=checksums)
+
+    def test_torn_write_is_an_interior_nul_hole(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.5, duration=32)
+        )
+        document = self._document()
+        key = _faulted_key(injector, FaultKind.TORN_WRITE, KEYS)
+        damaged = injector.corrupt_netlog(document, key)
+        assert damaged != document
+        assert len(damaged) == len(document)  # a hole, not a cut
+        assert "\x00" * 32 in damaged
+        assert not damaged.startswith("\x00") and not damaged.endswith("\x00")
+        stats = ParseStats()
+        loads(damaged, strict=False, stats=stats)
+        assert stats.damaged
+
+    def test_bit_flip_keeps_json_valid_but_fails_checksums(self):
+        injector = _injector(FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5))
+        document = self._document()
+        key = _faulted_key(injector, FaultKind.BIT_FLIP, KEYS)
+        damaged = injector.corrupt_netlog(document, key)
+        assert damaged != document
+        assert len(damaged) == len(document)
+        assert sum(a != b for a, b in zip(document, damaged)) == 1
+        import json as _json
+
+        _json.loads(damaged)  # still syntactically perfect
+        stats = ParseStats()
+        loads(damaged, strict=False, stats=stats)
+        # Only the end-to-end checksums can see this damage.
+        assert stats.checksum_failures + stats.chain_breaks >= 1
+        assert stats.first_divergence is not None
+
+    def test_bit_flip_invisible_without_checksums(self):
+        injector = _injector(FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5))
+        document = self._document(checksums=False)
+        key = _faulted_key(injector, FaultKind.BIT_FLIP, KEYS)
+        stats = ParseStats()
+        loads(injector.corrupt_netlog(document, key), strict=False, stats=stats)
+        assert not stats.damaged  # the motivating gap checksums close
+
+    def test_corruption_is_deterministic_per_key(self):
+        spec_sets = [
+            (FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.5),),
+            (FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5),),
+        ]
+        document = self._document()
+        for specs in spec_sets:
+            first = _injector(*specs)
+            second = _injector(*specs)
+            key = _faulted_key(first, specs[0].kind, KEYS)
+            assert first.corrupt_netlog(document, key) == second.corrupt_netlog(
+                document, key
+            )
+
+    def test_disk_full_raises_then_recovers(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.DISK_FULL, rate=0.2, times=2)
+        )
+        key = _faulted_key(injector, FaultKind.DISK_FULL, KEYS)
+        for _ in range(2):
+            with pytest.raises(InjectedDiskFullError):
+                injector.archive_write_hook(key)
+        injector.archive_write_hook(key)  # transient depth exhausted
+        assert injector.injected[FaultKind.DISK_FULL] == 2
+
+    def test_disk_full_is_an_oserror(self):
+        # Retry loops catch OSError; the injected kind must be caught too.
+        assert issubclass(InjectedDiskFullError, OSError)
+
+    def test_plan_roundtrips_new_kinds(self):
+        plan = FaultPlan(
+            seed="s",
+            faults=(
+                FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.1, duration=64),
+                FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.1),
+                FaultSpec(kind=FaultKind.DISK_FULL, rate=0.1, times=3),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
 class TestEmptyPlan:
     def test_noop_at_every_seam(self):
         injector = FaultInjector()
@@ -164,5 +262,6 @@ class TestEmptyPlan:
         assert injector.connectivity_hook() is False
         assert injector.corrupt_netlog("{}", "k") == "{}"
         injector.storage_hook("k")
+        injector.archive_write_hook("k")
         injector.on_visit()
         assert injector.injected_total() == 0

@@ -16,6 +16,7 @@ from repro.netlog import (
     EventPhase,
     EventType,
     NetLogEvent,
+    NetLogIntegrityError,
     NetLogParseError,
     NetLogSource,
     NetLogTruncationError,
@@ -41,6 +42,14 @@ def _event(time=0.0, source_id=1, params=None):
 @pytest.fixture()
 def document():
     return dumps([_event(time=float(i), source_id=i + 1) for i in range(10)])
+
+
+@pytest.fixture()
+def checksummed():
+    return dumps(
+        [_event(time=float(i), source_id=i + 1) for i in range(10)],
+        checksums=True,
+    )
 
 
 def _streaming(text, stats=None, strict=False):
@@ -184,3 +193,104 @@ class TestNonStrictRecordHandling:
         loads(document[:-4], strict=False, stats=stats)
         text = stats.describe()
         assert "truncated" in text
+
+
+class TestChecksummedCorruption:
+    """Corruption shapes that only end-to-end checksums can see, against
+    both parsers: the damaged document stays syntactically valid JSON (or
+    degrades like a torn write), yet verification pins the exact record
+    where the content diverged from what the writer emitted."""
+
+    def test_mid_record_bit_flip_fails_crc(self, checksummed):
+        # Flip one digit inside record 3's payload.  The JSON stays
+        # perfectly parseable — without checksums this damage is
+        # undetectable — but the record's CRC32 no longer matches.
+        flipped = checksummed.replace('"time": 3.0', '"time": 3.5', 1)
+        assert flipped != checksummed
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(flipped, stats)
+            assert len(events) == 9  # the lying record is dropped
+            assert stats.checksum_failures == 1
+            assert stats.first_divergence == 3
+            assert 3.5 not in {e.time for e in events}
+
+    def test_spliced_out_record_breaks_chain(self, checksummed):
+        # Remove one complete record.  Every survivor is individually
+        # CRC-valid, so only the rolling hash chain (and the trailer's
+        # event count) can prove the loss.
+        document = json.loads(checksummed)
+        del document["events"][3]
+        spliced = json.dumps(document)
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(spliced, stats)
+            # The record where the break surfaces is dropped too (its
+            # provenance is suspect), and the trailer adds a second break
+            # for the event-count mismatch.
+            assert len(events) == 8
+            assert stats.checksum_failures == 0
+            assert stats.chain_breaks == 2
+            assert stats.first_divergence == 3
+
+    def test_torn_tail_nul_hole(self, checksummed):
+        # A torn write: the tail of the file is a hole of NUL bytes.
+        position = checksummed.rfind('"source"')
+        torn = checksummed[:position] + "\x00" * (len(checksummed) - position)
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(torn, stats)
+            assert len(events) == 9
+            assert stats.truncated
+            assert stats.first_divergence == 9
+            assert stats.verified == 9
+
+    def test_clean_whole_record_truncation_caught_by_trailer(
+        self, checksummed
+    ):
+        # Drop the last three records *cleanly* — the survivors all
+        # verify and chain correctly, so only the integrity trailer's
+        # count/final-chain can reveal the loss.
+        document = json.loads(checksummed)
+        del document["events"][7:]
+        shortened = json.dumps(document)
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(shortened, stats)
+            assert len(events) == 7
+            assert stats.checksum_failures == 0
+            assert stats.chain_breaks == 1  # the trailer mismatch
+            assert stats.first_divergence == 7
+
+    def test_stripped_integrity_fields_detected_as_gap(self, checksummed):
+        # A record whose crc/chain fields were erased parses fine, but
+        # the next checksummed record's chain exposes the tampering.
+        document = json.loads(checksummed)
+        document["events"][4].pop("crc")
+        document["events"][4].pop("chain")
+        stripped = json.dumps(document)
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(stripped, stats)
+            assert len(events) == 10  # nothing is dropped...
+            assert stats.verified == 9  # ...but only 9 records verified
+
+    def test_strict_mode_raises_integrity_error(self, checksummed):
+        flipped = checksummed.replace('"time": 3.0', '"time": 7.0', 1)
+        with pytest.raises(NetLogIntegrityError):
+            loads(flipped, strict=True)
+        with pytest.raises(NetLogIntegrityError):
+            _streaming(flipped, strict=True)
+        document = json.loads(checksummed)
+        del document["events"][3]
+        with pytest.raises(NetLogIntegrityError):
+            loads(json.dumps(document), strict=True)
+
+    def test_undamaged_checksummed_document_is_pristine(self, checksummed):
+        for parse in (lambda t, s: loads(t, strict=False, stats=s), _streaming):
+            stats = ParseStats()
+            events = parse(checksummed, stats)
+            assert len(events) == 10
+            assert stats.verified == 10
+            assert not stats.damaged
+            assert stats.first_divergence is None

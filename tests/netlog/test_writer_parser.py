@@ -2,18 +2,23 @@
 
 import io
 import json
+import zlib
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.netlog import (
+    CHAIN_SEED,
+    CHECKSUM_ALGORITHM,
     EventPhase,
     EventType,
     NetLogEvent,
     NetLogParseError,
     NetLogSource,
+    ParseStats,
     SourceType,
+    canonical_record_bytes,
     dump,
     dumps,
     loads,
@@ -165,3 +170,71 @@ class TestRoundtripProperties:
     def test_roundtrip_is_idempotent(self, events):
         once = dumps(loads(dumps(events)))
         assert loads(once) == events
+
+    @given(_events_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_checksummed_roundtrip_identity(self, events):
+        stats = ParseStats()
+        assert loads(dumps(events, checksums=True), stats=stats) == events
+        assert stats.verified == len(events)
+        assert not stats.damaged
+
+
+class TestChecksummedDocuments:
+    def _events(self, count=5):
+        return [_event(time=float(i), source_id=i + 1) for i in range(count)]
+
+    def test_default_output_carries_no_checksums(self):
+        text = dumps(self._events())
+        assert '"crc"' not in text and '"integrity"' not in text
+
+    def test_checksummed_document_shape(self):
+        document = json.loads(dumps(self._events(), checksums=True))
+        for record in document["events"]:
+            assert isinstance(record["crc"], int)
+            assert isinstance(record["chain"], int)
+        trailer = document["integrity"]
+        assert trailer["algorithm"] == CHECKSUM_ALGORITHM
+        assert trailer["events"] == 5
+        assert trailer["chain"] == document["events"][-1]["chain"]
+
+    def test_chain_links_record_by_record(self):
+        document = json.loads(dumps(self._events(), checksums=True))
+        chain = CHAIN_SEED
+        for record in document["events"]:
+            payload = canonical_record_bytes(record)
+            assert record["crc"] == zlib.crc32(payload)
+            chain = zlib.crc32(payload, chain)
+            assert record["chain"] == chain
+
+    def test_canonical_bytes_exclude_integrity_fields(self):
+        record = event_to_record(_event())
+        bare = canonical_record_bytes(record)
+        record["crc"] = 1
+        record["chain"] = 2
+        assert canonical_record_bytes(record) == bare
+
+    def test_verification_counts_in_stats(self):
+        stats = ParseStats()
+        events = loads(dumps(self._events(), checksums=True), stats=stats)
+        assert len(events) == 5
+        assert stats.verified == 5
+        assert stats.checksum_failures == 0
+        assert stats.chain_breaks == 0
+        assert stats.first_divergence is None
+
+    def test_legacy_documents_skip_verification(self):
+        stats = ParseStats()
+        events = loads(dumps(self._events()), stats=stats)
+        assert len(events) == 5
+        assert stats.verified == 0
+        assert not stats.damaged
+
+    def test_extra_block_rides_ahead_of_constants(self):
+        meta = {"domain": "a.com", "os": "windows"}
+        text = dumps(self._events(), checksums=True, extra={"visitMeta": meta})
+        document = json.loads(text)
+        assert document["visitMeta"] == meta
+        assert text.index('"visitMeta"') < text.index('"constants"')
+        # Unknown top-level keys never disturb parsing.
+        assert len(loads(text)) == 5

@@ -1,0 +1,217 @@
+"""Crash-safe schema migrations: versioning, atomicity, resume, backfill.
+
+The PR-2-era schema (no ``digest``/``request_count`` columns, no
+``user_version``) is frozen here verbatim so the migration path from real
+old databases stays covered no matter how the live schema evolves.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.storage.db import TelemetryStore
+from repro.storage.integrity import visit_digest
+from repro.storage.migrations import (
+    SCHEMA_VERSION,
+    migrate,
+    schema_version,
+)
+
+#: The schema exactly as PR 2 created it (seed tables + PR-1/2 columns),
+#: with no user_version stamp — the shape fsck-less deployments still have.
+PR2_SCHEMA = """
+CREATE TABLE visits (
+    visit_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    crawl TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    os_name TEXT NOT NULL,
+    success INTEGER NOT NULL,
+    error INTEGER NOT NULL DEFAULT 0,
+    rank INTEGER,
+    category TEXT,
+    skipped INTEGER NOT NULL DEFAULT 0,
+    attempts INTEGER NOT NULL DEFAULT 1,
+    page_load_time REAL,
+    total_flows INTEGER,
+    UNIQUE (crawl, domain, os_name)
+);
+CREATE TABLE events (
+    visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
+    time REAL NOT NULL,
+    type INTEGER NOT NULL,
+    source_id INTEGER NOT NULL,
+    source_type INTEGER NOT NULL,
+    phase INTEGER NOT NULL,
+    params_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE local_requests (
+    visit_id INTEGER NOT NULL REFERENCES visits(visit_id),
+    locality TEXT NOT NULL,
+    scheme TEXT NOT NULL,
+    host TEXT NOT NULL,
+    port INTEGER NOT NULL,
+    path TEXT NOT NULL,
+    time REAL,
+    via_redirect INTEGER NOT NULL DEFAULT 0,
+    source_id INTEGER NOT NULL DEFAULT 0,
+    method TEXT NOT NULL DEFAULT 'GET',
+    initiator TEXT
+);
+CREATE TABLE dead_letters (
+    crawl TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    os_name TEXT NOT NULL,
+    error INTEGER NOT NULL DEFAULT 0,
+    failures INTEGER NOT NULL DEFAULT 0,
+    reason TEXT NOT NULL DEFAULT '',
+    UNIQUE (crawl, domain, os_name)
+);
+"""
+
+
+def _pr2_database(path):
+    """A populated PR-2-era database file."""
+    conn = sqlite3.connect(path)
+    conn.executescript(PR2_SCHEMA)
+    conn.execute(
+        "INSERT INTO visits (crawl, domain, os_name, success, error, rank, "
+        "category, skipped, attempts, page_load_time, total_flows) "
+        "VALUES ('top2020', 'a.com', 'windows', 1, 0, 5, NULL, 0, 1, 120.5, 3)"
+    )
+    conn.execute(
+        "INSERT INTO local_requests (visit_id, locality, scheme, host, port, "
+        "path, time, via_redirect, source_id, method, initiator) "
+        "VALUES (1, 'localhost', 'http', '127.0.0.1', 8000, '/x', 50.0, 0, "
+        "7, 'GET', NULL)"
+    )
+    conn.execute(
+        "INSERT INTO visits (crawl, domain, os_name, success, error) "
+        "VALUES ('top2020', 'b.com', 'windows', 0, -105)"
+    )
+    conn.commit()
+    conn.close()
+
+
+class TestMigrate:
+    def test_fresh_database_reaches_current_version(self):
+        conn = sqlite3.connect(":memory:")
+        report = migrate(conn)
+        assert schema_version(conn) == SCHEMA_VERSION
+        assert report.applied == [1, 2]
+        assert report.changed
+
+    def test_is_idempotent(self):
+        conn = sqlite3.connect(":memory:")
+        migrate(conn)
+        report = migrate(conn)
+        assert report.applied == []
+        assert not report.changed
+
+    def test_pr2_database_migrates_with_backfill(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        _pr2_database(path)
+        conn = sqlite3.connect(path)
+        assert schema_version(conn) == 0
+        migrate(conn)
+        assert schema_version(conn) == SCHEMA_VERSION
+        digest, count = conn.execute(
+            "SELECT digest, request_count FROM visits WHERE domain = 'a.com'"
+        ).fetchone()
+        assert count == 1
+        assert digest == visit_digest(
+            crawl="top2020",
+            domain="a.com",
+            os_name="windows",
+            success=1,
+            error=0,
+            rank=5,
+            category=None,
+            skipped=0,
+            page_load_time=120.5,
+            total_flows=3,
+            requests=[
+                ("localhost", "http", "127.0.0.1", 8000, "/x", 50.0, 0,
+                 "GET", None)
+            ],
+        )
+        # The failure row gets a digest too (over its empty request set).
+        digest_b = conn.execute(
+            "SELECT digest FROM visits WHERE domain = 'b.com'"
+        ).fetchone()[0]
+        assert digest_b is not None and digest_b != digest
+
+    def test_pr2_database_opens_through_store(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        _pr2_database(path)
+        with TelemetryStore(path) as store:
+            assert schema_version(store.connection) == SCHEMA_VERSION
+            assert store.visit_count("top2020") == 2
+
+    def test_no_data_loss_across_migration(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        _pr2_database(path)
+        conn = sqlite3.connect(path)
+        before = conn.execute(
+            "SELECT crawl, domain, os_name, success, error FROM visits "
+            "ORDER BY visit_id"
+        ).fetchall()
+        migrate(conn)
+        after = conn.execute(
+            "SELECT crawl, domain, os_name, success, error FROM visits "
+            "ORDER BY visit_id"
+        ).fetchall()
+        assert after == before
+
+
+class TestCrashSafety:
+    """A crash at any injected point leaves the database either fully
+    pre-step or fully post-step; rerunning completes the migration."""
+
+    @pytest.mark.parametrize(
+        "crash_at", ["migration:v1:commit", "migration:v2:commit"]
+    )
+    def test_crash_mid_step_rolls_back_and_resumes(self, tmp_path, crash_at):
+        path = str(tmp_path / "old.db")
+        _pr2_database(path)
+        conn = sqlite3.connect(path)
+
+        def crash_hook(key):
+            if key == crash_at:
+                raise RuntimeError(f"injected crash at {key}")
+
+        with pytest.raises(RuntimeError, match="injected crash"):
+            migrate(conn, fault_hook=crash_hook)
+        crashed_version = schema_version(conn)
+        # The step that crashed must not have landed partially: its
+        # version was never stamped, and its columns are absent.
+        assert crashed_version < int(crash_at.split(":")[1][1:])
+        conn.close()
+
+        # Simulated restart: a fresh connection resumes and completes.
+        conn = sqlite3.connect(path)
+        report = migrate(conn)
+        assert schema_version(conn) == SCHEMA_VERSION
+        assert report.applied  # the crashed step (and any after) reran
+        rows = conn.execute("SELECT COUNT(*) FROM visits").fetchone()[0]
+        assert rows == 2  # no data loss
+        digests = conn.execute(
+            "SELECT COUNT(*) FROM visits WHERE digest IS NOT NULL"
+        ).fetchone()[0]
+        assert digests == 2
+
+    def test_v2_crash_leaves_no_partial_columns(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        _pr2_database(path)
+        conn = sqlite3.connect(path)
+
+        def crash_hook(key):
+            if key == "migration:v2:commit":
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            migrate(conn, fault_hook=crash_hook)
+        columns = {
+            row[1] for row in conn.execute("PRAGMA table_info(visits)")
+        }
+        assert "digest" not in columns and "request_count" not in columns
+        assert schema_version(conn) == 1

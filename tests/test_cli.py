@@ -219,3 +219,104 @@ class TestDeadletterCommand:
         missing = str(tmp_path / "absent.db")
         assert main(["deadletter", "list", "--db", missing]) == 2
         assert "no such database" in capsys.readouterr().err
+
+    def test_retry_on_empty_queue_exits_zero(self, tmp_path, capsys):
+        # Regression: an empty queue used to be indistinguishable from a
+        # failed retry.  It must exit 0 with a clear one-liner.
+        path = str(tmp_path / "telemetry.db")
+        assert main(["study", "--scale", "0.0001", "--db", path]) == 0
+        capsys.readouterr()
+        assert main(["deadletter", "retry", "--db", path]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to retry" in out
+
+    def test_retry_with_unmatched_filter_exits_zero(self, tmp_path, capsys):
+        path = str(tmp_path / "telemetry.db")
+        assert main(["study", "--scale", "0.0001", "--db", path]) == 0
+        capsys.readouterr()
+        code = main(
+            ["deadletter", "retry", "--db", path, "--domain", "nosuch.example"]
+        )
+        assert code == 0
+        assert "nothing to retry" in capsys.readouterr().out
+
+
+class TestFsckCommand:
+    def _archived_study(self, tmp_path):
+        db = str(tmp_path / "telemetry.db")
+        netlogs = str(tmp_path / "netlogs")
+        code = main(
+            [
+                "study", "--scale", "0.002", "--db", db,
+                "--netlog-dir", netlogs,
+            ]
+        )
+        assert code == 0
+        return db, netlogs
+
+    def _corrupt_one_row(self, db):
+        import sqlite3
+
+        conn = sqlite3.connect(db)
+        domain = conn.execute(
+            "UPDATE visits SET rank = rank + 7 WHERE visit_id = "
+            "(SELECT MIN(visit_id) FROM visits) RETURNING domain"
+        ).fetchone()[0]
+        conn.commit()
+        conn.close()
+        return domain
+
+    def test_clean_store_passes(self, tmp_path, capsys):
+        db, netlogs = self._archived_study(tmp_path)
+        capsys.readouterr()
+        assert main(["fsck", "--db", db, "--netlog-dir", netlogs]) == 0
+        out = capsys.readouterr().out
+        assert "no integrity violations found" in out
+        assert "campaign digest top2020:" in out
+
+    def test_detect_only_exits_nonzero_with_hint(self, tmp_path, capsys):
+        db, netlogs = self._archived_study(tmp_path)
+        domain = self._corrupt_one_row(db)
+        capsys.readouterr()
+        assert main(["fsck", "--db", db, "--netlog-dir", netlogs]) == 1
+        captured = capsys.readouterr()
+        assert "digest-mismatch" in captured.out
+        assert domain in captured.out
+        assert "--repair" in captured.err
+
+    def test_repair_fixes_and_rescan_is_clean(self, tmp_path, capsys):
+        db, netlogs = self._archived_study(tmp_path)
+        self._corrupt_one_row(db)
+        capsys.readouterr()
+        code = main(["fsck", "--db", db, "--netlog-dir", netlogs, "--repair"])
+        assert code == 0
+        assert "repaired (reparse)" in capsys.readouterr().out
+        assert main(["fsck", "--db", db, "--netlog-dir", netlogs]) == 0
+
+    def test_json_report(self, tmp_path, capsys):
+        db, netlogs = self._archived_study(tmp_path)
+        self._corrupt_one_row(db)
+        capsys.readouterr()
+        assert main(["fsck", "--db", db, "--netlog-dir", netlogs, "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["clean"] is False
+        assert document["findings"][0]["kind"] == "digest-mismatch"
+
+    def test_missing_db_rejected(self, tmp_path, capsys):
+        assert main(["fsck", "--db", str(tmp_path / "absent.db")]) == 2
+        assert "no such database" in capsys.readouterr().err
+
+    def test_missing_archive_dir_rejected(self, tmp_path, capsys):
+        db, _ = self._archived_study(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["fsck", "--db", db, "--netlog-dir", str(tmp_path / "nowhere")]
+        )
+        assert code == 2
+        assert "no such archive directory" in capsys.readouterr().err
+
+    def test_db_only_audit_works_without_archive(self, tmp_path, capsys):
+        db, _ = self._archived_study(tmp_path)
+        capsys.readouterr()
+        assert main(["fsck", "--db", db]) == 0
+        assert "0 archive document(s)" in capsys.readouterr().out
