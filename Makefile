@@ -6,7 +6,7 @@ PYTHON ?= python
 DB ?= crawl.db
 NETLOG_DIR ?= netlogs
 
-.PHONY: install test lint bench bench-quick report validate fsck examples clean
+.PHONY: install test lint bench bench-quick obs-bench report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,9 @@ bench:            ## full-scale: regenerates every paper table and figure
 
 bench-quick:      ## 1%-filler variant for fast iteration
 	REPRO_BENCH_SCALE=0.01 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+obs-bench:        ## observability ablation: results invariant, overhead <= 5%
+	$(PYTHON) -m pytest benchmarks/test_ablation_observability.py --benchmark-disable -q
 
 report:
 	$(PYTHON) -m repro.cli report -o report.txt

@@ -14,6 +14,10 @@ Four subcommands:
     Audit a campaign database (and its NetLog archive) for at-rest
     corruption; with ``--repair``, apply tiered self-repair.
 
+``repro metrics SNAPSHOT.json``
+    Render a metrics snapshot (written by ``repro study
+    --metrics-out``) as a human-readable table.
+
 ``repro table N [--scale S]``
     Regenerate paper Table N (1–11).
 
@@ -100,8 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="run visits through the supervised executor with N workers "
-        "(0 = plain sequential loop); results are identical at any N",
+        help="run visits through the supervised executor with N workers; "
+        "0 is a sentinel meaning the plain sequential loop (the default, "
+        "no executor at all); results are byte-identical at any N",
     )
     study.add_argument(
         "--visit-deadline",
@@ -125,6 +130,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="wall-clock seconds before the watchdog cancels a wedged "
         "visit attempt (supervised runs)",
+    )
+    study.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and write a metrics snapshot here "
+        "(.prom/.txt = Prometheus text format, anything else = JSON)",
+    )
+    study.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and write a Chrome trace_event JSON "
+        "here (load in Perfetto / chrome://tracing)",
     )
 
     deadletter = sub.add_parser(
@@ -174,6 +193,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable report instead of text",
     )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot written by study --metrics-out",
+    )
+    metrics.add_argument("snapshot", help="path to the JSON snapshot file")
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 12))
@@ -225,7 +250,11 @@ def _cmd_analyze(path: str) -> int:
     detection = LocalTrafficDetector().detect(events)
     print(f"{len(events)} events, {detection.total_flows} request flows")
     if stats.damaged:
-        print(f"warning: damaged NetLog salvaged — {stats.describe()}")
+        # Diagnostics go to stderr so piped stdout stays clean results.
+        print(
+            f"warning: damaged NetLog salvaged — {stats.describe()}",
+            file=sys.stderr,
+        )
     if not detection.has_local_activity:
         print("no localhost or LAN traffic detected")
         return 0
@@ -269,22 +298,35 @@ def _cmd_study(
     visit_deadline: float = 25_000.0,
     quarantine_after: int = 3,
     wall_deadline: float = 5.0,
+    metrics_out: str | None = None,
+    trace_out: str | None = None,
 ) -> int:
+    from . import obs
     from .crawler.campaign import Campaign
     from .crawler.executor import CampaignInterrupted, ExecutorConfig
     from .crawler.retry import RetryPolicy
     from .faults import FaultPlan
     from .netlog.archive import NetLogArchive
+    from .obs.export import PeriodicSink, write_trace
+    from .obs.progress import ProgressLine
     from .storage.db import TelemetryStore
 
     if resume and db is None:
         print("error: --resume requires --db", file=sys.stderr)
         return 2
     if retries < 1:
-        print("error: --retries must be >= 1", file=sys.stderr)
+        print(
+            f"error: --retries must be >= 1 (got {retries}; "
+            "1 = single attempt, no retries)",
+            file=sys.stderr,
+        )
         return 2
     if workers < 0:
-        print("error: --workers must be >= 0", file=sys.stderr)
+        print(
+            f"error: --workers must be >= 0 (got {workers}; "
+            "0 = plain sequential loop, no executor)",
+            file=sys.stderr,
+        )
         return 2
     plan: FaultPlan | None = None
     if fault_plan is not None:
@@ -314,7 +356,35 @@ def _cmd_study(
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    print(f"crawling {population_name} at scale {scale:.1%} ...")
+    # Progress/diagnostic chatter goes to stderr; stdout carries only
+    # the study results so they can be piped or diffed.
+    print(f"crawling {population_name} at scale {scale:.1%} ...", file=sys.stderr)
+    observing = metrics_out is not None or trace_out is not None
+    if observing:
+        obs.enable()
+    population = _population(population_name, scale)
+    progress = ProgressLine(len(population.websites) * len(population.oses))
+    # Long campaigns keep the on-disk snapshot at most 30 s stale; the
+    # final flush at exit writes the complete picture.
+    sink = (
+        PeriodicSink(
+            metrics_out,
+            obs.registry(),
+            meta={
+                "population": population_name,
+                "scale": scale,
+                "workers": workers,
+            },
+        )
+        if metrics_out is not None
+        else None
+    )
+
+    def _on_visit(record) -> None:
+        progress.update(error=not record.success)
+        if sink is not None:
+            sink.tick()
+
     store = (
         TelemetryStore(db, serialized=supervised, commit_every=100 if supervised else 0)
         if db is not None
@@ -331,11 +401,10 @@ def _cmd_study(
         netlog_archive=(
             NetLogArchive(netlog_dir) if netlog_dir is not None else None
         ),
+        on_visit=_on_visit,
     )
     try:
-        result = campaign.run(
-            _population(population_name, scale), resume=resume
-        )
+        result = campaign.run(population, resume=resume)
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         return 130
@@ -348,6 +417,18 @@ def _cmd_study(
         if store is not None:
             store.commit()
             store.close()
+        progress.finish()
+        if observing:
+            try:
+                if sink is not None:
+                    sink.close()
+                    print(f"metrics snapshot written to {metrics_out}",
+                          file=sys.stderr)
+                if trace_out is not None:
+                    write_trace(trace_out, obs.tracer())
+                    print(f"trace written to {trace_out}", file=sys.stderr)
+            finally:
+                obs.disable()
 
     if supervised and campaign.last_executor is not None:
         ex = campaign.last_executor.stats
@@ -360,7 +441,8 @@ def _cmd_study(
         if store is not None and ex.quarantined:
             print(
                 "quarantined visits are parked in the dead-letter queue — "
-                "inspect with: repro deadletter list --db", db
+                "inspect with: repro deadletter list --db", db,
+                file=sys.stderr,
             )
 
     retried = sum(s.retried for s in result.stats.values())
@@ -375,7 +457,8 @@ def _cmd_study(
         print(
             f"warning: {campaign.archive_failures} NetLog document(s) lost "
             "to disk-full faults — audit with: repro fsck --db ... "
-            f"--netlog-dir {netlog_dir}"
+            f"--netlog-dir {netlog_dir}",
+            file=sys.stderr,
         )
     injector = campaign.last_injector
     if injector is not None and injector.injected_total():
@@ -495,6 +578,21 @@ def _cmd_fsck(
                 )
             return 1
         return 0
+
+
+def _cmd_metrics(path: str) -> int:
+    from .obs.export import SnapshotError, load_snapshot, render_snapshot
+
+    try:
+        document = load_snapshot(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except SnapshotError as exc:
+        print(f"error: not a metrics snapshot: {exc}", file=sys.stderr)
+        return 2
+    print(render_snapshot(document))
+    return 0
 
 
 def _cmd_table(number: int, scale: float) -> int:
@@ -639,6 +737,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             visit_deadline=args.visit_deadline,
             quarantine_after=args.quarantine_after,
             wall_deadline=args.wall_deadline,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         )
     if args.command == "deadletter":
         return _cmd_deadletter(
@@ -655,6 +755,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             scale=args.scale,
             as_json=args.json,
         )
+    if args.command == "metrics":
+        return _cmd_metrics(args.snapshot)
     if args.command == "table":
         return _cmd_table(args.number, args.scale)
     if args.command == "figure":

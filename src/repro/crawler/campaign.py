@@ -26,7 +26,9 @@ Campaigns are resilient by construction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
+from .. import obs
 from ..browser.errors import NetError, table1_bucket
 from ..core.classifier import BehaviorClassifier
 from ..core.detector import LocalTrafficDetector
@@ -45,6 +47,21 @@ from .crawl import Crawler, CrawlRecord, CrawlStats
 from .executor import CampaignInterrupted, ExecutorConfig, SupervisedExecutor
 from .retry import NO_RETRY, RetryPolicy
 from .vm import OSEnvironment
+
+_VISITS = obs.counter(
+    "repro_visits_total",
+    "completed visits by OS and result (ok, error, skipped)",
+    ("os", "result"),
+)
+_LOCAL_ACTIVE = obs.counter(
+    "repro_local_active_visits_total",
+    "visits that detected local network activity, by OS",
+    ("os",),
+)
+_ARCHIVE_FAILURES = obs.counter(
+    "repro_archive_write_failures_total",
+    "NetLog archive documents lost to exhausted write retries",
+)
 
 
 @dataclass(slots=True)
@@ -145,6 +162,7 @@ class Campaign:
         checkpoint_every: int = 0,
         executor: ExecutorConfig | None = None,
         netlog_archive: NetLogArchive | None = None,
+        on_visit: Callable[[CrawlRecord], None] | None = None,
     ) -> None:
         self.monitor_window_ms = monitor_window_ms
         self.detector = detector
@@ -185,6 +203,10 @@ class Campaign:
         #: Archive documents lost to exhausted disk-full retries in the
         #: most recent run() — holes `repro fsck` will flag.
         self.archive_failures = 0
+        # Live-progress hook: called once per visit the moment it
+        # completes (from worker threads in supervised mode — must be
+        # thread-safe).  Restored rows on a resume are not re-reported.
+        self.on_visit = on_visit
 
     def _make_injector(self) -> FaultInjector | None:
         if self._shared_injector is not None:
@@ -216,15 +238,27 @@ class Campaign:
         result = CampaignResult(name=population.name, oses=population.oses)
         findings: dict[str, SiteFinding] = {}
         try:
-            if self.executor_config is not None:
-                self._run_supervised(population, result, findings, injector, resume)
-            else:
-                for os_name in population.oses:
-                    self._run_os(
-                        population, os_name, result, findings, injector, resume
+            with obs.span(
+                "campaign",
+                category="campaign",
+                args={"population": population.name, "resume": resume},
+            ):
+                if self.executor_config is not None:
+                    self._run_supervised(
+                        population, result, findings, injector, resume
                     )
-                    if self.store is not None:
-                        self.store.commit()
+                else:
+                    for os_name in population.oses:
+                        with obs.span(
+                            "os-pass", category="campaign",
+                            args={"os": os_name},
+                        ):
+                            self._run_os(
+                                population, os_name, result, findings,
+                                injector, resume,
+                            )
+                        if self.store is not None:
+                            self.store.commit()
         except (InjectedCrashError, CampaignInterrupted):
             # A simulated hard crash or a graceful signal drain: flush
             # what completed so a resumed campaign starts from this exact
@@ -291,6 +325,7 @@ class Campaign:
             stats.record(record)
             self._persist(population.name, os_name, record)
             self._fold(record, os_name, findings, population.name)
+            self._observe_visit(record)
             if (
                 self.checkpoint_every
                 and self.store is not None
@@ -330,10 +365,13 @@ class Campaign:
         index_base = 0
         with executor.supervise():
             for os_name in population.oses:
-                index_base += self._run_os_supervised(
-                    population, os_name, result, findings, injector, resume,
-                    executor, index_base,
-                )
+                with obs.span(
+                    "os-pass", category="campaign", args={"os": os_name}
+                ):
+                    index_base += self._run_os_supervised(
+                        population, os_name, result, findings, injector,
+                        resume, executor, index_base,
+                    )
                 if self.store is not None:
                     self.store.commit()
 
@@ -406,6 +444,7 @@ class Campaign:
                 else None
             ),
             dead_letter=dead_letter if self.store is not None else None,
+            on_outcome=lambda outcome: self._observe_visit(outcome.record),
         )
         for outcome in outcomes:
             stats.record(outcome.record)
@@ -463,6 +502,20 @@ class Campaign:
         return done
 
     # -- per-record plumbing ----------------------------------------------
+
+    def _observe_visit(self, record: CrawlRecord) -> None:
+        """Per-visit observability: metrics, then the live-progress hook."""
+        if _VISITS.enabled:
+            result = (
+                "skipped"
+                if record.connectivity_skipped
+                else ("ok" if record.success else "error")
+            )
+            _VISITS.inc(labels=(record.os_name, result))
+            if record.has_local_activity:
+                _LOCAL_ACTIVE.inc(labels=(record.os_name,))
+        if self.on_visit is not None:
+            self.on_visit(record)
 
     def _persist(self, crawl: str, os_name: str, record: CrawlRecord) -> None:
         if self.netlog_archive is not None and record.events is not None:
@@ -541,6 +594,7 @@ class Campaign:
             except OSError:
                 if attempts >= budget:
                     self.archive_failures += 1
+                    _ARCHIVE_FAILURES.inc()
                     return
 
     def _fold(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from .. import obs
 from ..browser.errors import NetError, table1_bucket
 from ..core.detector import DetectionResult, LocalTrafficDetector
 from ..faults.injector import FaultInjector
@@ -26,6 +27,16 @@ from ..web.website import Website
 from .connectivity import ConnectivityChecker
 from .retry import NO_RETRY, RetryPolicy, VirtualClock
 from .vm import OSEnvironment
+
+_RETRIES = obs.counter(
+    "repro_visit_retries_total",
+    "visit re-attempts by the NetError class that triggered them",
+    ("error",),
+)
+_BACKOFF_MS = obs.counter(
+    "repro_visit_backoff_sim_ms_total",
+    "simulated milliseconds spent backing off between attempts",
+)
 
 
 @dataclass(slots=True)
@@ -158,6 +169,9 @@ class Crawler:
         # page too and merges its local requests into the site record.
         self.include_internal = include_internal
 
+    def _sim_now_ms(self) -> float:
+        return self.clock.now_ms
+
     def crawl_site(self, website: Website) -> CrawlRecord:
         """Visit one website, retrying transient failures per policy.
 
@@ -167,6 +181,21 @@ class Crawler:
         outage and a transient site failure never compound into a
         spurious Table 1 entry.
         """
+        if not obs.enabled():
+            return self._crawl_site(website)
+        with obs.span(
+            "visit",
+            category="crawl",
+            sim_now=self._sim_now_ms,
+            args={"domain": website.domain, "os": self.environment.os_name},
+        ) as span_args:
+            record = self._crawl_site(website)
+            span_args["success"] = record.success
+            if record.attempts > 1:
+                span_args["attempts"] = record.attempts
+            return record
+
+    def _crawl_site(self, website: Website) -> CrawlRecord:
         policy = self.retry_policy
         attempt = 0
         backoff_total = 0.0
@@ -184,7 +213,9 @@ class Crawler:
             record.backoff_ms = backoff_total
             if record.success or not policy.should_retry(record.error, attempt):
                 return record
+            _RETRIES.inc(labels=(record.error.name,))
             wait = policy.backoff_ms(website.domain, attempt)
+            _BACKOFF_MS.inc(wait)
             backoff_total += wait
             self.clock.advance(wait)
 

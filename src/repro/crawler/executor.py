@@ -42,6 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
+from .. import obs
 from ..browser.errors import NetError
 from ..faults.injector import FaultInjector, InjectedCrashError, ScopedFaultInjector
 from ..faults.plan import FaultKind
@@ -51,6 +52,42 @@ from .watchdog import CancelToken, VisitCancelled, VisitGuard, Watchdog
 
 #: Queue sentinel telling a worker thread its pass is over.
 _STOP = object()
+
+_DISPATCHED = obs.counter(
+    "repro_executor_dispatched_total",
+    "visits handed to the supervised worker pool",
+)
+_QUEUE_DEPTH = obs.gauge(
+    "repro_executor_queue_depth",
+    "visits enqueued to workers but not yet started",
+)
+_WORKER_BUSY = obs.counter(
+    "repro_executor_worker_busy_seconds_total",
+    "wall-clock seconds each worker spent executing visits "
+    "(utilisation = busy seconds / pass wall time)",
+    ("worker",),
+)
+_WORKER_VISITS = obs.counter(
+    "repro_executor_worker_visits_total",
+    "visits completed per worker",
+    ("worker",),
+)
+_DEADLINE_CANCELLED = obs.counter(
+    "repro_executor_deadline_cancelled_total",
+    "attempts cancelled by the wall-clock watchdog (hangs rescued)",
+)
+_DEADLINE_EXCEEDED = obs.counter(
+    "repro_executor_deadline_exceeded_total",
+    "attempts cancelled on the simulated visit budget (slow visits)",
+)
+_REATTEMPTS = obs.counter(
+    "repro_executor_reattempts_total",
+    "re-attempts the supervisor scheduled after deadline failures",
+)
+_QUARANTINED = obs.counter(
+    "repro_executor_quarantined_total",
+    "visits parked in the dead-letter queue",
+)
 
 
 class CampaignInterrupted(RuntimeError):
@@ -199,6 +236,7 @@ class SupervisedExecutor:
         self._injector: FaultInjector | None = None
         self._persist: Callable[[str, CrawlRecord], None] | None = None
         self._dead_letter: Callable[[str, CrawlRecord, int], None] | None = None
+        self._on_outcome: Callable[[VisitOutcome], None] | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -256,12 +294,18 @@ class SupervisedExecutor:
         index_base: int = 0,
         persist: Callable[[str, CrawlRecord], None] | None = None,
         dead_letter: Callable[[str, CrawlRecord, int], None] | None = None,
+        on_outcome: Callable[[VisitOutcome], None] | None = None,
     ) -> list[VisitOutcome]:
         """Crawl one OS pass through the pool; outcomes in submission order.
 
         ``index_base`` is the number of visits scheduled by earlier
         passes — it keeps the global submission index (which
         counter-triggered faults key on) deterministic across passes.
+
+        ``on_outcome`` is a live-progress hook called from worker
+        threads the moment each visit is delivered (out of submission
+        order — merge ordering is unaffected); it must be thread-safe
+        and must not raise.
 
         Raises :class:`InjectedCrashError` when the plan schedules a
         crash inside this pass and :class:`CampaignInterrupted` when a
@@ -272,6 +316,7 @@ class SupervisedExecutor:
         self._injector = injector
         self._persist = persist
         self._dead_letter = dead_letter
+        self._on_outcome = on_outcome
         self._results = queue.Queue()
         self._check_deadline_budget(crawler_factory(None))
 
@@ -292,6 +337,8 @@ class SupervisedExecutor:
                 task = VisitTask(index=index, os_name=os_name, website=website)
                 queues[offset % len(queues)].put(task)
                 dispatched += 1
+                _DISPATCHED.inc()
+                _QUEUE_DEPTH.inc()
                 with self._stats_lock:
                     self.stats.dispatched += 1
         finally:
@@ -385,12 +432,15 @@ class SupervisedExecutor:
     # -- worker side -------------------------------------------------------
 
     def _worker_loop(self, worker: _Worker) -> None:
+        worker_label = (str(worker.id),)
         while True:
             if worker.poisoned:
                 return
             task = worker.queue.get()
             if task is _STOP:
                 return
+            _QUEUE_DEPTH.dec()
+            busy_start = time.perf_counter() if _WORKER_BUSY.enabled else 0.0
             try:
                 outcome = self._execute(worker, task)
             except BaseException as exc:  # storage failures etc.
@@ -402,7 +452,13 @@ class SupervisedExecutor:
                     leftover = worker.queue.get()
                     if leftover is _STOP:
                         return
+                    _QUEUE_DEPTH.dec()
                     self._results.put(_WorkerError(task=leftover, error=exc))
+            if _WORKER_BUSY.enabled:
+                _WORKER_BUSY.inc(
+                    time.perf_counter() - busy_start, labels=worker_label
+                )
+                _WORKER_VISITS.inc(labels=worker_label)
             if outcome is not None:
                 self._results.put(outcome)
 
@@ -430,12 +486,14 @@ class SupervisedExecutor:
                     overshoot = (
                         time.monotonic() - started - config.wall_deadline_s
                     )
+                    _DEADLINE_CANCELLED.inc()
                     with self._stats_lock:
                         self.stats.deadline_cancelled += 1
                         if overshoot > self.stats.max_overshoot_s:
                             self.stats.max_overshoot_s = overshoot
                 except _SimulatedDeadlineExceeded:
                     failed_deadline = True
+                    _DEADLINE_EXCEEDED.inc()
                     with self._stats_lock:
                         self.stats.deadline_exceeded += 1
             if not failed_deadline:
@@ -445,6 +503,7 @@ class SupervisedExecutor:
                 record = self._deadline_record(task, deadline_failures)
                 quarantined = True
                 break
+            _REATTEMPTS.inc()
             with self._stats_lock:
                 self.stats.reattempts += 1
 
@@ -542,17 +601,21 @@ class SupervisedExecutor:
         if self._persist is not None:
             self._persist(task.os_name, record)
         if quarantined:
+            _QUARANTINED.inc()
             with self._stats_lock:
                 self.stats.quarantined += 1
             if self._dead_letter is not None:
                 self._dead_letter(task.os_name, record, deadline_failures)
-        return VisitOutcome(
+        outcome = VisitOutcome(
             task=task,
             record=record,
             worker_id=worker.id,
             deadline_failures=deadline_failures,
             quarantined=quarantined,
         )
+        if self._on_outcome is not None:
+            self._on_outcome(outcome)
+        return outcome
 
     # -- abandonment (true wedges) ----------------------------------------
 

@@ -31,6 +31,25 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 from contextlib import contextmanager
 
+from .. import obs
+
+_CANCELLATIONS = obs.counter(
+    "repro_watchdog_cancellations_total",
+    "visit attempts cancelled by the wall-clock watchdog",
+)
+_ABANDONED = obs.counter(
+    "repro_watchdog_abandoned_total",
+    "workers written off after ignoring their cancellation",
+)
+#: The checked form of the invariant documented above: cancellation
+#: latency (guard deadline → token cancelled) is bounded by one poll
+#: interval, so the buckets concentrate around typical poll settings.
+_CANCEL_LATENCY = obs.histogram(
+    "repro_watchdog_cancel_latency_seconds",
+    "latency from a visit's wall deadline to its actual cancellation",
+    buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5),
+)
+
 
 class VisitCancelled(RuntimeError):
     """Raised inside a visit attempt when the watchdog cancelled it."""
@@ -179,6 +198,10 @@ class Watchdog:
                     guard.cancelled_at = now
                     guard.token.cancel()
                     self.cancelled += 1
+                    _CANCELLATIONS.inc()
+                    _CANCEL_LATENCY.observe(
+                        now - (guard.started + guard.deadline_s)
+                    )
             elif (
                 not guard.abandoned
                 and now - guard.cancelled_at > self.abandon_grace_s
@@ -186,5 +209,6 @@ class Watchdog:
                 # The attempt ignored its cancellation: a genuine wedge.
                 guard.abandoned = True
                 self.abandoned += 1
+                _ABANDONED.inc()
                 if self.on_abandon is not None:
                     self.on_abandon(guard)

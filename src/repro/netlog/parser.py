@@ -29,10 +29,12 @@ the index of the first divergent record is reported in
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from dataclasses import dataclass
 from typing import IO, Iterator
 
+from .. import obs
 from .constants import (
     EventPhase,
     EventType,
@@ -40,6 +42,29 @@ from .constants import (
 )
 from .events import NetLogEvent, NetLogSource
 from .writer import CHAIN_SEED, canonical_record_bytes
+
+_PARSE_SECONDS = obs.histogram(
+    "repro_netlog_parse_seconds",
+    "NetLog document parse time by mode (strict, lenient, or salvage "
+    "when the document was not even valid JSON)",
+    ("mode",),
+)
+_RECORDS = obs.counter(
+    "repro_netlog_records_total",
+    "NetLog records by parse disposition",
+    ("disposition",),
+)
+
+#: (ParseStats attribute, disposition label) pairs mirrored into
+#: ``repro_netlog_records_total`` after each whole-document parse.
+_STAT_DISPOSITIONS = (
+    ("parsed", "parsed"),
+    ("verified", "verified"),
+    ("dropped_malformed", "dropped_malformed"),
+    ("dropped_unknown_type", "dropped_unknown_type"),
+    ("checksum_failures", "checksum_failure"),
+    ("chain_breaks", "chain_break"),
+)
 
 
 class NetLogParseError(ValueError):
@@ -378,6 +403,36 @@ def loads(
     intact prefix is recovered and the damage is reported through
     ``stats`` instead of an exception.
     """
+    if not _PARSE_SECONDS.enabled:
+        return _loads(text, strict=strict, stats=stats)
+    # Observability path: time the parse and mirror per-record
+    # dispositions into counters.  An internal ParseStats is used when
+    # the caller passed none; deltas keep reused caller stats honest.
+    own_stats = stats if stats is not None else ParseStats()
+    before = tuple(getattr(own_stats, attr) for attr, _ in _STAT_DISPOSITIONS)
+    start = time.perf_counter()
+    mode = "strict" if strict else "lenient"
+    try:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise NetLogParseError(f"invalid JSON: {exc}") from exc
+            mode = "salvage"
+            return _salvage(text, own_stats)
+        return _parse_document(document, strict=strict, stats=own_stats)
+    finally:
+        _PARSE_SECONDS.observe(time.perf_counter() - start, labels=(mode,))
+        for (attr, disposition), prior in zip(_STAT_DISPOSITIONS, before):
+            delta = getattr(own_stats, attr) - prior
+            if delta:
+                _RECORDS.inc(delta, labels=(disposition,))
+
+
+def _loads(
+    text: str, *, strict: bool, stats: ParseStats | None
+) -> list[NetLogEvent]:
+    """The uninstrumented parse path (observability disabled)."""
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -1,0 +1,262 @@
+"""Observability: metrics, tracing, exporters — off by default, one switch.
+
+The pipeline is instrumented at every layer (executor dispatch, watchdog
+cancellations, retries by error class, NetLog parse/verify timings,
+storage commit latency, fsck repair tiers), but a measurement harness
+must not perturb the measurement: **by default nothing is collected**.
+Every instrument declared through this module is a cheap proxy bound to
+nothing; :func:`enable` binds them all to a live
+:class:`~repro.obs.metrics.MetricsRegistry` (and a
+:class:`~repro.obs.tracing.Tracer`), :func:`disable` unbinds them.
+
+Instrumented modules declare their instruments once at import time::
+
+    from .. import obs
+    _CANCELS = obs.counter("repro_watchdog_cancellations_total", "...")
+
+and call ``_CANCELS.inc()`` on the hot path.  Disabled, that is one
+attribute load and a predictable branch — the ablation bench holds the
+end-to-end overhead of the *enabled* path under 5%.
+
+The two acceptance properties the test suite pins down:
+
+* **scrapes never block incrementers** — metrics shard per thread (see
+  :mod:`repro.obs.metrics`);
+* **observability cannot change results** — Table 1/Table 5 are
+  byte-identical with instrumentation on and off
+  (``benchmarks/test_ablation_observability.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import AbstractContextManager
+from typing import Callable, Iterable, Sequence
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .tracing import DEFAULT_CAPACITY, SpanRecord, Tracer, to_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "to_chrome_trace",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "tracer",
+]
+
+
+class _NullSpan(AbstractContextManager):
+    """Shared no-op span: zero allocation per use."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> dict:
+        return {}
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Instrument:
+    """A declared metric, bound to the active registry (or to nothing).
+
+    The proxy is what instrumented modules hold at import time; its
+    ``_impl`` is rebound by :func:`enable`/:func:`disable`.  Disabled
+    (``_impl is None``) every operation is a single branch.
+    """
+
+    __slots__ = ("kind", "name", "help", "labelnames", "buckets", "_impl")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._impl: Counter | Gauge | Histogram | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when bound to a live registry (guard for costly captures)."""
+        return self._impl is not None
+
+    def inc(self, amount: float = 1.0, labels: tuple[str, ...] = ()) -> None:
+        impl = self._impl
+        if impl is not None:
+            impl.inc(amount, labels)
+
+    def dec(self, amount: float = 1.0, labels: tuple[str, ...] = ()) -> None:
+        impl = self._impl
+        if impl is not None:
+            impl.dec(amount, labels)  # type: ignore[union-attr]
+
+    def set(self, value: float, labels: tuple[str, ...] = ()) -> None:
+        impl = self._impl
+        if impl is not None:
+            impl.set(value, labels)  # type: ignore[union-attr]
+
+    def observe(self, value: float, labels: tuple[str, ...] = ()) -> None:
+        impl = self._impl
+        if impl is not None:
+            impl.observe(value, labels)  # type: ignore[union-attr]
+
+    def _bind(self, registry: MetricsRegistry | None) -> None:
+        if registry is None:
+            self._impl = None
+        elif self.kind == "counter":
+            self._impl = registry.counter(self.name, self.help, self.labelnames)
+        elif self.kind == "gauge":
+            self._impl = registry.gauge(self.name, self.help, self.labelnames)
+        else:
+            assert self.buckets is not None
+            self._impl = registry.histogram(
+                self.name, self.help, self.labelnames, self.buckets
+            )
+
+
+_lock = threading.Lock()
+_instruments: dict[str, Instrument] = {}
+_registry: MetricsRegistry | None = None
+_tracer: Tracer | None = None
+
+
+def _declare(
+    kind: str,
+    name: str,
+    help: str,
+    labelnames: Sequence[str],
+    buckets: tuple[float, ...] | None = None,
+) -> Instrument:
+    with _lock:
+        existing = _instruments.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"instrument {name!r} already declared as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        instrument = Instrument(kind, name, help, tuple(labelnames), buckets)
+        if _registry is not None:
+            instrument._bind(_registry)
+        _instruments[name] = instrument
+        return instrument
+
+
+def counter(
+    name: str, help: str = "", labelnames: Sequence[str] = ()
+) -> Instrument:
+    """Declare (or fetch) a counter instrument."""
+    return _declare("counter", name, help, labelnames)
+
+
+def gauge(
+    name: str, help: str = "", labelnames: Sequence[str] = ()
+) -> Instrument:
+    """Declare (or fetch) a gauge instrument."""
+    return _declare("gauge", name, help, labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Iterable[float] = DEFAULT_BUCKETS,
+) -> Instrument:
+    """Declare (or fetch) a fixed-bucket histogram instrument."""
+    return _declare("histogram", name, help, labelnames, tuple(buckets))
+
+
+def span(
+    name: str,
+    *,
+    category: str = "repro",
+    sim_now: Callable[[], float] | None = None,
+    args: dict | None = None,
+):
+    """A tracing span context manager — :data:`NULL_SPAN` when disabled."""
+    active = _tracer
+    if active is None:
+        return NULL_SPAN
+    return active.span(name, category=category, sim_now=sim_now, args=args)
+
+
+def enable(
+    registry_: MetricsRegistry | None = None,
+    *,
+    trace_capacity: int = DEFAULT_CAPACITY,
+    with_tracer: bool = True,
+) -> MetricsRegistry:
+    """Switch observability on; binds every declared instrument.
+
+    Idempotent when already enabled with no explicit registry.  Returns
+    the active registry.
+    """
+    global _registry, _tracer
+    with _lock:
+        if registry_ is None and _registry is not None:
+            if with_tracer and _tracer is None:
+                _tracer = Tracer(trace_capacity)
+            return _registry
+        _registry = registry_ if registry_ is not None else MetricsRegistry()
+        _tracer = Tracer(trace_capacity) if with_tracer else None
+        for instrument in _instruments.values():
+            instrument._bind(_registry)
+        return _registry
+
+
+def disable() -> None:
+    """Switch observability off; every instrument reverts to a no-op."""
+    global _registry, _tracer
+    with _lock:
+        _registry = None
+        _tracer = None
+        for instrument in _instruments.values():
+            instrument._bind(None)
+
+
+def enabled() -> bool:
+    return _registry is not None
+
+
+def registry() -> MetricsRegistry | None:
+    """The active registry, or None when observability is off."""
+    return _registry
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is off."""
+    return _tracer

@@ -1,0 +1,262 @@
+"""Exporters: Prometheus text format, JSON snapshots, periodic file sink.
+
+Three consumers, three shapes:
+
+* :func:`prometheus_text` — the standard exposition format, for anything
+  that already scrapes Prometheus (and for humans with ``grep``);
+* :func:`snapshot` / :func:`render_snapshot` — a self-describing JSON
+  document (``repro-metrics-v1``) that ``repro study --metrics-out``
+  writes and ``repro metrics`` renders back into a table;
+* :class:`PeriodicSink` — an atomic-write file sink for long campaigns:
+  call :meth:`~PeriodicSink.tick` from any per-visit hook and the
+  snapshot on disk stays at most ``interval_s`` stale, crash included.
+
+A ``.prom``/``.txt`` destination selects the Prometheus text format;
+anything else gets the JSON snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+
+from .metrics import HistogramValue, MetricFamily, MetricsRegistry
+
+SNAPSHOT_FORMAT = "repro-metrics-v1"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labelnames: tuple[str, ...], labels: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, labels)
+    )
+    return "{" + pairs + "}"
+
+
+def _format_le(le: float) -> str:
+    return "+Inf" if math.isinf(le) else format(le, "g")
+
+
+def prometheus_text(families: list[MetricFamily]) -> str:
+    """Render scrape snapshots in the Prometheus exposition format."""
+    lines: list[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels in sorted(family.samples):
+            value = family.samples[labels]
+            if isinstance(value, HistogramValue):
+                for le, cumulative in value.buckets:
+                    bucket_labels = _labels_text(
+                        (*family.labelnames, "le"),
+                        (*labels, _format_le(le)),
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{bucket_labels} {cumulative}"
+                    )
+                plain = _labels_text(family.labelnames, labels)
+                lines.append(f"{family.name}_sum{plain} {value.sum:g}")
+                lines.append(f"{family.name}_count{plain} {value.count}")
+            else:
+                plain = _labels_text(family.labelnames, labels)
+                lines.append(f"{family.name}{plain} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricsRegistry, *, meta: dict | None = None) -> dict:
+    """Serialise a registry scrape as a JSON-able snapshot document."""
+    metrics = []
+    for family in registry.collect():
+        samples = []
+        for labels in sorted(family.samples):
+            value = family.samples[labels]
+            if isinstance(value, HistogramValue):
+                samples.append(
+                    {
+                        "labels": list(labels),
+                        "count": value.count,
+                        "sum": value.sum,
+                        "buckets": [
+                            # JSON has no Infinity: the +Inf bound is
+                            # implied by count and serialised as null.
+                            [None if math.isinf(le) else le, cumulative]
+                            for le, cumulative in value.buckets
+                        ],
+                    }
+                )
+            else:
+                samples.append({"labels": list(labels), "value": value})
+        metrics.append(
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+        )
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "meta": meta or {},
+        "metrics": metrics,
+    }
+
+
+def _atomic_write(path: str, text: str) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fp:
+        fp.write(text)
+        fp.flush()
+        os.fsync(fp.fileno())
+    os.replace(tmp, path)
+
+
+def write_metrics(
+    path: str, registry: MetricsRegistry, *, meta: dict | None = None
+) -> None:
+    """Write a registry scrape to ``path`` (format chosen by extension)."""
+    if path.endswith((".prom", ".txt")):
+        _atomic_write(path, prometheus_text(registry.collect()))
+    else:
+        _atomic_write(
+            path, json.dumps(snapshot(registry, meta=meta), indent=2) + "\n"
+        )
+
+
+def write_trace(path: str, tracer) -> None:
+    """Write a tracer's spans as Chrome ``trace_event`` JSON."""
+    from .tracing import to_chrome_trace
+
+    _atomic_write(path, json.dumps(to_chrome_trace(tracer)) + "\n")
+
+
+class PeriodicSink:
+    """Keeps an on-disk snapshot of a registry at most ``interval_s`` stale.
+
+    ``tick()`` is safe to call per visit from any thread: it is a clock
+    compare in the common case and flushes (atomically, via a rename)
+    only when the interval has elapsed.  ``interval_s=0`` flushes on
+    every tick.  Always :meth:`close` (or flush) at campaign end so the
+    final state lands.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        registry: MetricsRegistry,
+        *,
+        interval_s: float = 30.0,
+        meta: dict | None = None,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError("sink interval must be >= 0")
+        self.path = path
+        self.registry = registry
+        self.interval_s = interval_s
+        self.meta = meta
+        self.flushes = 0
+        self._last_flush = time.monotonic()
+        self._tick_lock = threading.Lock()
+
+    def tick(self) -> bool:
+        """Flush if the interval has elapsed; True when a write happened."""
+        if time.monotonic() - self._last_flush < self.interval_s:
+            return False
+        with self._tick_lock:
+            if time.monotonic() - self._last_flush < self.interval_s:
+                return False
+            self.flush()
+            return True
+
+    def flush(self) -> None:
+        write_metrics(self.path, self.registry, meta=self.meta)
+        self.flushes += 1
+        self._last_flush = time.monotonic()
+
+    def close(self) -> None:
+        self.flush()
+
+
+# -- snapshot rendering (the `repro metrics` subcommand) ---------------------
+
+
+class SnapshotError(ValueError):
+    """The file is not a ``repro-metrics-v1`` snapshot."""
+
+
+def load_snapshot(path: str) -> dict:
+    """Read and validate a snapshot document written by ``--metrics-out``."""
+    try:
+        with open(path) as fp:
+            document = json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"not a JSON metrics snapshot: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != SNAPSHOT_FORMAT
+        or not isinstance(document.get("metrics"), list)
+    ):
+        raise SnapshotError(
+            f"not a {SNAPSHOT_FORMAT} snapshot (was it written by "
+            "`repro study --metrics-out`?)"
+        )
+    return document
+
+
+def render_snapshot(document: dict) -> str:
+    """Render a snapshot document as a human-readable table."""
+    lines: list[str] = []
+    meta = document.get("meta") or {}
+    if meta:
+        described = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"snapshot: {described}")
+        lines.append("")
+    rows: list[tuple[str, str, str]] = []
+    for metric in document["metrics"]:
+        labelnames = metric.get("labelnames", [])
+        for sample in metric.get("samples", []):
+            labels = ", ".join(
+                f"{name}={value}"
+                for name, value in zip(labelnames, sample.get("labels", []))
+            )
+            if metric.get("kind") == "histogram":
+                count = sample.get("count", 0)
+                total = sample.get("sum", 0.0)
+                value = HistogramValue(
+                    buckets=[
+                        (float("inf") if le is None else le, cumulative)
+                        for le, cumulative in sample.get("buckets", [])
+                    ],
+                    sum=total,
+                    count=count,
+                )
+                mean = total / count if count else 0.0
+                rendered = (
+                    f"count={count} sum={total:.6g} mean={mean:.6g} "
+                    f"p50={value.quantile(0.5):.6g} "
+                    f"p99={value.quantile(0.99):.6g}"
+                )
+            else:
+                rendered = format(sample.get("value", 0.0), "g")
+            rows.append((metric["name"], labels, rendered))
+    if not rows:
+        lines.append("(snapshot contains no samples)")
+        return "\n".join(lines)
+    name_width = max(len(row[0]) for row in rows) + 2
+    label_width = max(len(row[1]) for row in rows) + 2
+    header = f"{'metric':<{name_width}}{'labels':<{label_width}}value"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, labels, rendered in rows:
+        lines.append(f"{name:<{name_width}}{labels:<{label_width}}{rendered}")
+    return "\n".join(lines)

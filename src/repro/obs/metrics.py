@@ -1,0 +1,338 @@
+"""Labeled metrics registry: Counter, Gauge, Histogram, lock-free hot path.
+
+The paper's measurement infrastructure ran for weeks; ours aims at the
+same scale, which means the instrumentation must never become the
+bottleneck it is supposed to diagnose.  The design rule here is that the
+*write* path (``inc``/``observe``) is wait-free with respect to the
+*read* path (``collect``):
+
+* every Counter and Histogram keeps **per-thread shards** — a thread's
+  first touch registers a private dict under a lock, after which all of
+  its increments are plain dict mutations on memory no other writer
+  touches (safe under the GIL, and contention-free by construction);
+* a scrape aggregates a snapshot of all shards without taking any lock
+  the writers use, so a slow exporter can never stall a crawl worker;
+* shards are owned by the metric, not the thread: a worker thread that
+  exits leaves its final counts behind, so totals stay exact.
+
+Gauges are last-write-wins (``set``) with a small lock only for the
+read-modify-write ``inc``/``dec`` path — they record levels (queue
+depth), not rates, and are never on a per-event hot path.
+
+Histograms use **fixed bucket boundaries** chosen at declaration time
+(Prometheus ``le`` semantics: a bucket counts observations ``<=`` its
+upper bound; an implicit ``+Inf`` bucket catches the rest).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Default histogram boundaries — tuned for sub-second harness latencies
+#: (commit times, parse times, cancellation latencies), in seconds.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+LabelValues = tuple[str, ...]
+
+
+def _check_labels(labelnames: Sequence[str], labels: LabelValues) -> None:
+    if len(labels) != len(labelnames):
+        raise ValueError(
+            f"expected {len(labelnames)} label value(s) "
+            f"for {tuple(labelnames)}, got {labels!r}"
+        )
+
+
+class _Sharded:
+    """Per-thread shard management shared by Counter and Histogram."""
+
+    __slots__ = ("name", "help", "labelnames", "_shards", "_local", "_lock")
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        # Shards are appended, never removed: a dead thread's shard keeps
+        # its final values, so aggregation over all shards is exact.
+        # (Keyed by shard object, not thread id — ids can be reused.)
+        self._shards: list[dict] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _shard(self) -> dict:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = {}
+            with self._lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    @property
+    def shard_count(self) -> int:
+        """How many threads have ever written to this metric."""
+        return len(self._shards)
+
+    def _snapshot_shards(self) -> list[dict]:
+        # list() on a list only ever racing with append() is safe under
+        # the GIL; the scrape never touches the writers' lock.
+        return list(self._shards)
+
+
+class Counter(_Sharded):
+    """A monotonically increasing labeled counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, labels: LabelValues = ()) -> None:
+        shard = self._shard()
+        shard[labels] = shard.get(labels, 0.0) + amount
+
+    def value(self, labels: LabelValues = ()) -> float:
+        return self.values().get(labels, 0.0)
+
+    def values(self) -> dict[LabelValues, float]:
+        """Aggregate all shards into per-label totals (the scrape path)."""
+        out: dict[LabelValues, float] = {}
+        for shard in self._snapshot_shards():
+            for labels, amount in list(shard.items()):
+                _check_labels(self.labelnames, labels)
+                out[labels] = out.get(labels, 0.0) + amount
+        return out
+
+
+class Gauge:
+    """A labeled value that can go up and down (levels, not rates)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labelnames", "_values", "_lock")
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._values: dict[LabelValues, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, labels: LabelValues = ()) -> None:
+        _check_labels(self.labelnames, labels)
+        self._values[labels] = value  # plain assignment: atomic under GIL
+
+    def inc(self, amount: float = 1.0, labels: LabelValues = ()) -> None:
+        _check_labels(self.labelnames, labels)
+        with self._lock:
+            self._values[labels] = self._values.get(labels, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, labels: LabelValues = ()) -> None:
+        self.inc(-amount, labels)
+
+    def value(self, labels: LabelValues = ()) -> float:
+        return self._values.get(labels, 0.0)
+
+    def values(self) -> dict[LabelValues, float]:
+        return dict(self._values)
+
+
+@dataclass(slots=True)
+class HistogramValue:
+    """Aggregated state of one labeled histogram series."""
+
+    #: Cumulative Prometheus buckets: ``(le, count_of_observations <= le)``,
+    #: ending with the implicit ``(inf, total_count)``.
+    buckets: list[tuple[float, int]]
+    sum: float
+    count: int
+
+    def quantile(self, q: float) -> float:
+        """Estimate a quantile by linear interpolation inside its bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        lower = 0.0
+        prev_count = 0
+        for le, cumulative in self.buckets:
+            if cumulative >= target:
+                if le == float("inf"):
+                    return lower  # best effort above the last bound
+                span = cumulative - prev_count
+                if span <= 0:
+                    return le
+                return lower + (le - lower) * (target - prev_count) / span
+            lower = le
+            prev_count = cumulative
+        return lower
+
+
+class Histogram(_Sharded):
+    """Fixed-boundary labeled histogram (Prometheus ``le`` semantics)."""
+
+    kind = "histogram"
+
+    __slots__ = ("bounds",)
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bucket boundaries must be distinct")
+        self.bounds = bounds
+
+    def observe(self, value: float, labels: LabelValues = ()) -> None:
+        shard = self._shard()
+        cell = shard.get(labels)
+        if cell is None:
+            # Per-bucket (non-cumulative) counts + [sum]; cumulated at
+            # scrape time so the hot path touches exactly two slots.
+            cell = shard[labels] = [0] * (len(self.bounds) + 1) + [0.0]
+        cell[bisect_left(self.bounds, value)] += 1
+        cell[-1] += value
+
+    def value(self, labels: LabelValues = ()) -> HistogramValue:
+        return self.values().get(
+            labels,
+            HistogramValue(
+                buckets=[(le, 0) for le in (*self.bounds, float("inf"))],
+                sum=0.0,
+                count=0,
+            ),
+        )
+
+    def values(self) -> dict[LabelValues, HistogramValue]:
+        merged: dict[LabelValues, list] = {}
+        for shard in self._snapshot_shards():
+            for labels, cell in list(shard.items()):
+                _check_labels(self.labelnames, labels)
+                cell = list(cell)  # freeze a racing writer's view
+                into = merged.get(labels)
+                if into is None:
+                    merged[labels] = cell
+                else:
+                    for i, amount in enumerate(cell):
+                        into[i] += amount
+        out: dict[LabelValues, HistogramValue] = {}
+        for labels, cell in merged.items():
+            counts, total = cell[:-1], cell[-1]
+            cumulative: list[tuple[float, int]] = []
+            running = 0
+            for le, count in zip((*self.bounds, float("inf")), counts):
+                running += count
+                cumulative.append((le, running))
+            out[labels] = HistogramValue(
+                buckets=cumulative, sum=total, count=running
+            )
+        return out
+
+
+Metric = Counter | Gauge | Histogram
+
+
+@dataclass(slots=True)
+class MetricFamily:
+    """One metric's aggregated scrape snapshot."""
+
+    name: str
+    kind: str
+    help: str
+    labelnames: tuple[str, ...]
+    samples: dict[LabelValues, float | HistogramValue] = field(
+        default_factory=dict
+    )
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and scrapes metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: a second
+    declaration with the same name must agree on kind and label names
+    (histograms also on buckets), mirroring Prometheus client semantics.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._get_or_create(
+            name, lambda: Counter(name, help, labelnames), "counter"
+        )
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(f"metric {name!r} label names differ")
+        return metric  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        metric = self._get_or_create(
+            name, lambda: Gauge(name, help, labelnames), "gauge"
+        )
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(f"metric {name!r} label names differ")
+        return metric  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, help, labelnames, buckets), "histogram"
+        )
+        assert isinstance(metric, Histogram)
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(f"metric {name!r} label names differ")
+        if metric.bounds != tuple(sorted(float(b) for b in buckets)):
+            raise ValueError(f"metric {name!r} bucket boundaries differ")
+        return metric
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> list[MetricFamily]:
+        """Aggregate every metric into scrape snapshots, sorted by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return [
+            MetricFamily(
+                name=name,
+                kind=metric.kind,
+                help=metric.help,
+                labelnames=metric.labelnames,
+                samples=dict(metric.values()),
+            )
+            for name, metric in metrics
+        ]

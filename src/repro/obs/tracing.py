@@ -1,0 +1,183 @@
+"""Structured spans on dual clocks, exportable as Chrome ``trace_event`` JSON.
+
+The harness runs on two clocks at once: the **simulated** clock that the
+browser model, retries, and deadlines are defined against, and the
+**wall** clock the process actually burns.  A slowdown on one without
+the other is diagnostic in itself (a fault plan stalling simulated time
+vs. a storage layer stalling real time), so every span records both.
+
+Spans nest per thread: entering a span pushes it on the calling thread's
+stack, so a ``visit`` span opened inside an ``os-pass`` span carries the
+right depth without any global coordination.  Finished spans land in a
+**bounded ring buffer** — a multi-week campaign cannot grow the tracer
+without bound; when the buffer wraps, the oldest spans are dropped and
+counted in :attr:`Tracer.dropped`.
+
+Export format is Chrome's ``trace_event`` JSON (complete ``"ph": "X"``
+events), loadable in ``chrome://tracing`` and Perfetto — fitting, given
+the pipeline under observation simulates Chrome's own NetLog.  Simulated
+start/duration ride along in each event's ``args`` (``sim_start_ms``,
+``sim_dur_ms``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Default ring capacity: at one span per visit, several full-scale
+#: campaign passes fit comfortably.
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span, on both clocks."""
+
+    name: str
+    category: str
+    #: Wall-clock start, seconds since the tracer's epoch.
+    start_wall_s: float
+    dur_wall_s: float
+    #: Simulated-clock start/duration in ms; None when the span ran
+    #: outside any simulated timeline (e.g. an export flush).
+    sim_start_ms: float | None
+    sim_dur_ms: float | None
+    thread_ident: int
+    thread_name: str
+    depth: int
+    args: dict | None
+
+
+class Tracer:
+    """Collects spans from any number of threads into a bounded ring."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: deque[SpanRecord] = deque(maxlen=capacity)
+        self._epoch = time.perf_counter()
+        self._stacks = threading.local()
+        self._lock = threading.Lock()
+        #: Spans evicted by the ring buffer (overflow accounting).
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "repro",
+        sim_now: Callable[[], float] | None = None,
+        args: dict | None = None,
+    ) -> Iterator[dict]:
+        """Record one span around the ``with`` body.
+
+        ``sim_now`` is a zero-argument callable returning the current
+        simulated time in milliseconds (e.g. ``lambda: clock.now_ms``);
+        it is sampled at entry and exit.  The yielded dict is the span's
+        ``args`` — mutate it inside the body to annotate the span.
+        """
+        depth = getattr(self._stacks, "depth", 0)
+        self._stacks.depth = depth + 1
+        span_args = args if args is not None else {}
+        start_wall = time.perf_counter()
+        sim_start = sim_now() if sim_now is not None else None
+        try:
+            yield span_args
+        finally:
+            end_wall = time.perf_counter()
+            sim_end = sim_now() if sim_now is not None else None
+            self._stacks.depth = depth
+            thread = threading.current_thread()
+            self._append(
+                SpanRecord(
+                    name=name,
+                    category=category,
+                    start_wall_s=start_wall - self._epoch,
+                    dur_wall_s=end_wall - start_wall,
+                    sim_start_ms=sim_start,
+                    sim_dur_ms=(
+                        sim_end - sim_start
+                        if sim_start is not None and sim_end is not None
+                        else None
+                    ),
+                    thread_ident=thread.ident or 0,
+                    thread_name=thread.name,
+                    depth=depth,
+                    args=span_args or None,
+                )
+            )
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self.dropped += 1
+            self._spans.append(record)
+
+    def spans(self) -> list[SpanRecord]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Render a tracer's spans as a Chrome ``trace_event`` document.
+
+    Complete events (``"ph": "X"``) with microsecond timestamps relative
+    to the tracer epoch; per-thread ``thread_name`` metadata events make
+    the worker lanes legible in Perfetto.  Simulated-clock timings ride
+    in ``args``.
+    """
+    spans = tracer.spans()
+    # Stable small thread ids in order of first appearance.
+    tids: dict[int, int] = {}
+    names: dict[int, str] = {}
+    for span in spans:
+        if span.thread_ident not in tids:
+            tids[span.thread_ident] = len(tids) + 1
+            names[span.thread_ident] = span.thread_name
+    events: list[dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": names[ident]},
+        }
+        for ident, tid in tids.items()
+    ]
+    for span in spans:
+        event: dict = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": round(span.start_wall_s * 1e6, 3),
+            "dur": round(span.dur_wall_s * 1e6, 3),
+            "pid": 1,
+            "tid": tids[span.thread_ident],
+        }
+        args = dict(span.args) if span.args else {}
+        if span.sim_start_ms is not None:
+            args["sim_start_ms"] = round(span.sim_start_ms, 3)
+            args["sim_dur_ms"] = round(span.sim_dur_ms or 0.0, 3)
+        args["depth"] = span.depth
+        event["args"] = args
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro-obs",
+            "spans": len(spans),
+            "dropped": tracer.dropped,
+        },
+    }

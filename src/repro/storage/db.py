@@ -27,8 +27,10 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from typing import Callable, Iterable
 
+from .. import obs
 from ..core.addresses import Locality, RequestTarget
 from ..core.detector import DetectionResult, LocalRequest
 from ..netlog.events import NetLogEvent
@@ -38,6 +40,17 @@ from .records import DeadLetterRow, LocalRequestRow, VisitRow
 
 #: Fault seam: called with "crawl:domain:os" before each visit write.
 WriteFaultHook = Callable[[str], None]
+
+_COMMIT_SECONDS = obs.histogram(
+    "repro_store_commit_seconds",
+    "telemetry store commit latency (batch = commit_every auto-commits, "
+    "explicit = caller checkpoints and flushes)",
+    ("kind",),
+)
+_VISIT_WRITES = obs.counter(
+    "repro_store_visit_writes_total",
+    "visit rows written to the telemetry store",
+)
 
 
 class TelemetryStore:
@@ -94,12 +107,20 @@ class TelemetryStore:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _timed_commit(self, kind: str) -> None:
+        if _COMMIT_SECONDS.enabled:
+            start = time.perf_counter()
+            self._conn.commit()
+            _COMMIT_SECONDS.observe(time.perf_counter() - start, labels=(kind,))
+        else:
+            self._conn.commit()
+
     def close(self) -> None:
         with self._lock:
             if self.commit_every and self._pending_writes:
                 # Batched mode: a clean close flushes the tail batch; only
                 # a crash (process death, no close) loses pending writes.
-                self._conn.commit()
+                self._timed_commit("batch")
                 self._pending_writes = 0
             self._conn.close()
 
@@ -111,7 +132,7 @@ class TelemetryStore:
 
     def commit(self) -> None:
         with self._lock:
-            self._conn.commit()
+            self._timed_commit("explicit")
             self._pending_writes = 0
 
     def flush(self) -> None:
@@ -124,7 +145,7 @@ class TelemetryStore:
             return
         self._pending_writes += 1
         if self._pending_writes >= self.commit_every:
-            self._conn.commit()
+            self._timed_commit("batch")
             self._pending_writes = 0
 
     # -- writes --------------------------------------------------------------
@@ -147,6 +168,7 @@ class TelemetryStore:
         """Store one visit; returns its visit id."""
         if self.write_fault_hook is not None:
             self.write_fault_hook(f"{crawl}:{domain}:{os_name}")
+        _VISIT_WRITES.inc()
         with self._lock:
             return self._record_visit_locked(
                 crawl,

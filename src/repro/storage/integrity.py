@@ -29,12 +29,31 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from .. import obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (db -> migrations -> here)
     from ..netlog.archive import NetLogArchive
     from .db import TelemetryStore
+
+_FSCK_FINDINGS = obs.counter(
+    "repro_fsck_findings_total",
+    "fsck findings by corruption kind",
+    ("kind",),
+)
+_FSCK_REPAIRS = obs.counter(
+    "repro_fsck_repairs_total",
+    "fsck repairs by tier (cleanup, reparse, revisit, quarantine)",
+    ("tier",),
+)
+_FSCK_SECONDS = obs.histogram(
+    "repro_fsck_scan_seconds",
+    "wall time of one full fsck scan (including any repairs)",
+    buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0),
+)
 
 #: Identifier of the digest scheme, recorded in fsck reports.
 DIGEST_ALGORITHM = "sha256-visit-v1"
@@ -334,6 +353,7 @@ def fsck(
     any repairs, so equality with a fault-free run's rollup proves the
     repair restored content, not just consistency.
     """
+    scan_start = time.perf_counter() if _FSCK_SECONDS.enabled else 0.0
     report = FsckReport()
     conn = store.connection
     crawls = (
@@ -350,6 +370,12 @@ def fsck(
         report.campaign_digests[crawl_name] = campaign_digest(store, crawl_name)
     if repair:
         store.commit()
+    for finding in report.findings:
+        _FSCK_FINDINGS.inc(labels=(finding.kind.value,))
+        if finding.repaired:
+            _FSCK_REPAIRS.inc(labels=(finding.repair_tier or "unknown",))
+    if _FSCK_SECONDS.enabled:
+        _FSCK_SECONDS.observe(time.perf_counter() - scan_start)
     return report
 
 

@@ -85,3 +85,25 @@ def test_watchdog_start_stop_idempotent():
 def test_watchdog_rejects_bad_poll_interval():
     with pytest.raises(ValueError):
         Watchdog(poll_interval_s=0.0)
+
+
+def test_cancellation_latency_recorded_within_one_poll_interval():
+    # Satellite invariant: the watchdog cancels at most one poll interval
+    # after the deadline, and the histogram records exactly that latency.
+    from repro import obs
+
+    registry = obs.enable()
+    poll = 0.25
+    try:
+        token = CancelToken()
+        with Watchdog(poll_interval_s=poll) as watchdog:
+            with watchdog.watch(0, "windows:slow.example", 0.05, token):
+                assert token.wait(5.0), "watchdog never cancelled the visit"
+        hist = registry.get("repro_watchdog_cancel_latency_seconds")
+        value = hist.value()
+        assert value.count == 1
+        # Bounded by construction: deadline -> cancel takes at most one
+        # poll interval (plus scheduling slack for loaded CI hosts).
+        assert 0.0 <= value.sum <= poll + 0.25
+    finally:
+        obs.disable()

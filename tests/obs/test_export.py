@@ -1,0 +1,143 @@
+"""Exporter tests: Prometheus text, JSON snapshots, the periodic sink."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    SNAPSHOT_FORMAT,
+    PeriodicSink,
+    SnapshotError,
+    load_snapshot,
+    prometheus_text,
+    render_snapshot,
+    snapshot,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_visits_total", "visits", ("os",)).inc(
+        5, ("linux",)
+    )
+    registry.gauge("repro_queue_depth", "queue").set(3)
+    hist = registry.histogram(
+        "repro_commit_seconds", "commit latency", (), buckets=(0.1, 1.0)
+    )
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(7.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_exposition_format(self, registry):
+        text = prometheus_text(registry.collect())
+        assert "# HELP repro_visits_total visits" in text
+        assert "# TYPE repro_visits_total counter" in text
+        assert 'repro_visits_total{os="linux"} 5' in text
+        assert "repro_queue_depth 3" in text
+        assert 'repro_commit_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_commit_seconds_bucket{le="1"} 2' in text
+        assert 'repro_commit_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_commit_seconds_sum 7.55" in text
+        assert "repro_commit_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("q",)).inc(
+            labels=('a"b\\c\nd',)
+        )
+        text = prometheus_text(registry.collect())
+        assert 'q="a\\"b\\\\c\\nd"' in text
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_and_self_describing(self, registry):
+        document = snapshot(registry, meta={"scale": 0.01})
+        document = json.loads(json.dumps(document))  # no Infinity leaks
+        assert document["format"] == SNAPSHOT_FORMAT
+        assert document["meta"] == {"scale": 0.01}
+        by_name = {m["name"]: m for m in document["metrics"]}
+        hist = by_name["repro_commit_seconds"]["samples"][0]
+        assert hist["count"] == 3
+        # The +Inf bound serialises as null.
+        assert hist["buckets"][-1] == [None, 3]
+
+    def test_write_metrics_format_by_extension(self, registry, tmp_path):
+        json_path = str(tmp_path / "m.json")
+        prom_path = str(tmp_path / "m.prom")
+        write_metrics(json_path, registry)
+        write_metrics(prom_path, registry)
+        assert json.load(open(json_path))["format"] == SNAPSHOT_FORMAT
+        assert "# TYPE" in open(prom_path).read()
+        # Atomic writes leave no temp files behind.
+        assert not [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+
+    def test_write_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = str(tmp_path / "trace.json")
+        write_trace(path, tracer)
+        assert json.load(open(path))["metadata"]["spans"] == 1
+
+    def test_load_snapshot_round_trip(self, registry, tmp_path):
+        path = str(tmp_path / "m.json")
+        write_metrics(path, registry, meta={"workers": 4})
+        document = load_snapshot(path)
+        assert document["meta"]["workers"] == 4
+
+    def test_load_snapshot_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError, match="not a JSON"):
+            load_snapshot(str(path))
+
+    def test_load_snapshot_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(SnapshotError, match=SNAPSHOT_FORMAT):
+            load_snapshot(str(path))
+
+
+class TestRenderSnapshot:
+    def test_table_contains_all_series(self, registry):
+        text = render_snapshot(snapshot(registry, meta={"scale": 0.01}))
+        assert "snapshot: scale=0.01" in text
+        assert "repro_visits_total" in text
+        assert "os=linux" in text
+        assert "count=3" in text and "p50=" in text and "p99=" in text
+
+    def test_empty_snapshot_renders(self):
+        text = render_snapshot(snapshot(MetricsRegistry()))
+        assert "no samples" in text
+
+
+class TestPeriodicSink:
+    def test_zero_interval_flushes_every_tick(self, registry, tmp_path):
+        path = str(tmp_path / "m.json")
+        sink = PeriodicSink(path, registry, interval_s=0.0)
+        assert sink.tick() is True
+        assert sink.tick() is True
+        assert sink.flushes == 2
+        assert os.path.exists(path)
+
+    def test_long_interval_skips_until_due(self, registry, tmp_path):
+        path = str(tmp_path / "m.json")
+        sink = PeriodicSink(path, registry, interval_s=3600.0)
+        assert sink.tick() is False
+        assert not os.path.exists(path)
+        sink.close()  # final flush always lands
+        assert sink.flushes == 1
+        assert os.path.exists(path)
+
+    def test_negative_interval_rejected(self, registry, tmp_path):
+        with pytest.raises(ValueError):
+            PeriodicSink(str(tmp_path / "m.json"), registry, interval_s=-1)

@@ -1,0 +1,231 @@
+"""Metrics registry tests: shards, label discipline, scrape-under-fire.
+
+The concurrency tests pin the subsystem's core contract: N threads
+hammering a Counter/Histogram while another thread scrapes must lose no
+increments and never block or raise.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help", ())
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = Counter("c_total", "", ("os",))
+        counter.inc(labels=("linux",))
+        counter.inc(3, labels=("windows",))
+        assert counter.value(("linux",)) == 1
+        assert counter.value(("windows",)) == 3
+        assert counter.value(("mac",)) == 0
+
+    def test_label_arity_checked_at_scrape(self):
+        counter = Counter("c_total", "", ("os",))
+        counter.inc(labels=("linux", "extra"))
+        with pytest.raises(ValueError, match="label value"):
+            counter.values()
+
+    def test_dead_thread_shard_keeps_its_counts(self):
+        counter = Counter("c_total", "", ())
+        thread = threading.Thread(target=lambda: counter.inc(7))
+        thread.start()
+        thread.join()
+        counter.inc(1)
+        assert counter.value() == 8
+        assert counter.shard_count == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "", ())
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_labeled(self):
+        gauge = Gauge("g", "", ("worker",))
+        gauge.set(2, ("0",))
+        gauge.set(3, ("1",))
+        assert gauge.values() == {("0",): 2, ("1",): 3}
+
+    def test_label_arity_checked_on_write(self):
+        gauge = Gauge("g", "", ("worker",))
+        with pytest.raises(ValueError):
+            gauge.set(1)
+
+
+class TestHistogram:
+    def test_le_semantics_boundary_lands_in_its_bucket(self):
+        # Prometheus `le`: a bucket counts observations <= its bound.
+        hist = Histogram("h", "", (), buckets=(0.1, 0.5, 1.0))
+        hist.observe(0.1)
+        value = hist.value()
+        assert value.buckets[0] == (0.1, 1)
+        assert value.count == 1
+
+    def test_overflow_goes_to_inf_bucket(self):
+        hist = Histogram("h", "", (), buckets=(0.1,))
+        hist.observe(99.0)
+        value = hist.value()
+        assert value.buckets == [(0.1, 0), (float("inf"), 1)]
+        assert value.sum == 99.0
+
+    def test_cumulative_buckets_and_sum(self):
+        hist = Histogram("h", "", (), buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.7, 4.0, 100.0):
+            hist.observe(v)
+        value = hist.value()
+        assert [c for _, c in value.buckets] == [1, 3, 4, 5]
+        assert value.count == 5
+        assert value.sum == pytest.approx(107.7)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram("h", "", (), buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(1.5)
+        value = hist.value()
+        # All mass in (1.0, 2.0]: the median interpolates inside it.
+        assert 1.0 < value.quantile(0.5) <= 2.0
+        assert value.quantile(0.0) <= value.quantile(0.5) <= value.quantile(1.0)
+
+    def test_empty_value_is_zeroed(self):
+        hist = Histogram("h", "", ())
+        value = hist.value()
+        assert value.count == 0
+        assert value.quantile(0.99) == 0.0
+
+    def test_rejects_empty_and_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", (), buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", "", (), buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "help")
+        b = registry.counter("c_total", "help")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m", "")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "", ("os",))
+        with pytest.raises(ValueError, match="label names differ"):
+            registry.counter("m", "", ("worker",))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "", (), buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket"):
+            registry.histogram("h", "", (), buckets=(1.0, 3.0))
+
+    def test_collect_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total", "").inc()
+        registry.gauge("aaa", "").set(1)
+        registry.histogram("mmm", "").observe(0.01)
+        families = registry.collect()
+        assert [f.name for f in families] == ["aaa", "mmm", "zzz_total"]
+        assert families[0].kind == "gauge"
+        assert families[2].samples[()] == 1.0
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestConcurrency:
+    """Satellite: scrapes never block or corrupt concurrent writers."""
+
+    THREADS = 8
+    INCREMENTS = 5_000
+
+    def test_counter_totals_exact_under_concurrent_scrapes(self):
+        counter = Counter("c_total", "", ("t",))
+        stop_scraping = threading.Event()
+        scrape_errors = []
+
+        def scrape_loop():
+            while not stop_scraping.is_set():
+                try:
+                    counter.values()  # must never raise mid-write
+                except Exception as exc:  # pragma: no cover - the failure
+                    scrape_errors.append(exc)
+                    return
+
+        def hammer(tid: int):
+            label = (str(tid),)
+            for _ in range(self.INCREMENTS):
+                counter.inc(labels=label)
+
+        scraper = threading.Thread(target=scrape_loop)
+        scraper.start()
+        workers = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop_scraping.set()
+        scraper.join()
+
+        assert not scrape_errors
+        totals = counter.values()
+        for t in range(self.THREADS):
+            assert totals[(str(t),)] == self.INCREMENTS
+        # One shard per writer thread: the hot path never contended.
+        assert counter.shard_count == self.THREADS
+
+    def test_histogram_counts_exact_under_concurrent_scrapes(self):
+        hist = Histogram("h", "", (), buckets=(0.25, 0.5, 0.75))
+        stop_scraping = threading.Event()
+
+        def scrape_loop():
+            while not stop_scraping.is_set():
+                value = hist.value()
+                # Monotonic invariants must hold in every mid-flight view.
+                counts = [c for _, c in value.buckets]
+                assert counts == sorted(counts)
+
+        def hammer(tid: int):
+            for i in range(self.INCREMENTS):
+                hist.observe((i % 4) / 4.0)
+
+        scraper = threading.Thread(target=scrape_loop)
+        scraper.start()
+        workers = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop_scraping.set()
+        scraper.join()
+
+        value = hist.value()
+        assert value.count == self.THREADS * self.INCREMENTS

@@ -1,0 +1,75 @@
+"""Progress-line tests: stderr discipline, throttling, thread safety."""
+
+import io
+import threading
+
+from repro.obs.progress import ProgressLine, _format_eta
+
+
+class TestFormatEta:
+    def test_ranges(self):
+        assert _format_eta(5.4) == "5s"
+        assert _format_eta(65) == "1m05s"
+        assert _format_eta(3700) == "1h01m"
+        assert _format_eta(float("inf")) == "--"
+        assert _format_eta(-1) == "--"
+
+
+class TestProgressLine:
+    def test_non_tty_stays_silent_until_finish(self):
+        stream = io.StringIO()  # not a TTY: no live frames
+        progress = ProgressLine(10, stream=stream)
+        for _ in range(10):
+            progress.update()
+        assert stream.getvalue() == ""
+        progress.finish()
+        summary = stream.getvalue()
+        assert summary.endswith("\n")
+        assert "visits 10/10 (100.0%)" in summary
+        assert "\r" not in summary
+
+    def test_live_mode_rewrites_one_line(self):
+        stream = io.StringIO()
+        progress = ProgressLine(
+            4, stream=stream, live=True, min_interval_s=0.0
+        )
+        progress.update()
+        progress.update(error=True)
+        assert stream.getvalue().count("\r") == 2
+        progress.finish()
+        final = stream.getvalue().splitlines()[-1]
+        assert "visits 2/4 (50.0%)" in final
+        assert "errors 50.0%" in final
+
+    def test_error_rate_in_summary(self):
+        stream = io.StringIO()
+        progress = ProgressLine(8, stream=stream)
+        for i in range(8):
+            progress.update(error=i < 2)
+        progress.finish()
+        assert "errors 25.0%" in stream.getvalue()
+
+    def test_zero_total_does_not_divide_by_zero(self):
+        stream = io.StringIO()
+        progress = ProgressLine(0, stream=stream)
+        progress.finish()
+        assert "visits 0/0 (100.0%)" in stream.getvalue()
+
+    def test_thread_safe_updates(self):
+        stream = io.StringIO()
+        progress = ProgressLine(
+            800, stream=stream, live=True, min_interval_s=0.0
+        )
+        threads = [
+            threading.Thread(
+                target=lambda: [progress.update() for _ in range(100)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        progress.finish()
+        assert progress.done == 800
+        assert "visits 800/800" in stream.getvalue().splitlines()[-1]

@@ -1,0 +1,140 @@
+"""Tracer tests: dual clocks, nesting, the bounded ring, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import Tracer, to_chrome_trace
+
+
+class FakeSimClock:
+    def __init__(self):
+        self.now_ms = 0.0
+
+    def __call__(self) -> float:
+        return self.now_ms
+
+
+class TestSpans:
+    def test_span_records_name_category_and_wall_duration(self):
+        tracer = Tracer()
+        with tracer.span("visit", category="crawl"):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "visit"
+        assert span.category == "crawl"
+        assert span.dur_wall_s >= 0.0
+        assert span.sim_start_ms is None
+
+    def test_sim_clock_sampled_at_entry_and_exit(self):
+        tracer = Tracer()
+        clock = FakeSimClock()
+        with tracer.span("visit", sim_now=clock):
+            clock.now_ms = 1500.0
+        (span,) = tracer.spans()
+        assert span.sim_start_ms == 0.0
+        assert span.sim_dur_ms == 1500.0
+
+    def test_args_annotated_inside_body(self):
+        tracer = Tracer()
+        with tracer.span("visit", args={"domain": "a.example"}) as args:
+            args["success"] = True
+        (span,) = tracer.spans()
+        assert span.args == {"domain": "a.example", "success": True}
+
+    def test_nesting_depth_is_per_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # inner finishes first
+        assert inner.name == "inner" and inner.depth == 1
+        assert outer.name == "outer" and outer.depth == 0
+
+    def test_depth_restored_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        with tracer.span("after"):
+            pass
+        failing, after = tracer.spans()
+        assert failing.depth == 0
+        assert after.depth == 0
+
+    def test_threads_do_not_share_depth(self):
+        tracer = Tracer()
+        ready = threading.Event()
+
+        def other():
+            ready.wait(5.0)
+            with tracer.span("other-thread"):
+                pass
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        with tracer.span("main-outer"):
+            ready.set()
+            thread.join()
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["other-thread"].depth == 0
+
+
+class TestRingBuffer:
+    def test_ring_drops_oldest_and_counts(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestChromeExport:
+    def test_export_shape_is_json_and_perfetto_loadable(self):
+        tracer = Tracer()
+        clock = FakeSimClock()
+        with tracer.span("visit", category="crawl", sim_now=clock) as args:
+            args["domain"] = "a.example"
+            clock.now_ms = 250.0
+        document = to_chrome_trace(tracer)
+        # Must survive a JSON round trip (the CLI writes it verbatim).
+        document = json.loads(json.dumps(document))
+        assert document["displayTimeUnit"] == "ms"
+        assert document["metadata"]["spans"] == 1
+        meta, event = document["traceEvents"]
+        assert meta["ph"] == "M" and meta["name"] == "thread_name"
+        assert event["ph"] == "X"
+        assert event["cat"] == "crawl"
+        assert event["pid"] == 1 and event["tid"] == 1
+        assert event["args"]["domain"] == "a.example"
+        assert event["args"]["sim_dur_ms"] == 250.0
+        assert event["dur"] >= 0.0
+
+    def test_thread_ids_are_stable_and_small(self):
+        tracer = Tracer()
+
+        def in_thread():
+            with tracer.span("worker-span"):
+                pass
+
+        with tracer.span("main-span"):
+            pass
+        thread = threading.Thread(target=in_thread, name="worker-7")
+        thread.start()
+        thread.join()
+        document = to_chrome_trace(tracer)
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert sorted(e["tid"] for e in events) == [1, 2]
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names[2] == "worker-7"

@@ -74,6 +74,98 @@ class TestStudy:
         assert "Fraud Detection" in out
 
 
+class TestOutputStreams:
+    """Diagnostics belong on stderr; stdout carries only results."""
+
+    def test_study_progress_chatter_on_stderr(self, capsys):
+        assert main(["study", "--scale", "0.002"]) == 0
+        captured = capsys.readouterr()
+        assert "crawling top2020" not in captured.out
+        assert "crawling top2020" in captured.err
+        # The final progress summary is diagnostics too.
+        assert "visits " in captured.err
+        assert "localhost-active sites" in captured.out
+
+    def test_analyze_salvage_warning_on_stderr(self, netlog_file, capsys):
+        # Regression: the salvage warning used to land on stdout, where
+        # it corrupted piped results.
+        truncated = netlog_file.read_text()[:-4]
+        netlog_file.write_text(truncated)
+        assert main(["analyze", str(netlog_file)]) == 0
+        captured = capsys.readouterr()
+        assert "damaged NetLog salvaged" in captured.err
+        assert "damaged NetLog salvaged" not in captured.out
+        assert "request flows" in captured.out
+
+
+class TestStudyObservability:
+    def test_metrics_and_trace_written(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "study", "--scale", "0.002", "--workers", "2",
+                "--metrics-out", str(metrics), "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "metrics snapshot written" in captured.err
+        assert "trace written" in captured.err
+        document = json.loads(metrics.read_text())
+        assert document["format"] == "repro-metrics-v1"
+        names = {m["name"] for m in document["metrics"]}
+        assert "repro_visits_total" in names
+        assert "repro_executor_dispatched_total" in names
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("name") == "visit" for e in events)
+
+    def test_observability_does_not_change_results(self, tmp_path, capsys):
+        assert main(["study", "--scale", "0.002"]) == 0
+        plain = capsys.readouterr().out
+        code = main(
+            [
+                "study", "--scale", "0.002",
+                "--metrics-out", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == plain
+
+    def test_prometheus_extension_selects_text_format(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            ["study", "--scale", "0.002", "--metrics-out", str(prom)]
+        )
+        assert code == 0
+        text = prom.read_text()
+        assert "# TYPE repro_visits_total counter" in text
+
+
+class TestMetricsCommand:
+    def test_renders_snapshot_table(self, tmp_path, capsys):
+        snapshot = tmp_path / "m.json"
+        assert main(
+            ["study", "--scale", "0.002", "--metrics-out", str(snapshot)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out and "labels" in out and "value" in out
+        assert "repro_visits_total" in out
+        assert "os=linux" in out
+
+    def test_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_foreign_json_rejected(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        assert main(["metrics", str(path)]) == 2
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+
 class TestTableCommand:
     def test_static_table4(self, capsys):
         assert main(["table", "4"]) == 0
@@ -130,7 +222,29 @@ class TestStudySupervised:
 
     def test_negative_workers_rejected(self, capsys):
         assert main(["study", "--scale", "0.001", "--workers", "-1"]) == 2
-        assert "--workers" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "--workers must be >= 0" in err
+        # The error explains the 0 sentinel, mirroring the --help text.
+        assert "sequential loop" in err
+
+    def test_zero_retries_rejected(self, capsys):
+        # Symmetric with --workers: out-of-range values get one clear
+        # line naming the flag, the value, and the sentinel meaning.
+        assert main(["study", "--scale", "0.001", "--retries", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--retries must be >= 1" in err
+        assert "single attempt" in err
+
+    def test_workers_zero_is_the_documented_sequential_sentinel(self, capsys):
+        assert main(["study", "--scale", "0.001", "--workers", "0"]) == 0
+        assert "supervision:" not in capsys.readouterr().out
+
+    def test_workers_help_documents_sentinel(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["study", "--help"])
+        # Collapse argparse's line wrapping before matching phrases.
+        help_text = " ".join(capsys.readouterr().out.split())
+        assert "0 is a sentinel meaning the plain sequential loop" in help_text
 
 
 class TestFaultPlanErrors:
