@@ -6,7 +6,7 @@ PYTHON ?= python
 DB ?= crawl.db
 NETLOG_DIR ?= netlogs
 
-.PHONY: install test lint bench bench-quick obs-bench report validate fsck examples clean
+.PHONY: install test lint bench bench-quick obs-bench pipeline-bench report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,9 @@ bench-quick:      ## 1%-filler variant for fast iteration
 
 obs-bench:        ## observability ablation: results invariant, overhead <= 5%
 	$(PYTHON) -m pytest benchmarks/test_ablation_observability.py --benchmark-disable -q
+
+pipeline-bench:   ## streaming-pipeline ablation: byte-invariant, bounded memory
+	$(PYTHON) -m pytest benchmarks/test_ablation_pipeline.py --benchmark-disable -q
 
 report:
 	$(PYTHON) -m repro.cli report -o report.txt

@@ -14,6 +14,17 @@ Event sequences follow Chrome's shape:
   (WS/WSS) carries the URL;
 * connect/TLS sub-events carry destinations and failures;
 * redirects appear as ``URL_REQUEST_REDIRECTED`` with the new location.
+
+Emission is streaming: events are pushed through a small
+:class:`~repro.netlog.pipeline.ReorderBuffer` in timestamp order as the
+visit runs, either into a caller-supplied
+:class:`~repro.netlog.pipeline.EventSink` (``visit(page, sink=...)``) or
+into the ``VisitResult.events`` list for batch callers.  Source ids are
+still allocated in page order (the order scripts planned their requests),
+but requests *execute* in start-time order so the buffer only ever holds
+the overlap window — the streaming path's memory is O(concurrently open
+requests), not O(total events), and the delivered order is byte-for-byte
+the ``(time, source id)`` sort the batch API always produced.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from dataclasses import dataclass, field
 from ..core.addresses import TargetParseError, parse_target
 from ..netlog.constants import EventPhase, EventType, SourceType
 from ..netlog.events import NetLogEvent, NetLogSource, SourceIdAllocator
+from ..netlog.pipeline import EventSink, ListSink, ReorderBuffer
 from .dns import SimulatedResolver
 from .errors import NetError
 from .network import SimulatedNetwork
@@ -40,7 +52,12 @@ _DNS_LOOKUP_MS = 18.0
 
 @dataclass(slots=True)
 class VisitResult:
-    """Outcome of one page visit."""
+    """Outcome of one page visit.
+
+    ``events`` carries the full ordered stream for batch callers; when
+    the visit ran in sink-driven mode the stream went to the caller's
+    sink instead and ``events`` stays empty.
+    """
 
     url: str
     os_name: str
@@ -60,7 +77,7 @@ class SimulatedChrome:
     Instances are cheap; the crawler creates one per (OS, crawl) and
     reuses it across sites — source ids keep increasing across visits,
     like a real long-lived browser process, but each visit's events are
-    returned separately (one NetLog per page, as the paper stored them).
+    delivered separately (one NetLog per page, as the paper stored them).
     """
 
     def __init__(
@@ -84,28 +101,60 @@ class SimulatedChrome:
 
     # -- public API -------------------------------------------------------
 
-    def visit(self, page: Page, *, forced_error: NetError | None = None) -> VisitResult:
+    def visit(
+        self,
+        page: Page,
+        *,
+        forced_error: NetError | None = None,
+        sink: EventSink | None = None,
+    ) -> VisitResult:
         """Load ``page`` and monitor it for the configured window.
 
         ``forced_error`` injects a main-frame load failure (used by crawl
         campaigns to reproduce the failure rates of Table 1); DNS failures
         may alternatively be injected at the resolver.
+
+        With ``sink``, events are pushed into it in ``(time, source id)``
+        order as the visit runs (single-pass streaming mode: detection,
+        archiving and any other consumers ride the same stream via a
+        :class:`~repro.netlog.pipeline.Tee`).  The sink receives every
+        event by return time, but ``sink.finish()`` is left to the
+        caller, who owns the sink graph.  Without a sink, the ordered
+        stream is collected into ``VisitResult.events``.
         """
         self.pages_visited += 1
-        events: list[NetLogEvent] = []
+        collector = ListSink() if sink is None else None
+        out = ReorderBuffer(collector if sink is None else sink)
         result = VisitResult(url=page.url, os_name=self.identity.name, success=False)
 
+        try:
+            self._run_visit(page, forced_error, out, result)
+        finally:
+            out.flush()
+        if collector is not None:
+            result.events = collector.events
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_visit(
+        self,
+        page: Page,
+        forced_error: NetError | None,
+        out: ReorderBuffer,
+        result: VisitResult,
+    ) -> None:
+        """Emit the visit's event stream into ``out``; sets ``result``."""
         try:
             target = parse_target(page.url)
         except TargetParseError:
             result.error = NetError.ERR_NAME_NOT_RESOLVED
-            result.events = events
-            return result
+            return
 
         clock = 0.0
         main_source = self._sources.allocate(SourceType.URL_REQUEST)
-        events.append(self._event(clock, EventType.REQUEST_ALIVE, main_source, EventPhase.BEGIN))
-        events.append(
+        out.accept(self._event(clock, EventType.REQUEST_ALIVE, main_source, EventPhase.BEGIN))
+        out.accept(
             self._event(
                 clock,
                 EventType.URL_REQUEST_START_JOB,
@@ -117,14 +166,13 @@ class SimulatedChrome:
 
         error = forced_error if forced_error is not None else self._resolve_error(target.host)
         if error is not None and error.failed:
-            self._emit_failure(events, clock, main_source, target.host, error)
+            self._emit_failure(out, clock, main_source, target.host, error)
             result.error = error
-            result.events = events
-            return result
+            return
 
         clock += _DNS_LOOKUP_MS
         connect = self.network.connect(target.host, target.port)
-        events.append(
+        out.accept(
             self._event(
                 clock,
                 EventType.TCP_CONNECT,
@@ -135,13 +183,12 @@ class SimulatedChrome:
         )
         clock += connect.latency_ms
         if not connect.ok:
-            self._emit_failure(events, clock, main_source, target.host, connect.error)
+            self._emit_failure(out, clock, main_source, target.host, connect.error)
             result.error = connect.error
-            result.events = events
-            return result
+            return
 
         clock += _SERVER_TTFB_MS
-        events.append(
+        out.accept(
             self._event(
                 clock,
                 EventType.PAGE_LOAD_COMMITTED,
@@ -150,7 +197,7 @@ class SimulatedChrome:
                 {"url": page.url},
             )
         )
-        events.append(self._event(clock, EventType.REQUEST_ALIVE, main_source, EventPhase.END))
+        out.accept(self._event(clock, EventType.REQUEST_ALIVE, main_source, EventPhase.END))
         page_commit = clock
         result.page_load_time_ms = page_commit
 
@@ -161,22 +208,46 @@ class SimulatedChrome:
         )
         page_origin = Origin.from_target(target)
 
-        for url in page.resources:
-            self._execute_request(
-                events,
-                page_origin,
-                PlannedRequest(url=url, delay_ms=0.0, initiator="document"),
-                page_commit,
+        # Two-phase subresource execution.  Phase 1 walks the plan in
+        # page order, allocating source ids exactly as a batch visit
+        # always did (ids are observable in archived bytes, so the
+        # allocation order is part of the output contract).  Phase 2
+        # executes in start-time order so the reorder buffer's watermark
+        # can release events eagerly: once a request starts at time t, no
+        # event earlier than t can ever be emitted again.
+        scheduled: list[tuple[float, NetLogSource, PlannedRequest, object]] = []
+        for planned in self._planned_requests(page, context):
+            if planned.delay_ms >= self.monitor_window_ms:
+                # Fires after the monitoring window closed: invisible to
+                # the crawl, exactly like the paper's 20-second truncation.
+                continue
+            try:
+                request_target = parse_target(planned.url)
+            except TargetParseError:
+                continue
+            is_websocket = request_target.scheme in ("ws", "wss")
+            source = self._sources.allocate(
+                SourceType.WEB_SOCKET if is_websocket else SourceType.URL_REQUEST
             )
-        for planned in page.planned_requests(context):
-            self._execute_request(events, page_origin, planned, page_commit)
+            scheduled.append(
+                (page_commit + planned.delay_ms, source, planned, request_target)
+            )
 
-        events.sort(key=lambda e: (e.time, e.source.id))
+        scheduled.sort(key=lambda item: item[0])  # stable: ties keep page order
+        for start, source, planned, request_target in scheduled:
+            out.advance(start)
+            self._execute_request(
+                out, page_origin, planned, source, start, request_target
+            )
+
         result.success = True
-        result.events = events
-        return result
 
-    # -- internals ----------------------------------------------------------
+    @staticmethod
+    def _planned_requests(page: Page, context: ScriptContext):
+        """Static subresources first, then script-planned requests."""
+        for url in page.resources:
+            yield PlannedRequest(url=url, delay_ms=0.0, initiator="document")
+        yield from page.planned_requests(context)
 
     def _resolve_error(self, host: str) -> NetError | None:
         resolution = self.resolver.resolve(host)
@@ -184,14 +255,14 @@ class SimulatedChrome:
 
     def _emit_failure(
         self,
-        events: list[NetLogEvent],
+        out: EventSink,
         clock: float,
         source: NetLogSource,
         host: str,
         error: NetError,
     ) -> None:
         if error is NetError.ERR_NAME_NOT_RESOLVED:
-            events.append(
+            out.accept(
                 self._event(
                     clock,
                     EventType.HOST_RESOLVER_IMPL_REQUEST,
@@ -206,7 +277,7 @@ class SimulatedChrome:
             NetError.ERR_CERT_AUTHORITY_INVALID,
             NetError.ERR_SSL_PROTOCOL_ERROR,
         ):
-            events.append(
+            out.accept(
                 self._event(
                     clock,
                     EventType.SSL_CONNECT,
@@ -216,7 +287,7 @@ class SimulatedChrome:
                 )
             )
         else:
-            events.append(
+            out.accept(
                 self._event(
                     clock,
                     EventType.SOCKET_ERROR,
@@ -225,7 +296,7 @@ class SimulatedChrome:
                     {"host": host, "net_error": int(error)},
                 )
             )
-        events.append(
+        out.accept(
             self._event(
                 clock,
                 EventType.REQUEST_ALIVE,
@@ -237,29 +308,19 @@ class SimulatedChrome:
 
     def _execute_request(
         self,
-        events: list[NetLogEvent],
+        out: EventSink,
         page_origin: Origin,
         planned: PlannedRequest,
-        page_commit: float,
+        source: NetLogSource,
+        start: float,
+        target,
     ) -> None:
-        start = page_commit + planned.delay_ms
-        if planned.delay_ms >= self.monitor_window_ms:
-            # Fires after the monitoring window closed: invisible to the
-            # crawl, exactly like the paper's 20-second truncation.
-            return
-        try:
-            target = parse_target(planned.url)
-        except TargetParseError:
-            return
-        is_websocket = target.scheme in ("ws", "wss")
-        source = self._sources.allocate(
-            SourceType.WEB_SOCKET if is_websocket else SourceType.URL_REQUEST
-        )
+        is_websocket = source.type is SourceType.WEB_SOCKET
         params = {"url": planned.url, "method": planned.method}
         if planned.initiator:
             params["initiator"] = planned.initiator
-        events.append(self._event(start, EventType.REQUEST_ALIVE, source, EventPhase.BEGIN))
-        events.append(
+        out.accept(self._event(start, EventType.REQUEST_ALIVE, source, EventPhase.BEGIN))
+        out.accept(
             self._event(
                 start,
                 EventType.WEB_SOCKET_SEND_HANDSHAKE_REQUEST
@@ -272,7 +333,7 @@ class SimulatedChrome:
         )
         connect = self.network.connect(target.host, target.port)
         end = start + connect.latency_ms
-        events.append(
+        out.accept(
             self._event(
                 end,
                 EventType.TCP_CONNECT,
@@ -286,7 +347,7 @@ class SimulatedChrome:
         )
         if connect.ok:
             for hop in planned.redirect_to:
-                events.append(
+                out.accept(
                     self._event(
                         end,
                         EventType.URL_REQUEST_REDIRECTED,
@@ -296,7 +357,7 @@ class SimulatedChrome:
                     )
                 )
             if is_websocket:
-                events.append(
+                out.accept(
                     self._event(
                         end,
                         EventType.WEB_SOCKET_READ_HANDSHAKE_RESPONSE,
@@ -306,7 +367,7 @@ class SimulatedChrome:
                     )
                 )
             else:
-                events.append(
+                out.accept(
                     self._event(
                         end,
                         EventType.HTTP_TRANSACTION_READ_HEADERS,
@@ -319,7 +380,7 @@ class SimulatedChrome:
                         },
                     )
                 )
-        events.append(
+        out.accept(
             self._event(
                 end,
                 EventType.REQUEST_ALIVE,

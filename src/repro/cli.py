@@ -39,7 +39,8 @@ from .core.addresses import Locality
 from .core.classifier import BehaviorClassifier
 from .core.detector import LocalTrafficDetector
 from .crawler.campaign import CampaignResult, run_campaign
-from .netlog import NetLogParseError, ParseStats, load
+from .netlog import NetLogParseError, ParseStats
+from .netlog.streaming import iter_events_streaming
 from .web import seeds as S
 from .web.population import (
     build_malicious_population,
@@ -237,9 +238,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_analyze(path: str) -> int:
     stats = ParseStats()
+    # Stream the document through the detection sink: events fold into
+    # flows as they decode, so analysis memory is bounded by the number
+    # of open flows, not the document size.  ``require_events`` keeps the
+    # historical exit code 2 for well-formed JSON that is not a NetLog
+    # document, while truncated documents still salvage.
+    sink = LocalTrafficDetector().sink()
     try:
         with open(path) as fp:
-            events = load(fp, strict=False, stats=stats)
+            for event in iter_events_streaming(
+                fp, strict=False, stats=stats, require_events=True
+            ):
+                sink.accept(event)
     except OSError as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         return 2
@@ -247,8 +257,8 @@ def _cmd_analyze(path: str) -> int:
         print(f"error: not a NetLog document: {exc}", file=sys.stderr)
         return 2
 
-    detection = LocalTrafficDetector().detect(events)
-    print(f"{len(events)} events, {detection.total_flows} request flows")
+    detection = sink.finish()
+    print(f"{stats.parsed} events, {detection.total_flows} request flows")
     if stats.damaged:
         # Diagnostics go to stderr so piped stdout stays clean results.
         print(

@@ -16,7 +16,12 @@ from .addresses import (
     parse_target,
 )
 from .classifier import BehaviorClassifier, Classification
-from .detector import DetectionResult, LocalRequest, LocalTrafficDetector
+from .detector import (
+    DetectionResult,
+    DetectionSink,
+    LocalRequest,
+    LocalTrafficDetector,
+)
 from .fingerprint import (
     DEFAULT_SERVICE_POOL,
     FingerprintStudy,
@@ -26,7 +31,7 @@ from .fingerprint import (
     scan_host,
     synthetic_host_population,
 )
-from .flows import RequestFlow, extract_flows, page_load_time
+from .flows import FlowAssembler, RequestFlow, extract_flows, page_load_time
 from .ports import (
     BIGIP_ASM_PORTS,
     DEFAULT_REGISTRY,
@@ -77,8 +82,10 @@ __all__ = [
     "BehaviorClassifier",
     "Classification",
     "DetectionResult",
+    "DetectionSink",
     "LocalRequest",
     "LocalTrafficDetector",
+    "FlowAssembler",
     "RequestFlow",
     "extract_flows",
     "page_load_time",

@@ -10,10 +10,11 @@ summarises them as :class:`LocalRequest` records plus a per-page
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..netlog.events import NetLogEvent
 from .addresses import Locality, RequestTarget, TargetParseError, parse_target
-from .flows import RequestFlow, extract_flows, page_load_time
+from .flows import FlowAssembler, RequestFlow
 
 
 @dataclass(frozen=True, slots=True)
@@ -117,10 +118,21 @@ class LocalTrafficDetector:
     def __init__(self, *, include_redirects: bool = True) -> None:
         self._include_redirects = include_redirects
 
-    def detect(self, events: list[NetLogEvent]) -> DetectionResult:
-        """Run detection over a raw NetLog event stream."""
-        flows = extract_flows(events)
-        return self.detect_flows(flows, page_load_time=page_load_time(events))
+    def detect(self, events: Iterable[NetLogEvent]) -> DetectionResult:
+        """Run detection over a raw NetLog event stream.
+
+        Batch wrapper over the streaming engine: the events are fed once
+        through a :class:`DetectionSink` (flow assembly and the
+        page-load anchor fold in the same pass).
+        """
+        sink = self.sink()
+        for event in events:
+            sink.accept(event)
+        return sink.finish()
+
+    def sink(self) -> "DetectionSink":
+        """A fresh streaming-detection sink bound to this detector."""
+        return DetectionSink(self)
 
     def detect_flows(
         self,
@@ -171,3 +183,30 @@ class LocalTrafficDetector:
                         )
                     )
         return found
+
+
+class DetectionSink:
+    """Streaming local-traffic detection over one visit's event stream.
+
+    An :class:`~repro.netlog.pipeline.EventSink`: events fold into flow
+    summaries as they arrive (``keep_events=False`` — memory stays
+    O(open flows), independent of the event count), and ``finish`` runs
+    the locality scan over the assembled flows.  Produces a
+    :class:`DetectionResult` identical to ``detector.detect(events)`` on
+    the same stream.
+    """
+
+    __slots__ = ("_detector", "_assembler")
+
+    def __init__(self, detector: LocalTrafficDetector) -> None:
+        self._detector = detector
+        self._assembler = FlowAssembler(keep_events=False)
+
+    def accept(self, event: NetLogEvent) -> None:
+        self._assembler.accept(event)
+
+    def finish(self) -> DetectionResult:
+        return self._detector.detect_flows(
+            self._assembler.finish(),
+            page_load_time=self._assembler.page_load_time,
+        )

@@ -6,6 +6,12 @@ folds an event stream into :class:`RequestFlow` objects — one per source —
 each carrying the request URL, method, scheme, destination, begin/end
 times, any redirect chain, and the terminal error if the request failed.
 
+:class:`FlowAssembler` is the single flow-construction engine: an
+:class:`~repro.netlog.pipeline.EventSink` that folds events into flows
+one at a time (tracking the page-load anchor in the same pass), shared by
+the batch API (:func:`extract_flows`), the detector, the streaming
+parser, and fsck's reparse tier.
+
 Browser-internal sources are dropped here, mirroring the paper's filtering
 of traffic Chrome generates for itself.
 """
@@ -13,10 +19,14 @@ of traffic Chrome generates for itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..netlog.constants import EventPhase, EventType
 from ..netlog.events import NetLogEvent
 from .addresses import RequestTarget, TargetParseError, parse_target
+
+#: Sentinel for "target not computed yet" (None is a valid cached result).
+_TARGET_UNSET = object()
 
 
 @dataclass(slots=True)
@@ -33,6 +43,16 @@ class RequestFlow:
     initiator: str | None = None
     events: list[NetLogEvent] = field(default_factory=list)
     is_websocket: bool = False
+    # target() memo: the parsed destination (or the None outcome of a
+    # TargetParseError) for the URL it was computed from.  Invalidated by
+    # comparing against the URL, since assembly can set ``url`` after a
+    # caller has already probed an incomplete flow.
+    _target_cache: object = field(
+        default=_TARGET_UNSET, init=False, repr=False, compare=False
+    )
+    _target_url: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def duration_ms(self) -> float | None:
@@ -46,13 +66,21 @@ class RequestFlow:
         return self.net_error is not None and self.net_error != 0
 
     def target(self) -> RequestTarget | None:
-        """Parsed destination of the request, or None when unparsable."""
+        """Parsed destination of the request, or None when unparsable.
+
+        The parse (including a :class:`TargetParseError` outcome) is
+        memoized per URL — detection and classification probe the target
+        repeatedly, and re-parsing dominated their hot path.
+        """
         if not self.url:
             return None
-        try:
-            return parse_target(self.url)
-        except TargetParseError:
-            return None
+        if self._target_cache is _TARGET_UNSET or self._target_url != self.url:
+            self._target_url = self.url
+            try:
+                self._target_cache = parse_target(self.url)
+            except TargetParseError:
+                self._target_cache = None
+        return self._target_cache  # type: ignore[return-value]
 
     def all_urls(self) -> list[str]:
         """The request URL plus every redirect hop, in order.
@@ -67,24 +95,76 @@ class RequestFlow:
         return urls
 
 
-def extract_flows(events: list[NetLogEvent]) -> list[RequestFlow]:
-    """Group an event stream into request flows by source id.
+class FlowAssembler:
+    """Incremental flow construction — the pipeline's folding engine.
 
-    Flows appear in the order their first event appears in the log, which —
-    because Chrome allocates source ids serially — is also source-id order
-    for well-formed logs.
+    An :class:`~repro.netlog.pipeline.EventSink`: events are folded into
+    their flows one at a time, and the page-load-commit anchor (the
+    reference point of Figures 5–7) is captured in the same pass, so one
+    walk over the stream replaces the separate ``extract_flows`` +
+    ``page_load_time`` re-walks.
+
+    ``keep_events=False`` drops the raw per-flow event lists, shrinking
+    memory to the flow *summaries* — O(flows), independent of how many
+    events each flow carried.  Detection runs in that mode; the batch
+    :func:`extract_flows` keeps events for callers that inspect them.
+
+    Order tolerance: correctness does not require sorted input (flows key
+    on source ids), but summary fields that resolve ties by first-seen
+    order (``url``, ``begin_time``) follow the delivery order, exactly as
+    the batch walk always has.
     """
-    flows: dict[int, RequestFlow] = {}
-    for event in events:
+
+    __slots__ = ("_flows", "page_load_time", "events_seen", "_keep_events")
+
+    def __init__(self, *, keep_events: bool = True) -> None:
+        self._flows: dict[int, RequestFlow] = {}
+        #: Timestamp of the page navigation commit, if seen yet.
+        self.page_load_time: float | None = None
+        #: Every event accepted, including browser-internal ones.
+        self.events_seen = 0
+        self._keep_events = keep_events
+
+    def accept(self, event: NetLogEvent) -> None:
+        """Fold one event into its flow."""
+        self.events_seen += 1
+        if (
+            self.page_load_time is None
+            and event.type is EventType.PAGE_LOAD_COMMITTED
+        ):
+            self.page_load_time = event.time
         if event.source.is_browser_internal():
-            continue
-        flow = flows.get(event.source.id)
+            return
+        flow = self._flows.get(event.source.id)
         if flow is None:
             flow = RequestFlow(source_id=event.source.id)
-            flows[event.source.id] = flow
-        flow.events.append(event)
+            self._flows[event.source.id] = flow
+        if self._keep_events:
+            flow.events.append(event)
         _apply_event(flow, event)
-    return list(flows.values())
+
+    def finish(self) -> list[RequestFlow]:
+        """The assembled flows, in first-event order."""
+        return list(self._flows.values())
+
+    @property
+    def open_flows(self) -> int:
+        """Flows assembled so far (the pipeline's working-set size)."""
+        return len(self._flows)
+
+
+def extract_flows(events: Iterable[NetLogEvent]) -> list[RequestFlow]:
+    """Group an event stream into request flows by source id.
+
+    Batch wrapper over :class:`FlowAssembler`.  Flows appear in the order
+    their first event appears in the log, which — because Chrome
+    allocates source ids serially — is also source-id order for
+    well-formed logs.
+    """
+    assembler = FlowAssembler()
+    for event in events:
+        assembler.accept(event)
+    return assembler.finish()
 
 
 def _apply_event(flow: RequestFlow, event: NetLogEvent) -> None:
@@ -132,11 +212,13 @@ def _apply_event(flow: RequestFlow, event: NetLogEvent) -> None:
             flow.end_time = event.time
 
 
-def page_load_time(events: list[NetLogEvent]) -> float | None:
+def page_load_time(events: Iterable[NetLogEvent]) -> float | None:
     """Timestamp at which the page navigation committed, if recorded.
 
     Figures 5–7 measure delays relative to "when a landing page is
-    fetched"; this anchor is that reference point.
+    fetched"; this anchor is that reference point.  Streaming consumers
+    get the same anchor from :attr:`FlowAssembler.page_load_time` without
+    a second walk.
     """
     for event in events:
         if event.type is EventType.PAGE_LOAD_COMMITTED:

@@ -305,7 +305,7 @@ class Campaign:
             include_internal=self.include_internal,
             retry_policy=self.retry_policy,
             injector=injector,
-            capture_events=self.netlog_archive is not None,
+            capture_netlog=self.netlog_archive is not None,
         )
         stats = CrawlStats(os_name=os_name, crawl=population.name)
         result.stats[os_name] = stats
@@ -412,7 +412,7 @@ class Campaign:
                 include_internal=self.include_internal,
                 retry_policy=self.retry_policy,
                 injector=scoped,
-                capture_events=self.netlog_archive is not None,
+                capture_netlog=self.netlog_archive is not None,
             )
 
         def persist(record_os: str, record: CrawlRecord) -> None:
@@ -518,9 +518,9 @@ class Campaign:
             self.on_visit(record)
 
     def _persist(self, crawl: str, os_name: str, record: CrawlRecord) -> None:
-        if self.netlog_archive is not None and record.events is not None:
+        if self.netlog_archive is not None and record.netlog is not None:
             self._archive_events(crawl, os_name, record)
-            record.events = None
+            record.netlog = None
         if self.store is None:
             return
         write_attempts = 0
@@ -553,14 +553,17 @@ class Campaign:
     def _archive_events(
         self, crawl: str, os_name: str, record: CrawlRecord
     ) -> None:
-        """Persist one visit's raw NetLog into the archive.
+        """Persist one visit's streamed NetLog capture into the archive.
 
-        Disk-full faults are retried under the same budget as storage
-        writes; on exhaustion the document is *dropped* (the visit row
-        survives) and counted in :attr:`archive_failures` — `repro fsck`
-        flags the hole as a missing-archive finding.
+        The record carries a :class:`NetLogBuffer` — events were already
+        serialised to record text while the visit ran, so archiving just
+        wraps the buffer into a document and writes it.  Disk-full faults
+        are retried under the same budget as storage writes; on exhaustion
+        the document is *dropped* (the visit row survives) and counted in
+        :attr:`archive_failures` — `repro fsck` flags the hole as a
+        missing-archive finding.
         """
-        assert self.netlog_archive is not None and record.events is not None
+        assert self.netlog_archive is not None and record.netlog is not None
         injector = self.last_injector
         key = f"{crawl}:{os_name}:{record.domain}"
         attempts = 0
@@ -570,11 +573,11 @@ class Campaign:
             try:
                 if injector is not None:
                     injector.archive_write_hook(key)
-                self.netlog_archive.write(
+                self.netlog_archive.write_buffered(
                     crawl,
                     os_name,
                     record.domain,
-                    record.events,
+                    record.netlog,
                     meta={
                         "crawl": crawl,
                         "domain": record.domain,

@@ -22,6 +22,9 @@ from .. import obs
 from ..browser.errors import NetError, table1_bucket
 from ..core.detector import DetectionResult, LocalTrafficDetector
 from ..faults.injector import FaultInjector
+from ..netlog.events import NetLogEvent
+from ..netlog.pipeline import EventSink, ListSink, Tee
+from ..netlog.writer import NetLogBuffer
 from ..web.population import CrawlPopulation
 from ..web.website import Website
 from .connectivity import ConnectivityChecker
@@ -56,9 +59,15 @@ class CrawlRecord:
     #: Total simulated backoff spent between those attempts.
     backoff_ms: float = 0.0
     #: Raw NetLog events of the successful attempt — populated only when
-    #: the crawler runs with ``capture_events=True`` (archiving campaigns);
-    #: the campaign clears it once the events are archived.
-    events: list | None = None
+    #: the crawler runs with ``capture_events=True`` (debugging and
+    #: equivalence tests).  Archiving campaigns no longer buffer events
+    #: here: they stream each event into :attr:`netlog` as it is emitted.
+    events: list[NetLogEvent] | None = None
+    #: Streamed serialised NetLog capture of the successful attempt
+    #: (``capture_netlog=True``): events were rendered to record text as
+    #: the visit ran, ready for the archive to wrap into a document; the
+    #: campaign clears it once the document is written.
+    netlog: NetLogBuffer | None = None
 
     @property
     def error_bucket(self) -> str | None:
@@ -136,12 +145,17 @@ class Crawler:
         retry_policy: RetryPolicy | None = None,
         injector: FaultInjector | None = None,
         capture_events: bool = False,
+        capture_netlog: bool = False,
     ) -> None:
         self.environment = environment
-        # Keep the successful attempt's raw NetLog events on the record
-        # (for archiving); off by default — at paper scale raw events
-        # were the 11 TB problem.
+        # Keep the successful attempt's raw NetLog events on the record;
+        # off by default — at paper scale raw events were the 11 TB
+        # problem.  Archiving campaigns use ``capture_netlog`` instead:
+        # events are serialised to record text as the browser emits them
+        # (one pass, no object buffer) and the campaign archives the
+        # finished buffer.
         self.capture_events = capture_events
+        self.capture_netlog = capture_netlog
         self.detector = detector if detector is not None else LocalTrafficDetector()
         self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
         self.injector = injector
@@ -258,10 +272,28 @@ class Crawler:
         return None, backoff_total
 
     def _visit_once(self, website: Website) -> CrawlRecord:
-        """One visit attempt: page load and detection (gate already run)."""
+        """One visit attempt: page load and detection (gate already run).
+
+        Single-pass streaming: detection (and, when capturing, the raw
+        event collector / serialised NetLog buffer) ride the browser's
+        ordered event stream through one sink graph — no post-hoc
+        re-walk of a materialised event list.  A failed attempt's
+        partial stream is simply discarded with its sinks.
+        """
         os_name = self.environment.os_name
         forced = website.load_error_for(os_name)
-        visit = self.browser.visit(website.page(), forced_error=forced)
+        detection = self.detector.sink()
+        sinks: list[EventSink] = [detection]
+        collector = ListSink() if self.capture_events else None
+        if collector is not None:
+            sinks.append(collector)
+        netlog = NetLogBuffer(checksums=True) if self.capture_netlog else None
+        if netlog is not None:
+            sinks.append(netlog)
+        sink = sinks[0] if len(sinks) == 1 else Tee(*sinks)
+        visit = self.browser.visit(
+            website.page(), forced_error=forced, sink=sink
+        )
         record = CrawlRecord(
             domain=website.domain,
             os_name=os_name,
@@ -271,9 +303,11 @@ class Crawler:
             category=website.category,
         )
         if visit.success:
-            record.detection = self.detector.detect(visit.events)
-            if self.capture_events:
-                record.events = list(visit.events)
+            record.detection = detection.finish()
+            if collector is not None:
+                record.events = collector.finish()
+            if netlog is not None:
+                record.netlog = netlog.finish()
             if self.include_internal and website.internal_pages:
                 self._crawl_internal_pages(website, record)
         return record
@@ -284,10 +318,11 @@ class Crawler:
         """Visit declared internal pages, merging their local requests."""
         assert record.detection is not None
         for path in website.internal_pages:
-            visit = self.browser.visit(website.page(path))
+            sink = self.detector.sink()
+            visit = self.browser.visit(website.page(path), sink=sink)
             if not visit.success:
                 continue
-            detection = self.detector.detect(visit.events)
+            detection = sink.finish()
             record.detection.requests.extend(detection.requests)
             record.detection.total_flows += detection.total_flows
 

@@ -307,6 +307,12 @@ class SupervisedExecutor:
         order — merge ordering is unaffected); it must be thread-safe
         and must not raise.
 
+        ``persist`` runs on the worker thread that produced the record,
+        so a capturing campaign's streamed NetLog buffer
+        (:attr:`CrawlRecord.netlog`) is archived — and released — before
+        the worker takes its next visit: at most ``workers`` serialised
+        captures are ever held at once.
+
         Raises :class:`InjectedCrashError` when the plan schedules a
         crash inside this pass and :class:`CampaignInterrupted` when a
         signal drained it; in both cases every collected outcome has

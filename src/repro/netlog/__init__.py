@@ -15,6 +15,14 @@ from .constants import (
 )
 from .archive import NetLogArchive
 from .events import NetLogEvent, NetLogSource, SourceIdAllocator, events_for_source
+from .pipeline import (
+    CountSink,
+    EventSink,
+    ListSink,
+    ReorderBuffer,
+    Tee,
+    feed,
+)
 from .parser import (
     ChainVerifier,
     NetLogIntegrityError,
@@ -30,11 +38,15 @@ from .streaming import count_event_types, iter_events_streaming
 from .writer import (
     CHAIN_SEED,
     CHECKSUM_ALGORITHM,
+    NetLogBuffer,
+    RecordWriter,
     build_constants,
     canonical_record_bytes,
     dump,
     dumps,
     event_to_record,
+    write_document_head,
+    write_document_tail,
 )
 
 __all__ = [
@@ -56,7 +68,15 @@ __all__ = [
     "NetLogParseError",
     "NetLogTruncationError",
     "ParseStats",
+    "CountSink",
+    "EventSink",
+    "ListSink",
+    "NetLogBuffer",
+    "RecordWriter",
+    "ReorderBuffer",
+    "Tee",
     "count_event_types",
+    "feed",
     "iter_events",
     "iter_events_streaming",
     "load",
@@ -66,4 +86,6 @@ __all__ = [
     "dump",
     "dumps",
     "event_to_record",
+    "write_document_head",
+    "write_document_tail",
 ]

@@ -18,15 +18,21 @@ racing the real filesystem.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from .events import NetLogEvent
 from .parser import ParseStats
+from .pipeline import EventSink, ListSink, feed
 from .streaming import iter_events_streaming
-from .writer import dumps
+from .writer import (
+    NetLogBuffer,
+    write_document_head,
+    write_document_tail,
+)
 
 #: The top-level key carrying visit metadata in archived documents.
 META_KEY = "visitMeta"
@@ -86,18 +92,57 @@ class NetLogArchive:
     ) -> Path:
         """Archive one visit's events; returns the document path.
 
-        ``meta`` lands in the document's ``visitMeta`` block.  ``corrupt``
-        (the injector's netlog seam) mangles the serialised text before
-        it reaches disk, keyed by ``crawl:os:domain`` — so the same fault
-        plan damages the same files at any worker count.
+        A convenience wrapper over :meth:`write_buffered` for callers
+        that hold an event list; the crawl pipeline instead streams
+        events into a :class:`~repro.netlog.writer.NetLogBuffer` as the
+        visit runs and hands the finished buffer here.
+        """
+        return self.write_buffered(
+            crawl,
+            os_name,
+            domain,
+            feed(events, NetLogBuffer(checksums=True)),
+            meta=meta,
+            corrupt=corrupt,
+        )
+
+    def write_buffered(
+        self,
+        crawl: str,
+        os_name: str,
+        domain: str,
+        buffer: NetLogBuffer,
+        *,
+        meta: dict | None = None,
+        corrupt: CorruptHook | None = None,
+    ) -> Path:
+        """Archive a visit from its streamed record buffer.
+
+        The buffer holds the serialised ``events`` body built while the
+        visit ran; this assembles the final document around it — the
+        late-bound ``visitMeta`` head (attempt counts and success are
+        only known once the visit settles) and the integrity trailer —
+        producing bytes identical to a one-shot ``dumps`` of the same
+        events.  ``corrupt`` (the injector's netlog seam) mangles the
+        serialised text before it reaches disk, keyed by
+        ``crawl:os:domain`` — so the same fault plan damages the same
+        files at any worker count.  Idempotent per buffer: retrying
+        after a failed write re-uses the same body.
         """
         path = self.path_for(crawl, os_name, domain)
         path.parent.mkdir(parents=True, exist_ok=True)
-        text = dumps(
-            events,
-            checksums=True,
-            extra={META_KEY: meta} if meta is not None else None,
+        out = io.StringIO()
+        write_document_head(
+            out, extra={META_KEY: meta} if meta is not None else None
         )
+        out.write(buffer.body)
+        write_document_tail(
+            out,
+            checksums=buffer.checksums,
+            count=buffer.count,
+            chain=buffer.chain,
+        )
+        text = out.getvalue()
         if corrupt is not None:
             text = corrupt(text, f"{crawl}:{os_name}:{domain}")
         tmp = path.with_suffix(".json.tmp")
@@ -116,11 +161,33 @@ class NetLogArchive:
         stats: ParseStats | None = None,
     ) -> list[NetLogEvent] | None:
         """Salvage-parse one archived document; None when absent."""
+        return self.stream_into(
+            crawl, os_name, domain, ListSink(), stats=stats
+        )
+
+    def stream_into(
+        self,
+        crawl: str,
+        os_name: str,
+        domain: str,
+        sink: EventSink,
+        *,
+        stats: ParseStats | None = None,
+    ) -> Any | None:
+        """Feed one archived document through a sink with bounded memory.
+
+        Salvage-parses the document and pushes each event into ``sink``
+        as it is decoded (fsck's reparse tier runs detection this way
+        without materialising the event list); returns ``sink.finish()``,
+        or None when the document is absent.
+        """
         path = self.path_for(crawl, os_name, domain)
         if not path.exists():
             return None
         with path.open() as fp:
-            return list(iter_events_streaming(fp, strict=False, stats=stats))
+            return feed(
+                iter_events_streaming(fp, strict=False, stats=stats), sink
+            )
 
     def read_meta(self, path: Path) -> dict | None:
         """The ``visitMeta`` block of a document, damage-tolerant.

@@ -404,23 +404,18 @@ def loads(
     ``stats`` instead of an exception.
     """
     if not _PARSE_SECONDS.enabled:
-        return _loads(text, strict=strict, stats=stats)
-    # Observability path: time the parse and mirror per-record
-    # dispositions into counters.  An internal ParseStats is used when
-    # the caller passed none; deltas keep reused caller stats honest.
+        return _parse_text(text, strict=strict, stats=stats)[0]
+    # Observability wrapper around the same single parse body: time the
+    # parse and mirror per-record dispositions into counters.  An
+    # internal ParseStats is used when the caller passed none; deltas
+    # keep reused caller stats honest.
     own_stats = stats if stats is not None else ParseStats()
     before = tuple(getattr(own_stats, attr) for attr, _ in _STAT_DISPOSITIONS)
     start = time.perf_counter()
     mode = "strict" if strict else "lenient"
     try:
-        try:
-            document = json.loads(text)
-        except json.JSONDecodeError as exc:
-            if strict:
-                raise NetLogParseError(f"invalid JSON: {exc}") from exc
-            mode = "salvage"
-            return _salvage(text, own_stats)
-        return _parse_document(document, strict=strict, stats=own_stats)
+        events, mode = _parse_text(text, strict=strict, stats=own_stats)
+        return events
     finally:
         _PARSE_SECONDS.observe(time.perf_counter() - start, labels=(mode,))
         for (attr, disposition), prior in zip(_STAT_DISPOSITIONS, before):
@@ -429,17 +424,25 @@ def loads(
                 _RECORDS.inc(delta, labels=(disposition,))
 
 
-def _loads(
+def _parse_text(
     text: str, *, strict: bool, stats: ParseStats | None
-) -> list[NetLogEvent]:
-    """The uninstrumented parse path (observability disabled)."""
+) -> tuple[list[NetLogEvent], str]:
+    """The single parse/salvage body; returns ``(events, mode)``.
+
+    ``mode`` is ``strict``/``lenient`` for a well-formed JSON document
+    and ``salvage`` when the text was not even valid JSON and the
+    streaming walker recovered the intact prefix.
+    """
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
         if strict:
             raise NetLogParseError(f"invalid JSON: {exc}") from exc
-        return _salvage(text, stats)
-    return _parse_document(document, strict=strict, stats=stats)
+        return _salvage(text, stats), "salvage"
+    return (
+        _parse_document(document, strict=strict, stats=stats),
+        "strict" if strict else "lenient",
+    )
 
 
 def _salvage(text: str, stats: ParseStats | None) -> list[NetLogEvent]:
@@ -491,4 +494,8 @@ def iter_events(
 def _parse_document(
     document: dict, *, strict: bool, stats: ParseStats | None = None
 ) -> list[NetLogEvent]:
-    return list(iter_events(document, strict=strict, stats=stats))
+    # The batch API is a ListSink over the streaming record walk — one
+    # parse implementation, two delivery shapes.
+    from .pipeline import ListSink, feed
+
+    return feed(iter_events(document, strict=strict, stats=stats), ListSink())

@@ -1,0 +1,207 @@
+"""Composable streaming event pipeline: the `EventSink` protocol.
+
+The paper's entire analysis consumes one artifact — the ordered NetLog
+event stream of a visit — yet a naive pipeline materializes that stream
+several times (browser buffer, archive serialisation, parser re-parse,
+flow re-walk).  This module defines the protocol that lets every consumer
+ride the *same* single pass instead:
+
+* :class:`EventSink` — anything that accepts events one at a time and
+  produces a result when the stream ends;
+* :class:`Tee` — fan one stream out to several sinks in one pass;
+* :class:`ListSink` / :class:`CountSink` — the trivial collectors;
+* :class:`ReorderBuffer` — a watermark-driven buffer that restores
+  ``(time, source id)`` order over a nearly-sorted stream with
+  O(open-window) memory, replacing terminal whole-stream sorts;
+* :func:`feed` — drive any iterable of events through a sink.
+
+Producers (the simulated browser, the parsers, the archive) push events
+into sinks; consumers (flow assembly, detection, archiving, counting)
+are sinks.  A crawl visit therefore runs detection, NetLog archiving and
+observability taps in one pass over the stream, with memory bounded by
+the number of *open* flows rather than the total event count.
+
+Ordering contract: producers deliver events in non-decreasing
+``(time, source.id)`` order (the browser guarantees this via a
+:class:`ReorderBuffer`; serialised documents are already stored sorted).
+Sinks may rely on it but must not require it — :class:`~repro.core.flows.
+FlowAssembler` folds out-of-order streams correctly, merely without the
+ordering-dependent tie-breaks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from .. import obs
+from .events import NetLogEvent
+
+_PIPELINE_EVENTS = obs.counter(
+    "repro_pipeline_events_total",
+    "events delivered through streaming pipeline stages",
+    ("stage",),
+)
+_REORDER_PEAK = obs.histogram(
+    "repro_pipeline_reorder_peak",
+    "peak entries held by a visit's reorder buffer (open-window size)",
+)
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """One stage of a streaming event pipeline.
+
+    ``accept`` is called once per event, in stream order; ``finish`` is
+    called exactly once, after the last event, and returns the sink's
+    result (a list, a detection, an archive path — whatever the stage
+    produces).  A sink must tolerate ``finish`` on an empty stream.
+    """
+
+    def accept(self, event: NetLogEvent) -> None:
+        """Consume one event."""
+        ...
+
+    def finish(self) -> Any:
+        """End of stream; return this sink's result."""
+        ...
+
+
+class ListSink:
+    """Collects the stream into a list (the batch-API adapter)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[NetLogEvent] = []
+
+    def accept(self, event: NetLogEvent) -> None:
+        self.events.append(event)
+
+    def finish(self) -> list[NetLogEvent]:
+        return self.events
+
+
+class CountSink:
+    """Counts events without retaining them."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def accept(self, event: NetLogEvent) -> None:
+        self.count += 1
+
+    def finish(self) -> int:
+        return self.count
+
+
+class Tee:
+    """Fans one event stream out to several sinks in a single pass.
+
+    ``finish`` finishes every child and returns their results as a tuple
+    in construction order.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, *sinks: EventSink) -> None:
+        if not sinks:
+            raise ValueError("Tee needs at least one sink")
+        self.sinks = sinks
+
+    def accept(self, event: NetLogEvent) -> None:
+        for sink in self.sinks:
+            sink.accept(event)
+
+    def finish(self) -> tuple[Any, ...]:
+        return tuple(sink.finish() for sink in self.sinks)
+
+
+class ReorderBuffer:
+    """Restores ``(time, source id)`` order over a nearly-sorted stream.
+
+    Producers that interleave overlapping operations (the browser runs
+    requests whose event spans overlap) emit events slightly out of
+    order.  This buffer heap-sorts them and releases an event only once
+    the producer's *watermark* guarantees nothing earlier can still
+    arrive — so memory is bounded by the overlap window, not the stream.
+
+    The producer calls :meth:`advance` with each new operation's start
+    time (its events all carry times >= that start); events strictly
+    older than the watermark are flushed downstream.  :meth:`flush`
+    drains the remainder at end of stream *without* finishing the
+    downstream sink — the buffer is an ordering shim, not the pipeline
+    terminal — while :meth:`finish` drains and finishes it.
+
+    Ties sort exactly like ``events.sort(key=lambda e: (e.time,
+    e.source.id))`` on the emission sequence: a stable ``(time, source
+    id, arrival)`` order.
+    """
+
+    __slots__ = ("sink", "_heap", "_seq", "_peak", "_delivered")
+
+    def __init__(self, sink: EventSink) -> None:
+        self.sink = sink
+        self._heap: list[tuple[float, int, int, NetLogEvent]] = []
+        self._seq = 0
+        self._peak = 0
+        self._delivered = 0
+
+    def accept(self, event: NetLogEvent) -> None:
+        heapq.heappush(
+            self._heap, (event.time, event.source.id, self._seq, event)
+        )
+        self._seq += 1
+        if len(self._heap) > self._peak:
+            self._peak = len(self._heap)
+
+    def advance(self, watermark: float) -> None:
+        """Release every buffered event with ``time < watermark``."""
+        heap = self._heap
+        while heap and heap[0][0] < watermark:
+            self._delivered += 1
+            self.sink.accept(heapq.heappop(heap)[3])
+
+    def flush(self) -> None:
+        """End of stream: deliver everything still buffered, in order."""
+        heap = self._heap
+        while heap:
+            self._delivered += 1
+            self.sink.accept(heapq.heappop(heap)[3])
+        if _PIPELINE_EVENTS.enabled:
+            if self._delivered:
+                _PIPELINE_EVENTS.inc(self._delivered, labels=("reorder",))
+            _REORDER_PEAK.observe(self._peak)
+            self._delivered = 0
+
+    def finish(self) -> Any:
+        self.flush()
+        return self.sink.finish()
+
+    @property
+    def pending(self) -> int:
+        """Events currently held back awaiting the watermark."""
+        return len(self._heap)
+
+    @property
+    def peak(self) -> int:
+        """Largest number of events ever held at once."""
+        return self._peak
+
+
+def feed(events: Iterable[NetLogEvent], sink: EventSink) -> Any:
+    """Drive an event iterable through a sink; returns ``sink.finish()``.
+
+    The bridge between pull-style producers (parsers, stored lists) and
+    the push-style sink pipeline.
+    """
+    accept = sink.accept
+    count = 0
+    for event in events:
+        count += 1
+        accept(event)
+    if count and _PIPELINE_EVENTS.enabled:
+        _PIPELINE_EVENTS.inc(count, labels=("feed",))
+    return sink.finish()

@@ -157,7 +157,11 @@ def _skip_value(scanner: _Scanner, first: str) -> None:
 
 
 def iter_events_streaming(
-    fp: IO[str], *, strict: bool = False, stats: ParseStats | None = None
+    fp: IO[str],
+    *,
+    strict: bool = False,
+    stats: ParseStats | None = None,
+    require_events: bool = False,
 ) -> Iterator[NetLogEvent]:
     """Yield NetLog events from a file object with bounded memory.
 
@@ -172,9 +176,15 @@ def iter_events_streaming(
     Non-strict mode also tolerates physical damage: on a truncated or
     NUL-padded document the generator yields the intact event prefix,
     marks ``stats.truncated`` and stops instead of raising.
+
+    ``require_events=True`` raises :class:`NetLogParseError` when a
+    document *completes* without ever presenting an ``events`` array —
+    matching the whole-document parser's rejection of arbitrary JSON
+    objects — while still tolerating truncation as above (a cut-off
+    document never reaches its closing brace, so the check cannot fire).
     """
     try:
-        yield from _iter_document(_Scanner(fp), strict, stats)
+        yield from _iter_document(_Scanner(fp), strict, stats, require_events)
     except NetLogTruncationError:
         if strict:
             raise
@@ -183,7 +193,10 @@ def iter_events_streaming(
 
 
 def _iter_document(
-    scanner: _Scanner, strict: bool, stats: ParseStats | None
+    scanner: _Scanner,
+    strict: bool,
+    stats: ParseStats | None,
+    require_events: bool = False,
 ) -> Iterator[NetLogEvent]:
     opener = scanner.read_nonspace()
     if opener != "{":
@@ -193,9 +206,14 @@ def _iter_document(
 
     event_names: dict[str, int] = {}
     verifier = ChainVerifier()
+    saw_events = False
     while True:
         ch = scanner.read_nonspace()
         if ch == "}":
+            if require_events and not saw_events:
+                raise NetLogParseError(
+                    "NetLog document missing 'events' array"
+                )
             return
         if ch == ",":
             continue
@@ -224,6 +242,7 @@ def _iter_document(
                 constants = {}
             event_names = constants.get("logEventTypes") or {}
         elif key == "events" and first == "[":
+            saw_events = True
             yield from _iter_array_events(
                 scanner, event_names, strict, stats, verifier
             )

@@ -94,6 +94,125 @@ def build_constants(time_origin_ms: float = 0.0) -> dict:
     }
 
 
+def write_document_head(
+    fp: IO[str],
+    *,
+    time_origin_ms: float = 0.0,
+    extra: dict | None = None,
+) -> None:
+    """Open a NetLog document: extra keys, ``constants``, ``"events": [``.
+
+    ``extra`` adds top-level keys (e.g. a visit-metadata block) ahead of
+    the ``constants`` header; both parsers skip keys they do not model.
+    """
+    fp.write("{")
+    if extra:
+        for key, value in extra.items():
+            fp.write(json.dumps(key))
+            fp.write(": ")
+            json.dump(value, fp)
+            fp.write(", ")
+    fp.write('"constants": ')
+    json.dump(build_constants(time_origin_ms), fp)
+    fp.write(', "events": [')
+
+
+def write_document_tail(
+    fp: IO[str], *, checksums: bool = False, count: int = 0, chain: int = CHAIN_SEED
+) -> None:
+    """Close the ``events`` array and, when checksummed, add the trailer."""
+    fp.write("]")
+    if checksums:
+        fp.write(', "integrity": ')
+        json.dump(
+            {
+                "algorithm": CHECKSUM_ALGORITHM,
+                "events": count,
+                "chain": chain,
+            },
+            fp,
+        )
+    fp.write("}")
+
+
+class RecordWriter:
+    """Incrementally serialises the body of one ``events`` array.
+
+    The single place event records are turned into bytes: :func:`dump`
+    drives one over a whole iterable, and :class:`NetLogBuffer` (the
+    streaming-capture sink) writes records as the browser emits them.
+    Tracks the running count and rolling hash chain so the caller can
+    close the document with :func:`write_document_tail`.
+    """
+
+    __slots__ = ("fp", "checksums", "count", "chain")
+
+    def __init__(self, fp: IO[str], *, checksums: bool = False) -> None:
+        self.fp = fp
+        self.checksums = checksums
+        self.count = 0
+        self.chain = CHAIN_SEED
+
+    def write(self, event: NetLogEvent) -> None:
+        record = event_to_record(event)
+        if self.checksums:
+            payload = canonical_record_bytes(record)
+            record["crc"] = zlib.crc32(payload)
+            self.chain = zlib.crc32(payload, self.chain)
+            record["chain"] = self.chain
+        if self.count:
+            self.fp.write(",\n")
+        json.dump(record, self.fp)
+        self.count += 1
+
+
+class NetLogBuffer:
+    """`EventSink` that serialises events to record text as they arrive.
+
+    The streaming replacement for buffering raw event objects on a crawl
+    record until archive time: each event is rendered to its final JSON
+    record immediately and the event object dropped, so a visit holds one
+    compact text body instead of a Python object graph.  The buffered
+    body is document-agnostic — the archive prepends the (late-bound)
+    ``visitMeta`` head and appends the integrity trailer when the visit's
+    final metadata is known, producing bytes identical to a one-shot
+    :func:`dumps` of the same events.
+
+    ``finish`` returns the buffer itself; read ``body``/``count``/
+    ``chain`` or hand it to :meth:`~repro.netlog.archive.NetLogArchive.
+    write_buffered`.
+    """
+
+    __slots__ = ("_io", "_writer")
+
+    def __init__(self, *, checksums: bool = True) -> None:
+        self._io = io.StringIO()
+        self._writer = RecordWriter(self._io, checksums=checksums)
+
+    def accept(self, event: NetLogEvent) -> None:
+        self._writer.write(event)
+
+    def finish(self) -> "NetLogBuffer":
+        return self
+
+    @property
+    def body(self) -> str:
+        """The serialised ``events`` array body (no brackets)."""
+        return self._io.getvalue()
+
+    @property
+    def count(self) -> int:
+        return self._writer.count
+
+    @property
+    def chain(self) -> int:
+        return self._writer.chain
+
+    @property
+    def checksums(self) -> bool:
+        return self._writer.checksums
+
+
 def dump(
     events: Iterable[NetLogEvent],
     fp: IO[str],
@@ -113,42 +232,14 @@ def dump(
     adds top-level keys (e.g. a visit-metadata block) ahead of the
     ``constants`` header; both parsers skip keys they do not model.
     """
-    fp.write("{")
-    if extra:
-        for key, value in extra.items():
-            fp.write(json.dumps(key))
-            fp.write(": ")
-            json.dump(value, fp)
-            fp.write(", ")
-    fp.write('"constants": ')
-    json.dump(build_constants(time_origin_ms), fp)
-    fp.write(', "events": [')
-    count = 0
-    chain = CHAIN_SEED
+    write_document_head(fp, time_origin_ms=time_origin_ms, extra=extra)
+    writer = RecordWriter(fp, checksums=checksums)
     for event in events:
-        record = event_to_record(event)
-        if checksums:
-            payload = canonical_record_bytes(record)
-            record["crc"] = zlib.crc32(payload)
-            chain = zlib.crc32(payload, chain)
-            record["chain"] = chain
-        if count:
-            fp.write(",\n")
-        json.dump(record, fp)
-        count += 1
-    fp.write("]")
-    if checksums:
-        fp.write(', "integrity": ')
-        json.dump(
-            {
-                "algorithm": CHECKSUM_ALGORITHM,
-                "events": count,
-                "chain": chain,
-            },
-            fp,
-        )
-    fp.write("}")
-    return count
+        writer.write(event)
+    write_document_tail(
+        fp, checksums=checksums, count=writer.count, chain=writer.chain
+    )
+    return writer.count
 
 
 def dumps(

@@ -617,10 +617,13 @@ def _reparse_row(
     if meta is None:
         return False
     stats = ParseStats()
-    events = archive.read_events(crawl, os_name, domain, stats=stats)
-    if events is None or not _archive_clean(stats):
+    # Stream the archived document straight into a detection sink: flow
+    # assembly runs as events parse, without materialising the event list.
+    sink = LocalTrafficDetector().sink()
+    result = archive.stream_into(crawl, os_name, domain, sink, stats=stats)
+    if result is None or not _archive_clean(stats):
         return False
-    detection = LocalTrafficDetector().detect(events)
+    detection = result
     store.delete_visit(crawl, domain, os_name)
     store.record_visit(
         crawl,
@@ -673,7 +676,7 @@ def population_revisiter(
             detector=detector,
             check_connectivity=False,
             include_internal=include_internal,
-            capture_events=archive is not None,
+            capture_netlog=archive is not None,
         )
         record = crawler.crawl_site(website)
         store.record_visit(
@@ -688,12 +691,12 @@ def population_revisiter(
             attempts=record.attempts,
             detection=record.detection if record.has_local_activity else None,
         )
-        if archive is not None and record.events is not None:
-            archive.write(
+        if archive is not None and record.netlog is not None:
+            archive.write_buffered(
                 crawl,
                 os_name,
                 domain,
-                record.events,
+                record.netlog,
                 meta={
                     "crawl": crawl,
                     "domain": domain,

@@ -1,0 +1,268 @@
+"""Tests for the streaming event pipeline: sinks, tee, reorder buffer.
+
+The pipeline's contract is equivalence: any consumer fed event-by-event
+through a sink must produce exactly what the batch API produces from the
+materialised list.  These tests pin that contract for the combinators
+themselves and for detection fed through every route — batch ``detect``,
+``FlowAssembler``, the streaming parser, and salvage-mode parses of
+truncated documents.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import LocalTrafficDetector
+from repro.core.flows import FlowAssembler, extract_flows, page_load_time
+from repro.netlog import (
+    EventPhase,
+    EventType,
+    NetLogEvent,
+    NetLogSource,
+    SourceType,
+    dumps,
+    iter_events_streaming,
+    loads,
+)
+from repro.netlog.pipeline import (
+    CountSink,
+    EventSink,
+    ListSink,
+    ReorderBuffer,
+    Tee,
+    feed,
+)
+
+
+def _event(time=0.0, source_id=1, type=EventType.URL_REQUEST_START_JOB,
+           params=None, phase=EventPhase.BEGIN):
+    return NetLogEvent(
+        time=time,
+        type=type,
+        source=NetLogSource(id=source_id, type=SourceType.URL_REQUEST),
+        phase=phase,
+        params=params if params is not None else {"url": "http://localhost:8000/"},
+    )
+
+
+def _page_stream(events_builder):
+    """A small realistic stream: page commit + local/remote/ws requests."""
+    b = events_builder
+    b.page_commit("https://site.example/", time=1.0)
+    b.request("https://cdn.example/app.js", time=2.0)
+    b.request("http://localhost:5939/fp", time=3.0)
+    b.request(
+        "http://tracker.example/r",
+        time=4.0,
+        redirects=("http://127.0.0.1:8001/hop",),
+    )
+    b.request(
+        "ws://192.168.1.10:9000/scan",
+        time=5.0,
+        source_type=SourceType.WEB_SOCKET,
+    )
+    return b.events
+
+
+class TestSinkCombinators:
+    def test_list_sink_collects_in_order(self):
+        stream = [_event(time=float(i), source_id=i + 1) for i in range(5)]
+        assert feed(stream, ListSink()) == stream
+
+    def test_count_sink(self):
+        stream = [_event(time=float(i)) for i in range(7)]
+        assert feed(stream, CountSink()) == 7
+
+    def test_tee_fans_out_and_returns_results_in_order(self):
+        stream = [_event(time=float(i), source_id=i + 1) for i in range(4)]
+        collected, count = feed(stream, Tee(ListSink(), CountSink()))
+        assert collected == stream
+        assert count == 4
+
+    def test_tee_requires_a_sink(self):
+        with pytest.raises(ValueError):
+            Tee()
+
+    def test_sinks_satisfy_the_protocol(self):
+        for sink in (ListSink(), CountSink(), Tee(ListSink()),
+                     ReorderBuffer(ListSink()), FlowAssembler(),
+                     LocalTrafficDetector().sink()):
+            assert isinstance(sink, EventSink)
+
+    def test_finish_on_empty_stream(self):
+        assert feed([], ListSink()) == []
+        assert feed([], CountSink()) == 0
+        assert feed([], FlowAssembler()) == []
+
+
+class TestReorderBuffer:
+    def test_restores_time_order_on_flush(self):
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        for time in (3.0, 1.0, 2.0):
+            buffer.accept(_event(time=time))
+        buffer.flush()
+        assert [e.time for e in out.events] == [1.0, 2.0, 3.0]
+
+    def test_matches_the_batch_sort_key_exactly(self):
+        # The buffer replaces ``events.sort(key=(time, source id))`` — a
+        # stable sort — so equal keys must keep arrival order too.
+        stream = [
+            _event(time=2.0, source_id=9),
+            _event(time=1.0, source_id=5, params={"url": "a"}),
+            _event(time=1.0, source_id=3),
+            _event(time=1.0, source_id=5, params={"url": "b"}),
+        ]
+        expected = sorted(stream, key=lambda e: (e.time, e.source.id))
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        for event in stream:
+            buffer.accept(event)
+        buffer.flush()
+        assert out.events == expected
+
+    def test_advance_releases_only_before_watermark(self):
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        for time in (1.0, 2.0, 3.0):
+            buffer.accept(_event(time=time))
+        buffer.advance(2.0)
+        # 2.0 itself must be held: a same-time event could still arrive.
+        assert [e.time for e in out.events] == [1.0]
+        assert buffer.pending == 2
+        buffer.flush()
+        assert buffer.pending == 0
+
+    def test_peak_tracks_the_overlap_window(self):
+        buffer = ReorderBuffer(ListSink())
+        for time in (1.0, 2.0, 3.0):
+            buffer.accept(_event(time=time))
+            buffer.advance(time)  # release everything strictly older
+        assert buffer.peak == 2  # never held more than two at once
+        buffer.flush()
+
+    def test_finish_finishes_downstream(self):
+        buffer = ReorderBuffer(CountSink())
+        for time in (2.0, 1.0):
+            buffer.accept(_event(time=time))
+        assert buffer.finish() == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.integers(min_value=1, max_value=20),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_equals_stable_sort(self, keys):
+        stream = [_event(time=t, source_id=s) for t, s in keys]
+        expected = sorted(stream, key=lambda e: (e.time, e.source.id))
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        for event in stream:
+            buffer.accept(event)
+        assert buffer.finish() == expected
+
+
+class TestDetectionRouteEquivalence:
+    """Every route to a DetectionResult must agree with batch detect()."""
+
+    def test_assembler_fed_equals_batch_detect(self, events):
+        stream = _page_stream(events)
+        detector = LocalTrafficDetector()
+        batch = detector.detect(stream)
+        streamed = feed(stream, detector.sink())
+        assert streamed == batch
+        assert streamed.page_load_time == page_load_time(stream)
+
+    def test_flow_assembler_equals_extract_flows(self, events):
+        stream = _page_stream(events)
+        assembler = FlowAssembler()
+        for event in stream:
+            assembler.accept(event)
+        assert assembler.finish() == extract_flows(stream)
+        assert assembler.page_load_time == page_load_time(stream)
+
+    def test_streaming_parser_fed_equals_batch_parse(self, events):
+        text = dumps(_page_stream(events))
+        detector = LocalTrafficDetector()
+        batch = detector.detect(loads(text))
+        streamed = feed(
+            iter_events_streaming(io.StringIO(text)), detector.sink()
+        )
+        assert streamed == batch
+
+    def test_out_of_order_emission_through_reorder_buffer(self, events):
+        # A producer emitting out of order behind a ReorderBuffer must be
+        # indistinguishable from batch detection on the sorted stream.
+        stream = _page_stream(events)
+        shuffled = list(reversed(stream))
+        detector = LocalTrafficDetector()
+        buffer = ReorderBuffer(detector.sink())
+        for event in shuffled:
+            buffer.accept(event)
+        assert buffer.finish() == detector.detect(
+            sorted(shuffled, key=lambda e: (e.time, e.source.id))
+        )
+
+    @pytest.mark.parametrize("keep", [10, 40, 75, 90])
+    def test_salvage_truncation_equivalence(self, events, keep):
+        # Cut the serialised document at arbitrary points: whatever prefix
+        # the salvage parser recovers, streaming detection over that
+        # prefix must equal batch detection over it.
+        text = dumps(_page_stream(events))
+        cut = text[: len(text) * keep // 100]
+        detector = LocalTrafficDetector()
+        batch = detector.detect(loads(cut, strict=False))
+        streamed = feed(
+            iter_events_streaming(io.StringIO(cut), strict=False),
+            detector.sink(),
+        )
+        assert streamed == batch
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_streamed_equals_batch_on_random_streams(self, data):
+        urls = st.sampled_from(
+            [
+                "http://localhost:8000/a",
+                "http://127.0.0.1:5939/fp",
+                "http://192.168.0.2/admin",
+                "https://public.example/page",
+                "not a url at all",
+            ]
+        )
+        stream = []
+        source_id = 1
+        for _ in range(data.draw(st.integers(min_value=0, max_value=12))):
+            source = NetLogSource(id=source_id, type=SourceType.URL_REQUEST)
+            source_id += 1
+            time = data.draw(st.floats(min_value=0.0, max_value=100.0))
+            stream.append(
+                NetLogEvent(
+                    time=time,
+                    type=data.draw(
+                        st.sampled_from(
+                            [
+                                EventType.URL_REQUEST_START_JOB,
+                                EventType.PAGE_LOAD_COMMITTED,
+                                EventType.URL_REQUEST_REDIRECTED,
+                                EventType.REQUEST_ALIVE,
+                            ]
+                        )
+                    ),
+                    source=source,
+                    phase=data.draw(st.sampled_from(list(EventPhase))),
+                    params={
+                        "url": data.draw(urls),
+                        "location": data.draw(urls),
+                    },
+                )
+            )
+        detector = LocalTrafficDetector()
+        assert feed(stream, detector.sink()) == detector.detect(stream)
