@@ -6,7 +6,7 @@ PYTHON ?= python
 DB ?= crawl.db
 NETLOG_DIR ?= netlogs
 
-.PHONY: install test lint bench bench-quick obs-bench pipeline-bench report validate fsck examples clean
+.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,9 @@ obs-bench:        ## observability ablation: results invariant, overhead <= 5%
 
 pipeline-bench:   ## streaming-pipeline ablation: byte-invariant, bounded memory
 	$(PYTHON) -m pytest benchmarks/test_ablation_pipeline.py --benchmark-disable -q
+
+shard-bench:      ## sharded-fabric ablation: scaling curve + kill-9 chaos, byte-identical merge
+	$(PYTHON) -m pytest benchmarks/test_ablation_sharding.py --benchmark-disable -q
 
 report:
 	$(PYTHON) -m repro.cli report -o report.txt

@@ -1,0 +1,160 @@
+"""Ablation: sharded crawl fabric — scaling curve and kill-9 chaos.
+
+Two claims from the sharded fabric are pinned here:
+
+* **scaling** — visits/s grows with the shard-process count when real
+  cores are available.  The curve is always recorded (``BENCH_shard.json``,
+  a ``repro-metrics-v1`` snapshot with the curve in ``meta``); the
+  monotonicity assertion only fires when the runner exposes >= 2 CPUs
+  (``os.sched_getaffinity``), because on a single core the shards
+  timeshare and the curve is honestly flat.
+* **crash equivalence** — a chaos run whose shards are SIGKILLed
+  mid-visit and restarted-with-resume merges to the same campaign digest,
+  finding fingerprints, and Table 1/Table 5 renders as a fault-free
+  serial single-process campaign.
+
+``REPRO_BENCH_SCALE`` scales the population like every other bench
+(floored so the chaos plan's visit trigger always fires).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro import obs
+from repro.analysis import tables
+from repro.crawler.campaign import Campaign, finding_fingerprint
+from repro.crawler.fabric import CrawlFabric, FabricConfig
+from repro.crawler.shard import PopulationSpec
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs.export import snapshot
+from repro.storage.db import TelemetryStore
+from repro.storage.integrity import campaign_digest
+
+from .conftest import SCALE, write_artifact
+
+CRAWL = "top2021"
+#: Scales with the bench run but never below 200 domains: the chaos
+#: trigger (visit 7 of a shard) and a meaningful curve need a floor.
+ABLATION_SCALE = max(0.002, min(0.02, 0.003 * SCALE))
+SHARD_COUNTS = (1, 2, 4)
+CPUS = len(os.sched_getaffinity(0))
+
+
+def _serial_baseline(workdir: str):
+    spec = PopulationSpec(population=CRAWL, scale=ABLATION_SCALE)
+    path = os.path.join(workdir, "serial.db")
+    started = time.perf_counter()
+    with TelemetryStore(path, wal=True) as store:
+        result = Campaign(store=store).run(spec.build())
+        digest = campaign_digest(store, CRAWL)
+    seconds = time.perf_counter() - started
+    return spec, result, digest, seconds
+
+
+def _render(result) -> tuple[str, str]:
+    table_1 = tables.table_1(list(result.stats.values())).text
+    table_5 = tables.table_5(result.findings).text
+    return table_1, table_5
+
+
+def _run_fabric(spec, workdir: str, shards: int, plan=None):
+    fabric = CrawlFabric(
+        spec,
+        FabricConfig(shards=shards, heartbeat_timeout_s=30.0),
+        workdir=workdir,
+        fault_plan=plan,
+    )
+    started = time.perf_counter()
+    outcome = fabric.run()
+    seconds = time.perf_counter() - started
+    return fabric, outcome, seconds
+
+
+def test_sharding_scaling_curve_and_chaos_equivalence():
+    obs.enable()
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as top:
+            spec, serial_result, serial_digest, serial_s = _serial_baseline(
+                top
+            )
+            visits = len(spec.build().websites) * len(serial_result.oses)
+            curve = [
+                {
+                    "shards": 0,  # 0 = the serial single-process campaign
+                    "seconds": round(serial_s, 4),
+                    "visits_per_s": round(visits / serial_s, 1),
+                }
+            ]
+
+            # -- scaling curve ------------------------------------------
+            for count in SHARD_COUNTS:
+                workdir = os.path.join(top, f"fleet-{count}")
+                fabric, outcome, seconds = _run_fabric(spec, workdir, count)
+                with TelemetryStore(fabric.rollup_path) as store:
+                    assert campaign_digest(store, CRAWL) == serial_digest
+                curve.append(
+                    {
+                        "shards": count,
+                        "seconds": round(seconds, 4),
+                        "visits_per_s": round(visits / seconds, 1),
+                        "chunks": outcome.report.chunks,
+                        "steals": outcome.report.steals,
+                    }
+                )
+
+            # -- kill-9 chaos -------------------------------------------
+            plan = FaultPlan(
+                seed="bench-chaos",
+                faults=(
+                    FaultSpec(
+                        kind=FaultKind.SHARD_CRASH, rate=1.0, at_count=7
+                    ),
+                ),
+            )
+            fabric, outcome, chaos_s = _run_fabric(
+                spec, os.path.join(top, "chaos"), 2, plan=plan
+            )
+            assert outcome.report.total_restarts >= 1, (
+                "chaos plan injected no shard kills"
+            )
+            with TelemetryStore(fabric.rollup_path) as store:
+                assert campaign_digest(store, CRAWL) == serial_digest
+            assert [
+                finding_fingerprint(f) for f in outcome.result.findings
+            ] == [finding_fingerprint(f) for f in serial_result.findings]
+            assert _render(outcome.result) == _render(serial_result)
+
+            chaos = {
+                "shards": 2,
+                "seconds": round(chaos_s, 4),
+                "restarts": outcome.report.total_restarts,
+                "duplicate_rows": outcome.report.duplicate_rows,
+                "digest_equal_serial": True,
+            }
+
+        snapshot_doc = snapshot(
+            obs.registry(),
+            meta={
+                "bench": "ablation-sharding",
+                "population": CRAWL,
+                "scale": ABLATION_SCALE,
+                "visits": visits,
+                "cpus": CPUS,
+                "curve": curve,
+                "chaos": chaos,
+            },
+        )
+        write_artifact("BENCH_shard.json", json.dumps(snapshot_doc, indent=2))
+
+        # Scaling is only assertable with real parallel hardware: on one
+        # core the shards timeshare and the honest curve is flat.
+        if CPUS >= 2:
+            best = max(point["visits_per_s"] for point in curve[2:])
+            single = curve[1]["visits_per_s"]
+            assert best > single, (
+                f"no speedup from sharding on {CPUS} CPUs: {curve}"
+            )
+    finally:
+        obs.disable()

@@ -110,6 +110,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "no executor at all); results are byte-identical at any N",
     )
     study.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the campaign through the crash-tolerant sharded fabric "
+        "with N worker processes; 0 is a sentinel meaning auto-size from "
+        "os.cpu_count(); omit for the single-process campaign; results "
+        "are byte-identical at any N",
+    )
+    study.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="working directory for per-shard stores and the merge rollup "
+        "(default: <db>.shards next to --db, else a temporary directory); "
+        "keep it and rerun with --resume to finish an interrupted "
+        "sharded run",
+    )
+    study.add_argument(
         "--visit-deadline",
         type=float,
         default=25_000.0,
@@ -305,6 +324,8 @@ def _cmd_study(
     netlog_dir: str | None = None,
     fault_plan: str | None = None,
     workers: int = 0,
+    shards: int | None = None,
+    shard_dir: str | None = None,
     visit_deadline: float = 25_000.0,
     quarantine_after: int = 3,
     wall_deadline: float = 5.0,
@@ -338,6 +359,24 @@ def _cmd_study(
             file=sys.stderr,
         )
         return 2
+    if shards is not None and shards < 0:
+        print(
+            f"error: --shards must be >= 0 (got {shards}; "
+            "0 = auto-size from os.cpu_count())",
+            file=sys.stderr,
+        )
+        return 2
+    if shards is not None and workers:
+        print(
+            "error: --shards and --workers are mutually exclusive "
+            "(shards parallelise across processes; each shard crawls "
+            "its chunks sequentially)",
+            file=sys.stderr,
+        )
+        return 2
+    if shard_dir is not None and shards is None:
+        print("error: --shard-dir requires --shards", file=sys.stderr)
+        return 2
     plan: FaultPlan | None = None
     if fault_plan is not None:
         try:
@@ -351,6 +390,21 @@ def _cmd_study(
             # field/kind — show it verbatim, never a traceback.
             print(f"error: invalid fault plan: {exc}", file=sys.stderr)
             return 2
+
+    if shards is not None:
+        return _run_sharded_study(
+            population_name,
+            scale,
+            shards=shards,
+            shard_dir=shard_dir,
+            retries=retries,
+            db=db,
+            resume=resume,
+            netlog_dir=netlog_dir,
+            plan=plan,
+            metrics_out=metrics_out,
+            trace_out=trace_out,
+        )
 
     supervised = workers >= 1
     executor_config: ExecutorConfig | None = None
@@ -479,6 +533,11 @@ def _cmd_study(
             )
         )
         print(f"injected faults: {injected}")
+    _print_study_summary(result)
+    return 0
+
+
+def _print_study_summary(result: CampaignResult) -> None:
     summary = rq1.summarize_activity(result.findings, Locality.LOCALHOST)
     lan = [f for f in result.findings if f.has_lan_activity]
     print(f"localhost-active sites: {summary.total_sites}")
@@ -490,6 +549,151 @@ def _cmd_study(
         key=lambda kv: -kv[1],
     ):
         print(f"  {behavior.value:<24}{count:>5}")
+
+
+def _run_sharded_study(
+    population_name: str,
+    scale: float,
+    *,
+    shards: int,
+    shard_dir: str | None,
+    retries: int,
+    db: str | None,
+    resume: bool,
+    netlog_dir: str | None,
+    plan,
+    metrics_out: str | None,
+    trace_out: str | None,
+) -> int:
+    """``repro study --shards N``: the crash-tolerant sharded fabric.
+
+    Each shard is a spawned worker process with its own WAL-mode store;
+    the coordinator supervises them (heartbeats, bounded restart with
+    resume, work stealing) and folds every shard store into one rollup
+    whose Table 1/Table 5 content is byte-identical to a serial run.
+    """
+    import tempfile
+
+    from . import obs
+    from .crawler.executor import CampaignInterrupted
+    from .crawler.fabric import (
+        CrawlFabric,
+        FabricConfig,
+        FabricError,
+        resolve_shards,
+    )
+    from .crawler.shard import PopulationSpec
+    from .obs.export import PeriodicSink, write_trace
+    from .obs.progress import ProgressLine
+
+    resolved = resolve_shards(shards)
+    observing = metrics_out is not None or trace_out is not None
+    if observing:
+        obs.enable()
+    cleanup: tempfile.TemporaryDirectory | None = None
+    if shard_dir is None:
+        if db is not None:
+            shard_dir = db + ".shards"
+        else:
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            shard_dir = cleanup.name
+    spec = PopulationSpec(population=population_name, scale=scale)
+    print(
+        f"crawling {population_name} at scale {scale:.1%} across "
+        f"{resolved} shard processes ...",
+        file=sys.stderr,
+    )
+    population = _population(population_name, scale)
+    progress = ProgressLine(len(population.websites) * len(population.oses))
+    sink = (
+        PeriodicSink(
+            metrics_out,
+            obs.registry(),
+            meta={
+                "population": population_name,
+                "scale": scale,
+                "shards": resolved,
+            },
+        )
+        if metrics_out is not None
+        else None
+    )
+    reported = 0
+
+    def _on_progress(total_visits: int) -> None:
+        # The fabric reports cumulative fresh visits across all shards;
+        # feed the delta into the per-visit progress line.
+        nonlocal reported
+        for _ in range(max(total_visits - reported, 0)):
+            progress.update()
+        reported = max(reported, total_visits)
+        if sink is not None:
+            sink.tick()
+
+    fabric = CrawlFabric(
+        spec,
+        FabricConfig(
+            shards=resolved,
+            retries=retries,
+            check_connectivity=plan is not None,
+        ),
+        workdir=shard_dir,
+        rollup_path=db,
+        archive_root=netlog_dir,
+        fault_plan=plan,
+        on_visit=_on_progress,
+    )
+    try:
+        outcome = fabric.run(resume=resume)
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except (FabricError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        progress.finish()
+        if observing:
+            try:
+                if sink is not None:
+                    sink.close()
+                    print(
+                        f"metrics snapshot written to {metrics_out}",
+                        file=sys.stderr,
+                    )
+                if trace_out is not None:
+                    write_trace(trace_out, obs.tracer())
+                    print(f"trace written to {trace_out}", file=sys.stderr)
+            finally:
+                obs.disable()
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    report = outcome.report
+    restart_note = ""
+    if report.total_restarts:
+        reasons = [
+            reason
+            for causes in report.restarts.values()
+            for reason in causes
+        ]
+        restart_note = (
+            f", {report.total_restarts} restarts "
+            f"({', '.join(sorted(set(reasons)))})"
+        )
+    print(
+        f"fabric: {resolved} shard processes, {report.chunks} chunks, "
+        f"{report.steals} stolen{restart_note}; merged "
+        f"{report.rows_merged} rows "
+        f"({report.duplicate_rows} duplicates verified identical)"
+    )
+    if report.dead_shards:
+        print(
+            f"warning: shard(s) {report.dead_shards} exhausted their "
+            "restart budget; their work was reassigned",
+            file=sys.stderr,
+        )
+    _print_study_summary(outcome.result)
     return 0
 
 
@@ -744,6 +948,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             netlog_dir=args.netlog_dir,
             fault_plan=args.fault_plan,
             workers=args.workers,
+            shards=args.shards,
+            shard_dir=args.shard_dir,
             visit_deadline=args.visit_deadline,
             quarantine_after=args.quarantine_after,
             wall_deadline=args.wall_deadline,

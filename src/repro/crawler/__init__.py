@@ -3,7 +3,17 @@
 from .campaign import Campaign, CampaignResult, finding_fingerprint, run_campaign
 from .connectivity import PROBE_HOST, PROBE_PORT, ConnectivityChecker
 from .crawl import Crawler, CrawlRecord, CrawlStats
+from .fabric import (
+    CrawlFabric,
+    FabricConfig,
+    FabricError,
+    FabricReport,
+    FabricResult,
+    MergeDivergenceError,
+    resolve_shards,
+)
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy, VirtualClock
+from .shard import PopulationSpec, ShardConfig, run_shard, subpopulation
 from .vm import VANTAGE_BY_OS, OSEnvironment
 
 __all__ = [
@@ -11,6 +21,17 @@ __all__ = [
     "CampaignResult",
     "finding_fingerprint",
     "run_campaign",
+    "CrawlFabric",
+    "FabricConfig",
+    "FabricError",
+    "FabricReport",
+    "FabricResult",
+    "MergeDivergenceError",
+    "resolve_shards",
+    "PopulationSpec",
+    "ShardConfig",
+    "run_shard",
+    "subpopulation",
     "PROBE_HOST",
     "PROBE_PORT",
     "ConnectivityChecker",

@@ -221,6 +221,51 @@ class FaultInjector:
                 f"injected disk-full archiving NetLog: {key}"
             )
 
+    # -- crawler.fabric seams ----------------------------------------------
+
+    def shard_crash_hook(
+        self, shard_key: str, generation: int, visit_count: int
+    ) -> bool:
+        """Whether a shard process should SIGKILL itself right now.
+
+        Fires when a ``shard-crash`` spec selects ``shard_key`` (the
+        stable shard id), the shard has completed exactly ``at_count``
+        visits in this incarnation, and the incarnation's restart
+        ``generation`` (0 for the first launch) is below the spec's
+        ``times`` — so a default spec kills each selected shard once and
+        lets the coordinator's restart-with-resume converge.
+        """
+        for spec in self.plan.specs(FaultKind.SHARD_CRASH):
+            if (
+                spec.at_count is not None
+                and visit_count == spec.at_count
+                and generation < spec.times
+                and self.plan.selects(spec, shard_key)
+            ):
+                self._record(FaultKind.SHARD_CRASH)
+                return True
+        return False
+
+    def shard_stall_hook(
+        self, shard_key: str, generation: int, visit_count: int
+    ) -> float:
+        """Seconds a shard should wedge (no heartbeats, no progress).
+
+        Returns 0.0 when no ``shard-stall`` spec strikes; otherwise the
+        spec's ``duration`` in wall-clock seconds.  Selection semantics
+        mirror :meth:`shard_crash_hook`.
+        """
+        for spec in self.plan.specs(FaultKind.SHARD_STALL):
+            if (
+                spec.at_count is not None
+                and visit_count == spec.at_count
+                and generation < spec.times
+                and self.plan.selects(spec, shard_key)
+            ):
+                self._record(FaultKind.SHARD_STALL)
+                return float(max(spec.duration, 1))
+        return 0.0
+
     # -- campaign crash seam -----------------------------------------------
 
     def on_visit(self) -> None:

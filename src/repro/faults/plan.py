@@ -70,6 +70,19 @@ class FaultKind(str, enum.Enum):
     #: its simulated deadline budget is cancelled like a hang; a smaller
     #: one is ridden out and merely costs virtual time.
     SLOW = "slow"
+    #: Hard SIGKILL of one shard worker *process* (sharded fabric only).
+    #: ``rate`` selects which shards die (keyed by the shard id),
+    #: ``at_count`` is the shard-local visit index at which the process
+    #: kills itself, and ``times`` is how many restart *generations* the
+    #: fault recurs for (1 = the first incarnation dies once and the
+    #: coordinator's restart-with-resume completes the shard).
+    SHARD_CRASH = "shard-crash"
+    #: A shard worker process wedges: it stops heartbeating (and making
+    #: progress) for ``duration`` seconds after ``at_count`` shard-local
+    #: visits.  A stall longer than the coordinator's heartbeat timeout
+    #: is detected as lost liveness; the coordinator kills and restarts
+    #: the shard with resume.  ``rate``/``times`` as for ``shard-crash``.
+    SHARD_STALL = "shard-stall"
 
 
 #: Resolution of the per-key fault draw (1/10^4 rate granularity).

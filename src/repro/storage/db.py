@@ -41,6 +41,22 @@ from .records import DeadLetterRow, LocalRequestRow, VisitRow
 #: Fault seam: called with "crawl:domain:os" before each visit write.
 WriteFaultHook = Callable[[str], None]
 
+#: How long SQLite itself waits on a held lock before raising
+#: ``database is locked`` (PRAGMA busy_timeout, milliseconds).
+BUSY_TIMEOUT_MS = 5_000
+
+#: Bounded application-level retry on top of the busy timeout: shard
+#: stores are written by worker processes while the merge stage reads
+#: them, and a WAL checkpoint can still surface a transient lock.
+_LOCK_RETRY_ATTEMPTS = 6
+_LOCK_RETRY_BASE_S = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc)
+    return "database is locked" in message or "database is busy" in message
+
+
 _COMMIT_SECONDS = obs.histogram(
     "repro_store_commit_seconds",
     "telemetry store commit latency (batch = commit_every auto-commits, "
@@ -66,6 +82,16 @@ class TelemetryStore:
     :meth:`flush` forces the tail out on drain/exit.  A crash loses at
     most the last ``N - 1`` writes — exactly the recovery window the
     checkpoint/resume machinery is tested against.
+
+    ``wal=True`` forces WAL journaling regardless of ``serialized``: the
+    sharded crawl fabric opens each shard's file-backed store this way so
+    a SIGKILLed worker process never corrupts committed rows and the
+    merge stage can read a store another process is still writing.
+
+    Cross-process lock contention is absorbed twice: SQLite itself waits
+    ``busy_timeout_ms`` on a held lock, and every statement/commit is
+    retried a bounded number of times on ``database is locked`` — so
+    concurrent shard-merge reads never flake.
     """
 
     def __init__(
@@ -75,10 +101,15 @@ class TelemetryStore:
         write_fault_hook: WriteFaultHook | None = None,
         serialized: bool = False,
         commit_every: int = 0,
+        wal: bool | None = None,
+        busy_timeout_ms: int = BUSY_TIMEOUT_MS,
     ) -> None:
         if commit_every < 0:
             raise ValueError("commit_every must be >= 0")
-        if path != ":memory:" and not path.startswith("file:"):
+        if busy_timeout_ms < 0:
+            raise ValueError("busy_timeout_ms must be >= 0")
+        file_backed = path != ":memory:" and not path.startswith("file:")
+        if file_backed:
             parent = os.path.dirname(os.path.abspath(path))
             try:
                 os.makedirs(parent, exist_ok=True)
@@ -89,7 +120,10 @@ class TelemetryStore:
         self._conn = sqlite3.connect(path, check_same_thread=not serialized)
         self._lock = threading.RLock()
         self.serialized = serialized
-        if serialized and path != ":memory:":
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        if wal is None:
+            wal = serialized and file_backed
+        if wal and file_backed:
             self._conn.execute("PRAGMA journal_mode=WAL")
         else:
             self._conn.execute("PRAGMA journal_mode=MEMORY")
@@ -105,15 +139,37 @@ class TelemetryStore:
         """The underlying connection (integrity scans, ad-hoc queries)."""
         return self._conn
 
+    # -- lock-contention retry --------------------------------------------
+
+    def _retry(self, operation: Callable):
+        """Run ``operation``, retrying bounded on cross-process locks.
+
+        SQLite already waits ``busy_timeout`` before surfacing
+        ``database is locked``; this adds a short, bounded application
+        retry on top so shard stores being merged while a worker process
+        checkpoints never flake a reader.
+        """
+        for attempt in range(1, _LOCK_RETRY_ATTEMPTS + 1):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc) or attempt >= _LOCK_RETRY_ATTEMPTS:
+                    raise
+                time.sleep(_LOCK_RETRY_BASE_S * attempt)
+
+    def _execute(self, sql: str, args: Iterable = ()) -> sqlite3.Cursor:
+        """``conn.execute`` with the bounded lock retry."""
+        return self._retry(lambda: self._conn.execute(sql, args))
+
     # -- lifecycle ---------------------------------------------------------
 
     def _timed_commit(self, kind: str) -> None:
         if _COMMIT_SECONDS.enabled:
             start = time.perf_counter()
-            self._conn.commit()
+            self._retry(self._conn.commit)
             _COMMIT_SECONDS.observe(time.perf_counter() - start, labels=(kind,))
         else:
-            self._conn.commit()
+            self._retry(self._conn.commit)
 
     def close(self) -> None:
         with self._lock:
@@ -219,7 +275,11 @@ class TelemetryStore:
             total_flows=total_flows,
             requests=request_facts,
         )
-        cursor = self._conn.execute(
+        # The INSERT below is the statement that acquires the write lock,
+        # so it is the one that can see cross-process contention; once it
+        # succeeds the transaction holds the lock and the child-row
+        # statements cannot be interleaved with another writer.
+        cursor = self._execute(
             "INSERT OR REPLACE INTO visits "
             "(crawl, domain, os_name, success, error, rank, category, "
             " skipped, attempts, page_load_time, total_flows, "
@@ -348,7 +408,7 @@ class TelemetryStore:
             sql += " WHERE crawl = ?"
             args.append(crawl)
         with self._lock:
-            rows = self._conn.execute(
+            rows = self._execute(
                 sql + " ORDER BY crawl, os_name, domain", args
             ).fetchall()
         return [
@@ -401,9 +461,9 @@ class TelemetryStore:
 
     def visit_count(self, crawl: str | None = None) -> int:
         if crawl is None:
-            row = self._conn.execute("SELECT COUNT(*) FROM visits").fetchone()
+            row = self._execute("SELECT COUNT(*) FROM visits").fetchone()
         else:
-            row = self._conn.execute(
+            row = self._execute(
                 "SELECT COUNT(*) FROM visits WHERE crawl = ?", (crawl,)
             ).fetchone()
         return int(row[0])
@@ -415,7 +475,7 @@ class TelemetryStore:
         never attributes a measurement-side outage to a website.
         """
         out: dict[str, tuple[int, int]] = {}
-        for os_name, successes, failures in self._conn.execute(
+        for os_name, successes, failures in self._execute(
             "SELECT os_name, SUM(success), SUM(1 - success) "
             "FROM visits WHERE crawl = ? AND skipped = 0 GROUP BY os_name",
             (crawl,),
@@ -430,7 +490,7 @@ class TelemetryStore:
         the uninterrupted one it must reproduce."""
         return {
             row[0]
-            for row in self._conn.execute(
+            for row in self._execute(
                 "SELECT domain FROM visits WHERE crawl = ? AND os_name = ?",
                 (crawl, os_name),
             )
@@ -480,7 +540,7 @@ class TelemetryStore:
         local requests appear (the campaign persists detections for
         exactly those).
         """
-        visit_rows = self._conn.execute(
+        visit_rows = self._execute(
             "SELECT visit_id, domain, page_load_time, total_flows "
             "FROM visits WHERE crawl = ? AND os_name = ?",
             (crawl, os_name),
@@ -490,7 +550,7 @@ class TelemetryStore:
             return {}
         out: dict[str, DetectionResult] = {}
         placeholders = ",".join("?" * len(meta))
-        for row in self._conn.execute(
+        for row in self._execute(
             "SELECT visit_id, locality, scheme, host, port, path, time, "
             "via_redirect, source_id, method, initiator "
             f"FROM local_requests WHERE visit_id IN ({placeholders}) "
@@ -538,7 +598,7 @@ class TelemetryStore:
                 success=bool(row[4]), error=row[5], rank=row[6], category=row[7],
                 skipped=bool(row[8]), attempts=row[9],
             )
-            for row in self._conn.execute(sql + " ORDER BY visit_id", args)
+            for row in self._execute(sql + " ORDER BY visit_id", args)
         ]
 
     def event_count(self, visit_id: int | None = None) -> int:

@@ -101,6 +101,51 @@ class TestCounterSeams:
         injector.on_visit()
 
 
+class TestShardSeams:
+    def _spec(self, kind, **overrides):
+        fields = dict(kind=kind, rate=1.0, at_count=3, times=1)
+        fields.update(overrides)
+        return FaultSpec(**fields)
+
+    def test_shard_crash_fires_at_exact_visit_and_generation(self):
+        injector = _injector(self._spec(FaultKind.SHARD_CRASH))
+        fires = [
+            injector.shard_crash_hook("shard-0", 0, count)
+            for count in range(1, 6)
+        ]
+        assert fires == [False, False, True, False, False]
+
+    def test_shard_crash_respects_generation_budget(self):
+        injector = _injector(self._spec(FaultKind.SHARD_CRASH, times=2))
+        # Generations 0 and 1 crash; the third incarnation survives.
+        assert injector.shard_crash_hook("shard-0", 0, 3)
+        assert injector.shard_crash_hook("shard-0", 1, 3)
+        assert not injector.shard_crash_hook("shard-0", 2, 3)
+
+    def test_shard_stall_returns_duration_seconds(self):
+        injector = _injector(
+            self._spec(FaultKind.SHARD_STALL, duration=7)
+        )
+        assert injector.shard_stall_hook("shard-0", 0, 3) == 7.0
+        assert injector.shard_stall_hook("shard-0", 0, 4) == 0.0
+
+    def test_shard_draw_is_keyed_by_shard(self):
+        # rate=0.5 must not mean "every shard": the plan's deterministic
+        # draw selects a stable subset keyed by shard id.
+        spec = self._spec(FaultKind.SHARD_CRASH, rate=0.5)
+        plan = FaultPlan(seed="draw", faults=(spec,))
+        draws = {
+            key: plan.selects(spec, key)
+            for key in (f"shard-{i}" for i in range(64))
+        }
+        assert any(draws.values()) and not all(draws.values())
+        # Replaying the same plan gives the same subset.
+        replay = FaultPlan(seed="draw", faults=(spec,))
+        assert draws == {
+            key: replay.selects(spec, key) for key in draws
+        }
+
+
 class TestNetlogSeam:
     def _document(self):
         events = [

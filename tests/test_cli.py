@@ -247,6 +247,73 @@ class TestStudySupervised:
         assert "0 is a sentinel meaning the plain sequential loop" in help_text
 
 
+class TestStudySharded:
+    @staticmethod
+    def _summary_tail(out: str) -> str:
+        # Everything from the RQ summary onward is shared between the
+        # serial and sharded paths and must be byte-identical.
+        marker = "localhost-active sites:"
+        assert marker in out
+        return out[out.index(marker):]
+
+    def test_sharded_study_output_matches_serial(self, tmp_path, capsys):
+        assert main(["study", "--scale", "0.002"]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "study", "--scale", "0.002", "--shards", "2",
+                    "--db", str(tmp_path / "rollup.db"),
+                    "--shard-dir", str(tmp_path / "shards"),
+                ]
+            )
+            == 0
+        )
+        sharded_out = capsys.readouterr().out
+        assert "fabric: 2 shard processes" in sharded_out
+        assert self._summary_tail(sharded_out) == self._summary_tail(
+            serial_out
+        )
+
+    def test_negative_shards_rejected(self, capsys):
+        assert main(["study", "--scale", "0.001", "--shards", "-1"]) == 2
+        err = capsys.readouterr().err
+        # Symmetric with --workers: name the flag, the value, the sentinel.
+        assert "--shards must be >= 0" in err
+        assert "os.cpu_count()" in err
+
+    def test_shards_and_workers_mutually_exclusive(self, capsys):
+        assert (
+            main(
+                [
+                    "study", "--scale", "0.001",
+                    "--shards", "2", "--workers", "2",
+                ]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_shard_dir_requires_shards(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "study", "--scale", "0.001",
+                    "--shard-dir", str(tmp_path / "shards"),
+                ]
+            )
+            == 2
+        )
+        assert "--shard-dir requires --shards" in capsys.readouterr().err
+
+    def test_shards_help_documents_sentinel(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["study", "--help"])
+        help_text = " ".join(capsys.readouterr().out.split())
+        assert "--shards" in help_text
+        assert "0 is a sentinel meaning auto-size from os.cpu_count()" in help_text
+
+
 class TestFaultPlanErrors:
     def _run(self, tmp_path, capsys, text):
         path = tmp_path / "plan.json"
