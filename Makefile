@@ -6,7 +6,11 @@ PYTHON ?= python
 DB ?= crawl.db
 NETLOG_DIR ?= netlogs
 
-.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench report validate fsck examples clean
+# Self-test service defaults (make serve PORT=9000 SERVE_DB=jobs.sqlite).
+PORT ?= 8734
+SERVE_DB ?= serve-jobs.sqlite
+
+.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench serve serve-bench report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +35,12 @@ pipeline-bench:   ## streaming-pipeline ablation: byte-invariant, bounded memory
 
 shard-bench:      ## sharded-fabric ablation: scaling curve + kill-9 chaos, byte-identical merge
 	$(PYTHON) -m pytest benchmarks/test_ablation_sharding.py --benchmark-disable -q
+
+serve:            ## run the local-traffic self-test daemon (make serve PORT=9000)
+	$(PYTHON) -m repro.cli serve --port $(PORT) --db $(SERVE_DB) --resume
+
+serve-bench:      ## serve ablation: closed-loop chaos load, byte-exact reports, crash restart
+	$(PYTHON) -m pytest benchmarks/test_ablation_serve.py --benchmark-disable -q
 
 report:
 	$(PYTHON) -m repro.cli report -o report.txt

@@ -1,0 +1,184 @@
+"""Ablation: the serve daemon under closed-loop load with full chaos.
+
+Two claims from the service tentpole are pinned here:
+
+* **correctness under chaos** — with every serve fault seam firing at
+  once (trickling clients, torn uploads, crashing workers, wedged
+  parses, a disk-full journal), a fleet of closed-loop clients that
+  honours the documented backpressure contract obtains **every** report,
+  each byte-identical to the batch ``repro analyze --json`` output.
+  Wrong or partial reports: zero tolerated.  The server may refuse
+  (429/503/408, with retry hints) — it may never lie.
+* **recovery equivalence** — a second server resumed from the first
+  run's journal answers the same corpus byte-identically, whether a
+  digest survived in the warmed cache or has to be re-analyzed from
+  scratch.
+
+The latency distribution (submit → report in hand, including backoff)
+is persisted as ``BENCH_serve.json`` in ``repro-metrics-v1`` form.
+"""
+
+import json
+import tempfile
+
+from repro import obs
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.netlog import dumps
+from repro.obs.export import snapshot
+from repro.serve.bench import BenchItem, run_load
+from repro.serve.engine import EngineConfig, JobEngine
+from repro.serve.http import ReproServer, ServerConfig
+from repro.serve.report import analyze_report_text
+from repro.storage.db import TelemetryStore
+from repro.storage.jobs import JobJournal
+
+from .conftest import write_artifact
+from tests.conftest import EventBuilder
+
+CLIENTS = 6
+ROUNDS = 3
+
+CHAOS = FaultPlan(
+    seed="serve-bench-chaos",
+    faults=(
+        FaultSpec(kind=FaultKind.SLOW_CLIENT, rate=0.15, duration=30),
+        FaultSpec(kind=FaultKind.TORN_UPLOAD, rate=0.3, times=1),
+        FaultSpec(kind=FaultKind.WORKER_CRASH, rate=0.25, times=1),
+        FaultSpec(kind=FaultKind.HANG, rate=0.15, times=1),
+        FaultSpec(kind=FaultKind.JOURNAL_DISK_FULL, rate=0.2, times=2),
+    ),
+)
+
+
+def _document(urls) -> bytes:
+    builder = EventBuilder()
+    builder.page_commit("https://site.example/", time=100.0)
+    for index, url in enumerate(urls):
+        builder.request(url, time=2100.0 + 5.0 * index)
+    return dumps(builder.events).encode()
+
+
+def _corpus() -> list[BenchItem]:
+    """Six distinct uploads spanning the paper's traffic shapes."""
+    shapes = {
+        "localhost-probe": ["http://localhost:5939/check"],
+        "portscan": [f"http://127.0.0.1:{p}/" for p in range(6000, 6040)],
+        "lan-sweep": [f"http://192.168.1.{i}/cam.jpg" for i in range(1, 13)],
+        "mixed": [
+            "http://localhost:8000/setuid",
+            "http://10.0.0.7/api",
+            "https://cdn.example/app.js",
+        ],
+        "public-only": [
+            f"https://cdn{i}.example/bundle.js" for i in range(8)
+        ],
+        "websocket-ports": [
+            f"http://127.0.0.1:{p}/ws" for p in (5900, 5931, 5939, 63333)
+        ],
+    }
+    return [
+        BenchItem(name=name, body=body, expected=analyze_report_text(body))
+        for name, body in (
+            (name, _document(urls)) for name, urls in shapes.items()
+        )
+    ]
+
+
+def _engine_config() -> EngineConfig:
+    # backlog > clients: a re-run displaced by a crash/hang can always be
+    # re-admitted, so chaos degrades latency, never verdicts.
+    return EngineConfig(
+        workers=2,
+        backlog=16,
+        job_deadline_s=1.0,
+        quarantine_after=6,
+        breaker_threshold=8,
+        breaker_cooldown_s=0.3,
+    )
+
+
+def test_serve_load_under_chaos_is_byte_exact():
+    obs.enable()
+    try:
+        corpus = _corpus()
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as top:
+            db = f"{top}/serve.sqlite"
+            spool = f"{top}/spool"
+
+            # -- phase 1: chaos load -----------------------------------
+            injector = FaultInjector(plan=CHAOS)
+            with TelemetryStore(db, serialized=True, wal=True) as store:
+                journal = JobJournal(
+                    store, write_fault_hook=injector.journal_write_hook
+                )
+                engine = JobEngine(
+                    _engine_config(),
+                    journal=journal,
+                    spool_dir=spool,
+                    injector=injector,
+                )
+                server = ReproServer(
+                    engine,
+                    ServerConfig(read_timeout_s=5.0, sync_wait_s=5.0),
+                    injector=injector,
+                )
+                with server:
+                    result = run_load(
+                        server.url,
+                        corpus,
+                        clients=CLIENTS,
+                        rounds=ROUNDS,
+                        give_up_after_s=120.0,
+                    )
+
+            expected_reports = CLIENTS * ROUNDS * len(corpus)
+            assert result.wrong_reports == 0, result.summary()
+            assert result.unrecovered == 0, result.summary()
+            assert result.reports == expected_reports, result.summary()
+            # The chaos plan actually fired: a quiet run proves nothing.
+            chaos_counts = {
+                kind.value: count
+                for kind, count in sorted(
+                    injector.injected.items(), key=lambda kv: kv[0].value
+                )
+            }
+            assert chaos_counts, "no faults injected"
+            # Round 2+ resubmissions of settled digests are cache hits.
+            assert result.cache_hits > 0, result.summary()
+
+            # -- phase 2: restart + resume equivalence -----------------
+            with TelemetryStore(db, serialized=True, wal=True) as store:
+                engine = JobEngine(
+                    _engine_config(),
+                    journal=JobJournal(store),
+                    spool_dir=spool,
+                )
+                recovered, warmed = engine.resume()
+                with ReproServer(engine) as server:
+                    replay = run_load(
+                        server.url, corpus, clients=2, rounds=1,
+                        give_up_after_s=120.0,
+                    )
+            assert replay.wrong_reports == 0, replay.summary()
+            assert replay.unrecovered == 0, replay.summary()
+            assert replay.reports == 2 * len(corpus), replay.summary()
+
+        document = snapshot(
+            obs.registry(),
+            meta={
+                "bench": "ablation-serve",
+                "corpus": [item.name for item in corpus],
+                "clients": CLIENTS,
+                "rounds": ROUNDS,
+                "chaos": chaos_counts,
+                "load": result.summary(),
+                "restart": {
+                    "recovered_jobs": recovered,
+                    "warmed_reports": warmed,
+                    "replay": replay.summary(),
+                },
+            },
+        )
+        write_artifact("BENCH_serve.json", json.dumps(document, indent=2))
+    finally:
+        obs.disable()

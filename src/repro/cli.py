@@ -49,6 +49,23 @@ from .web.population import (
 
 _DEFAULT_SCALE = 0.02
 
+#: Exit-code convention, uniform across every subcommand (the full
+#: table lives in docs/API.md):
+#:
+#: * ``EXIT_OK`` — the command did what was asked;
+#: * ``EXIT_ISSUES`` — the command ran, and what it checked has real
+#:   findings (fsck corruption, validation failures, a drain that
+#:   timed out);
+#: * ``EXIT_USAGE`` — the command could not run: bad flags, unreadable
+#:   or invalid input, broken configuration.  Diagnostics go to stderr.
+#: * ``EXIT_INTERRUPTED`` — stopped by SIGINT/SIGTERM mid-work
+#:   (128 + SIGINT), after checkpointing.  A *graceful* daemon drain is
+#:   ``EXIT_OK``: shutting a server down via signal is its normal exit.
+EXIT_OK = 0
+EXIT_ISSUES = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 130
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -61,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", help="detect/classify local traffic in a NetLog JSON file"
     )
     analyze.add_argument("netlog", help="path to the NetLog JSON file")
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical byte-stable report document — the exact "
+        "bytes `repro serve` returns for the same upload",
+    )
 
     study = sub.add_parser("study", help="run a measurement campaign")
     study.add_argument(
@@ -220,6 +243,84 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("snapshot", help="path to the JSON snapshot file")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the local-traffic analysis daemon (POST NetLog uploads "
+        "to /v1/analyze)",
+    )
+    serve.add_argument("--port", type=int, default=8734, metavar="P")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="bounded analysis worker threads",
+    )
+    serve.add_argument(
+        "--backlog",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bounded submission queue depth (429 beyond it)",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        metavar="B",
+        help="per-upload byte cap (413 beyond it)",
+    )
+    serve.add_argument(
+        "--job-deadline",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="wall-clock seconds before the watchdog cancels one analysis",
+    )
+    serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="wall-clock seconds to receive one upload body (408 beyond it)",
+    )
+    serve.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="journal jobs in this telemetry store (crash-safe recovery)",
+    )
+    serve.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="spool upload bytes here for crash recovery "
+        "(default: <db>.spool next to --db)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-run jobs interrupted by a crash and warm the result "
+        "cache from the journal (requires --db)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject faults from this JSON plan (chaos testing)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to wait for in-flight jobs on SIGINT/SIGTERM",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log requests to stderr"
+    )
+
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=range(1, 12))
     table.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
@@ -255,7 +356,9 @@ def _build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ---------------------------------------------------------------------------
 
-def _cmd_analyze(path: str) -> int:
+def _cmd_analyze(path: str, *, as_json: bool = False) -> int:
+    if as_json:
+        return _cmd_analyze_json(path)
     stats = ParseStats()
     # Stream the document through the detection sink: events fold into
     # flows as they decode, so analysis memory is bounded by the number
@@ -271,10 +374,10 @@ def _cmd_analyze(path: str) -> int:
                 sink.accept(event)
     except OSError as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except NetLogParseError as exc:
         print(f"error: not a NetLog document: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     detection = sink.finish()
     print(f"{stats.parsed} events, {detection.total_flows} request flows")
@@ -286,7 +389,7 @@ def _cmd_analyze(path: str) -> int:
         )
     if not detection.has_local_activity:
         print("no localhost or LAN traffic detected")
-        return 0
+        return EXIT_OK
     print(f"{len(detection.requests)} locally-bound requests:")
     for request in detection.requests:
         note = " (via redirect)" if request.via_redirect else ""
@@ -300,7 +403,41 @@ def _cmd_analyze(path: str) -> int:
     if verdict.match:
         print(f"signature: {verdict.signature_name} "
               f"({verdict.match.confidence:.0%}) — {verdict.match.detail}")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_analyze_json(path: str) -> int:
+    """``repro analyze --json``: the serve byte-identity contract.
+
+    stdout carries exactly the canonical report text — the same bytes
+    ``POST /v1/analyze`` returns for the same upload — so the chaos
+    bench can diff the two without normalisation.
+    """
+    from .serve.report import ReportError, analyze_report, render_report
+
+    try:
+        with open(path, "rb") as fp:
+            data = fp.read()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        document = analyze_report(data)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if document["parse"]["damaged"]:
+        parse = document["parse"]
+        print(
+            "warning: damaged NetLog salvaged — "
+            f"{parse['events']} events recovered, "
+            f"{parse['dropped_malformed']} malformed dropped, "
+            f"{parse['checksum_failures']} checksum failures"
+            + (", truncated" if parse["truncated"] else ""),
+            file=sys.stderr,
+        )
+    sys.stdout.write(render_report(document))
+    return EXIT_OK
 
 
 def _population(population_name: str, scale: float):
@@ -344,28 +481,28 @@ def _cmd_study(
 
     if resume and db is None:
         print("error: --resume requires --db", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if retries < 1:
         print(
             f"error: --retries must be >= 1 (got {retries}; "
             "1 = single attempt, no retries)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if workers < 0:
         print(
             f"error: --workers must be >= 0 (got {workers}; "
             "0 = plain sequential loop, no executor)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if shards is not None and shards < 0:
         print(
             f"error: --shards must be >= 0 (got {shards}; "
             "0 = auto-size from os.cpu_count())",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if shards is not None and workers:
         print(
             "error: --shards and --workers are mutually exclusive "
@@ -373,10 +510,10 @@ def _cmd_study(
             "its chunks sequentially)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if shard_dir is not None and shards is None:
         print("error: --shard-dir requires --shards", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     plan: FaultPlan | None = None
     if fault_plan is not None:
         try:
@@ -384,12 +521,12 @@ def _cmd_study(
                 plan = FaultPlan.load(fp)
         except OSError as exc:
             print(f"error: cannot read fault plan: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         except ValueError as exc:
             # Plan validation raises one actionable line naming the bad
             # field/kind — show it verbatim, never a traceback.
             print(f"error: invalid fault plan: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
     if shards is not None:
         return _run_sharded_study(
@@ -418,7 +555,7 @@ def _cmd_study(
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
     # Progress/diagnostic chatter goes to stderr; stdout carries only
     # the study results so they can be piped or diffed.
@@ -471,12 +608,12 @@ def _cmd_study(
         result = campaign.run(population, resume=resume)
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
     except ValueError as exc:
         # Configuration rejected at run time (e.g. a visit deadline
         # below the monitor window, a non-serialized store).
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     finally:
         if store is not None:
             store.commit()
@@ -534,7 +671,7 @@ def _cmd_study(
         )
         print(f"injected faults: {injected}")
     _print_study_summary(result)
-    return 0
+    return EXIT_OK
 
 
 def _print_study_summary(result: CampaignResult) -> None:
@@ -647,10 +784,10 @@ def _run_sharded_study(
         outcome = fabric.run(resume=resume)
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
     except (FabricError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     finally:
         progress.finish()
         if observing:
@@ -694,7 +831,7 @@ def _run_sharded_study(
             file=sys.stderr,
         )
     _print_study_summary(outcome.result)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_deadletter(
@@ -705,19 +842,25 @@ def _cmd_deadletter(
     domain: str | None = None,
 ) -> int:
     import os
+    import sqlite3
 
     from .browser.errors import NetError, table1_bucket
     from .storage.db import TelemetryStore
 
     if not os.path.exists(db):
         print(f"error: no such database: {db}", file=sys.stderr)
-        return 2
-    with TelemetryStore(db) as store:
+        return EXIT_USAGE
+    try:
+        store = TelemetryStore(db)
+    except sqlite3.DatabaseError as exc:
+        print(f"error: not a telemetry database: {db}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    with store:
         if dl_command == "list":
             letters = store.dead_letters(crawl)
             if not letters:
                 print("dead-letter queue is empty")
-                return 0
+                return EXIT_OK
             print(f"{'crawl':<12}{'os':<9}{'domain':<28}{'failures':>9}  reason")
             for letter in letters:
                 try:
@@ -729,21 +872,21 @@ def _cmd_deadletter(
                     f"{letter.domain:<28}{letter.failures:>9}  "
                     f"[{bucket}] {letter.reason}"
                 )
-            return 0
+            return EXIT_OK
         if not store.dead_letters(crawl):
             # Empty queue is a success, not an error: there is simply
             # nothing to re-attempt.
             print("dead-letter queue is empty — nothing to retry")
-            return 0
+            return EXIT_OK
         requeued = store.requeue_dead_letters(crawl, domain)
         if requeued == 0:
             print("no quarantined visits match the given filters")
-            return 0
+            return EXIT_OK
         print(
             f"re-queued {requeued} visit(s); run the study again with "
             "--resume to re-attempt them"
         )
-        return 0
+        return EXIT_OK
 
 
 def _cmd_fsck(
@@ -758,6 +901,7 @@ def _cmd_fsck(
 ) -> int:
     import json
     import os
+    import sqlite3
 
     from .netlog.archive import NetLogArchive
     from .storage.db import TelemetryStore
@@ -765,12 +909,17 @@ def _cmd_fsck(
 
     if not os.path.exists(db):
         print(f"error: no such database: {db}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if netlog_dir is not None and not os.path.isdir(netlog_dir):
         print(f"error: no such archive directory: {netlog_dir}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     archive = NetLogArchive(netlog_dir) if netlog_dir is not None else None
-    with TelemetryStore(db) as store:
+    try:
+        store = TelemetryStore(db)
+    except sqlite3.DatabaseError as exc:
+        print(f"error: not a telemetry database: {db}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    with store:
         revisit: Revisiter | None = None
         if repair and population_name is not None:
             revisit = population_revisiter(
@@ -790,8 +939,8 @@ def _cmd_fsck(
                     "re-visits) to repair",
                     file=sys.stderr,
                 )
-            return 1
-        return 0
+            return EXIT_ISSUES
+        return EXIT_OK
 
 
 def _cmd_metrics(path: str) -> int:
@@ -801,18 +950,153 @@ def _cmd_metrics(path: str) -> int:
         document = load_snapshot(path)
     except OSError as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except SnapshotError as exc:
         print(f"error: not a metrics snapshot: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(render_snapshot(document))
-    return 0
+    return EXIT_OK
+
+
+def _cmd_serve(
+    *,
+    host: str,
+    port: int,
+    workers: int,
+    backlog: int,
+    max_bytes: int,
+    job_deadline: float,
+    read_timeout: float,
+    db: str | None,
+    spool_dir: str | None,
+    resume: bool,
+    fault_plan: str | None,
+    drain_timeout: float,
+    verbose: bool,
+) -> int:
+    """``repro serve``: run the analysis daemon until SIGINT/SIGTERM.
+
+    A graceful signal drain (stop admitting → finish in-flight →
+    flush journal) exits ``EXIT_OK``; a drain that times out with
+    wedged workers exits ``EXIT_ISSUES``.
+    """
+    import os
+    import signal
+    import tempfile
+    import threading
+
+    from . import obs
+    from .faults import FaultInjector, FaultPlan
+    from .serve.engine import EngineConfig, JobEngine
+    from .serve.http import ReproServer, ServerConfig
+    from .storage.db import TelemetryStore
+    from .storage.jobs import JobJournal
+
+    if resume and db is None:
+        print("error: --resume requires --db", file=sys.stderr)
+        return EXIT_USAGE
+    injector: FaultInjector | None = None
+    if fault_plan is not None:
+        try:
+            with open(fault_plan) as fp:
+                injector = FaultInjector(plan=FaultPlan.load(fp))
+        except OSError as exc:
+            print(f"error: cannot read fault plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except ValueError as exc:
+            print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        engine_config = EngineConfig(
+            workers=workers,
+            backlog=backlog,
+            job_deadline_s=job_deadline,
+        )
+        server_config = ServerConfig(
+            host=host,
+            port=port,
+            max_bytes=max_bytes,
+            read_timeout_s=read_timeout,
+            verbose=verbose,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    # /metricsz is part of the surface, so the daemon always observes.
+    obs.enable()
+    store: TelemetryStore | None = None
+    journal: JobJournal | None = None
+    spool_cleanup: tempfile.TemporaryDirectory | None = None
+    if db is not None:
+        store = TelemetryStore(db, serialized=True, wal=True)
+        journal = JobJournal(
+            store,
+            write_fault_hook=(
+                injector.journal_write_hook if injector is not None else None
+            ),
+        )
+        if spool_dir is None:
+            spool_dir = db + ".spool"
+    elif spool_dir is None:
+        spool_cleanup = tempfile.TemporaryDirectory(prefix="repro-serve-spool-")
+        spool_dir = spool_cleanup.name
+
+    engine = JobEngine(
+        engine_config, journal=journal, spool_dir=spool_dir, injector=injector
+    )
+    if resume:
+        recovered, cached = engine.resume()
+        print(
+            f"resumed: {recovered} interrupted job(s) re-queued, "
+            f"{cached} cached report(s) warmed",
+            file=sys.stderr,
+        )
+    try:
+        server = ReproServer(engine, server_config, injector=injector)
+    except OSError as exc:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        if store is not None:
+            store.close()
+        return EXIT_USAGE
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = {
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+    }
+    drained = True
+    try:
+        server.start()
+        print(f"serving on {server.url} (pid {os.getpid()})", file=sys.stderr)
+        while not stop.wait(0.5):
+            pass
+        print("signal received: draining ...", file=sys.stderr)
+        drained = server.drain(drain_timeout)
+        if not drained:
+            print(
+                "warning: drain deadline expired with wedged worker(s)",
+                file=sys.stderr,
+            )
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if store is not None:
+            store.close()
+        if spool_cleanup is not None:
+            spool_cleanup.cleanup()
+        obs.disable()
+    return EXIT_OK if drained else EXIT_ISSUES
 
 
 def _cmd_table(number: int, scale: float) -> int:
     if number == 4:
         print(tables.table_4().text)
-        return 0
+        return EXIT_OK
     if number in (1,):
         result_2020 = _campaign("top2020", scale)
         result_2021 = _campaign("top2021", scale)
@@ -823,7 +1107,7 @@ def _cmd_table(number: int, scale: float) -> int:
             + list(result_malicious.stats.values())
         )
         print(tables.table_1(stats).text)
-        return 0
+        return EXIT_OK
     if number in (2, 8, 9):
         result = _campaign("malicious", scale)
         if number == 2:
@@ -837,15 +1121,15 @@ def _cmd_table(number: int, scale: float) -> int:
             print(tables.table_8(result.findings).text)
         else:
             print(tables.table_9(result.findings).text)
-        return 0
+        return EXIT_OK
     if number in (7, 10):
         result_2021 = _campaign("top2021", scale)
         if number == 10:
             print(tables.table_10(result_2021.findings).text)
-            return 0
+            return EXIT_OK
         result_2020 = _campaign("top2020", scale)
         print(tables.table_7(result_2021.findings, result_2020.findings).text)
-        return 0
+        return EXIT_OK
     result = _campaign("top2020", scale)
     renderer = {
         3: tables.table_3,
@@ -854,7 +1138,7 @@ def _cmd_table(number: int, scale: float) -> int:
         11: tables.table_11,
     }[number]
     print(renderer(result.findings).text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_figure(number: int, scale: float) -> int:
@@ -866,11 +1150,11 @@ def _cmd_figure(number: int, scale: float) -> int:
             9: figures.figure_9,
         }[number]
         print(renderer(result.findings).text)
-        return 0
+        return EXIT_OK
     if number == 7:
         result = _campaign("malicious", scale)
         print(figures.figure_7(result.findings).text)
-        return 0
+        return EXIT_OK
     result = _campaign("top2020", scale)
     if number == 2:
         print(figures.figure_2(result.findings).text)
@@ -883,7 +1167,7 @@ def _cmd_figure(number: int, scale: float) -> int:
         print(figures.figure_4(result.findings, malicious.findings).text)
     elif number == 5:
         print(figures.figure_5(result.findings).text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_report(scale: float, output: str | None) -> int:
@@ -901,7 +1185,7 @@ def _cmd_report(scale: float, output: str | None) -> int:
         print(f"report written to {output}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_validate(scale: float) -> int:
@@ -929,15 +1213,31 @@ def _cmd_lint(domain: str) -> int:
         if domain in population.by_domain:
             report = lint_website(population.website(domain))
             print(report.render())
-            return 0
+            return EXIT_OK
     print(f"error: {domain} is not in any seeded population", file=sys.stderr)
-    return 2
+    return EXIT_USAGE
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "analyze":
-        return _cmd_analyze(args.netlog)
+        return _cmd_analyze(args.netlog, as_json=args.json)
+    if args.command == "serve":
+        return _cmd_serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            backlog=args.backlog,
+            max_bytes=args.max_bytes,
+            job_deadline=args.job_deadline,
+            read_timeout=args.read_timeout,
+            db=args.db,
+            spool_dir=args.spool_dir,
+            resume=args.resume,
+            fault_plan=args.fault_plan,
+            drain_timeout=args.drain_timeout,
+            verbose=args.verbose,
+        )
     if args.command == "study":
         return _cmd_study(
             args.population,

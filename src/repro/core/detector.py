@@ -196,16 +196,28 @@ class DetectionSink:
     the same stream.
     """
 
-    __slots__ = ("_detector", "_assembler")
+    __slots__ = ("_detector", "_assembler", "_finished")
 
     def __init__(self, detector: LocalTrafficDetector) -> None:
         self._detector = detector
         self._assembler = FlowAssembler(keep_events=False)
+        self._finished = False
 
     def accept(self, event: NetLogEvent) -> None:
+        if self._finished:
+            raise RuntimeError(
+                "DetectionSink.accept() after finish(); build a fresh sink "
+                "per stream"
+            )
         self._assembler.accept(event)
 
     def finish(self) -> DetectionResult:
+        if self._finished:
+            raise RuntimeError(
+                "DetectionSink.finish() called twice; build a fresh sink "
+                "per stream"
+            )
+        self._finished = True
         return self._detector.detect_flows(
             self._assembler.finish(),
             page_load_time=self._assembler.page_load_time,

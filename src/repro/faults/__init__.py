@@ -18,6 +18,7 @@ from .injector import (
     FaultInjector,
     InjectedCrashError,
     InjectedDiskFullError,
+    InjectedWorkerCrashError,
     ScopedFaultInjector,
     StorageWriteError,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "FaultSpec",
     "InjectedCrashError",
     "InjectedDiskFullError",
+    "InjectedWorkerCrashError",
     "ScopedFaultInjector",
     "StorageWriteError",
 ]

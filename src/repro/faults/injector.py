@@ -43,6 +43,10 @@ class InjectedDiskFullError(OSError):
     """A scheduled (transient) ``ENOSPC`` while archiving a NetLog."""
 
 
+class InjectedWorkerCrashError(RuntimeError):
+    """A scheduled crash of a serve worker thread mid-analysis."""
+
+
 @dataclass(slots=True)
 class FaultInjector:
     """Executes one fault plan; tracks what it actually injected.
@@ -265,6 +269,58 @@ class FaultInjector:
                 self._record(FaultKind.SHARD_STALL)
                 return float(max(spec.duration, 1))
         return 0.0
+
+    # -- serve seams ---------------------------------------------------------
+
+    def slow_client_hook(self, key: str) -> float:
+        """Extra seconds the server should dwell per received body chunk.
+
+        Models a client that trickles its upload.  Returns 0.0 when no
+        ``slow-client`` spec strikes ``key`` (the upload digest or remote
+        address); otherwise the spec's ``duration`` in milliseconds
+        (default 50) converted to seconds.  The HTTP layer adds the dwell
+        inside its read loop, so a read deadline can catch it.
+        """
+        for spec in self.plan.specs(FaultKind.SLOW_CLIENT):
+            if self.plan.selects(spec, key):
+                self._record(FaultKind.SLOW_CLIENT)
+                return (spec.duration if spec.duration > 0 else 50) / 1000.0
+        return 0.0
+
+    def torn_upload_hook(self, body: bytes, key: str) -> bytes:
+        """Drop the tail of an upload body, if scheduled.
+
+        The cut lands in the back half at a stable, key-derived position —
+        the shape a dropped connection leaves.  Transient per ``times``:
+        after the scheduled number of torn attempts the client "recovers"
+        and later uploads of the same key arrive whole.
+        """
+        if self._transient_strike(FaultKind.TORN_UPLOAD, key):
+            digest = _stable_hash(f"{self.plan.seed}:torn-upload:{key}")
+            fraction = 0.5 + (digest % 4500) / 10_000.0
+            cut = min(int(len(body) * fraction), max(len(body) - 2, 0))
+            return body[:cut]
+        return body
+
+    def worker_crash_hook(self, key: str) -> None:
+        """Raise :class:`InjectedWorkerCrashError` on scheduled attempts.
+
+        Transient like storage writes: a ``worker-crash`` spec with
+        ``times=N`` kills the first N analysis attempts for a selected
+        upload digest, then the job succeeds — so the engine's bounded
+        re-run masks shallow crashes while deep ones quarantine.
+        """
+        if self._transient_strike(FaultKind.WORKER_CRASH, key):
+            raise InjectedWorkerCrashError(
+                f"injected serve worker crash: {key}"
+            )
+
+    def journal_write_hook(self, key: str) -> None:
+        """Raise :class:`InjectedDiskFullError` on scheduled journal writes."""
+        if self._transient_strike(FaultKind.JOURNAL_DISK_FULL, key):
+            raise InjectedDiskFullError(
+                f"injected disk-full writing serve job journal: {key}"
+            )
 
     # -- campaign crash seam -----------------------------------------------
 

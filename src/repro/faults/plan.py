@@ -83,6 +83,26 @@ class FaultKind(str, enum.Enum):
     #: is detected as lost liveness; the coordinator kills and restarts
     #: the shard with resume.  ``rate``/``times`` as for ``shard-crash``.
     SHARD_STALL = "shard-stall"
+    #: An HTTP client that trickles its upload (serve daemon only):
+    #: ``duration`` extra milliseconds of stall per received body chunk
+    #: (default 50).  A stall that pushes the upload past the server's
+    #: read deadline gets 408 — slow clients must never hold a worker.
+    SLOW_CLIENT = "slow-client"
+    #: The HTTP client connection drops mid-upload (serve daemon only):
+    #: the received body loses its tail from a stable, key-derived
+    #: position.  The salvage parser must still produce the same report
+    #: as ``repro analyze`` over the identical torn bytes.
+    TORN_UPLOAD = "torn-upload"
+    #: A serve worker thread dies mid-analysis (serve daemon only).
+    #: ``times`` is the transient depth per upload digest: how many
+    #: attempts crash before the job succeeds — a depth at or above the
+    #: engine's quarantine threshold makes the upload a deterministic
+    #: poison job that ends quarantined, never a wrong report.
+    WORKER_CRASH = "worker-crash"
+    #: Transient ``ENOSPC`` persisting a serve job-journal write.  The
+    #: engine degrades gracefully (the job still completes in memory);
+    #: only crash-recovery durability for that write is lost.
+    JOURNAL_DISK_FULL = "journal-disk-full"
 
 
 #: Resolution of the per-key fault draw (1/10^4 rate granularity).

@@ -1,0 +1,56 @@
+"""``repro serve``: local-traffic detection as a long-running service.
+
+The paper's pipeline is batch; production means serving *clients*: an
+HTTP daemon accepts NetLog uploads (real Chrome dumps or our checksummed
+archives), streams each through the PR-5 :class:`DetectionSink`, and
+returns the RQ1/RQ2/RQ3 classification report — the self-test-service
+shape, where a client hits the service to audit its own behaviour.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.report` — the canonical byte-stable report document
+  (shared with ``repro analyze --json``; the service's correctness
+  contract is byte-identity with the batch CLI);
+* :mod:`repro.serve.engine` — the admission-controlled job engine:
+  bounded queue with fast 429 backpressure, watchdog-supervised workers,
+  digest-keyed result cache, crash-safe journal, overload breaker,
+  graceful drain;
+* :mod:`repro.serve.http` — the stdlib ``http.server`` surface
+  (``POST /v1/analyze``, ``GET /v1/jobs/<id>``, ``/healthz``,
+  ``/readyz``, ``/metricsz``);
+* :mod:`repro.serve.bench` — the closed-loop load generator behind
+  ``make serve-bench``.
+"""
+
+from .engine import (
+    Degraded,
+    Draining,
+    EngineConfig,
+    JobEngine,
+    Overloaded,
+    RejectedUpload,
+)
+from .http import ReproServer, ServerConfig
+from .report import (
+    ReportError,
+    analyze_report,
+    job_id_for,
+    render_report,
+    upload_digest,
+)
+
+__all__ = [
+    "Degraded",
+    "Draining",
+    "EngineConfig",
+    "JobEngine",
+    "Overloaded",
+    "RejectedUpload",
+    "ReportError",
+    "ReproServer",
+    "ServerConfig",
+    "analyze_report",
+    "job_id_for",
+    "render_report",
+    "upload_digest",
+]

@@ -1,0 +1,309 @@
+"""Closed-loop load generator for the serve daemon.
+
+Each simulated client owns a goal list of uploads and *closes the loop*:
+it submits, honours every backpressure signal the server emits (429/503
+``Retry-After``, 202 poll locations, 408 re-sends), and does not move on
+until it holds the report for its current upload.  That makes the bench
+a correctness instrument first and a latency instrument second — every
+report obtained under chaos is compared byte-for-byte against the
+expected batch-CLI output, and **any** divergence (wrong bytes, a
+partial document, a 200 that should have been impossible) is counted as
+a wrong report.  The acceptance bar is zero.
+
+Latency per acquired report (submit → report in hand, including backoff)
+feeds both the local percentile summary and the obs registry histogram,
+so ``BENCH_serve.json`` carries the full distribution in
+``repro-metrics-v1`` form.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from .. import obs
+from .report import upload_digest
+
+_BENCH_LATENCY = obs.histogram(
+    "repro_serve_bench_latency_seconds",
+    "closed-loop client latency: submit to report in hand",
+    buckets=(
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+        0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    ),
+)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty sample set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(int(round(q / 100.0 * len(ordered) + 0.5)) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+@dataclass(slots=True)
+class BenchItem:
+    """One upload with its expected canonical report."""
+
+    name: str
+    body: bytes
+    expected: str
+
+
+@dataclass(slots=True)
+class BenchResult:
+    """What the closed-loop run observed."""
+
+    clients: int = 0
+    duration_s: float = 0.0
+    reports: int = 0
+    wrong_reports: int = 0
+    unrecovered: int = 0
+    cache_hits: int = 0
+    #: 200s whose report digest proved the upload arrived torn; the
+    #: closed loop resubmits these rather than accepting a salvage
+    #: report for bytes it never meant to send.
+    torn_retries: int = 0
+    status_counts: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.reports / self.duration_s
+
+    def summary(self) -> dict:
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 4),
+            "reports": self.reports,
+            "wrong_reports": self.wrong_reports,
+            "unrecovered": self.unrecovered,
+            "cache_hits": self.cache_hits,
+            "torn_retries": self.torn_retries,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "latency_s": {
+                "p50": round(percentile(self.latencies_s, 50), 6),
+                "p95": round(percentile(self.latencies_s, 95), 6),
+                "p99": round(percentile(self.latencies_s, 99), 6),
+                "max": round(max(self.latencies_s, default=0.0), 6),
+            },
+        }
+
+
+def _post(
+    url: str, body: bytes, client_id: str, timeout_s: float
+) -> tuple[int, dict, bytes]:
+    """POST one upload; returns (status, headers, body) without raising
+    on HTTP error statuses — backpressure codes are data, not errors."""
+    request = urllib.request.Request(
+        f"{url}/v1/analyze",
+        data=body,
+        method="POST",
+        headers={
+            "Content-Type": "application/json",
+            "X-Client-Id": client_id,
+        },
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _get(url: str, path: str, timeout_s: float) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(
+            f"{url}{path}", timeout=timeout_s
+        ) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+class _Client(threading.Thread):
+    """One closed-loop submitter."""
+
+    def __init__(
+        self,
+        url: str,
+        client_id: str,
+        items: list[BenchItem],
+        result: BenchResult,
+        lock: threading.Lock,
+        *,
+        request_timeout_s: float,
+        max_backoff_s: float,
+        give_up_after_s: float,
+    ) -> None:
+        super().__init__(name=client_id, daemon=True)
+        self._url = url
+        self._client_id = client_id
+        self._items = items
+        self._result = result
+        self._lock = lock
+        self._request_timeout_s = request_timeout_s
+        self._max_backoff_s = max_backoff_s
+        self._give_up_after_s = give_up_after_s
+
+    def _count(self, status: int) -> None:
+        with self._lock:
+            key = str(status)
+            self._result.status_counts[key] = (
+                self._result.status_counts.get(key, 0) + 1
+            )
+
+    def _acquire_report(self, item: BenchItem) -> None:
+        """Closed loop for one upload: retry/poll until the report is in
+        hand or the give-up deadline expires (counted as unrecovered)."""
+        started = time.monotonic()
+        deadline = started + self._give_up_after_s
+        while time.monotonic() < deadline:
+            status, headers, body = _post(
+                self._url, item.body, self._client_id, self._request_timeout_s
+            )
+            self._count(status)
+            if status == 200:
+                if self._settle(item, body, started, headers):
+                    return
+                continue  # torn delivery detected by digest: resubmit
+            if status == 202:
+                location = headers.get("Location", "")
+                if self._poll(item, location, started, deadline):
+                    return
+                continue
+            if status in (408, 429, 503):
+                retry_after = headers.get("Retry-After")
+                try:
+                    backoff = float(retry_after) if retry_after else 0.05
+                except ValueError:
+                    backoff = 0.05
+                time.sleep(min(backoff, self._max_backoff_s))
+                continue
+            if status in (422, 500):
+                # A terminal verdict is a *wrong* outcome for a corpus of
+                # valid uploads — the bench corpus never contains poison.
+                with self._lock:
+                    self._result.wrong_reports += 1
+                return
+            with self._lock:
+                self._result.wrong_reports += 1
+            return
+        with self._lock:
+            self._result.unrecovered += 1
+
+    def _poll(
+        self, item: BenchItem, location: str, started: float, deadline: float
+    ) -> bool:
+        if not location:
+            return False
+        while time.monotonic() < deadline:
+            status, body = _get(
+                self._url, location + "/report", self._request_timeout_s
+            )
+            if status == 200:
+                # A torn delivery (False) falls back to the outer loop's
+                # resubmission path.
+                return self._settle(item, body, started, {})
+            if status == 409:
+                try:
+                    state = json.loads(body.decode()).get("state", "")
+                except ValueError:
+                    state = ""
+                if state in ("failed", "quarantined"):
+                    return False  # terminal: resubmit replays the verdict
+                time.sleep(0.02)
+                continue
+            return False  # job vanished or went terminal: resubmit
+        return False
+
+    def _settle(
+        self, item: BenchItem, body: bytes, started: float, headers: dict
+    ) -> bool:
+        """Account one 200 body; False = torn delivery, caller resubmits.
+
+        A digest in the report that is not the digest of the bytes we
+        sent proves the upload arrived torn — the server's answer is
+        correct *for what it received*, so the closed loop resubmits
+        instead of scoring it wrong.  Any other divergence from the
+        expected bytes is a wrong report: the acceptance bar is zero.
+        """
+        text = body.decode()
+        if text != item.expected:
+            try:
+                digest = json.loads(text).get("digest")
+            except ValueError:
+                digest = None
+            if digest is not None and digest != upload_digest(item.body):
+                with self._lock:
+                    self._result.torn_retries += 1
+                return False
+            with self._lock:
+                self._result.wrong_reports += 1
+            return True
+        elapsed = time.monotonic() - started
+        _BENCH_LATENCY.observe(elapsed)
+        with self._lock:
+            self._result.latencies_s.append(elapsed)
+            self._result.reports += 1
+            if headers.get("X-Cache") == "hit":
+                self._result.cache_hits += 1
+        return True
+
+    def run(self) -> None:
+        for item in self._items:
+            self._acquire_report(item)
+
+
+def run_load(
+    url: str,
+    corpus: list[BenchItem],
+    *,
+    clients: int = 8,
+    rounds: int = 3,
+    request_timeout_s: float = 30.0,
+    max_backoff_s: float = 0.25,
+    give_up_after_s: float = 60.0,
+) -> BenchResult:
+    """Drive ``clients`` closed-loop submitters over the corpus.
+
+    Every client works through ``rounds`` passes of the full corpus (so
+    later passes measure the cache path); the returned result carries
+    byte-correctness counters and the latency distribution.
+    """
+    result = BenchResult(clients=clients)
+    lock = threading.Lock()
+    workers = [
+        _Client(
+            url,
+            f"bench-client-{index}",
+            [item for _ in range(rounds) for item in corpus],
+            result,
+            lock,
+            request_timeout_s=request_timeout_s,
+            max_backoff_s=max_backoff_s,
+            give_up_after_s=give_up_after_s,
+        )
+        for index in range(clients)
+    ]
+    started = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    result.duration_s = time.monotonic() - started
+    return result
+
+
+def render_summary(result: BenchResult) -> str:
+    """One human-readable block for logs and CI output."""
+    return json.dumps(result.summary(), indent=2, sort_keys=True)

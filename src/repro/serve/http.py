@@ -1,0 +1,419 @@
+"""The stdlib HTTP surface of ``repro serve``.
+
+``http.server`` + threads, no new dependencies.  The handler is a thin
+adapter: every policy decision (admission, backpressure, degraded mode,
+recovery) lives in the :class:`~repro.serve.engine.JobEngine`; this
+module only maps engine outcomes onto status codes:
+
+========================  =============================================
+``POST /v1/analyze``      200 report (fresh or cache hit) · 202 queued
+                          (poll ``Location``) · 408 read deadline ·
+                          411 length required · 413 too large · 422 not
+                          a NetLog · 429 overloaded (+ ``Retry-After``)
+                          · 500 quarantined poison upload · 503
+                          draining/degraded (+ ``Retry-After``)
+``GET /v1/jobs/<id>``     job status document (404 unknown id)
+``GET /v1/jobs/<id>/report``  the canonical report (409 until done)
+``GET /healthz``          process liveness: 200 while the process runs
+``GET /readyz``           admission readiness: 503 while draining or
+                          degraded — load balancers stop routing, while
+                          in-flight work finishes behind it
+``GET /metricsz``         Prometheus text exposition (obs registry)
+========================  =============================================
+
+Uploads are read in bounded chunks under a wall read-deadline: a client
+that trickles bytes (the ``slow-client`` fault) gets 408 instead of
+holding a handler thread hostage, and a connection that drops mid-upload
+(the ``torn-upload`` fault, or a real EOF) hands whatever arrived to the
+salvage parser — the report for torn bytes is byte-identical to
+``repro analyze`` over the same torn bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .. import obs
+from ..faults import FaultInjector
+from ..obs.export import prometheus_text
+from .engine import Degraded, Draining, JobEngine, Overloaded
+
+_HTTP_REQUESTS = obs.counter(
+    "repro_serve_http_requests_total",
+    "HTTP requests by route and status code",
+    ("route", "code"),
+)
+_UPLOAD_BYTES = obs.histogram(
+    "repro_serve_upload_bytes",
+    "received upload sizes in bytes",
+)
+
+
+@dataclass(slots=True)
+class ServerConfig:
+    """HTTP-layer limits; engine policy lives in ``EngineConfig``."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Hard per-request upload cap (413 beyond it).
+    max_bytes: int = 32 * 1024 * 1024
+    #: Upload read chunk; small enough that the read deadline is checked
+    #: often, large enough to not dominate syscall overhead.
+    read_chunk_bytes: int = 64 * 1024
+    #: Wall deadline for receiving one upload body (408 beyond it).
+    read_timeout_s: float = 10.0
+    #: How long POST waits for the job inline before answering 202.
+    sync_wait_s: float = 10.0
+    #: Log requests to stderr (quiet by default: a daemon's stdout/stderr
+    #: belong to its supervisor, not to per-request chatter).
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if self.read_chunk_bytes < 1:
+            raise ValueError("read_chunk_bytes must be >= 1")
+        if self.read_timeout_s <= 0:
+            raise ValueError("read_timeout_s must be > 0")
+
+
+class _ReadDeadlineExceeded(RuntimeError):
+    """The upload body did not arrive within the read deadline."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "_Server"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.app.config.verbose:
+            super().log_message(format, *args)
+
+    def _reply(
+        self,
+        code: int,
+        body: bytes,
+        *,
+        route: str,
+        content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        _HTTP_REQUESTS.inc(labels=(route, str(code)))
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(
+        self,
+        code: int,
+        document: dict,
+        *,
+        route: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode()
+        self._reply(code, body, route=route, headers=headers)
+
+    def _client_key(self) -> str:
+        """Stable per-client fault key: explicit header, else peer host."""
+        return self.headers.get("X-Client-Id") or self.client_address[0]
+
+    # -- upload ingest ------------------------------------------------------
+
+    def _read_body(self, length: int) -> bytes:
+        """Read up to ``length`` bytes under the wall read-deadline.
+
+        EOF before ``length`` is a torn upload: return what arrived (the
+        salvage parser owns partial documents).  A client still trickling
+        at the deadline raises :class:`_ReadDeadlineExceeded` (→ 408).
+        """
+        config = self.server.app.config
+        injector = self.server.app.injector
+        dwell_s = 0.0
+        if injector is not None:
+            dwell_s = injector.slow_client_hook(self._client_key())
+        deadline = time.monotonic() + config.read_timeout_s
+        # The socket timeout bounds each individual read so a silent
+        # client cannot park the thread past the overall deadline.
+        self.connection.settimeout(config.read_timeout_s)
+        received = bytearray()
+        while len(received) < length:
+            if time.monotonic() >= deadline:
+                raise _ReadDeadlineExceeded()
+            if dwell_s:
+                # Injected slow client: the bytes exist but trickle in.
+                time.sleep(dwell_s)
+                if time.monotonic() >= deadline:
+                    raise _ReadDeadlineExceeded()
+            want = min(config.read_chunk_bytes, length - len(received))
+            try:
+                chunk = self.rfile.read(want)
+            except TimeoutError as exc:
+                raise _ReadDeadlineExceeded() from exc
+            if not chunk:
+                break  # torn upload: the connection dropped mid-body
+            received.extend(chunk)
+        return bytes(received)
+
+    # -- routes -------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path != "/v1/analyze":
+            self._reply_json(404, {"error": "unknown route"}, route="other")
+            return
+        app = self.server.app
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else None
+        except ValueError:
+            length = None
+        if length is None or length < 0:
+            self._reply_json(
+                411, {"error": "Content-Length required"}, route="analyze"
+            )
+            return
+        if length > app.config.max_bytes:
+            self._reply_json(
+                413,
+                {
+                    "error": "upload too large",
+                    "max_bytes": app.config.max_bytes,
+                },
+                route="analyze",
+            )
+            self.close_connection = True
+            return
+        try:
+            body = self._read_body(length)
+        except _ReadDeadlineExceeded:
+            self._reply_json(
+                408, {"error": "upload read deadline exceeded"}, route="analyze"
+            )
+            self.close_connection = True
+            return
+        if app.injector is not None:
+            body = app.injector.torn_upload_hook(body, self._client_key())
+        _UPLOAD_BYTES.observe(len(body))
+        try:
+            job_id, cached = app.engine.submit(body)
+        except Overloaded as exc:
+            self._reply_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                route="analyze",
+                headers={"Retry-After": str(exc.retry_after_s)},
+            )
+            return
+        except (Degraded, Draining) as exc:
+            self._reply_json(
+                503,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                route="analyze",
+                headers={"Retry-After": str(exc.retry_after_s)},
+            )
+            return
+        if cached is not None:
+            self._reply(
+                200,
+                cached.encode(),
+                route="analyze",
+                headers={"X-Cache": "hit"},
+            )
+            return
+        app.engine.wait(job_id, app.config.sync_wait_s)
+        self._answer_for_job(job_id, route="analyze")
+
+    def _answer_for_job(self, job_id: str, *, route: str) -> None:
+        """Map a job's current state onto an HTTP answer."""
+        app = self.server.app
+        status = app.engine.job_status(job_id)
+        if status is None:
+            self._reply_json(404, {"error": "unknown job"}, route=route)
+            return
+        state = status["state"]
+        if state == "done":
+            report = app.engine.report_for(job_id)
+            if report is not None:
+                self._reply(200, report.encode(), route=route)
+                return
+        if state == "failed":
+            self._reply_json(
+                422, {"error": status["error"], "job": job_id}, route=route
+            )
+            return
+        if state == "quarantined":
+            self._reply_json(
+                500,
+                {
+                    "error": "analysis quarantined after repeated failures",
+                    "detail": status["error"],
+                    "job": job_id,
+                },
+                route=route,
+            )
+            return
+        # Still queued/running: hand back a poll location.
+        self._reply_json(
+            202,
+            status,
+            route=route,
+            headers={"Location": f"/v1/jobs/{job_id}"},
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        app = self.server.app
+        if self.path == "/healthz":
+            self._reply(200, b"ok\n", route="healthz", content_type="text/plain")
+            return
+        if self.path == "/readyz":
+            if app.engine.ready:
+                self._reply(
+                    200, b"ready\n", route="readyz", content_type="text/plain"
+                )
+            else:
+                reason = (
+                    "draining" if app.engine.draining
+                    else "degraded" if app.engine.degraded
+                    else "starting"
+                )
+                self._reply(
+                    503,
+                    f"unavailable: {reason}\n".encode(),
+                    route="readyz",
+                    content_type="text/plain",
+                    headers={"Retry-After": "5"},
+                )
+            return
+        if self.path == "/metricsz":
+            registry = obs.registry()
+            text = (
+                prometheus_text(registry.collect())
+                if registry is not None
+                else "# observability disabled\n"
+            )
+            self._reply(
+                200,
+                text.encode(),
+                route="metricsz",
+                content_type="text/plain; version=0.0.4",
+            )
+            return
+        if self.path.startswith("/v1/jobs/"):
+            tail = self.path[len("/v1/jobs/"):]
+            if tail.endswith("/report"):
+                job_id = tail[: -len("/report")]
+                status = app.engine.job_status(job_id)
+                if status is None:
+                    self._reply_json(404, {"error": "unknown job"}, route="jobs")
+                    return
+                report = app.engine.report_for(job_id)
+                if report is None:
+                    self._reply_json(
+                        409,
+                        {"error": "report not ready", "state": status["state"]},
+                        route="jobs",
+                    )
+                    return
+                self._reply(200, report.encode(), route="jobs")
+                return
+            status = app.engine.job_status(tail)
+            if status is None:
+                self._reply_json(404, {"error": "unknown job"}, route="jobs")
+                return
+            self._reply_json(200, status, route="jobs")
+            return
+        self._reply_json(404, {"error": "unknown route"}, route="other")
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "ReproServer"
+
+
+class ReproServer:
+    """Owns the HTTP listener and its engine; drives graceful drain."""
+
+    def __init__(
+        self,
+        engine: JobEngine,
+        config: ServerConfig | None = None,
+        *,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.injector = injector
+        self._httpd = _Server(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.app = self
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port resolved when config said 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, bench, embedding)."""
+        self.engine.start()
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI daemon path)."""
+        self.engine.start()
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful shutdown: stop admitting → finish in-flight → stop.
+
+        The listener keeps answering while the engine drains, so
+        ``/readyz`` reports 503 (load balancers stop routing) and
+        late-arriving submissions get an explicit 503, never a connection
+        reset; only then does the HTTP loop stop.
+        """
+        drained = self.engine.drain(timeout_s)
+        if self._serving:
+            # shutdown() blocks on serve_forever's acknowledgement, so it
+            # must only run when the serve loop actually started.
+            self._httpd.shutdown()
+            self._serving = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        return drained
+
+    def close(self) -> None:
+        self.drain()
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

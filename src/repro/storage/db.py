@@ -133,6 +133,7 @@ class TelemetryStore:
         self.write_fault_hook = write_fault_hook
         self.commit_every = commit_every
         self._pending_writes = 0
+        self._closed = False
 
     @property
     def connection(self) -> sqlite3.Connection:
@@ -171,14 +172,29 @@ class TelemetryStore:
         else:
             self._retry(self._conn.commit)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed (further closes are no-ops)."""
+        return self._closed
+
     def close(self) -> None:
+        """Flush any batched writes and release the connection.
+
+        Idempotent: closing an already-closed store is a no-op, so a
+        caller stack where several owners defensively close the same
+        store (an explicit ``close()`` inside a ``with`` block, the serve
+        journal's drain path plus its ``finally``) is always safe.
+        """
         with self._lock:
+            if self._closed:
+                return
             if self.commit_every and self._pending_writes:
                 # Batched mode: a clean close flushes the tail batch; only
                 # a crash (process death, no close) loses pending writes.
                 self._timed_commit("batch")
                 self._pending_writes = 0
             self._conn.close()
+            self._closed = True
 
     def __enter__(self) -> "TelemetryStore":
         return self

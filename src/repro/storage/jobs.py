@@ -1,0 +1,271 @@
+"""Crash-safe job journal for the ``repro serve`` daemon.
+
+Every accepted upload becomes one row in the ``jobs`` table (migration
+v3) keyed by a digest-derived job id, and every state change commits
+immediately — the journal *is* the durability story, so a SIGKILLed
+server restarted with ``--resume`` knows exactly which jobs it owes its
+clients:
+
+* ``done`` rows seed the result cache (their canonical report text is
+  stored inline and served byte-identically forever);
+* ``queued``/``running`` rows are interrupted work — resume re-runs each
+  exactly once from its spooled upload bytes;
+* ``quarantined`` rows are poison uploads that crashed the worker too
+  many times; they are never retried automatically.
+
+State machine::
+
+    queued -> running -> done
+                      -> failed       (invalid upload: terminal verdict)
+                      -> queued       (crash/cancel: bounded re-run)
+                      -> quarantined  (re-run budget exhausted)
+
+Transitions outside this graph raise :class:`JournalStateError` — a
+journal that can silently skip states cannot prove exactly-once recovery.
+
+The optional ``write_fault_hook`` is the ``journal-disk-full`` seam: it
+is called with ``job:<id>:<transition>`` before each write and may raise
+(the fault injector raises
+:class:`~repro.faults.InjectedDiskFullError`); the engine catches it and
+degrades gracefully — the job still completes in memory, only its
+crash-recovery durability is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .db import TelemetryStore
+
+#: Fault seam: called with "job:<id>:<transition>" before each write.
+JournalWriteHook = Callable[[str], None]
+
+#: Job states (the strings stored in the ``jobs.state`` column).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+
+#: The full state vocabulary, in lifecycle order.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, QUARANTINED)
+
+#: target state -> states it may be entered from.
+_VALID_FROM = {
+    RUNNING: (QUEUED,),
+    DONE: (RUNNING,),
+    FAILED: (RUNNING,),
+    QUARANTINED: (RUNNING,),
+    # Re-queue: a running job whose worker died (crash, deadline,
+    # process kill) goes back to queued for its bounded re-run.
+    QUEUED: (RUNNING,),
+}
+
+
+class JournalStateError(RuntimeError):
+    """An illegal job state transition (journal corruption or a bug)."""
+
+
+@dataclass(frozen=True, slots=True)
+class JobRow:
+    """One journalled job."""
+
+    job_id: str
+    digest: str
+    state: str
+    size_bytes: int
+    attempts: int
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    error: str | None
+    report: str | None
+
+
+_COLUMNS = (
+    "job_id, digest, state, size_bytes, attempts, "
+    "submitted_at, started_at, finished_at, error, report"
+)
+
+
+def _row(raw) -> JobRow:
+    return JobRow(
+        job_id=raw[0], digest=raw[1], state=raw[2], size_bytes=raw[3],
+        attempts=raw[4], submitted_at=raw[5], started_at=raw[6],
+        finished_at=raw[7], error=raw[8], report=raw[9],
+    )
+
+
+class JobJournal:
+    """The serve daemon's view of the ``jobs`` table.
+
+    Thin and synchronous: every mutation runs under the store's writer
+    lock and commits before returning, so the on-disk journal never lags
+    the in-memory engine by more than the statement being written.
+    """
+
+    def __init__(
+        self,
+        store: TelemetryStore,
+        *,
+        write_fault_hook: JournalWriteHook | None = None,
+    ) -> None:
+        self._store = store
+        self.write_fault_hook = write_fault_hook
+
+    @property
+    def store(self) -> TelemetryStore:
+        return self._store
+
+    def _write(self, key: str, sql: str, args: tuple) -> int:
+        """One journalled mutation: fault seam, statement, commit."""
+        if self.write_fault_hook is not None:
+            self.write_fault_hook(key)
+        store = self._store
+        with store._lock:
+            cursor = store._execute(sql, args)
+            store.commit()
+            return cursor.rowcount
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, job_id: str, digest: str, size_bytes: int, *, now: float
+    ) -> bool:
+        """Journal a new job as ``queued``; False if the id already exists.
+
+        Idempotent by construction: the job id is digest-derived, so a
+        repeat submission of the same bytes lands on the existing row.
+        """
+        count = self._write(
+            f"job:{job_id}:submit",
+            "INSERT OR IGNORE INTO jobs "
+            "(job_id, digest, state, size_bytes, attempts, submitted_at) "
+            "VALUES (?, ?, ?, ?, 0, ?)",
+            (job_id, digest, QUEUED, size_bytes, now),
+        )
+        return count > 0
+
+    # -- transitions --------------------------------------------------------
+
+    def _transition(
+        self, job_id: str, to_state: str, *, sets: str, args: tuple
+    ) -> None:
+        allowed = _VALID_FROM[to_state]
+        placeholders = ",".join("?" * len(allowed))
+        count = self._write(
+            f"job:{job_id}:{to_state}",
+            f"UPDATE jobs SET state = ?, {sets} "
+            f"WHERE job_id = ? AND state IN ({placeholders})",
+            (to_state, *args, job_id, *allowed),
+        )
+        if count == 0:
+            row = self.get(job_id)
+            current = row.state if row is not None else "<missing>"
+            raise JournalStateError(
+                f"job {job_id}: illegal transition {current} -> {to_state}"
+            )
+
+    def mark_running(self, job_id: str, *, now: float) -> None:
+        """``queued -> running``; counts one attempt."""
+        self._transition(
+            job_id, RUNNING,
+            sets="attempts = attempts + 1, started_at = ?, error = NULL",
+            args=(now,),
+        )
+
+    def mark_done(self, job_id: str, report: str, *, now: float) -> None:
+        """``running -> done`` with the canonical report text inline."""
+        self._transition(
+            job_id, DONE,
+            sets="report = ?, finished_at = ?, error = NULL",
+            args=(report, now),
+        )
+
+    def mark_failed(self, job_id: str, error: str, *, now: float) -> None:
+        """``running -> failed``: a terminal verdict (e.g. not a NetLog)."""
+        self._transition(
+            job_id, FAILED, sets="error = ?, finished_at = ?", args=(error, now)
+        )
+
+    def mark_quarantined(self, job_id: str, error: str, *, now: float) -> None:
+        """``running -> quarantined``: the re-run budget is exhausted."""
+        self._transition(
+            job_id, QUARANTINED,
+            sets="error = ?, finished_at = ?",
+            args=(error, now),
+        )
+
+    def requeue(self, job_id: str, reason: str) -> None:
+        """``running -> queued``: the worker died; the job gets re-run."""
+        self._transition(job_id, QUEUED, sets="error = ?", args=(reason,))
+
+    def resubmit_lost(self, job_id: str, *, now: float) -> bool:
+        """``failed -> queued``, allowed only for spool-loss failures.
+
+        Losing the spooled upload in a crash is a verdict about the
+        crash, not about the bytes — when a client re-supplies them the
+        job is eligible to run again.  The SQL predicate keeps every
+        true verdict (parse failures, quarantines) terminal; returns
+        False when the row was not a resurrectable one.
+        """
+        count = self._write(
+            f"job:{job_id}:resubmit",
+            "UPDATE jobs SET state = ?, submitted_at = ?, attempts = 0, "
+            "error = NULL, report = NULL, started_at = NULL, "
+            "finished_at = NULL "
+            "WHERE job_id = ? AND state = ? AND error LIKE '%spool lost%'",
+            (QUEUED, now, job_id, FAILED),
+        )
+        return count > 0
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRow | None:
+        raw = self._store._execute(
+            f"SELECT {_COLUMNS} FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        return _row(raw) if raw is not None else None
+
+    def jobs(self, state: str | None = None) -> list[JobRow]:
+        sql = f"SELECT {_COLUMNS} FROM jobs"
+        args: tuple = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            args = (state,)
+        rows = self._store._execute(
+            sql + " ORDER BY submitted_at, job_id", args
+        ).fetchall()
+        return [_row(raw) for raw in rows]
+
+    def recoverable(self) -> list[JobRow]:
+        """Jobs a killed server owes its clients (queued or running).
+
+        A ``running`` row at startup is the signature of a SIGKILL
+        mid-analysis — no clean shutdown ever leaves one behind.
+        """
+        rows = self._store._execute(
+            f"SELECT {_COLUMNS} FROM jobs WHERE state IN (?, ?) "
+            "ORDER BY submitted_at, job_id",
+            (QUEUED, RUNNING),
+        ).fetchall()
+        return [_row(raw) for raw in rows]
+
+    def completed_reports(self) -> dict[str, str]:
+        """digest -> canonical report text for every ``done`` job."""
+        rows = self._store._execute(
+            "SELECT digest, report FROM jobs "
+            "WHERE state = ? AND report IS NOT NULL",
+            (DONE,),
+        ).fetchall()
+        return {digest: report for digest, report in rows}
+
+    def counts(self) -> dict[str, int]:
+        """state -> row count (every state present, zero or not)."""
+        out = {state: 0 for state in JOB_STATES}
+        for state, count in self._store._execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ):
+            out[state] = count
+        return out

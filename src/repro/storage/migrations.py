@@ -29,7 +29,7 @@ from typing import Callable
 from .integrity import visit_digest
 
 #: The schema version this build writes and expects.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Crash-point seam: called with a step key; may raise to simulate a crash.
 MigrationFaultHook = Callable[[str], None]
@@ -176,6 +176,37 @@ def _v2_integrity(conn: sqlite3.Connection) -> None:
         )
 
 
+# -- step 3: serve job journal ----------------------------------------------
+
+_V3_TABLES = (
+    # The `repro serve` crash-safe job journal: one row per submitted
+    # upload, keyed by a digest-derived job id.  State machine:
+    # queued -> running -> done/failed/quarantined; `queued`/`running`
+    # rows found at startup are the jobs a killed server owes its
+    # clients — `--resume` re-runs them exactly once from the spool.
+    """CREATE TABLE IF NOT EXISTS jobs (
+        job_id TEXT PRIMARY KEY,
+        digest TEXT NOT NULL,
+        state TEXT NOT NULL DEFAULT 'queued',
+        size_bytes INTEGER NOT NULL DEFAULT 0,
+        attempts INTEGER NOT NULL DEFAULT 0,
+        submitted_at REAL NOT NULL DEFAULT 0,
+        started_at REAL,
+        finished_at REAL,
+        error TEXT,
+        report TEXT
+    )""",
+    "CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state)",
+    "CREATE INDEX IF NOT EXISTS idx_jobs_digest ON jobs(digest)",
+)
+
+
+def _v3_jobs(conn: sqlite3.Connection) -> None:
+    """Add the serve daemon's job journal."""
+    for statement in _V3_TABLES:
+        conn.execute(statement)
+
+
 @dataclass(frozen=True, slots=True)
 class Migration:
     """One numbered schema step."""
@@ -188,6 +219,7 @@ class Migration:
 MIGRATIONS: tuple[Migration, ...] = (
     Migration(1, "baseline schema (seed layout + PR-2 columns)", _v1_baseline),
     Migration(2, "visit content digests + batch accounting", _v2_integrity),
+    Migration(3, "serve job journal (crash-safe upload state machine)", _v3_jobs),
 )
 
 

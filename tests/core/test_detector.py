@@ -111,3 +111,28 @@ class TestDetection:
             builder.request(f"http://localhost:{port}/", time=float(index))
         result = LocalTrafficDetector().detect(builder.events)
         assert result.ports(Locality.LOCALHOST) == set(ports)
+
+
+class TestSinkLifecycle:
+    def test_sink_refuses_reuse_after_finish(self, events):
+        events.request("http://localhost:8000/x")
+        sink = LocalTrafficDetector().sink()
+        for event in events.events:
+            sink.accept(event)
+        result = sink.finish()
+        assert result.has_local_activity
+        import pytest
+
+        with pytest.raises(RuntimeError, match="finish"):
+            sink.finish()
+        with pytest.raises(RuntimeError, match="fresh sink"):
+            sink.accept(events.events[0])
+
+    def test_fresh_sink_per_stream_is_equivalent(self, events):
+        events.request("http://localhost:8000/x")
+        first = LocalTrafficDetector().sink()
+        second = LocalTrafficDetector().sink()
+        for event in events.events:
+            first.accept(event)
+            second.accept(event)
+        assert first.finish().requests == second.finish().requests

@@ -310,3 +310,52 @@ class TestEmptyPlan:
         injector.archive_write_hook("k")
         injector.on_visit()
         assert injector.injected_total() == 0
+
+
+class TestServeSeams:
+    def test_slow_client_hook_returns_dwell_seconds(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.SLOW_CLIENT, rate=1.0, duration=200)
+        )
+        assert injector.slow_client_hook("client-a") == 0.2
+        assert injector.injected[FaultKind.SLOW_CLIENT] == 1
+        quiet = _injector()
+        assert quiet.slow_client_hook("client-a") == 0.0
+
+    def test_slow_client_default_dwell(self):
+        injector = _injector(FaultSpec(kind=FaultKind.SLOW_CLIENT, rate=1.0))
+        assert injector.slow_client_hook("client-a") == 0.05
+
+    def test_torn_upload_cut_is_stable_and_transient(self):
+        spec = FaultSpec(kind=FaultKind.TORN_UPLOAD, rate=1.0, times=2)
+        body = b"x" * 1000
+        first = _injector(spec).torn_upload_hook(body, "client-a")
+        second = _injector(spec).torn_upload_hook(body, "client-a")
+        assert first == second
+        assert 500 <= len(first) < 1000
+        injector = _injector(spec)
+        assert len(injector.torn_upload_hook(body, "client-a")) < 1000
+        assert len(injector.torn_upload_hook(body, "client-a")) < 1000
+        # Depth exhausted: the third upload arrives whole.
+        assert injector.torn_upload_hook(body, "client-a") == body
+
+    def test_worker_crash_hook_strikes_then_recovers(self):
+        from repro.faults import InjectedWorkerCrashError
+
+        injector = _injector(
+            FaultSpec(kind=FaultKind.WORKER_CRASH, rate=1.0, times=1)
+        )
+        with pytest.raises(InjectedWorkerCrashError):
+            injector.worker_crash_hook("sha256:aa")
+        injector.worker_crash_hook("sha256:aa")  # recovered
+        assert injector.injected[FaultKind.WORKER_CRASH] == 1
+
+    def test_journal_write_hook_raises_disk_full(self):
+        from repro.faults import InjectedDiskFullError
+
+        injector = _injector(
+            FaultSpec(kind=FaultKind.JOURNAL_DISK_FULL, rate=1.0, times=1)
+        )
+        with pytest.raises(InjectedDiskFullError):
+            injector.journal_write_hook("job:j1:submit")
+        injector.journal_write_hook("job:j1:submit")

@@ -166,3 +166,43 @@ class TestPlanValidationErrors:
             ),
         )
         assert FaultPlan.loads(plan.dumps()) == plan
+
+
+class TestServeFaultKinds:
+    """The serve seams ride the same plan machinery as every other kind."""
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed="serve-chaos",
+            faults=(
+                FaultSpec(kind=FaultKind.SLOW_CLIENT, rate=0.2, duration=200),
+                FaultSpec(kind=FaultKind.TORN_UPLOAD, rate=0.1, times=1),
+                FaultSpec(kind=FaultKind.WORKER_CRASH, rate=0.05, times=2),
+                FaultSpec(kind=FaultKind.JOURNAL_DISK_FULL, rate=0.01),
+            ),
+        )
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_loads_by_wire_name(self):
+        plan = FaultPlan.loads(
+            '{"seed": "s", "faults": ['
+            '{"kind": "slow-client", "rate": 1.0, "duration": 50},'
+            '{"kind": "torn-upload", "rate": 1.0},'
+            '{"kind": "worker-crash", "rate": 0.5, "times": 3},'
+            '{"kind": "journal-disk-full", "rate": 0.25}]}'
+        )
+        assert [spec.kind for spec in plan.faults] == [
+            FaultKind.SLOW_CLIENT,
+            FaultKind.TORN_UPLOAD,
+            FaultKind.WORKER_CRASH,
+            FaultKind.JOURNAL_DISK_FULL,
+        ]
+
+    def test_selection_is_deterministic(self):
+        spec = FaultSpec(kind=FaultKind.WORKER_CRASH, rate=0.2, times=2)
+        plan = FaultPlan(seed="stable", faults=(spec,))
+        digests = [f"sha256:{i:064x}" for i in range(200)]
+        first = {d for d in digests if plan.selects(spec, d)}
+        second = {d for d in digests if plan.selects(spec, d)}
+        assert first == second
+        assert 0 < len(first) < len(digests)

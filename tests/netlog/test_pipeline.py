@@ -266,3 +266,68 @@ class TestDetectionRouteEquivalence:
             )
         detector = LocalTrafficDetector()
         assert feed(stream, detector.sink()) == detector.detect(stream)
+
+
+class TestReorderBufferEdgeCases:
+    """Watermark corner cases: duplicate sort keys and empty streams."""
+
+    def test_duplicate_time_and_source_keys_keep_arrival_order(self):
+        # Identical (time, source id) on distinct events must not lose
+        # or swap records: the tiebreaker is strictly arrival sequence.
+        stream = [
+            _event(time=5.0, source_id=7, params={"url": "first"}),
+            _event(time=5.0, source_id=7, params={"url": "second"}),
+            _event(time=5.0, source_id=7, params={"url": "third"}),
+        ]
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        for event in stream:
+            buffer.accept(event)
+        buffer.flush()
+        assert out.events == stream
+
+    def test_duplicate_keys_released_together_by_watermark(self):
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        buffer.accept(_event(time=1.0, source_id=1, params={"url": "a"}))
+        buffer.accept(_event(time=1.0, source_id=1, params={"url": "b"}))
+        buffer.accept(_event(time=2.0, source_id=1))
+        buffer.advance(2.0)
+        # Both 1.0 duplicates cross the watermark as a unit, in order.
+        assert [e.params.get("url") for e in out.events] == ["a", "b"]
+
+    def test_watermark_not_advanced_by_duplicate_heap_pushes(self):
+        buffer = ReorderBuffer(ListSink())
+        for _ in range(5):
+            buffer.accept(_event(time=3.0, source_id=2))
+        buffer.advance(3.0)
+        # time == watermark is never early-released, duplicates included.
+        assert buffer.pending == 5
+
+    def test_empty_stream_finish_finishes_downstream(self):
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        result = buffer.finish()
+        assert result == []
+        assert out.events == []
+
+    def test_empty_stream_flush_does_not_finish_downstream(self):
+        class FinishTracking(ListSink):
+            finished = False
+
+            def finish(self):
+                self.finished = True
+                return super().finish()
+
+        out = FinishTracking()
+        buffer = ReorderBuffer(out)
+        buffer.flush()
+        assert not out.finished
+        assert buffer.pending == 0
+
+    def test_advance_on_empty_buffer_is_a_no_op(self):
+        out = ListSink()
+        buffer = ReorderBuffer(out)
+        buffer.advance(100.0)
+        assert out.events == []
+        assert buffer.pending == 0

@@ -1,0 +1,57 @@
+"""Fixtures for the serve suite: NetLog uploads with known-good reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlog import dumps
+from repro.serve.report import analyze_report_text
+from tests.conftest import EventBuilder
+
+
+def build_upload(
+    urls: list[str], *, checksums: bool = False, page: str | None = None
+) -> bytes:
+    """Serialise a small NetLog document covering ``urls`` as bytes."""
+    builder = EventBuilder()
+    builder.page_commit(page or "https://site.example/", time=100.0)
+    for index, url in enumerate(urls):
+        builder.request(url, time=2100.0 + 10.0 * index)
+    return dumps(builder.events, checksums=checksums).encode()
+
+
+@pytest.fixture
+def local_upload() -> bytes:
+    """An upload with localhost + LAN traffic (all three RQs light up)."""
+    return build_upload(
+        [
+            "http://localhost:5939/check",
+            "http://127.0.0.1:8000/setuid",
+            "http://192.168.0.12/cam.jpg",
+            "https://cdn.example/app.js",
+        ]
+    )
+
+
+@pytest.fixture
+def public_upload() -> bytes:
+    """An upload with only public traffic (a negative detection)."""
+    return build_upload(
+        ["https://cdn.example/app.js", "https://fonts.example/r.woff2"]
+    )
+
+
+@pytest.fixture
+def corpus(local_upload, public_upload) -> list[tuple[str, bytes, str]]:
+    """(name, body, expected canonical report) triples for load tests."""
+    uploads = {
+        "local": local_upload,
+        "public": public_upload,
+        "portscan": build_upload(
+            [f"http://127.0.0.1:{port}/" for port in range(6000, 6012)]
+        ),
+    }
+    return [
+        (name, body, analyze_report_text(body))
+        for name, body in uploads.items()
+    ]

@@ -1,0 +1,176 @@
+"""Slow end-to-end tests: graceful drain, kill -9, and daemon restart.
+
+Marked ``slow`` + ``loopback``: these boot real servers (including the
+CLI daemon as a subprocess under real signals) and exercise the full
+crash-recovery loop — submit, kill, restart with ``--resume``, and prove
+the recovered answers are byte-identical to the batch analyzer.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.engine import EngineConfig, JobEngine
+from repro.serve.http import ReproServer, ServerConfig
+from repro.serve.report import analyze_report_text, job_id_for, upload_digest
+from repro.storage.db import TelemetryStore
+from repro.storage.jobs import JobJournal
+
+pytestmark = [pytest.mark.slow, pytest.mark.loopback]
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _post(url, body):
+    request = urllib.request.Request(
+        f"{url}/v1/analyze", data=body, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+class TestDrainRestart:
+    def test_drain_then_restart_completes_interrupted_work(
+        self, tmp_path, corpus
+    ):
+        """A drained server's unfinished queue survives into the next run."""
+        path = str(tmp_path / "serve.sqlite")
+        spool = str(tmp_path / "spool")
+
+        with TelemetryStore(path, serialized=True) as store:
+            engine = JobEngine(
+                EngineConfig(workers=1, backlog=8),
+                journal=JobJournal(store),
+                spool_dir=spool,
+            )
+            # Never start the workers: every submission stays queued in
+            # the journal, the shape of a server stopped under backlog.
+            server = ReproServer(engine, ServerConfig(sync_wait_s=0.01))
+            for _, body, _ in corpus:
+                engine.submit(body)
+            assert server.drain(timeout_s=10.0)  # never-started drain is safe
+            counts = JobJournal(store).counts()
+            assert counts["queued"] == len(corpus)
+
+        with TelemetryStore(path, serialized=True) as store:
+            engine = JobEngine(
+                EngineConfig(workers=2, backlog=8),
+                journal=JobJournal(store),
+                spool_dir=spool,
+            )
+            recovered, cached = engine.resume()
+            assert (recovered, cached) == (len(corpus), 0)
+            with ReproServer(engine) as server:
+                for _, body, expected in corpus:
+                    job_id = job_id_for(upload_digest(body))
+                    assert engine.wait(job_id, 30.0)
+                    status, answer = _post(server.url, body)
+                    assert status == 200
+                    assert answer.decode() == expected
+            assert JobJournal(store).counts()["done"] == len(corpus)
+
+
+class TestCliDaemon:
+    def _spawn(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli", "serve",
+                "--port", "0", "--db", str(tmp_path / "daemon.sqlite"),
+                "--drain-timeout", "15",
+                *extra,
+            ],
+            cwd=_REPO_ROOT,
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        lines = []
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            lines.append(line)
+            if line.startswith("serving on "):
+                return process, line.split()[2], lines
+        process.kill()
+        raise AssertionError(f"daemon never came up: {lines!r}")
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path, local_upload):
+        process, url, _ = self._spawn(tmp_path)
+        try:
+            status, body = _post(url, local_upload)
+            assert status == 200
+            assert body.decode() == analyze_report_text(local_upload)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30.0)
+        assert process.returncode == 0
+
+    def test_kill_dash_nine_then_resume_reruns_exactly_once(
+        self, tmp_path, local_upload
+    ):
+        expected = analyze_report_text(local_upload)
+        job_id = job_id_for(upload_digest(local_upload))
+        db = str(tmp_path / "daemon.sqlite")
+
+        process, url, _ = self._spawn(tmp_path)
+        status, body = _post(url, local_upload)
+        assert (status, body.decode()) == (200, expected)
+        # SIGKILL: no drain, no journal checkpointing, nothing graceful.
+        process.kill()
+        process.wait(timeout=30.0)
+        assert process.returncode != 0
+
+        # Forge the crash signature a SIGKILL mid-analysis leaves behind:
+        # flip the finished row back to mid-flight states.
+        with TelemetryStore(db, serialized=True) as store:
+            store._execute(
+                "UPDATE jobs SET state = 'running', report = NULL "
+                "WHERE job_id = ?",
+                (job_id,),
+            )
+            store.commit()
+            spool = db + ".spool"
+            digest_hex = upload_digest(local_upload).split(":")[1]
+            with open(os.path.join(spool, digest_hex + ".netlog"), "wb") as fp:
+                fp.write(local_upload)
+
+        process, url, lines = self._spawn(tmp_path, "--resume")
+        try:
+            assert any("resumed: 1 interrupted" in line for line in lines)
+            deadline = time.monotonic() + 30.0
+            state = None
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"{url}/v1/jobs/{job_id}", timeout=10.0
+                ) as response:
+                    state = json.loads(response.read())["state"]
+                if state == "done":
+                    break
+                time.sleep(0.1)
+            assert state == "done"
+            with urllib.request.urlopen(
+                f"{url}/v1/jobs/{job_id}/report", timeout=10.0
+            ) as response:
+                assert response.read().decode() == expected
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30.0)
+        assert process.returncode == 0
+        with TelemetryStore(db, serialized=True) as store:
+            row = JobJournal(store).get(job_id)
+            assert row.state == "done"
+            assert row.report == expected

@@ -1,0 +1,256 @@
+"""Loopback end-to-end tests for the ``repro serve`` HTTP surface.
+
+Every status code in the contract is exercised against a real listener,
+and every 200 body is compared byte-for-byte with the batch analyzer —
+the service is allowed to refuse work, never to answer it differently.
+"""
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.serve.engine import EngineConfig, JobEngine
+from repro.serve.http import ReproServer, ServerConfig
+from repro.serve.report import analyze_report_text, job_id_for, upload_digest
+
+pytestmark = pytest.mark.loopback
+
+
+def _post(url, body, *, client_id="test-client", headers=None):
+    request = urllib.request.Request(
+        f"{url}/v1/analyze",
+        data=body,
+        method="POST",
+        headers={"X-Client-Id": client_id, **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _get(url, path):
+    try:
+        with urllib.request.urlopen(f"{url}{path}", timeout=30.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _serve(injector=None, engine_config=None, server_config=None):
+    engine = JobEngine(
+        engine_config or EngineConfig(workers=2, backlog=4),
+        injector=injector,
+    )
+    return ReproServer(
+        engine, server_config or ServerConfig(), injector=injector
+    )
+
+
+@pytest.fixture
+def server():
+    with _serve() as server:
+        yield server
+
+
+class TestHealthSurface:
+    def test_healthz(self, server):
+        status, _, body = _get(server.url, "/healthz")
+        assert (status, body) == (200, b"ok\n")
+
+    def test_readyz_ready(self, server):
+        status, _, body = _get(server.url, "/readyz")
+        assert (status, body) == (200, b"ready\n")
+
+    def test_readyz_draining(self, server):
+        server.engine.drain(timeout_s=10.0)
+        status, headers, body = _get(server.url, "/readyz")
+        assert status == 503
+        assert b"draining" in body
+        assert headers.get("Retry-After") == "5"
+
+    def test_metricsz_exposition(self, server):
+        obs.enable()
+        try:
+            _get(server.url, "/healthz")
+            status, headers, body = _get(server.url, "/metricsz")
+            assert status == 200
+            assert "text/plain" in headers["Content-Type"]
+            assert b"repro_serve_http_requests_total" in body
+        finally:
+            obs.disable()
+
+    def test_unknown_routes_404(self, server):
+        assert _get(server.url, "/nope")[0] == 404
+        assert _get(server.url, "/v1/jobs/jdeadbeef")[0] == 404
+
+
+class TestAnalyze:
+    def test_fresh_upload_returns_canonical_report(self, server, local_upload):
+        status, _, body = _post(server.url, local_upload)
+        assert status == 200
+        assert body.decode() == analyze_report_text(local_upload)
+
+    def test_repeat_upload_is_cache_hit_and_identical(
+        self, server, local_upload
+    ):
+        _, _, first = _post(server.url, local_upload)
+        status, headers, second = _post(server.url, local_upload)
+        assert status == 200
+        assert headers.get("X-Cache") == "hit"
+        assert second == first
+
+    def test_job_status_and_report_endpoints(self, server, local_upload):
+        _post(server.url, local_upload)
+        job_id = job_id_for(upload_digest(local_upload))
+        status, _, body = _get(server.url, f"/v1/jobs/{job_id}")
+        assert status == 200
+        document = json.loads(body)
+        assert document["state"] == "done"
+        assert document["job"] == job_id
+        status, _, body = _get(server.url, f"/v1/jobs/{job_id}/report")
+        assert status == 200
+        assert body.decode() == analyze_report_text(local_upload)
+
+    def test_not_a_netlog_422(self, server):
+        status, _, body = _post(server.url, b'{"hello": "world"}')
+        assert status == 422
+        assert b"NetLog" in body
+
+    def test_missing_content_length_411(self, server):
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            connection.putrequest(
+                "POST", "/v1/analyze", skip_host=False
+            )
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 411
+        finally:
+            connection.close()
+
+    def test_oversized_upload_413(self, local_upload):
+        config = ServerConfig(max_bytes=64)
+        with _serve(server_config=config) as server:
+            status, _, body = _post(server.url, local_upload)
+            assert status == 413
+            assert json.loads(body)["max_bytes"] == 64
+
+
+class TestBackpressure:
+    def test_overload_429_with_retry_after(self, corpus, local_upload):
+        # One worker wedged by a hang fault on the first upload's digest,
+        # a one-slot queue: the third distinct upload must bounce.
+        injector = FaultInjector(
+            plan=FaultPlan(
+                seed="http-429",
+                faults=(FaultSpec(kind=FaultKind.HANG, rate=1.0, times=1),),
+            )
+        )
+        engine_config = EngineConfig(
+            workers=1, backlog=1, job_deadline_s=1.0, breaker_threshold=100
+        )
+        server_config = ServerConfig(sync_wait_s=0.05)
+        with _serve(injector, engine_config, server_config) as server:
+            first, _, _ = _post(server.url, corpus[0][1])
+            assert first == 202
+            # With the only worker wedged and a one-slot queue, distinct
+            # uploads must start bouncing with 429 almost immediately.
+            overloaded = None
+            for _, body, _ in (corpus[1], corpus[2], ("x", local_upload, "")):
+                status, headers, response = _post(server.url, body)
+                assert status in (202, 429)
+                if status == 429:
+                    overloaded = (headers, response)
+                    break
+            assert overloaded is not None, "queue never filled"
+            headers, response = overloaded
+            assert int(headers["Retry-After"]) >= 1
+            assert json.loads(response)["retry_after_s"] >= 1
+            # The wedge resolves (watchdog cancel + bounded re-run).  The
+            # overload contract: the job ends in an explicit verdict —
+            # either the byte-exact report, or a quarantine refusal when
+            # its re-run could not be re-admitted past the full queue.
+            # A wrong or partial 200 is never acceptable.
+            job_id = job_id_for(upload_digest(corpus[0][1]))
+            start = time.monotonic()
+            state = None
+            while time.monotonic() - start < 30.0:
+                _, _, body = _get(server.url, f"/v1/jobs/{job_id}")
+                state = json.loads(body).get("state")
+                if state in ("done", "failed", "quarantined"):
+                    break
+                time.sleep(0.05)
+            assert state in ("done", "quarantined")
+            if state == "done":
+                status, _, body = _get(
+                    server.url, f"/v1/jobs/{job_id}/report"
+                )
+                assert status == 200
+                assert body.decode() == corpus[0][2]
+
+    def test_draining_503_but_cache_keeps_serving(self, server, corpus):
+        cached_body = corpus[0][1]
+        _post(server.url, cached_body)
+        server.engine.drain(timeout_s=10.0)
+        status, headers, _ = _post(server.url, corpus[1][1])
+        assert status == 503
+        assert "Retry-After" in headers
+        status, headers, body = _post(server.url, cached_body)
+        assert status == 200
+        assert headers.get("X-Cache") == "hit"
+        assert body.decode() == corpus[0][2]
+
+
+class TestInjectedClientFaults:
+    def test_slow_client_408(self, local_upload):
+        injector = FaultInjector(
+            plan=FaultPlan(
+                seed="http-slow",
+                faults=(
+                    FaultSpec(
+                        kind=FaultKind.SLOW_CLIENT, rate=1.0, duration=300
+                    ),
+                ),
+            )
+        )
+        config = ServerConfig(read_timeout_s=0.2)
+        with _serve(injector, server_config=config) as server:
+            status, _, body = _post(
+                server.url, local_upload, client_id="trickler"
+            )
+            assert status == 408
+            assert b"deadline" in body
+
+    def test_torn_upload_salvage_is_byte_identical(self, local_upload):
+        plan = FaultPlan(
+            seed="http-torn",
+            faults=(FaultSpec(kind=FaultKind.TORN_UPLOAD, rate=1.0, times=1),),
+        )
+        injector = FaultInjector(plan=plan)
+        # A twin injector predicts the exact torn bytes the server saw.
+        torn = FaultInjector(plan=plan).torn_upload_hook(
+            local_upload, "torn-client"
+        )
+        assert len(torn) < len(local_upload)
+        with _serve(injector) as server:
+            status, _, body = _post(
+                server.url, local_upload, client_id="torn-client"
+            )
+            assert status == 200
+            assert body.decode() == analyze_report_text(torn)
+            assert json.loads(body)["parse"]["damaged"]
+            # The fault is transient: the second upload arrives whole.
+            status, _, body = _post(
+                server.url, local_upload, client_id="torn-client"
+            )
+            assert status == 200
+            assert body.decode() == analyze_report_text(local_upload)

@@ -1,0 +1,104 @@
+"""Tests for the canonical report document: stability, salvage, digests."""
+
+import json
+
+import pytest
+
+from repro.serve.report import (
+    CHECKPOINT_EVERY,
+    REPORT_FORMAT,
+    ReportError,
+    analyze_report,
+    analyze_report_text,
+    job_id_for,
+    render_report,
+    upload_digest,
+)
+
+from .conftest import build_upload
+
+
+class TestDigests:
+    def test_digest_is_prefixed_sha256(self, local_upload):
+        digest = upload_digest(local_upload)
+        assert digest.startswith("sha256:")
+        assert len(digest) == len("sha256:") + 64
+
+    def test_job_id_is_digest_derived(self, local_upload):
+        digest = upload_digest(local_upload)
+        assert job_id_for(digest) == "j" + digest.split(":")[1][:16]
+        assert job_id_for(digest) == job_id_for(upload_digest(local_upload))
+
+    def test_distinct_bytes_distinct_ids(self, local_upload, public_upload):
+        assert job_id_for(upload_digest(local_upload)) != job_id_for(
+            upload_digest(public_upload)
+        )
+
+
+class TestReportDocument:
+    def test_rq_fields(self, local_upload):
+        document = analyze_report(local_upload)
+        assert document["format"] == REPORT_FORMAT
+        assert document["bytes"] == len(local_upload)
+        assert document["rq1"]["local_activity"]
+        assert document["rq1"]["localhost_requests"] == 2
+        assert document["rq1"]["lan_requests"] == 1
+        assert 5939 in document["rq2"]["ports"]
+        assert "http" in document["rq2"]["schemes"]
+        assert document["rq3"]["behavior"]
+
+    def test_negative_detection(self, public_upload):
+        document = analyze_report(public_upload)
+        assert not document["rq1"]["local_activity"]
+        assert document["rq2"]["ports"] == []
+        # Two request flows plus the page-commit source.
+        assert document["flows"] == 3
+
+    def test_rendering_is_byte_stable(self, local_upload):
+        first = analyze_report_text(local_upload)
+        second = analyze_report_text(local_upload)
+        assert first == second
+        assert first.endswith("\n")
+        # Canonical form: compact separators, sorted keys.
+        assert first == render_report(json.loads(first))
+
+    def test_checkpoint_called_during_parse(self):
+        # ~3 events per request: well past one checkpoint interval.
+        body = build_upload(
+            [f"https://cdn.example/{i}.js" for i in range(CHECKPOINT_EVERY)]
+        )
+        calls = []
+        analyze_report(body, checkpoint=lambda: calls.append(1))
+        assert calls
+
+    def test_not_a_netlog_raises(self):
+        with pytest.raises(ReportError):
+            analyze_report(b'{"hello": "world"}')
+
+    def test_empty_upload_is_salvaged_as_damaged(self):
+        # Zero bytes is an extreme torn upload, not a malformed document:
+        # the salvage parser reports it as truncated with no events.
+        document = analyze_report(b"")
+        assert document["parse"]["damaged"]
+        assert document["parse"]["events"] == 0
+        assert document["flows"] == 0
+
+
+class TestSalvage:
+    def test_torn_upload_parses_with_damage_accounted(self, local_upload):
+        torn = local_upload[: int(len(local_upload) * 0.6)]
+        document = analyze_report(torn)
+        assert document["parse"]["damaged"]
+        assert document["parse"]["truncated"]
+        assert document["digest"] == upload_digest(torn)
+
+    def test_torn_report_is_byte_stable(self, local_upload):
+        torn = local_upload[: int(len(local_upload) * 0.7)]
+        assert analyze_report_text(torn) == analyze_report_text(torn)
+
+    def test_torn_mid_multibyte_sequence_degrades_gracefully(self):
+        body = build_upload(["http://localhost:1234/påth"])
+        # Cut inside the two-byte UTF-8 sequence if present; any cut in
+        # the back half must still produce a report, never an exception.
+        for cut in range(len(body) // 2, len(body), 7):
+            analyze_report(body[:cut])

@@ -356,3 +356,30 @@ class TestCrossProcessLocking:
             blocker.rollback()
             blocker.close()
             store.close()
+
+
+class TestCloseLifecycle:
+    def test_close_is_idempotent(self):
+        store = TelemetryStore()
+        assert not store.closed
+        store.close()
+        assert store.closed
+        # A second close is a no-op, not a double-close crash.
+        store.close()
+        assert store.closed
+
+    def test_context_manager_closes_exactly_once(self):
+        with TelemetryStore() as store:
+            store.record_visit("c", "a.example", "windows", success=True)
+            assert not store.closed
+        assert store.closed
+        store.close()  # explicit close after the context is still safe
+        assert store.closed
+
+    def test_close_flushes_batched_writes(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        store = TelemetryStore(path, commit_every=1000)
+        store.record_visit("c", "a.example", "windows", success=True)
+        store.close()
+        with TelemetryStore(path) as reopened:
+            assert reopened.visit_count("c") == 1

@@ -1,0 +1,191 @@
+"""Tests for the serve job journal: state machine, recovery queries."""
+
+import pytest
+
+from repro.faults import InjectedDiskFullError
+from repro.storage.db import TelemetryStore
+from repro.storage.jobs import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    JobJournal,
+    JournalStateError,
+)
+
+
+@pytest.fixture
+def store():
+    with TelemetryStore() as store:
+        yield store
+
+
+@pytest.fixture
+def journal(store):
+    return JobJournal(store)
+
+
+class TestSubmission:
+    def test_submit_creates_queued_row(self, journal):
+        assert journal.submit("j1", "sha256:aa", 128, now=10.0)
+        row = journal.get("j1")
+        assert row.state == QUEUED
+        assert row.digest == "sha256:aa"
+        assert row.size_bytes == 128
+        assert row.attempts == 0
+        assert row.submitted_at == 10.0
+
+    def test_submit_is_idempotent(self, journal):
+        assert journal.submit("j1", "sha256:aa", 128, now=10.0)
+        assert not journal.submit("j1", "sha256:aa", 128, now=11.0)
+        assert journal.get("j1").submitted_at == 10.0
+
+    def test_get_unknown_job(self, journal):
+        assert journal.get("nope") is None
+
+
+class TestStateMachine:
+    def test_happy_path(self, journal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        row = journal.get("j1")
+        assert row.state == RUNNING
+        assert row.attempts == 1
+        assert row.started_at == 2.0
+        journal.mark_done("j1", '{"report":1}\n', now=3.0)
+        row = journal.get("j1")
+        assert row.state == DONE
+        assert row.report == '{"report":1}\n'
+        assert row.finished_at == 3.0
+
+    def test_failed_verdict(self, journal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        journal.mark_failed("j1", "not a NetLog document", now=3.0)
+        row = journal.get("j1")
+        assert row.state == FAILED
+        assert row.error == "not a NetLog document"
+
+    def test_requeue_counts_attempts(self, journal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        journal.requeue("j1", "worker crashed")
+        row = journal.get("j1")
+        assert row.state == QUEUED
+        assert row.attempts == 1
+        assert row.error == "worker crashed"
+        journal.mark_running("j1", now=3.0)
+        assert journal.get("j1").attempts == 2
+        journal.mark_quarantined("j1", "poison", now=4.0)
+        assert journal.get("j1").state == QUARANTINED
+
+    @pytest.mark.parametrize(
+        "illegal",
+        [
+            lambda j: j.mark_done("j1", "r", now=2.0),   # queued -> done
+            lambda j: j.mark_failed("j1", "e", now=2.0),  # queued -> failed
+            lambda j: j.requeue("j1", "r"),               # queued -> queued
+        ],
+    )
+    def test_illegal_transitions_from_queued(self, journal, illegal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        with pytest.raises(JournalStateError):
+            illegal(journal)
+
+    def test_terminal_states_are_final(self, journal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        journal.mark_done("j1", "r\n", now=3.0)
+        with pytest.raises(JournalStateError):
+            journal.mark_running("j1", now=4.0)
+        with pytest.raises(JournalStateError):
+            journal.requeue("j1", "no")
+
+    def test_transition_on_missing_job(self, journal):
+        with pytest.raises(JournalStateError, match="<missing>"):
+            journal.mark_running("ghost", now=1.0)
+
+    def test_resubmit_lost_resurrects_only_spool_loss(self, journal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        journal.mark_failed("j1", "upload spool lost in crash", now=3.0)
+        assert journal.resubmit_lost("j1", now=4.0)
+        row = journal.get("j1")
+        assert row.state == QUEUED
+        assert (row.attempts, row.error, row.report) == (0, None, None)
+        assert row.submitted_at == 4.0
+
+    def test_resubmit_lost_keeps_true_verdicts_terminal(self, journal):
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        journal.mark_failed("j1", "not a NetLog document", now=3.0)
+        assert not journal.resubmit_lost("j1", now=4.0)
+        assert journal.get("j1").state == FAILED
+        assert not journal.resubmit_lost("ghost", now=4.0)
+
+
+class TestRecoveryQueries:
+    def _seed(self, journal):
+        journal.submit("j-done", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j-done", now=1.5)
+        journal.mark_done("j-done", "report-a\n", now=2.0)
+        journal.submit("j-run", "sha256:bb", 1, now=3.0)
+        journal.mark_running("j-run", now=3.5)
+        journal.submit("j-wait", "sha256:cc", 1, now=4.0)
+
+    def test_recoverable_orders_by_submission(self, journal):
+        self._seed(journal)
+        recovered = journal.recoverable()
+        assert [row.job_id for row in recovered] == ["j-run", "j-wait"]
+        assert [row.state for row in recovered] == [RUNNING, QUEUED]
+
+    def test_completed_reports_warm_the_cache(self, journal):
+        self._seed(journal)
+        assert journal.completed_reports() == {"sha256:aa": "report-a\n"}
+
+    def test_counts_cover_every_state(self, journal):
+        self._seed(journal)
+        counts = journal.counts()
+        assert counts == {
+            "queued": 1, "running": 1, "done": 1,
+            "failed": 0, "quarantined": 0,
+        }
+
+    def test_jobs_filter_by_state(self, journal):
+        self._seed(journal)
+        assert [r.job_id for r in journal.jobs(QUEUED)] == ["j-wait"]
+        assert len(journal.jobs()) == 3
+
+
+class TestWriteFaultSeam:
+    def test_hook_sees_transition_keys(self, store):
+        keys = []
+        journal = JobJournal(store, write_fault_hook=keys.append)
+        journal.submit("j1", "sha256:aa", 1, now=1.0)
+        journal.mark_running("j1", now=2.0)
+        journal.mark_done("j1", "r\n", now=3.0)
+        assert keys == ["job:j1:submit", "job:j1:running", "job:j1:done"]
+
+    def test_hook_failure_propagates(self, store):
+        def explode(key: str) -> None:
+            raise InjectedDiskFullError(key)
+
+        journal = JobJournal(store, write_fault_hook=explode)
+        with pytest.raises(InjectedDiskFullError):
+            journal.submit("j1", "sha256:aa", 1, now=1.0)
+        # The row was never written: the fault fires before the statement.
+        assert journal.get("j1") is None
+
+
+class TestSurvivesReopen:
+    def test_journal_state_survives_store_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        with TelemetryStore(path) as store:
+            journal = JobJournal(store)
+            journal.submit("j1", "sha256:aa", 9, now=1.0)
+            journal.mark_running("j1", now=2.0)
+        with TelemetryStore(path) as store:
+            row = JobJournal(store).get("j1")
+            assert row.state == RUNNING
+            assert row.attempts == 1

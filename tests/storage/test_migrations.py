@@ -97,7 +97,7 @@ class TestMigrate:
         conn = sqlite3.connect(":memory:")
         report = migrate(conn)
         assert schema_version(conn) == SCHEMA_VERSION
-        assert report.applied == [1, 2]
+        assert report.applied == [1, 2, 3]
         assert report.changed
 
     def test_is_idempotent(self):
@@ -168,7 +168,8 @@ class TestCrashSafety:
     pre-step or fully post-step; rerunning completes the migration."""
 
     @pytest.mark.parametrize(
-        "crash_at", ["migration:v1:commit", "migration:v2:commit"]
+        "crash_at",
+        ["migration:v1:commit", "migration:v2:commit", "migration:v3:commit"],
     )
     def test_crash_mid_step_rolls_back_and_resumes(self, tmp_path, crash_at):
         path = str(tmp_path / "old.db")
@@ -215,3 +216,39 @@ class TestCrashSafety:
         }
         assert "digest" not in columns and "request_count" not in columns
         assert schema_version(conn) == 1
+
+    def test_v3_crash_leaves_no_jobs_table(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        _pr2_database(path)
+        conn = sqlite3.connect(path)
+
+        def crash_hook(key):
+            if key == "migration:v3:commit":
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            migrate(conn, fault_hook=crash_hook)
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert "jobs" not in tables
+        assert schema_version(conn) == 2
+
+
+class TestJobsTable:
+    def test_v3_creates_jobs_table_with_state_index(self):
+        conn = sqlite3.connect(":memory:")
+        migrate(conn)
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(jobs)")}
+        assert columns == {
+            "job_id", "digest", "state", "size_bytes", "attempts",
+            "submitted_at", "started_at", "finished_at", "error", "report",
+        }
+        indexes = {
+            row[1] for row in conn.execute("PRAGMA index_list(jobs)")
+        }
+        assert "idx_jobs_state" in indexes
+        assert "idx_jobs_digest" in indexes

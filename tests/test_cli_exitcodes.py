@@ -1,0 +1,109 @@
+"""Regression tests for the documented CLI exit-code convention.
+
+Every subcommand returns ``EXIT_OK`` (0), ``EXIT_ISSUES`` (1) or
+``EXIT_USAGE`` (2) — plus ``EXIT_INTERRUPTED`` (130) for signal stops —
+with diagnostics on stderr.  The full table lives in docs/API.md; these
+tests pin the behavior the table promises.
+"""
+
+import pytest
+
+from repro.cli import (
+    EXIT_INTERRUPTED,
+    EXIT_ISSUES,
+    EXIT_OK,
+    EXIT_USAGE,
+    main,
+)
+from repro.serve.report import analyze_report_text
+
+from .serve.conftest import build_upload
+
+
+@pytest.fixture
+def netlog_file(tmp_path):
+    path = tmp_path / "visit.netlog.json"
+    path.write_bytes(
+        build_upload(["http://localhost:8000/x", "https://cdn.example/a.js"])
+    )
+    return str(path)
+
+
+@pytest.fixture
+def text_file(tmp_path):
+    path = tmp_path / "not-a-db.txt"
+    path.write_text("definitely not sqlite\n")
+    return str(path)
+
+
+class TestConvention:
+    def test_the_contract_is_the_documented_one(self):
+        assert (EXIT_OK, EXIT_ISSUES, EXIT_USAGE, EXIT_INTERRUPTED) == (
+            0, 1, 2, 130,
+        )
+
+    def test_unknown_subcommand_exits_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == EXIT_USAGE
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_ok(self, netlog_file, capsys):
+        assert main(["analyze", netlog_file]) == EXIT_OK
+        assert "localhost" in capsys.readouterr().out
+
+    def test_json_emits_canonical_report(self, netlog_file, capsys):
+        assert main(["analyze", "--json", netlog_file]) == EXIT_OK
+        with open(netlog_file, "rb") as fp:
+            expected = analyze_report_text(fp.read())
+        assert capsys.readouterr().out == expected
+
+    def test_missing_file_is_usage(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "absent.json")])
+        assert code == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_netlog_is_usage(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        assert main(["analyze", "--json", str(path)]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    def test_fsck_missing_db_is_usage(self, tmp_path, capsys):
+        code = main(["fsck", "--db", str(tmp_path / "absent.sqlite")])
+        assert code == EXIT_USAGE
+        assert "no such database" in capsys.readouterr().err
+
+    def test_fsck_non_database_is_usage(self, text_file, capsys):
+        assert main(["fsck", "--db", text_file]) == EXIT_USAGE
+        assert "not a telemetry database" in capsys.readouterr().err
+
+    def test_deadletter_non_database_is_usage(self, text_file, capsys):
+        code = main(["deadletter", "list", "--db", text_file])
+        assert code == EXIT_USAGE
+        assert "not a telemetry database" in capsys.readouterr().err
+
+    def test_metrics_non_snapshot_is_usage(self, text_file, capsys):
+        assert main(["metrics", text_file]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_resume_without_db_is_usage(self, capsys):
+        assert main(["serve", "--resume"]) == EXIT_USAGE
+        assert "--resume requires --db" in capsys.readouterr().err
+
+    def test_unreadable_fault_plan_is_usage(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--fault-plan", str(tmp_path / "absent.json")]
+        )
+        assert code == EXIT_USAGE
+        assert "fault plan" in capsys.readouterr().err
+
+    def test_invalid_config_is_usage(self, capsys):
+        assert main(["serve", "--workers", "0"]) == EXIT_USAGE
+        assert "workers" in capsys.readouterr().err
