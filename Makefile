@@ -10,7 +10,7 @@ NETLOG_DIR ?= netlogs
 PORT ?= 8734
 SERVE_DB ?= serve-jobs.sqlite
 
-.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench serve serve-bench report validate fsck examples clean
+.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench serve serve-bench chaos-conformance report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,6 +41,12 @@ serve:            ## run the local-traffic self-test daemon (make serve PORT=900
 
 serve-bench:      ## serve ablation: closed-loop chaos load, byte-exact reports, crash restart
 	$(PYTHON) -m pytest benchmarks/test_ablation_serve.py --benchmark-disable -q
+
+chaos-conformance: ## coverage-guided conformance sweep: exit 1 on uncovered seams or violations
+	mkdir -p benchmarks/output
+	$(PYTHON) -m repro.cli chaos run \
+		--report benchmarks/output/chaos-coverage.json \
+		--repro-dir benchmarks/output/chaos-repros
 
 report:
 	$(PYTHON) -m repro.cli report -o report.txt

@@ -1,0 +1,118 @@
+"""Ablation: chaos conformance engine — sweep throughput and shrink cost.
+
+Two claims from the coverage-guided conformance engine are pinned here:
+
+* **full coverage within budget** — the default sweep (all 18 fault
+  kinds, all four conformance drivers) reaches 100% seam coverage with
+  every invariant holding, and the bench records how many schedules and
+  seconds that took (``schedules_per_s``).
+* **shrink cost** — a planted injector bug (digest equality breaks only
+  when DNS and TLS specs ride together) is delta-debugged from a 3-kind
+  schedule down to its minimal 2-spec repro; the bench records the
+  iteration count and wall time of that shrink.
+
+The resulting ``BENCH_chaos.json`` is a ``repro-metrics-v1`` snapshot
+with both figures in ``meta``, written like every other bench artifact.
+"""
+
+import json
+import tempfile
+import time
+
+from repro import obs
+from repro.browser.errors import NetError
+from repro.chaos.drivers import RETRIES, CampaignDriver, ChaosContext
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.invariants import evaluate_invariants
+from repro.chaos.shrink import shrink_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs.export import snapshot
+
+from .conftest import write_artifact
+
+
+class _LeakyDnsInjector(FaultInjector):
+    """Planted bug: whenever a TLS spec rides along, the DNS seam burns a
+    visit's entire retry budget instead of its scheduled depth."""
+
+    def dns_hook(self, host):
+        if self.plan.specs(FaultKind.DNS) and self.plan.specs(FaultKind.TLS):
+            depth = self.plan.fail_depth(FaultKind.DNS, host)
+            if depth and self._next_attempt(FaultKind.DNS, host) <= RETRIES:
+                self._record(FaultKind.DNS)
+                return NetError.ERR_NAME_NOT_RESOLVED
+            return None
+        return super().dns_hook(host)
+
+
+def _full_sweep(top: str) -> dict:
+    engine = ChaosEngine(ChaosContext(workdir=top))
+    report = engine.run()
+    assert report.coverage_percent == 100.0, (
+        f"uncovered seams: {sorted(k.value for k in report.uncovered)}"
+    )
+    assert not report.violations, [
+        (v.schedule_id, v.invariant) for v in report.violations
+    ]
+    return {
+        "schedules": len(report.schedules),
+        "seconds": round(report.elapsed_s, 3),
+        "schedules_per_s": round(len(report.schedules) / report.elapsed_s, 2),
+        "coverage_percent": report.coverage_percent,
+        "pairs_fired": len(report.coverage.pairs_fired),
+        "violations": 0,
+    }
+
+
+def _planted_shrink(top: str) -> dict:
+    ctx = ChaosContext(workdir=top, injector_factory=_LeakyDnsInjector)
+    driver = CampaignDriver(ctx)
+    plan = FaultPlan(
+        seed="planted",
+        faults=(
+            FaultSpec(kind=FaultKind.DNS, rate=1.0, times=1),
+            FaultSpec(kind=FaultKind.TLS, rate=1.0, times=1),
+            FaultSpec(kind=FaultKind.CONNECTION_RESET, rate=1.0, times=1),
+        ),
+    )
+
+    def digest_fails(candidate: FaultPlan) -> bool:
+        observation = driver.run(candidate)
+        return any(
+            v.invariant == "campaign-digest-equality"
+            for v in evaluate_invariants(observation)
+        )
+
+    assert digest_fails(plan), "planted bug failed to trigger"
+    started = time.perf_counter()
+    result = shrink_plan(plan, digest_fails)
+    seconds = time.perf_counter() - started
+    assert len(result.plan.faults) <= 2
+    assert {s.kind for s in result.plan.faults} == {FaultKind.DNS, FaultKind.TLS}
+    return {
+        "iterations": result.iterations,
+        "seconds": round(seconds, 3),
+        "minimal_specs": len(result.plan.faults),
+    }
+
+
+def test_chaos_conformance_sweep_and_shrink_cost():
+    obs.enable()
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-bench-") as top:
+            sweep = _full_sweep(top)
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-bench-") as top:
+            shrink = _planted_shrink(top)
+        snapshot_doc = snapshot(
+            obs.registry(),
+            meta={
+                "bench": "ablation-chaos",
+                "kinds": len(FaultKind),
+                "sweep": sweep,
+                "planted_shrink": shrink,
+            },
+        )
+        write_artifact("BENCH_chaos.json", json.dumps(snapshot_doc, indent=2))
+    finally:
+        obs.disable()

@@ -1,0 +1,59 @@
+"""Coverage-guided chaos conformance engine.
+
+The chaos engine closes the gap between the fault seams the pipeline
+*models* (`repro.faults.FaultKind`) and the seams the test suite actually
+*exercises*.  It introspects a seam registry, deterministically generates
+`FaultPlan` schedules from a seed, runs small campaigns / serve jobs under
+each schedule, records per-seam fire counts into a coverage report, checks
+every run against a declarative invariant registry, and — on any violation —
+delta-debugs the failing schedule down to a minimal, replayable JSON repro.
+
+Entry points:
+
+- `repro chaos run`      — coverage-guided conformance sweep
+- `repro chaos coverage` — render a saved coverage report
+- `repro chaos replay`   — re-run a minimal repro plan
+"""
+
+from repro.chaos.engine import ChaosEngine, ChaosReport, EngineBudget
+from repro.chaos.invariants import (
+    INVARIANT_REGISTRY,
+    Invariant,
+    RunObservation,
+    Violation,
+    evaluate_invariants,
+)
+from repro.chaos.registry import (
+    SEAM_REGISTRY,
+    Seam,
+    SeamDriftError,
+    check_registry,
+    injector_hooks,
+    registry_problems,
+    seam_for,
+)
+from repro.chaos.schedule import Schedule, ScheduleGenerator
+from repro.chaos.shrink import MinimalRepro, ShrinkResult, shrink_plan
+
+__all__ = [
+    "INVARIANT_REGISTRY",
+    "SEAM_REGISTRY",
+    "ChaosEngine",
+    "ChaosReport",
+    "EngineBudget",
+    "Invariant",
+    "MinimalRepro",
+    "RunObservation",
+    "Schedule",
+    "ScheduleGenerator",
+    "Seam",
+    "SeamDriftError",
+    "ShrinkResult",
+    "Violation",
+    "check_registry",
+    "evaluate_invariants",
+    "injector_hooks",
+    "registry_problems",
+    "seam_for",
+    "shrink_plan",
+]

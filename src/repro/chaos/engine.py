@@ -1,0 +1,364 @@
+"""The chaos conformance engine: propose → run → judge → shrink.
+
+`ChaosEngine.run()` drives the coverage-guided loop:
+
+1. ask the `ScheduleGenerator` for the next schedule (it skips seams that
+   already fired and steers pairs toward the least-covered kinds);
+2. execute it on the schedule's conformance driver;
+3. fold the observed per-seam fire counts into the coverage state and the
+   obs metrics;
+4. evaluate the invariant registry over the observation; every violation
+   is delta-debugged down to a minimal `FaultPlan` and written to disk as
+   a replayable ``repro-chaos-repro-v1`` document.
+
+The engine's output is a ``repro-chaos-coverage-v1`` report: per-seam fire
+counts, pair coverage, violations with their minimal repros, and timing —
+the artifact `repro chaos coverage` renders and CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.chaos.drivers import ChaosContext, build_drivers
+from repro.chaos.invariants import RunObservation, Violation, evaluate_invariants
+from repro.chaos.registry import SEAM_REGISTRY, check_registry
+from repro.chaos.schedule import CoverageState, Schedule, ScheduleGenerator
+from repro.chaos.shrink import MinimalRepro, shrink_plan
+from repro.faults.plan import FaultKind, FaultPlan
+
+COVERAGE_FORMAT = "repro-chaos-coverage-v1"
+
+_SCHEDULES = obs.counter(
+    "repro_chaos_schedules_total",
+    "conformance schedules executed, by driver",
+    ("driver",),
+)
+_SEAM_FIRES = obs.counter(
+    "repro_chaos_seam_fires_total",
+    "fault-seam fires observed by the conformance engine",
+    ("kind",),
+)
+_VIOLATIONS = obs.counter(
+    "repro_chaos_violations_total",
+    "invariant violations found, by invariant",
+    ("invariant",),
+)
+_SHRINK_ITERATIONS = obs.counter(
+    "repro_chaos_shrink_iterations_total",
+    "candidate plans executed while delta-debugging violations",
+)
+_SCHEDULE_SECONDS = obs.histogram(
+    "repro_chaos_schedule_seconds",
+    "wall time of one conformance schedule, end to end",
+)
+
+
+@dataclass(slots=True)
+class EngineBudget:
+    """Bounds for one sweep."""
+
+    max_schedules: int = 40
+    pair_budget: int = 6
+    sweep_budget: int = 4
+    shrink_iterations: int = 32
+
+
+@dataclass(slots=True)
+class ScheduleRecord:
+    """One executed schedule, as it appears in the coverage report."""
+
+    schedule_id: str
+    driver: str
+    family: str
+    fired: dict[FaultKind, int]
+    violations: list[Violation]
+    seconds: float
+
+
+@dataclass(slots=True)
+class ViolationRecord:
+    schedule_id: str
+    driver: str
+    invariant: str
+    detail: str
+    repro_path: str | None
+    shrink_iterations: int
+    minimal_specs: int
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Everything one conformance sweep learned."""
+
+    seed: str
+    budget: int
+    kinds: tuple[FaultKind, ...]
+    schedules: list[ScheduleRecord] = field(default_factory=list)
+    violations: list[ViolationRecord] = field(default_factory=list)
+    coverage: CoverageState = field(default_factory=CoverageState)
+    elapsed_s: float = 0.0
+
+    @property
+    def covered(self) -> set[FaultKind]:
+        return self.coverage.covered(self.kinds)
+
+    @property
+    def uncovered(self) -> set[FaultKind]:
+        return set(self.kinds) - self.covered
+
+    @property
+    def coverage_percent(self) -> float:
+        if not self.kinds:
+            return 100.0
+        return 100.0 * len(self.covered) / len(self.kinds)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.uncovered
+
+    def to_json(self) -> dict:
+        return {
+            "format": COVERAGE_FORMAT,
+            "seed": self.seed,
+            "budget": self.budget,
+            "schedules_run": len(self.schedules),
+            "coverage_percent": round(self.coverage_percent, 2),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "seams": [
+                {
+                    "kind": kind.value,
+                    "hook": SEAM_REGISTRY[kind].hook,
+                    "layer": SEAM_REGISTRY[kind].layer,
+                    "driver": SEAM_REGISTRY[kind].driver,
+                    "fires": self.coverage.fired.get(kind, 0),
+                    "covered": self.coverage.fired.get(kind, 0) > 0,
+                }
+                for kind in self.kinds
+            ],
+            "pairs_fired": sorted(
+                "+".join(sorted(kind.value for kind in pair))
+                for pair in self.coverage.pairs_fired
+            ),
+            "schedules": [
+                {
+                    "id": record.schedule_id,
+                    "driver": record.driver,
+                    "family": record.family,
+                    "fired": {
+                        kind.value: count for kind, count in sorted(
+                            record.fired.items(), key=lambda item: item[0].value
+                        )
+                    },
+                    "violations": [v.invariant for v in record.violations],
+                    "seconds": round(record.seconds, 3),
+                }
+                for record in self.schedules
+            ],
+            "violations": [
+                {
+                    "schedule": record.schedule_id,
+                    "driver": record.driver,
+                    "invariant": record.invariant,
+                    "detail": record.detail,
+                    "repro": record.repro_path,
+                    "shrink_iterations": record.shrink_iterations,
+                    "minimal_specs": record.minimal_specs,
+                }
+                for record in self.violations
+            ],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+
+def render_coverage(record: dict) -> str:
+    """Human-readable rendering of a saved coverage report."""
+    if record.get("format") != COVERAGE_FORMAT:
+        raise ValueError(
+            f"unsupported coverage format {record.get('format')!r}, "
+            f"expected {COVERAGE_FORMAT!r}"
+        )
+    lines = [
+        f"chaos conformance — seed {record['seed']!r}, "
+        f"{record['schedules_run']} schedules in {record['elapsed_s']}s, "
+        f"coverage {record['coverage_percent']}%",
+        "",
+        f"{'KIND':<20} {'LAYER':<18} {'DRIVER':<11} {'FIRES':>6}  COVERED",
+    ]
+    for seam in record["seams"]:
+        lines.append(
+            f"{seam['kind']:<20} {seam['layer']:<18} {seam['driver']:<11} "
+            f"{seam['fires']:>6}  {'yes' if seam['covered'] else 'NO'}"
+        )
+    pairs = record.get("pairs_fired", [])
+    lines.append("")
+    lines.append(f"pairs fired: {len(pairs)}")
+    for pair in pairs:
+        lines.append(f"  {pair}")
+    violations = record.get("violations", [])
+    lines.append("")
+    if violations:
+        lines.append(f"violations: {len(violations)}")
+        for violation in violations:
+            repro = violation.get("repro") or "(no repro written)"
+            lines.append(
+                f"  {violation['schedule']}: {violation['invariant']} — "
+                f"{violation['detail']} [{repro}]"
+            )
+    else:
+        lines.append("violations: none")
+    return "\n".join(lines) + "\n"
+
+
+def _repro_filename(schedule_id: str, invariant: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", f"{schedule_id}-{invariant}".lower()).strip("-")
+    return f"repro-{slug}.json"
+
+
+class ChaosEngine:
+    """Coverage-guided conformance sweep over the seam registry."""
+
+    def __init__(
+        self,
+        ctx: ChaosContext,
+        *,
+        seed: str = "chaos-conformance",
+        kinds: tuple[FaultKind, ...] | None = None,
+        budget: EngineBudget | None = None,
+        repro_dir: str | None = None,
+        drivers: dict[str, object] | None = None,
+        progress=None,
+    ) -> None:
+        check_registry()
+        self.ctx = ctx
+        self.seed = seed
+        self.budget = budget or EngineBudget()
+        self.repro_dir = repro_dir
+        self.progress = progress
+        all_kinds = kinds if kinds is not None else tuple(FaultKind)
+        self.drivers = drivers if drivers is not None else build_drivers(ctx)
+        # Only target kinds whose driver is actually available (tests pass a
+        # restricted driver map to keep runs fast).
+        self.kinds = tuple(
+            kind for kind in all_kinds if SEAM_REGISTRY[kind].driver in self.drivers
+        )
+        self.generator = ScheduleGenerator(
+            seed,
+            kinds=self.kinds,
+            pair_budget=self.budget.pair_budget,
+            sweep_budget=self.budget.sweep_budget,
+        )
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self) -> ChaosReport:
+        report = ChaosReport(
+            seed=self.seed, budget=self.budget.max_schedules, kinds=self.kinds
+        )
+        started = time.monotonic()
+        while len(report.schedules) < self.budget.max_schedules:
+            schedule = self.generator.propose(report.coverage)
+            if schedule is None:
+                break
+            self._run_schedule(schedule, report)
+        report.elapsed_s = time.monotonic() - started
+        return report
+
+    def _run_schedule(self, schedule: Schedule, report: ChaosReport) -> None:
+        driver = self.drivers[schedule.driver]
+        self._say(f"run {schedule.schedule_id} [{schedule.driver}]")
+        t0 = time.monotonic()
+        observation = driver.run(schedule.plan)
+        seconds = time.monotonic() - t0
+        _SCHEDULES.inc(labels=(schedule.driver,))
+        _SCHEDULE_SECONDS.observe(seconds)
+        for kind, count in observation.fired.items():
+            _SEAM_FIRES.inc(count, labels=(kind.value,))
+        report.coverage.record(observation.fired)
+        violations = evaluate_invariants(observation)
+        report.schedules.append(
+            ScheduleRecord(
+                schedule_id=schedule.schedule_id,
+                driver=schedule.driver,
+                family=schedule.family,
+                fired=dict(observation.fired),
+                violations=violations,
+                seconds=seconds,
+            )
+        )
+        for violation in violations:
+            _VIOLATIONS.inc(labels=(violation.invariant,))
+            self._shrink_violation(schedule, violation, report)
+
+    # -- shrinking ----------------------------------------------------------
+
+    def _still_fails(self, schedule: Schedule, violation: Violation):
+        driver = self.drivers[schedule.driver]
+
+        def predicate(candidate: FaultPlan) -> bool:
+            observation: RunObservation = driver.run(candidate)
+            return any(
+                v.invariant == violation.invariant
+                for v in evaluate_invariants(observation)
+            )
+
+        return predicate
+
+    def _shrink_violation(
+        self, schedule: Schedule, violation: Violation, report: ChaosReport
+    ) -> None:
+        self._say(f"shrink {schedule.schedule_id} ({violation.invariant})")
+        result = shrink_plan(
+            schedule.plan,
+            self._still_fails(schedule, violation),
+            max_iterations=self.budget.shrink_iterations,
+        )
+        _SHRINK_ITERATIONS.inc(result.iterations)
+        repro = MinimalRepro(
+            driver=schedule.driver,
+            schedule_id=schedule.schedule_id,
+            invariant=violation.invariant,
+            detail=violation.detail,
+            plan=result.plan,
+            shrink_iterations=result.iterations,
+            engine_seed=self.seed,
+        )
+        path: str | None = None
+        if self.repro_dir is not None:
+            os.makedirs(self.repro_dir, exist_ok=True)
+            path = os.path.join(
+                self.repro_dir,
+                _repro_filename(schedule.schedule_id, violation.invariant),
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(repro.dumps())
+        report.violations.append(
+            ViolationRecord(
+                schedule_id=schedule.schedule_id,
+                driver=schedule.driver,
+                invariant=violation.invariant,
+                detail=violation.detail,
+                repro_path=path,
+                shrink_iterations=result.iterations,
+                minimal_specs=len(repro.plan.faults),
+            )
+        )
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self, repro: MinimalRepro) -> list[Violation]:
+        """Re-run a minimal repro; the violations it still produces."""
+        driver = self.drivers.get(repro.driver)
+        if driver is None:
+            raise ValueError(f"repro names unknown driver {repro.driver!r}")
+        observation = driver.run(repro.plan)
+        return evaluate_invariants(observation)

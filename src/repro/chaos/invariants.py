@@ -1,0 +1,193 @@
+"""Declarative invariant registry for chaos conformance runs.
+
+Each invariant is a named predicate over a `RunObservation` — the
+driver-agnostic record of what a faulted run produced (digests,
+fingerprint sets, fsck findings, serve report verdicts, CLI exit codes).
+An invariant only votes when the observation carries the fields it needs,
+so the one registry covers every driver.
+
+The registry is the conformance bar from the paper reproduction's core
+claim: local-network probing results must be byte-stable under every
+modelled fault, with persisted damage either masked upstream or detected
+and repaired by `repro fsck`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chaos.registry import SEAM_REGISTRY
+from repro.faults.plan import FaultKind
+
+
+@dataclass(slots=True)
+class RunObservation:
+    """Everything a driver saw while running one schedule."""
+
+    driver: str
+    #: Per-kind fire counts observed at the seams.
+    fired: dict[FaultKind, int] = field(default_factory=dict)
+
+    # Campaign-shaped evidence.
+    digest: str | None = None
+    baseline_digest: str | None = None
+    fingerprints: tuple[str, ...] | None = None
+    baseline_fingerprints: tuple[str, ...] | None = None
+
+    # fsck evidence (campaign stores only).
+    fsck_findings: int | None = None
+    fsck_clean_after_repair: bool | None = None
+    fsck_exit_code: int | None = None
+
+    # Serve evidence.
+    wrong_reports: int | None = None
+    unrecovered: int | None = None
+    reports_expected: int | None = None
+    reports_received: int | None = None
+
+    #: Unexpected exception text, if the run itself blew up.
+    error: str | None = None
+
+    def detects_expected(self) -> bool:
+        """Did any fired seam persist damage fsck is required to find?"""
+        return any(
+            count > 0 and SEAM_REGISTRY[kind].fsck == "detects"
+            for kind, count in self.fired.items()
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant broken by one schedule."""
+
+    invariant: str
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class Invariant:
+    name: str
+    description: str
+    #: Returns a failure detail string, or None when the invariant holds or
+    #: the observation lacks the evidence this invariant judges.
+    check: Callable[[RunObservation], str | None]
+
+
+def _check_no_run_error(obs: RunObservation) -> str | None:
+    if obs.error is not None:
+        return f"run raised unexpectedly: {obs.error}"
+    return None
+
+
+def _check_digest(obs: RunObservation) -> str | None:
+    if obs.digest is None or obs.baseline_digest is None:
+        return None
+    if obs.digest != obs.baseline_digest:
+        return f"campaign digest {obs.digest[:16]}… != fault-free {obs.baseline_digest[:16]}…"
+    return None
+
+
+def _check_fingerprints(obs: RunObservation) -> str | None:
+    if obs.fingerprints is None or obs.baseline_fingerprints is None:
+        return None
+    if obs.fingerprints != obs.baseline_fingerprints:
+        ours = set(obs.fingerprints)
+        base = set(obs.baseline_fingerprints)
+        return (
+            f"finding fingerprints diverged: {len(ours - base)} extra, "
+            f"{len(base - ours)} missing"
+        )
+    return None
+
+
+def _check_fsck(obs: RunObservation) -> str | None:
+    if obs.fsck_findings is None:
+        return None
+    if obs.detects_expected():
+        if obs.fsck_findings == 0:
+            return "corruption seam fired but fsck reported a clean store"
+        if obs.fsck_clean_after_repair is False:
+            return f"fsck could not repair the store ({obs.fsck_findings} findings)"
+        return None
+    if obs.fsck_findings > 0:
+        return f"fsck found {obs.fsck_findings} findings after a masked-fault run"
+    return None
+
+
+def _check_serve_reports(obs: RunObservation) -> str | None:
+    if obs.wrong_reports is None:
+        return None
+    if obs.wrong_reports:
+        return f"{obs.wrong_reports} serve reports diverged from repro analyze --json"
+    if obs.unrecovered:
+        return f"{obs.unrecovered} serve clients never recovered a report"
+    if (
+        obs.reports_expected is not None
+        and obs.reports_received is not None
+        and obs.reports_received < obs.reports_expected
+    ):
+        return (
+            f"only {obs.reports_received}/{obs.reports_expected} serve reports delivered"
+        )
+    return None
+
+
+def _check_exit_codes(obs: RunObservation) -> str | None:
+    if obs.fsck_exit_code is None or obs.fsck_findings is None:
+        return None
+    # The CLI audit runs over the final artefacts (after any repair pass),
+    # so a clean-or-repaired store must exit 0 and an unrepaired one 1.
+    ended_clean = obs.fsck_findings == 0 or obs.fsck_clean_after_repair is True
+    expected = 0 if ended_clean else 1
+    if obs.fsck_exit_code != expected:
+        return (
+            f"repro fsck exited {obs.fsck_exit_code} over a store that "
+            f"{'ended clean' if ended_clean else 'still has findings'} "
+            f"(convention says {expected})"
+        )
+    return None
+
+
+INVARIANT_REGISTRY: tuple[Invariant, ...] = (
+    Invariant(
+        "no-run-error",
+        "faulted runs finish; injected faults never escape the recovery machinery",
+        _check_no_run_error,
+    ),
+    Invariant(
+        "campaign-digest-equality",
+        "campaign digest is byte-identical to the fault-free run (Table 1/5 invariance)",
+        _check_digest,
+    ),
+    Invariant(
+        "fingerprint-set-equality",
+        "the set of finding fingerprints matches the fault-free run exactly",
+        _check_fingerprints,
+    ),
+    Invariant(
+        "fsck-conformance",
+        "fsck is clean after masked faults, detects+repairs persisted corruption",
+        _check_fsck,
+    ),
+    Invariant(
+        "serve-report-byte-identity",
+        "every serve client eventually gets a byte-exact report; none get a wrong one",
+        _check_serve_reports,
+    ),
+    Invariant(
+        "exit-code-convention",
+        "repro fsck over the faulted store honours the 0/1 exit convention",
+        _check_exit_codes,
+    ),
+)
+
+
+def evaluate_invariants(obs: RunObservation) -> list[Violation]:
+    """All invariant violations in one observation, registry order."""
+    violations: list[Violation] = []
+    for invariant in INVARIANT_REGISTRY:
+        detail = invariant.check(obs)
+        if detail is not None:
+            violations.append(Violation(invariant=invariant.name, detail=detail))
+    return violations

@@ -1,0 +1,285 @@
+"""Deterministic, coverage-guided FaultPlan schedule generation.
+
+Schedules come in three families, mirroring how real incidents compose:
+
+- ``single:<kind>``   — one fault kind at its canonical (maskable) shape,
+  with an escalation ladder of progressively harsher variants used only
+  when the canonical shape fails to fire the seam;
+- ``pair:<a>+<b>``    — two kinds sharing a driver, layered into one plan;
+- ``sweep:<kind>@<n>``— counter-triggered kinds (crash, outage, shard
+  kill) re-timed to seed-derived visit positions.
+
+Everything is a pure function of the generator seed: the same seed always
+proposes the same schedules in the same order, which is what makes shrunk
+repros replayable.  Coverage state only *prunes* the stream (seams already
+fired are skipped; pairs are ranked toward the least-fired kinds), it never
+adds new randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.chaos.registry import SEAM_REGISTRY
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, _stable_hash
+
+
+@dataclass(frozen=True, slots=True)
+class Schedule:
+    """One generated conformance run: a plan plus where to run it."""
+
+    schedule_id: str
+    driver: str
+    plan: FaultPlan
+    #: Kinds this schedule is trying to fire (coverage targets).
+    targets: tuple[FaultKind, ...]
+    family: str  # "single" | "pair" | "sweep"
+
+
+#: Canonical per-kind spec shapes.  Every variant is *maskable*: under the
+#: conformance drivers' retry/supervision budgets it must leave Table 1/5
+#: byte-identical to the fault-free run.  Later variants are the escalation
+#: ladder, tried only when the earlier ones fail to fire the seam.
+_VARIANTS: dict[FaultKind, tuple[tuple[FaultSpec, ...], ...]] = {
+    FaultKind.DNS: ((FaultSpec(kind=FaultKind.DNS, rate=1.0, times=2),),),
+    FaultKind.CONNECTION_RESET: (
+        (FaultSpec(kind=FaultKind.CONNECTION_RESET, rate=1.0, times=2),),
+    ),
+    FaultKind.TLS: ((FaultSpec(kind=FaultKind.TLS, rate=1.0, times=2),),),
+    FaultKind.OUTAGE: (
+        (FaultSpec(kind=FaultKind.OUTAGE, rate=1.0, at_count=5, duration=2),),
+    ),
+    FaultKind.NETLOG_TRUNCATION: (
+        (FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5),),
+        (FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=1.0),),
+    ),
+    FaultKind.TORN_WRITE: (
+        (FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.5, duration=48),),
+        (FaultSpec(kind=FaultKind.TORN_WRITE, rate=1.0, duration=48),),
+    ),
+    FaultKind.BIT_FLIP: (
+        (FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5),),
+        (FaultSpec(kind=FaultKind.BIT_FLIP, rate=1.0),),
+    ),
+    FaultKind.DISK_FULL: ((FaultSpec(kind=FaultKind.DISK_FULL, rate=1.0, times=2),),),
+    FaultKind.STORAGE_WRITE: (
+        (FaultSpec(kind=FaultKind.STORAGE_WRITE, rate=1.0, times=2),),
+    ),
+    FaultKind.CRASH: ((FaultSpec(kind=FaultKind.CRASH, rate=1.0, at_count=30),),),
+    # HANG wedges a worker for the whole wall deadline, so the canonical
+    # shape keeps the rate low; the ladder escalates toward rate=1.0 only
+    # if the low-rate draw happens to select no site.
+    FaultKind.HANG: (
+        (FaultSpec(kind=FaultKind.HANG, rate=0.15, times=1),),
+        (FaultSpec(kind=FaultKind.HANG, rate=0.5, times=1),),
+        (FaultSpec(kind=FaultKind.HANG, rate=1.0, times=1),),
+    ),
+    FaultKind.SLOW: (
+        (FaultSpec(kind=FaultKind.SLOW, rate=1.0, times=1, duration=2000),),
+    ),
+    FaultKind.SHARD_CRASH: (
+        (FaultSpec(kind=FaultKind.SHARD_CRASH, rate=1.0, at_count=20, times=1),),
+    ),
+    FaultKind.SHARD_STALL: (
+        (FaultSpec(kind=FaultKind.SHARD_STALL, rate=1.0, at_count=20, times=1, duration=2),),
+    ),
+    FaultKind.SLOW_CLIENT: (
+        (FaultSpec(kind=FaultKind.SLOW_CLIENT, rate=1.0, duration=20),),
+    ),
+    FaultKind.TORN_UPLOAD: ((FaultSpec(kind=FaultKind.TORN_UPLOAD, rate=1.0, times=1),),),
+    FaultKind.WORKER_CRASH: (
+        (FaultSpec(kind=FaultKind.WORKER_CRASH, rate=1.0, times=1),),
+    ),
+    FaultKind.JOURNAL_DISK_FULL: (
+        (FaultSpec(kind=FaultKind.JOURNAL_DISK_FULL, rate=1.0, times=2),),
+    ),
+}
+
+#: Counter-triggered kinds eligible for timing sweeps, with the visit-count
+#: range to sweep over (campaign slice has ~72 visits; the fabric population
+#: has ~426).
+_SWEEPABLE: tuple[tuple[FaultKind, int], ...] = (
+    (FaultKind.CRASH, 60),
+    (FaultKind.OUTAGE, 60),
+    (FaultKind.SHARD_CRASH, 300),
+)
+
+
+def _pair_spec(spec: FaultSpec) -> FaultSpec:
+    """Clamp a canonical spec for use inside a pair schedule.
+
+    Canonical single-kind shapes are maskable *alone*: a transient at
+    ``times=2`` leaves 2 of the 4 retry attempts to succeed.  Two such
+    kinds layered on one visit consume their failure depths back to back
+    (resolution retries, then connect retries), so an unclamped pair would
+    exhaust the whole retry budget and fail the visit legitimately.
+    Clamping each kind to ``times=1`` keeps the combined depth inside the
+    budget while still firing both seams in one run.
+    """
+    if spec.times <= 1:
+        return spec
+    return FaultSpec(
+        kind=spec.kind,
+        rate=spec.rate,
+        times=1,
+        duration=spec.duration,
+        at_count=spec.at_count,
+    )
+
+
+@dataclass
+class CoverageState:
+    """Cumulative per-seam fire counts the generator steers against."""
+
+    fired: dict[FaultKind, int] = field(default_factory=dict)
+    pairs_fired: set[frozenset[FaultKind]] = field(default_factory=set)
+    schedules_run: int = 0
+
+    def record(self, fires: dict[FaultKind, int]) -> None:
+        self.schedules_run += 1
+        hot = [kind for kind, count in fires.items() if count > 0]
+        for kind in hot:
+            self.fired[kind] = self.fired.get(kind, 0) + fires[kind]
+        for a, b in combinations(sorted(hot, key=lambda k: k.value), 2):
+            self.pairs_fired.add(frozenset((a, b)))
+
+    def covered(self, kinds: tuple[FaultKind, ...] | None = None) -> set[FaultKind]:
+        universe = set(kinds) if kinds is not None else set(FaultKind)
+        return {kind for kind, count in self.fired.items() if count > 0 and kind in universe}
+
+
+class ScheduleGenerator:
+    """Propose the next schedule given what coverage has seen so far."""
+
+    def __init__(
+        self,
+        seed: str,
+        *,
+        kinds: tuple[FaultKind, ...] | None = None,
+        pair_budget: int = 10,
+        sweep_budget: int = 6,
+    ) -> None:
+        self.seed = seed
+        self.kinds = tuple(kinds) if kinds is not None else tuple(FaultKind)
+        self.pair_budget = pair_budget
+        self.sweep_budget = sweep_budget
+        self._variant_cursor: dict[FaultKind, int] = {kind: 0 for kind in self.kinds}
+        self._pairs_issued: set[frozenset[FaultKind]] = set()
+        self._sweeps_issued = 0
+        self._sweep_queue = self._build_sweeps()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _plan(self, schedule_id: str, specs: tuple[FaultSpec, ...]) -> FaultPlan:
+        return FaultPlan(seed=f"{self.seed}:{schedule_id}", faults=specs)
+
+    def _build_sweeps(self) -> list[Schedule]:
+        sweeps: list[Schedule] = []
+        for kind, span in _SWEEPABLE:
+            if kind not in self.kinds:
+                continue
+            base = _VARIANTS[kind][0][0]
+            positions = sorted(
+                {
+                    1 + _stable_hash(f"{self.seed}:sweep:{kind.value}:{i}") % span
+                    for i in range(2)
+                }
+            )
+            for at_count in positions:
+                schedule_id = f"sweep:{kind.value}@{at_count}"
+                spec = FaultSpec(
+                    kind=kind,
+                    rate=base.rate,
+                    times=base.times,
+                    duration=base.duration,
+                    at_count=at_count,
+                )
+                sweeps.append(
+                    Schedule(
+                        schedule_id=schedule_id,
+                        driver=SEAM_REGISTRY[kind].driver,
+                        plan=self._plan(schedule_id, (spec,)),
+                        targets=(kind,),
+                        family="sweep",
+                    )
+                )
+        return sweeps
+
+    def _pair_candidates(self, coverage: CoverageState) -> list[tuple[FaultKind, FaultKind]]:
+        """Same-driver pairs, least-fired kinds first (coverage steering)."""
+        by_driver: dict[str, list[FaultKind]] = {}
+        for kind in self.kinds:
+            by_driver.setdefault(SEAM_REGISTRY[kind].driver, []).append(kind)
+        candidates: list[tuple[FaultKind, FaultKind]] = []
+        for kinds in by_driver.values():
+            for a, b in combinations(sorted(kinds, key=lambda k: k.value), 2):
+                pair = frozenset((a, b))
+                if pair in self._pairs_issued or pair in coverage.pairs_fired:
+                    continue
+                # Only pair seams that already fired solo: a pair run can't
+                # cover a seam the singles phase couldn't reach.
+                if not (coverage.fired.get(a) and coverage.fired.get(b)):
+                    continue
+                candidates.append((a, b))
+        candidates.sort(
+            key=lambda pair: (
+                coverage.fired.get(pair[0], 0) + coverage.fired.get(pair[1], 0),
+                _stable_hash(f"{self.seed}:pair:{pair[0].value}+{pair[1].value}"),
+            )
+        )
+        return candidates
+
+    # -- the proposal loop ---------------------------------------------------
+
+    def propose(self, coverage: CoverageState) -> Schedule | None:
+        """Next schedule to run, or None when the generator is exhausted."""
+        # Phase 1: fire every seam once, escalating per-kind variants as
+        # needed.  A kind whose ladder is exhausted without firing stays
+        # uncovered and is reported by the engine.
+        for kind in self.kinds:
+            if coverage.fired.get(kind, 0) > 0:
+                continue
+            cursor = self._variant_cursor[kind]
+            variants = _VARIANTS[kind]
+            if cursor >= len(variants):
+                continue
+            self._variant_cursor[kind] = cursor + 1
+            suffix = f"#{cursor + 1}" if cursor else ""
+            schedule_id = f"single:{kind.value}{suffix}"
+            return Schedule(
+                schedule_id=schedule_id,
+                driver=SEAM_REGISTRY[kind].driver,
+                plan=self._plan(schedule_id, variants[cursor]),
+                targets=(kind,),
+                family="single",
+            )
+
+        # Phase 2: pairwise combinations within a driver, steered toward the
+        # least-fired seams.
+        if len(self._pairs_issued) < self.pair_budget:
+            candidates = self._pair_candidates(coverage)
+            if candidates:
+                a, b = candidates[0]
+                self._pairs_issued.add(frozenset((a, b)))
+                schedule_id = f"pair:{a.value}+{b.value}"
+                specs = tuple(
+                    _pair_spec(spec) for spec in _VARIANTS[a][0] + _VARIANTS[b][0]
+                )
+                return Schedule(
+                    schedule_id=schedule_id,
+                    driver=SEAM_REGISTRY[a].driver,
+                    plan=self._plan(schedule_id, specs),
+                    targets=(a, b),
+                    family="pair",
+                )
+
+        # Phase 3: timing sweeps of counter-triggered kinds.
+        while self._sweeps_issued < min(self.sweep_budget, len(self._sweep_queue)):
+            schedule = self._sweep_queue[self._sweeps_issued]
+            self._sweeps_issued += 1
+            if coverage.fired.get(schedule.targets[0], 0) == 0:
+                continue  # seam never fired solo; a re-timed run won't help
+            return schedule
+
+        return None

@@ -1,0 +1,176 @@
+"""Delta-debugging shrinker and the minimal-repro JSON format.
+
+When a schedule violates an invariant, the shrinker reduces its fault
+specs to a minimal failing subset using ddmin.  Because every fault draw
+is a pure function of ``(plan seed, kind, key)``, removing a spec never
+perturbs the draws of the specs that remain — so subset runs are faithful
+and the reduction is deterministic: the same violation always shrinks to
+the same minimal plan, byte for byte.
+
+The result is written as a ``repro-chaos-repro-v1`` JSON document that
+``repro chaos replay`` re-runs against the same driver.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.faults.plan import FaultPlan
+
+REPRO_FORMAT = "repro-chaos-repro-v1"
+
+#: A predicate deciding whether a reduced plan still reproduces the
+#: violation being shrunk.  Must be pure with respect to the plan.
+FailurePredicate = Callable[[FaultPlan], bool]
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """What ddmin found."""
+
+    plan: FaultPlan
+    #: Candidate plans actually executed (cache misses).
+    iterations: int
+    #: Candidate plans answered from the subset cache.
+    cached: int
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    still_fails: FailurePredicate,
+    *,
+    max_iterations: int = 64,
+) -> ShrinkResult:
+    """Reduce ``plan.faults`` to a minimal subset for which the failure
+    predicate still holds (classic ddmin over the spec list).
+
+    ``still_fails(plan)`` must be True for the input plan; the returned
+    plan is 1-minimal: removing any single remaining spec makes the
+    failure disappear (unless ``max_iterations`` ran out first).
+    """
+    specs = list(plan.faults)
+    cache: dict[frozenset[int], bool] = {}
+    executed = 0
+    cached = 0
+
+    def subset_fails(indices: tuple[int, ...]) -> bool:
+        nonlocal executed, cached
+        key = frozenset(indices)
+        if key in cache:
+            cached += 1
+            return cache[key]
+        if executed >= max_iterations:
+            return False
+        executed += 1
+        candidate = FaultPlan(
+            seed=plan.seed, faults=tuple(specs[i] for i in indices)
+        )
+        verdict = bool(still_fails(candidate))
+        cache[key] = verdict
+        return verdict
+
+    current = tuple(range(len(specs)))
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        chunks = [current[i : i + chunk] for i in range(0, len(current), chunk)]
+        reduced = False
+        # Try each chunk alone, then each complement, smallest survivor wins.
+        for candidate in chunks + [
+            tuple(i for i in current if i not in set(part)) for part in chunks
+        ]:
+            if not candidate or len(candidate) == len(current):
+                continue
+            if subset_fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    minimal = FaultPlan(seed=plan.seed, faults=tuple(specs[i] for i in current))
+    return ShrinkResult(plan=minimal, iterations=executed, cached=cached)
+
+
+@dataclass(slots=True)
+class MinimalRepro:
+    """A shrunk violation, as persisted to disk."""
+
+    driver: str
+    schedule_id: str
+    invariant: str
+    detail: str
+    plan: FaultPlan
+    shrink_iterations: int
+    engine_seed: str
+
+    def to_json(self) -> dict:
+        return {
+            "format": REPRO_FORMAT,
+            "driver": self.driver,
+            "schedule": self.schedule_id,
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "engine_seed": self.engine_seed,
+            "shrink_iterations": self.shrink_iterations,
+            "plan": self.plan.to_json(),
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, record: dict) -> "MinimalRepro":
+        if not isinstance(record, dict):
+            raise ValueError(f"repro document must be an object, got {type(record).__name__}")
+        fmt = record.get("format")
+        if fmt != REPRO_FORMAT:
+            raise ValueError(f"unsupported repro format {fmt!r}, expected {REPRO_FORMAT!r}")
+        for name in ("driver", "schedule", "invariant", "engine_seed"):
+            value = record.get(name)
+            if not isinstance(value, str) or not value:
+                raise ValueError(f"field '{name}' must be a non-empty string, got {value!r}")
+        iterations = record.get("shrink_iterations", 0)
+        if isinstance(iterations, bool) or not isinstance(iterations, int) or iterations < 0:
+            raise ValueError(
+                f"field 'shrink_iterations' must be a non-negative int, got {iterations!r}"
+            )
+        plan_record = record.get("plan")
+        if not isinstance(plan_record, dict):
+            raise ValueError(f"field 'plan' must be an object, got {plan_record!r}")
+        return cls(
+            driver=record["driver"],
+            schedule_id=record["schedule"],
+            invariant=record["invariant"],
+            detail=str(record.get("detail", "")),
+            plan=FaultPlan.from_json(plan_record),
+            shrink_iterations=iterations,
+            engine_seed=record["engine_seed"],
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "MinimalRepro":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid repro JSON: {exc}") from exc
+        return cls.from_json(record)
+
+    @classmethod
+    def load(cls, path: str) -> "MinimalRepro":
+        with open(path, encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+
+__all__ = [
+    "REPRO_FORMAT",
+    "FailurePredicate",
+    "MinimalRepro",
+    "ShrinkResult",
+    "shrink_plan",
+]

@@ -18,6 +18,11 @@ Four subcommands:
     Render a metrics snapshot (written by ``repro study
     --metrics-out``) as a human-readable table.
 
+``repro chaos run|coverage|replay``
+    Coverage-guided chaos conformance: sweep every registered fault
+    seam under generated schedules, render the coverage report, replay
+    a shrunk minimal repro.
+
 ``repro table N [--scale S]``
     Regenerate paper Table N (1–11).
 
@@ -204,6 +209,67 @@ def _build_parser() -> argparse.ArgumentParser:
     dl_retry.add_argument("--db", required=True, metavar="PATH")
     dl_retry.add_argument("--crawl", default=None, help="filter by crawl name")
     dl_retry.add_argument("--domain", default=None, help="filter by domain")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="coverage-guided chaos conformance: sweep, report, replay",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="run a bounded conformance sweep over every registered fault seam",
+    )
+    chaos_run.add_argument(
+        "--seed",
+        default="chaos-conformance",
+        help="schedule-generation seed (same seed → same schedules)",
+    )
+    chaos_run.add_argument(
+        "--budget",
+        type=int,
+        default=40,
+        metavar="N",
+        help="maximum schedules to execute (default 40)",
+    )
+    chaos_run.add_argument(
+        "--scale",
+        type=float,
+        default=0.001,
+        help="population scale for the conformance campaigns",
+    )
+    chaos_run.add_argument(
+        "--drivers",
+        default=None,
+        metavar="LIST",
+        help="comma-separated driver subset "
+        "(campaign,supervised,fabric,serve; default: all)",
+    )
+    chaos_run.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the JSON coverage report here",
+    )
+    chaos_run.add_argument(
+        "--repro-dir",
+        default=None,
+        metavar="DIR",
+        help="write minimal repro plans for any violations here",
+    )
+    chaos_cov = chaos_sub.add_parser(
+        "coverage", help="render a saved coverage report"
+    )
+    chaos_cov.add_argument("report", metavar="REPORT.json")
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="re-run a shrunk minimal repro plan"
+    )
+    chaos_replay.add_argument("repro", metavar="REPRO.json")
+    chaos_replay.add_argument(
+        "--scale",
+        type=float,
+        default=0.001,
+        help="population scale for the conformance campaigns",
+    )
 
     fsck = sub.add_parser(
         "fsck",
@@ -1218,6 +1284,171 @@ def _cmd_lint(domain: str) -> int:
     return EXIT_USAGE
 
 
+_CHAOS_DRIVERS = ("campaign", "supervised", "fabric", "serve")
+
+
+def _cmd_chaos_run(
+    *,
+    seed: str,
+    budget: int,
+    scale: float,
+    drivers: str | None,
+    report_path: str | None,
+    repro_dir: str | None,
+) -> int:
+    """Coverage-guided conformance sweep.
+
+    ``EXIT_OK`` only when every registered seam fired and every invariant
+    held; any violation (with its shrunk repro on disk, if ``--repro-dir``
+    was given) or uncovered seam exits ``EXIT_ISSUES``.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.chaos.drivers import ChaosContext, build_drivers
+    from repro.chaos.engine import ChaosEngine, EngineBudget, render_coverage
+    from repro.chaos.registry import SeamDriftError
+
+    if budget < 1:
+        print("error: --budget must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    if not 0.0 < scale <= 1.0:
+        print("error: --scale must be in (0, 1]", file=sys.stderr)
+        return EXIT_USAGE
+    selected = (
+        _CHAOS_DRIVERS
+        if drivers is None
+        else tuple(name.strip() for name in drivers.split(",") if name.strip())
+    )
+    unknown = [name for name in selected if name not in _CHAOS_DRIVERS]
+    if unknown or not selected:
+        print(
+            "error: --drivers must be a comma-separated subset of "
+            + ",".join(_CHAOS_DRIVERS),
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        ctx = ChaosContext(workdir=workdir, scale=scale)
+        driver_map = {
+            name: driver
+            for name, driver in build_drivers(ctx).items()
+            if name in selected
+        }
+        try:
+            engine = ChaosEngine(
+                ctx,
+                seed=seed,
+                budget=EngineBudget(max_schedules=budget),
+                repro_dir=repro_dir,
+                drivers=driver_map,
+                progress=lambda line: print(f"chaos: {line}", file=sys.stderr),
+            )
+        except SeamDriftError as exc:
+            print(f"error: seam registry drift: {exc}", file=sys.stderr)
+            return EXIT_ISSUES
+        try:
+            report = engine.run()
+        except KeyboardInterrupt:
+            print("chaos: interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    record = report.to_json()
+    if report_path is not None:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(render_coverage(record), end="")
+    if not report.ok:
+        return EXIT_ISSUES
+    return EXIT_OK
+
+
+def _cmd_chaos_coverage(path: str) -> int:
+    """Render a saved coverage report; ``EXIT_ISSUES`` when it records
+    violations or incomplete seam coverage, so it can gate CI."""
+    import json
+
+    from repro.chaos.engine import render_coverage
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read coverage report: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid coverage report: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        print(render_coverage(record), end="")
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: invalid coverage report: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if record.get("violations") or record.get("coverage_percent", 0) < 100.0:
+        return EXIT_ISSUES
+    return EXIT_OK
+
+
+def _cmd_chaos_replay(path: str, *, scale: float) -> int:
+    """Re-run a minimal repro plan on its driver.
+
+    ``EXIT_ISSUES`` when the recorded invariant violation still
+    reproduces (the bug is alive), ``EXIT_OK`` when it no longer does.
+    """
+    import shutil
+    import tempfile
+
+    from repro.chaos.drivers import ChaosContext
+    from repro.chaos.engine import ChaosEngine
+    from repro.chaos.shrink import MinimalRepro
+
+    try:
+        repro = MinimalRepro.load(path)
+    except OSError as exc:
+        print(f"error: cannot read repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"error: invalid repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-replay-")
+    try:
+        ctx = ChaosContext(workdir=workdir, scale=scale)
+        engine = ChaosEngine(ctx, seed=repro.engine_seed)
+        try:
+            violations = engine.replay(repro)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except KeyboardInterrupt:
+            print("chaos: interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    plan_text = ", ".join(
+        f"{spec.kind.value}(rate={spec.rate}, times={spec.times})"
+        for spec in repro.plan.faults
+    )
+    reproduced = [v for v in violations if v.invariant == repro.invariant]
+    if reproduced:
+        print(
+            f"reproduced: {repro.invariant} under [{plan_text}] "
+            f"on driver {repro.driver} — {reproduced[0].detail}"
+        )
+        return EXIT_ISSUES
+    print(
+        f"not reproduced: {repro.invariant} no longer fires under "
+        f"[{plan_text}] on driver {repro.driver}"
+    )
+    return EXIT_OK
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "analyze":
@@ -1261,6 +1492,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.dl_command, args.db, crawl=args.crawl,
             domain=getattr(args, "domain", None),
         )
+    if args.command == "chaos":
+        if args.chaos_command == "run":
+            return _cmd_chaos_run(
+                seed=args.seed,
+                budget=args.budget,
+                scale=args.scale,
+                drivers=args.drivers,
+                report_path=args.report,
+                repro_dir=args.repro_dir,
+            )
+        if args.chaos_command == "coverage":
+            return _cmd_chaos_coverage(args.report)
+        return _cmd_chaos_replay(args.repro, scale=args.scale)
     if args.command == "fsck":
         return _cmd_fsck(
             args.db,

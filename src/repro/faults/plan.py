@@ -110,10 +110,20 @@ _RATE_SCALE = 10_000
 
 
 def _coerce(record: dict, name: str, converter, default):
-    """Convert one spec field, naming the field in any failure."""
+    """Convert one spec field, naming the field in any failure.
+
+    Strict about lookalikes: booleans are not numbers here, and a float
+    with a fractional part must not silently truncate into an ``int`` —
+    either would let a plan round-trip through JSON meaning something
+    other than what was written.
+    """
     value = record.get(name, default)
     if value is default:
         return default
+    if isinstance(value, bool):
+        raise ValueError(f"field '{name}' must be a {converter.__name__}, got {value!r}")
+    if converter is int and isinstance(value, float) and not value.is_integer():
+        raise ValueError(f"field '{name}' must be a whole number, got {value!r}")
     try:
         return converter(value)
     except (TypeError, ValueError) as exc:

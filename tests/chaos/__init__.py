@@ -1,0 +1,1 @@
+"""Chaos conformance engine tests."""

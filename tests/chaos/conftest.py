@@ -1,0 +1,40 @@
+"""Shared fixtures for the chaos engine tests."""
+
+import pytest
+
+from repro.browser.errors import NetError
+from repro.chaos.drivers import RETRIES, ChaosContext
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+
+
+class LeakyDnsInjector(FaultInjector):
+    """Planted bug for the shrinker tests.
+
+    Whenever a TLS spec rides along in the plan, the DNS seam fails one
+    visit's *entire* retry budget instead of its scheduled depth — an
+    unmaskable off-by-N that flips visit outcomes and therefore breaks
+    digest equality.  The bug needs both kinds present, so the minimal
+    repro is exactly the two-spec plan [dns, tls].
+    """
+
+    def dns_hook(self, host):
+        if self.plan.specs(FaultKind.DNS) and self.plan.specs(FaultKind.TLS):
+            depth = self.plan.fail_depth(FaultKind.DNS, host)
+            if depth and self._next_attempt(FaultKind.DNS, host) <= RETRIES:
+                self._record(FaultKind.DNS)
+                return NetError.ERR_NAME_NOT_RESOLVED
+            return None
+        return super().dns_hook(host)
+
+
+@pytest.fixture
+def chaos_ctx(tmp_path):
+    return ChaosContext(workdir=str(tmp_path / "chaos"))
+
+
+@pytest.fixture
+def planted_ctx(tmp_path):
+    return ChaosContext(
+        workdir=str(tmp_path / "chaos"), injector_factory=LeakyDnsInjector
+    )

@@ -1,0 +1,106 @@
+"""Engine integration tests on a restricted (fast) kind set."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.chaos.drivers import CampaignDriver
+from repro.chaos.engine import ChaosEngine, EngineBudget, render_coverage
+from repro.chaos.registry import SeamDriftError
+from repro.chaos.shrink import MinimalRepro
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+FAST_KINDS = (FaultKind.DNS, FaultKind.BIT_FLIP)
+FAST_BUDGET = EngineBudget(max_schedules=6, pair_budget=0, sweep_budget=0)
+
+
+def _fast_engine(ctx, **overrides):
+    options = {
+        "seed": "engine-test",
+        "kinds": FAST_KINDS,
+        "budget": FAST_BUDGET,
+        "drivers": {"campaign": CampaignDriver(ctx)},
+    }
+    options.update(overrides)
+    return ChaosEngine(ctx, **options)
+
+
+class TestSweep:
+    def test_restricted_sweep_reaches_full_coverage(self, chaos_ctx):
+        report = _fast_engine(chaos_ctx).run()
+        assert report.coverage_percent == 100.0
+        assert report.uncovered == set()
+        assert report.violations == []
+        assert report.ok
+        assert all(not r.violations for r in report.schedules)
+
+    def test_report_round_trips_through_render(self, chaos_ctx):
+        report = _fast_engine(chaos_ctx).run()
+        record = json.loads(report.dumps())
+        text = render_coverage(record)
+        for kind in FAST_KINDS:
+            assert kind.value in text
+        assert "violations: none" in text
+        assert f"coverage {record['coverage_percent']}%" in text
+
+    def test_obs_metrics_are_recorded(self, chaos_ctx):
+        registry = obs.enable()
+        try:
+            report = _fast_engine(chaos_ctx).run()
+            families = {family.name: family for family in registry.collect()}
+        finally:
+            obs.disable()
+        schedules = families["repro_chaos_schedules_total"]
+        assert schedules.samples[("campaign",)] == len(report.schedules)
+        fires = families["repro_chaos_seam_fires_total"]
+        for kind in FAST_KINDS:
+            assert fires.samples[(kind.value,)] >= 1
+
+    def test_kinds_restricted_to_available_drivers(self, chaos_ctx):
+        engine = ChaosEngine(
+            chaos_ctx, kinds=None, drivers={"campaign": CampaignDriver(chaos_ctx)}
+        )
+        assert FaultKind.DNS in engine.kinds
+        assert FaultKind.WORKER_CRASH not in engine.kinds  # serve-only seam
+        assert FaultKind.SHARD_CRASH not in engine.kinds  # fabric-only seam
+
+
+class TestRenderValidation:
+    def test_wrong_format_is_rejected(self):
+        with pytest.raises(ValueError, match="unsupported coverage format"):
+            render_coverage({"format": "bogus"})
+
+
+class TestDriftGate:
+    def test_registry_drift_fails_engine_construction(self, chaos_ctx, monkeypatch):
+        from repro.chaos import registry
+
+        monkeypatch.delitem(registry.SEAM_REGISTRY, FaultKind.DNS)
+        with pytest.raises(SeamDriftError, match="dns"):
+            _fast_engine(chaos_ctx)
+
+
+class TestReplay:
+    def _repro(self, driver="campaign"):
+        return MinimalRepro(
+            driver=driver,
+            schedule_id="single:dns",
+            invariant="campaign-digest-equality",
+            detail="digest diverged",
+            plan=FaultPlan(
+                seed="replay-test",
+                faults=(FaultSpec(kind=FaultKind.DNS, rate=1.0, times=2),),
+            ),
+            shrink_iterations=0,
+            engine_seed="engine-test",
+        )
+
+    def test_replay_of_masked_plan_reports_nothing(self, chaos_ctx):
+        engine = _fast_engine(chaos_ctx)
+        assert engine.replay(self._repro()) == []
+
+    def test_replay_rejects_unknown_driver(self, chaos_ctx):
+        engine = _fast_engine(chaos_ctx)
+        with pytest.raises(ValueError, match="unknown driver"):
+            engine.replay(self._repro(driver="fabric"))

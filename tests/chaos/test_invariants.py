@@ -1,0 +1,134 @@
+"""Invariant registry unit tests over synthetic observations."""
+
+from repro.chaos.invariants import (
+    INVARIANT_REGISTRY,
+    RunObservation,
+    evaluate_invariants,
+)
+from repro.faults.plan import FaultKind
+
+
+def _names(observation) -> list[str]:
+    return [v.invariant for v in evaluate_invariants(observation)]
+
+
+def _clean_campaign_obs(**overrides) -> RunObservation:
+    base = RunObservation(
+        driver="campaign",
+        fired={FaultKind.DNS: 3},
+        digest="d" * 64,
+        baseline_digest="d" * 64,
+        fingerprints=("a", "b"),
+        baseline_fingerprints=("a", "b"),
+        fsck_findings=0,
+        fsck_exit_code=0,
+    )
+    for name, value in overrides.items():
+        setattr(base, name, value)
+    return base
+
+
+class TestRegistryShape:
+    def test_registry_names_are_unique(self):
+        names = [inv.name for inv in INVARIANT_REGISTRY]
+        assert len(names) == len(set(names))
+
+    def test_every_invariant_documents_itself(self):
+        assert all(inv.description for inv in INVARIANT_REGISTRY)
+
+
+class TestCampaignInvariants:
+    def test_clean_run_has_no_violations(self):
+        assert _names(_clean_campaign_obs()) == []
+
+    def test_digest_divergence(self):
+        obs = _clean_campaign_obs(digest="e" * 64)
+        assert "campaign-digest-equality" in _names(obs)
+
+    def test_fingerprint_divergence(self):
+        obs = _clean_campaign_obs(fingerprints=("a", "c"))
+        assert "fingerprint-set-equality" in _names(obs)
+
+    def test_missing_evidence_skips_judgement(self):
+        # A serve observation carries no digests; digest invariants must
+        # not vote on it.
+        obs = RunObservation(driver="serve", wrong_reports=0, unrecovered=0)
+        assert _names(obs) == []
+
+    def test_run_error_is_always_a_violation(self):
+        obs = RunObservation(driver="campaign", error="RuntimeError: boom")
+        assert _names(obs) == ["no-run-error"]
+
+
+class TestFsckInvariants:
+    def test_masked_fault_must_leave_store_clean(self):
+        obs = _clean_campaign_obs(fsck_findings=2, fsck_exit_code=1)
+        assert "fsck-conformance" in _names(obs)
+
+    def test_corruption_seam_must_be_detected(self):
+        obs = _clean_campaign_obs(
+            fired={FaultKind.BIT_FLIP: 5}, fsck_findings=0
+        )
+        assert "fsck-conformance" in _names(obs)
+
+    def test_detected_and_repaired_is_conformant(self):
+        obs = _clean_campaign_obs(
+            fired={FaultKind.BIT_FLIP: 5},
+            fsck_findings=5,
+            fsck_clean_after_repair=True,
+            fsck_exit_code=0,
+        )
+        assert _names(obs) == []
+
+    def test_unrepairable_corruption_is_a_violation(self):
+        obs = _clean_campaign_obs(
+            fired={FaultKind.BIT_FLIP: 5},
+            fsck_findings=5,
+            fsck_clean_after_repair=False,
+            fsck_exit_code=1,
+        )
+        assert "fsck-conformance" in _names(obs)
+
+
+class TestServeInvariants:
+    def test_wrong_report_is_a_violation(self):
+        obs = RunObservation(driver="serve", wrong_reports=1, unrecovered=0)
+        assert "serve-report-byte-identity" in _names(obs)
+
+    def test_unrecovered_client_is_a_violation(self):
+        obs = RunObservation(driver="serve", wrong_reports=0, unrecovered=2)
+        assert "serve-report-byte-identity" in _names(obs)
+
+    def test_short_delivery_is_a_violation(self):
+        obs = RunObservation(
+            driver="serve",
+            wrong_reports=0,
+            unrecovered=0,
+            reports_expected=12,
+            reports_received=11,
+        )
+        assert "serve-report-byte-identity" in _names(obs)
+
+
+class TestExitCodeInvariant:
+    def test_clean_store_must_exit_zero(self):
+        obs = _clean_campaign_obs(fsck_exit_code=1)
+        assert "exit-code-convention" in _names(obs)
+
+    def test_repaired_store_must_exit_zero(self):
+        obs = _clean_campaign_obs(
+            fired={FaultKind.BIT_FLIP: 2},
+            fsck_findings=2,
+            fsck_clean_after_repair=True,
+            fsck_exit_code=1,
+        )
+        assert "exit-code-convention" in _names(obs)
+
+    def test_unrepaired_store_must_exit_one(self):
+        obs = _clean_campaign_obs(
+            fired={FaultKind.BIT_FLIP: 2},
+            fsck_findings=2,
+            fsck_clean_after_repair=False,
+            fsck_exit_code=0,
+        )
+        assert "exit-code-convention" in _names(obs)

@@ -1,0 +1,102 @@
+"""Satellite: the shrinker against a planted injector bug, end to end.
+
+A `LeakyDnsInjector` (see conftest) violates digest equality only when DNS
+and TLS specs appear together.  The engine must (a) catch the violation
+when its pair phase schedules the two kinds jointly, (b) delta-debug the
+failing schedule to the minimal two-spec plan, and (c) produce exactly the
+same minimal repro bytes on every run and at every worker count.
+"""
+
+import json
+
+from repro.chaos.drivers import CampaignDriver
+from repro.chaos.engine import ChaosEngine, EngineBudget
+from repro.chaos.invariants import evaluate_invariants
+from repro.chaos.shrink import MinimalRepro, shrink_plan
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+THREE_KIND_PLAN = FaultPlan(
+    seed="planted",
+    faults=(
+        FaultSpec(kind=FaultKind.DNS, rate=1.0, times=1),
+        FaultSpec(kind=FaultKind.TLS, rate=1.0, times=1),
+        FaultSpec(kind=FaultKind.CONNECTION_RESET, rate=1.0, times=1),
+    ),
+)
+
+
+def _digest_fails(driver):
+    def predicate(plan):
+        observation = driver.run(plan)
+        return any(
+            v.invariant == "campaign-digest-equality"
+            for v in evaluate_invariants(observation)
+        )
+
+    return predicate
+
+
+def _shrink_once(ctx, workers: int):
+    driver = CampaignDriver(
+        ctx, name="supervised" if workers else "campaign", workers=workers
+    )
+    predicate = _digest_fails(driver)
+    assert predicate(THREE_KIND_PLAN), "planted bug failed to trigger"
+    result = shrink_plan(THREE_KIND_PLAN, predicate)
+    return result, json.dumps(result.plan.to_json(), sort_keys=True)
+
+
+class TestPlantedBugShrinks:
+    def test_three_kind_schedule_reduces_to_two_specs(self, planted_ctx):
+        result, _ = _shrink_once(planted_ctx, workers=0)
+        kinds = {spec.kind for spec in result.plan.faults}
+        assert len(result.plan.faults) <= 2
+        assert kinds == {FaultKind.DNS, FaultKind.TLS}
+        assert result.iterations > 0
+
+    def test_byte_identical_across_runs_and_worker_counts(self, planted_ctx):
+        _, sequential_a = _shrink_once(planted_ctx, workers=0)
+        _, sequential_b = _shrink_once(planted_ctx, workers=0)
+        _, parallel = _shrink_once(planted_ctx, workers=2)
+        assert sequential_a == sequential_b
+        assert sequential_a == parallel
+
+
+class TestEngineCatchesPlantedBug:
+    def _run_engine(self, ctx, repro_dir):
+        engine = ChaosEngine(
+            ctx,
+            seed="planted-engine",
+            kinds=(FaultKind.DNS, FaultKind.TLS),
+            budget=EngineBudget(max_schedules=8, pair_budget=1, sweep_budget=0),
+            repro_dir=str(repro_dir),
+            drivers={"campaign": CampaignDriver(ctx)},
+        )
+        return engine.run()
+
+    def test_pair_phase_finds_shrinks_and_persists(self, planted_ctx, tmp_path):
+        report = self._run_engine(planted_ctx, tmp_path / "repros-a")
+        # singles are masked (the bug needs both kinds), the pair is not
+        singles = [r for r in report.schedules if r.family == "single"]
+        assert all(not r.violations for r in singles)
+        assert report.violations, "engine missed the planted pair violation"
+        violation = report.violations[0]
+        assert violation.schedule_id == "pair:dns+tls"
+        assert violation.minimal_specs <= 2
+        assert violation.repro_path is not None
+
+        repro = MinimalRepro.load(violation.repro_path)
+        assert {s.kind for s in repro.plan.faults} == {FaultKind.DNS, FaultKind.TLS}
+        assert repro.invariant == violation.invariant
+        assert not report.ok
+
+    def test_repro_file_is_deterministic(self, planted_ctx, tmp_path):
+        first = self._run_engine(planted_ctx, tmp_path / "repros-a")
+        second = self._run_engine(planted_ctx, tmp_path / "repros-b")
+        path_a = first.violations[0].repro_path
+        path_b = second.violations[0].repro_path
+        with open(path_a, encoding="utf-8") as handle:
+            bytes_a = handle.read()
+        with open(path_b, encoding="utf-8") as handle:
+            bytes_b = handle.read()
+        assert bytes_a == bytes_b

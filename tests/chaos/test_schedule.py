@@ -1,0 +1,121 @@
+"""Schedule generator: deterministic, coverage-guided, maskable shapes."""
+
+from repro.chaos.registry import SEAM_REGISTRY
+from repro.chaos.schedule import CoverageState, ScheduleGenerator
+from repro.faults.plan import FaultKind
+
+
+def _drain(generator, *, fire=True, limit=100):
+    """Run the propose loop, pretending every target fires (or none do)."""
+    coverage = CoverageState()
+    schedules = []
+    while len(schedules) < limit:
+        schedule = generator.propose(coverage)
+        if schedule is None:
+            break
+        schedules.append(schedule)
+        fired = {kind: 3 for kind in schedule.targets} if fire else {}
+        coverage.record(fired)
+    return schedules
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = _drain(ScheduleGenerator("seed-a"))
+        second = _drain(ScheduleGenerator("seed-a"))
+        assert [s.schedule_id for s in first] == [s.schedule_id for s in second]
+        assert [s.plan.to_json() for s in first] == [s.plan.to_json() for s in second]
+
+    def test_different_seed_different_plans(self):
+        first = _drain(ScheduleGenerator("seed-a"))
+        second = _drain(ScheduleGenerator("seed-b"))
+        # same structural phases, but every plan draws from its own seed
+        assert all(s.plan.seed.startswith("seed-b:") for s in second)
+        assert [s.plan.seed for s in first] != [s.plan.seed for s in second]
+
+
+class TestPhases:
+    def test_singles_cover_every_kind_first(self):
+        schedules = _drain(ScheduleGenerator("seed"))
+        singles = [s for s in schedules if s.family == "single"]
+        assert {s.targets[0] for s in singles} == set(FaultKind)
+        first_pair = next(
+            (i for i, s in enumerate(schedules) if s.family == "pair"), None
+        )
+        assert first_pair is not None and first_pair >= len(singles)
+
+    def test_fired_seams_are_skipped(self):
+        generator = ScheduleGenerator("seed")
+        coverage = CoverageState()
+        coverage.record({kind: 1 for kind in FaultKind})
+        schedule = generator.propose(coverage)
+        # every seam (and, having fired jointly, every pair) is covered, so
+        # no single may be proposed again — only later-phase schedules
+        assert schedule is not None and schedule.family != "single"
+
+    def test_escalation_ladder_on_unfired_seam(self):
+        generator = ScheduleGenerator("seed", kinds=(FaultKind.HANG,))
+        coverage = CoverageState()
+        ids = []
+        while True:
+            schedule = generator.propose(coverage)
+            if schedule is None or schedule.family != "single":
+                break
+            ids.append(schedule.schedule_id)
+            coverage.record({})  # the seam never fires
+        assert ids == ["single:hang", "single:hang#2", "single:hang#3"]
+        rates = [0.15, 0.5, 1.0]
+        assert len(ids) == len(rates)
+
+    def test_pairs_share_a_driver(self):
+        for schedule in _drain(ScheduleGenerator("seed")):
+            if schedule.family == "pair":
+                drivers = {SEAM_REGISTRY[k].driver for k in schedule.targets}
+                assert len(drivers) == 1
+
+    def test_sweeps_are_counter_timed(self):
+        for schedule in _drain(ScheduleGenerator("seed")):
+            if schedule.family == "sweep":
+                (spec,) = schedule.plan.faults
+                assert spec.at_count is not None and spec.at_count >= 1
+
+    def test_generator_is_finite(self):
+        schedules = _drain(ScheduleGenerator("seed"), limit=500)
+        assert len(schedules) < 100
+
+
+class TestMaskableShapes:
+    def test_pair_specs_are_depth_clamped(self):
+        # Two transients at times=2 each would stack to the full retry
+        # budget; pair plans must clamp every spec to times<=1.
+        for schedule in _drain(ScheduleGenerator("seed")):
+            if schedule.family == "pair":
+                for spec in schedule.plan.faults:
+                    assert spec.times <= 1, (
+                        f"{schedule.schedule_id} carries unclamped spec {spec}"
+                    )
+
+    def test_coverage_guided_pair_ranking(self):
+        generator = ScheduleGenerator("seed", kinds=(
+            FaultKind.DNS, FaultKind.TLS, FaultKind.CONNECTION_RESET,
+        ))
+        coverage = CoverageState()
+        # dns fired least → the first pair proposed must include dns
+        coverage.record({FaultKind.DNS: 1})
+        coverage.record({FaultKind.TLS: 50})
+        coverage.record({FaultKind.CONNECTION_RESET: 50})
+        schedule = generator.propose(coverage)
+        assert schedule.family == "pair"
+        assert FaultKind.DNS in schedule.targets
+
+
+class TestCoverageState:
+    def test_pairs_recorded_from_joint_fires(self):
+        coverage = CoverageState()
+        coverage.record({FaultKind.DNS: 2, FaultKind.TLS: 1})
+        assert frozenset((FaultKind.DNS, FaultKind.TLS)) in coverage.pairs_fired
+
+    def test_zero_counts_do_not_cover(self):
+        coverage = CoverageState()
+        coverage.record({FaultKind.DNS: 0})
+        assert coverage.covered() == set()

@@ -1,0 +1,139 @@
+"""ddmin shrinker unit tests (synthetic predicates — no pipeline runs)."""
+
+import pytest
+
+from repro.chaos.shrink import MinimalRepro, shrink_plan
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+KINDS = (
+    FaultKind.DNS,
+    FaultKind.TLS,
+    FaultKind.CONNECTION_RESET,
+    FaultKind.STORAGE_WRITE,
+    FaultKind.DISK_FULL,
+)
+
+
+def _plan(*kinds: FaultKind) -> FaultPlan:
+    return FaultPlan(
+        seed="shrink-test",
+        faults=tuple(FaultSpec(kind=kind, rate=1.0) for kind in kinds),
+    )
+
+
+def _fails_when(required: set[FaultKind]):
+    def predicate(plan: FaultPlan) -> bool:
+        present = {spec.kind for spec in plan.faults}
+        return required <= present
+
+    return predicate
+
+
+class TestDdmin:
+    def test_reduces_to_the_guilty_pair(self):
+        result = shrink_plan(
+            _plan(*KINDS), _fails_when({FaultKind.DNS, FaultKind.TLS})
+        )
+        assert {s.kind for s in result.plan.faults} == {FaultKind.DNS, FaultKind.TLS}
+
+    def test_reduces_to_a_single_spec(self):
+        result = shrink_plan(_plan(*KINDS), _fails_when({FaultKind.DISK_FULL}))
+        assert [s.kind for s in result.plan.faults] == [FaultKind.DISK_FULL]
+
+    def test_irreducible_plan_survives_whole(self):
+        required = set(KINDS)
+        result = shrink_plan(_plan(*KINDS), _fails_when(required))
+        assert {s.kind for s in result.plan.faults} == required
+
+    def test_deterministic_across_calls(self):
+        runs = [
+            shrink_plan(_plan(*KINDS), _fails_when({FaultKind.TLS, FaultKind.DNS}))
+            for _ in range(3)
+        ]
+        texts = {str(r.plan.to_json()) for r in runs}
+        assert len(texts) == 1
+        assert len({r.iterations for r in runs}) == 1
+
+    def test_preserves_seed_and_spec_shape(self):
+        plan = FaultPlan(
+            seed="keep-me",
+            faults=(
+                FaultSpec(kind=FaultKind.CRASH, rate=1.0, at_count=17),
+                FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.5, duration=48),
+            ),
+        )
+        result = shrink_plan(plan, _fails_when({FaultKind.CRASH}))
+        assert result.plan.seed == "keep-me"
+        (spec,) = result.plan.faults
+        assert spec.at_count == 17
+
+    def test_iteration_budget_is_respected(self):
+        calls = 0
+
+        def expensive(plan: FaultPlan) -> bool:
+            nonlocal calls
+            calls += 1
+            return {s.kind for s in plan.faults} >= {FaultKind.DNS, FaultKind.TLS}
+
+        result = shrink_plan(_plan(*KINDS), expensive, max_iterations=3)
+        assert calls <= 3
+        # budget exhausted → may not be minimal, but must still fail
+        assert {FaultKind.DNS, FaultKind.TLS} <= {s.kind for s in result.plan.faults}
+
+    def test_subset_cache_avoids_duplicate_runs(self):
+        seen: list[frozenset] = []
+
+        def predicate(plan: FaultPlan) -> bool:
+            key = frozenset(s.kind for s in plan.faults)
+            assert key not in seen, f"subset {key} executed twice"
+            seen.append(key)
+            return {FaultKind.DNS, FaultKind.TLS} <= key
+
+        shrink_plan(_plan(*KINDS), predicate)
+
+
+class TestMinimalReproFormat:
+    def _repro(self) -> MinimalRepro:
+        return MinimalRepro(
+            driver="campaign",
+            schedule_id="pair:dns+tls",
+            invariant="campaign-digest-equality",
+            detail="digest diverged",
+            plan=_plan(FaultKind.DNS, FaultKind.TLS),
+            shrink_iterations=6,
+            engine_seed="chaos-conformance",
+        )
+
+    def test_round_trip(self):
+        repro = self._repro()
+        clone = MinimalRepro.loads(repro.dumps())
+        assert clone == repro
+        assert clone.dumps() == repro.dumps()
+
+    def test_bad_format_is_one_line_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            MinimalRepro.loads('{"format": "bogus"}')
+        assert "\n" not in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"driver": ""},
+            {"schedule": None},
+            {"invariant": 7},
+            {"engine_seed": ""},
+            {"shrink_iterations": -1},
+            {"shrink_iterations": True},
+            {"plan": "not-an-object"},
+        ],
+    )
+    def test_field_validation(self, mutation):
+        record = self._repro().to_json()
+        record.update(mutation)
+        with pytest.raises(ValueError) as excinfo:
+            MinimalRepro.from_json(record)
+        assert "\n" not in str(excinfo.value)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ValueError, match="invalid repro JSON"):
+            MinimalRepro.loads("{nope")

@@ -1,0 +1,113 @@
+"""Property tests: FaultPlan JSON serialisation is exact, both ways.
+
+Seeded-random generation (no external property-testing dependency): a few
+hundred structurally diverse plans must survive serialise→parse unchanged,
+re-serialise byte-identically, and keep their draw semantics.  The strict
+half of the contract is also pinned: values JSON would happily carry but
+the spec doesn't mean — booleans for numbers, fractional floats for whole
+counts — fail with the one-line error convention instead of silently
+mutating the plan.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+KINDS = tuple(FaultKind)
+
+
+def _random_spec(rng: random.Random) -> FaultSpec:
+    kind = rng.choice(KINDS)
+    return FaultSpec(
+        kind=kind,
+        rate=rng.choice([0.0, 0.25, 0.5, 1.0, round(rng.random(), 6)]),
+        times=rng.choice([1, 2, 3, 7, 100]),
+        duration=rng.choice([0, 1, 2, 48, 2000]),
+        at_count=rng.choice([None, 1, 5, 30, 10_000]),
+    )
+
+
+def _random_plan(rng: random.Random) -> FaultPlan:
+    return FaultPlan(
+        seed=f"plan-{rng.randrange(1_000_000)}",
+        faults=tuple(_random_spec(rng) for _ in range(rng.randrange(0, 6))),
+    )
+
+
+class TestRoundTripProperties:
+    def test_spec_round_trip_is_exact(self):
+        rng = random.Random(20210)
+        for _ in range(300):
+            spec = _random_spec(rng)
+            assert FaultSpec.from_json(spec.to_json()) == spec
+
+    def test_plan_round_trip_is_exact(self):
+        rng = random.Random(20211)
+        for _ in range(200):
+            plan = _random_plan(rng)
+            assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_reserialisation_is_byte_identical(self):
+        # parse(dumps(plan)) must not just be equal — it must re-serialise
+        # to the same bytes, so committed plans never churn in review.
+        rng = random.Random(20212)
+        for _ in range(200):
+            plan = _random_plan(rng)
+            text = plan.dumps()
+            assert FaultPlan.loads(text).dumps() == text
+
+    def test_round_trip_preserves_draw_semantics(self):
+        rng = random.Random(20213)
+        keys = [f"site-{i}.example" for i in range(50)]
+        for _ in range(50):
+            plan = _random_plan(rng)
+            clone = FaultPlan.loads(plan.dumps())
+            for spec in plan.faults:
+                assert plan.schedule(spec.kind, keys) == clone.schedule(
+                    spec.kind, keys
+                )
+
+    def test_default_valued_fields_are_omitted(self):
+        record = FaultSpec(kind=FaultKind.DNS, rate=0.5).to_json()
+        assert set(record) == {"kind", "rate"}
+
+
+class TestStrictParsing:
+    """JSON lookalikes must be rejected, not silently coerced."""
+
+    @pytest.mark.parametrize("field", ["times", "duration", "at_count"])
+    def test_fractional_float_rejected_for_int_fields(self, field):
+        record = {"kind": "dns", field: 2.5}
+        with pytest.raises(ValueError, match=f"field '{field}' must be a whole number"):
+            FaultSpec.from_json(record)
+
+    @pytest.mark.parametrize("field", ["rate", "times", "duration", "at_count"])
+    def test_bool_rejected_for_numeric_fields(self, field):
+        record = {"kind": "dns", field: True}
+        with pytest.raises(ValueError, match=f"field '{field}' must be a"):
+            FaultSpec.from_json(record)
+
+    def test_integral_float_still_accepted(self):
+        # 2.0 is exactly 2; rejecting it would break hand-written plans.
+        spec = FaultSpec.from_json({"kind": "dns", "times": 2.0})
+        assert spec.times == 2
+
+    def test_error_messages_are_one_line(self):
+        for record in (
+            {"kind": "dns", "times": 2.5},
+            {"kind": "dns", "rate": True},
+            {"kind": "dns", "rate": "fast"},
+        ):
+            with pytest.raises(ValueError) as excinfo:
+                FaultSpec.from_json(record)
+            assert "\n" not in str(excinfo.value)
+
+    def test_strictness_via_full_plan_loads(self):
+        text = json.dumps(
+            {"seed": "s", "faults": [{"kind": "crash", "at_count": 3.5}]}
+        )
+        with pytest.raises(ValueError, match="whole number"):
+            FaultPlan.loads(text)

@@ -1,0 +1,101 @@
+"""Seam-drift lint: the chaos seam registry must track the fault surface.
+
+These tests fail the suite the moment someone lands a new `FaultKind` or a
+new `*_hook` on `FaultInjector` without registering the seam — the exact
+drift that previously left fault kinds modelled but never exercised.
+"""
+
+from pathlib import Path
+
+from repro.chaos.registry import (
+    SEAM_REGISTRY,
+    check_registry,
+    injector_hooks,
+    registry_problems,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSeamRegistryCompleteness:
+    def test_registry_is_drift_free(self):
+        assert registry_problems() == []
+        check_registry()  # must not raise
+
+    def test_every_fault_kind_has_a_seam(self):
+        assert set(SEAM_REGISTRY) == set(FaultKind)
+
+    def test_every_seam_hook_exists_on_injector(self):
+        for seam in SEAM_REGISTRY.values():
+            hook = getattr(FaultInjector, seam.hook, None)
+            assert callable(hook), (
+                f"seam '{seam.kind.value}' names FaultInjector.{seam.hook}, "
+                "which does not exist"
+            )
+
+    def test_every_injector_hook_maps_back_to_a_kind(self):
+        registered = {seam.hook for seam in SEAM_REGISTRY.values()}
+        unclaimed = [
+            hook
+            for hook in injector_hooks()
+            if hook != "write_fault_hook" and hook not in registered
+        ]
+        assert unclaimed == [], (
+            f"FaultInjector hooks {unclaimed} fire no registered FaultKind seam; "
+            "register them in repro.chaos.registry.SEAM_REGISTRY"
+        )
+
+
+class TestSeamExercise:
+    """Every seam must point at real chaos tests/benches that use it."""
+
+    def test_every_seam_lists_an_exercising_test(self):
+        for seam in SEAM_REGISTRY.values():
+            assert seam.exercised_by, f"seam '{seam.kind.value}' lists no chaos test"
+
+    def test_exercising_files_exist_and_mention_the_kind(self):
+        for seam in SEAM_REGISTRY.values():
+            for rel_path in seam.exercised_by:
+                path = REPO_ROOT / rel_path
+                assert path.is_file(), (
+                    f"seam '{seam.kind.value}' points at missing file {rel_path}"
+                )
+                text = path.read_text(encoding="utf-8")
+                member = f"FaultKind.{seam.kind.name}"
+                assert member in text or f'"{seam.kind.value}"' in text, (
+                    f"{rel_path} does not exercise {member}"
+                )
+
+
+class TestDriftDetection:
+    """registry_problems() must actually catch the drift cases."""
+
+    def test_missing_kind_is_reported(self, monkeypatch):
+        from repro.chaos import registry as module
+
+        trimmed = dict(SEAM_REGISTRY)
+        removed = trimmed.pop(FaultKind.DNS)
+        monkeypatch.setattr(module, "SEAM_REGISTRY", trimmed)
+        problems = module.registry_problems()
+        assert any("'dns' has no registered seam" in p for p in problems)
+        # the kind's hook is shared with no other seam, so it surfaces too
+        assert any(removed.hook in p for p in problems)
+
+    def test_unknown_hook_is_reported(self, monkeypatch):
+        from repro.chaos import registry as module
+
+        bent = dict(SEAM_REGISTRY)
+        seam = bent[FaultKind.DNS]
+        bent[FaultKind.DNS] = type(seam)(
+            kind=seam.kind,
+            hook="nonexistent_hook",
+            layer=seam.layer,
+            driver=seam.driver,
+            fsck=seam.fsck,
+            exercised_by=seam.exercised_by,
+        )
+        monkeypatch.setattr(module, "SEAM_REGISTRY", bent)
+        problems = module.registry_problems()
+        assert any("nonexistent_hook" in p for p in problems)

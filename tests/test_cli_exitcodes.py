@@ -92,6 +92,118 @@ class TestStoreCommands:
         assert "error:" in capsys.readouterr().err
 
 
+def _coverage_record(**overrides):
+    record = {
+        "format": "repro-chaos-coverage-v1",
+        "seed": "chaos-conformance",
+        "budget": 40,
+        "schedules_run": 1,
+        "elapsed_s": 0.5,
+        "coverage_percent": 100.0,
+        "seams": [
+            {
+                "kind": "dns",
+                "hook": "dns_hook",
+                "layer": "browser.dns",
+                "driver": "campaign",
+                "fires": 3,
+                "covered": True,
+            }
+        ],
+        "pairs_fired": [],
+        "schedules": [],
+        "violations": [],
+    }
+    record.update(overrides)
+    return record
+
+
+class TestChaos:
+    def test_missing_subcommand_is_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos"])
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_run_zero_budget_is_usage(self, capsys):
+        assert main(["chaos", "run", "--budget", "0"]) == EXIT_USAGE
+        assert "--budget" in capsys.readouterr().err
+
+    def test_run_bad_scale_is_usage(self, capsys):
+        assert main(["chaos", "run", "--scale", "0"]) == EXIT_USAGE
+        assert "--scale" in capsys.readouterr().err
+
+    def test_run_unknown_driver_is_usage(self, capsys):
+        code = main(["chaos", "run", "--drivers", "campaign,bogus"])
+        assert code == EXIT_USAGE
+        assert "--drivers" in capsys.readouterr().err
+
+    def test_coverage_missing_file_is_usage(self, tmp_path, capsys):
+        code = main(["chaos", "coverage", str(tmp_path / "absent.json")])
+        assert code == EXIT_USAGE
+        assert "cannot read coverage report" in capsys.readouterr().err
+
+    def test_coverage_invalid_json_is_usage(self, text_file, capsys):
+        assert main(["chaos", "coverage", text_file]) == EXIT_USAGE
+        assert "invalid coverage report" in capsys.readouterr().err
+
+    def test_coverage_wrong_format_is_usage(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text('{"format": "bogus"}')
+        assert main(["chaos", "coverage", str(path)]) == EXIT_USAGE
+        assert "invalid coverage report" in capsys.readouterr().err
+
+    def test_coverage_complete_report_is_ok(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(_coverage_record()))
+        assert main(["chaos", "coverage", str(path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "coverage 100.0%" in out
+        assert "violations: none" in out
+
+    def test_coverage_incomplete_report_is_issues(self, tmp_path, capsys):
+        import json
+
+        record = _coverage_record(coverage_percent=50.0)
+        record["seams"][0]["fires"] = 0
+        record["seams"][0]["covered"] = False
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(record))
+        assert main(["chaos", "coverage", str(path)]) == EXIT_ISSUES
+        assert "NO" in capsys.readouterr().out
+
+    def test_coverage_violating_report_is_issues(self, tmp_path, capsys):
+        import json
+
+        record = _coverage_record(
+            violations=[
+                {
+                    "schedule": "pair:dns+tls",
+                    "driver": "campaign",
+                    "invariant": "campaign-digest-equality",
+                    "detail": "digest diverged",
+                    "repro": None,
+                    "shrink_iterations": 6,
+                    "minimal_specs": 2,
+                }
+            ]
+        )
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(record))
+        assert main(["chaos", "coverage", str(path)]) == EXIT_ISSUES
+        assert "campaign-digest-equality" in capsys.readouterr().out
+
+    def test_replay_missing_file_is_usage(self, tmp_path, capsys):
+        code = main(["chaos", "replay", str(tmp_path / "absent.json")])
+        assert code == EXIT_USAGE
+        assert "cannot read repro" in capsys.readouterr().err
+
+    def test_replay_invalid_repro_is_usage(self, text_file, capsys):
+        assert main(["chaos", "replay", text_file]) == EXIT_USAGE
+        assert "invalid repro" in capsys.readouterr().err
+
+
 class TestServe:
     def test_resume_without_db_is_usage(self, capsys):
         assert main(["serve", "--resume"]) == EXIT_USAGE
