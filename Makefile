@@ -10,7 +10,7 @@ NETLOG_DIR ?= netlogs
 PORT ?= 8734
 SERVE_DB ?= serve-jobs.sqlite
 
-.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench serve serve-bench chaos-conformance report validate fsck examples clean
+.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench serve serve-bench webrtc-bench chaos-conformance report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,6 +41,9 @@ serve:            ## run the local-traffic self-test daemon (make serve PORT=900
 
 serve-bench:      ## serve ablation: closed-loop chaos load, byte-exact reports, crash restart
 	$(PYTHON) -m pytest benchmarks/test_ablation_serve.py --benchmark-disable -q
+
+webrtc-bench:     ## webrtc ablation: era leak tables byte-stable, channel-off overhead <= 1%
+	$(PYTHON) -m pytest benchmarks/test_ablation_webrtc.py --benchmark-disable -q
 
 chaos-conformance: ## coverage-guided conformance sweep: exit 1 on uncovered seams or violations
 	mkdir -p benchmarks/output

@@ -41,6 +41,32 @@ def _os_flags(oses: Sequence[str]) -> str:
     )
 
 
+def _oses_with(
+    finding: SiteFinding,
+    locality: Locality,
+    *,
+    scheme: str | None = None,
+    exclude_scheme: str | None = None,
+) -> tuple[str, ...]:
+    """OS flags for one finding, restricted by request scheme.
+
+    The paper's HTTP(S)/WS tables and the WebRTC era tables partition the
+    same findings by scheme, so both need scheme-aware OS flags rather
+    than :meth:`SiteFinding.oses_with_activity`'s locality-only view.
+    """
+    return tuple(
+        os_name
+        for os_name in OS_ORDER
+        if os_name in finding.per_os
+        and any(
+            r.locality is locality
+            and (scheme is None or r.scheme == scheme)
+            and (exclude_scheme is None or r.scheme != exclude_scheme)
+            for r in finding.per_os[os_name].requests
+        )
+    )
+
+
 def _ports_label(ports: Iterable[int]) -> str:
     ordered = sorted(set(ports))
     if len(ordered) > 6:
@@ -213,7 +239,17 @@ _BEHAVIOR_ORDER = (
 def _localhost_site_rows(findings: Sequence[SiteFinding]) -> list[dict]:
     rows = []
     for finding in findings_with_activity(list(findings), Locality.LOCALHOST):
-        requests = finding.requests(Locality.LOCALHOST)
+        # The paper's tables cover the HTTP(S)/WS channel; WebRTC-derived
+        # requests have their own era tables (5W/6W), so a webrtc-enabled
+        # campaign leaves Tables 5/7/8/11 byte-identical to a channel-off
+        # run over the same population.
+        requests = [
+            r
+            for r in finding.requests(Locality.LOCALHOST)
+            if r.scheme != "webrtc"
+        ]
+        if not requests:
+            continue
         schemes = sorted({r.scheme for r in requests})
         ports = sorted({r.port for r in requests})
         paths = sorted({r.path for r in requests})
@@ -227,7 +263,9 @@ def _localhost_site_rows(findings: Sequence[SiteFinding]) -> list[dict]:
                 "schemes": schemes,
                 "ports": ports,
                 "paths": paths,
-                "oses": finding.oses_with_activity(Locality.LOCALHOST),
+                "oses": _oses_with(
+                    finding, Locality.LOCALHOST, exclude_scheme="webrtc"
+                ),
             }
         )
     return rows
@@ -302,7 +340,13 @@ def table_8(findings: Sequence[SiteFinding]) -> RenderedTable:
 def _lan_rows(findings: Sequence[SiteFinding]) -> list[dict]:
     rows = []
     for finding in findings_with_activity(list(findings), Locality.LAN):
-        requests = finding.requests(Locality.LAN)
+        # Same channel split as the localhost tables: WebRTC-derived LAN
+        # requests belong to Table 6W, never Tables 6/9/10.
+        requests = [
+            r for r in finding.requests(Locality.LAN) if r.scheme != "webrtc"
+        ]
+        if not requests:
+            continue
         rows.append(
             {
                 "domain": finding.domain,
@@ -313,7 +357,9 @@ def _lan_rows(findings: Sequence[SiteFinding]) -> list[dict]:
                 "schemes": sorted({r.scheme for r in requests}),
                 "paths": sorted({r.path for r in requests}),
                 "behavior": finding.behavior,
-                "oses": finding.oses_with_activity(Locality.LAN),
+                "oses": _oses_with(
+                    finding, Locality.LAN, exclude_scheme="webrtc"
+                ),
             }
         )
     rows.sort(key=lambda r: (r["rank"] or 10**9, r["domain"]))
@@ -349,6 +395,141 @@ def table_9(findings: Sequence[SiteFinding]) -> RenderedTable:
 def table_10(findings: Sequence[SiteFinding]) -> RenderedTable:
     """2021 top-100K LAN requesters."""
     return _render_lan_table("Table 10", _lan_rows(findings))
+
+
+# ---------------------------------------------------------------------------
+# Tables 5W / 6W / W-era — WebRTC local-address leakage
+# ---------------------------------------------------------------------------
+
+def _webrtc_rows(findings: Sequence[SiteFinding], locality: Locality) -> list[dict]:
+    """Per-site WebRTC-channel leak rows of one locality.
+
+    ``kinds`` distinguishes how the address leaked: ``CANDIDATE`` (a raw
+    host candidate — the pre-M74 leak mDNS obfuscation removes) vs
+    ``STUN`` (a binding check to an explicit local peer — present in both
+    policy eras).
+    """
+    rows = []
+    for finding in findings:
+        requests = [
+            r for r in finding.requests(locality) if r.scheme == "webrtc"
+        ]
+        if not requests:
+            continue
+        rows.append(
+            {
+                "domain": finding.domain,
+                "rank": finding.rank,
+                "category": finding.category,
+                "kinds": sorted({r.method for r in requests}),
+                "addresses": sorted({r.host for r in requests}),
+                "ports": sorted({r.port for r in requests}),
+                "leaks": len(requests),
+                "oses": _oses_with(finding, locality, scheme="webrtc"),
+            }
+        )
+    rows.sort(key=lambda r: (r["rank"] or 10**9, r["domain"]))
+    return rows
+
+
+def _render_webrtc_table(name: str, rows: list[dict]) -> RenderedTable:
+    lines = [
+        f"{'Rank':>7}  {'Domain':<42}{'Kind':<16}{'Address':<30}"
+        f"{'Ports':<22}{'OS (W L M)':<10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{(row['rank'] if row['rank'] is not None else ''):>7}  "
+            f"{row['domain']:<42}{'/'.join(row['kinds']):<16}"
+            f"{','.join(row['addresses']):<30}"
+            f"{_ports_label(row['ports']):<22}"
+            f"{_os_flags(row['oses']):<10}"
+        )
+    return RenderedTable(name, rows, "\n".join(lines))
+
+
+def table_5w(findings: Sequence[SiteFinding]) -> RenderedTable:
+    """Localhost-bound WebRTC leakage: STUN checks to loopback peers."""
+    return _render_webrtc_table(
+        "Table 5W", _webrtc_rows(findings, Locality.LOCALHOST)
+    )
+
+
+def table_6w(findings: Sequence[SiteFinding]) -> RenderedTable:
+    """LAN-bound WebRTC leakage: host candidates + RFC 1918 STUN peers."""
+    return _render_webrtc_table("Table 6W", _webrtc_rows(findings, Locality.LAN))
+
+
+def table_webrtc_era(
+    findings_by_policy: dict[str, Sequence[SiteFinding]],
+) -> RenderedTable:
+    """Pre-M74 vs mDNS era comparison of WebRTC leak counts per site.
+
+    The delta column isolates exactly what Chrome's mDNS obfuscation
+    removed: raw host candidates vanish from the mdns era, while STUN
+    checks to explicit local peers survive in both — so sites whose only
+    WebRTC traffic is candidate gathering drop to zero, and sites
+    actively knocking on local peers keep their STUN rows.
+    """
+    def leak_counts(findings: Sequence[SiteFinding]) -> dict[str, tuple[int, int]]:
+        counts: dict[str, tuple[int, int]] = {}
+        for finding in findings:
+            localhost = sum(
+                1
+                for r in finding.requests(Locality.LOCALHOST)
+                if r.scheme == "webrtc"
+            )
+            lan = sum(
+                1
+                for r in finding.requests(Locality.LAN)
+                if r.scheme == "webrtc"
+            )
+            if localhost or lan:
+                counts[finding.domain] = (localhost, lan)
+        return counts
+
+    per_policy = {
+        policy: leak_counts(findings)
+        for policy, findings in findings_by_policy.items()
+    }
+    ranks: dict[str, int | None] = {}
+    for findings in findings_by_policy.values():
+        for finding in findings:
+            ranks.setdefault(finding.domain, finding.rank)
+    policies = sorted(per_policy)
+    domains = sorted(
+        {domain for counts in per_policy.values() for domain in counts},
+        key=lambda d: (ranks.get(d) or 10**9, d),
+    )
+    rows = []
+    header = f"{'Rank':>7}  {'Domain':<42}" + "".join(
+        f"{policy + ' lo/LAN':>18}" for policy in policies
+    ) + f"{'delta':>8}"
+    lines = [header]
+    for domain in domains:
+        counts = {
+            policy: per_policy[policy].get(domain, (0, 0))
+            for policy in policies
+        }
+        totals = [sum(counts[policy]) for policy in policies]
+        delta = max(totals) - min(totals) if len(totals) > 1 else totals[0]
+        rows.append(
+            {
+                "domain": domain,
+                "rank": ranks.get(domain),
+                "counts": counts,
+                "delta": delta,
+            }
+        )
+        cells = "".join(
+            f"{counts[policy][0]:>12}/{counts[policy][1]:<5}"
+            for policy in policies
+        )
+        lines.append(
+            f"{(ranks.get(domain) if ranks.get(domain) is not None else ''):>7}  "
+            f"{domain:<42}{cells}{delta:>8}"
+        )
+    return RenderedTable("Table W-era", rows, "\n".join(lines))
 
 
 # ---------------------------------------------------------------------------

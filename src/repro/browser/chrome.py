@@ -35,6 +35,7 @@ from ..core.addresses import TargetParseError, parse_target
 from ..netlog.constants import EventPhase, EventType, SourceType
 from ..netlog.events import NetLogEvent, NetLogSource, SourceIdAllocator
 from ..netlog.pipeline import EventSink, ListSink, ReorderBuffer
+from ..webrtc.ice import IceAgent, IceSession
 from .dns import SimulatedResolver
 from .errors import NetError
 from .network import SimulatedNetwork
@@ -88,6 +89,7 @@ class SimulatedChrome:
         network: SimulatedNetwork | None = None,
         policy: SameOriginPolicy | None = None,
         monitor_window_ms: float = DEFAULT_MONITOR_WINDOW_MS,
+        webrtc: IceAgent | None = None,
     ) -> None:
         if monitor_window_ms <= 0:
             raise ValueError("monitor window must be positive")
@@ -95,6 +97,7 @@ class SimulatedChrome:
         self.resolver = resolver if resolver is not None else SimulatedResolver()
         self.network = network if network is not None else SimulatedNetwork()
         self.policy = policy if policy is not None else SameOriginPolicy()
+        self.webrtc = webrtc if webrtc is not None else IceAgent(identity.name)
         self.monitor_window_ms = monitor_window_ms
         self._sources = SourceIdAllocator()
         self.pages_visited = 0
@@ -215,7 +218,10 @@ class SimulatedChrome:
         # executes in start-time order so the reorder buffer's watermark
         # can release events eagerly: once a request starts at time t, no
         # event earlier than t can ever be emitted again.
-        scheduled: list[tuple[float, NetLogSource, PlannedRequest, object]] = []
+        # Entries are (start, source, planned-request-or-ice-session,
+        # parsed-target-or-None); the execution loop dispatches on the
+        # source type.
+        scheduled: list[tuple[float, NetLogSource, object, object]] = []
         for planned in self._planned_requests(page, context):
             if planned.delay_ms >= self.monitor_window_ms:
                 # Fires after the monitoring window closed: invisible to
@@ -233,12 +239,37 @@ class SimulatedChrome:
                 (page_commit + planned.delay_ms, source, planned, request_target)
             )
 
+        # WebRTC sessions: scripts exposing plan_ice() get a peer-connection
+        # source each.  Sources are allocated after every HTTP/WS source so
+        # pages without WebRTC keep byte-identical archives, and the
+        # sessions merge into the same start-time-ordered execution.
+        for script in page.scripts:
+            plan_ice = getattr(script, "plan_ice", None)
+            if plan_ice is None:
+                continue
+            ice_plan = plan_ice(context)
+            if ice_plan is None or ice_plan.delay_ms >= self.monitor_window_ms:
+                continue
+            session = IceSession(
+                plan=ice_plan,
+                policy=getattr(script, "policy", "mdns"),
+                domain=target.host,
+                page_url=page.url,
+            )
+            source = self._sources.allocate(SourceType.PEER_CONNECTION)
+            scheduled.append(
+                (page_commit + ice_plan.delay_ms, source, session, None)
+            )
+
         scheduled.sort(key=lambda item: item[0])  # stable: ties keep page order
         for start, source, planned, request_target in scheduled:
             out.advance(start)
-            self._execute_request(
-                out, page_origin, planned, source, start, request_target
-            )
+            if source.type is SourceType.PEER_CONNECTION:
+                self.webrtc.execute(out, source, start, planned)
+            else:
+                self._execute_request(
+                    out, page_origin, planned, source, start, request_target
+                )
 
         result.success = True
 

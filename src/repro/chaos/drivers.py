@@ -67,21 +67,30 @@ class ChaosContext:
         return tempfile.mkdtemp(prefix=f"{prefix}-", dir=self.workdir)
 
 
-def conformance_population(scale: float = 0.001) -> CrawlPopulation:
+def conformance_population(
+    scale: float = 0.001, *, webrtc_policy: str | None = "mdns"
+) -> CrawlPopulation:
     """A small, deterministic, behaviour-bearing slice of ``top2020``.
 
     Eight sites seeded with local-network activity plus sixteen filler
     sites, ordered by (rank, domain) so every run — and every process
-    count — crawls the same visits in the same order.
+    count — crawls the same visits in the same order.  WebRTC behaviours
+    are enabled (mDNS era) by default so the ``stun-timeout`` and
+    ``mdns-resolve-fail`` seams have traffic to strike; baseline and
+    faulted runs share the population, so digest comparisons hold.
     """
-    population = build_top_population(2020, scale=scale)
+    population = build_top_population(2020, scale=scale, webrtc_policy=webrtc_policy)
     ranked = sorted(population.websites, key=lambda w: (w.rank, w.domain))
     active = [w for w in ranked if w.domain in population.active_domains][:8]
     chosen = {w.domain for w in active}
     filler = [w for w in ranked if w.domain not in chosen][:16]
     sliced = sorted(active + filler, key=lambda w: (w.rank, w.domain))
     return CrawlPopulation(
-        name=population.name, websites=sliced, oses=population.oses
+        name=population.name,
+        websites=sliced,
+        oses=population.oses,
+        active_domains={w.domain for w in active},
+        webrtc_policy=population.webrtc_policy,
     )
 
 

@@ -245,6 +245,28 @@ SEAM_REGISTRY: dict[FaultKind, Seam] = {
             description="analysis worker dies mid-job; engine retries from spool",
         ),
         Seam(
+            FaultKind.STUN_TIMEOUT,
+            hook="stun_hook",
+            layer="browser.webrtc",
+            driver="campaign",
+            exercised_by=(
+                "benchmarks/test_ablation_webrtc.py",
+                "tests/webrtc/test_faults.py",
+            ),
+            description="STUN binding check to an explicit peer times out; the request was already on the wire, so leak counts hold",
+        ),
+        Seam(
+            FaultKind.MDNS_RESOLVE_FAIL,
+            hook="mdns_hook",
+            layer="browser.webrtc",
+            driver="campaign",
+            exercised_by=(
+                "benchmarks/test_ablation_webrtc.py",
+                "tests/webrtc/test_faults.py",
+            ),
+            description="mDNS candidate registration fails; the (non-leaking) candidate is withheld, never the raw address",
+        ),
+        Seam(
             FaultKind.JOURNAL_DISK_FULL,
             hook="journal_write_hook",
             layer="storage.jobs",

@@ -94,6 +94,12 @@ _VARIANTS: dict[FaultKind, tuple[tuple[FaultSpec, ...], ...]] = {
     FaultKind.JOURNAL_DISK_FULL: (
         (FaultSpec(kind=FaultKind.JOURNAL_DISK_FULL, rate=1.0, times=2),),
     ),
+    FaultKind.STUN_TIMEOUT: (
+        (FaultSpec(kind=FaultKind.STUN_TIMEOUT, rate=1.0, times=2),),
+    ),
+    FaultKind.MDNS_RESOLVE_FAIL: (
+        (FaultSpec(kind=FaultKind.MDNS_RESOLVE_FAIL, rate=1.0, times=2),),
+    ),
 }
 
 #: Counter-triggered kinds eligible for timing sweeps, with the visit-count

@@ -71,6 +71,15 @@ EXIT_ISSUES = 1
 EXIT_USAGE = 2
 EXIT_INTERRUPTED = 130
 
+#: Valid ``repro table`` identifiers: the paper's 1–11 plus the WebRTC
+#: era tables (5W/6W) and the era-comparison table (W).
+_TABLE_IDS = tuple(str(n) for n in range(1, 12)) + ("5W", "6W", "W")
+
+
+def _table_id(value: str) -> str:
+    """argparse type for table ids: case-insensitive, canonicalised."""
+    return value.strip().upper()
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -97,6 +106,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="top2020",
     )
     study.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+    study.add_argument(
+        "--webrtc-policy",
+        choices=("pre-m74", "mdns"),
+        default=None,
+        help="enable the simulated WebRTC/mDNS leak channel for top-list "
+        "populations under the given Chrome policy era (pre-m74 = raw-IP "
+        "host candidates, mdns = obfuscated <uuid>.local names); omit "
+        "for the paper's HTTP(S)/WS-only channel",
+    )
     study.add_argument(
         "--retries",
         type=int,
@@ -298,6 +316,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fsck.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
     fsck.add_argument(
+        "--webrtc-policy",
+        choices=("pre-m74", "mdns"),
+        default=None,
+        help="policy era the audited campaign ran under — tier-2 "
+        "re-visit repair must rebuild the same population",
+    )
+    fsck.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report instead of text",
@@ -388,8 +413,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     table = sub.add_parser("table", help="regenerate a paper table")
-    table.add_argument("number", type=int, choices=range(1, 12))
+    table.add_argument(
+        "number",
+        type=_table_id,
+        choices=_TABLE_IDS,
+        metavar="{1..11,5W,6W,W}",
+        help="a paper table number, a WebRTC era table (5W = localhost "
+        "leaks, 6W = LAN leaks), or W (pre-M74 vs mDNS era comparison)",
+    )
     table.add_argument("--scale", type=float, default=_DEFAULT_SCALE)
+    table.add_argument(
+        "--webrtc-policy",
+        choices=("pre-m74", "mdns"),
+        default="mdns",
+        help="policy era for tables 5W/6W (W always renders both eras)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=range(2, 10))
@@ -506,21 +544,26 @@ def _cmd_analyze_json(path: str) -> int:
     return EXIT_OK
 
 
-def _population(population_name: str, scale: float):
+def _population(
+    population_name: str, scale: float, webrtc_policy: str | None = None
+):
     if population_name == "malicious":
         return build_malicious_population(scale=scale)
     year = 2020 if population_name == "top2020" else 2021
-    return build_top_population(year, scale=scale)
+    return build_top_population(year, scale=scale, webrtc_policy=webrtc_policy)
 
 
-def _campaign(population_name: str, scale: float) -> CampaignResult:
-    return run_campaign(_population(population_name, scale))
+def _campaign(
+    population_name: str, scale: float, webrtc_policy: str | None = None
+) -> CampaignResult:
+    return run_campaign(_population(population_name, scale, webrtc_policy))
 
 
 def _cmd_study(
     population_name: str,
     scale: float,
     *,
+    webrtc_policy: str | None = None,
     retries: int = 1,
     db: str | None = None,
     resume: bool = False,
@@ -547,6 +590,13 @@ def _cmd_study(
 
     if resume and db is None:
         print("error: --resume requires --db", file=sys.stderr)
+        return EXIT_USAGE
+    if webrtc_policy is not None and population_name == "malicious":
+        print(
+            "error: --webrtc-policy applies to top-list populations only "
+            "(the malicious sets carry no WebRTC seeds)",
+            file=sys.stderr,
+        )
         return EXIT_USAGE
     if retries < 1:
         print(
@@ -598,6 +648,7 @@ def _cmd_study(
         return _run_sharded_study(
             population_name,
             scale,
+            webrtc_policy=webrtc_policy,
             shards=shards,
             shard_dir=shard_dir,
             retries=retries,
@@ -629,7 +680,7 @@ def _cmd_study(
     observing = metrics_out is not None or trace_out is not None
     if observing:
         obs.enable()
-    population = _population(population_name, scale)
+    population = _population(population_name, scale, webrtc_policy)
     progress = ProgressLine(len(population.websites) * len(population.oses))
     # Long campaigns keep the on-disk snapshot at most 30 s stale; the
     # final flush at exit writes the complete picture.
@@ -758,6 +809,7 @@ def _run_sharded_study(
     population_name: str,
     scale: float,
     *,
+    webrtc_policy: str | None = None,
     shards: int,
     shard_dir: str | None,
     retries: int,
@@ -800,13 +852,15 @@ def _run_sharded_study(
         else:
             cleanup = tempfile.TemporaryDirectory(prefix="repro-shards-")
             shard_dir = cleanup.name
-    spec = PopulationSpec(population=population_name, scale=scale)
+    spec = PopulationSpec(
+        population=population_name, scale=scale, webrtc_policy=webrtc_policy
+    )
     print(
         f"crawling {population_name} at scale {scale:.1%} across "
         f"{resolved} shard processes ...",
         file=sys.stderr,
     )
-    population = _population(population_name, scale)
+    population = _population(population_name, scale, webrtc_policy)
     progress = ProgressLine(len(population.websites) * len(population.oses))
     sink = (
         PeriodicSink(
@@ -963,6 +1017,7 @@ def _cmd_fsck(
     repair: bool = False,
     population_name: str | None = None,
     scale: float = _DEFAULT_SCALE,
+    webrtc_policy: str | None = None,
     as_json: bool = False,
 ) -> int:
     import json
@@ -989,7 +1044,9 @@ def _cmd_fsck(
         revisit: Revisiter | None = None
         if repair and population_name is not None:
             revisit = population_revisiter(
-                _population(population_name, scale), store, archive
+                _population(population_name, scale, webrtc_policy),
+                store,
+                archive,
             )
         report = fsck(
             store, archive, crawl=crawl, repair=repair, revisit=revisit
@@ -1159,7 +1216,22 @@ def _cmd_serve(
     return EXIT_OK if drained else EXIT_ISSUES
 
 
-def _cmd_table(number: int, scale: float) -> int:
+def _cmd_table(
+    table_id: str, scale: float, webrtc_policy: str = "mdns"
+) -> int:
+    if table_id in ("5W", "6W"):
+        result = _campaign("top2020", scale, webrtc_policy)
+        renderer = tables.table_5w if table_id == "5W" else tables.table_6w
+        print(renderer(result.findings).text)
+        return EXIT_OK
+    if table_id == "W":
+        findings_by_policy = {
+            policy: _campaign("top2020", scale, policy).findings
+            for policy in ("pre-m74", "mdns")
+        }
+        print(tables.table_webrtc_era(findings_by_policy).text)
+        return EXIT_OK
+    number = int(table_id)
     if number == 4:
         print(tables.table_4().text)
         return EXIT_OK
@@ -1473,6 +1545,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_study(
             args.population,
             args.scale,
+            webrtc_policy=args.webrtc_policy,
             retries=args.retries,
             db=args.db,
             resume=args.resume,
@@ -1513,12 +1586,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             repair=args.repair,
             population_name=args.population,
             scale=args.scale,
+            webrtc_policy=args.webrtc_policy,
             as_json=args.json,
         )
     if args.command == "metrics":
         return _cmd_metrics(args.snapshot)
     if args.command == "table":
-        return _cmd_table(args.number, args.scale)
+        return _cmd_table(args.number, args.scale, args.webrtc_policy)
     if args.command == "figure":
         return _cmd_figure(args.number, args.scale)
     if args.command == "report":

@@ -71,7 +71,15 @@ class BehaviorClassifier:
         return self._signatures
 
     def classify(self, requests: Sequence[LocalRequest]) -> Classification:
-        """Classify the merged local requests of one site."""
+        """Classify the merged local requests of one site.
+
+        Candidate-derived WebRTC requests are excluded before the chain
+        runs: the signatures encode HTTP/WS probing behaviours (port
+        scans, LAN sweeps, native-app endpoints), and ICE candidate
+        traffic would otherwise tip host-count thresholds and move sites
+        between paper-table categories whenever the channel is enabled.
+        """
+        requests = [r for r in requests if r.scheme != "webrtc"]
         for signature in self._signatures:
             match = signature.match(requests)
             if match is not None:

@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..netlog.events import NetLogEvent
-from .addresses import Locality, RequestTarget, TargetParseError, parse_target
+from .addresses import (
+    Locality,
+    RequestTarget,
+    TargetParseError,
+    classify_host,
+    parse_target,
+)
 from .flows import FlowAssembler, RequestFlow
 
 
@@ -113,10 +119,21 @@ class LocalTrafficDetector:
         When True (the paper's setting), a request to a public URL that
         *redirects* to a local destination also counts — the browser emits
         the local request even though the response may be unreadable.
+    webrtc_channel:
+        When True (default), ICE candidates and STUN binding checks from
+        simulated RTCPeerConnection flows are scanned too: a host
+        candidate carrying a raw private address (the pre-M74 leak) and
+        any check to a loopback/RFC 1918 peer become ``webrtc``-scheme
+        local requests.  mDNS ``<uuid>.local`` candidates classify as
+        PUBLIC and never count.  Off, WebRTC flows are ignored entirely
+        (the channel-ablation baseline).
     """
 
-    def __init__(self, *, include_redirects: bool = True) -> None:
+    def __init__(
+        self, *, include_redirects: bool = True, webrtc_channel: bool = True
+    ) -> None:
         self._include_redirects = include_redirects
+        self._webrtc_channel = webrtc_channel
 
     def detect(self, events: Iterable[NetLogEvent]) -> DetectionResult:
         """Run detection over a raw NetLog event stream.
@@ -152,6 +169,8 @@ class LocalTrafficDetector:
         return result
 
     def _scan_flow(self, flow: RequestFlow) -> list[LocalRequest]:
+        if flow.is_webrtc:
+            return self._scan_webrtc_flow(flow) if self._webrtc_channel else []
         found: list[LocalRequest] = []
         target = flow.target()
         if target is not None and target.is_local:
@@ -182,6 +201,62 @@ class LocalTrafficDetector:
                             initiator=flow.initiator,
                         )
                     )
+        return found
+
+    def _scan_webrtc_flow(self, flow: RequestFlow) -> list[LocalRequest]:
+        """Candidate- and check-derived local requests of one ICE session.
+
+        WebRTC targets never come from URLs (``parse_target`` knows no
+        ``webrtc`` scheme), so the :class:`RequestTarget` is constructed
+        directly.  Host candidates count only when they expose a raw
+        local address — an mDNS name is a domain and classifies PUBLIC,
+        which is exactly the obfuscation mechanism.  srflx candidates are
+        public by construction.  Every STUN binding check to an explicit
+        loopback/RFC 1918 peer counts in both policy eras.
+        """
+        found: list[LocalRequest] = []
+        for ctype, address, port, time in flow.candidates:
+            if ctype != "host":
+                continue
+            locality = classify_host(address)
+            if not locality.is_local:
+                continue
+            found.append(
+                LocalRequest(
+                    target=RequestTarget(
+                        scheme="webrtc",
+                        host=address,
+                        port=port,
+                        path="",
+                        locality=locality,
+                    ),
+                    time=time,
+                    source_id=flow.source_id,
+                    method="CANDIDATE",
+                    via_redirect=False,
+                    initiator=flow.initiator,
+                )
+            )
+        for host, port, time in flow.stun_checks:
+            locality = classify_host(host)
+            if not locality.is_local:
+                continue
+            found.append(
+                LocalRequest(
+                    target=RequestTarget(
+                        scheme="webrtc",
+                        host=host,
+                        port=port,
+                        path="",
+                        locality=locality,
+                    ),
+                    time=time,
+                    source_id=flow.source_id,
+                    method="STUN",
+                    via_redirect=False,
+                    initiator=flow.initiator,
+                )
+            )
         return found
 
 

@@ -43,6 +43,15 @@ class RequestFlow:
     initiator: str | None = None
     events: list[NetLogEvent] = field(default_factory=list)
     is_websocket: bool = False
+    #: True for a simulated RTCPeerConnection source (100-range events).
+    is_webrtc: bool = False
+    #: Policy era the ICE session ran under ("pre-m74" | "mdns").
+    webrtc_policy: str | None = None
+    #: ICE candidates gathered: ``(candidate_type, address, port, time)``.
+    #: ``address`` is a raw IP pre-M74 or an ``<uuid>.local`` name after.
+    candidates: list[tuple[str, str, int, float]] = field(default_factory=list)
+    #: STUN binding checks issued: ``(host, port, time)``.
+    stun_checks: list[tuple[str, int, float]] = field(default_factory=list)
     # target() memo: the parsed destination (or the None outcome of a
     # TargetParseError) for the URL it was computed from.  Invalidated by
     # comparing against the URL, since assembly can set ``url`` after a
@@ -199,6 +208,30 @@ def _apply_event(flow: RequestFlow, event: NetLogEvent) -> None:
         error = event.net_error
         if error is not None:
             flow.net_error = error
+    elif event.type is EventType.ICE_GATHERING:
+        flow.is_webrtc = True
+        if event.phase is not EventPhase.END:
+            if flow.begin_time is None:
+                flow.begin_time = event.time
+            policy = event.params.get("policy")
+            if isinstance(policy, str):
+                flow.webrtc_policy = policy
+            initiator = event.params.get("initiator")
+            if isinstance(initiator, str):
+                flow.initiator = initiator
+    elif event.type is EventType.ICE_CANDIDATE_GATHERED:
+        flow.is_webrtc = True
+        ctype = event.params.get("candidate_type")
+        address = event.params.get("address")
+        port = event.params.get("port")
+        if isinstance(ctype, str) and isinstance(address, str) and isinstance(port, int):
+            flow.candidates.append((ctype, address, port, event.time))
+    elif event.type is EventType.STUN_BINDING_REQUEST:
+        flow.is_webrtc = True
+        host = event.params.get("host")
+        port = event.params.get("port")
+        if isinstance(host, str) and isinstance(port, int):
+            flow.stun_checks.append((host, port, event.time))
     if event.type is EventType.REQUEST_ALIVE and event.phase is EventPhase.END:
         flow.end_time = event.time
         error = event.net_error

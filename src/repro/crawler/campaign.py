@@ -207,6 +207,9 @@ class Campaign:
         # completes (from worker threads in supervised mode — must be
         # thread-safe).  Restored rows on a resume are not re-reported.
         self.on_visit = on_visit
+        # Policy era of the population the current run() is crawling;
+        # recorded on every stored visit row (NULL = channel off).
+        self._webrtc_policy: str | None = None
 
     def _make_injector(self) -> FaultInjector | None:
         if self._shared_injector is not None:
@@ -231,6 +234,7 @@ class Campaign:
         injector = self._make_injector()
         self.last_injector = injector
         self.archive_failures = 0
+        self._webrtc_policy = getattr(population, "webrtc_policy", None)
         if self.store is not None:
             self.store.write_fault_hook = (
                 injector.storage_hook if injector is not None else None
@@ -544,6 +548,7 @@ class Campaign:
                     detection=record.detection
                     if record.has_local_activity
                     else None,
+                    webrtc_policy=self._webrtc_policy,
                 )
                 return
             except StorageWriteError:
@@ -566,6 +571,21 @@ class Campaign:
         assert self.netlog_archive is not None and record.netlog is not None
         injector = self.last_injector
         key = f"{crawl}:{os_name}:{record.domain}"
+        meta = {
+            "crawl": crawl,
+            "domain": record.domain,
+            "os": os_name,
+            "success": record.success,
+            "error": int(record.error),
+            "rank": record.rank,
+            "category": record.category,
+            "skipped": record.connectivity_skipped,
+            "attempts": record.attempts,
+        }
+        # Only webrtc-enabled campaigns carry the key: channel-off
+        # archives stay byte-identical to pre-v4 ones.
+        if self._webrtc_policy is not None:
+            meta["webrtc_policy"] = self._webrtc_policy
         attempts = 0
         budget = self.retry_policy.max_attempts
         while True:
@@ -578,17 +598,7 @@ class Campaign:
                     os_name,
                     record.domain,
                     record.netlog,
-                    meta={
-                        "crawl": crawl,
-                        "domain": record.domain,
-                        "os": os_name,
-                        "success": record.success,
-                        "error": int(record.error),
-                        "rank": record.rank,
-                        "category": record.category,
-                        "skipped": record.connectivity_skipped,
-                        "attempts": record.attempts,
-                    },
+                    meta=meta,
                     corrupt=(
                         injector.corrupt_netlog if injector is not None else None
                     ),

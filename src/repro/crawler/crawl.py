@@ -164,11 +164,17 @@ class Crawler:
             # Thread the fault seams through the whole stack this crawler
             # owns: resolver, network, and connectivity gate.
             from ..browser.dns import SimulatedResolver
+            from ..webrtc.ice import IceAgent
 
             network = environment.network(fault_hook=injector.connect_hook)
             self.browser = environment.browser(
                 resolver=SimulatedResolver(fault_hook=injector.dns_hook),
                 network=network,
+                webrtc=IceAgent(
+                    environment.os_name,
+                    stun_hook=injector.stun_hook,
+                    mdns_hook=injector.mdns_hook,
+                ),
             )
             self.connectivity = ConnectivityChecker(
                 network=self.browser.network,

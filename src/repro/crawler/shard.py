@@ -92,13 +92,17 @@ class PopulationSpec:
     #: ``scenario`` only: generated population size and RNG seed.
     size: int = 0
     seed: int = 2021
+    #: Top-list populations only: WebRTC policy era, or None for off.
+    webrtc_policy: str | None = None
 
     def build(self) -> CrawlPopulation:
         if self.population == "malicious":
             return build_malicious_population(scale=self.scale)
         if self.population in ("top2020", "top2021"):
             year = 2020 if self.population == "top2020" else 2021
-            return build_top_population(year, scale=self.scale)
+            return build_top_population(
+                year, scale=self.scale, webrtc_policy=self.webrtc_policy
+            )
         if self.population == "scenario":
             from ..web.generator import ScenarioRates, generate_scenario
 
@@ -144,6 +148,7 @@ def subpopulation(
         websites=websites,
         oses=population.oses,
         active_domains=population.active_domains & selected,
+        webrtc_policy=population.webrtc_policy,
     )
 
 

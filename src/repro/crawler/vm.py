@@ -59,6 +59,7 @@ class OSEnvironment:
         *,
         resolver: SimulatedResolver | None = None,
         network: SimulatedNetwork | None = None,
+        webrtc=None,
     ) -> SimulatedChrome:
         """A fresh Chrome instance (clean profile) in this environment."""
         return SimulatedChrome(
@@ -66,4 +67,5 @@ class OSEnvironment:
             resolver=resolver,
             network=network if network is not None else self.network(),
             monitor_window_ms=self.monitor_window_ms,
+            webrtc=webrtc,
         )

@@ -11,6 +11,15 @@ visible to them.  This module makes the hypothesis measurable:
 * :func:`detection_rate` — how often a fixed scan profile (the
   ThreatMetrix / BIG-IP port lists, which any visitor can read out of
   the page source) still flags such hosts.
+
+The arms race cuts the other way too: the *sites* running scans can
+fingerprint visitors for automation tells (a headless UA string, an
+empty plugin list, the webdriver flag) and withhold the scan from
+anything that looks like a measurement crawler — which is exactly the
+blind spot a study like this one has to bound.  :class:`VisitorProfile`,
+:class:`FingerprintGate` and :func:`fingerprinting_sweep` quantify the
+visibility gap between what a crawler observes and what real users
+experience as gating adoption spreads.
 """
 
 from __future__ import annotations
@@ -123,6 +132,139 @@ def evasion_sweep(
             EvasionSweepPoint(
                 evading_fraction=fraction,
                 detection_rate=detection_rate(hosts, scan_ports),
+            )
+        )
+    return points
+
+
+# -- automation fingerprinting: scans hidden from crawlers -------------------
+
+
+class AutomationSignal(enum.Enum):
+    """A visitor trait a fingerprinting script reads as "this is a bot"."""
+
+    HEADLESS_UA = "headless-ua"  # "HeadlessChrome" in the UA string
+    MISSING_PLUGINS = "missing-plugins"  # navigator.plugins is empty
+    WEBDRIVER_FLAG = "webdriver-flag"  # navigator.webdriver === true
+
+
+@dataclass(frozen=True, slots=True)
+class VisitorProfile:
+    """What a page's fingerprinting script can read about a visitor."""
+
+    label: str
+    user_agent: str
+    plugins: tuple[str, ...] = ()
+    webdriver: bool = False
+
+    def signals(self) -> frozenset[AutomationSignal]:
+        """The automation tells this profile exposes."""
+        found = set()
+        if "HeadlessChrome" in self.user_agent:
+            found.add(AutomationSignal.HEADLESS_UA)
+        if not self.plugins:
+            found.add(AutomationSignal.MISSING_PLUGINS)
+        if self.webdriver:
+            found.add(AutomationSignal.WEBDRIVER_FLAG)
+        return frozenset(found)
+
+
+_CHROME_86_UA = (
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/86.0.4240.75 Safari/537.36"
+)
+
+#: An ordinary interactive Chrome 86 session (the paper's crawl era).
+REAL_USER_PROFILE = VisitorProfile(
+    label="real-user",
+    user_agent=_CHROME_86_UA,
+    plugins=("Chrome PDF Plugin", "Chrome PDF Viewer", "Native Client"),
+)
+
+#: An out-of-the-box headless measurement crawler: every tell exposed.
+HEADLESS_CRAWLER_PROFILE = VisitorProfile(
+    label="headless-crawler",
+    user_agent=_CHROME_86_UA.replace("Chrome/", "HeadlessChrome/"),
+    webdriver=True,
+)
+
+#: A crawler with UA and plugin spoofing applied but the webdriver flag
+#: left exposed — the common half-measure stealth configuration.
+STEALTH_CRAWLER_PROFILE = VisitorProfile(
+    label="stealth-crawler",
+    user_agent=_CHROME_86_UA,
+    plugins=("Chrome PDF Plugin", "Chrome PDF Viewer", "Native Client"),
+    webdriver=True,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FingerprintGate:
+    """Site-side gate: fire the local scan only for human-looking visitors.
+
+    ``max_signals`` is the site's tolerance: 0 means any automation tell
+    suppresses the scan; higher values model sloppier gates that only
+    react to multiple corroborating signals.
+    """
+
+    max_signals: int = 0
+
+    def scan_fires(self, profile: VisitorProfile) -> bool:
+        return len(profile.signals()) <= self.max_signals
+
+
+@dataclass(frozen=True, slots=True)
+class FingerprintSweepPoint:
+    """One point of the fingerprinting ablation: x% of sites gate."""
+
+    gating_fraction: float
+    #: Fraction of scanning sites whose scan a crawler visit observes.
+    crawler_observed_rate: float
+    #: Fraction of scanning sites whose scan a real user experiences.
+    user_observed_rate: float
+
+    @property
+    def visibility_gap(self) -> float:
+        """How much of the real-user scan surface the crawler misses."""
+        return self.user_observed_rate - self.crawler_observed_rate
+
+
+def fingerprinting_sweep(
+    *,
+    sites: int,
+    crawler: VisitorProfile = HEADLESS_CRAWLER_PROFILE,
+    user: VisitorProfile = REAL_USER_PROFILE,
+    gate: FingerprintGate = FingerprintGate(),
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> list[FingerprintSweepPoint]:
+    """Sweep the fraction of scanning sites that adopt fingerprint gating.
+
+    Models the measurement-validity half of the arms race: as sites gate
+    their scans on automation tells, a headless crawl's observed scan
+    rate collapses while real users keep being scanned — so the study's
+    leak tables become a *lower bound*.  Deterministic by construction
+    (the first ``round(sites * fraction)`` sites gate).
+    """
+    if sites <= 0:
+        raise ValueError("sites must be positive")
+    points = []
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fractions must be probabilities")
+        gating = int(round(sites * fraction))
+        crawler_hits = 0
+        user_hits = 0
+        for index in range(sites):
+            gated = index < gating
+            if not gated or gate.scan_fires(crawler):
+                crawler_hits += 1
+            if not gated or gate.scan_fires(user):
+                user_hits += 1
+        points.append(
+            FingerprintSweepPoint(
+                gating_fraction=fraction,
+                crawler_observed_rate=crawler_hits / sites,
+                user_observed_rate=user_hits / sites,
             )
         )
     return points

@@ -13,6 +13,9 @@ Seams (each accepts a plain callable, never the injector itself):
   :class:`~repro.browser.dns.SimulatedResolver`;
 * ``browser.network`` — :meth:`FaultInjector.connect_hook` plugs into
   :class:`~repro.browser.network.SimulatedNetwork`;
+* ``browser.webrtc`` — :meth:`FaultInjector.stun_hook` and
+  :meth:`FaultInjector.mdns_hook` plug into
+  :class:`~repro.webrtc.ice.IceAgent`;
 * ``crawler.connectivity`` — :meth:`FaultInjector.connectivity_hook` plugs
   into :class:`~repro.crawler.connectivity.ConnectivityChecker`;
 * ``netlog`` — :meth:`FaultInjector.corrupt_netlog` mangles a serialised
@@ -112,6 +115,20 @@ class FaultInjector:
             return NetError.ERR_CONNECTION_RESET
         if self._transient_strike(FaultKind.TLS, key):
             return NetError.ERR_SSL_PROTOCOL_ERROR
+        return None
+
+    # -- browser.webrtc seams ----------------------------------------------
+
+    def stun_hook(self, peer: str) -> NetError | None:
+        """Transient STUN binding timeout for ``peer`` (``host:port``)."""
+        if self._transient_strike(FaultKind.STUN_TIMEOUT, peer):
+            return NetError.ERR_TIMED_OUT
+        return None
+
+    def mdns_hook(self, interface: str) -> NetError | None:
+        """Transient mDNS registration failure for ``interface``."""
+        if self._transient_strike(FaultKind.MDNS_RESOLVE_FAIL, interface):
+            return NetError.ERR_NAME_NOT_RESOLVED
         return None
 
     # -- crawler.connectivity seam ----------------------------------------
@@ -387,6 +404,12 @@ class ScopedFaultInjector:
 
     def connect_hook(self, host: str, port: int) -> NetError | None:
         return self.base.connect_hook(f"{self._context}|{host}", port)
+
+    def stun_hook(self, peer: str) -> NetError | None:
+        return self.base.stun_hook(f"{self._context}|{peer}")
+
+    def mdns_hook(self, interface: str) -> NetError | None:
+        return self.base.mdns_hook(f"{self._context}|{interface}")
 
     def connectivity_hook(self) -> bool:
         """Deterministic outage semantics for parallel execution.

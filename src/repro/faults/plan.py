@@ -103,6 +103,18 @@ class FaultKind(str, enum.Enum):
     #: engine degrades gracefully (the job still completes in memory);
     #: only crash-recovery durability for that write is lost.
     JOURNAL_DISK_FULL = "journal-disk-full"
+    #: A STUN binding check to an explicit WebRTC peer times out
+    #: (``ERR_TIMED_OUT`` after the 400 ms binding deadline).  Keyed by
+    #: ``host:port`` of the peer; ``times`` is the transient depth.  Only
+    #: the *response* event changes — the binding request was already on
+    #: the wire — so leak detection stays byte-identical by design.
+    STUN_TIMEOUT = "stun-timeout"
+    #: The mDNS registration of a host candidate fails
+    #: (``ERR_NAME_NOT_RESOLVED``); Chrome's safe default withholds the
+    #: candidate entirely rather than fall back to the raw address.  The
+    #: withheld candidate was the obfuscated (non-leaking) one, so leak
+    #: tables are unaffected by design.  Keyed by the interface address.
+    MDNS_RESOLVE_FAIL = "mdns-resolve-fail"
 
 
 #: Resolution of the per-key fault draw (1/10^4 rate granularity).

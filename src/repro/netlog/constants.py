@@ -41,6 +41,9 @@ class SourceType(enum.IntEnum):
     HTTP_STREAM_JOB = 4
     WEB_SOCKET = 5
     CONNECT_JOB = 6
+    # A simulated RTCPeerConnection: one ICE gathering session per
+    # WebRTC-bearing page, owning candidate and STUN-check events.
+    PEER_CONNECTION = 7
     # Chrome-internal sources that do not originate from web content.  The
     # detector must ignore these (section 3.1: "the Chrome browser itself
     # also generates network traffic, which we filter out based on the
@@ -68,6 +71,15 @@ class EventType(enum.IntEnum):
     # frame.  Kept distinct so analyses can anchor "page fetched" timestamps.
     PAGE_LOAD_COMMITTED = 90
     CANCELLED = 91
+    # WebRTC / ICE channel (100-range).  Real Chrome logs ICE through
+    # webrtc_event_log rather than NetLog; the simulation folds the subset
+    # the leak analysis needs into the same checksummed stream so one
+    # archive carries the whole visit.
+    ICE_GATHERING = 100
+    ICE_CANDIDATE_GATHERED = 101
+    STUN_BINDING_REQUEST = 102
+    STUN_BINDING_RESPONSE = 103
+    MDNS_CANDIDATE_REGISTERED = 104
 
 
 #: Name tables, in the shape Chrome embeds under the log's ``constants`` key.

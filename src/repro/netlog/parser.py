@@ -194,6 +194,11 @@ def parse_record(
 
     event_type = _coerce_event_type(record.get("type"), event_names or {})
     if event_type is None:
+        # Forward compatibility: a dump written by a newer binary may carry
+        # event types this vocabulary has never heard of.  That is not
+        # damage — the record is well formed — so every salvage-capable
+        # read path skips and counts it; only strict mode, meant for logs
+        # we wrote ourselves, treats the foreign vocabulary as a bug.
         if strict:
             raise NetLogParseError(f"unknown event type: {record.get('type')!r}")
         if stats is not None:

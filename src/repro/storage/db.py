@@ -236,8 +236,15 @@ class TelemetryStore:
         attempts: int = 1,
         detection: DetectionResult | None = None,
         events: Iterable[NetLogEvent] | None = None,
+        webrtc_policy: str | None = None,
     ) -> int:
-        """Store one visit; returns its visit id."""
+        """Store one visit; returns its visit id.
+
+        ``webrtc_policy`` records the policy era the visit's simulated
+        browser ran under (``pre-m74`` / ``mdns``); None means the WebRTC
+        channel was off.  It is campaign metadata, not visit content, so
+        it stays outside the content digest.
+        """
         if self.write_fault_hook is not None:
             self.write_fault_hook(f"{crawl}:{domain}:{os_name}")
         _VISIT_WRITES.inc()
@@ -254,6 +261,7 @@ class TelemetryStore:
                 attempts=attempts,
                 detection=detection,
                 events=events,
+                webrtc_policy=webrtc_policy,
             )
 
     def _record_visit_locked(
@@ -270,6 +278,7 @@ class TelemetryStore:
         attempts: int = 1,
         detection: DetectionResult | None = None,
         events: Iterable[NetLogEvent] | None = None,
+        webrtc_policy: str | None = None,
     ) -> int:
         page_load_time = detection.page_load_time if detection is not None else None
         total_flows = detection.total_flows if detection is not None else None
@@ -299,8 +308,8 @@ class TelemetryStore:
             "INSERT OR REPLACE INTO visits "
             "(crawl, domain, os_name, success, error, rank, category, "
             " skipped, attempts, page_load_time, total_flows, "
-            " digest, request_count) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " digest, request_count, webrtc_policy) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 crawl,
                 domain,
@@ -315,6 +324,7 @@ class TelemetryStore:
                 total_flows,
                 digest,
                 len(request_facts),
+                webrtc_policy,
             ),
         )
         visit_id = int(cursor.lastrowid or 0)

@@ -636,6 +636,7 @@ def _reparse_row(
         skipped=bool(meta.get("skipped", False)),
         attempts=int(meta.get("attempts", 1)),
         detection=detection if detection.has_local_activity else None,
+        webrtc_policy=meta.get("webrtc_policy"),
     )
     return True
 
@@ -666,6 +667,7 @@ def population_revisiter(
         website = population.by_domain.get(domain)
         if website is None or crawl != population.name:
             return False
+        webrtc_policy = getattr(population, "webrtc_policy", None)
         environment = (
             OSEnvironment.for_os(os_name, monitor_window_ms=monitor_window_ms)
             if monitor_window_ms is not None
@@ -690,25 +692,23 @@ def population_revisiter(
             skipped=record.connectivity_skipped,
             attempts=record.attempts,
             detection=record.detection if record.has_local_activity else None,
+            webrtc_policy=webrtc_policy,
         )
         if archive is not None and record.netlog is not None:
-            archive.write_buffered(
-                crawl,
-                os_name,
-                domain,
-                record.netlog,
-                meta={
-                    "crawl": crawl,
-                    "domain": domain,
-                    "os": os_name,
-                    "success": record.success,
-                    "error": int(record.error),
-                    "rank": record.rank,
-                    "category": record.category,
-                    "skipped": record.connectivity_skipped,
-                    "attempts": record.attempts,
-                },
-            )
+            meta = {
+                "crawl": crawl,
+                "domain": domain,
+                "os": os_name,
+                "success": record.success,
+                "error": int(record.error),
+                "rank": record.rank,
+                "category": record.category,
+                "skipped": record.connectivity_skipped,
+                "attempts": record.attempts,
+            }
+            if webrtc_policy is not None:
+                meta["webrtc_policy"] = webrtc_policy
+            archive.write_buffered(crawl, os_name, domain, record.netlog, meta=meta)
         return True
 
     return revisit

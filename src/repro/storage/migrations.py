@@ -29,7 +29,7 @@ from typing import Callable
 from .integrity import visit_digest
 
 #: The schema version this build writes and expects.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Crash-point seam: called with a step key; may raise to simulate a crash.
 MigrationFaultHook = Callable[[str], None]
@@ -207,6 +207,24 @@ def _v3_jobs(conn: sqlite3.Connection) -> None:
         conn.execute(statement)
 
 
+# -- step 4: WebRTC leak channel --------------------------------------------
+
+
+def _v4_webrtc(conn: sqlite3.Connection) -> None:
+    """Record which WebRTC policy era a visit ran under (NULL = the
+    channel was off), and index local requests by scheme — the era
+    tables (5W/6W) filter on ``scheme = 'webrtc'``.
+
+    Existing rows keep a NULL policy: every pre-v4 campaign ran without
+    the WebRTC channel, so NULL is not just the safe default, it is the
+    historically correct value — no backfill needed.
+    """
+    _add_column(conn, "visits", "webrtc_policy", "TEXT")
+    conn.execute(
+        "CREATE INDEX IF NOT EXISTS idx_local_scheme ON local_requests(scheme)"
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class Migration:
     """One numbered schema step."""
@@ -220,6 +238,7 @@ MIGRATIONS: tuple[Migration, ...] = (
     Migration(1, "baseline schema (seed layout + PR-2 columns)", _v1_baseline),
     Migration(2, "visit content digests + batch accounting", _v2_integrity),
     Migration(3, "serve job journal (crash-safe upload state machine)", _v3_jobs),
+    Migration(4, "webrtc policy era column + request scheme index", _v4_webrtc),
 )
 
 

@@ -224,6 +224,48 @@ class LanSweepBehavior:
 
 
 @dataclass(frozen=True)
+class WebRtcLeakBehavior:
+    """A page that opens an RTCPeerConnection and probes local peers.
+
+    The WebRTC successor to the XHR/WS probing families: the script
+    gathers ICE candidates (learning the visitor's local address in the
+    ``pre-m74`` era, or only an mDNS ``<uuid>.local`` name afterwards)
+    and runs STUN connectivity checks against explicit loopback/RFC 1918
+    peers.  ``plan`` returns no HTTP requests — the channel lives
+    entirely in the ICE machinery — and the browser picks the session up
+    through :meth:`plan_ice`.
+
+    ``policy`` is baked in at population-build time from the study's
+    ``--webrtc-policy`` flag, so the same behaviour object deterministically
+    reproduces either era.
+    """
+
+    name: str
+    active_oses: frozenset[str]
+    policy: str
+    stun_peers: tuple[tuple[str, int], ...] = ()
+    gather_srflx: bool = True
+    delay_ms: float = 1500.0
+
+    def plan(self, context: ScriptContext) -> list[PlannedRequest]:
+        del context
+        return []
+
+    def plan_ice(self, context: ScriptContext):
+        """The ICE session this page runs, or None on inactive OSes."""
+        if context.os_name not in self.active_oses:
+            return None
+        from ..webrtc.ice import IcePlan
+
+        return IcePlan(
+            delay_ms=self.delay_ms,
+            stun_peers=self.stun_peers,
+            gather_srflx=self.gather_srflx,
+            initiator=self.name,
+        )
+
+
+@dataclass(frozen=True)
 class PublicResourceBehavior:
     """Ordinary third-party fetches — the background noise of a page."""
 

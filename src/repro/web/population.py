@@ -30,6 +30,7 @@ from .behaviors import (
     PortScanBehavior,
     RedirectToLocalBehavior,
     ResourceFetchBehavior,
+    WebRtcLeakBehavior,
 )
 from .website import Website
 
@@ -87,6 +88,9 @@ class CrawlPopulation:
     by_domain: dict[str, Website] = field(default_factory=dict)
     #: Domains seeded with local-traffic behaviour (the "interesting" set).
     active_domains: set[str] = field(default_factory=set)
+    #: WebRTC policy era the population was built with ("pre-m74" |
+    #: "mdns"), or None when the WebRTC channel is disabled.
+    webrtc_policy: str | None = None
 
     def __post_init__(self) -> None:
         if not self.by_domain:
@@ -179,6 +183,22 @@ def _localhost_behaviors(
     else:
         raise ValueError(f"unknown seed reason {seed.reason!r}")
     return scripts
+
+
+def _webrtc_behavior(seed: S.WebRtcSeed, policy: str) -> PageScript:
+    """Instantiate the RTCPeerConnection behaviour for one WebRTC seed."""
+    if seed.delay_s is not None:
+        delay = seed.delay_s * 1000.0
+    else:
+        delay = 1000.0 + _stable_hash(f"webrtc:{seed.domain}") % 3001
+    return WebRtcLeakBehavior(
+        name=f"webrtc:{seed.domain}",
+        active_oses=frozenset(seed.oses),
+        policy=policy,
+        stun_peers=seed.peers,
+        gather_srflx=seed.gather_srflx,
+        delay_ms=delay,
+    )
 
 
 def _lan_behavior(seed: S.LanSeed) -> PageScript:
@@ -354,6 +374,7 @@ def build_top_population(
     with_failures: bool = True,
     base_list: TrancoList | None = None,
     login_page_scanners: bool = True,
+    webrtc_policy: str | None = None,
 ) -> CrawlPopulation:
     """Build the ``top2020`` or ``top2021`` population.
 
@@ -364,9 +385,22 @@ def build_top_population(
     extension sites whose ThreatMetrix scan lives on their /signin page;
     they are invisible to the default landing-page crawl, so every paper
     table is unaffected unless ``include_internal`` crawling is enabled.
+    ``webrtc_policy`` (``"pre-m74"`` | ``"mdns"``) additionally arms the
+    WebRTC seeds with an RTCPeerConnection behaviour of that era; the
+    default None leaves every existing output byte-identical.  WebRTC
+    seeds all sit on domains that are already behaviour-active, so the
+    filler set — and therefore the Table 1 failure draw — is the same
+    with the channel on or off.
     """
     if year not in (2020, 2021):
         raise ValueError("year must be 2020 or 2021")
+    if webrtc_policy is not None:
+        from ..webrtc.ice import POLICIES
+
+        if webrtc_policy not in POLICIES:
+            raise ValueError(
+                f"unknown WebRTC policy {webrtc_policy!r} (known: {POLICIES})"
+            )
     crawl = f"top{year}"
     oses = ALL_OSES if year == 2020 else (WINDOWS, LINUX)
     size = max(int(S.TOP_LIST_SIZE * scale), 1)
@@ -400,6 +434,11 @@ def build_top_population(
     lan_by_domain = {
         lan.domain: lan for lan in (S.LAN_2020 if year == 2020 else S.LAN_2021)
     }
+    webrtc_by_domain: dict[str, S.WebRtcSeed] = (
+        {seed.domain: seed for seed in S.WEBRTC_SEEDS}
+        if webrtc_policy is not None
+        else {}
+    )
 
     websites: list[Website] = []
     active: set[str] = set()
@@ -414,6 +453,12 @@ def build_top_population(
         lan = lan_by_domain.get(entry.domain)
         if lan is not None:
             behaviors.append(_lan_behavior(lan))
+        webrtc = webrtc_by_domain.get(entry.domain)
+        if webrtc is not None and behaviors:
+            # Only armed on already-active domains: a WebRTC seed on an
+            # otherwise-inert domain would shrink the filler set and
+            # reshuffle the seeded Table 1 failure draw.
+            behaviors.append(_webrtc_behavior(webrtc, webrtc_policy))
         internal_pages: dict[str, list[PageScript]] = {}
         login = login_by_domain.get(entry.domain)
         if login is not None:
@@ -459,6 +504,7 @@ def build_top_population(
         oses=oses,
         top_list=top_list,
         active_domains=active,
+        webrtc_policy=webrtc_policy,
     )
 
 

@@ -91,6 +91,29 @@ class LanSeed:
 
 
 @dataclass(frozen=True, slots=True)
+class WebRtcSeed:
+    """A site that opens an RTCPeerConnection and probes local peers.
+
+    The paper's crawls predate a WebRTC channel in the pipeline, so every
+    row here is a calibrated extension (``calibrated=True`` throughout):
+    the sites are drawn from the paper's own behaviour-carrying set, with
+    STUN peer lists shaped like the XHR/WS probes those sites already
+    make.  ``peers`` lists the explicit ``(host, port)`` addresses the
+    page feeds its ICE connectivity checks — loopback peers land in
+    Table 5W, RFC 1918 peers in Table 6W.  A seed with no peers is a
+    gather-only page: it leaks the host candidate's raw LAN address in
+    the ``pre-m74`` era and nothing at all under mDNS obfuscation.
+    """
+
+    domain: str
+    oses: tuple[str, ...]
+    peers: tuple[tuple[str, int], ...] = ()
+    gather_srflx: bool = True
+    delay_s: float | None = None
+    calibrated: bool = True
+
+
+@dataclass(frozen=True, slots=True)
 class MaliciousSeed:
     """A blocklisted site observed making localhost requests."""
 
@@ -584,6 +607,31 @@ LAN_2021: tuple[LanSeed, ...] = (
             "/UpLoadFile/20160801/photo.jpg", WL, "top2021"),
     LanSeed("techshout.com", 96554, "https", "192.168.0.120", 443,
             "/wp_011_gadgets/wp-content/uploads/gadget.jpg", WL, "top2021"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Tables 5W and 6W — WebRTC local-address leakage (calibrated extension)
+# ---------------------------------------------------------------------------
+
+#: Sites seeded with an RTCPeerConnection behaviour when a study runs with
+#: ``--webrtc-policy``.  Every domain already carries an XHR/WS behaviour in
+#: the 2020 crawl, so enabling the channel never moves a domain between the
+#: active and filler sets — the Table 1 failure draw is identical with the
+#: channel on or off.
+WEBRTC_SEEDS: tuple[WebRtcSeed, ...] = (
+    # Loopback STUN peers → Table 5W (localhost), both eras.
+    WebRtcSeed("ebay.com", (W,), peers=(("127.0.0.1", 3478),)),
+    WebRtcSeed("hola.org", ALL,
+               peers=(("127.0.0.1", 6880), ("127.0.0.1", 6881))),
+    WebRtcSeed("faceit.com", ALL, peers=(("127.0.0.1", 28337),)),
+    # RFC 1918 STUN peers → Table 6W (LAN), both eras.
+    WebRtcSeed("gsis.gr", ALL, peers=(("10.193.31.212", 3478),)),
+    WebRtcSeed("wowreality.info", ALL,
+               peers=(("192.168.0.1", 3478), ("192.168.0.254", 3478))),
+    # Gather-only: leaks the raw host candidate pre-M74, nothing after.
+    WebRtcSeed("fidelity.com", (W,)),
+    WebRtcSeed("unib.ac.id", ALL),
 )
 
 

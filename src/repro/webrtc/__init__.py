@@ -1,0 +1,39 @@
+"""WebRTC/mDNS local-address leakage simulation.
+
+The modern successor channel to the paper's XHR/WebSocket localhost
+probing: pages open an ``RTCPeerConnection``, gather ICE candidates, and
+run STUN connectivity checks — all of which can disclose the visitor's
+local addresses.  Chrome M74 changed the policy: raw-IP host candidates
+were replaced by mDNS-obfuscated ``<uuid>.local`` names, turning the
+candidate channel from a leak into a non-leak while STUN checks to
+explicit RFC 1918 peers remain observable.
+
+This package models both eras deterministically so leak tables are
+byte-stable across runs, worker counts, and shard counts.
+"""
+
+from .ice import (
+    HOST_ADDRESS_BY_OS,
+    POLICIES,
+    POLICY_MDNS,
+    POLICY_PRE_M74,
+    SRFLX_ADDRESS_BY_OS,
+    IceAgent,
+    IcePlan,
+    IceSession,
+    candidate_port,
+    mdns_name,
+)
+
+__all__ = [
+    "HOST_ADDRESS_BY_OS",
+    "POLICIES",
+    "POLICY_MDNS",
+    "POLICY_PRE_M74",
+    "SRFLX_ADDRESS_BY_OS",
+    "IceAgent",
+    "IcePlan",
+    "IceSession",
+    "candidate_port",
+    "mdns_name",
+]

@@ -1,0 +1,347 @@
+"""Simulated RTCPeerConnection: ICE gathering, STUN checks, mDNS names.
+
+One :class:`IceAgent` per simulated browser executes
+:class:`IceSession` s — a page script's request to gather candidates and
+probe a set of local peers — and emits the corresponding 100-range
+NetLog events (:data:`~repro.netlog.constants.EventType.ICE_GATHERING`
+and friends) into the visit's ordered event stream, exactly like the
+HTTP/WS request machinery in :mod:`repro.browser.chrome`.
+
+Policy eras
+-----------
+
+``pre-m74``
+    Host candidates carry the interface's raw RFC 1918 address — the
+    historical leak: any page could read the visitor's LAN address from
+    ``RTCPeerConnection.onicecandidate``.
+``mdns``
+    Chrome M74+ behaviour: each host candidate is registered under a
+    random ``<uuid>.local`` mDNS name and only the name is exposed.  The
+    name resolves only on the local link, so to the page (and to the
+    NetLog-level detector, which classifies domain names as PUBLIC) the
+    candidate discloses nothing.
+
+Server-reflexive (srflx) candidates carry the public address learned
+from a STUN server and exist in both eras; they are public by
+construction and never count as local traffic.  STUN *connectivity
+checks* to explicit loopback/RFC 1918 peers are observable network
+traffic in both eras — the era changes what candidates reveal, not what
+the page may probe.
+
+Everything here is a pure function of ``(domain, os, index)`` via the
+repo's FNV-1a stable hash: the same visit always yields the same
+candidate ports, the same ``.local`` uuids, and the same event times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..browser.errors import NetError
+from ..netlog.constants import EventPhase, EventType
+from ..netlog.events import NetLogEvent, NetLogSource
+
+POLICY_PRE_M74 = "pre-m74"
+POLICY_MDNS = "mdns"
+POLICIES = (POLICY_PRE_M74, POLICY_MDNS)
+
+#: Version tag folded into every mDNS uuid draw; bump to rotate all names.
+MDNS_NAME_SEED = "mdns-v1"
+
+#: The crawl VM's LAN interface address per OS (stable per vantage).
+HOST_ADDRESS_BY_OS: dict[str, str] = {
+    "windows": "192.168.1.112",
+    "linux": "192.168.1.74",
+    "mac": "10.0.1.23",
+}
+
+#: The public (server-reflexive) address STUN reports per OS vantage.
+SRFLX_ADDRESS_BY_OS: dict[str, str] = {
+    "windows": "143.215.130.12",
+    "linux": "143.215.130.14",
+    "mac": "73.207.98.41",
+}
+
+# Deterministic ICE timing (simulated milliseconds).
+_HOST_GATHER_MS = 1.0
+_MDNS_REGISTER_MS = 3.0
+_SRFLX_RTT_MS = 24.0
+_STUN_CHECK_GAP_MS = 5.0
+_STUN_RTT_MS = 2.0
+#: How long a binding request waits before Chrome gives up on a peer.
+STUN_TIMEOUT_MS = 400.0
+
+
+def _stable_hash(text: str) -> int:
+    """FNV-1a, the repo's stable cross-process hash."""
+    digest = 2166136261
+    for ch in text:
+        digest = ((digest ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return digest
+
+
+def mdns_name(domain: str, os_name: str, index: int) -> str:
+    """The ``<uuid>.local`` mDNS name for one host candidate.
+
+    Shaped like the UUIDv4 names real Chrome registers, but drawn from
+    the stable hash of ``(seed, domain, os, candidate index)`` so the
+    same visit always exposes the same names — byte-stability is what
+    lets the era tables assert exact counts.
+    """
+    words = [
+        _stable_hash(f"{MDNS_NAME_SEED}:{domain}:{os_name}:{index}:{block}")
+        for block in range(4)
+    ]
+    hexes = "".join(f"{word:08x}" for word in words)
+    return (
+        f"{hexes[0:8]}-{hexes[8:12]}-{hexes[12:16]}"
+        f"-{hexes[16:20]}-{hexes[20:32]}.local"
+    )
+
+
+def candidate_port(domain: str, os_name: str, index: int) -> int:
+    """Deterministic ephemeral UDP port for one candidate."""
+    return 50_000 + _stable_hash(f"ice-port:{domain}:{os_name}:{index}") % 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class IcePlan:
+    """What a page script asks WebRTC to do.
+
+    ``stun_peers`` are the explicit ``(host, port)`` addresses the page
+    feeds into its connectivity checks — loopback or RFC 1918 peers are
+    how a page knocks on local services over this channel.
+    """
+
+    delay_ms: float = 0.0
+    stun_peers: tuple[tuple[str, int], ...] = ()
+    gather_srflx: bool = True
+    initiator: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class IceSession:
+    """One scheduled RTCPeerConnection run: a plan bound to its page."""
+
+    plan: IcePlan
+    policy: str
+    domain: str
+    page_url: str
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown WebRTC policy {self.policy!r} (known: {POLICIES})"
+            )
+
+
+class IceAgent:
+    """Executes ICE sessions for one browser, emitting NetLog events.
+
+    ``stun_hook`` / ``mdns_hook`` are the fault seams (see
+    :class:`~repro.faults.injector.FaultInjector`): called per peer /
+    per candidate, a returned :class:`~repro.browser.errors.NetError`
+    makes that binding check time out or that mDNS registration fail.
+    Both failure modes are *masked* from the leak analysis by design —
+    the binding request was already on the wire, and a failed mDNS
+    registration withholds the (non-leaking) candidate entirely — so
+    leak tables stay byte-identical under these faults.
+    """
+
+    __slots__ = ("os_name", "stun_hook", "mdns_hook")
+
+    def __init__(
+        self,
+        os_name: str,
+        *,
+        stun_hook=None,
+        mdns_hook=None,
+    ) -> None:
+        self.os_name = os_name
+        self.stun_hook = stun_hook
+        self.mdns_hook = mdns_hook
+
+    # -- event emission ------------------------------------------------------
+
+    def execute(
+        self,
+        out,
+        source: NetLogSource,
+        start: float,
+        session: IceSession,
+    ) -> None:
+        """Emit the session's full event sequence into ``out``.
+
+        Events are pushed in nondecreasing time order behind the visit's
+        reorder buffer; the caller owns ``out.advance(start)``.
+        """
+        plan = session.plan
+        begin_params = {"url": session.page_url, "policy": session.policy}
+        if plan.initiator is not None:
+            begin_params["initiator"] = plan.initiator
+        self._emit(
+            out,
+            start,
+            EventType.ICE_GATHERING,
+            source,
+            EventPhase.BEGIN,
+            begin_params,
+        )
+        clock = start
+        clock = self._gather_host(out, source, clock, session)
+        if plan.gather_srflx:
+            clock = self._gather_srflx(out, source, clock, session)
+        end = self._run_checks(out, source, clock, session)
+        self._emit(
+            out,
+            end,
+            EventType.ICE_GATHERING,
+            source,
+            EventPhase.END,
+            {"url": session.page_url},
+        )
+
+    def _gather_host(
+        self, out, source: NetLogSource, clock: float, session: IceSession
+    ) -> float:
+        """The host candidate for the LAN interface; returns the new clock."""
+        address = HOST_ADDRESS_BY_OS[self.os_name]
+        port = candidate_port(session.domain, self.os_name, 0)
+        clock += _HOST_GATHER_MS
+        if session.policy == POLICY_PRE_M74:
+            self._emit(
+                out,
+                clock,
+                EventType.ICE_CANDIDATE_GATHERED,
+                source,
+                EventPhase.NONE,
+                {
+                    "candidate_type": "host",
+                    "address": address,
+                    "port": port,
+                    "protocol": "udp",
+                },
+            )
+            return clock
+        # mdns era: register the obfuscated name first; only the name is
+        # ever exposed in the candidate.  A failed registration withholds
+        # the candidate entirely (Chrome's safe default) — never the raw
+        # address.
+        name = mdns_name(session.domain, self.os_name, 0)
+        error = self.mdns_hook(address) if self.mdns_hook is not None else None
+        clock += _MDNS_REGISTER_MS
+        if error is not None and error.failed:
+            self._emit(
+                out,
+                clock,
+                EventType.MDNS_CANDIDATE_REGISTERED,
+                source,
+                EventPhase.NONE,
+                {"name": name, "net_error": int(error)},
+            )
+            return clock
+        self._emit(
+            out,
+            clock,
+            EventType.MDNS_CANDIDATE_REGISTERED,
+            source,
+            EventPhase.NONE,
+            {"name": name, "net_error": 0},
+        )
+        self._emit(
+            out,
+            clock,
+            EventType.ICE_CANDIDATE_GATHERED,
+            source,
+            EventPhase.NONE,
+            {
+                "candidate_type": "host",
+                "address": name,
+                "port": port,
+                "protocol": "udp",
+            },
+        )
+        return clock
+
+    def _gather_srflx(
+        self, out, source: NetLogSource, clock: float, session: IceSession
+    ) -> float:
+        """The server-reflexive candidate (public, both eras)."""
+        clock += _SRFLX_RTT_MS
+        self._emit(
+            out,
+            clock,
+            EventType.ICE_CANDIDATE_GATHERED,
+            source,
+            EventPhase.NONE,
+            {
+                "candidate_type": "srflx",
+                "address": SRFLX_ADDRESS_BY_OS[self.os_name],
+                "port": candidate_port(session.domain, self.os_name, 1),
+                "protocol": "udp",
+            },
+        )
+        return clock
+
+    def _run_checks(
+        self, out, source: NetLogSource, clock: float, session: IceSession
+    ) -> float:
+        """STUN binding checks to the page's explicit peers.
+
+        Checks run concurrently at a fixed stagger (real ICE paces its
+        check list), so one timed-out peer never shifts another peer's
+        request time — which is what keeps detection byte-identical
+        under ``stun-timeout`` faults.
+        """
+        last = clock
+        for index, (host, port) in enumerate(session.plan.stun_peers):
+            sent = clock + _STUN_CHECK_GAP_MS * (index + 1)
+            peer = f"{host}:{port}"
+            self._emit(
+                out,
+                sent,
+                EventType.STUN_BINDING_REQUEST,
+                source,
+                EventPhase.NONE,
+                {"address": peer, "host": host, "port": port},
+            )
+            error = self.stun_hook(peer) if self.stun_hook is not None else None
+            if error is not None and error.failed:
+                replied = sent + STUN_TIMEOUT_MS
+                params = {"address": peer, "net_error": int(error)}
+            else:
+                replied = sent + _STUN_RTT_MS
+                params = {"address": peer, "net_error": 0}
+            self._emit(
+                out,
+                replied,
+                EventType.STUN_BINDING_RESPONSE,
+                source,
+                EventPhase.NONE,
+                params,
+            )
+            last = max(last, replied)
+        return last
+
+    @staticmethod
+    def _emit(
+        out,
+        time: float,
+        type: EventType,
+        source: NetLogSource,
+        phase: EventPhase,
+        params: dict,
+    ) -> None:
+        out.accept(
+            NetLogEvent(
+                time=time, type=type, source=source, phase=phase, params=params
+            )
+        )
+
+
+#: Default timeout error a struck STUN check reports.
+STUN_TIMEOUT_ERROR = NetError.ERR_TIMED_OUT

@@ -4,10 +4,17 @@ import pytest
 
 from repro.core.ports import BIGIP_ASM_PORTS, THREATMETRIX_PORTS
 from repro.defense.evasion import (
+    HEADLESS_CRAWLER_PROFILE,
+    REAL_USER_PROFILE,
+    STEALTH_CRAWLER_PROFILE,
     AttackerHost,
+    AutomationSignal,
+    FingerprintGate,
     PortStrategy,
+    VisitorProfile,
     detection_rate,
     evasion_sweep,
+    fingerprinting_sweep,
     host_is_flagged,
 )
 
@@ -102,3 +109,74 @@ class TestEvasionSweep:
             evasion_sweep(
                 population=5, services=(1,), scan_ports=(1,), fractions=(2.0,)
             )
+
+
+class TestAutomationSignals:
+    def test_real_user_exposes_no_signals(self):
+        assert REAL_USER_PROFILE.signals() == frozenset()
+
+    def test_headless_crawler_exposes_every_signal(self):
+        assert HEADLESS_CRAWLER_PROFILE.signals() == {
+            AutomationSignal.HEADLESS_UA,
+            AutomationSignal.MISSING_PLUGINS,
+            AutomationSignal.WEBDRIVER_FLAG,
+        }
+
+    def test_stealth_crawler_still_leaks_webdriver_flag(self):
+        assert STEALTH_CRAWLER_PROFILE.signals() == {
+            AutomationSignal.WEBDRIVER_FLAG
+        }
+
+    def test_missing_plugins_alone(self):
+        profile = VisitorProfile(
+            label="fresh-profile", user_agent="Mozilla/5.0 Chrome/86.0"
+        )
+        assert profile.signals() == {AutomationSignal.MISSING_PLUGINS}
+
+
+class TestFingerprintGate:
+    def test_strict_gate_blocks_any_signal(self):
+        gate = FingerprintGate()
+        assert gate.scan_fires(REAL_USER_PROFILE)
+        assert not gate.scan_fires(STEALTH_CRAWLER_PROFILE)
+        assert not gate.scan_fires(HEADLESS_CRAWLER_PROFILE)
+
+    def test_sloppy_gate_needs_corroboration(self):
+        gate = FingerprintGate(max_signals=1)
+        assert gate.scan_fires(STEALTH_CRAWLER_PROFILE)
+        assert not gate.scan_fires(HEADLESS_CRAWLER_PROFILE)
+
+
+class TestFingerprintingSweep:
+    def test_crawler_rate_collapses_while_user_rate_holds(self):
+        points = fingerprinting_sweep(sites=100)
+        crawler = [p.crawler_observed_rate for p in points]
+        user = [p.user_observed_rate for p in points]
+        assert crawler[0] == 1.0 and crawler[-1] == 0.0
+        assert all(a >= b for a, b in zip(crawler, crawler[1:]))
+        assert user == [1.0] * len(points)
+
+    def test_visibility_gap_equals_gating_fraction(self):
+        points = fingerprinting_sweep(sites=40, fractions=(0.0, 0.5, 1.0))
+        assert [p.visibility_gap for p in points] == pytest.approx(
+            [0.0, 0.5, 1.0]
+        )
+
+    def test_sloppy_gate_spares_stealth_crawler(self):
+        points = fingerprinting_sweep(
+            sites=10,
+            crawler=STEALTH_CRAWLER_PROFILE,
+            gate=FingerprintGate(max_signals=1),
+            fractions=(1.0,),
+        )
+        assert points[0].crawler_observed_rate == 1.0
+        assert points[0].visibility_gap == 0.0
+
+    def test_deterministic_across_calls(self):
+        assert fingerprinting_sweep(sites=33) == fingerprinting_sweep(sites=33)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fingerprinting_sweep(sites=0)
+        with pytest.raises(ValueError):
+            fingerprinting_sweep(sites=5, fractions=(-0.1,))

@@ -97,7 +97,7 @@ class TestMigrate:
         conn = sqlite3.connect(":memory:")
         report = migrate(conn)
         assert schema_version(conn) == SCHEMA_VERSION
-        assert report.applied == [1, 2, 3]
+        assert report.applied == [1, 2, 3, 4]
         assert report.changed
 
     def test_is_idempotent(self):

@@ -1,0 +1,96 @@
+"""WebRTC detection channel: flows, streaming/batch equivalence, gating."""
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.page import Page
+from repro.browser.useragent import identity_for
+from repro.core.addresses import Locality
+from repro.core.detector import LocalTrafficDetector
+from repro.core.flows import extract_flows
+from repro.web.behaviors import WebRtcLeakBehavior
+from repro.webrtc.ice import HOST_ADDRESS_BY_OS, POLICY_MDNS, POLICY_PRE_M74
+
+ALL_OSES = frozenset({"windows", "linux", "mac"})
+PEERS = (("127.0.0.1", 5939), ("192.168.1.1", 80), ("8.8.8.8", 3478))
+
+
+def _visit_events(policy, os_name="windows", stun_peers=PEERS):
+    behavior = WebRtcLeakBehavior(
+        name="webrtc:site.example",
+        active_oses=ALL_OSES,
+        policy=policy,
+        stun_peers=tuple(stun_peers),
+    )
+    chrome = SimulatedChrome(identity_for(os_name))
+    return chrome.visit(
+        Page(url="https://site.example/", scripts=[behavior])
+    ).events
+
+
+class TestFlowAssembly:
+    def test_ice_session_becomes_one_webrtc_flow(self):
+        flows = [f for f in extract_flows(_visit_events(POLICY_MDNS)) if f.is_webrtc]
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.webrtc_policy == POLICY_MDNS
+        assert flow.initiator == "webrtc:site.example"
+        assert [(h, p) for h, p, _ in flow.stun_checks] == list(PEERS)
+
+    def test_candidates_carry_type_and_address(self):
+        (flow,) = [
+            f for f in extract_flows(_visit_events(POLICY_PRE_M74)) if f.is_webrtc
+        ]
+        types = {ctype for ctype, *_ in flow.candidates}
+        assert types == {"host", "srflx"}
+        host = [c for c in flow.candidates if c[0] == "host"]
+        assert host[0][1] == HOST_ADDRESS_BY_OS["windows"]
+
+
+class TestDetectionChannel:
+    def test_candidate_and_stun_requests_use_webrtc_scheme(self):
+        detection = LocalTrafficDetector().detect(_visit_events(POLICY_PRE_M74))
+        webrtc = [r for r in detection.requests if r.scheme == "webrtc"]
+        assert {r.method for r in webrtc} == {"CANDIDATE", "STUN"}
+        assert all(r.path == "" for r in webrtc)
+
+    def test_mdns_candidates_are_non_leaking(self):
+        detection = LocalTrafficDetector().detect(_visit_events(POLICY_MDNS))
+        candidates = [r for r in detection.requests if r.method == "CANDIDATE"]
+        assert candidates == []
+
+    def test_public_stun_peers_never_count(self):
+        detection = LocalTrafficDetector().detect(_visit_events(POLICY_MDNS))
+        stun = [r for r in detection.requests if r.method == "STUN"]
+        assert {r.host for r in stun} == {"127.0.0.1", "192.168.1.1"}
+        localities = {r.host: r.locality for r in stun}
+        assert localities["127.0.0.1"] is Locality.LOCALHOST
+        assert localities["192.168.1.1"] is Locality.LAN
+
+    def test_channel_off_drops_webrtc_evidence_only(self):
+        events = _visit_events(POLICY_PRE_M74)
+        on = LocalTrafficDetector().detect(events)
+        off = LocalTrafficDetector(webrtc_channel=False).detect(events)
+        assert [r for r in off.requests if r.scheme == "webrtc"] == []
+        assert [r for r in off.requests if r.scheme != "webrtc"] == [
+            r for r in on.requests if r.scheme != "webrtc"
+        ]
+
+
+class TestStreamingBatchEquivalence:
+    def test_sink_matches_batch_for_webrtc_flows(self):
+        for policy in (POLICY_PRE_M74, POLICY_MDNS):
+            events = _visit_events(policy)
+            detector = LocalTrafficDetector()
+            batch = detector.detect(events)
+            sink = LocalTrafficDetector().sink()
+            for event in events:
+                sink.accept(event)
+            streamed = sink.finish()
+            assert streamed.requests == batch.requests
+
+    def test_sink_matches_batch_with_channel_off(self):
+        events = _visit_events(POLICY_PRE_M74)
+        batch = LocalTrafficDetector(webrtc_channel=False).detect(events)
+        sink = LocalTrafficDetector(webrtc_channel=False).sink()
+        for event in events:
+            sink.accept(event)
+        assert sink.finish().requests == batch.requests

@@ -1,0 +1,153 @@
+"""The two WebRTC fault seams: struck runs stay observably equivalent.
+
+``stun-timeout`` and ``mdns-resolve-fail`` are *masked* faults by
+design: the leak evidence a visit produces — and therefore detection
+results, visit digests, and the era tables — must be byte-identical
+with and without the fault.  What changes is only the failure telemetry
+inside the event stream (a ``net_error`` on the affected record and the
+timeout-stretched response time).
+"""
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.errors import NetError
+from repro.browser.page import Page
+from repro.browser.useragent import identity_for
+from repro.core.detector import LocalTrafficDetector
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.netlog.constants import EventType, SourceType
+from repro.netlog.events import NetLogSource
+from repro.netlog.pipeline import ListSink
+from repro.web.behaviors import WebRtcLeakBehavior
+from repro.webrtc.ice import (
+    POLICY_MDNS,
+    POLICY_PRE_M74,
+    STUN_TIMEOUT_MS,
+    IceAgent,
+    IcePlan,
+    IceSession,
+)
+
+ALL_OSES = frozenset({"windows", "linux", "mac"})
+PEERS = (("127.0.0.1", 5939), ("192.168.1.1", 80))
+
+
+def _plan(kind: FaultKind) -> FaultPlan:
+    return FaultPlan(seed="webrtc-faults", faults=(FaultSpec(kind=kind, rate=1.0),))
+
+
+def _agent(kind: FaultKind | None, os_name="windows") -> IceAgent:
+    if kind is None:
+        return IceAgent(os_name)
+    injector = FaultInjector(_plan(kind))
+    return IceAgent(
+        os_name, stun_hook=injector.stun_hook, mdns_hook=injector.mdns_hook
+    )
+
+
+def _run(agent, policy, *, stun_peers=PEERS):
+    session = IceSession(
+        plan=IcePlan(stun_peers=tuple(stun_peers)),
+        policy=policy,
+        domain="site.example",
+        page_url="https://site.example/",
+    )
+    sink = ListSink()
+    agent.execute(
+        sink, NetLogSource(id=1, type=SourceType.PEER_CONNECTION), 0.0, session
+    )
+    return sink.events
+
+
+def _detect(events):
+    return LocalTrafficDetector().detect(events).requests
+
+
+class TestStunTimeout:
+    def test_struck_response_reports_timeout_error(self):
+        events = _run(_agent(FaultKind.STUN_TIMEOUT), POLICY_MDNS)
+        responses = [
+            e for e in events if e.type is EventType.STUN_BINDING_RESPONSE
+        ]
+        assert responses
+        assert all(
+            e.params["net_error"] == int(NetError.ERR_TIMED_OUT)
+            for e in responses
+        )
+
+    def test_timeout_stretches_only_the_response_time(self):
+        clean = _run(_agent(None), POLICY_MDNS)
+        struck = _run(_agent(FaultKind.STUN_TIMEOUT), POLICY_MDNS)
+        clean_req = [
+            e for e in clean if e.type is EventType.STUN_BINDING_REQUEST
+        ]
+        struck_req = [
+            e for e in struck if e.type is EventType.STUN_BINDING_REQUEST
+        ]
+        # The binding request was already on the wire: same time, same peer.
+        assert [(e.time, e.params["address"]) for e in clean_req] == [
+            (e.time, e.params["address"]) for e in struck_req
+        ]
+        sent = {e.params["address"]: e.time for e in struck_req}
+        for event in struck:
+            if event.type is EventType.STUN_BINDING_RESPONSE:
+                assert event.time == sent[event.params["address"]] + STUN_TIMEOUT_MS
+
+    def test_detection_is_masked(self):
+        for policy in (POLICY_PRE_M74, POLICY_MDNS):
+            clean = _detect(_run(_agent(None), policy))
+            struck = _detect(_run(_agent(FaultKind.STUN_TIMEOUT), policy))
+            assert struck == clean
+
+
+class TestMdnsResolveFail:
+    def test_struck_registration_withholds_the_candidate(self):
+        events = _run(_agent(FaultKind.MDNS_RESOLVE_FAIL), POLICY_MDNS)
+        registered = [
+            e for e in events if e.type is EventType.MDNS_CANDIDATE_REGISTERED
+        ]
+        assert len(registered) == 1
+        assert registered[0].params["net_error"] == int(
+            NetError.ERR_NAME_NOT_RESOLVED
+        )
+        host = [
+            e
+            for e in events
+            if e.type is EventType.ICE_CANDIDATE_GATHERED
+            and e.params["candidate_type"] == "host"
+        ]
+        assert host == []  # Chrome's safe default: no name, no candidate
+
+    def test_pre_m74_never_consults_mdns(self):
+        clean = _run(_agent(None), POLICY_PRE_M74)
+        struck = _run(_agent(FaultKind.MDNS_RESOLVE_FAIL), POLICY_PRE_M74)
+        assert struck == clean
+
+    def test_detection_is_masked(self):
+        # The withheld candidate was the *obfuscated* (non-leaking) one,
+        # so the leak evidence cannot change.
+        clean = _detect(_run(_agent(None), POLICY_MDNS))
+        struck = _detect(_run(_agent(FaultKind.MDNS_RESOLVE_FAIL), POLICY_MDNS))
+        assert struck == clean
+
+
+class TestFullVisitUnderFaults:
+    def _detection(self, kind: FaultKind | None):
+        behavior = WebRtcLeakBehavior(
+            name="webrtc:site.example",
+            active_oses=ALL_OSES,
+            policy=POLICY_MDNS,
+            stun_peers=PEERS,
+        )
+        chrome = SimulatedChrome(
+            identity_for("windows"), webrtc=_agent(kind)
+        )
+        result = chrome.visit(
+            Page(url="https://site.example/", scripts=[behavior])
+        )
+        return LocalTrafficDetector().detect(result.events)
+
+    def test_visit_level_leak_evidence_is_fault_invariant(self):
+        baseline = self._detection(None).requests
+        for kind in (FaultKind.STUN_TIMEOUT, FaultKind.MDNS_RESOLVE_FAIL):
+            assert self._detection(kind).requests == baseline

@@ -1,0 +1,194 @@
+"""Tests for the simulated ICE layer: determinism, eras, event shapes."""
+
+import pytest
+
+from repro.browser.chrome import SimulatedChrome
+from repro.browser.page import Page
+from repro.browser.useragent import identity_for
+from repro.core.addresses import Locality, classify_host
+from repro.core.detector import LocalTrafficDetector
+from repro.netlog.constants import EventPhase, EventType, SourceType
+from repro.netlog.events import NetLogSource
+from repro.netlog.pipeline import ListSink
+from repro.web.behaviors import WebRtcLeakBehavior
+from repro.webrtc.ice import (
+    HOST_ADDRESS_BY_OS,
+    POLICIES,
+    POLICY_MDNS,
+    POLICY_PRE_M74,
+    IceAgent,
+    IcePlan,
+    IceSession,
+    candidate_port,
+    mdns_name,
+)
+
+ALL_OSES = frozenset({"windows", "linux", "mac"})
+
+
+def _session(policy, *, stun_peers=(), domain="site.example"):
+    return IceSession(
+        plan=IcePlan(stun_peers=tuple(stun_peers)),
+        policy=policy,
+        domain=domain,
+        page_url=f"https://{domain}/",
+    )
+
+
+def _run(agent, session, start=0.0):
+    sink = ListSink()
+    agent.execute(
+        sink, NetLogSource(id=1, type=SourceType.PEER_CONNECTION), start, session
+    )
+    return sink.events
+
+
+class TestMdnsNames:
+    def test_deterministic(self):
+        assert mdns_name("a.com", "linux", 0) == mdns_name("a.com", "linux", 0)
+
+    def test_distinct_per_domain_os_index(self):
+        names = {
+            mdns_name(domain, os_name, index)
+            for domain in ("a.com", "b.com")
+            for os_name in ("windows", "linux")
+            for index in (0, 1)
+        }
+        assert len(names) == 8
+
+    def test_shape_is_uuid_dot_local(self):
+        name = mdns_name("a.com", "mac", 0)
+        assert name.endswith(".local")
+        stem = name[: -len(".local")]
+        blocks = stem.split("-")
+        assert [len(b) for b in blocks] == [8, 4, 4, 4, 12]
+        assert all(c in "0123456789abcdef" for b in blocks for c in b)
+
+    def test_names_classify_public(self):
+        # The whole point of the mdns era: the exposed name is a domain,
+        # which the address classifier calls PUBLIC — nothing leaks.
+        name = mdns_name("a.com", "windows", 0)
+        assert classify_host(name) is Locality.PUBLIC
+
+
+class TestCandidatePorts:
+    def test_deterministic_and_ephemeral(self):
+        port = candidate_port("a.com", "linux", 0)
+        assert port == candidate_port("a.com", "linux", 0)
+        assert 50_000 <= port < 60_000
+
+    def test_varies_by_inputs(self):
+        ports = {
+            candidate_port(domain, os_name, 0)
+            for domain in ("a.com", "b.com", "c.com")
+            for os_name in ("windows", "linux", "mac")
+        }
+        assert len(ports) > 1
+
+
+class TestSessionValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            _session("m74")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            IcePlan(delay_ms=-1.0)
+
+    def test_known_policies(self):
+        assert set(POLICIES) == {POLICY_PRE_M74, POLICY_MDNS}
+
+
+class TestEventSequences:
+    def test_pre_m74_exposes_raw_host_address(self):
+        events = _run(IceAgent("windows"), _session(POLICY_PRE_M74))
+        gathered = [
+            e for e in events if e.type is EventType.ICE_CANDIDATE_GATHERED
+        ]
+        host = [e for e in gathered if e.params["candidate_type"] == "host"]
+        assert len(host) == 1
+        assert host[0].params["address"] == HOST_ADDRESS_BY_OS["windows"]
+        assert not any(
+            e.type is EventType.MDNS_CANDIDATE_REGISTERED for e in events
+        )
+
+    def test_mdns_era_exposes_only_the_local_name(self):
+        events = _run(IceAgent("windows"), _session(POLICY_MDNS))
+        registered = [
+            e for e in events if e.type is EventType.MDNS_CANDIDATE_REGISTERED
+        ]
+        assert len(registered) == 1 and registered[0].params["net_error"] == 0
+        host = [
+            e
+            for e in events
+            if e.type is EventType.ICE_CANDIDATE_GATHERED
+            and e.params["candidate_type"] == "host"
+        ]
+        assert host[0].params["address"].endswith(".local")
+        raw = HOST_ADDRESS_BY_OS["windows"]
+        assert all(raw not in str(e.params) for e in host)
+
+    def test_gathering_brackets_the_session(self):
+        events = _run(
+            IceAgent("linux"), _session(POLICY_MDNS, stun_peers=(("127.0.0.1", 80),))
+        )
+        assert events[0].type is EventType.ICE_GATHERING
+        assert events[0].phase is EventPhase.BEGIN
+        assert events[0].params["policy"] == POLICY_MDNS
+        assert events[-1].type is EventType.ICE_GATHERING
+        assert events[-1].phase is EventPhase.END
+
+    def test_times_nondecreasing(self):
+        events = _run(
+            IceAgent("mac"),
+            _session(
+                POLICY_PRE_M74,
+                stun_peers=(("127.0.0.1", 5939), ("192.168.1.1", 80)),
+            ),
+            start=100.0,
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert times[0] == 100.0
+
+    def test_stun_checks_cover_every_peer(self):
+        peers = (("127.0.0.1", 5939), ("192.168.1.1", 80), ("10.0.0.2", 443))
+        events = _run(IceAgent("linux"), _session(POLICY_MDNS, stun_peers=peers))
+        requests = [
+            e for e in events if e.type is EventType.STUN_BINDING_REQUEST
+        ]
+        responses = [
+            e for e in events if e.type is EventType.STUN_BINDING_RESPONSE
+        ]
+        assert len(requests) == len(responses) == len(peers)
+        assert [(e.params["host"], e.params["port"]) for e in requests] == list(
+            peers
+        )
+
+    def test_identical_sessions_are_byte_identical(self):
+        session = _session(POLICY_MDNS, stun_peers=(("127.0.0.1", 80),))
+        assert _run(IceAgent("windows"), session) == _run(
+            IceAgent("windows"), session
+        )
+
+
+class TestEndToEndVisit:
+    def _visit(self, policy):
+        behavior = WebRtcLeakBehavior(
+            name="webrtc:site.example",
+            active_oses=ALL_OSES,
+            policy=policy,
+            stun_peers=(("192.168.1.1", 80),),
+        )
+        chrome = SimulatedChrome(identity_for("windows"))
+        return chrome.visit(Page(url="https://site.example/", scripts=[behavior]))
+
+    def test_pre_m74_visit_leaks_lan_address(self):
+        detection = LocalTrafficDetector().detect(self._visit(POLICY_PRE_M74).events)
+        hosts = {r.host for r in detection.lan_requests}
+        assert HOST_ADDRESS_BY_OS["windows"] in hosts
+
+    def test_mdns_visit_leaks_only_the_probed_peer(self):
+        detection = LocalTrafficDetector().detect(self._visit(POLICY_MDNS).events)
+        hosts = {r.host for r in detection.lan_requests}
+        assert hosts == {"192.168.1.1"}

@@ -1,0 +1,186 @@
+"""Writer→parser round-trips for the 100-range WebRTC event types.
+
+The new vocabulary must survive every read path the repo has: the
+whole-document parser (strict text mode), the salvage path (non-strict
+parse of a damaged document), and the streaming scanner.  A document
+from an even *newer* writer — carrying event types this build has never
+heard of — must degrade to counted-and-skipped on every salvage-capable
+path; only strict mode (for logs we wrote ourselves) refuses it.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.netlog import (
+    EventPhase,
+    EventType,
+    NetLogEvent,
+    NetLogParseError,
+    NetLogSource,
+    ParseStats,
+    SourceType,
+    dumps,
+    loads,
+)
+from repro.netlog.streaming import iter_events_streaming
+
+
+def _webrtc_events():
+    source = NetLogSource(id=7, type=SourceType.PEER_CONNECTION)
+    return [
+        NetLogEvent(
+            time=10.0,
+            type=EventType.ICE_GATHERING,
+            source=source,
+            phase=EventPhase.BEGIN,
+            params={"url": "https://site.example/", "policy": "mdns"},
+        ),
+        NetLogEvent(
+            time=13.0,
+            type=EventType.MDNS_CANDIDATE_REGISTERED,
+            source=source,
+            phase=EventPhase.NONE,
+            params={"name": "aaaa-bbbb.local", "net_error": 0},
+        ),
+        NetLogEvent(
+            time=13.0,
+            type=EventType.ICE_CANDIDATE_GATHERED,
+            source=source,
+            phase=EventPhase.NONE,
+            params={
+                "candidate_type": "host",
+                "address": "aaaa-bbbb.local",
+                "port": 51234,
+                "protocol": "udp",
+            },
+        ),
+        NetLogEvent(
+            time=18.0,
+            type=EventType.STUN_BINDING_REQUEST,
+            source=source,
+            phase=EventPhase.NONE,
+            params={"address": "192.168.1.1:80", "host": "192.168.1.1", "port": 80},
+        ),
+        NetLogEvent(
+            time=20.0,
+            type=EventType.STUN_BINDING_RESPONSE,
+            source=source,
+            phase=EventPhase.NONE,
+            params={"address": "192.168.1.1:80", "net_error": 0},
+        ),
+        NetLogEvent(
+            time=25.0,
+            type=EventType.ICE_GATHERING,
+            source=source,
+            phase=EventPhase.END,
+            params={"url": "https://site.example/"},
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_text_mode_strict(self):
+        events = _webrtc_events()
+        assert loads(dumps(events)) == events
+
+    def test_text_mode_with_checksums(self):
+        events = _webrtc_events()
+        stats = ParseStats()
+        parsed = loads(dumps(events, checksums=True), stats=stats)
+        assert parsed == events
+        assert stats.checksum_failures == 0
+        assert stats.verified == len(events)
+
+    def test_streaming_mode(self):
+        events = _webrtc_events()
+        parsed = list(iter_events_streaming(io.StringIO(dumps(events))))
+        assert parsed == events
+
+    def test_constants_name_the_new_vocabulary(self):
+        document = json.loads(dumps(_webrtc_events()))
+        names = document["constants"]["logEventTypes"]
+        for name in (
+            "ICE_GATHERING",
+            "ICE_CANDIDATE_GATHERED",
+            "STUN_BINDING_REQUEST",
+            "STUN_BINDING_RESPONSE",
+            "MDNS_CANDIDATE_REGISTERED",
+        ):
+            assert names[name] == int(EventType[name])
+
+    def test_salvage_mode_recovers_the_intact_prefix(self):
+        events = _webrtc_events()
+        text = dumps(events)
+        # Cut mid-way through the last event record, like a crashed writer.
+        cut = text.rindex('"time": 25.0')
+        stats = ParseStats()
+        salvaged = loads(text[:cut], strict=False, stats=stats)
+        assert salvaged == events[:-1]
+        assert stats.truncated
+
+    def test_streaming_salvage_matches_batch_salvage(self):
+        text = dumps(_webrtc_events())
+        cut = text.rindex('"time": 25.0')
+        batch = loads(text[:cut], strict=False)
+        streamed = list(
+            iter_events_streaming(io.StringIO(text[:cut]), stats=ParseStats())
+        )
+        assert streamed == batch
+
+
+class TestForwardCompat:
+    def _document_with_future_type(self):
+        document = json.loads(dumps(_webrtc_events()))
+        document["constants"]["logEventTypes"]["QUIC_SESSION_PACKET"] = 999
+        document["events"].insert(
+            2,
+            {
+                "time": 14.0,
+                "type": 999,
+                "source": {"id": 7, "type": 7},
+                "phase": 0,
+                "params": {"size": 1350},
+            },
+        )
+        return json.dumps(document)
+
+    def test_unknown_type_raises_in_strict_mode(self):
+        # Strict mode is for logs this build wrote itself, where a foreign
+        # vocabulary means a bug — the seed contract, unchanged.
+        with pytest.raises(NetLogParseError):
+            loads(self._document_with_future_type())
+
+    def test_unknown_type_is_counted_and_skipped_in_salvage_mode(self):
+        stats = ParseStats()
+        parsed = loads(
+            self._document_with_future_type(), strict=False, stats=stats
+        )
+        assert parsed == _webrtc_events()
+        assert stats.dropped_unknown_type == 1
+
+    def test_unknown_type_is_counted_and_skipped_in_streaming_mode(self):
+        stats = ParseStats()
+        parsed = list(
+            iter_events_streaming(
+                io.StringIO(self._document_with_future_type()), stats=stats
+            )
+        )
+        assert parsed == _webrtc_events()
+        assert stats.dropped_unknown_type == 1
+
+    def test_unknown_named_type_without_number_is_skipped(self):
+        document = json.loads(dumps(_webrtc_events()[:1]))
+        document["events"].append(
+            {
+                "time": 99.0,
+                "type": "EVENT_FROM_THE_FUTURE",
+                "source": {"id": 7, "type": 7},
+                "phase": 0,
+            }
+        )
+        stats = ParseStats()
+        parsed = loads(json.dumps(document), strict=False, stats=stats)
+        assert len(parsed) == 1
+        assert stats.dropped_unknown_type == 1

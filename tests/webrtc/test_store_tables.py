@@ -1,0 +1,119 @@
+"""Schema v4, policy persistence, and the WebRTC leak tables."""
+
+import sqlite3
+
+import pytest
+
+from repro.analysis import tables
+from repro.crawler.campaign import run_campaign
+from repro.storage.db import TelemetryStore
+from repro.storage.migrations import SCHEMA_VERSION
+from repro.web.population import build_top_population
+
+SCALE = 0.001
+
+
+@pytest.fixture(scope="module")
+def findings_by_policy():
+    return {
+        policy: run_campaign(
+            build_top_population(2020, scale=SCALE, webrtc_policy=policy)
+        ).findings
+        for policy in ("pre-m74", "mdns")
+    }
+
+
+class TestSchemaV4:
+    def test_fresh_store_is_at_v4(self):
+        with TelemetryStore() as store:
+            version = store.connection.execute("PRAGMA user_version").fetchone()[0]
+            assert version == SCHEMA_VERSION == 4
+
+    def test_visits_gain_policy_column_and_scheme_index(self):
+        with TelemetryStore() as store:
+            columns = {
+                row[1]
+                for row in store.connection.execute("PRAGMA table_info(visits)")
+            }
+            assert "webrtc_policy" in columns
+            indexes = {
+                row[1]
+                for row in store.connection.execute(
+                    "PRAGMA index_list(local_requests)"
+                )
+            }
+            assert "idx_local_scheme" in indexes
+
+    def test_v3_store_migrates_in_place(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        with TelemetryStore(str(path)) as store:
+            store.connection.execute("ALTER TABLE visits DROP COLUMN webrtc_policy")
+            store.connection.execute("DROP INDEX idx_local_scheme")
+            store.connection.execute("PRAGMA user_version = 3")
+            store.commit()
+        with TelemetryStore(str(path)) as store:
+            version = store.connection.execute("PRAGMA user_version").fetchone()[0]
+            assert version == 4
+            store.record_visit(
+                "c", "a.com", "linux", success=True, webrtc_policy="mdns"
+            )
+
+    def test_policy_round_trips_and_defaults_to_null(self):
+        with TelemetryStore() as store:
+            store.record_visit(
+                "c", "a.com", "linux", success=True, webrtc_policy="pre-m74"
+            )
+            store.record_visit("c", "b.com", "linux", success=True)
+            rows = dict(
+                store.connection.execute(
+                    "SELECT domain, webrtc_policy FROM visits"
+                ).fetchall()
+            )
+            assert rows == {"a.com": "pre-m74", "b.com": None}
+
+
+class TestLeakTables:
+    def test_era_dependent_leak_counts(self, findings_by_policy):
+        pre = tables.table_6w(findings_by_policy["pre-m74"])
+        mdns = tables.table_6w(findings_by_policy["mdns"])
+        # pre-m74 host candidates leak LAN addresses on every webrtc site;
+        # the mdns era keeps only the explicitly probed RFC 1918 peers.
+        assert len(pre.rows) > len(mdns.rows)
+
+    def test_mdns_era_never_shows_interface_addresses(self, findings_by_policy):
+        from repro.webrtc.ice import HOST_ADDRESS_BY_OS
+
+        rendered = tables.table_6w(findings_by_policy["mdns"]).text
+        for address in HOST_ADDRESS_BY_OS.values():
+            assert address not in rendered
+
+    def test_localhost_table_tracks_loopback_probes(self, findings_by_policy):
+        for policy, findings in findings_by_policy.items():
+            for row in tables.table_5w(findings).rows:
+                assert row["leaks"] >= 1
+
+    def test_era_table_lists_both_policies(self, findings_by_policy):
+        era = tables.table_webrtc_era(findings_by_policy)
+        assert era.rows
+        assert all(set(r["counts"]) == {"pre-m74", "mdns"} for r in era.rows)
+        assert any(r["delta"] > 0 for r in era.rows)
+
+    def test_tables_are_byte_stable_across_reruns(self, findings_by_policy):
+        again = run_campaign(
+            build_top_population(2020, scale=SCALE, webrtc_policy="pre-m74")
+        ).findings
+        assert (
+            tables.table_5w(again).text
+            == tables.table_5w(findings_by_policy["pre-m74"]).text
+        )
+        assert (
+            tables.table_6w(again).text
+            == tables.table_6w(findings_by_policy["pre-m74"]).text
+        )
+
+    def test_paper_tables_exclude_the_webrtc_channel(self, findings_by_policy):
+        off = run_campaign(build_top_population(2020, scale=SCALE)).findings
+        for policy in ("pre-m74", "mdns"):
+            on = findings_by_policy[policy]
+            assert tables.table_5(on).text == tables.table_5(off).text
+            assert tables.table_6(on).text == tables.table_6(off).text
