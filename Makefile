@@ -10,7 +10,7 @@ NETLOG_DIR ?= netlogs
 PORT ?= 8734
 SERVE_DB ?= serve-jobs.sqlite
 
-.PHONY: install test lint bench bench-quick obs-bench pipeline-bench shard-bench serve serve-bench webrtc-bench chaos-conformance report validate fsck examples clean
+.PHONY: install test lint bench bench-quick obs-bench pipeline-bench pipeline-throughput shard-bench serve serve-bench webrtc-bench chaos-conformance report validate fsck examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,9 @@ obs-bench:        ## observability ablation: results invariant, overhead <= 5%
 
 pipeline-bench:   ## streaming-pipeline ablation: byte-invariant, bounded memory
 	$(PYTHON) -m pytest benchmarks/test_ablation_pipeline.py --benchmark-disable -q
+
+pipeline-throughput: ## dual-format codec matrix: binary parse >= 3x JSON, BENCH_pipeline.json
+	$(PYTHON) -m pytest benchmarks/test_pipeline_throughput.py --benchmark-disable -q
 
 shard-bench:      ## sharded-fabric ablation: scaling curve + kill-9 chaos, byte-identical merge
 	$(PYTHON) -m pytest benchmarks/test_ablation_sharding.py --benchmark-disable -q

@@ -89,14 +89,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser(
-        "analyze", help="detect/classify local traffic in a NetLog JSON file"
+        "analyze",
+        help="detect/classify local traffic in NetLog documents "
+        "(JSON or binary, auto-detected)",
     )
-    analyze.add_argument("netlog", help="path to the NetLog JSON file")
+    analyze.add_argument(
+        "netlog",
+        nargs="+",
+        help="path(s) to NetLog documents; several paths emit one "
+        "summary line each",
+    )
     analyze.add_argument(
         "--json",
         action="store_true",
         help="emit the canonical byte-stable report document — the exact "
-        "bytes `repro serve` returns for the same upload",
+        "bytes `repro serve` returns for the same upload (single file only)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse documents across N worker processes (0 = one per "
+        "CPU core; default: serial); output order is input order at any N",
     )
 
     study = sub.add_parser("study", help="run a measurement campaign")
@@ -139,6 +154,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="archive every visit's NetLog as a checksummed document "
         "under this directory (enables tier-1 fsck repair)",
+    )
+    study.add_argument(
+        "--netlog-format",
+        choices=("json", "binary"),
+        default=None,
+        help="NetLog capture encoding for archived visits (default: the "
+        "REPRO_NETLOG_FORMAT env var, else json); detection results are "
+        "byte-identical in either format",
     )
     study.add_argument(
         "--fault-plan",
@@ -327,6 +350,39 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable report instead of text",
     )
+    fsck.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="verify archived documents across N worker processes "
+        "(0 = one per CPU core; default: serial); reports are "
+        "byte-identical at any N",
+    )
+
+    netlog = sub.add_parser(
+        "netlog",
+        help="NetLog document utilities (format transcoding)",
+    )
+    netlog_sub = netlog.add_subparsers(dest="netlog_command", required=True)
+    nl_convert = netlog_sub.add_parser(
+        "convert",
+        help="losslessly transcode a document between the JSON and "
+        "binary formats",
+    )
+    nl_convert.add_argument("source", metavar="IN", help="input document")
+    nl_convert.add_argument(
+        "dest",
+        metavar="OUT",
+        help="output path ('-' writes to stdout; format inferred from "
+        "the suffix unless --to is given)",
+    )
+    nl_convert.add_argument(
+        "--to",
+        choices=("json", "binary"),
+        default=None,
+        help="target format (default: from OUT's suffix — .json or .nlbin)",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -460,7 +516,22 @@ def _build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ---------------------------------------------------------------------------
 
-def _cmd_analyze(path: str, *, as_json: bool = False) -> int:
+def _cmd_analyze(
+    paths: "Sequence[str]",
+    *,
+    as_json: bool = False,
+    jobs: int | None = None,
+) -> int:
+    if len(paths) > 1:
+        if as_json:
+            print(
+                "error: --json emits one canonical report document and "
+                "takes exactly one file",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        return _cmd_analyze_many(paths, jobs=jobs)
+    path = paths[0]
     if as_json:
         return _cmd_analyze_json(path)
     stats = ParseStats()
@@ -468,10 +539,11 @@ def _cmd_analyze(path: str, *, as_json: bool = False) -> int:
     # flows as they decode, so analysis memory is bounded by the number
     # of open flows, not the document size.  ``require_events`` keeps the
     # historical exit code 2 for well-formed JSON that is not a NetLog
-    # document, while truncated documents still salvage.
+    # document, while truncated documents still salvage.  Bytes mode lets
+    # the streaming layer sniff the document format from its magic byte.
     sink = LocalTrafficDetector().sink()
     try:
-        with open(path) as fp:
+        with open(path, "rb") as fp:
             for event in iter_events_streaming(
                 fp, strict=False, stats=stats, require_events=True
             ):
@@ -507,6 +579,88 @@ def _cmd_analyze(path: str, *, as_json: bool = False) -> int:
     if verdict.match:
         print(f"signature: {verdict.signature_name} "
               f"({verdict.match.confidence:.0%}) — {verdict.match.detail}")
+    return EXIT_OK
+
+
+def _cmd_analyze_many(paths: "Sequence[str]", *, jobs: int | None) -> int:
+    """``repro analyze A B C``: one summary line per document.
+
+    The per-document parse + detection fans out across ``--jobs`` worker
+    processes; output order is always input order, so the listing is
+    byte-identical at any worker count.
+    """
+    from .netlog.parallel import analyze_paths
+
+    summaries = analyze_paths(paths, jobs=jobs)
+    failed = 0
+    for summary in summaries:
+        if summary.error is not None:
+            failed += 1
+            print(f"error: {summary.path}: {summary.error}", file=sys.stderr)
+            continue
+        behavior = summary.behavior or "no-local-traffic"
+        line = (
+            f"{summary.path}: {summary.stats.parsed} events, "
+            f"{summary.total_flows} flows, "
+            f"{summary.local_requests} local requests, {behavior}"
+        )
+        if summary.stats.damaged:
+            line += f" [damaged: {summary.stats.describe()}]"
+        print(line)
+    return EXIT_USAGE if failed else EXIT_OK
+
+
+def _cmd_netlog_convert(source: str, dest: str, to: str | None) -> int:
+    """``repro netlog convert IN OUT``: lossless format transcoding."""
+    import os
+
+    from .netlog.codec import codec_for_suffix, get_codec
+    from .netlog.convert import convert
+
+    if to is None:
+        suffix = os.path.splitext(dest)[1]
+        codec = codec_for_suffix(suffix)
+        if codec is None:
+            print(
+                f"error: cannot infer target format from {dest!r} "
+                "(use a .json/.nlbin suffix or pass --to)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        to = codec.name
+    try:
+        with open(source, "rb") as fp:
+            data = fp.read()
+    except OSError as exc:
+        print(f"error: cannot read {source}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        document = convert(data, to)
+    except NetLogParseError as exc:
+        print(
+            f"error: {source} is not a convertible NetLog document: {exc} "
+            "(repair damaged documents with `repro fsck` first)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    payload = (
+        document if isinstance(document, bytes) else document.encode("utf-8")
+    )
+    try:
+        if dest == "-":
+            sys.stdout.buffer.write(payload)
+        else:
+            with open(dest, "wb") as fp:
+                fp.write(payload)
+    except OSError as exc:
+        print(f"error: cannot write {dest}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if dest != "-":
+        codec = get_codec(to)
+        print(
+            f"{source} -> {dest} ({codec.name}, {len(payload)} bytes)",
+            file=sys.stderr,
+        )
     return EXIT_OK
 
 
@@ -568,6 +722,7 @@ def _cmd_study(
     db: str | None = None,
     resume: bool = False,
     netlog_dir: str | None = None,
+    netlog_format: str | None = None,
     fault_plan: str | None = None,
     workers: int = 0,
     shards: int | None = None,
@@ -655,6 +810,7 @@ def _cmd_study(
             db=db,
             resume=resume,
             netlog_dir=netlog_dir,
+            netlog_format=netlog_format,
             plan=plan,
             metrics_out=metrics_out,
             trace_out=trace_out,
@@ -719,6 +875,7 @@ def _cmd_study(
         netlog_archive=(
             NetLogArchive(netlog_dir) if netlog_dir is not None else None
         ),
+        netlog_format=netlog_format,
         on_visit=_on_visit,
     )
     try:
@@ -816,6 +973,7 @@ def _run_sharded_study(
     db: str | None,
     resume: bool,
     netlog_dir: str | None,
+    netlog_format: str | None,
     plan,
     metrics_out: str | None,
     trace_out: str | None,
@@ -893,6 +1051,7 @@ def _run_sharded_study(
             shards=resolved,
             retries=retries,
             check_connectivity=plan is not None,
+            netlog_format=netlog_format,
         ),
         workdir=shard_dir,
         rollup_path=db,
@@ -1019,6 +1178,7 @@ def _cmd_fsck(
     scale: float = _DEFAULT_SCALE,
     webrtc_policy: str | None = None,
     as_json: bool = False,
+    jobs: int | None = None,
 ) -> int:
     import json
     import os
@@ -1049,7 +1209,12 @@ def _cmd_fsck(
                 archive,
             )
         report = fsck(
-            store, archive, crawl=crawl, repair=repair, revisit=revisit
+            store,
+            archive,
+            crawl=crawl,
+            repair=repair,
+            revisit=revisit,
+            jobs=jobs,
         )
         if as_json:
             print(json.dumps(report.to_json(), indent=2))
@@ -1524,7 +1689,9 @@ def _cmd_chaos_replay(path: str, *, scale: float) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "analyze":
-        return _cmd_analyze(args.netlog, as_json=args.json)
+        return _cmd_analyze(args.netlog, as_json=args.json, jobs=args.jobs)
+    if args.command == "netlog":
+        return _cmd_netlog_convert(args.source, args.dest, args.to)
     if args.command == "serve":
         return _cmd_serve(
             host=args.host,
@@ -1550,6 +1717,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             db=args.db,
             resume=args.resume,
             netlog_dir=args.netlog_dir,
+            netlog_format=args.netlog_format,
             fault_plan=args.fault_plan,
             workers=args.workers,
             shards=args.shards,
@@ -1588,6 +1756,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             scale=args.scale,
             webrtc_policy=args.webrtc_policy,
             as_json=args.json,
+            jobs=args.jobs,
         )
     if args.command == "metrics":
         return _cmd_metrics(args.snapshot)

@@ -162,6 +162,7 @@ class Campaign:
         checkpoint_every: int = 0,
         executor: ExecutorConfig | None = None,
         netlog_archive: NetLogArchive | None = None,
+        netlog_format: str | None = None,
         on_visit: Callable[[CrawlRecord], None] | None = None,
     ) -> None:
         self.monitor_window_ms = monitor_window_ms
@@ -200,6 +201,10 @@ class Campaign:
         # is persisted as a checksummed document (the paper kept every
         # capture; `repro fsck` repairs database damage from it).
         self.netlog_archive = netlog_archive
+        # Document encoding for archived captures: "json" or "binary"
+        # (None defers to the codec default).  Detection and analysis are
+        # format-agnostic, so this is purely an operational knob.
+        self.netlog_format = netlog_format
         #: Archive documents lost to exhausted disk-full retries in the
         #: most recent run() — holes `repro fsck` will flag.
         self.archive_failures = 0
@@ -310,6 +315,7 @@ class Campaign:
             retry_policy=self.retry_policy,
             injector=injector,
             capture_netlog=self.netlog_archive is not None,
+            netlog_format=self.netlog_format,
         )
         stats = CrawlStats(os_name=os_name, crawl=population.name)
         result.stats[os_name] = stats
@@ -417,6 +423,7 @@ class Campaign:
                 retry_policy=self.retry_policy,
                 injector=scoped,
                 capture_netlog=self.netlog_archive is not None,
+                netlog_format=self.netlog_format,
             )
 
         def persist(record_os: str, record: CrawlRecord) -> None:

@@ -24,6 +24,8 @@ from ..core.detector import DetectionResult, LocalTrafficDetector
 from ..faults.injector import FaultInjector
 from ..netlog.events import NetLogEvent
 from ..netlog.pipeline import EventSink, ListSink, Tee
+from ..netlog.binary import BinaryNetLogBuffer
+from ..netlog.codec import make_capture_buffer
 from ..netlog.writer import NetLogBuffer
 from ..web.population import CrawlPopulation
 from ..web.website import Website
@@ -64,10 +66,12 @@ class CrawlRecord:
     #: here: they stream each event into :attr:`netlog` as it is emitted.
     events: list[NetLogEvent] | None = None
     #: Streamed serialised NetLog capture of the successful attempt
-    #: (``capture_netlog=True``): events were rendered to record text as
-    #: the visit ran, ready for the archive to wrap into a document; the
-    #: campaign clears it once the document is written.
-    netlog: NetLogBuffer | None = None
+    #: (``capture_netlog=True``): events were rendered to their record
+    #: encoding (JSON text or binary frames, per the crawler's
+    #: ``netlog_format``) as the visit ran, ready for the archive to wrap
+    #: into a document; the campaign clears it once the document is
+    #: written.
+    netlog: "NetLogBuffer | BinaryNetLogBuffer | None" = None
 
     @property
     def error_bucket(self) -> str | None:
@@ -146,6 +150,7 @@ class Crawler:
         injector: FaultInjector | None = None,
         capture_events: bool = False,
         capture_netlog: bool = False,
+        netlog_format: str | None = None,
     ) -> None:
         self.environment = environment
         # Keep the successful attempt's raw NetLog events on the record;
@@ -156,6 +161,9 @@ class Crawler:
         # finished buffer.
         self.capture_events = capture_events
         self.capture_netlog = capture_netlog
+        # Capture buffer encoding: "json" or "binary" (None defers to the
+        # codec default, normally JSON or $REPRO_NETLOG_FORMAT).
+        self.netlog_format = netlog_format
         self.detector = detector if detector is not None else LocalTrafficDetector()
         self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
         self.injector = injector
@@ -293,7 +301,11 @@ class Crawler:
         collector = ListSink() if self.capture_events else None
         if collector is not None:
             sinks.append(collector)
-        netlog = NetLogBuffer(checksums=True) if self.capture_netlog else None
+        netlog = (
+            make_capture_buffer(self.netlog_format, checksums=True)
+            if self.capture_netlog
+            else None
+        )
         if netlog is not None:
             sinks.append(netlog)
         sink = sinks[0] if len(sinks) == 1 else Tee(*sinks)

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..netlog.archive import NetLogArchive
+from ..netlog.codec import codec_for_suffix
 from ..storage.db import TelemetryStore
 from ..faults.plan import FaultPlan
 from .campaign import Campaign, CampaignResult
@@ -115,6 +116,8 @@ class FabricConfig:
     poll_interval_s: float = 0.02
     #: How long to wait for drained shards to exit before killing them.
     drain_timeout_s: float = 30.0
+    #: Archive document encoding ("json"/"binary"; None = codec default).
+    netlog_format: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -383,6 +386,7 @@ class CrawlFabric:
             check_connectivity=self.config.check_connectivity,
             checkpoint_every=self.config.checkpoint_every,
             heartbeat_interval_s=self.config.heartbeat_interval_s,
+            netlog_format=self.config.netlog_format,
         )
         handle.tasks = self._ctx.Queue()
         handle.events = self._ctx.Queue()
@@ -706,8 +710,14 @@ class CrawlFabric:
             source = NetLogArchive(shard_dir)
             for path in source.entries(crawl):
                 os_name, domain_file = path.parts[-2], path.parts[-1]
+                codec = codec_for_suffix(path.suffix)
+                if codec is None:  # pragma: no cover - entries() filters
+                    continue
                 target = destination.path_for(
-                    crawl, os_name, domain_file[: -len(".json")]
+                    crawl,
+                    os_name,
+                    domain_file[: -len(codec.suffix)],
+                    format=codec.name,
                 )
                 if target.exists():
                     continue  # checksummed duplicates are identical

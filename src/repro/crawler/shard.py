@@ -130,6 +130,8 @@ class ShardConfig:
     #: content-identical).
     checkpoint_every: int = 1
     heartbeat_interval_s: float = 0.2
+    #: Archive document encoding ("json"/"binary"; None = codec default).
+    netlog_format: str | None = None
 
     @property
     def key(self) -> str:
@@ -242,6 +244,7 @@ def run_shard(config: ShardConfig, tasks, events, stop) -> None:
                 check_connectivity=config.check_connectivity,
                 checkpoint_every=config.checkpoint_every,
                 netlog_archive=archive,
+                netlog_format=config.netlog_format,
                 on_visit=on_visit,
             )
             try:

@@ -153,8 +153,16 @@ class FaultInjector:
 
     # -- netlog seam -------------------------------------------------------
 
-    def corrupt_netlog(self, text: str, key: str) -> str:
+    def corrupt_netlog(
+        self, document: "str | bytes", key: str
+    ) -> "str | bytes":
         """Damage a serialised NetLog document the way real crashes do.
+
+        Polymorphic over the two archive formats: text documents are JSON,
+        byte documents are binary ``nlbin-v1`` — each fault kind has the
+        analogous physical shape in both (same stable key-derived
+        positions, so a fault plan damages the same visits regardless of
+        capture format).
 
         When ``key`` is scheduled for truncation, the document loses its
         tail from a stable, key-derived position (at minimum the closing
@@ -165,12 +173,19 @@ class FaultInjector:
         ``torn-write`` specs punch a NUL-filled hole of ``duration``
         characters (default 64) into the interior of the document — the
         mark of a multi-block write whose middle block never flushed.
-        ``bit-flip`` specs silently replace one digit in the back half
-        of the events array with a different digit: the document stays
-        valid JSON, so only checksum verification can see the damage.  Unscheduled keys pass
-        through untouched; a key scheduled for several kinds suffers them
-        all, truncation first.
+        ``bit-flip`` specs damage the measurement payload in place and
+        invisibly to framing: one digit substituted in the back half of a
+        JSON events array (the document stays valid JSON), or one bit
+        flipped inside a binary event frame's payload (the framing stays
+        walkable) — either way only checksum verification can see the
+        damage.  Unscheduled keys pass through untouched; a key scheduled
+        for several kinds suffers them all, truncation first.
         """
+        if isinstance(document, (bytes, bytearray)):
+            return self._corrupt_netlog_bytes(bytes(document), key)
+        return self._corrupt_netlog_text(document, key)
+
+    def _corrupt_netlog_text(self, text: str, key: str) -> str:
         for spec in self.plan.specs(FaultKind.NETLOG_TRUNCATION):
             if not self.plan.selects(spec, key):
                 continue
@@ -219,6 +234,82 @@ class FaultInjector:
                     break
             break
         return text
+
+    def _corrupt_netlog_bytes(self, data: bytes, key: str) -> bytes:
+        """The binary-document analog of :meth:`_corrupt_netlog_text`."""
+        for spec in self.plan.specs(FaultKind.NETLOG_TRUNCATION):
+            if not self.plan.selects(spec, key):
+                continue
+            self._record(FaultKind.NETLOG_TRUNCATION)
+            digest = _stable_hash(f"{self.plan.seed}:cut:{key}")
+            # Same back-half cut window as the JSON shape; at minimum
+            # the trailer frame is lost (the binary signature of a
+            # killed writer).
+            fraction = 0.5 + (digest % 4500) / 10_000.0
+            cut = min(int(len(data) * fraction), max(len(data) - 2, 0))
+            data = data[:cut]
+            if spec.duration > 0:
+                data += b"\x00" * spec.duration
+            break
+        for spec in self.plan.specs(FaultKind.TORN_WRITE):
+            if not self.plan.selects(spec, key):
+                continue
+            self._record(FaultKind.TORN_WRITE)
+            digest = _stable_hash(f"{self.plan.seed}:tear:{key}")
+            width = spec.duration if spec.duration > 0 else 64
+            fraction = 0.3 + (digest % 4000) / 10_000.0
+            start = min(int(len(data) * fraction), max(len(data) - 1, 0))
+            end = min(start + width, len(data))
+            data = data[:start] + b"\x00" * (end - start) + data[end:]
+            break
+        for spec in self.plan.specs(FaultKind.BIT_FLIP):
+            if not self.plan.selects(spec, key):
+                continue
+            digest = _stable_hash(f"{self.plan.seed}:flip:{key}")
+            fraction = 0.45 + (digest % 4000) / 10_000.0
+            position = self._binary_flip_position(data, fraction, digest)
+            if position is not None:
+                flipped = data[position] ^ 0x01
+                data = data[:position] + bytes((flipped,)) + data[position + 1 :]
+                self._record(FaultKind.BIT_FLIP)
+            break
+        return data
+
+    @staticmethod
+    def _binary_flip_position(
+        data: bytes, fraction: float, digest: int
+    ) -> int | None:
+        """A byte offset inside an event frame's payload, or None.
+
+        Walks the binary document's framing so the flip lands *inside* a
+        record — in-place corruption the frame CRC catches — rather than
+        on a frame header, which would read as framing loss (a different
+        damage class).  Mirrors the JSON shape, where the substituted
+        digit lands inside the events array.
+        """
+        from ..netlog.binary import (
+            MAGIC,
+            TAG_EVENT,
+            _FRAME_HEAD,
+        )
+
+        if not data.startswith(MAGIC):
+            return None
+        payloads: list[tuple[int, int]] = []
+        offset = len(MAGIC)
+        while offset + _FRAME_HEAD.size <= len(data):
+            tag, length, _ = _FRAME_HEAD.unpack_from(data, offset)
+            start = offset + _FRAME_HEAD.size
+            end = start + length
+            if end > len(data):
+                break
+            if tag == TAG_EVENT and length > 0:
+                payloads.append((start, length))
+            offset = end
+        if not payloads:
+            return None
+        start, length = payloads[int((len(payloads) - 1) * fraction)]
+        return start + digest % length
 
     # -- storage.db seam ---------------------------------------------------
 
@@ -429,5 +520,7 @@ class ScopedFaultInjector:
                 return True
         return False
 
-    def corrupt_netlog(self, text: str, key: str) -> str:
-        return self.base.corrupt_netlog(text, f"{self._context}|{key}")
+    def corrupt_netlog(
+        self, document: "str | bytes", key: str
+    ) -> "str | bytes":
+        return self.base.corrupt_netlog(document, f"{self._context}|{key}")

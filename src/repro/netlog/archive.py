@@ -2,9 +2,11 @@
 
 The paper kept every capture ("11 TB across the study") so telemetry
 could be re-parsed when the reduction pipeline changed.  This archive
-reproduces that design at laptop scale: one checksummed NetLog JSON
-document per (crawl, OS, domain) visit, laid out as
-``root/<crawl>/<os>/<domain>.json``.
+reproduces that design at laptop scale: one checksummed NetLog document
+per (crawl, OS, domain) visit, laid out as
+``root/<crawl>/<os>/<domain>.json`` (or ``.nlbin`` for the binary
+format — see :mod:`repro.netlog.codec`; a visit is stored in exactly one
+format, and every read path auto-detects which by magic byte).
 
 Every document is written with ``checksums=True`` (per-record CRC32s,
 rolling hash chain, integrity trailer — see :mod:`repro.netlog.writer`)
@@ -21,9 +23,18 @@ from __future__ import annotations
 import io
 import json
 import os
+import time
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Union
 
+from .. import obs
+from .codec import (
+    ARCHIVE_SUFFIXES,
+    FORMAT_BINARY,
+    codec_for_suffix,
+    get_codec,
+    sniff_format,
+)
 from .events import NetLogEvent
 from .parser import ParseStats
 from .pipeline import EventSink, ListSink, feed
@@ -34,12 +45,21 @@ from .writer import (
     write_document_tail,
 )
 
+_ENCODE_SECONDS = obs.histogram(
+    "repro_netlog_encode_seconds",
+    "NetLog document assembly time (buffered body to final document "
+    "bytes) by format",
+    ("format",),
+)
+
 #: The top-level key carrying visit metadata in archived documents.
 META_KEY = "visitMeta"
 
-#: A text-mangling hook applied to the serialised document before it hits
-#: disk (the fault injector's ``corrupt_netlog``).
-CorruptHook = Callable[[str, str], str]
+#: A document-mangling hook applied to the serialised document before it
+#: hits disk (the fault injector's ``corrupt_netlog``).  Receives text
+#: for JSON documents and bytes for binary ones, and must return the
+#: same kind.
+CorruptHook = Callable[[Union[str, bytes], str], Union[str, bytes]]
 
 
 def _safe_component(name: str) -> str:
@@ -56,13 +76,32 @@ class NetLogArchive:
 
     # -- layout ------------------------------------------------------------
 
-    def path_for(self, crawl: str, os_name: str, domain: str) -> Path:
-        return (
-            self.root
-            / _safe_component(crawl)
-            / _safe_component(os_name)
-            / f"{_safe_component(domain)}.json"
+    def path_for(
+        self,
+        crawl: str,
+        os_name: str,
+        domain: str,
+        *,
+        format: str | None = None,
+    ) -> Path:
+        """The document path for one visit.
+
+        With ``format`` given, the path that format would occupy.
+        Without it, the path of whichever format the visit is currently
+        stored in — falling back to the JSON path for visits that do not
+        exist yet (the archive's historical default).
+        """
+        directory = (
+            self.root / _safe_component(crawl) / _safe_component(os_name)
         )
+        stem = _safe_component(domain)
+        if format is not None:
+            return directory / (stem + get_codec(format).suffix)
+        for suffix in ARCHIVE_SUFFIXES:
+            candidate = directory / (stem + suffix)
+            if candidate.exists():
+                return candidate
+        return directory / (stem + ARCHIVE_SUFFIXES[0])
 
     def exists(self, crawl: str, os_name: str, domain: str) -> bool:
         return self.path_for(crawl, os_name, domain).exists()
@@ -76,7 +115,12 @@ class NetLogArchive:
         )
         for base in roots:
             if base.is_dir():
-                yield from sorted(base.rglob("*.json"))
+                found = [
+                    path
+                    for suffix in ARCHIVE_SUFFIXES
+                    for path in base.rglob(f"*{suffix}")
+                ]
+                yield from sorted(found)
 
     # -- write -------------------------------------------------------------
 
@@ -89,19 +133,23 @@ class NetLogArchive:
         *,
         meta: dict | None = None,
         corrupt: CorruptHook | None = None,
+        format: str | None = None,
     ) -> Path:
         """Archive one visit's events; returns the document path.
 
         A convenience wrapper over :meth:`write_buffered` for callers
         that hold an event list; the crawl pipeline instead streams
-        events into a :class:`~repro.netlog.writer.NetLogBuffer` as the
-        visit runs and hands the finished buffer here.
+        events into a capture buffer as the visit runs and hands the
+        finished buffer here.  ``format`` picks the document encoding
+        (None → the codec default, normally JSON).
         """
+        from .codec import make_capture_buffer
+
         return self.write_buffered(
             crawl,
             os_name,
             domain,
-            feed(events, NetLogBuffer(checksums=True)),
+            feed(events, make_capture_buffer(format, checksums=True)),
             meta=meta,
             corrupt=corrupt,
         )
@@ -119,35 +167,69 @@ class NetLogArchive:
         """Archive a visit from its streamed record buffer.
 
         The buffer holds the serialised ``events`` body built while the
-        visit ran; this assembles the final document around it — the
-        late-bound ``visitMeta`` head (attempt counts and success are
-        only known once the visit settles) and the integrity trailer —
-        producing bytes identical to a one-shot ``dumps`` of the same
-        events.  ``corrupt`` (the injector's netlog seam) mangles the
-        serialised text before it reaches disk, keyed by
+        visit ran — its type (text :class:`~repro.netlog.writer.NetLogBuffer`
+        or binary :class:`~repro.netlog.binary.BinaryNetLogBuffer`)
+        decides the document format.  This assembles the final document
+        around it — the late-bound ``visitMeta`` head (attempt counts
+        and success are only known once the visit settles) and the
+        integrity trailer — producing bytes identical to a one-shot dump
+        of the same events.  ``corrupt`` (the injector's netlog seam)
+        mangles the serialised document before it reaches disk, keyed by
         ``crawl:os:domain`` — so the same fault plan damages the same
         files at any worker count.  Idempotent per buffer: retrying
-        after a failed write re-uses the same body.
+        after a failed write re-uses the same body.  A rewrite in a
+        different format removes the visit's stale other-format sibling
+        after the atomic rename, preserving one-document-per-visit.
         """
-        path = self.path_for(crawl, os_name, domain)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        out = io.StringIO()
-        write_document_head(
-            out, extra={META_KEY: meta} if meta is not None else None
-        )
-        out.write(buffer.body)
-        write_document_tail(
-            out,
-            checksums=buffer.checksums,
-            count=buffer.count,
-            chain=buffer.chain,
-        )
-        text = out.getvalue()
+        format_name = getattr(buffer, "format", "json")
+        codec = get_codec(format_name)
+        extra = {META_KEY: meta} if meta is not None else None
+        started = time.perf_counter()
+        document: str | bytes
+        if codec.binary:
+            from .binary import write_binary_head, write_binary_tail
+
+            bout = io.BytesIO()
+            write_binary_head(bout, extra=extra)
+            bout.write(buffer.body)
+            write_binary_tail(
+                bout,
+                checksums=buffer.checksums,
+                count=buffer.count,
+                chain=buffer.chain,
+            )
+            document = bout.getvalue()
+        else:
+            out = io.StringIO()
+            write_document_head(out, extra=extra)
+            out.write(buffer.body)
+            write_document_tail(
+                out,
+                checksums=buffer.checksums,
+                count=buffer.count,
+                chain=buffer.chain,
+            )
+            document = out.getvalue()
+        if _ENCODE_SECONDS.enabled:
+            _ENCODE_SECONDS.observe(
+                time.perf_counter() - started, labels=(format_name,)
+            )
         if corrupt is not None:
-            text = corrupt(text, f"{crawl}:{os_name}:{domain}")
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(text)
+            document = corrupt(document, f"{crawl}:{os_name}:{domain}")
+        path = self.path_for(crawl, os_name, domain, format=format_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        if isinstance(document, bytes):
+            tmp.write_bytes(document)
+        else:
+            tmp.write_text(document)
         tmp.replace(path)
+        base_name = path.name[: -len(codec.suffix)]
+        for suffix in ARCHIVE_SUFFIXES:
+            if suffix != codec.suffix:
+                sibling = path.with_name(base_name + suffix)
+                if sibling.exists():
+                    sibling.unlink()
         return path
 
     # -- read --------------------------------------------------------------
@@ -176,15 +258,16 @@ class NetLogArchive:
     ) -> Any | None:
         """Feed one archived document through a sink with bounded memory.
 
-        Salvage-parses the document and pushes each event into ``sink``
-        as it is decoded (fsck's reparse tier runs detection this way
-        without materialising the event list); returns ``sink.finish()``,
-        or None when the document is absent.
+        Salvage-parses the document — whichever format it is stored in —
+        and pushes each event into ``sink`` as it is decoded (fsck's
+        reparse tier runs detection this way without materialising the
+        event list); returns ``sink.finish()``, or None when the
+        document is absent.
         """
         path = self.path_for(crawl, os_name, domain)
         if not path.exists():
             return None
-        with path.open() as fp:
+        with path.open("rb") as fp:
             return feed(
                 iter_events_streaming(fp, strict=False, stats=stats), sink
             )
@@ -192,14 +275,26 @@ class NetLogArchive:
     def read_meta(self, path: Path) -> dict | None:
         """The ``visitMeta`` block of a document, damage-tolerant.
 
-        The block is written at the very front of the document, so it
-        survives every tail-side damage shape; a document corrupted
-        before its first few hundred bytes yields None.
+        The block is written at the very front of the document in both
+        formats, so it survives every tail-side damage shape; a document
+        corrupted before its first few hundred bytes yields None.
         """
         try:
-            head = path.read_text(errors="replace")
+            raw = path.read_bytes()
         except OSError:
             return None
+        if sniff_format(raw) == FORMAT_BINARY:
+            from .binary import read_binary_header
+
+            header = read_binary_header(raw)
+            if header is None:
+                return None
+            extra = header.get("extra")
+            if not isinstance(extra, dict):
+                return None
+            meta = extra.get(META_KEY)
+            return meta if isinstance(meta, dict) else None
+        head = raw.decode("utf-8", errors="replace")
         marker = f'"{META_KEY}": '
         start = head.find(marker)
         if start < 0:
@@ -212,9 +307,13 @@ class NetLogArchive:
         return meta if isinstance(meta, dict) else None
 
     def verify(self, path: Path) -> ParseStats:
-        """Parse one document in salvage mode, returning its stats."""
-        stats = ParseStats()
-        with path.open() as fp:
-            for _ in iter_events_streaming(fp, strict=False, stats=stats):
-                pass
-        return stats
+        """Parse one document in salvage mode, returning its stats.
+
+        Binary documents get the ``full`` verification regime here —
+        canonical crc32-chain-v1 re-derivation per record, the same
+        contract the JSON parser always applies — because this is the
+        audit path ``repro fsck`` trusts.
+        """
+        from .parallel import verify_document
+
+        return verify_document(path)

@@ -1,0 +1,1233 @@
+"""Compact binary NetLog record encoding (``nlbin-v1``).
+
+A length-prefixed binary sibling of the JSON document format in
+:mod:`repro.netlog.writer`.  The JSON form is self-describing and greppable
+but costs a ``json.loads`` per record on every re-analysis; measurement
+corpora are scanned far more often than they are captured, so this format
+optimises the read side: fixed-offset framing that a scanner can walk with
+``struct.unpack_from`` over a single ``memoryview`` (no per-record JSON
+decode, no intermediate dict), with only the free-form ``params`` payload
+kept as embedded JSON bytes.
+
+Document layout::
+
+    magic   8 bytes  b"\\x89NLB1\\r\\n\\x00"  (PNG-style: the high bit
+                     catches 7-bit strippers, CRLF catches newline
+                     translation, NUL catches text-mode truncation)
+    frames  tag (1 byte) | payload length (u32 LE) | payload CRC32 (u32 LE)
+            | payload
+
+    'H'  header  — UTF-8 JSON: format tag, timeTickOffset, the same
+                   constants name tables the JSON writer embeds, and the
+                   document's extra keys (e.g. ``visitMeta``)
+    'E'  event   — fixed prelude ``<IdHIBBB`` (record index, time, type,
+                   source id, source type, phase, flags), an optional
+                   ``<II`` crc/chain pair, then raw params JSON bytes
+    'T'  trailer — UTF-8 JSON: event count (and, when checksummed, the
+                   crc32-chain-v1 algorithm tag and final chain value)
+
+Integrity is two-layered:
+
+* every frame carries a CRC32 over its own payload bytes — verified on
+  the fast path at C speed, so in-place corruption is caught without
+  re-canonicalising the record;
+* checksummed records additionally store the *same* ``crc``/``chain``
+  values the JSON writer computes — CRC32 over the record's canonical
+  JSON form and the ``crc32-chain-v1`` rolling chain — so a document can
+  be transcoded between formats without touching its checksum chain, and
+  ``repro fsck`` audits both formats against one contract
+  (:func:`verify_full` re-derives the canonical forms exactly like the
+  JSON parser's :class:`~repro.netlog.parser.ChainVerifier`).
+
+Salvage semantics mirror the JSON parsers: with ``strict=False`` a
+truncated, NUL-padded, torn or bit-flipped document yields every event in
+its intact prefix, and the damage is accounted in
+:class:`~repro.netlog.parser.ParseStats` (``first_divergence`` pins the
+first record where a checksummed document diverged from what its writer
+emitted).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from typing import IO, Iterable, Iterator
+
+from .constants import EventPhase, EventType, SourceType
+from .events import NetLogEvent, NetLogSource
+from .parser import (
+    ChainVerifier,
+    NetLogIntegrityError,
+    NetLogParseError,
+    NetLogTruncationError,
+    ParseStats,
+)
+from .writer import (
+    CHAIN_SEED,
+    CHECKSUM_ALGORITHM,
+    build_constants,
+    canonical_record_bytes,
+    event_to_record,
+)
+
+#: Format identifier, embedded in every header frame.
+BINARY_FORMAT = "nlbin-v1"
+
+#: Document magic. First byte is non-ASCII so no binary document can be
+#: mistaken for JSON (which must start with ``{`` after whitespace).
+MAGIC = b"\x89NLB1\r\n\x00"
+
+#: Frame tags.
+TAG_HEADER = 0x48  # 'H'
+TAG_EVENT = 0x45  # 'E'
+TAG_TRAILER = 0x54  # 'T'
+
+#: Event-frame flag bits.
+FLAG_PARAMS = 0x01  # params JSON bytes follow the fixed fields
+FLAG_INTEGRITY = 0x02  # a crc/chain pair follows the prelude
+FLAG_INT_TIME = 0x04  # ``time`` was an int in the source record
+
+#: ``tag | payload length | payload crc32``.
+_FRAME_HEAD = struct.Struct("<BII")
+#: ``index | time | type | source id | source type | phase | flags``.
+_PRELUDE = struct.Struct("<IdHIBBB")
+#: ``crc | chain`` — the crc32-chain-v1 pair, identical to the JSON fields.
+_INTEGRITY = struct.Struct("<II")
+
+#: Upper bound on one frame's payload: a length field beyond this is
+#: framing damage (bit flip in the length), not a real record.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Precompiled decode dispatch: one dict/tuple lookup per field instead of
+# an enum-constructor try/except per record.  Unknown event-type codes
+# miss the table and take the forward-compatibility skip path.
+_EVENT_TYPE_OF: dict[int, EventType] = {int(e): e for e in EventType}
+_SOURCE_TYPE_OF: dict[int, SourceType] = {int(s): s for s in SourceType}
+_PHASE_OF: dict[int, EventPhase] = {int(p): p for p in EventPhase}
+
+_dumps = json.dumps
+_loads = json.loads
+_crc32 = zlib.crc32
+
+#: Prebuilt C-level JSON scanner for params payloads: skips the
+#: ``detect_encoding``/whitespace wrappers ``json.loads`` runs per call,
+#: which dominate when the payload is a short params object.
+_scan_json = json.JSONDecoder().scan_once
+
+
+def _decode_params(payload: memoryview, offset: int) -> dict:
+    """Decode the params JSON slice of an event payload.
+
+    ``str(view, "utf-8")`` decodes straight from the memoryview (one
+    copy, not two) and handing the C scanner a ``str`` avoids the
+    byte-level sniffing ``json.loads`` would repeat per record.  Raises
+    ``ValueError`` on damage (the caller maps it to the malformed-record
+    disposition).
+    """
+    text = str(payload[offset:], "utf-8")
+    try:
+        params, _ = _scan_json(text, 0)
+    except StopIteration:
+        raise ValueError("empty params payload") from None
+    if not isinstance(params, dict):
+        raise ValueError("event params must be an object")
+    return params
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _frame(tag: int, payload: bytes) -> bytes:
+    return _FRAME_HEAD.pack(tag, len(payload), _crc32(payload)) + payload
+
+
+def write_binary_head(
+    fp: IO[bytes],
+    *,
+    time_origin_ms: float = 0.0,
+    extra: dict | None = None,
+    constants: dict | None = None,
+) -> None:
+    """Open a binary NetLog document: magic plus the header frame.
+
+    The header carries the same self-describing content as the JSON
+    document head — the constants name tables and any extra top-level
+    keys — so transcoding back to JSON reproduces the head byte for
+    byte.  ``constants`` overrides the native tables (the transcoder
+    passes a foreign document's own block through unchanged).
+    """
+    head: dict = {"format": BINARY_FORMAT}
+    if extra is not None:
+        head["extra"] = extra
+    head["timeTickOffset"] = time_origin_ms
+    head["constants"] = (
+        constants if constants is not None else build_constants(time_origin_ms)
+    )
+    fp.write(MAGIC)
+    fp.write(_frame(TAG_HEADER, _dumps(head).encode("utf-8")))
+
+
+def write_binary_tail(
+    fp: IO[bytes],
+    *,
+    checksums: bool = False,
+    count: int = 0,
+    chain: int = CHAIN_SEED,
+) -> None:
+    """Close a binary document with its trailer frame."""
+    trailer: dict = {"events": count}
+    if checksums:
+        trailer = {
+            "algorithm": CHECKSUM_ALGORITHM,
+            "events": count,
+            "chain": chain,
+        }
+    fp.write(_frame(TAG_TRAILER, _dumps(trailer).encode("utf-8")))
+
+
+class BinaryRecordWriter:
+    """Incrementally serialises one document's event frames.
+
+    The binary sibling of :class:`~repro.netlog.writer.RecordWriter`:
+    tracks the running count and rolling hash chain so the caller can
+    close the document with :func:`write_binary_tail`.  ``write_record``
+    additionally accepts raw JSON-shaped record dicts (with stored
+    crc/chain values) so the transcoder can move checksummed documents
+    between formats without re-deriving their integrity metadata.
+    """
+
+    __slots__ = ("fp", "checksums", "count", "chain")
+
+    def __init__(self, fp: IO[bytes], *, checksums: bool = False) -> None:
+        self.fp = fp
+        self.checksums = checksums
+        self.count = 0
+        self.chain = CHAIN_SEED
+
+    def write(self, event: NetLogEvent) -> None:
+        """Serialise one event, deriving integrity fields if checksummed."""
+        flags = 0
+        integrity = b""
+        if self.checksums:
+            payload = canonical_record_bytes(event_to_record(event))
+            crc = _crc32(payload)
+            self.chain = _crc32(payload, self.chain)
+            integrity = _INTEGRITY.pack(crc, self.chain)
+            flags |= FLAG_INTEGRITY
+        params_bytes = b""
+        if event.params:
+            flags |= FLAG_PARAMS
+            params_bytes = _dumps(
+                event.params, separators=(",", ":")
+            ).encode("utf-8")
+        body = (
+            _PRELUDE.pack(
+                self.count,
+                float(event.time),
+                int(event.type),
+                event.source.id,
+                int(event.source.type),
+                int(event.phase),
+                flags,
+            )
+            + integrity
+            + params_bytes
+        )
+        self.fp.write(_frame(TAG_EVENT, body))
+        self.count += 1
+
+    def write_record(self, record: dict) -> None:
+        """Serialise one JSON-shaped record dict, preserving stored
+        crc/chain values and the int-ness of ``time`` (both matter for
+        canonical-form equality when the document is verified or
+        transcoded back)."""
+        time_value = record["time"]
+        source = record["source"]
+        params = record.get("params")
+        crc = record.get("crc")
+        chain = record.get("chain")
+        flags = 0
+        if isinstance(time_value, int) and not isinstance(time_value, bool):
+            flags |= FLAG_INT_TIME
+        integrity = b""
+        if crc is not None and chain is not None:
+            integrity = _INTEGRITY.pack(int(crc), int(chain))
+            flags |= FLAG_INTEGRITY
+            self.chain = int(chain)
+        params_bytes = b""
+        if params:
+            flags |= FLAG_PARAMS
+            params_bytes = _dumps(params, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        body = (
+            _PRELUDE.pack(
+                self.count,
+                float(time_value),
+                int(record["type"]),
+                int(source["id"]),
+                int(source.get("type", 0)),
+                int(record.get("phase", 0)),
+                flags,
+            )
+            + integrity
+            + params_bytes
+        )
+        self.fp.write(_frame(TAG_EVENT, body))
+        self.count += 1
+
+
+class BinaryNetLogBuffer:
+    """`EventSink` that serialises events to binary frames as they arrive.
+
+    The drop-in binary counterpart of
+    :class:`~repro.netlog.writer.NetLogBuffer`: same streaming-capture
+    role, same ``body``/``count``/``chain``/``checksums`` surface, with a
+    ``bytes`` body the archive wraps into a document via
+    :func:`write_binary_head`/:func:`write_binary_tail`.
+    """
+
+    __slots__ = ("_io", "_writer")
+
+    format = "binary"
+
+    def __init__(self, *, checksums: bool = True) -> None:
+        self._io = io.BytesIO()
+        self._writer = BinaryRecordWriter(self._io, checksums=checksums)
+
+    def accept(self, event: NetLogEvent) -> None:
+        self._writer.write(event)
+
+    def finish(self) -> "BinaryNetLogBuffer":
+        return self
+
+    @property
+    def body(self) -> bytes:
+        """The serialised event frames (no magic, header, or trailer)."""
+        return self._io.getvalue()
+
+    @property
+    def count(self) -> int:
+        return self._writer.count
+
+    @property
+    def chain(self) -> int:
+        return self._writer.chain
+
+    @property
+    def checksums(self) -> bool:
+        return self._writer.checksums
+
+
+def dump_binary(
+    events: Iterable[NetLogEvent],
+    fp: IO[bytes],
+    *,
+    time_origin_ms: float = 0.0,
+    checksums: bool = False,
+    extra: dict | None = None,
+) -> int:
+    """Write a complete binary NetLog document; returns the event count.
+
+    The binary counterpart of :func:`repro.netlog.writer.dump` — same
+    streaming constant-memory property, same ``checksums`` semantics
+    (identical crc/chain values over the same canonical forms).
+    """
+    write_binary_head(fp, time_origin_ms=time_origin_ms, extra=extra)
+    writer = BinaryRecordWriter(fp, checksums=checksums)
+    for event in events:
+        writer.write(event)
+    write_binary_tail(
+        fp, checksums=checksums, count=writer.count, chain=writer.chain
+    )
+    return writer.count
+
+
+def dumps_binary(
+    events: Iterable[NetLogEvent],
+    *,
+    time_origin_ms: float = 0.0,
+    checksums: bool = False,
+    extra: dict | None = None,
+) -> bytes:
+    """Serialise a binary NetLog document to bytes."""
+    buffer = io.BytesIO()
+    dump_binary(
+        events,
+        buffer,
+        time_origin_ms=time_origin_ms,
+        checksums=checksums,
+        extra=extra,
+    )
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Frame scanning
+# ---------------------------------------------------------------------------
+
+
+class _Framing(Exception):
+    """Internal: the byte stream stopped being a frame sequence."""
+
+    def __init__(self, detail: str, *, partial_record: bool = False) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        #: Whether the damage point fell inside an event frame (a
+        #: mid-record cut drops a partial record; a cut between frames
+        #: loses nothing but the trailer's accounting).
+        self.partial_record = partial_record
+
+
+def _iter_frames_buffer(
+    view: memoryview,
+) -> Iterator[tuple[int, memoryview]]:
+    """Yield ``(tag, payload)`` frames from one in-memory document.
+
+    Zero-copy: payloads are ``memoryview`` slices of the source buffer.
+    Raises :class:`_Framing` at the first point the byte stream stops
+    making sense (truncation, NUL padding, a flipped length field).
+    """
+    size = len(view)
+    offset = len(MAGIC)
+    head = _FRAME_HEAD
+    head_size = head.size
+    while offset < size:
+        tag = view[offset]
+        if tag == 0:
+            # NUL padding: a torn write flushed a sparse tail.  Nothing
+            # after this point is trustworthy (mirrors the JSON
+            # scanner's sticky-EOF NUL handling).
+            raise _Framing("NUL padding where a frame was expected")
+        if offset + head_size > size:
+            raise _Framing(
+                "document ends inside a frame header", partial_record=True
+            )
+        tag, length, frame_crc = head.unpack_from(view, offset)
+        if tag not in (TAG_HEADER, TAG_EVENT, TAG_TRAILER):
+            raise _Framing(f"unknown frame tag 0x{tag:02x}")
+        if length > MAX_FRAME_BYTES:
+            raise _Framing(
+                f"implausible frame length {length} (framing lost)"
+            )
+        start = offset + head_size
+        end = start + length
+        if end > size:
+            raise _Framing(
+                "document ends inside a frame payload",
+                partial_record=tag == TAG_EVENT,
+            )
+        payload = view[start:end]
+        if frame_crc != _crc32(payload):
+            yield -tag, payload  # negative tag: frame failed its own CRC
+        else:
+            yield tag, payload
+        offset = end
+
+
+def _iter_frames_file(fp: IO[bytes]) -> Iterator[tuple[int, memoryview]]:
+    """Yield ``(tag, payload)`` frames from a binary file object.
+
+    Bounded memory: exactly one frame is resident at a time, so
+    arbitrarily large documents stream.  Damage semantics match the
+    buffer scanner.
+    """
+    head = _FRAME_HEAD
+    head_size = head.size
+    while True:
+        header = fp.read(head_size)
+        if not header:
+            return
+        if header[0] == 0:
+            raise _Framing("NUL padding where a frame was expected")
+        if len(header) < head_size:
+            raise _Framing(
+                "document ends inside a frame header", partial_record=True
+            )
+        tag, length, frame_crc = head.unpack_from(header)
+        if tag not in (TAG_HEADER, TAG_EVENT, TAG_TRAILER):
+            raise _Framing(f"unknown frame tag 0x{tag:02x}")
+        if length > MAX_FRAME_BYTES:
+            raise _Framing(
+                f"implausible frame length {length} (framing lost)"
+            )
+        payload = fp.read(length)
+        if len(payload) < length:
+            raise _Framing(
+                "document ends inside a frame payload",
+                partial_record=tag == TAG_EVENT,
+            )
+        view = memoryview(payload)
+        if frame_crc != _crc32(payload):
+            yield -tag, view
+        else:
+            yield tag, view
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _record_from_payload(payload: memoryview) -> dict:
+    """Reconstruct the JSON-shaped record dict for one event payload.
+
+    Key order matches :func:`~repro.netlog.writer.event_to_record` plus
+    the integrity fields in writer order, so a transcoded JSON document
+    is byte-identical to one the JSON writer would emit.  ``FLAG_INT_TIME``
+    restores the int-ness of ``time`` (canonical forms distinguish
+    ``7`` from ``7.0``).
+    """
+    index, time_value, type_code, source_id, source_type, phase, flags = (
+        _PRELUDE.unpack_from(payload, 0)
+    )
+    del index
+    offset = _PRELUDE.size
+    crc = chain = None
+    if flags & FLAG_INTEGRITY:
+        crc, chain = _INTEGRITY.unpack_from(payload, offset)
+        offset += _INTEGRITY.size
+    record: dict = {
+        "time": int(time_value) if flags & FLAG_INT_TIME else time_value,
+        "type": type_code,
+        "source": {"id": source_id, "type": source_type},
+        "phase": phase,
+    }
+    if flags & FLAG_PARAMS:
+        record["params"] = _loads(bytes(payload[offset:]))
+    if crc is not None:
+        record["crc"] = crc
+        record["chain"] = chain
+    return record
+
+
+class _FastVerifier:
+    """Cheap integrity accounting for the zero-copy decode path.
+
+    Frame CRCs (checked by the scanner at C speed) already prove each
+    record's bytes are what the writer emitted; this verifier adds the
+    cross-record checks — record-index continuity (records lost,
+    reordered, or spliced) and the trailer's count/final-chain — without
+    re-deriving canonical JSON forms.  ``repro fsck`` uses
+    :func:`verify_full` (the shared :class:`ChainVerifier` contract)
+    instead when it wants the canonical-form proof.
+    """
+
+    __slots__ = ("expected", "seen", "seen_checksums", "last_chain", "synced")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.seen = 0  # record frames consumed, resync-independent
+        self.seen_checksums = False
+        self.last_chain: int | None = None
+        self.synced = True
+
+    def check_index(
+        self,
+        index: int,
+        *,
+        strict: bool,
+        stats: ParseStats | None,
+    ) -> bool:
+        """Index continuity; False means the record must be dropped."""
+        self.seen += 1
+        if index == self.expected:
+            self.expected = index + 1
+            return True
+        if strict:
+            raise NetLogIntegrityError(
+                f"record index {index} where {self.expected} was expected "
+                "(records lost or reordered)"
+            )
+        if stats is not None:
+            stats.chain_breaks += 1
+            if stats.first_divergence is None:
+                stats.first_divergence = min(index, self.expected)
+        self.expected = index + 1
+        self.synced = False
+        return False
+
+    def mark_damage(self, stats: ParseStats | None) -> None:
+        """A record that never decoded still occupies its index slot."""
+        self.seen += 1
+        if (
+            self.seen_checksums
+            and stats is not None
+            and stats.first_divergence is None
+        ):
+            stats.first_divergence = self.expected
+        self.expected += 1
+        self.synced = False
+
+    def check_trailer(
+        self,
+        trailer: dict,
+        *,
+        strict: bool,
+        stats: ParseStats | None,
+    ) -> None:
+        expected_events = trailer.get("events")
+        expected_chain = trailer.get("chain")
+        # The count compares against record frames actually seen, not
+        # the post-resync index, so a spliced-out record trips both the
+        # index gap and the trailer count — mirroring the JSON parsers.
+        count_bad = (
+            isinstance(expected_events, int)
+            and expected_events != self.seen
+        )
+        chain_bad = (
+            self.synced
+            and self.seen_checksums
+            and isinstance(expected_chain, int)
+            and self.last_chain is not None
+            and expected_chain != self.last_chain
+        )
+        if count_bad or chain_bad:
+            detail = (
+                f"integrity trailer mismatch: trailer covers "
+                f"{expected_events} records ending at chain "
+                f"{expected_chain}, parse saw {self.seen}"
+            )
+            if strict:
+                raise NetLogIntegrityError(detail)
+            if stats is not None:
+                stats.chain_breaks += 1
+                if stats.first_divergence is None:
+                    stats.first_divergence = self.expected
+
+
+def iter_events_binary(
+    source: bytes | memoryview | IO[bytes],
+    *,
+    strict: bool = False,
+    stats: ParseStats | None = None,
+    verify: str = "fast",
+) -> Iterator[NetLogEvent]:
+    """Yield events from a binary NetLog document.
+
+    ``source`` may be the document bytes (zero-copy scan over one
+    ``memoryview``) or a binary file object (one frame resident at a
+    time).  ``verify`` selects the integrity regime:
+
+    * ``"fast"`` (default) — frame CRCs plus index/trailer continuity;
+      catches every accidental-damage shape without re-canonicalising.
+    * ``"full"`` — additionally re-derives each checksummed record's
+      canonical JSON form and walks the crc32-chain-v1 chain through the
+      shared :class:`ChainVerifier`, exactly as the JSON parsers do.
+
+    Salvage semantics (``strict=False``) mirror the JSON parsers: the
+    intact prefix is yielded and the damage is accounted in ``stats``.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        view = memoryview(source)
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            head = bytes(view[: len(MAGIC)])
+            if head == MAGIC[: len(head)]:
+                # Empty, or cut inside the magic itself: a truncated
+                # binary document, not a foreign format.
+                if strict:
+                    raise NetLogTruncationError(
+                        "document ends inside the format magic"
+                        if head
+                        else "empty NetLog document"
+                    )
+                if stats is not None:
+                    stats.truncated = True
+                return
+            raise NetLogParseError("not a binary NetLog document (bad magic)")
+        if verify == "full":
+            yield from _iter_decoded(
+                _iter_frames_buffer(view),
+                strict=strict,
+                stats=stats,
+                verify=verify,
+            )
+        else:
+            yield from _iter_events_fused(view, strict=strict, stats=stats)
+        return
+    magic = source.read(len(MAGIC))
+    if magic != MAGIC:
+        if magic == MAGIC[: len(magic)]:
+            if strict:
+                raise NetLogTruncationError(
+                    "document ends inside the format magic"
+                    if magic
+                    else "empty NetLog document"
+                )
+            if stats is not None:
+                stats.truncated = True
+            return
+        raise NetLogParseError("not a binary NetLog document (bad magic)")
+    yield from _iter_decoded(
+        _iter_frames_file(source), strict=strict, stats=stats, verify=verify
+    )
+
+
+def _iter_decoded(
+    frames: Iterator[tuple[int, memoryview]],
+    *,
+    strict: bool,
+    stats: ParseStats | None,
+    verify: str,
+) -> Iterator[NetLogEvent]:
+    full = verify == "full"
+    fast = _FastVerifier()
+    chain_verifier = ChainVerifier() if full else None
+    prelude = _PRELUDE
+    prelude_size = prelude.size
+    integrity_size = _INTEGRITY.size
+    event_type_of = _EVENT_TYPE_OF
+    source_type_of = _SOURCE_TYPE_OF
+    phase_of = _PHASE_OF
+    saw_trailer = False
+    try:
+        for tag, payload in frames:
+            if tag == TAG_EVENT:
+                (
+                    index,
+                    time_value,
+                    type_code,
+                    source_id,
+                    source_type,
+                    phase,
+                    flags,
+                ) = prelude.unpack_from(payload, 0)
+                checksummed = bool(flags & FLAG_INTEGRITY)
+                if checksummed:
+                    fast.seen_checksums = True
+                if full:
+                    record = _record_from_payload(payload)
+                    if not chain_verifier.verify(
+                        record, strict=strict, stats=stats
+                    ):
+                        fast.check_index(index, strict=False, stats=None)
+                        continue
+                    fast.check_index(index, strict=False, stats=None)
+                else:
+                    if checksummed:
+                        fast.last_chain = _INTEGRITY.unpack_from(
+                            payload, prelude_size
+                        )[1]
+                    if not fast.check_index(index, strict=strict, stats=stats):
+                        continue
+                    if stats is not None and checksummed:
+                        stats.verified += 1
+                event_type = event_type_of.get(type_code)
+                if event_type is None:
+                    # Forward compatibility: same skip-and-count contract
+                    # as the JSON parsers for foreign vocabularies.
+                    if strict:
+                        raise NetLogParseError(
+                            f"unknown event type: {type_code!r}"
+                        )
+                    if stats is not None:
+                        stats.dropped_unknown_type += 1
+                    continue
+                source_kind = source_type_of.get(source_type)
+                if source_kind is None:
+                    if strict:
+                        raise NetLogParseError(
+                            f"malformed source type: {source_type!r}"
+                        )
+                    if stats is not None:
+                        stats.dropped_malformed += 1
+                    continue
+                offset = prelude_size
+                if checksummed:
+                    offset += integrity_size
+                if flags & FLAG_PARAMS:
+                    try:
+                        params = _decode_params(payload, offset)
+                    except ValueError as exc:
+                        if strict:
+                            raise NetLogParseError(
+                                f"malformed params: {exc}"
+                            ) from exc
+                        if stats is not None:
+                            stats.dropped_malformed += 1
+                        continue
+                else:
+                    params = {}
+                if stats is not None:
+                    stats.parsed += 1
+                yield NetLogEvent(
+                    time=time_value,
+                    type=event_type,
+                    source=NetLogSource(id=source_id, type=source_kind),
+                    phase=phase_of.get(phase, EventPhase.NONE),
+                    params=params,
+                )
+            elif tag == -TAG_EVENT:
+                # The frame's own CRC failed: in-place corruption.  A
+                # checksummed document counts it as a checksum failure
+                # (the analog of a record whose stored CRC lies); a
+                # plain document counts it as a malformed record.
+                checksummed = fast.seen_checksums or _frame_checksummed(
+                    payload
+                )
+                if strict:
+                    raise NetLogIntegrityError(
+                        "frame CRC mismatch (in-place corruption)"
+                    )
+                if checksummed:
+                    fast.seen_checksums = True
+                    if stats is not None:
+                        stats.checksum_failures += 1
+                        if stats.first_divergence is None:
+                            stats.first_divergence = fast.expected
+                    fast.seen += 1
+                    fast.expected += 1
+                    fast.synced = False
+                else:
+                    if stats is not None:
+                        stats.dropped_malformed += 1
+                    fast.mark_damage(stats)
+                if chain_verifier is not None:
+                    chain_verifier.mark_gap(None)
+            elif tag == TAG_HEADER:
+                continue  # self-description only; vocabulary is native
+            elif tag == TAG_TRAILER:
+                saw_trailer = True
+                try:
+                    trailer = _loads(bytes(payload))
+                except ValueError:
+                    trailer = None
+                if isinstance(trailer, dict):
+                    if full:
+                        chain_verifier.check_trailer(
+                            trailer, strict=strict, stats=stats
+                        )
+                    else:
+                        fast.check_trailer(
+                            trailer, strict=strict, stats=stats
+                        )
+                break  # nothing meaningful may follow the trailer
+            elif tag in (-TAG_HEADER, -TAG_TRAILER):
+                if strict:
+                    raise NetLogIntegrityError(
+                        "frame CRC mismatch (in-place corruption)"
+                    )
+                # A damaged header loses only self-description; a
+                # damaged trailer loses the tail accounting.
+                if stats is not None and tag == -TAG_TRAILER:
+                    stats.chain_breaks += 1
+                    if stats.first_divergence is None:
+                        stats.first_divergence = fast.expected
+                if tag == -TAG_TRAILER:
+                    saw_trailer = True
+                    break
+    except _Framing as exc:
+        if strict:
+            raise NetLogTruncationError(exc.detail) from exc
+        if stats is not None:
+            stats.truncated = True
+            if exc.partial_record:
+                stats.dropped_malformed += 1
+                fast.mark_damage(stats)
+        return
+    if not saw_trailer:
+        # A binary document always closes with a trailer frame; running
+        # out of frames without one is clean whole-record truncation.
+        if strict:
+            raise NetLogTruncationError("document ended before its trailer")
+        if stats is not None:
+            stats.truncated = True
+
+
+def _iter_events_fused(
+    view: memoryview,
+    *,
+    strict: bool,
+    stats: ParseStats | None,
+) -> Iterator[NetLogEvent]:
+    """Fused framing + decode over one in-memory document (fast verify).
+
+    The hot path: a single loop walks the buffer with
+    ``struct.unpack_from`` — no intermediate frame generator, no
+    per-record dict, no per-record ``json.loads`` wrapper — which is
+    what buys the binary format its parse-throughput edge.  Semantics
+    are identical to the generic frame loop (the salvage suite runs
+    against both paths); only the iteration structure differs.
+    """
+    size = len(view)
+    offset = len(MAGIC)
+    unpack_head = _FRAME_HEAD.unpack_from
+    unpack_prelude = _PRELUDE.unpack_from
+    unpack_integrity = _INTEGRITY.unpack_from
+    crc32 = _crc32
+    event_type_of = _EVENT_TYPE_OF
+    source_type_of = _SOURCE_TYPE_OF
+    phase_of = _PHASE_OF
+    head_size = _FRAME_HEAD.size
+    prelude_size = _PRELUDE.size
+    integrity_size = _INTEGRITY.size
+    none_phase = EventPhase.NONE
+
+    expected = 0  # next record index
+    seen = 0  # record frames consumed, resync-independent
+    seen_checksums = False
+    last_chain: int | None = None
+    synced = True
+    saw_trailer = False
+    damage: str | None = None
+    partial_record = False
+
+    while offset < size:
+        if view[offset] == 0:
+            damage = "NUL padding where a frame was expected"
+            break
+        if offset + head_size > size:
+            damage = "document ends inside a frame header"
+            partial_record = True
+            break
+        tag, length, frame_crc = unpack_head(view, offset)
+        if tag not in (TAG_HEADER, TAG_EVENT, TAG_TRAILER):
+            damage = f"unknown frame tag 0x{tag:02x}"
+            break
+        if length > MAX_FRAME_BYTES:
+            damage = f"implausible frame length {length} (framing lost)"
+            break
+        start = offset + head_size
+        end = start + length
+        if end > size:
+            damage = "document ends inside a frame payload"
+            partial_record = tag == TAG_EVENT
+            break
+        payload = view[start:end]
+        offset = end
+        if frame_crc != crc32(payload):
+            if strict:
+                raise NetLogIntegrityError(
+                    "frame CRC mismatch (in-place corruption)"
+                )
+            if tag == TAG_EVENT:
+                if seen_checksums or _frame_checksummed(payload):
+                    seen_checksums = True
+                    if stats is not None:
+                        stats.checksum_failures += 1
+                        if stats.first_divergence is None:
+                            stats.first_divergence = expected
+                else:
+                    if stats is not None:
+                        stats.dropped_malformed += 1
+                        if (
+                            seen_checksums
+                            and stats.first_divergence is None
+                        ):
+                            stats.first_divergence = expected
+                seen += 1
+                expected += 1
+                synced = False
+            elif tag == TAG_TRAILER:
+                if stats is not None:
+                    stats.chain_breaks += 1
+                    if stats.first_divergence is None:
+                        stats.first_divergence = expected
+                saw_trailer = True
+                break
+            continue
+        if tag == TAG_EVENT:
+            (
+                index,
+                time_value,
+                type_code,
+                source_id,
+                source_type,
+                phase,
+                flags,
+            ) = unpack_prelude(payload, 0)
+            checksummed = flags & FLAG_INTEGRITY
+            seen += 1
+            if checksummed:
+                seen_checksums = True
+                last_chain = unpack_integrity(payload, prelude_size)[1]
+            if index != expected:
+                if strict:
+                    raise NetLogIntegrityError(
+                        f"record index {index} where {expected} was "
+                        "expected (records lost or reordered)"
+                    )
+                if stats is not None:
+                    stats.chain_breaks += 1
+                    if stats.first_divergence is None:
+                        stats.first_divergence = min(index, expected)
+                expected = index + 1
+                synced = False
+                continue
+            expected = index + 1
+            event_type = event_type_of.get(type_code)
+            if event_type is None:
+                if strict:
+                    raise NetLogParseError(
+                        f"unknown event type: {type_code!r}"
+                    )
+                if stats is not None:
+                    if checksummed:
+                        stats.verified += 1
+                    stats.dropped_unknown_type += 1
+                continue
+            source_kind = source_type_of.get(source_type)
+            if source_kind is None:
+                if strict:
+                    raise NetLogParseError(
+                        f"malformed source type: {source_type!r}"
+                    )
+                if stats is not None:
+                    if checksummed:
+                        stats.verified += 1
+                    stats.dropped_malformed += 1
+                continue
+            if flags & FLAG_PARAMS:
+                body_offset = prelude_size
+                if checksummed:
+                    body_offset += integrity_size
+                try:
+                    params = _decode_params(payload, body_offset)
+                except ValueError as exc:
+                    if strict:
+                        raise NetLogParseError(
+                            f"malformed params: {exc}"
+                        ) from exc
+                    if stats is not None:
+                        if checksummed:
+                            stats.verified += 1
+                        stats.dropped_malformed += 1
+                    continue
+            else:
+                params = {}
+            if stats is not None:
+                stats.parsed += 1
+                if checksummed:
+                    stats.verified += 1
+            yield NetLogEvent(
+                time=time_value,
+                type=event_type,
+                source=NetLogSource(id=source_id, type=source_kind),
+                phase=phase_of.get(phase, none_phase),
+                params=params,
+            )
+        elif tag == TAG_TRAILER:
+            saw_trailer = True
+            try:
+                trailer = _loads(bytes(payload))
+            except ValueError:
+                trailer = None
+            if isinstance(trailer, dict):
+                expected_events = trailer.get("events")
+                expected_chain = trailer.get("chain")
+                count_bad = (
+                    isinstance(expected_events, int)
+                    and expected_events != seen
+                )
+                chain_bad = (
+                    synced
+                    and seen_checksums
+                    and isinstance(expected_chain, int)
+                    and last_chain is not None
+                    and expected_chain != last_chain
+                )
+                if count_bad or chain_bad:
+                    if strict:
+                        raise NetLogIntegrityError(
+                            "integrity trailer mismatch: trailer covers "
+                            f"{expected_events} records ending at chain "
+                            f"{expected_chain}, parse saw {seen}"
+                        )
+                    if stats is not None:
+                        stats.chain_breaks += 1
+                        if stats.first_divergence is None:
+                            stats.first_divergence = expected
+            break
+        # TAG_HEADER: self-description only; vocabulary is native.
+
+    if damage is not None:
+        if strict:
+            raise NetLogTruncationError(damage)
+        if stats is not None:
+            stats.truncated = True
+            if partial_record:
+                stats.dropped_malformed += 1
+                if seen_checksums and stats.first_divergence is None:
+                    stats.first_divergence = expected
+        return
+    if not saw_trailer:
+        if strict:
+            raise NetLogTruncationError("document ended before its trailer")
+        if stats is not None:
+            stats.truncated = True
+
+
+def _frame_checksummed(payload: memoryview) -> bool:
+    """Best-effort: did a CRC-failed event frame carry integrity fields?"""
+    if len(payload) < _PRELUDE.size:
+        return False
+    return bool(payload[_PRELUDE.size - 1] & FLAG_INTEGRITY)
+
+
+def load_binary(
+    source: bytes | IO[bytes],
+    *,
+    strict: bool = True,
+    stats: ParseStats | None = None,
+    verify: str = "fast",
+) -> list[NetLogEvent]:
+    """Parse a complete binary NetLog document into an event list."""
+    return list(
+        iter_events_binary(source, strict=strict, stats=stats, verify=verify)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Raw record access (transcoding, header/meta inspection)
+# ---------------------------------------------------------------------------
+
+
+def read_binary_header(source: bytes | IO[bytes]) -> dict | None:
+    """The decoded header frame of a binary document, damage-tolerant.
+
+    Returns the header dict (``format``, ``timeTickOffset``, ``extra``,
+    ``constants``) or None when the document's head is damaged or absent
+    — the binary counterpart of
+    :meth:`~repro.netlog.archive.NetLogArchive.read_meta`'s tolerance.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        view = memoryview(source)
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            return None
+        frames = _iter_frames_buffer(view)
+    else:
+        if source.read(len(MAGIC)) != MAGIC:
+            return None
+        frames = _iter_frames_file(source)
+    try:
+        for tag, payload in frames:
+            if tag == TAG_HEADER:
+                decoded = _loads(bytes(payload))
+                return decoded if isinstance(decoded, dict) else None
+            return None  # first frame was not an (intact) header
+    except (_Framing, ValueError):
+        return None
+    return None
+
+
+def read_binary_document(
+    source: bytes | IO[bytes],
+    *,
+    strict: bool = True,
+) -> tuple[dict | None, list[dict], dict | None]:
+    """Materialise one binary document as ``(header, records, trailer)``.
+
+    The transcoder's whole-document read path: records are raw
+    JSON-shaped dicts with stored crc/chain preserved, the header and
+    trailer are the decoded frame payloads (None when absent).  With
+    ``strict=True`` any damage raises; the lenient mode salvages like
+    :func:`iter_binary_records`.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        view = memoryview(source)
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise NetLogParseError("not a binary NetLog document (bad magic)")
+        frames = _iter_frames_buffer(view)
+    else:
+        if source.read(len(MAGIC)) != MAGIC:
+            raise NetLogParseError("not a binary NetLog document (bad magic)")
+        frames = _iter_frames_file(source)
+    header: dict | None = None
+    trailer: dict | None = None
+    records: list[dict] = []
+    try:
+        for tag, payload in frames:
+            if tag == TAG_EVENT:
+                try:
+                    records.append(_record_from_payload(payload))
+                except (struct.error, ValueError) as exc:
+                    if strict:
+                        raise NetLogParseError(
+                            f"malformed event frame: {exc}"
+                        ) from exc
+            elif tag == TAG_HEADER:
+                try:
+                    decoded = _loads(bytes(payload))
+                except ValueError as exc:
+                    if strict:
+                        raise NetLogParseError(
+                            f"malformed header frame: {exc}"
+                        ) from exc
+                    decoded = None
+                if isinstance(decoded, dict):
+                    header = decoded
+            elif tag == TAG_TRAILER:
+                try:
+                    decoded = _loads(bytes(payload))
+                except ValueError as exc:
+                    if strict:
+                        raise NetLogParseError(
+                            f"malformed trailer frame: {exc}"
+                        ) from exc
+                    decoded = None
+                if isinstance(decoded, dict):
+                    trailer = decoded
+                break
+            else:
+                if strict:
+                    raise NetLogIntegrityError(
+                        "frame CRC mismatch (in-place corruption)"
+                    )
+    except _Framing as exc:
+        if strict:
+            raise NetLogTruncationError(exc.detail) from exc
+    return header, records, trailer
+
+
+def iter_binary_records(
+    source: bytes | IO[bytes],
+    *,
+    strict: bool = False,
+    stats: ParseStats | None = None,
+) -> Iterator[dict]:
+    """Yield raw JSON-shaped record dicts (crc/chain preserved).
+
+    The transcoder's record-level read path: no event construction, no
+    vocabulary filtering — unknown event types pass through so foreign
+    documents convert losslessly.  Damage is handled like the event
+    parser (salvage the intact prefix, account the loss).
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        view = memoryview(source)
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise NetLogParseError("not a binary NetLog document (bad magic)")
+        frames = _iter_frames_buffer(view)
+    else:
+        if source.read(len(MAGIC)) != MAGIC:
+            raise NetLogParseError("not a binary NetLog document (bad magic)")
+        frames = _iter_frames_file(source)
+    try:
+        for tag, payload in frames:
+            if tag == TAG_EVENT:
+                try:
+                    yield _record_from_payload(payload)
+                except (struct.error, ValueError) as exc:
+                    if strict:
+                        raise NetLogParseError(
+                            f"malformed event frame: {exc}"
+                        ) from exc
+                    if stats is not None:
+                        stats.dropped_malformed += 1
+            elif tag == -TAG_EVENT:
+                if strict:
+                    raise NetLogIntegrityError(
+                        "frame CRC mismatch (in-place corruption)"
+                    )
+                if stats is not None:
+                    stats.dropped_malformed += 1
+            elif tag == TAG_TRAILER:
+                break
+    except _Framing as exc:
+        if strict:
+            raise NetLogTruncationError(exc.detail) from exc
+        if stats is not None:
+            stats.truncated = True

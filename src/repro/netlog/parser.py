@@ -46,8 +46,9 @@ from .writer import CHAIN_SEED, canonical_record_bytes
 _PARSE_SECONDS = obs.histogram(
     "repro_netlog_parse_seconds",
     "NetLog document parse time by mode (strict, lenient, or salvage "
-    "when the document was not even valid JSON)",
-    ("mode",),
+    "when the document was not even valid JSON) and document format "
+    "(json or binary)",
+    ("mode", "format"),
 )
 _RECORDS = obs.counter(
     "repro_netlog_records_total",
@@ -392,24 +393,44 @@ class ChainVerifier:
 
 
 def load(
-    fp: IO[str], *, strict: bool = True, stats: ParseStats | None = None
+    fp: IO[str] | IO[bytes],
+    *,
+    strict: bool = True,
+    stats: ParseStats | None = None,
+    verify: str = "fast",
 ) -> list[NetLogEvent]:
-    """Parse a complete NetLog document from a file object."""
-    return loads(fp.read(), strict=strict, stats=stats)
+    """Parse a complete NetLog document from a file object (either format)."""
+    return loads(fp, strict=strict, stats=stats, verify=verify)
 
 
 def loads(
-    text: str, *, strict: bool = True, stats: ParseStats | None = None
+    source: "bytes | str | IO[str] | IO[bytes]",
+    *,
+    strict: bool = True,
+    stats: ParseStats | None = None,
+    verify: str = "fast",
 ) -> list[NetLogEvent]:
-    """Parse a complete NetLog document from a string.
+    """Parse a complete NetLog document — JSON or binary, from any source.
 
-    In non-strict mode a document that is not valid JSON — the signature
-    of a truncated or NUL-padded NetLog — is salvaged: every event in the
-    intact prefix is recovered and the damage is reported through
-    ``stats`` instead of an exception.
+    ``source`` may be document text, document bytes, or a file object of
+    either; the format is sniffed from the first byte (binary documents
+    open with the ``nlbin-v1`` magic).  ``verify`` is forwarded to the
+    binary parser (``"fast"`` frame-level integrity or ``"full"``
+    canonical crc32-chain-v1 re-derivation); JSON documents always verify
+    fully.
+
+    In non-strict mode a document that is not even well formed — the
+    signature of truncation, NUL padding, or a torn write — is salvaged:
+    every event in the intact prefix is recovered and the damage is
+    reported through ``stats`` instead of an exception.
     """
+    from .codec import coerce_document
+
+    format_name, document = coerce_document(source)
     if not _PARSE_SECONDS.enabled:
-        return _parse_text(text, strict=strict, stats=stats)[0]
+        return _parse_any(
+            format_name, document, strict=strict, stats=stats, verify=verify
+        )[0]
     # Observability wrapper around the same single parse body: time the
     # parse and mirror per-record dispositions into counters.  An
     # internal ParseStats is used when the caller passed none; deltas
@@ -419,20 +440,47 @@ def loads(
     start = time.perf_counter()
     mode = "strict" if strict else "lenient"
     try:
-        events, mode = _parse_text(text, strict=strict, stats=own_stats)
+        events, mode = _parse_any(
+            format_name, document, strict=strict, stats=own_stats, verify=verify
+        )
         return events
     finally:
-        _PARSE_SECONDS.observe(time.perf_counter() - start, labels=(mode,))
+        _PARSE_SECONDS.observe(
+            time.perf_counter() - start, labels=(mode, format_name)
+        )
         for (attr, disposition), prior in zip(_STAT_DISPOSITIONS, before):
             delta = getattr(own_stats, attr) - prior
             if delta:
                 _RECORDS.inc(delta, labels=(disposition,))
 
 
+def _parse_any(
+    format_name: str,
+    document: "bytes | str",
+    *,
+    strict: bool,
+    stats: ParseStats | None,
+    verify: str = "fast",
+) -> tuple[list[NetLogEvent], str]:
+    """Dispatch one materialised document to its format's parse body."""
+    from .codec import FORMAT_BINARY
+
+    if format_name == FORMAT_BINARY:
+        from .binary import iter_events_binary
+
+        events = list(
+            iter_events_binary(
+                document, strict=strict, stats=stats, verify=verify
+            )
+        )
+        return events, "strict" if strict else "lenient"
+    return _parse_text(document, strict=strict, stats=stats)
+
+
 def _parse_text(
     text: str, *, strict: bool, stats: ParseStats | None
 ) -> tuple[list[NetLogEvent], str]:
-    """The single parse/salvage body; returns ``(events, mode)``.
+    """The single JSON parse/salvage body; returns ``(events, mode)``.
 
     ``mode`` is ``strict``/``lenient`` for a well-formed JSON document
     and ``salvage`` when the text was not even valid JSON and the

@@ -68,6 +68,13 @@ class _Scanner:
             return ""
         return ch
 
+    def push_back(self, ch: str) -> None:
+        """Return one just-read character to the stream."""
+        if not ch:
+            return
+        self._buffer = ch + self._buffer[self._position :]
+        self._position = 0
+
     def read_nonspace(self) -> str:
         ch = self.read_char()
         while ch and ch in " \t\r\n":
@@ -149,26 +156,36 @@ def _skip_value(scanner: _Scanner, first: str) -> None:
             elif ch == "]":
                 depth -= 1
         return
-    # Scalar: consume until a delimiter, which the caller tolerates.
+    # Scalar: consume until a delimiter.  A comma is the caller's to
+    # tolerate, but a closing brace/bracket belongs to the enclosing
+    # structure — push it back so `{"key": 1}` still reaches the
+    # missing-events check instead of reading as truncated.
     while True:
         ch = scanner.read_char()
-        if not ch or ch in ",}]":
+        if not ch or ch == ",":
+            return
+        if ch in "}]":
+            scanner.push_back(ch)
             return
 
 
 def iter_events_streaming(
-    fp: IO[str],
+    fp: "bytes | str | IO[str] | IO[bytes]",
     *,
     strict: bool = False,
     stats: ParseStats | None = None,
     require_events: bool = False,
 ) -> Iterator[NetLogEvent]:
-    """Yield NetLog events from a file object with bounded memory.
+    """Yield NetLog events from any document source with bounded memory.
 
-    Reads the top-level object key by key; the ``constants`` block is
-    decoded (for the event-type name table), every other non-``events``
-    key is skipped without materialisation, and the ``events`` array is
-    walked object by object.
+    Accepts document text, document bytes, or a file object of either;
+    the format is sniffed from the first byte.  Binary (``nlbin-v1``)
+    documents take the zero-copy frame scanner in
+    :mod:`repro.netlog.binary`; JSON documents take the incremental
+    tokenizer below, which reads the top-level object key by key — the
+    ``constants`` block is decoded (for the event-type name table), every
+    other non-``events`` key is skipped without materialisation, and the
+    ``events`` array is walked object by object.
 
     Unknown event types are skipped when ``strict`` is False (the
     default here, unlike the whole-document parser, because real Chrome
@@ -183,8 +200,27 @@ def iter_events_streaming(
     objects — while still tolerating truncation as above (a cut-off
     document never reaches its closing brace, so the check cannot fire).
     """
+    from .codec import FORMAT_BINARY, coerce_stream, sniff_format
+
+    if isinstance(fp, (bytes, bytearray, memoryview)) and (
+        sniff_format(fp) == FORMAT_BINARY
+    ):
+        # In-memory binary documents skip the stream wrapper entirely so
+        # the fused zero-copy scanner sees the raw buffer.
+        from .binary import iter_events_binary
+
+        yield from iter_events_binary(fp, strict=strict, stats=stats)
+        return
+    format_name, stream = coerce_stream(fp)
+    if format_name == FORMAT_BINARY:
+        from .binary import iter_events_binary
+
+        yield from iter_events_binary(stream, strict=strict, stats=stats)
+        return
     try:
-        yield from _iter_document(_Scanner(fp), strict, stats, require_events)
+        yield from _iter_document(
+            _Scanner(stream), strict, stats, require_events
+        )
     except NetLogTruncationError:
         if strict:
             raise

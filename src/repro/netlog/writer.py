@@ -185,6 +185,8 @@ class NetLogBuffer:
 
     __slots__ = ("_io", "_writer")
 
+    format = "json"
+
     def __init__(self, *, checksums: bool = True) -> None:
         self._io = io.StringIO()
         self._writer = RecordWriter(self._io, checksums=checksums)

@@ -24,7 +24,6 @@ well-formed document that is not a NetLog at all raises
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 from typing import Callable
 
@@ -79,16 +78,20 @@ def analyze_report(
     instead of starving the pool.
     """
     digest = upload_digest(data)
-    # errors="replace" keeps decoding total: torn multi-byte sequences
-    # at a truncation point degrade to U+FFFD and the salvage parser
-    # drops that record, exactly as the batch CLI does reading the file.
-    text = data.decode("utf-8", errors="replace")
     stats = ParseStats()
     sink = LocalTrafficDetector().sink()
     seen = 0
     try:
+        # The streaming layer sniffs the upload's format from its magic
+        # byte: binary documents take the zero-copy scanner, JSON is
+        # decoded with errors="replace" so torn multi-byte sequences at
+        # a truncation point degrade to U+FFFD and the salvage parser
+        # drops that record, exactly as the batch CLI does reading the
+        # file.  Reports stay content-addressed by the upload bytes, so
+        # the same events uploaded in the two formats are two cache
+        # entries with identical analysis sections.
         for event in iter_events_streaming(
-            io.StringIO(text), strict=False, stats=stats, require_events=True
+            data, strict=False, stats=stats, require_events=True
         ):
             sink.accept(event)
             seen += 1

@@ -333,6 +333,7 @@ def fsck(
     crawl: str | None = None,
     repair: bool = False,
     revisit: Revisiter | None = None,
+    jobs: int | None = None,
 ) -> FsckReport:
     """Audit (and optionally repair) a campaign database + NetLog archive.
 
@@ -366,7 +367,9 @@ def fsck(
     for crawl_name in crawls:
         _scan_visits(store, archive, crawl_name, report, repair, revisit)
         if archive is not None:
-            _scan_archive(store, archive, crawl_name, report, repair, revisit)
+            _scan_archive(
+                store, archive, crawl_name, report, repair, revisit, jobs
+            )
         report.campaign_digests[crawl_name] = campaign_digest(store, crawl_name)
     if repair:
         store.commit()
@@ -517,6 +520,7 @@ def _scan_archive(
     report: FsckReport,
     repair: bool,
     revisit: Revisiter | None,
+    jobs: int | None = None,
 ) -> None:
     conn = store.connection
     recorded = {
@@ -525,10 +529,15 @@ def _scan_archive(
             "SELECT os_name, domain FROM visits WHERE crawl = ?", (crawl,)
         )
     }
-    for path in list(archive.entries(crawl)):
+    # Verification (the CPU-bound part: a full canonical re-parse of
+    # every document) fans out across a process pool under ``jobs``;
+    # findings and repairs stay sequential, so reports are byte-stable
+    # at any worker count.
+    from ..netlog.parallel import verify_paths
+
+    for path, stats in verify_paths(list(archive.entries(crawl)), jobs=jobs):
         report.scanned_archives += 1
         os_name, domain = path.parent.name, path.stem
-        stats = archive.verify(path)
         if not _archive_clean(stats):
             finding = FsckFinding(
                 kind=FsckKind.ARCHIVE_DAMAGE,

@@ -20,6 +20,7 @@ from repro.netlog import (
     ParseStats,
     SourceType,
     dumps,
+    dumps_binary,
     loads,
 )
 
@@ -359,3 +360,132 @@ class TestServeSeams:
         with pytest.raises(InjectedDiskFullError):
             injector.journal_write_hook("job:j1:submit")
         injector.journal_write_hook("job:j1:submit")
+
+
+class TestBinaryNetlogSeam:
+    """The same fault plan applied to ``nlbin-v1`` byte documents.
+
+    ``corrupt_netlog`` is polymorphic: a plan damages the same visit
+    keys whichever capture format the campaign ran with, and each fault
+    kind has the analogous physical shape in both encodings.
+    """
+
+    def _document(self, n=8, checksums=False):
+        events = [
+            NetLogEvent(
+                time=float(i),
+                type=EventType.URL_REQUEST_START_JOB,
+                source=NetLogSource(id=i + 1, type=SourceType.URL_REQUEST),
+                phase=EventPhase.BEGIN,
+                params={"url": "http://localhost/"},
+            )
+            for i in range(n)
+        ]
+        return dumps_binary(events, checksums=checksums)
+
+    def test_truncation_is_salvageable(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5, duration=16)
+        )
+        document = self._document()
+        clean = loads(document)
+        key = _faulted_key(injector, FaultKind.NETLOG_TRUNCATION, KEYS)
+        damaged = injector.corrupt_netlog(document, key)
+        assert isinstance(damaged, bytes)
+        assert damaged != document
+        assert damaged.endswith(b"\x00" * 16)  # preallocated wound
+        stats = ParseStats()
+        salvaged = loads(damaged, strict=False, stats=stats)
+        assert stats.truncated
+        assert salvaged == clean[: len(salvaged)]
+
+    def test_torn_write_is_an_interior_nul_hole(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.5, duration=32)
+        )
+        # Large enough that the 30-70% hole window clears the constants
+        # header and lands in the measurement payload.
+        document = self._document(n=48)
+        clean = loads(document)
+        key = _faulted_key(injector, FaultKind.TORN_WRITE, KEYS)
+        damaged = injector.corrupt_netlog(document, key)
+        assert damaged != document
+        assert len(damaged) == len(document)  # a hole, not a cut
+        assert b"\x00" * 32 in damaged
+        assert not damaged.startswith(b"\x00") and not damaged.endswith(b"\x00")
+        stats = ParseStats()
+        salvaged = loads(damaged, strict=False, stats=stats)
+        assert stats.damaged
+        # Same sticky-EOF semantics as the JSON scanner: records before
+        # the hole survive, the untrustworthy tail is abandoned.
+        assert salvaged == clean[: len(salvaged)]
+
+    def test_bit_flip_fails_frame_crc(self):
+        injector = _injector(FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5))
+        document = self._document(checksums=True)
+        key = _faulted_key(injector, FaultKind.BIT_FLIP, KEYS)
+        damaged = injector.corrupt_netlog(document, key)
+        assert damaged != document
+        assert len(damaged) == len(document)
+        assert sum(a != b for a, b in zip(document, damaged)) == 1
+        stats = ParseStats()
+        salvaged = loads(damaged, strict=False, stats=stats)
+        assert stats.checksum_failures == 1  # the lying record is dropped
+        assert stats.first_divergence is not None
+        assert len(salvaged) == 7
+
+    def test_bit_flip_caught_even_without_checksums(self):
+        # Unlike JSON — where rot in a plain document is invisible — the
+        # binary framing always carries per-frame CRCs, so the flip still
+        # drops the damaged record; it just cannot be attributed to the
+        # end-to-end integrity layer.
+        injector = _injector(FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5))
+        document = self._document(checksums=False)
+        key = _faulted_key(injector, FaultKind.BIT_FLIP, KEYS)
+        stats = ParseStats()
+        salvaged = loads(
+            injector.corrupt_netlog(document, key), strict=False, stats=stats
+        )
+        assert stats.dropped_malformed == 1
+        assert stats.checksum_failures == 0
+        assert len(salvaged) == 7
+
+    def test_same_plan_damages_both_formats(self):
+        spec = FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5)
+        text_injector = _injector(spec)
+        bytes_injector = _injector(spec)
+        key = _faulted_key(text_injector, FaultKind.NETLOG_TRUNCATION, KEYS)
+        text = TestNetlogSeam()._document()
+        data = self._document()
+        damaged_text = text_injector.corrupt_netlog(text, key)
+        damaged_bytes = bytes_injector.corrupt_netlog(data, key)
+        assert isinstance(damaged_text, str) and damaged_text != text
+        assert isinstance(damaged_bytes, bytes) and damaged_bytes != data
+
+    def test_corruption_is_deterministic_per_key(self):
+        spec_sets = [
+            (FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5),),
+            (FaultSpec(kind=FaultKind.TORN_WRITE, rate=0.5),),
+            (FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5),),
+        ]
+        document = self._document(checksums=True)
+        for specs in spec_sets:
+            first = _injector(*specs)
+            second = _injector(*specs)
+            key = _faulted_key(first, specs[0].kind, KEYS)
+            assert first.corrupt_netlog(document, key) == second.corrupt_netlog(
+                document, key
+            )
+
+    def test_unscheduled_document_untouched(self):
+        injector = _injector(
+            FaultSpec(kind=FaultKind.NETLOG_TRUNCATION, rate=0.5),
+            FaultSpec(kind=FaultKind.BIT_FLIP, rate=0.5),
+        )
+        document = self._document()
+        clean_key = next(
+            k for k in KEYS
+            if not injector.plan.fail_depth(FaultKind.NETLOG_TRUNCATION, k)
+            and not injector.plan.fail_depth(FaultKind.BIT_FLIP, k)
+        )
+        assert injector.corrupt_netlog(document, clean_key) == document

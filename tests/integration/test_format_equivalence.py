@@ -1,0 +1,137 @@
+"""Format equivalence: the binary encoding changes nothing downstream.
+
+The dual-format acceptance bar: the same campaign captured with
+``--netlog-format json`` and ``--netlog-format binary`` must produce
+identical detection findings, identical campaign fingerprints, and
+byte-identical paper tables — the document encoding is an operational
+knob, invisible to every analysis.
+"""
+
+import pytest
+
+from repro.analysis import rq1, tables
+from repro.core.addresses import Locality
+from repro.crawler.campaign import Campaign
+from repro.netlog import NetLogArchive
+from repro.storage.db import TelemetryStore
+from repro.storage.integrity import campaign_digest, fsck
+
+
+@pytest.fixture(scope="module")
+def format_runs(tmp_path_factory, request):
+    """One campaign per format, with store + archive."""
+    population = request.getfixturevalue("top2020_population")
+    runs = {}
+    for fmt in ("json", "binary"):
+        root = tmp_path_factory.mktemp(f"run-{fmt}")
+        store = TelemetryStore(str(root / "telemetry.db"))
+        archive = NetLogArchive(root / "netlogs")
+        campaign = Campaign(
+            store=store,
+            netlog_archive=archive,
+            netlog_format=fmt,
+        )
+        result = campaign.run(population)
+        store.commit()
+        runs[fmt] = (store, archive, result)
+    yield runs
+    for store, _, _ in runs.values():
+        store.close()
+
+
+class TestCampaignEquivalence:
+    def test_findings_identical(self, format_runs):
+        json_result = format_runs["json"][2]
+        binary_result = format_runs["binary"][2]
+        assert json_result.findings == binary_result.findings
+        assert json_result.stats == binary_result.stats
+
+    def test_campaign_fingerprints_identical(self, format_runs):
+        digests = {
+            fmt: campaign_digest(store, result.name)
+            for fmt, (store, _, result) in format_runs.items()
+        }
+        assert digests["json"] == digests["binary"]
+
+    def test_tables_1_and_5_byte_identical(self, format_runs):
+        json_result = format_runs["json"][2]
+        binary_result = format_runs["binary"][2]
+        t1_json = tables.table_1(list(json_result.stats.values()))
+        t1_bin = tables.table_1(list(binary_result.stats.values()))
+        assert t1_json.text == t1_bin.text
+        t5_json = tables.table_5(json_result.findings)
+        t5_bin = tables.table_5(binary_result.findings)
+        assert t5_json.text == t5_bin.text
+
+    def test_rq1_summary_identical(self, format_runs):
+        summaries = {
+            fmt: rq1.summarize_activity(result.findings, Locality.LOCALHOST)
+            for fmt, (_, _, result) in format_runs.items()
+        }
+        assert summaries["json"] == summaries["binary"]
+
+
+class TestArchiveEquivalence:
+    def test_archives_use_their_format_suffix(self, format_runs):
+        for fmt, suffix in (("json", ".json"), ("binary", ".nlbin")):
+            paths = list(format_runs[fmt][1].entries())
+            assert paths
+            assert all(path.suffix == suffix for path in paths)
+
+    def test_archived_events_identical_across_formats(self, format_runs):
+        json_archive = format_runs["json"][1]
+        binary_archive = format_runs["binary"][1]
+        json_paths = list(json_archive.entries())
+        binary_paths = list(binary_archive.entries())
+        # entries() sorts full names, and the two suffixes collate
+        # dotted domains differently — compare the sets of visits.
+        assert sorted(p.stem for p in json_paths) == sorted(
+            p.stem for p in binary_paths
+        )
+        # Spot-check a handful end to end (parsing all is slow).
+        crawl = format_runs["json"][2].name
+        for json_path in json_paths[:5]:
+            os_name, domain = json_path.parent.name, json_path.stem
+            assert json_archive.read_events(
+                crawl, os_name, domain
+            ) == binary_archive.read_events(crawl, os_name, domain)
+            assert json_archive.read_meta(json_path) == (
+                binary_archive.read_meta(
+                    binary_archive.path_for(crawl, os_name, domain)
+                )
+            )
+
+    def test_fsck_clean_any_jobs(self, format_runs):
+        for fmt, (store, archive, _) in format_runs.items():
+            for jobs in (None, 2):
+                report = fsck(store, archive, jobs=jobs)
+                assert report.ok, (fmt, jobs, report.render())
+
+    def test_fsck_reports_identical_across_formats(self, format_runs):
+        reports = {
+            fmt: fsck(store, archive).to_json()
+            for fmt, (store, archive, _) in format_runs.items()
+        }
+        assert reports["json"] == reports["binary"]
+
+    def test_rewrite_in_other_format_replaces_sibling(
+        self, format_runs, top2020_population
+    ):
+        store, archive, result = format_runs["json"]
+        crawl = result.name
+        path = next(iter(archive.entries()))
+        os_name, domain = path.parent.name, path.stem
+        events = archive.read_events(crawl, os_name, domain)
+        rewritten = archive.write(
+            crawl, os_name, domain, events, format="binary"
+        )
+        try:
+            assert rewritten.suffix == ".nlbin"
+            assert not path.exists()  # one document per visit
+            assert archive.path_for(crawl, os_name, domain) == rewritten
+            assert (
+                archive.read_events(crawl, os_name, domain) == events
+            )
+        finally:
+            archive.write(crawl, os_name, domain, events, format="json")
+            rewritten.unlink(missing_ok=True)

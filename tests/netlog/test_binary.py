@@ -1,0 +1,320 @@
+"""Binary (``nlbin-v1``) format tests: salvage parity and transcoding.
+
+Mirrors ``test_salvage.py`` for the binary encoding: every physical
+damage shape the JSON salvage suite covers — truncated tail, NUL
+padding, a cut inside a record, bit flips, spliced-out records — must
+produce the analogous :class:`ParseStats` accounting, and the lossless
+transcoder must round-trip our own documents byte for byte.
+
+Parse tests run against both the in-memory fused scanner (bytes input)
+and the generic frame loop (file input), which must stay semantically
+identical.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.netlog import (
+    EventPhase,
+    EventType,
+    NetLogEvent,
+    NetLogIntegrityError,
+    NetLogParseError,
+    NetLogSource,
+    NetLogTruncationError,
+    ParseStats,
+    SourceType,
+    dumps,
+    dumps_binary,
+    iter_events_binary,
+    iter_events_streaming,
+    loads,
+    read_binary_header,
+    to_binary,
+    to_json,
+)
+from repro.netlog.binary import (
+    _FRAME_HEAD,
+    MAGIC,
+    TAG_EVENT,
+)
+
+
+def _event(time=0.0, source_id=1, params=None):
+    return NetLogEvent(
+        time=time,
+        type=EventType.URL_REQUEST_START_JOB,
+        source=NetLogSource(id=source_id, type=SourceType.URL_REQUEST),
+        phase=EventPhase.BEGIN,
+        params=params if params is not None else {"url": "http://localhost/"},
+    )
+
+
+def _events(n=10):
+    return [_event(time=float(i), source_id=i + 1) for i in range(n)]
+
+
+@pytest.fixture()
+def document():
+    return dumps_binary(_events())
+
+
+@pytest.fixture()
+def checksummed():
+    return dumps_binary(_events(), checksums=True)
+
+
+# Every parse test runs through both scanner implementations: the fused
+# zero-copy loop (bytes) and the generic frame loop (file object).
+@pytest.fixture(params=["bytes", "file"])
+def source_of(request):
+    if request.param == "bytes":
+        return lambda data: data
+    return lambda data: io.BytesIO(data)
+
+
+def _parse(data, source_of, stats=None, strict=False, verify="fast"):
+    return list(
+        iter_events_binary(
+            source_of(data), strict=strict, stats=stats, verify=verify
+        )
+    )
+
+
+def _frames(data):
+    """(offset, tag, payload_length) of every frame in a document."""
+    out = []
+    offset = len(MAGIC)
+    while offset < len(data):
+        tag, length, _crc = _FRAME_HEAD.unpack_from(data, offset)
+        out.append((offset, tag, length))
+        offset += _FRAME_HEAD.size + length
+    return out
+
+
+def _event_frame_offsets(data):
+    return [
+        (offset, length)
+        for offset, tag, length in _frames(data)
+        if tag == TAG_EVENT
+    ]
+
+
+class TestCleanDocuments:
+    def test_matches_json_parse(self, document, source_of):
+        text = dumps(_events())
+        assert _parse(document, source_of) == loads(text)
+
+    def test_checksummed_document_is_pristine(self, checksummed, source_of):
+        for verify in ("fast", "full"):
+            stats = ParseStats()
+            events = _parse(checksummed, source_of, stats, verify=verify)
+            assert len(events) == 10
+            assert not stats.damaged
+            assert stats.first_divergence is None
+        # Only the full regime re-derives canonical checksums.
+        stats = ParseStats()
+        _parse(checksummed, source_of, stats, verify="full")
+        assert stats.verified == 10
+
+    def test_loads_and_streaming_sniff_binary_bytes(self, checksummed):
+        expected = _parse(checksummed, lambda d: d)
+        assert loads(checksummed) == expected
+        assert list(iter_events_streaming(checksummed)) == expected
+        assert list(iter_events_streaming(io.BytesIO(checksummed))) == expected
+
+    def test_header_roundtrip(self):
+        data = dumps_binary(_events(2), extra={"visitMeta": {"os": "mac"}})
+        header = read_binary_header(data)
+        assert header["format"] == "nlbin-v1"
+        assert header["extra"] == {"visitMeta": {"os": "mac"}}
+
+    def test_empty_document(self, source_of):
+        stats = ParseStats()
+        assert _parse(dumps_binary([]), source_of, stats) == []
+        assert not stats.damaged
+
+    def test_not_binary_raises(self, source_of):
+        with pytest.raises(NetLogParseError):
+            _parse(b'{"events": []}', source_of)
+
+    def test_empty_input_truncated(self, source_of):
+        stats = ParseStats()
+        assert _parse(b"", source_of, stats) == []
+        assert stats.truncated
+        with pytest.raises(NetLogTruncationError):
+            _parse(b"", source_of, strict=True)
+
+
+class TestTruncatedDocuments:
+    def test_missing_trailer(self, document, source_of):
+        offset, length = _event_frame_offsets(document)[-1]
+        cut = document[: offset + _FRAME_HEAD.size + length]
+        stats = ParseStats()
+        events = _parse(cut, source_of, stats)
+        assert len(events) == 10  # every record frame was intact
+        assert stats.truncated
+        assert stats.dropped == 0
+
+    def test_mid_record_truncation(self, document, source_of):
+        offset, _length = _event_frame_offsets(document)[-1]
+        cut = document[: offset + _FRAME_HEAD.size + 3]
+        stats = ParseStats()
+        events = _parse(cut, source_of, stats)
+        assert len(events) == 9
+        assert [e.time for e in events] == [float(i) for i in range(9)]
+        assert stats.truncated
+        assert stats.dropped_malformed == 1
+
+    def test_nul_padded_tail(self, document, source_of):
+        offset, _length = _event_frame_offsets(document)[-1]
+        cut = document[:offset] + b"\x00" * 128
+        stats = ParseStats()
+        events = _parse(cut, source_of, stats)
+        assert len(events) == 9
+        assert stats.truncated
+
+    def test_strict_mode_still_raises(self, document, source_of):
+        with pytest.raises((NetLogParseError, NetLogTruncationError)):
+            _parse(document[:-4], source_of, strict=True)
+
+    def test_every_cut_point_recovers_a_prefix(self, document, source_of):
+        clean = _parse(document, source_of)
+        for cut in range(0, len(document), 7):
+            stats = ParseStats()
+            salvaged = _parse(document[:cut], source_of, stats)
+            assert salvaged == clean[: len(salvaged)]
+            if cut < len(document):
+                assert stats.truncated
+
+    def test_every_cut_point_checksummed(self, checksummed, source_of):
+        clean = _parse(checksummed, source_of)
+        for cut in range(len(MAGIC), len(checksummed), 11):
+            salvaged = _parse(checksummed[:cut], source_of, ParseStats())
+            assert salvaged == clean[: len(salvaged)]
+
+
+class TestChecksummedCorruption:
+    def _flip_in_record(self, data, record_index, byte_index=4):
+        offset, _length = _event_frame_offsets(data)[record_index]
+        position = offset + _FRAME_HEAD.size + byte_index
+        mutated = bytearray(data)
+        mutated[position] ^= 0x01
+        return bytes(mutated)
+
+    def test_payload_bit_flip_fails_frame_crc(self, checksummed, source_of):
+        flipped = self._flip_in_record(checksummed, 3)
+        for verify in ("fast", "full"):
+            stats = ParseStats()
+            events = _parse(flipped, source_of, stats, verify=verify)
+            assert len(events) == 9  # the lying record is dropped
+            assert stats.checksum_failures == 1
+            assert stats.first_divergence == 3
+            assert 3.0 not in {e.time for e in events}
+
+    def test_bit_flip_in_plain_document_drops_record(
+        self, document, source_of
+    ):
+        flipped = self._flip_in_record(document, 3)
+        stats = ParseStats()
+        events = _parse(flipped, source_of, stats)
+        assert len(events) == 9
+        # No checksums to blame: a failed frame CRC on a plain document
+        # counts as malformed, like undecodable JSON records.
+        assert stats.dropped_malformed == 1
+        assert stats.checksum_failures == 0
+
+    def test_spliced_out_record_breaks_chain(self, checksummed, source_of):
+        offsets = _event_frame_offsets(checksummed)
+        start, length = offsets[3]
+        spliced = (
+            checksummed[:start]
+            + checksummed[start + _FRAME_HEAD.size + length :]
+        )
+        for verify in ("fast", "full"):
+            stats = ParseStats()
+            events = _parse(spliced, source_of, stats, verify=verify)
+            # Like the JSON parsers: the record after the gap is suspect
+            # and dropped, and the trailer count adds a second break.
+            assert len(events) == 8
+            assert stats.checksum_failures == 0
+            assert stats.chain_breaks == 2
+            assert stats.first_divergence == 3
+
+    def test_clean_truncation_caught_by_trailer(self, checksummed, source_of):
+        offset, _length = _event_frame_offsets(checksummed)[7]
+        trailer_offset = _frames(checksummed)[-1][0]
+        shortened = checksummed[:offset] + checksummed[trailer_offset:]
+        stats = ParseStats()
+        events = _parse(shortened, source_of, stats)
+        assert len(events) == 7
+        assert stats.checksum_failures == 0
+        assert stats.chain_breaks == 1  # the trailer mismatch
+        assert stats.first_divergence == 7
+
+    def test_strict_mode_raises_integrity_error(self, checksummed, source_of):
+        flipped = self._flip_in_record(checksummed, 3)
+        with pytest.raises(NetLogIntegrityError):
+            _parse(flipped, source_of, strict=True)
+
+    def test_fast_and_full_agree_on_events(self, checksummed, source_of):
+        for damage in (
+            self._flip_in_record(checksummed, 2),
+            checksummed[: len(checksummed) // 2],
+            checksummed[:-5] + b"\x00" * 5,
+        ):
+            fast = _parse(damage, source_of, ParseStats())
+            full = _parse(damage, source_of, ParseStats(), verify="full")
+            assert fast == full
+
+
+class TestTranscoding:
+    @pytest.mark.parametrize("checksums", [False, True])
+    def test_json_binary_json_byte_identical(self, checksums):
+        text = dumps(_events(), checksums=checksums)
+        assert to_json(to_binary(text)) == text
+
+    @pytest.mark.parametrize("checksums", [False, True])
+    def test_binary_json_binary_byte_identical(self, checksums):
+        data = dumps_binary(_events(), checksums=checksums)
+        assert to_binary(to_json(data)) == data
+
+    def test_extras_survive(self):
+        from repro.netlog.writer import dump as dump_json
+
+        out = io.StringIO()
+        dump_json(
+            _events(3),
+            out,
+            checksums=True,
+            extra={"visitMeta": {"os": "windows", "attempts": 1}},
+        )
+        text = out.getvalue()
+        assert to_json(to_binary(text)) == text
+
+    def test_same_parse_both_formats(self):
+        text = dumps(_events(), checksums=True)
+        assert loads(to_binary(text)) == loads(text)
+
+    def test_identity_when_already_target_format(self):
+        text = dumps(_events())
+        data = dumps_binary(_events())
+        assert to_json(text) == text
+        assert to_binary(data) == data
+
+    def test_damaged_json_is_rejected(self):
+        text = dumps(_events(), checksums=True)
+        with pytest.raises(NetLogParseError):
+            to_binary(text[: len(text) // 2])
+
+    def test_foreign_constants_pass_through(self):
+        # A hand-built (non-writer) document keeps its constants block.
+        document = {
+            "constants": {"logEventTypes": {}, "timeTickOffset": 7.5},
+            "events": [],
+        }
+        text = json.dumps(document)
+        round_tripped = json.loads(to_json(to_binary(text)))
+        assert round_tripped["constants"] == document["constants"]

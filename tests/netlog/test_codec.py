@@ -1,0 +1,124 @@
+"""Codec registry, sniffing, and source-coercion tests."""
+
+import io
+
+import pytest
+
+from repro.netlog import (
+    FORMAT_BINARY,
+    FORMAT_ENV_VAR,
+    FORMAT_JSON,
+    default_format,
+    dumps,
+    dumps_binary,
+    get_codec,
+    make_capture_buffer,
+    sniff_format,
+)
+from repro.netlog.binary import BinaryNetLogBuffer
+from repro.netlog.codec import (
+    ARCHIVE_SUFFIXES,
+    codec_for_suffix,
+    coerce_document,
+    coerce_stream,
+)
+from repro.netlog.writer import NetLogBuffer
+
+from .test_binary import _events
+
+
+class TestRegistry:
+    def test_codecs_resolve(self):
+        assert get_codec("json").suffix == ".json"
+        assert get_codec("binary").suffix == ".nlbin"
+        assert get_codec("binary").binary
+        assert not get_codec("json").binary
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown NetLog format"):
+            get_codec("protobuf")
+
+    def test_suffix_lookup(self):
+        for suffix in ARCHIVE_SUFFIXES:
+            assert codec_for_suffix(suffix).suffix == suffix
+        assert codec_for_suffix(".txt") is None
+
+    def test_default_format_env(self, monkeypatch):
+        monkeypatch.delenv(FORMAT_ENV_VAR, raising=False)
+        assert default_format() == FORMAT_JSON
+        monkeypatch.setenv(FORMAT_ENV_VAR, "binary")
+        assert default_format() == FORMAT_BINARY
+        monkeypatch.setenv(FORMAT_ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            default_format()
+
+    def test_make_capture_buffer(self, monkeypatch):
+        monkeypatch.delenv(FORMAT_ENV_VAR, raising=False)
+        assert isinstance(make_capture_buffer(None), NetLogBuffer)
+        assert isinstance(make_capture_buffer("binary"), BinaryNetLogBuffer)
+        monkeypatch.setenv(FORMAT_ENV_VAR, "binary")
+        assert isinstance(make_capture_buffer(None), BinaryNetLogBuffer)
+
+    def test_buffer_format_tags(self):
+        assert NetLogBuffer().format == "json"
+        assert BinaryNetLogBuffer().format == "binary"
+
+
+class TestSniffing:
+    def test_sniff_by_first_byte(self):
+        assert sniff_format(dumps_binary(_events(1))) == FORMAT_BINARY
+        assert sniff_format(dumps(_events(1)).encode()) == FORMAT_JSON
+        assert sniff_format("{}") == FORMAT_JSON
+        assert sniff_format(b"") == FORMAT_JSON
+
+    def test_sniff_partial_magic(self):
+        # Even a one-byte prefix of the magic classifies as binary —
+        # 0x89 is deliberately outside ASCII, so no JSON starts with it.
+        data = dumps_binary(_events(1))
+        assert sniff_format(data[:1]) == FORMAT_BINARY
+
+
+class TestCoercion:
+    def test_coerce_document_kinds(self):
+        text = dumps(_events(2))
+        data = dumps_binary(_events(2))
+        assert coerce_document(text) == (FORMAT_JSON, text)
+        assert coerce_document(text.encode()) == (FORMAT_JSON, text)
+        assert coerce_document(data) == (FORMAT_BINARY, data)
+        assert coerce_document(io.StringIO(text)) == (FORMAT_JSON, text)
+        assert coerce_document(io.BytesIO(data)) == (FORMAT_BINARY, data)
+
+    def test_coerce_document_replaces_bad_utf8(self):
+        fmt, text = coerce_document(b'{"events": [\xff]}')
+        assert fmt == FORMAT_JSON
+        assert "�" in text
+
+    def test_coerce_stream_kinds(self):
+        text = dumps(_events(2))
+        data = dumps_binary(_events(2))
+        fmt, stream = coerce_stream(io.BytesIO(data))
+        assert fmt == FORMAT_BINARY
+        assert stream.read() == data
+        fmt, stream = coerce_stream(io.BytesIO(text.encode()))
+        assert fmt == FORMAT_JSON
+        assert stream.read() == text
+
+    def test_coerce_stream_non_seekable(self):
+        data = dumps_binary(_events(2))
+
+        class OneWay(io.RawIOBase):
+            def __init__(self, payload):
+                self._fp = io.BytesIO(payload)
+
+            def readable(self):
+                return True
+
+            def seekable(self):
+                return False
+
+            def read(self, size=-1):
+                return self._fp.read(size)
+
+        fmt, stream = coerce_stream(OneWay(data))
+        assert fmt == FORMAT_BINARY
+        assert stream.read() == data  # the sniffed head is not lost

@@ -1,0 +1,102 @@
+"""Multiprocess parse-pool tests: order stability and serial parity."""
+
+import pytest
+
+from repro.netlog import NetLogArchive, dumps
+from repro.netlog.parallel import (
+    MAX_JOBS,
+    analyze_paths,
+    resolve_jobs,
+    verify_document,
+    verify_paths,
+)
+
+from .test_binary import _event, _events
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_machine_sized(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_capped_by_task_count_and_max(self):
+        assert resolve_jobs(8, task_count=3) == 3
+        assert resolve_jobs(10_000) == MAX_JOBS
+        assert resolve_jobs(4, task_count=0) == 1
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    archive = NetLogArchive(tmp_path / "logs")
+    for domain, fmt in (
+        ("a.example", "json"),
+        ("b.example", "binary"),
+        ("c.example", "json"),
+    ):
+        archive.write(
+            "crawl-1", "windows", domain, _events(5), format=fmt
+        )
+    return archive
+
+
+class TestVerifyPaths:
+    def test_parallel_matches_serial(self, archive):
+        paths = list(archive.entries("crawl-1"))
+        serial = verify_paths(paths, jobs=1)
+        pooled = verify_paths(paths, jobs=2)
+        assert [p for p, _ in pooled] == paths  # input order preserved
+        assert [s for _, s in pooled] == [s for _, s in serial]
+        assert all(not s.damaged for _, s in pooled)
+        assert all(s.verified == 5 for _, s in pooled)
+
+    def test_damage_is_reported_per_path(self, archive, tmp_path):
+        paths = list(archive.entries("crawl-1"))
+        victim = paths[1]
+        victim.write_bytes(victim.read_bytes()[:40])
+        results = dict(verify_paths(paths, jobs=2))
+        assert results[victim].truncated
+        assert not results[paths[0]].damaged
+
+    def test_verify_document_matches_archive_verify(self, archive):
+        for path in archive.entries("crawl-1"):
+            assert verify_document(path) == archive.verify(path)
+
+
+class TestAnalyzePaths:
+    def test_parallel_matches_serial(self, archive):
+        paths = list(archive.entries("crawl-1"))
+        serial = analyze_paths(paths, jobs=1)
+        pooled = analyze_paths(paths, jobs=2)
+        assert serial == pooled
+        assert [s.path for s in pooled] == [str(p) for p in paths]
+        assert all(s.error is None for s in pooled)
+        assert all(s.stats.parsed == 5 for s in pooled)
+
+    def test_unreadable_and_non_netlog_inputs(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        alien = tmp_path / "alien.json"
+        alien.write_text('{"hello": "world"}')
+        summaries = analyze_paths([missing, alien], jobs=1)
+        assert "cannot read" in summaries[0].error
+        assert "not a NetLog document" in summaries[1].error
+
+    def test_local_traffic_is_classified(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text(
+            dumps(
+                [
+                    _event(
+                        time=float(i),
+                        source_id=i + 1,
+                        params={"url": "http://127.0.0.1:8000/setup"},
+                    )
+                    for i in range(3)
+                ]
+            )
+        )
+        (summary,) = analyze_paths([path], jobs=1)
+        assert summary.local_requests == 3
+        assert summary.behavior is not None
